@@ -1,0 +1,101 @@
+//! Micro-benchmarks of the substrate hot paths: KFK join materialization,
+//! decision-tree split search over a large-domain FK, SMO training on a
+//! precomputed match matrix, match-matrix construction, and the two FK
+//! compression methods. These are the operations Figure 1's end-to-end
+//! numbers decompose into.
+//!
+//! Run with `cargo bench -p hamlet-bench --bench substrate_micro`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use hamlet_core::prelude::*;
+use hamlet_datagen::prelude::*;
+use hamlet_ml::prelude::*;
+
+fn join_vs_nojoin_materialization(c: &mut Criterion) {
+    let g = EmulatorSpec::movies().generate_scaled(4000, 0x31);
+    let mut group = c.benchmark_group("materialize");
+    group.bench_function("join_all", |b| {
+        b.iter(|| build_dataset(&g.star, &FeatureConfig::JoinAll).expect("builds"))
+    });
+    group.bench_function("no_join", |b| {
+        b.iter(|| build_dataset(&g.star, &FeatureConfig::NoJoin).expect("builds"))
+    });
+    group.finish();
+}
+
+fn tree_fit_large_fk_domain(c: &mut Criterion) {
+    let g = onexr::generate(OneXrParams {
+        n_s: 2000,
+        n_r: 500,
+        ..Default::default()
+    });
+    let ds = build_dataset(&g.star, &FeatureConfig::NoJoin).expect("builds");
+    c.bench_function("tree_fit/nojoin_nr500", |b| {
+        b.iter(|| {
+            DecisionTree::fit(
+                &ds,
+                TreeParams::new(SplitCriterion::Gini).with_minsplit(10).with_cp(1e-3),
+            )
+            .expect("fits")
+        })
+    });
+}
+
+fn smo_training(c: &mut Criterion) {
+    let g = onexr::generate(OneXrParams {
+        n_s: 600,
+        ..Default::default()
+    });
+    let ds = build_dataset(&g.star, &FeatureConfig::JoinAll).expect("builds");
+    let train = ds.subset(&g.train_idx());
+    let mm = MatchMatrix::compute(&train);
+    c.bench_function("smo/rbf_n600", |b| {
+        b.iter(|| {
+            SvmModel::fit_precomputed(
+                &train,
+                &mm,
+                SvmParams::new(KernelKind::Rbf { gamma: 0.1 }, 10.0),
+            )
+            .expect("fits")
+        })
+    });
+    c.bench_function("match_matrix/n600", |b| {
+        b.iter(|| MatchMatrix::compute(&train))
+    });
+}
+
+fn fk_compression(c: &mut Criterion) {
+    let g = onexr::generate(OneXrParams {
+        n_s: 4000,
+        n_r: 1000,
+        ..Default::default()
+    });
+    let ds = build_dataset(&g.star, &FeatureConfig::NoJoin).expect("builds");
+    let train = ds.subset(&g.train_idx());
+    let fk = train
+        .features()
+        .iter()
+        .position(|f| matches!(f.provenance, hamlet_ml::dataset::Provenance::ForeignKey { .. }))
+        .expect("has an FK");
+    let mut group = c.benchmark_group("fk_compression");
+    group.bench_function("random_hash", |b| {
+        b.iter(|| {
+            build_compression(&train, fk, 25, CompressionMethod::RandomHash { seed: 1 })
+                .expect("builds")
+        })
+    });
+    group.bench_function("sort_based", |b| {
+        b.iter(|| build_compression(&train, fk, 25, CompressionMethod::SortBased).expect("builds"))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    join_vs_nojoin_materialization,
+    tree_fit_large_fk_domain,
+    smo_training,
+    fk_compression
+);
+criterion_main!(benches);

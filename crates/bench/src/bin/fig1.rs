@@ -1,0 +1,59 @@
+//! **Figure 1** — end-to-end runtimes (join, grid-search tuning, training
+//! and testing) of JoinAll vs NoJoin for the six model families of the
+//! figure on all seven emulated datasets, plus the speedup ratio.
+//!
+//! Absolute seconds differ from the paper's CloudLab/GPU testbed; the claim
+//! under reproduction is the *ratio* (≈2× for high-capacity models, much
+//! larger for NB with backward selection). The Criterion bench
+//! `fig1_runtimes` measures the same quantity with statistical rigour.
+//!
+//! ```text
+//! cargo run --release -p hamlet-bench --bin fig1
+//! ```
+
+use hamlet_bench::{table_budget, target_n_s, write_json, TablePrinter};
+use hamlet_core::prelude::*;
+use hamlet_datagen::prelude::*;
+
+fn main() {
+    let budget = table_budget();
+    let target = target_n_s();
+    // Figure 1's six panels.
+    let specs = [
+        ModelSpec::TreeGini,
+        ModelSpec::OneNN,
+        ModelSpec::SvmRbf,
+        ModelSpec::Ann,
+        ModelSpec::NaiveBayesBfs,
+        ModelSpec::LogRegL1,
+    ];
+
+    println!("Figure 1: end-to-end runtimes (seconds) JoinAll vs NoJoin\n");
+    let mut artifacts: Vec<RunResult> = Vec::new();
+    for model in specs {
+        println!("— {} —", model.name());
+        let printer = TablePrinter::new(
+            &["Dataset", "JoinAll(s)", "NoJoin(s)", "Speedup"],
+            &[8, 10, 10, 8],
+        );
+        for spec in EmulatorSpec::all() {
+            let g = spec.generate_scaled(target, 0xDA7A);
+            let ja = run_experiment(&g, model, &FeatureConfig::JoinAll, &budget)
+                .expect("experiment runs");
+            let nj = run_experiment(&g, model, &FeatureConfig::NoJoin, &budget)
+                .expect("experiment runs");
+            printer.row(&[
+                spec.name,
+                &format!("{:.3}", ja.seconds),
+                &format!("{:.3}", nj.seconds),
+                &format!("{:.2}x", ja.seconds / nj.seconds.max(1e-9)),
+            ]);
+            artifacts.push(ja);
+            artifacts.push(nj);
+        }
+        println!();
+    }
+    write_json("fig1", &artifacts);
+    println!("Shape check (paper §3.3): NoJoin is consistently faster; the speedup is");
+    println!("largest for NB-BFS (feature-selection cost scales with feature count).");
+}

@@ -1,0 +1,102 @@
+//! **Figure 10** — foreign-key domain compression (§6.1): holdout accuracy
+//! of the gini decision tree under NoJoin on (A) Flights and (B) Yelp as
+//! the FK domain budget `l` grows, comparing the Random hashing trick
+//! (averaged over five seeds, as in the paper) against the supervised
+//! Sort-based method.
+//!
+//! ```text
+//! cargo run --release -p hamlet-bench --bin fig10
+//! ```
+
+use hamlet_bench::{acc, table_budget, target_n_s, write_json, TablePrinter};
+use hamlet_core::prelude::*;
+use hamlet_datagen::prelude::*;
+use hamlet_ml::dataset::Provenance;
+use hamlet_ml::prelude::Classifier;
+
+/// Compresses one chosen FK feature (the interpretability bottleneck §6.1
+/// targets — "a foreign key feature with 1000s of values") to budget `l`,
+/// trains a tuned gini tree, and returns test accuracy. Other FKs keep
+/// their full domains, as in the paper's setup.
+fn run_with_budget(
+    data: &ExperimentData,
+    target_dim: usize,
+    l: u32,
+    method: CompressionMethod,
+    budget: &Budget,
+) -> f64 {
+    let target_fk = data
+        .train
+        .features()
+        .iter()
+        .position(|f| matches!(f.provenance, Provenance::ForeignKey { dim } if dim == target_dim))
+        .expect("NoJoin data has the requested FK feature");
+
+    let comp = build_compression(&data.train, target_fk, l, method).expect("compression builds");
+    let train = comp.apply(&data.train).expect("train applies");
+    let val = comp.apply(&data.val).expect("val applies");
+    let test = comp.apply(&data.test).expect("test applies");
+    let tuned = ModelSpec::TreeGini
+        .fit_tuned(&train, &val, budget)
+        .expect("tree fits");
+    tuned.model.accuracy(&test)
+}
+
+fn main() {
+    let budget = table_budget();
+    let target = target_n_s();
+    let budgets: [u32; 5] = [2, 5, 10, 25, 50];
+    println!("Figure 10: FK domain compression, gini decision tree, NoJoin\n");
+
+    let mut artifacts: Vec<(String, u32, String, f64)> = Vec::new();
+    // Compressed FK per panel: Flights → airlines (dim 0, the FK whose
+    // per-key signal a practitioner would want readable); Yelp → users
+    // (dim 1, the paper's huge-domain offender).
+    for (panel, spec, target_dim) in [
+        ("(A) Flights", EmulatorSpec::flights(), 0usize),
+        ("(B) Yelp", EmulatorSpec::yelp(), 1usize),
+    ] {
+        let g = spec.generate_scaled(target, 0xDA7A);
+        let data = build_splits(&g, &FeatureConfig::NoJoin).expect("splits build");
+        println!("{panel}");
+        let printer = TablePrinter::new(
+            &["budget l", "Random", "Sort-based", "Rate-based*"],
+            &[9, 9, 10, 11],
+        );
+
+        // Uncompressed reference (l = full domain).
+        let tuned = ModelSpec::TreeGini
+            .fit_tuned(&data.train, &data.val, &budget)
+            .expect("tree fits");
+        let full_acc = tuned.model.accuracy(&data.test);
+
+        for &l in &budgets {
+            // Random: average over five hash seeds (paper methodology).
+            let mut random_sum = 0.0;
+            for seed in 0..5u64 {
+                random_sum += run_with_budget(
+                    &data,
+                    target_dim,
+                    l,
+                    CompressionMethod::RandomHash { seed: 0x5EED + seed },
+                    &budget,
+                );
+            }
+            let random = random_sum / 5.0;
+            let sorted = run_with_budget(&data, target_dim, l, CompressionMethod::SortBased, &budget);
+            let rated = run_with_budget(&data, target_dim, l, CompressionMethod::RateBased, &budget);
+            printer.row(&[&format!("{l}"), &acc(random), &acc(sorted), &acc(rated)]);
+            artifacts.push((spec.name.to_string(), l, "Random".into(), random));
+            artifacts.push((spec.name.to_string(), l, "Sort-based".into(), sorted));
+            artifacts.push((spec.name.to_string(), l, "Rate-based".into(), rated));
+        }
+        println!("uncompressed (l = |D_FK|): {}\n", acc(full_acc));
+        artifacts.push((spec.name.to_string(), u32::MAX, "Uncompressed".into(), full_acc));
+    }
+    write_json("fig10", &artifacts);
+    println!("Shape check (paper §6.1): Sort-based ≥ Random, gap largest at small l and");
+    println!("narrowing as l grows; accuracy at tiny budgets stays surprisingly close to");
+    println!("(or above) the uncompressed NoJoin accuracy.");
+    println!("(*) Rate-based is this library's sign-aware extension of Sort-based; it");
+    println!("dominates when the compressed FK itself carries the signal (see DESIGN.md).");
+}

@@ -1,0 +1,26 @@
+//! **Figure 7** — Scenario `RepOneXr` (driving feature replicated across
+//! `X_R`), gini decision tree: sweep `d_R` at (A) `n_R = 40` (tuple ratio
+//! 25×) and (B) `n_R = 200` (tuple ratio 5×).
+//!
+//! ```text
+//! cargo run --release -p hamlet-bench --bin fig7
+//! ```
+
+use hamlet_bench::{mc_runs, print_sweep, sim_budget, write_json};
+use hamlet_bench::reponexr_sweep;
+use hamlet_core::prelude::*;
+
+fn main() {
+    let budget = sim_budget();
+    let runs = mc_runs();
+    println!("Figure 7: RepOneXr, gini decision tree ({runs} runs/point)");
+
+    let a = reponexr_sweep(ModelSpec::TreeGini, 40, runs, &budget);
+    print_sweep("(A) vary d_R at n_R = 40 (ratio 25x)", "d_R", &a, |bv| bv.avg_error);
+
+    let b = reponexr_sweep(ModelSpec::TreeGini, 200, runs, &budget);
+    print_sweep("(B) vary d_R at n_R = 200 (ratio 5x)", "d_R", &b, |bv| bv.avg_error);
+
+    write_json("fig7", &vec![("A_nr40", a), ("B_nr200", b)]);
+    println!("\nShape check (paper §4.3): JoinAll ≈ NoJoin in both panels for the tree.");
+}

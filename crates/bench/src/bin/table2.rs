@@ -1,0 +1,88 @@
+//! **Tables 2 and 5** — holdout test accuracy (T2) and training accuracy
+//! (T5) for the three decision trees (gini / information gain / gain ratio)
+//! under JoinAll / NoJoin / NoFK, plus 1-NN under JoinAll / NoJoin, on all
+//! seven emulated datasets.
+//!
+//! ```text
+//! cargo run --release -p hamlet-bench --bin table2
+//! ```
+
+use hamlet_bench::{acc, table_budget, target_n_s, three_configs, two_configs, write_json, TablePrinter};
+use hamlet_core::prelude::*;
+use hamlet_datagen::prelude::*;
+
+fn main() {
+    let budget = table_budget();
+    let target = target_n_s();
+    let tree_specs = [
+        ModelSpec::TreeGini,
+        ModelSpec::TreeInfoGain,
+        ModelSpec::TreeGainRatio,
+    ];
+
+    let mut all_results: Vec<RunResult> = Vec::new();
+    for table in ["Table 2 (holdout test accuracy)", "Table 5 (training accuracy)"] {
+        println!("\n{table}: decision trees and 1-NN\n");
+        let printer = TablePrinter::new(
+            &[
+                "Dataset", "Gini:JoinAll", "Gini:NoJoin", "Gini:NoFK", "IG:JoinAll",
+                "IG:NoJoin", "IG:NoFK", "GR:JoinAll", "GR:NoJoin", "GR:NoFK",
+                "1NN:JoinAll", "1NN:NoJoin",
+            ],
+            &[8, 12, 12, 10, 10, 10, 8, 10, 10, 8, 11, 11],
+        );
+        let is_test = table.starts_with("Table 2");
+
+        for spec in EmulatorSpec::all() {
+            let g = spec.generate_scaled(target, 0xDA7A);
+            let mut cells: Vec<String> = vec![spec.name.to_string()];
+            for model in tree_specs {
+                for config in three_configs() {
+                    let r = cached_run(&mut all_results, &g, spec.name, model, &config, &budget);
+                    cells.push(acc(if is_test { r.0 } else { r.1 }));
+                }
+            }
+            for config in two_configs() {
+                let r = cached_run(
+                    &mut all_results,
+                    &g,
+                    spec.name,
+                    ModelSpec::OneNN,
+                    &config,
+                    &budget,
+                );
+                cells.push(acc(if is_test { r.0 } else { r.1 }));
+            }
+            let refs: Vec<&str> = cells.iter().map(String::as_str).collect();
+            printer.row(&refs);
+        }
+    }
+    write_json("table2_table5", &all_results);
+
+    println!("\nShape check (paper §3.3): NoJoin within ~1% of JoinAll everywhere except");
+    println!("Yelp; NoFK visibly worse on FK-effect datasets (e.g. Flights).");
+}
+
+/// Runs (or reuses) one cell; returns (test accuracy, train accuracy).
+fn cached_run(
+    cache: &mut Vec<RunResult>,
+    g: &GeneratedStar,
+    dataset: &str,
+    model: ModelSpec,
+    config: &FeatureConfig,
+    budget: &Budget,
+) -> (f64, f64) {
+    let key_model = model.name();
+    let key_config = config.name();
+    if let Some(r) = cache
+        .iter()
+        .find(|r| r.model == key_model && r.config == key_config && r.winner.starts_with(&format!("[{dataset}] ")))
+    {
+        return (r.test_accuracy, r.train_accuracy);
+    }
+    let mut r = run_experiment(g, model, config, budget).expect("experiment runs");
+    r.winner = format!("[{dataset}] {}", r.winner);
+    let out = (r.test_accuracy, r.train_accuracy);
+    cache.push(r);
+    out
+}

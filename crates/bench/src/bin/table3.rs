@@ -1,0 +1,93 @@
+//! **Tables 3 and 6** — holdout test accuracy (T3) and training accuracy
+//! (T6) for the three SVMs (linear / quadratic / RBF), the ANN, Naive Bayes
+//! with backward selection and L1 logistic regression, each under JoinAll
+//! and NoJoin, on all seven emulated datasets.
+//!
+//! ```text
+//! cargo run --release -p hamlet-bench --bin table3
+//! ```
+
+use hamlet_bench::{acc, table_budget, target_n_s, two_configs, write_json, TablePrinter};
+use hamlet_core::prelude::*;
+use hamlet_datagen::prelude::*;
+
+fn main() {
+    let budget = table_budget();
+    let target = target_n_s();
+    let specs = [
+        ModelSpec::SvmLinear,
+        ModelSpec::SvmQuadratic,
+        ModelSpec::SvmRbf,
+        ModelSpec::Ann,
+        ModelSpec::NaiveBayesBfs,
+        ModelSpec::LogRegL1,
+    ];
+
+    // Run everything once, reporting both accuracies from the same fits.
+    let mut results: Vec<(String, RunResult)> = Vec::new();
+    for spec in EmulatorSpec::all() {
+        let g = spec.generate_scaled(target, 0xDA7A);
+        for model in specs {
+            for config in two_configs() {
+                let r = run_experiment(&g, model, &config, &budget).expect("experiment runs");
+                eprintln!(
+                    "[{}] {} {}: test {:.4} ({:.1}s)",
+                    spec.name,
+                    r.model,
+                    r.config,
+                    r.test_accuracy,
+                    r.seconds
+                );
+                results.push((spec.name.to_string(), r));
+            }
+        }
+    }
+
+    for (table, test) in [("Table 3 (holdout test accuracy)", true), ("Table 6 (training accuracy)", false)] {
+        println!("\n{table}: SVMs, ANN, NB-BFS, LogReg-L1\n");
+        let mut headers = vec!["Dataset".to_string()];
+        for model in specs {
+            headers.push(format!("{}:JA", short(model)));
+            headers.push(format!("{}:NJ", short(model)));
+        }
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let widths = vec![8usize; headers.len()];
+        let printer = TablePrinter::new(&header_refs, &widths);
+
+        for spec in EmulatorSpec::all() {
+            let mut cells = vec![spec.name.to_string()];
+            for model in specs {
+                for config in two_configs() {
+                    let r = results
+                        .iter()
+                        .find(|(d, r)| {
+                            d == spec.name && r.model == model.name() && r.config == config.name()
+                        })
+                        .map(|(_, r)| if test { r.test_accuracy } else { r.train_accuracy })
+                        .expect("cell was computed");
+                    cells.push(acc(r));
+                }
+            }
+            let refs: Vec<&str> = cells.iter().map(String::as_str).collect();
+            printer.row(&refs);
+        }
+    }
+    let flat: Vec<&RunResult> = results.iter().map(|(_, r)| r).collect();
+    write_json("table3_table6", &flat);
+
+    println!("\nShape check (paper §3.3): NoJoin within ~1% of JoinAll for the");
+    println!("high-capacity models except Yelp (RBF-SVM/ANN drop ≈0.01); linear");
+    println!("models show the larger Yelp drop (≈0.03).");
+}
+
+fn short(m: ModelSpec) -> &'static str {
+    match m {
+        ModelSpec::SvmLinear => "Lin",
+        ModelSpec::SvmQuadratic => "Quad",
+        ModelSpec::SvmRbf => "RBF",
+        ModelSpec::Ann => "ANN",
+        ModelSpec::NaiveBayesBfs => "NB",
+        ModelSpec::LogRegL1 => "LR",
+        _ => m.name(),
+    }
+}

@@ -1,0 +1,308 @@
+//! Shared harness for the experiment binaries (one per paper table/figure).
+//!
+//! Environment knobs honoured by every binary:
+//!
+//! | variable | meaning | default |
+//! |---|---|---|
+//! | `HAMLET_SCALE` | target `n_S` for the Table-1 dataset emulators | 8000 |
+//! | `HAMLET_RUNS` | Monte-Carlo runs per simulation point | 20 (paper: 100) |
+//! | `HAMLET_FULL` | `1` → paper-fidelity grids & big ANN everywhere | off |
+//!
+//! Each binary prints the paper's rows/series as an aligned text table and
+//! writes the same data as JSON under `target/experiments/` so
+//! EXPERIMENTS.md numbers are regenerable artifacts.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use hamlet_core::prelude::*;
+
+/// Target emulator size (total labelled examples) from `HAMLET_SCALE`.
+pub fn target_n_s() -> usize {
+    std::env::var("HAMLET_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8000)
+}
+
+/// Monte-Carlo run count from `HAMLET_RUNS` (paper: 100).
+pub fn mc_runs() -> usize {
+    std::env::var("HAMLET_RUNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20)
+        .max(2)
+}
+
+/// Whether full paper fidelity was requested.
+pub fn full_fidelity() -> bool {
+    std::env::var("HAMLET_FULL").is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+}
+
+/// Budget for the real-data (emulator) experiments: paper grids, with
+/// kernel/ANN sample caps unless `HAMLET_FULL=1`.
+pub fn table_budget() -> Budget {
+    if full_fidelity() {
+        Budget::paper()
+    } else {
+        Budget {
+            full_grids: true,
+            max_kernel_rows: 1500,
+            max_knn_rows: 20_000,
+            max_ann_rows: 4000,
+            ann_epochs: 10,
+            small_ann: true,
+            logreg_nlambda: 20,
+            tree_categorical: hamlet_ml::tree::CategoricalSplit::SubsetPartition,
+            seed: 0xB4D6E7,
+        }
+    }
+}
+
+/// Budget for the Monte-Carlo simulations: reduced grids unless
+/// `HAMLET_FULL=1` (each point repeats tuning `HAMLET_RUNS` times).
+pub fn sim_budget() -> Budget {
+    if full_fidelity() {
+        Budget::paper()
+    } else {
+        Budget::quick()
+    }
+}
+
+/// Simple fixed-width table printer (locked, buffered stdout).
+pub struct TablePrinter {
+    widths: Vec<usize>,
+}
+
+impl TablePrinter {
+    /// Creates a printer and emits the header row.
+    pub fn new(headers: &[&str], widths: &[usize]) -> Self {
+        assert_eq!(headers.len(), widths.len());
+        let p = Self {
+            widths: widths.to_vec(),
+        };
+        p.row(headers);
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        let refs: Vec<&str> = rule.iter().map(String::as_str).collect();
+        p.row(&refs);
+        p
+    }
+
+    /// Emits one row, left-padding each cell to its column width.
+    pub fn row(&self, cells: &[&str]) {
+        let stdout = std::io::stdout();
+        let mut lock = stdout.lock();
+        let mut line = String::new();
+        for (cell, w) in cells.iter().zip(&self.widths) {
+            line.push_str(&format!("{cell:<w$}  ", w = *w));
+        }
+        writeln!(lock, "{}", line.trim_end()).expect("stdout");
+    }
+}
+
+/// Formats an accuracy to the paper's 4 decimal places.
+pub fn acc(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+/// Formats an error to 4 decimal places.
+pub fn err(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+/// Writes a serialisable artifact to `target/experiments/<name>.json`.
+pub fn write_json<T: serde::Serialize>(name: &str, value: &T) {
+    let dir = PathBuf::from("target/experiments");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                eprintln!("[artifact] {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: serialisation failed for {name}: {e}"),
+    }
+}
+
+/// One point of a simulation sweep: the Domingos decomposition for a
+/// (sweep value, feature config) pair.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct SweepPoint {
+    /// The swept parameter's value at this point.
+    pub x: f64,
+    /// Feature-config name (`UseAll` in the paper's figures = `JoinAll`).
+    pub config: String,
+    /// Decomposition across the Monte-Carlo runs.
+    pub bv: BiasVariance,
+}
+
+/// Runs a Monte-Carlo sweep: for each `x`, for each config, `runs`
+/// training sets are drawn via `gen(x, sample_seed)` and decomposed against
+/// `bayes(x, eval_star)`.
+pub fn mc_sweep<G, B>(
+    xs: &[f64],
+    gen: G,
+    bayes: B,
+    spec: ModelSpec,
+    configs: &[FeatureConfig],
+    budget: &Budget,
+    runs: usize,
+) -> Vec<SweepPoint>
+where
+    G: Fn(f64, u64) -> hamlet_datagen::sim::GeneratedStar,
+    B: Fn(f64, &hamlet_datagen::sim::GeneratedStar) -> Option<Vec<bool>>,
+{
+    let mut out = Vec::with_capacity(xs.len() * configs.len());
+    for &x in xs {
+        for config in configs {
+            let point = run_monte_carlo(
+                |seed| gen(x, seed),
+                |gs| bayes(x, gs),
+                runs,
+                spec,
+                config,
+                budget,
+                0xC0FFEE ^ (x * 1024.0) as u64,
+            )
+            .expect("simulation point runs");
+            eprintln!(
+                "  x={x:<8} {:<8} err={:.4} netvar={:+.4}",
+                point.config, point.result.avg_error, point.result.net_variance
+            );
+            out.push(SweepPoint {
+                x,
+                config: point.config,
+                bv: point.result,
+            });
+        }
+    }
+    out
+}
+
+/// Prints a sweep as a table: one row per x, one column per config, cell =
+/// `extract(bv)`.
+pub fn print_sweep(
+    title: &str,
+    x_label: &str,
+    points: &[SweepPoint],
+    extract: impl Fn(&BiasVariance) -> f64,
+) {
+    println!("\n{title}");
+    let mut configs: Vec<String> = Vec::new();
+    for p in points {
+        if !configs.contains(&p.config) {
+            configs.push(p.config.clone());
+        }
+    }
+    let mut headers = vec![x_label.to_string()];
+    headers.extend(configs.iter().cloned());
+    let refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let widths = vec![12usize; headers.len()];
+    let printer = TablePrinter::new(&refs, &widths);
+    let mut xs: Vec<f64> = Vec::new();
+    for p in points {
+        if !xs.contains(&p.x) {
+            xs.push(p.x);
+        }
+    }
+    for &x in &xs {
+        let mut cells = vec![format!("{x}")];
+        for c in &configs {
+            let v = points
+                .iter()
+                .find(|p| p.x == x && &p.config == c)
+                .map(|p| extract(&p.bv))
+                .unwrap_or(f64::NAN);
+            cells.push(format!("{v:.4}"));
+        }
+        let refs: Vec<&str> = cells.iter().map(String::as_str).collect();
+        printer.row(&refs);
+    }
+}
+
+/// The shared Figure 7/8/9 sweep: RepOneXr, vary `d_R ∈ {1,4,8,12,16}` at a
+/// fixed `n_R`, with `(n_S, d_S) = (1000, 4)` and `p = 0.1`.
+pub fn reponexr_sweep(
+    spec: ModelSpec,
+    n_r: u32,
+    runs: usize,
+    budget: &Budget,
+) -> Vec<SweepPoint> {
+    use hamlet_core::montecarlo::onexr_bayes;
+    use hamlet_datagen::prelude::*;
+    let p = RepOneXrParams::default().p;
+    mc_sweep(
+        &[1.0, 4.0, 8.0, 12.0, 16.0],
+        move |x, seed| {
+            reponexr::generate(RepOneXrParams {
+                d_r: x as usize,
+                n_r,
+                seed,
+                ..Default::default()
+            })
+        },
+        move |_, gs| onexr_bayes(gs, p),
+        spec,
+        &three_configs(),
+        budget,
+        runs,
+    )
+}
+
+/// The three headline configs, in the tables' column order.
+pub fn three_configs() -> Vec<FeatureConfig> {
+    vec![
+        FeatureConfig::JoinAll,
+        FeatureConfig::NoJoin,
+        FeatureConfig::NoFK,
+    ]
+}
+
+/// The two headline configs (models where the paper omits NoFK).
+pub fn two_configs() -> Vec<FeatureConfig> {
+    vec![FeatureConfig::JoinAll, FeatureConfig::NoJoin]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knob_defaults() {
+        // Do not set env vars here (tests run in one process); just check
+        // the defaults parse sanely when unset.
+        if std::env::var("HAMLET_RUNS").is_err() {
+            assert_eq!(mc_runs(), 20);
+        }
+        if std::env::var("HAMLET_SCALE").is_err() {
+            assert_eq!(target_n_s(), 8000);
+        }
+    }
+
+    #[test]
+    fn budgets_differ_by_fidelity() {
+        let t = table_budget();
+        assert!(t.full_grids);
+        let s = sim_budget();
+        if !full_fidelity() {
+            assert!(!s.full_grids);
+        }
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(acc(0.85371), "0.8537");
+        assert_eq!(err(0.04999), "0.0500");
+    }
+
+    #[test]
+    fn config_lists() {
+        assert_eq!(three_configs().len(), 3);
+        assert_eq!(two_configs().len(), 2);
+    }
+}

@@ -1,0 +1,254 @@
+//! The tuple-ratio advisor: decide *before sourcing a table* whether its
+//! join can be safely avoided.
+//!
+//! The practical deliverable of the paper: given only the dimension table's
+//! **cardinality** (no contents needed!), compare the tuple ratio
+//! `n_train / n_R` against a per-model-family threshold:
+//!
+//! | family | threshold | provenance |
+//! |---|---|---|
+//! | decision trees & ANN | ≈ 3× | §3.3 ("the tuple ratio threshold being only about 3x") |
+//! | RBF-SVM | ≈ 6× | §3.3 ("about 6x") |
+//! | linear models | ≈ 20× | §3.3 / prior SIGMOD'16 work |
+//!
+//! The advisor is deliberately *conservative*: a ratio below threshold means
+//! "the error is at risk of rising", not that it certainly will (the paper's
+//! Books dataset stays safe at ratio 2.6 — §3.3, footnote 8).
+
+use hamlet_relation::star::StarSchema;
+
+use crate::model_zoo::ModelFamily;
+
+/// Advisor thresholds established by the paper's empirical study.
+pub fn threshold(family: ModelFamily) -> f64 {
+    match family {
+        ModelFamily::TreeOrAnn => 3.0,
+        ModelFamily::KernelSvm => 6.0,
+        ModelFamily::Linear => 20.0,
+    }
+}
+
+/// The advisor's verdict for one dimension table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Advice {
+    /// Tuple ratio clears the threshold: skip the join, learn on the FK.
+    AvoidJoin,
+    /// Tuple ratio is below threshold: source and join the table.
+    RetainJoin,
+    /// Open-domain FK: the table can never be discarded (Table 1 "N/A").
+    CannotDiscard,
+}
+
+/// Per-dimension advisor output.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct DimensionAdvice {
+    /// Dimension table name.
+    pub dimension: String,
+    /// Tuple ratio `n_train / n_R`.
+    pub tuple_ratio: f64,
+    /// Threshold applied.
+    pub threshold: f64,
+    /// The verdict.
+    pub advice: Advice,
+}
+
+/// Full advisor report for a star schema under one model family.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct AdvisorReport {
+    /// Model family the report was computed for.
+    pub family: ModelFamily,
+    /// Number of training examples used for the ratios.
+    pub n_train: usize,
+    /// One verdict per dimension, in schema order.
+    pub dimensions: Vec<DimensionAdvice>,
+}
+
+impl AdvisorReport {
+    /// Whether every closed-domain dimension can be avoided.
+    pub fn all_avoidable(&self) -> bool {
+        self.dimensions
+            .iter()
+            .all(|d| d.advice != Advice::RetainJoin)
+    }
+
+    /// Names of dimensions that must be retained (joined).
+    pub fn retained(&self) -> Vec<&str> {
+        self.dimensions
+            .iter()
+            .filter(|d| d.advice == Advice::RetainJoin)
+            .map(|d| d.dimension.as_str())
+            .collect()
+    }
+}
+
+/// A concrete data-sourcing plan derived from an [`AdvisorReport`] — the
+/// paper's "automated advisor for data sourcing" future-work item (§8) in
+/// its simplest useful form: which tables to procure, which to skip, and
+/// how many more labelled examples would unlock skipping the rest.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct SourcingPlan {
+    /// Dimension tables worth procuring and joining.
+    pub procure: Vec<String>,
+    /// Dimension tables to skip (learn on their FKs instead).
+    pub skip: Vec<String>,
+    /// Dimension tables that must always be joined (open-domain FKs).
+    pub always_join: Vec<String>,
+    /// If every `procure` entry should instead be skipped, this many
+    /// training examples would be needed (max over retained dimensions of
+    /// `threshold × n_R`). `None` when nothing is retained.
+    pub n_train_to_skip_all: Option<usize>,
+}
+
+/// Derives a sourcing plan for a model family. The interesting output for
+/// a data scientist who has *not yet procured* the dimension tables: the
+/// `skip` list says which access requests never need to be filed, and
+/// `n_train_to_skip_all` quantifies the label-collection alternative.
+pub fn sourcing_plan(star: &StarSchema, n_train: usize, family: ModelFamily) -> SourcingPlan {
+    let report = advise(star, n_train, family);
+    let thr = threshold(family);
+    let mut procure = Vec::new();
+    let mut skip = Vec::new();
+    let mut always_join = Vec::new();
+    let mut needed: Option<usize> = None;
+    for (d, dim) in report.dimensions.iter().zip(star.dims()) {
+        match d.advice {
+            Advice::AvoidJoin => skip.push(d.dimension.clone()),
+            Advice::CannotDiscard => always_join.push(d.dimension.clone()),
+            Advice::RetainJoin => {
+                procure.push(d.dimension.clone());
+                let req = (thr * dim.n_rows() as f64).ceil() as usize;
+                needed = Some(needed.map_or(req, |n| n.max(req)));
+            }
+        }
+    }
+    SourcingPlan {
+        procure,
+        skip,
+        always_join,
+        n_train_to_skip_all: needed,
+    }
+}
+
+/// Runs the advisor: needs only the schema, the training-set size and each
+/// dimension's cardinality — never the dimension's contents.
+pub fn advise(star: &StarSchema, n_train: usize, family: ModelFamily) -> AdvisorReport {
+    let thr = threshold(family);
+    let dimensions = star
+        .dims()
+        .iter()
+        .map(|d| {
+            let ratio = n_train as f64 / d.n_rows() as f64;
+            let advice = if d.open_domain {
+                Advice::CannotDiscard
+            } else if ratio >= thr {
+                Advice::AvoidJoin
+            } else {
+                Advice::RetainJoin
+            };
+            DimensionAdvice {
+                dimension: d.table.name().to_string(),
+                tuple_ratio: ratio,
+                threshold: thr,
+                advice,
+            }
+        })
+        .collect();
+    AdvisorReport {
+        family,
+        n_train,
+        dimensions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hamlet_datagen::prelude::*;
+
+    #[test]
+    fn thresholds_match_paper() {
+        assert_eq!(threshold(ModelFamily::TreeOrAnn), 3.0);
+        assert_eq!(threshold(ModelFamily::KernelSvm), 6.0);
+        assert_eq!(threshold(ModelFamily::Linear), 20.0);
+    }
+
+    #[test]
+    fn yelp_users_flagged_for_every_family() {
+        // Yelp R2 tuple ratio ≈ 2.5: below even the tree threshold.
+        let g = EmulatorSpec::yelp().generate_scaled(8000, 1);
+        for family in [
+            ModelFamily::TreeOrAnn,
+            ModelFamily::KernelSvm,
+            ModelFamily::Linear,
+        ] {
+            let report = advise(&g.star, g.n_train, family);
+            assert_eq!(
+                report.dimensions[1].advice,
+                Advice::RetainJoin,
+                "{family:?}"
+            );
+            assert!(!report.all_avoidable());
+            assert!(report.retained().contains(&"users"));
+        }
+        // High-capacity families retain only the users table; linear models
+        // (threshold 20×) must additionally retain businesses (ratio ≈ 9.4).
+        let tree = advise(&g.star, g.n_train, ModelFamily::TreeOrAnn);
+        assert_eq!(tree.retained(), vec!["users"]);
+        let linear = advise(&g.star, g.n_train, ModelFamily::Linear);
+        assert_eq!(linear.retained(), vec!["businesses", "users"]);
+    }
+
+    #[test]
+    fn high_ratio_dimensions_avoidable_for_trees_only_sometimes() {
+        // Yelp R1 ratio ≈ 9.4: avoidable for trees (3) and RBF (6), not
+        // for linear models (20).
+        let g = EmulatorSpec::yelp().generate_scaled(8000, 2);
+        let tree = advise(&g.star, g.n_train, ModelFamily::TreeOrAnn);
+        assert_eq!(tree.dimensions[0].advice, Advice::AvoidJoin);
+        let svm = advise(&g.star, g.n_train, ModelFamily::KernelSvm);
+        assert_eq!(svm.dimensions[0].advice, Advice::AvoidJoin);
+        let lin = advise(&g.star, g.n_train, ModelFamily::Linear);
+        assert_eq!(lin.dimensions[0].advice, Advice::RetainJoin);
+    }
+
+    #[test]
+    fn open_domain_cannot_be_discarded() {
+        let g = EmulatorSpec::expedia().generate_scaled(6000, 3);
+        let report = advise(&g.star, g.n_train, ModelFamily::TreeOrAnn);
+        assert_eq!(report.dimensions[1].advice, Advice::CannotDiscard);
+        // CannotDiscard is not "retain" in the report's retained() sense —
+        // there is no join-avoidance decision to make.
+        assert!(report.retained().is_empty() || report.retained() != vec!["searches"]);
+    }
+
+    #[test]
+    fn sourcing_plan_splits_tables_and_quantifies_labels() {
+        let g = EmulatorSpec::yelp().generate_scaled(8000, 7);
+        let plan = sourcing_plan(&g.star, g.n_train, ModelFamily::TreeOrAnn);
+        assert_eq!(plan.skip, vec!["businesses"]);
+        assert_eq!(plan.procure, vec!["users"]);
+        assert!(plan.always_join.is_empty());
+        // Skipping users instead requires 3 × n_R(users) training examples.
+        let users_rows = g.star.dims()[1].n_rows();
+        assert_eq!(plan.n_train_to_skip_all, Some(3 * users_rows));
+
+        // Walmart: nothing to procure, nothing needed.
+        let g = EmulatorSpec::walmart().generate_scaled(8000, 7);
+        let plan = sourcing_plan(&g.star, g.n_train, ModelFamily::TreeOrAnn);
+        assert!(plan.procure.is_empty());
+        assert_eq!(plan.n_train_to_skip_all, None);
+
+        // Expedia: searches can never be skipped.
+        let g = EmulatorSpec::expedia().generate_scaled(8000, 7);
+        let plan = sourcing_plan(&g.star, g.n_train, ModelFamily::TreeOrAnn);
+        assert_eq!(plan.always_join, vec!["searches"]);
+    }
+
+    #[test]
+    fn walmart_stores_trivially_avoidable() {
+        // Walmart R2 ratio ≈ 4684: avoidable for everything.
+        let g = EmulatorSpec::walmart().generate_scaled(8000, 4);
+        let report = advise(&g.star, g.n_train, ModelFamily::Linear);
+        assert_eq!(report.dimensions[1].advice, Advice::AvoidJoin);
+    }
+}

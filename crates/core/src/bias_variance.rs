@@ -1,0 +1,200 @@
+//! Domingos (ICML 2000) bias–variance decomposition for 0/1 loss.
+//!
+//! The simulation study (§4) reports *average test error* and *average net
+//! variance* over 100 Monte-Carlo training sets. For binary 0/1 loss the
+//! decomposition is:
+//!
+//! - **main prediction** `y_m(x)`: the majority vote across runs;
+//! - **bias** `B(x) = 1[y_m(x) ≠ y*(x)]` against the optimal (Bayes)
+//!   prediction `y*`;
+//! - **variance** `V(x) = P_D(pred ≠ y_m(x))`;
+//! - **net variance** `E_x[V(x)·1(B=0) − V(x)·1(B=1)]` — variance hurts on
+//!   unbiased points and (for binary 0/1 loss) *helps* on biased ones.
+//!
+//! In the noise-free binary case the identity
+//! `E[error] = bias + net variance` holds exactly; with label noise the
+//! remainder is the noise-interaction term. The unit tests pin both facts.
+
+use hamlet_ml::error::{MlError, Result};
+
+/// Aggregate decomposition over a test set.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BiasVariance {
+    /// Mean 0/1 test error across runs and test points.
+    pub avg_error: f64,
+    /// Mean bias `E_x[B(x)]`.
+    pub bias: f64,
+    /// Mean unbiased variance `E_x[V(x)·1(B=0)]`.
+    pub unbiased_variance: f64,
+    /// Mean biased variance `E_x[V(x)·1(B=1)]`.
+    pub biased_variance: f64,
+    /// `unbiased − biased` (the paper's "net variance").
+    pub net_variance: f64,
+    /// Number of Monte-Carlo runs aggregated.
+    pub runs: usize,
+}
+
+/// Decomposes error given per-run predictions on a shared test set.
+///
+/// * `predictions[k]` — run `k`'s predicted labels (all runs must cover the
+///   same test rows);
+/// * `test_labels` — the observed (possibly noisy) test labels;
+/// * `optimal` — the Bayes-optimal predictions when the true distribution
+///   is known (simulations know it); pass `None` to fall back to the
+///   observed labels (then noise is folded into bias, which is the standard
+///   estimator when `y*` is unknown).
+pub fn decompose(
+    predictions: &[Vec<bool>],
+    test_labels: &[bool],
+    optimal: Option<&[bool]>,
+) -> Result<BiasVariance> {
+    let runs = predictions.len();
+    if runs == 0 {
+        return Err(MlError::Invalid("need at least one run".into()));
+    }
+    let n = test_labels.len();
+    if n == 0 {
+        return Err(MlError::Invalid("empty test set".into()));
+    }
+    for (k, p) in predictions.iter().enumerate() {
+        if p.len() != n {
+            return Err(MlError::Shape {
+                detail: format!("run {k} predicted {} labels, expected {n}", p.len()),
+            });
+        }
+    }
+    if let Some(o) = optimal {
+        if o.len() != n {
+            return Err(MlError::Shape {
+                detail: "optimal labels length mismatch".into(),
+            });
+        }
+    }
+
+    let mut err_sum = 0.0f64;
+    let mut bias_sum = 0.0f64;
+    let mut vu_sum = 0.0f64;
+    let mut vb_sum = 0.0f64;
+    for i in 0..n {
+        let votes_pos = predictions.iter().filter(|p| p[i]).count();
+        let main = 2 * votes_pos >= runs;
+        let y_star = optimal.map_or(test_labels[i], |o| o[i]);
+        let biased = main != y_star;
+        let variance = predictions.iter().filter(|p| p[i] != main).count() as f64 / runs as f64;
+        let err = predictions
+            .iter()
+            .filter(|p| p[i] != test_labels[i])
+            .count() as f64
+            / runs as f64;
+
+        err_sum += err;
+        bias_sum += f64::from(u8::from(biased));
+        if biased {
+            vb_sum += variance;
+        } else {
+            vu_sum += variance;
+        }
+    }
+    let n = n as f64;
+    let unbiased_variance = vu_sum / n;
+    let biased_variance = vb_sum / n;
+    Ok(BiasVariance {
+        avg_error: err_sum / n,
+        bias: bias_sum / n,
+        unbiased_variance,
+        biased_variance,
+        net_variance: unbiased_variance - biased_variance,
+        runs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unanimous_correct_predictions_have_no_error() {
+        let truth = vec![true, false, true];
+        let preds = vec![truth.clone(), truth.clone(), truth.clone()];
+        let bv = decompose(&preds, &truth, Some(&truth)).unwrap();
+        assert_eq!(bv.avg_error, 0.0);
+        assert_eq!(bv.bias, 0.0);
+        assert_eq!(bv.net_variance, 0.0);
+        assert_eq!(bv.runs, 3);
+    }
+
+    #[test]
+    fn systematic_mistake_is_pure_bias() {
+        let truth = vec![true, true];
+        let wrong = vec![false, false];
+        let preds = vec![wrong.clone(), wrong.clone()];
+        let bv = decompose(&preds, &truth, Some(&truth)).unwrap();
+        assert_eq!(bv.avg_error, 1.0);
+        assert_eq!(bv.bias, 1.0);
+        assert_eq!(bv.net_variance, 0.0);
+    }
+
+    #[test]
+    fn disagreement_is_variance() {
+        // 4 runs on 1 point: 3 correct, 1 wrong → main correct, V = 0.25.
+        let truth = vec![true];
+        let preds = vec![vec![true], vec![true], vec![true], vec![false]];
+        let bv = decompose(&preds, &truth, Some(&truth)).unwrap();
+        assert!((bv.avg_error - 0.25).abs() < 1e-12);
+        assert_eq!(bv.bias, 0.0);
+        assert!((bv.unbiased_variance - 0.25).abs() < 1e-12);
+        assert!((bv.net_variance - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn biased_variance_reduces_error() {
+        // Main prediction wrong; the dissenting run is the correct one.
+        // error = 0.75 = bias (1.0) − biased variance (0.25).
+        let truth = vec![true];
+        let preds = vec![vec![false], vec![false], vec![false], vec![true]];
+        let bv = decompose(&preds, &truth, Some(&truth)).unwrap();
+        assert!((bv.avg_error - 0.75).abs() < 1e-12);
+        assert_eq!(bv.bias, 1.0);
+        assert!((bv.biased_variance - 0.25).abs() < 1e-12);
+        assert!((bv.net_variance + 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_free_identity_error_equals_bias_plus_net_variance() {
+        // Random-ish prediction pattern over 5 points, 7 runs; labels equal
+        // the Bayes predictions (noise-free), so the identity is exact.
+        let truth = vec![true, false, true, true, false];
+        let preds: Vec<Vec<bool>> = (0..7)
+            .map(|k| {
+                (0..5)
+                    .map(|i| ((i * 3 + k * 5 + (i & k)) % 4) != 0)
+                    .collect()
+            })
+            .collect();
+        let bv = decompose(&preds, &truth, Some(&truth)).unwrap();
+        assert!(
+            (bv.avg_error - (bv.bias + bv.net_variance)).abs() < 1e-12,
+            "identity violated: {bv:?}"
+        );
+    }
+
+    #[test]
+    fn shape_errors_rejected() {
+        assert!(decompose(&[], &[true], None).is_err());
+        assert!(decompose(&[vec![true]], &[], None).is_err());
+        assert!(decompose(&[vec![true, false]], &[true], None).is_err());
+        assert!(decompose(&[vec![true]], &[true], Some(&[true, false])).is_err());
+    }
+
+    #[test]
+    fn without_optimal_noise_folds_into_bias() {
+        // Model always predicts true; labels are true. With optimal = false
+        // (hypothetically), bias = 1; without optimal info, bias = 0.
+        let truth = vec![true];
+        let preds = vec![vec![true], vec![true]];
+        let with = decompose(&preds, &truth, Some(&[false])).unwrap();
+        assert_eq!(with.bias, 1.0);
+        let without = decompose(&preds, &truth, None).unwrap();
+        assert_eq!(without.bias, 0.0);
+    }
+}

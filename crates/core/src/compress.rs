@@ -1,0 +1,347 @@
+//! Foreign-key domain compression (§6.1).
+//!
+//! Large FK domains make trees unreadable. The paper evaluates two lossy
+//! maps `f : [m] → [l]` for a user budget `l ≪ m`:
+//!
+//! - **Random** — the unsupervised hashing trick: hash each code into `[l]`.
+//! - **Sort-based** — a supervised greedy method: sort the FK's codes by
+//!   the conditional entropy `H(Y | FK = z)` estimated on the training
+//!   split, compute adjacent differences, and cut at the top `l − 1` gaps,
+//!   yielding an `l`-partition that groups codes with comparable label
+//!   uncertainty.
+//!
+//! Maps are built on training data only and then applied to every split.
+
+use hamlet_ml::dataset::CatDataset;
+use hamlet_ml::error::{MlError, Result};
+
+/// Compression method (Figure 10 compares the paper's two; `RateBased` is
+/// this library's extension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum CompressionMethod {
+    /// Unsupervised random hashing into the budget.
+    RandomHash {
+        /// Hash seed (the paper averages five seeds).
+        seed: u64,
+    },
+    /// Supervised sort-by-conditional-entropy grouping — the paper's §6.1
+    /// method, verbatim. Note its blind spot: entropy is symmetric in the
+    /// class, so a pure-positive and a pure-negative FK value have equal
+    /// `H(Y|FK=z)` and can land in one group, cancelling out.
+    SortBased,
+    /// Extension: sort by the *positive rate* `P(Y=1 | FK = z)` instead of
+    /// its entropy. Same greedy top-gap cuts, but sign-aware, so groups
+    /// never mix opposing codes. Strictly dominates `SortBased` when the FK
+    /// is the signal carrier (see the `fk_compression` example and the
+    /// fig10 ablation column).
+    RateBased,
+}
+
+/// A total map from an FK's old codes onto `0..budget`.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct FkCompression {
+    /// Feature index the map applies to.
+    pub feature: usize,
+    /// `map[old_code] = new_code < budget`.
+    pub map: Vec<u32>,
+    /// New domain size.
+    pub budget: u32,
+}
+
+/// SplitMix64 — cheap, seedable, and good enough for the hashing trick.
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Builds a compression map for feature `feature` of the training split.
+pub fn build_compression(
+    train: &CatDataset,
+    feature: usize,
+    budget: u32,
+    method: CompressionMethod,
+) -> Result<FkCompression> {
+    if feature >= train.n_features() {
+        return Err(MlError::Invalid(format!(
+            "feature index {feature} out of range"
+        )));
+    }
+    if budget == 0 {
+        return Err(MlError::Invalid("budget must be positive".into()));
+    }
+    let m = train.feature(feature).cardinality;
+    if budget >= m {
+        // Nothing to compress: identity map.
+        return Ok(FkCompression {
+            feature,
+            map: (0..m).collect(),
+            budget: m,
+        });
+    }
+
+    let map = match method {
+        CompressionMethod::RandomHash { seed } => (0..m)
+            .map(|code| (splitmix64(seed ^ u64::from(code)) % u64::from(budget)) as u32)
+            .collect(),
+        CompressionMethod::SortBased | CompressionMethod::RateBased => {
+            // Per-code label counts on the training split.
+            let codes = train.column(feature);
+            let mut counts = vec![(0usize, 0usize); m as usize];
+            for (&c, &y) in codes.iter().zip(train.labels()) {
+                counts[c as usize].0 += 1;
+                counts[c as usize].1 += usize::from(y);
+            }
+            let entropy = |n: usize, pos: usize| -> f64 {
+                if n == 0 || pos == 0 || pos == n {
+                    return 0.0;
+                }
+                let p = pos as f64 / n as f64;
+                -(p * p.log2() + (1.0 - p) * (1.0 - p).log2())
+            };
+            // Sort key: H(Y|FK=z) for the paper's method, P(Y=1|FK=z) for
+            // the rate-based extension.
+            let key = |c: u32| -> f64 {
+                let (n, pos) = counts[c as usize];
+                match method {
+                    CompressionMethod::SortBased => entropy(n, pos),
+                    CompressionMethod::RateBased => pos as f64 / n.max(1) as f64,
+                    CompressionMethod::RandomHash { .. } => unreachable!(),
+                }
+            };
+            // Seen codes sorted by the key (ties by code for determinism;
+            // the paper breaks ties randomly).
+            let mut seen: Vec<u32> = (0..m).filter(|&c| counts[c as usize].0 > 0).collect();
+            seen.sort_by(|&a, &b| {
+                key(a)
+                    .partial_cmp(&key(b))
+                    .expect("sort keys are finite")
+                    .then(a.cmp(&b))
+            });
+
+            let mut map = vec![0u32; m as usize];
+            if seen.len() <= budget as usize {
+                // Each seen code gets its own group.
+                for (g, &c) in seen.iter().enumerate() {
+                    map[c as usize] = g as u32;
+                }
+                let spill = (seen.len() as u32).saturating_sub(1);
+                for c in 0..m {
+                    if counts[c as usize].0 == 0 {
+                        map[c as usize] = spill; // unseen codes share the
+                                                 // last (least certain) group
+                    }
+                }
+            } else {
+                // Top (budget − 1) adjacent key gaps become boundaries.
+                let gaps: Vec<(f64, usize)> = seen
+                    .windows(2)
+                    .enumerate()
+                    .map(|(i, w)| ((key(w[1]) - key(w[0])).abs(), i))
+                    .collect();
+                let mut by_gap = gaps.clone();
+                by_gap.sort_by(|a, b| {
+                    b.0.partial_cmp(&a.0).expect("gaps are finite").then(a.1.cmp(&b.1))
+                });
+                let mut boundaries: Vec<usize> =
+                    by_gap[..(budget as usize - 1)].iter().map(|&(_, i)| i).collect();
+                boundaries.sort_unstable();
+
+                let mut group = 0u32;
+                let mut next_boundary = 0usize;
+                for (pos, &c) in seen.iter().enumerate() {
+                    map[c as usize] = group;
+                    if next_boundary < boundaries.len() && pos == boundaries[next_boundary] {
+                        group += 1;
+                        next_boundary += 1;
+                    }
+                }
+                // Unseen codes join the final group: we know nothing about
+                // them, so they belong with the least informative codes.
+                for c in 0..m {
+                    if counts[c as usize].0 == 0 {
+                        map[c as usize] = group;
+                    }
+                }
+            }
+            map
+        }
+    };
+    // New domain size: highest group id actually assigned (≤ budget).
+    let budget_used = map.iter().copied().max().unwrap_or(0) + 1;
+    Ok(FkCompression {
+        feature,
+        map,
+        budget: budget_used,
+    })
+}
+
+impl FkCompression {
+    /// Applies the map to a dataset (any split), rewriting the FK column and
+    /// shrinking its cardinality.
+    pub fn apply(&self, ds: &CatDataset) -> Result<CatDataset> {
+        let codes = ds.column(self.feature);
+        let mapped: Vec<u32> = codes.iter().map(|&c| self.map[c as usize]).collect();
+        ds.replace_column(self.feature, mapped, self.budget)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hamlet_ml::dataset::{FeatureMeta, Provenance};
+
+    fn fk_dataset(m: u32, n_per_code: usize) -> CatDataset {
+        // Deterministic labels: codes < m/2 are mostly positive.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..m {
+            for i in 0..n_per_code {
+                rows.push(c);
+                let pos = c < m / 2;
+                labels.push(if i % 5 == 0 { !pos } else { pos });
+            }
+        }
+        CatDataset::new(
+            vec![FeatureMeta {
+                name: "fk".into(),
+                cardinality: m,
+                provenance: Provenance::ForeignKey { dim: 0 },
+            }],
+            rows,
+            labels,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn random_hash_respects_budget_and_is_total() {
+        let ds = fk_dataset(64, 4);
+        let c =
+            build_compression(&ds, 0, 8, CompressionMethod::RandomHash { seed: 7 }).unwrap();
+        assert_eq!(c.map.len(), 64);
+        assert!(c.map.iter().all(|&g| g < 8));
+        let applied = c.apply(&ds).unwrap();
+        assert!(applied.feature(0).cardinality <= 8);
+    }
+
+    #[test]
+    fn random_hash_is_seed_deterministic() {
+        let ds = fk_dataset(32, 2);
+        let a = build_compression(&ds, 0, 4, CompressionMethod::RandomHash { seed: 1 }).unwrap();
+        let b = build_compression(&ds, 0, 4, CompressionMethod::RandomHash { seed: 1 }).unwrap();
+        assert_eq!(a.map, b.map);
+        let c = build_compression(&ds, 0, 4, CompressionMethod::RandomHash { seed: 2 }).unwrap();
+        assert_ne!(a.map, c.map);
+    }
+
+    #[test]
+    fn sort_based_groups_by_entropy() {
+        let ds = fk_dataset(20, 10);
+        let c = build_compression(&ds, 0, 4, CompressionMethod::SortBased).unwrap();
+        assert!(c.map.iter().all(|&g| g < 4));
+        // All codes in this dataset have identical conditional entropy
+        // (same 4:1 mix), so sort order is by code and groups are contiguous
+        // runs — check the map is a valid partition either way.
+        let applied = c.apply(&ds).unwrap();
+        assert!(applied.feature(0).cardinality <= 4);
+    }
+
+    #[test]
+    fn sort_based_separates_pure_from_noisy_codes() {
+        // Codes 0..4 pure positive (H=0); codes 4..8 50/50 (H=1). With
+        // budget 2 the cut must land between the pure and noisy groups.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..8u32 {
+            for i in 0..10 {
+                rows.push(c);
+                labels.push(if c < 4 { true } else { i % 2 == 0 });
+            }
+        }
+        let ds = CatDataset::new(
+            vec![FeatureMeta {
+                name: "fk".into(),
+                cardinality: 8,
+                provenance: Provenance::ForeignKey { dim: 0 },
+            }],
+            rows,
+            labels,
+        )
+        .unwrap();
+        let c = build_compression(&ds, 0, 2, CompressionMethod::SortBased).unwrap();
+        let pure_group = c.map[0];
+        for code in 0..4 {
+            assert_eq!(c.map[code], pure_group);
+        }
+        for code in 4..8 {
+            assert_ne!(c.map[code], pure_group);
+        }
+    }
+
+    #[test]
+    fn rate_based_never_mixes_opposing_pure_codes() {
+        // Codes 0..4 pure positive, 4..8 pure negative. Entropy sorting sees
+        // them as identical (H = 0) and may merge them; rate sorting puts a
+        // clean boundary between the two signs.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..8u32 {
+            for _ in 0..6 {
+                rows.push(c);
+                labels.push(c < 4);
+            }
+        }
+        let ds = CatDataset::new(
+            vec![FeatureMeta {
+                name: "fk".into(),
+                cardinality: 8,
+                provenance: Provenance::ForeignKey { dim: 0 },
+            }],
+            rows,
+            labels,
+        )
+        .unwrap();
+        let c = build_compression(&ds, 0, 2, CompressionMethod::RateBased).unwrap();
+        // Negative codes (rate 0) sort first → group 0; positives → group 1.
+        for code in 0..4 {
+            assert_eq!(c.map[code + 4], 0, "negative codes share a group");
+            assert_eq!(c.map[code], 1, "positive codes share a group");
+        }
+    }
+
+    #[test]
+    fn budget_at_least_domain_is_identity() {
+        let ds = fk_dataset(8, 2);
+        let c = build_compression(&ds, 0, 100, CompressionMethod::SortBased).unwrap();
+        assert_eq!(c.map, (0..8).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn zero_budget_rejected() {
+        let ds = fk_dataset(8, 2);
+        assert!(build_compression(&ds, 0, 0, CompressionMethod::SortBased).is_err());
+        assert!(build_compression(&ds, 5, 2, CompressionMethod::SortBased).is_err());
+    }
+
+    #[test]
+    fn unseen_codes_get_a_group() {
+        // Cardinality 10 but only codes 0..3 appear.
+        let ds = CatDataset::new(
+            vec![FeatureMeta {
+                name: "fk".into(),
+                cardinality: 10,
+                provenance: Provenance::ForeignKey { dim: 0 },
+            }],
+            vec![0, 1, 2, 0, 1, 2],
+            vec![true, false, true, true, false, true],
+        )
+        .unwrap();
+        let c = build_compression(&ds, 0, 2, CompressionMethod::SortBased).unwrap();
+        for code in 0..10 {
+            assert!(c.map[code] < 2);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! One-stop experiment runner: (generated star, model, feature config) →
+//! tuned model + train/validation/test accuracies + end-to-end wall-clock.
+//!
+//! The timing convention follows Figure 1: the clock covers *everything
+//! downstream of the raw tables* — materializing whichever joins the config
+//! needs, splitting, grid-search tuning, final training and testing. That
+//! is exactly the work NoJoin saves.
+
+use std::time::Instant;
+
+use hamlet_datagen::sim::GeneratedStar;
+use hamlet_ml::error::Result;
+
+use crate::feature_config::{build_splits, FeatureConfig};
+use crate::model_zoo::{Budget, ModelSpec};
+
+/// Outcome of one (dataset, model, config) run.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct RunResult {
+    /// Model display name.
+    pub model: String,
+    /// Feature-config display name.
+    pub config: String,
+    /// Accuracy on the training split (Tables 5/6).
+    pub train_accuracy: f64,
+    /// Accuracy on the validation split (tuning objective).
+    pub val_accuracy: f64,
+    /// Accuracy on the holdout split (Tables 2/3).
+    pub test_accuracy: f64,
+    /// End-to-end seconds: join materialization + tuning + train + test.
+    pub seconds: f64,
+    /// Winning hyper-parameters.
+    pub winner: String,
+}
+
+/// Runs one experiment end to end.
+pub fn run_experiment(
+    gs: &GeneratedStar,
+    spec: ModelSpec,
+    config: &FeatureConfig,
+    budget: &Budget,
+) -> Result<RunResult> {
+    let start = Instant::now();
+    let data = build_splits(gs, config)?;
+    let tuned = spec.fit_tuned(&data.train, &data.val, budget)?;
+    let train_accuracy = tuned.model.accuracy(&data.train);
+    let test_accuracy = tuned.model.accuracy(&data.test);
+    let seconds = start.elapsed().as_secs_f64();
+    Ok(RunResult {
+        model: spec.name().to_string(),
+        config: config.name(),
+        train_accuracy,
+        val_accuracy: tuned.val_accuracy,
+        test_accuracy,
+        seconds,
+        winner: tuned.description,
+    })
+}
+
+/// Runs a batch of configs for one model, reusing nothing across configs —
+/// by design, so the measured runtimes include each config's own join work.
+pub fn run_configs(
+    gs: &GeneratedStar,
+    spec: ModelSpec,
+    configs: &[FeatureConfig],
+    budget: &Budget,
+) -> Result<Vec<RunResult>> {
+    configs
+        .iter()
+        .map(|c| run_experiment(gs, spec, c, budget))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hamlet_datagen::prelude::*;
+
+    #[test]
+    fn tree_runs_under_all_three_configs() {
+        let g = onexr::generate(OneXrParams {
+            n_s: 400,
+            ..Default::default()
+        });
+        let budget = Budget::quick();
+        let results = run_configs(
+            &g,
+            ModelSpec::TreeGini,
+            &[
+                FeatureConfig::JoinAll,
+                FeatureConfig::NoJoin,
+                FeatureConfig::NoFK,
+            ],
+            &budget,
+        )
+        .unwrap();
+        assert_eq!(results.len(), 3);
+        for r in &results {
+            assert!(r.test_accuracy > 0.5, "{}: {}", r.config, r.test_accuracy);
+            assert!(r.seconds > 0.0);
+            assert!(r.train_accuracy >= r.test_accuracy - 0.15);
+        }
+        // The headline claim on this scenario: NoJoin tracks JoinAll.
+        let join_all = results[0].test_accuracy;
+        let no_join = results[1].test_accuracy;
+        assert!(
+            (join_all - no_join).abs() < 0.06,
+            "JoinAll {join_all} vs NoJoin {no_join}"
+        );
+    }
+
+    #[test]
+    fn results_serialize_to_json() {
+        let g = onexr::generate(OneXrParams {
+            n_s: 200,
+            ..Default::default()
+        });
+        let r = run_experiment(
+            &g,
+            ModelSpec::NaiveBayesBfs,
+            &FeatureConfig::NoJoin,
+            &Budget::quick(),
+        )
+        .unwrap();
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("NoJoin"));
+        assert!(json.contains("NB-BFS"));
+    }
+}

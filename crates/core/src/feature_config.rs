@@ -1,0 +1,313 @@
+//! Feature configurations: which star-schema columns a model gets to see.
+//!
+//! This is the heart of "avoiding joins safely" (§3.2): the *same* learning
+//! pipeline is run under different schema-derived feature sets —
+//!
+//! - **JoinAll** — `[X_S, FK₁..FK_q, X_R1..X_Rq]`: join everything (current
+//!   widespread practice);
+//! - **NoJoin** — `[X_S, FK₁..FK_q]`: discard every dimension table *a
+//!   priori*, without looking at its contents;
+//! - **NoFK** — `[X_S, X_R1..X_Rq]`: join but drop the foreign keys;
+//! - **Custom** — Table 4's robustness study: drop any subset of dimensions.
+//!
+//! Open-domain FKs (Expedia's search id) are never usable as features and
+//! their dimensions can never be discarded (Table 1 "N/A"); those rules are
+//! enforced here for every configuration.
+
+use hamlet_datagen::sim::GeneratedStar;
+use hamlet_ml::dataset::{CatDataset, Provenance};
+use hamlet_ml::error::{MlError, Result};
+use hamlet_relation::star::StarSchema;
+
+/// A feature-set selection over a star schema.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum FeatureConfig {
+    /// Join all dimension tables; use home features, FKs and foreign
+    /// features.
+    JoinAll,
+    /// Avoid every join; use home features and FKs only.
+    NoJoin,
+    /// Join all dimension tables but drop every FK feature.
+    NoFK,
+    /// Drop the foreign features of the selected dimensions (keeping their
+    /// FKs) — the paper's `NoR_i` robustness configurations.
+    DropDims(Vec<usize>),
+    /// Keep only the first `keep[i]` foreign features of each dimension
+    /// (plus all FKs) — the trade-off space the paper's §5.2 poses as an
+    /// open question: "foreign features can be divided into arbitrary
+    /// subsets before being avoided", interpolating between JoinAll
+    /// (`keep[i] = d_R`) and NoJoin (`keep[i] = 0`).
+    PartialForeign(Vec<usize>),
+}
+
+impl FeatureConfig {
+    /// Short display name matching the paper's tables.
+    pub fn name(&self) -> String {
+        match self {
+            Self::JoinAll => "JoinAll".into(),
+            Self::NoJoin => "NoJoin".into(),
+            Self::NoFK => "NoFK".into(),
+            Self::DropDims(dims) => {
+                let tags: Vec<String> = dims.iter().map(|d| format!("R{}", d + 1)).collect();
+                format!("No{}", tags.join(","))
+            }
+            Self::PartialForeign(keep) => {
+                let tags: Vec<String> = keep.iter().map(ToString::to_string).collect();
+                format!("Partial[{}]", tags.join(","))
+            }
+        }
+    }
+
+    /// Whether dimension `i`'s foreign features are part of this config.
+    /// Open-domain dimensions are always included (they cannot be
+    /// discarded — their FK is unusable, so the features are the only
+    /// signal path).
+    pub fn includes_foreign(&self, dim: usize, open_domain: bool) -> bool {
+        if open_domain {
+            return true;
+        }
+        match self {
+            Self::JoinAll | Self::NoFK => true,
+            Self::NoJoin => false,
+            Self::DropDims(dims) => !dims.contains(&dim),
+            Self::PartialForeign(keep) => keep.get(dim).copied().unwrap_or(0) > 0,
+        }
+    }
+
+    /// How many of dimension `i`'s foreign features this config keeps
+    /// (`usize::MAX` = all).
+    fn foreign_keep_count(&self, dim: usize, open_domain: bool) -> usize {
+        if !self.includes_foreign(dim, open_domain) {
+            return 0;
+        }
+        match self {
+            Self::PartialForeign(keep) if !open_domain => {
+                keep.get(dim).copied().unwrap_or(usize::MAX)
+            }
+            _ => usize::MAX,
+        }
+    }
+
+    /// Whether dimension `i`'s FK is part of this config. Open-domain FKs
+    /// are never features.
+    pub fn includes_fk(&self, _dim: usize, open_domain: bool) -> bool {
+        if open_domain {
+            return false;
+        }
+        !matches!(self, Self::NoFK)
+    }
+}
+
+/// Materializes exactly the dimensions this config needs and assembles the
+/// model-facing dataset. NoJoin never touches a closed-domain dimension
+/// table — that is the entire runtime win the paper measures in Figure 1.
+pub fn build_dataset(star: &StarSchema, config: &FeatureConfig) -> Result<CatDataset> {
+    let include: Vec<bool> = star
+        .dims()
+        .iter()
+        .enumerate()
+        .map(|(i, d)| config.includes_foreign(i, d.open_domain))
+        .collect();
+    let table = star.materialize(&include)?;
+    let full = CatDataset::from_table(&table)?;
+
+    // Filter features by provenance according to the config. Foreign
+    // features of a dimension arrive in the dimension's column order, so a
+    // per-dimension counter implements the PartialForeign prefix rule.
+    let mut foreign_seen = vec![0usize; star.q()];
+    let keep: Vec<usize> = full
+        .features()
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| match f.provenance {
+            Provenance::Home => true,
+            Provenance::ForeignKey { dim } => {
+                config.includes_fk(dim, star.dims()[dim].open_domain)
+            }
+            Provenance::Foreign { dim } => {
+                let quota = config.foreign_keep_count(dim, star.dims()[dim].open_domain);
+                let pos = foreign_seen[dim];
+                foreign_seen[dim] += 1;
+                pos < quota
+            }
+        })
+        .map(|(i, _)| i)
+        .collect();
+    if keep.is_empty() {
+        return Err(MlError::Shape {
+            detail: format!("configuration {} leaves no features", config.name()),
+        });
+    }
+    if keep.len() == full.n_features() {
+        Ok(full)
+    } else {
+        full.select_features(&keep)
+    }
+}
+
+/// The three datasets of one experiment run, built under one config.
+#[derive(Debug, Clone)]
+pub struct ExperimentData {
+    /// Training split.
+    pub train: CatDataset,
+    /// Validation split (tuning).
+    pub val: CatDataset,
+    /// Holdout test split.
+    pub test: CatDataset,
+}
+
+/// Builds train/validation/test datasets from a generated star under a
+/// feature configuration.
+pub fn build_splits(gs: &GeneratedStar, config: &FeatureConfig) -> Result<ExperimentData> {
+    let full = build_dataset(&gs.star, config)?;
+    Ok(ExperimentData {
+        train: full.subset(&gs.train_idx()),
+        val: full.subset(&gs.val_idx()),
+        test: full.subset(&gs.test_idx()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hamlet_datagen::prelude::*;
+
+    fn onexr() -> GeneratedStar {
+        onexr::generate(OneXrParams::default())
+    }
+
+    #[test]
+    fn joinall_has_home_fk_and_foreign() {
+        let g = onexr();
+        let ds = build_dataset(&g.star, &FeatureConfig::JoinAll).unwrap();
+        // 4 xs + 1 fk + 4 xr
+        assert_eq!(ds.n_features(), 9);
+        let provs: Vec<_> = ds.features().iter().map(|f| f.provenance).collect();
+        assert!(provs.contains(&Provenance::ForeignKey { dim: 0 }));
+        assert!(provs.contains(&Provenance::Foreign { dim: 0 }));
+        assert!(provs.contains(&Provenance::Home));
+    }
+
+    #[test]
+    fn nojoin_drops_foreign_keeps_fk() {
+        let g = onexr();
+        let ds = build_dataset(&g.star, &FeatureConfig::NoJoin).unwrap();
+        assert_eq!(ds.n_features(), 5); // 4 xs + 1 fk
+        assert!(ds
+            .features()
+            .iter()
+            .all(|f| !matches!(f.provenance, Provenance::Foreign { .. })));
+    }
+
+    #[test]
+    fn nofk_drops_fk_keeps_foreign() {
+        let g = onexr();
+        let ds = build_dataset(&g.star, &FeatureConfig::NoFK).unwrap();
+        assert_eq!(ds.n_features(), 8); // 4 xs + 4 xr
+        assert!(ds
+            .features()
+            .iter()
+            .all(|f| !matches!(f.provenance, Provenance::ForeignKey { .. })));
+    }
+
+    #[test]
+    fn drop_dims_matches_table4_semantics() {
+        let g = EmulatorSpec::yelp().generate_scaled(1200, 5);
+        let no_r2 = build_dataset(&g.star, &FeatureConfig::DropDims(vec![1])).unwrap();
+        // R1 (businesses, 32 features) kept; R2 (users, 6) dropped; 2 FKs.
+        assert_eq!(no_r2.n_features(), 2 + 32);
+        assert_eq!(FeatureConfig::DropDims(vec![1]).name(), "NoR2");
+        assert_eq!(FeatureConfig::DropDims(vec![0, 2]).name(), "NoR1,R3");
+    }
+
+    #[test]
+    fn open_domain_dimension_rules() {
+        let g = EmulatorSpec::expedia().generate_scaled(1500, 6);
+        // NoJoin: searches (open) foreign features kept, its FK dropped;
+        // hotels foreign dropped, FK kept; 1 home feature.
+        let ds = build_dataset(&g.star, &FeatureConfig::NoJoin).unwrap();
+        let mut n_fk = 0;
+        let mut n_foreign = 0;
+        for f in ds.features() {
+            match f.provenance {
+                Provenance::ForeignKey { dim } => {
+                    assert_eq!(dim, 0, "only the hotels FK is usable");
+                    n_fk += 1;
+                }
+                Provenance::Foreign { dim } => {
+                    assert_eq!(dim, 1, "only the open dimension's features remain");
+                    n_foreign += 1;
+                }
+                Provenance::Home => {}
+            }
+        }
+        assert_eq!(n_fk, 1);
+        assert_eq!(n_foreign, 14);
+
+        // JoinAll also must exclude the open-domain FK.
+        let all = build_dataset(&g.star, &FeatureConfig::JoinAll).unwrap();
+        assert!(all
+            .features()
+            .iter()
+            .all(|f| f.provenance != Provenance::ForeignKey { dim: 1 }));
+    }
+
+    #[test]
+    fn splits_share_feature_space() {
+        let g = onexr();
+        let data = build_splits(&g, &FeatureConfig::NoJoin).unwrap();
+        assert_eq!(data.train.n_rows(), 1000);
+        assert_eq!(data.val.n_rows(), 250);
+        assert_eq!(data.test.n_rows(), 250);
+        assert_eq!(data.train.n_features(), data.test.n_features());
+    }
+
+    #[test]
+    fn config_names_match_paper() {
+        assert_eq!(FeatureConfig::JoinAll.name(), "JoinAll");
+        assert_eq!(FeatureConfig::NoJoin.name(), "NoJoin");
+        assert_eq!(FeatureConfig::NoFK.name(), "NoFK");
+        assert_eq!(FeatureConfig::PartialForeign(vec![2, 0]).name(), "Partial[2,0]");
+    }
+
+    #[test]
+    fn partial_foreign_interpolates_between_joinall_and_nojoin() {
+        let g = onexr(); // d_s=4, 1 FK, d_r=4
+        // Keep 2 of the 4 foreign features.
+        let ds = build_dataset(&g.star, &FeatureConfig::PartialForeign(vec![2])).unwrap();
+        assert_eq!(ds.n_features(), 4 + 1 + 2);
+        let foreign: Vec<&str> = ds
+            .features()
+            .iter()
+            .filter(|f| matches!(f.provenance, Provenance::Foreign { .. }))
+            .map(|f| f.name.as_str())
+            .collect();
+        assert_eq!(foreign, vec!["xr0", "xr1"], "prefix rule keeps the first features");
+
+        // keep = 0 ⇒ NoJoin; keep = d_r ⇒ JoinAll.
+        let nojoin = build_dataset(&g.star, &FeatureConfig::PartialForeign(vec![0])).unwrap();
+        assert_eq!(nojoin.n_features(), 5);
+        let joinall = build_dataset(&g.star, &FeatureConfig::PartialForeign(vec![4])).unwrap();
+        assert_eq!(joinall.n_features(), 9);
+    }
+
+    #[test]
+    fn partial_foreign_respects_open_domain() {
+        // Expedia: searches (open) always keeps all features regardless of
+        // the quota; hotels honours it.
+        let g = EmulatorSpec::expedia().generate_scaled(1200, 9);
+        let ds = build_dataset(&g.star, &FeatureConfig::PartialForeign(vec![1, 0])).unwrap();
+        let hotels = ds
+            .features()
+            .iter()
+            .filter(|f| f.provenance == Provenance::Foreign { dim: 0 })
+            .count();
+        let searches = ds
+            .features()
+            .iter()
+            .filter(|f| f.provenance == Provenance::Foreign { dim: 1 })
+            .count();
+        assert_eq!(hotels, 1);
+        assert_eq!(searches, 14);
+    }
+}

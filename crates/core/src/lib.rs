@@ -1,0 +1,63 @@
+//! # hamlet-core
+//!
+//! The primary contribution of "Are Key-Foreign Key Joins Safe to Avoid
+//! when Learning High-Capacity Classifiers?" (Shah, Kumar, Zhu; VLDB 2017)
+//! as a reusable Rust library: everything a practitioner needs to decide —
+//! from schema information alone — whether to source and join a dimension
+//! table before training a classifier, plus the paper's analysis machinery.
+//!
+//! - [`feature_config`] — the JoinAll / NoJoin / NoFK / NoR_i feature sets
+//!   over a star schema, with open-domain FK rules;
+//! - [`advisor`] — the tuple-ratio decision rule with the per-family
+//!   thresholds the study establishes (3× trees/ANN, 6× RBF-SVM, 20×
+//!   linear);
+//! - [`model_zoo`] — all ten classifiers behind one tuned-fit interface
+//!   with the paper's hyper-parameter grids;
+//! - [`experiment`] — end-to-end runner (join → tune → train → test) with
+//!   Figure 1's timing convention;
+//! - [`bias_variance`] — Domingos 0/1-loss decomposition (average test
+//!   error and net variance, the simulation study's metrics);
+//! - [`compress`] — FK domain compression: random hashing vs. supervised
+//!   sort-based grouping (§6.1);
+//! - [`smooth`] — unseen-FK smoothing: random vs. X_R-based reassignment
+//!   (§6.2).
+//!
+//! ```
+//! use hamlet_core::prelude::*;
+//! use hamlet_datagen::prelude::*;
+//!
+//! // Generate a star schema (Yelp-shaped) and ask the advisor.
+//! let g = EmulatorSpec::yelp().generate_scaled(2000, 42);
+//! let report = advise(&g.star, g.n_train, ModelFamily::TreeOrAnn);
+//! // The users dimension (tuple ratio ≈ 2.5) must be retained...
+//! assert_eq!(report.retained(), vec!["users"]);
+//! // ...while the businesses dimension (≈ 9.4) is safe to avoid.
+//! assert_eq!(report.dimensions[0].advice, Advice::AvoidJoin);
+//! ```
+
+pub mod advisor;
+pub mod bias_variance;
+pub mod compress;
+pub mod experiment;
+pub mod feature_config;
+pub mod model_zoo;
+pub mod montecarlo;
+pub mod smooth;
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::advisor::{
+        advise, sourcing_plan, threshold, Advice, AdvisorReport, DimensionAdvice, SourcingPlan,
+    };
+    pub use crate::bias_variance::{decompose, BiasVariance};
+    pub use crate::compress::{build_compression, CompressionMethod, FkCompression};
+    pub use crate::experiment::{run_configs, run_experiment, RunResult};
+    pub use crate::feature_config::{
+        build_dataset, build_splits, ExperimentData, FeatureConfig,
+    };
+    pub use crate::model_zoo::{Budget, ModelFamily, ModelSpec, TunedModel};
+    pub use crate::montecarlo::{
+        onexr_bayes, run_monte_carlo, xsxr_bayes, MonteCarloPoint,
+    };
+    pub use crate::smooth::{build_smoothing, seen_mask, FkSmoothing, SmoothingMethod};
+}

@@ -1,0 +1,247 @@
+//! Foreign-key smoothing for values unseen in training (§6.2).
+//!
+//! With a large `|D_FK|`, some FK values in `D_FK` never appear among the
+//! training examples but do appear at test/deployment time (this is *not*
+//! cold start — the values are in the known domain). Popular R tree
+//! implementations simply crash. The paper evaluates two lightweight
+//! reassignment schemes, applied before prediction:
+//!
+//! - **Random** — map each unseen FK value to a uniformly random seen one.
+//! - **X_R-based** — use the dimension table as *side information*: map an
+//!   unseen FK value to the seen FK value whose foreign-feature vector has
+//!   minimum `l0` (Hamming) distance. Available whenever the dimension
+//!   table exists, even under NoJoin — the features guide smoothing without
+//!   ever being model inputs ("best of both worlds", §6.2).
+
+use hamlet_ml::dataset::CatDataset;
+use hamlet_ml::error::{MlError, Result};
+use hamlet_relation::table::Table;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Smoothing method (Figure 11 compares the two).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum SmoothingMethod {
+    /// Uniform random reassignment among seen codes.
+    Random {
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Minimum-l0 match on the dimension's feature vectors.
+    XrBased,
+}
+
+/// A total FK-code rewrite: seen codes map to themselves, unseen codes map
+/// to a chosen seen code.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct FkSmoothing {
+    /// Feature index the map applies to.
+    pub feature: usize,
+    /// `map[code] = reassigned code` (identity for seen codes).
+    pub map: Vec<u32>,
+    /// How many codes were unseen (and thus reassigned).
+    pub n_unseen: usize,
+}
+
+/// Which codes of feature `feature` appear in the training split.
+pub fn seen_mask(train: &CatDataset, feature: usize) -> Vec<bool> {
+    let m = train.feature(feature).cardinality as usize;
+    let mut seen = vec![false; m];
+    for code in train.column(feature) {
+        seen[code as usize] = true;
+    }
+    seen
+}
+
+/// Builds a smoothing map for the FK at `feature`.
+///
+/// For [`SmoothingMethod::XrBased`], pass the dimension table; its row order
+/// must align with FK codes (row `r` describes FK code `r`), which is how
+/// every generator in `hamlet-datagen` lays dimensions out.
+pub fn build_smoothing(
+    train: &CatDataset,
+    feature: usize,
+    method: SmoothingMethod,
+    dimension: Option<&Table>,
+) -> Result<FkSmoothing> {
+    if feature >= train.n_features() {
+        return Err(MlError::Invalid(format!(
+            "feature index {feature} out of range"
+        )));
+    }
+    let seen = seen_mask(train, feature);
+    let seen_codes: Vec<u32> = (0..seen.len() as u32).filter(|&c| seen[c as usize]).collect();
+    if seen_codes.is_empty() {
+        return Err(MlError::Invalid("no FK codes seen in training".into()));
+    }
+    let mut map: Vec<u32> = (0..seen.len() as u32).collect();
+    let mut n_unseen = 0usize;
+
+    match method {
+        SmoothingMethod::Random { seed } => {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            for code in 0..seen.len() {
+                if !seen[code] {
+                    map[code] = seen_codes[rng.gen_range(0..seen_codes.len())];
+                    n_unseen += 1;
+                }
+            }
+        }
+        SmoothingMethod::XrBased => {
+            let dim = dimension.ok_or_else(|| {
+                MlError::Invalid("X_R-based smoothing needs the dimension table".into())
+            })?;
+            if dim.n_rows() < seen.len() {
+                return Err(MlError::Shape {
+                    detail: format!(
+                        "dimension has {} rows but the FK domain has {}",
+                        dim.n_rows(),
+                        seen.len()
+                    ),
+                });
+            }
+            // Feature columns of the dimension (everything but the key).
+            let cols: Vec<&[u32]> = dim
+                .schema()
+                .columns()
+                .iter()
+                .enumerate()
+                .filter(|(_, def)| def.role != hamlet_relation::schema::ColumnRole::Id)
+                .map(|(i, _)| dim.column_at(i).codes())
+                .collect();
+            for code in 0..seen.len() {
+                if seen[code] {
+                    continue;
+                }
+                n_unseen += 1;
+                // Minimum-l0 seen code (ties → lowest code, the
+                // deterministic stand-in for the paper's random tie-break).
+                let mut best = seen_codes[0];
+                let mut best_dist = usize::MAX;
+                for &cand in &seen_codes {
+                    let dist = cols
+                        .iter()
+                        .filter(|col| col[code] != col[cand as usize])
+                        .count();
+                    if dist < best_dist {
+                        best_dist = dist;
+                        best = cand;
+                        if dist == 0 {
+                            break;
+                        }
+                    }
+                }
+                map[code] = best;
+            }
+        }
+    }
+    Ok(FkSmoothing {
+        feature,
+        map,
+        n_unseen,
+    })
+}
+
+impl FkSmoothing {
+    /// Applies the rewrite to a dataset split (typically validation/test).
+    /// Cardinality is unchanged — smoothing only redirects codes.
+    pub fn apply(&self, ds: &CatDataset) -> Result<CatDataset> {
+        let card = ds.feature(self.feature).cardinality;
+        let codes = ds.column(self.feature);
+        let mapped: Vec<u32> = codes.iter().map(|&c| self.map[c as usize]).collect();
+        ds.replace_column(self.feature, mapped, card)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hamlet_ml::dataset::{FeatureMeta, Provenance};
+    use hamlet_relation::prelude::*;
+    use std::sync::Arc;
+
+    fn train_with_seen(seen: &[u32], m: u32) -> CatDataset {
+        CatDataset::new(
+            vec![FeatureMeta {
+                name: "fk".into(),
+                cardinality: m,
+                provenance: Provenance::ForeignKey { dim: 0 },
+            }],
+            seen.to_vec(),
+            vec![true; seen.len()],
+        )
+        .unwrap()
+    }
+
+    fn dimension(xr: Vec<Vec<u32>>) -> Table {
+        let n = xr[0].len();
+        let key = CatDomain::synthetic("rid", n as u32).into_shared();
+        let bin = CatDomain::synthetic("b", 4).into_shared();
+        let mut defs = vec![ColumnDef::new("rid", ColumnRole::Id)];
+        let mut cols = vec![CatColumn::new(key, (0..n as u32).collect()).unwrap()];
+        for (j, codes) in xr.into_iter().enumerate() {
+            defs.push(ColumnDef::new(format!("xr{j}"), ColumnRole::HomeFeature));
+            cols.push(CatColumn::new(Arc::clone(&bin), codes).unwrap());
+        }
+        Table::new(TableSchema::new("r", defs).unwrap(), cols).unwrap()
+    }
+
+    #[test]
+    fn seen_mask_reflects_training() {
+        let train = train_with_seen(&[0, 2, 2], 4);
+        assert_eq!(seen_mask(&train, 0), vec![true, false, true, false]);
+    }
+
+    #[test]
+    fn random_smoothing_targets_seen_codes_only() {
+        let train = train_with_seen(&[0, 2], 6);
+        let s = build_smoothing(&train, 0, SmoothingMethod::Random { seed: 3 }, None).unwrap();
+        assert_eq!(s.n_unseen, 4);
+        for code in [1usize, 3, 4, 5] {
+            assert!(matches!(s.map[code], 0 | 2));
+        }
+        assert_eq!(s.map[0], 0);
+        assert_eq!(s.map[2], 2);
+    }
+
+    #[test]
+    fn xr_smoothing_picks_nearest_feature_vector() {
+        // Codes 0,1 seen. Code 2's features equal code 1's; code 3's equal
+        // code 0's.
+        let train = train_with_seen(&[0, 1], 4);
+        let dim = dimension(vec![
+            vec![0, 1, 1, 0], // xr0 per rid
+            vec![2, 3, 3, 2], // xr1 per rid
+        ]);
+        let s = build_smoothing(&train, 0, SmoothingMethod::XrBased, Some(&dim)).unwrap();
+        assert_eq!(s.map[2], 1);
+        assert_eq!(s.map[3], 0);
+    }
+
+    #[test]
+    fn xr_smoothing_requires_dimension() {
+        let train = train_with_seen(&[0, 1], 4);
+        assert!(build_smoothing(&train, 0, SmoothingMethod::XrBased, None).is_err());
+    }
+
+    #[test]
+    fn apply_rewrites_only_unseen() {
+        let train = train_with_seen(&[0, 1], 4);
+        let s = build_smoothing(&train, 0, SmoothingMethod::Random { seed: 1 }, None).unwrap();
+        let test = train_with_seen(&[3, 1, 2, 0], 4);
+        let smoothed = s.apply(&test).unwrap();
+        let codes = smoothed.column(0);
+        assert!(codes[0] < 2); // 3 reassigned to a seen code
+        assert_eq!(codes[1], 1);
+        assert!(codes[2] < 2);
+        assert_eq!(codes[3], 0);
+    }
+
+    #[test]
+    fn no_unseen_codes_is_an_identity() {
+        let train = train_with_seen(&[0, 1, 2, 3], 4);
+        let s = build_smoothing(&train, 0, SmoothingMethod::Random { seed: 1 }, None).unwrap();
+        assert_eq!(s.n_unseen, 0);
+        assert_eq!(s.map, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,281 @@
+//! Scenario `OneXr` (§4.1): a lone foreign feature drives the target.
+//!
+//! The "worst case" for avoiding the join: a single `X_r ∈ X_R` determines
+//! `Y` (with flip-noise `p`), everything else — the rest of `X_R` and all of
+//! `X_S` — is random noise. The FK is *not* in the true distribution, but it
+//! functionally determines `X_r`, so NoJoin must recover the signal through
+//! the FK's much larger domain.
+//!
+//! Generation procedure (verbatim from the paper):
+//! 1. Build `R` by sampling `X_R` uniformly (independent coin tosses).
+//! 2. Build `S` by sampling `X_S` uniformly.
+//! 3. Assign FK values uniformly (or with Zipfian / needle-and-thread skew).
+//! 4. Assign `Y` by looking up `X_r` through the implicit join and sampling
+//!    `P(Y=0|X_r=0) = P(Y=1|X_r=1) = p`.
+
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::sim::{assemble_star, sim_split_sizes, DimColumns, FactColumns, GeneratedStar};
+use crate::skew::{FkSkew, SkewSampler};
+
+/// Parameters of the OneXr generator. Defaults mirror Figure 2's fixed
+/// values: `(n_s, n_r, d_s, d_r) = (1000, 40, 4, 4)`, `p = 0.1`.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct OneXrParams {
+    /// Training examples `n_S` (validation and test add `n_S/4` each).
+    pub n_s: usize,
+    /// Dimension rows `n_R = |D_FK|`.
+    pub n_r: u32,
+    /// Home features `d_S` (binary, noise).
+    pub d_s: usize,
+    /// Foreign features `d_R` (binary noise except `X_r`).
+    pub d_r: usize,
+    /// Flip-noise / probability skew parameter `p` (Bayes error when < 0.5).
+    pub p: f64,
+    /// Domain size of the driving feature `X_r` (Figure 2(F) sweeps this).
+    pub xr_domain: u32,
+    /// FK skew (Figure 5 sweeps Zipf and needle-and-thread).
+    pub skew: FkSkew,
+    /// Fraction of `D_FK` hidden from the train/validation splits
+    /// (γ in the §6.2 smoothing experiments; 0 = all values visible).
+    pub unseen_frac: f64,
+    /// Seed for *example sampling* (X_S, FK, Y-noise). Monte-Carlo studies
+    /// vary this per run.
+    pub seed: u64,
+    /// Seed for the *true distribution* (the dimension table, i.e. the
+    /// FK → X_r map). Monte-Carlo studies keep this fixed so every run
+    /// samples from the same distribution (required for the Domingos
+    /// bias-variance decomposition to be meaningful).
+    pub dist_seed: u64,
+}
+
+impl Default for OneXrParams {
+    fn default() -> Self {
+        Self {
+            n_s: 1000,
+            n_r: 40,
+            d_s: 4,
+            d_r: 4,
+            p: 0.1,
+            xr_domain: 2,
+            skew: FkSkew::Uniform,
+            unseen_frac: 0.0,
+            seed: 0x10e,
+            dist_seed: 0xD157,
+        }
+    }
+}
+
+/// Samples one OneXr star schema.
+pub fn generate(params: OneXrParams) -> GeneratedStar {
+    assert!(params.d_r >= 1, "OneXr needs at least the driving feature");
+    assert!(params.n_r >= 1);
+    let mut dist_rng = rand::rngs::StdRng::seed_from_u64(params.dist_seed);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(params.seed);
+    let (n_train, n_val, n_test) = sim_split_sizes(params.n_s);
+    let n_total = n_train + n_val + n_test;
+    let n_r = params.n_r as usize;
+
+    // Step 1: dimension table (part of the true distribution → dist_rng).
+    // Feature 0 is X_r (domain `xr_domain`); the remaining d_r − 1 features
+    // are binary noise.
+    let xr: Vec<u32> = (0..n_r)
+        .map(|_| dist_rng.gen_range(0..params.xr_domain))
+        .collect();
+    let mut dim_cols = vec![("xr0".to_string(), params.xr_domain, xr.clone())];
+    for j in 1..params.d_r {
+        let codes: Vec<u32> = (0..n_r).map(|_| dist_rng.gen_range(0..2)).collect();
+        dim_cols.push((format!("xr{j}"), 2, codes));
+    }
+
+    // Step 2: home features (binary noise).
+    let mut xs = Vec::with_capacity(params.d_s);
+    for j in 0..params.d_s {
+        let codes: Vec<u32> = (0..n_total).map(|_| rng.gen_range(0..2)).collect();
+        xs.push((format!("xs{j}"), 2u32, codes));
+    }
+
+    // Step 3: FK assignment. Train/val rows draw from the "seen" subset when
+    // unseen_frac > 0; test rows always draw from the full domain.
+    let sampler = SkewSampler::new(params.skew, params.n_r);
+    let n_seen = if params.unseen_frac > 0.0 {
+        (((1.0 - params.unseen_frac) * n_r as f64).round() as usize).clamp(1, n_r)
+    } else {
+        n_r
+    };
+    let mut fk = Vec::with_capacity(n_total);
+    for i in 0..n_total {
+        let in_train_or_val = i < n_train + n_val;
+        loop {
+            let code = sampler.sample(&mut rng);
+            if !in_train_or_val || (code as usize) < n_seen {
+                fk.push(code);
+                break;
+            }
+            // Rejection sampling keeps the skew shape on the seen subset.
+        }
+    }
+
+    // Step 4: labels through the implicit join.
+    // P(Y=1 | X_r = v) = p when v is odd, 1 − p when v is even — the paper's
+    // binary rule P(Y=0|Xr=0) = P(Y=1|Xr=1) = p, extended to |D_Xr| > 2.
+    let y: Vec<bool> = fk
+        .iter()
+        .map(|&code| {
+            let v = xr[code as usize];
+            let p_pos = if v % 2 == 1 { params.p } else { 1.0 - params.p };
+            rng.gen_bool(p_pos)
+        })
+        .collect();
+
+    let star = assemble_star(
+        "onexr",
+        FactColumns {
+            y,
+            xs,
+            fks: vec![fk],
+        },
+        vec![DimColumns {
+            name: "r".into(),
+            columns: dim_cols,
+            open_domain: false,
+        }],
+    );
+    GeneratedStar {
+        star,
+        n_train,
+        n_val,
+        n_test,
+    }
+}
+
+/// The Bayes-optimal test error of this scenario (`min(p, 1−p)`).
+pub fn bayes_error(params: &OneXrParams) -> f64 {
+    params.p.min(1.0 - params.p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hamlet_relation::fd::check_fd;
+
+    #[test]
+    fn shapes_follow_params() {
+        let g = generate(OneXrParams::default());
+        assert_eq!(g.n_train, 1000);
+        assert_eq!(g.n_val, 250);
+        assert_eq!(g.n_test, 250);
+        assert_eq!(g.star.fact().n_rows(), 1500);
+        assert_eq!(g.star.dims()[0].n_rows(), 40);
+        assert_eq!(g.star.dims()[0].d_features(), 4);
+        // Fact: y + 4 xs + 1 fk.
+        assert_eq!(g.star.fact().width(), 6);
+    }
+
+    #[test]
+    fn join_satisfies_fd() {
+        let g = generate(OneXrParams::default());
+        let joined = g.star.materialize_all().unwrap();
+        assert!(check_fd(&joined, "fk_r", &["xr0", "xr1", "xr2", "xr3"]).unwrap());
+    }
+
+    #[test]
+    fn labels_track_xr_with_noise() {
+        let params = OneXrParams {
+            n_s: 4000,
+            p: 0.1,
+            ..Default::default()
+        };
+        let g = generate(params);
+        let joined = g.star.materialize_all().unwrap();
+        let xr = joined.column("xr0").unwrap().codes().to_vec();
+        let y = joined.target_as_bool().unwrap();
+        // Empirical P(Y=1 | Xr=1) should be near p = 0.1.
+        let (mut n1, mut pos1) = (0usize, 0usize);
+        for (v, label) in xr.iter().zip(&y) {
+            if *v == 1 {
+                n1 += 1;
+                pos1 += usize::from(*label);
+            }
+        }
+        let f = pos1 as f64 / n1 as f64;
+        assert!((f - 0.1).abs() < 0.03, "P(Y=1|Xr=1) = {f}");
+    }
+
+    #[test]
+    fn seeded_generation_is_reproducible() {
+        let a = generate(OneXrParams::default());
+        let b = generate(OneXrParams::default());
+        assert_eq!(
+            a.star.fact().column("fk_r").unwrap().codes(),
+            b.star.fact().column("fk_r").unwrap().codes()
+        );
+    }
+
+    #[test]
+    fn unseen_fraction_hides_codes_from_training() {
+        let params = OneXrParams {
+            n_s: 2000,
+            n_r: 40,
+            unseen_frac: 0.5,
+            seed: 3,
+            ..Default::default()
+        };
+        let g = generate(params);
+        let fk = g.star.fact().column("fk_r").unwrap().codes().to_vec();
+        let train_max = g.train_idx().into_iter().map(|i| fk[i]).max().unwrap();
+        assert!(train_max < 20, "train FK codes must come from the seen half");
+        // The test split should hit at least one hidden code.
+        let test_hits_hidden = g.test_idx().into_iter().any(|i| fk[i] >= 20);
+        assert!(test_hits_hidden);
+    }
+
+    #[test]
+    fn dist_seed_fixes_the_distribution_across_sample_seeds() {
+        let a = generate(OneXrParams {
+            seed: 1,
+            ..Default::default()
+        });
+        let b = generate(OneXrParams {
+            seed: 2,
+            ..Default::default()
+        });
+        // Same true distribution: identical dimension tables...
+        assert_eq!(
+            a.star.dims()[0].table.column("xr0").unwrap().codes(),
+            b.star.dims()[0].table.column("xr0").unwrap().codes()
+        );
+        // ...but different training samples.
+        assert_ne!(
+            a.star.fact().column("fk_r").unwrap().codes(),
+            b.star.fact().column("fk_r").unwrap().codes()
+        );
+    }
+
+    #[test]
+    fn multi_valued_xr_supported() {
+        let params = OneXrParams {
+            xr_domain: 5,
+            ..Default::default()
+        };
+        let g = generate(params);
+        let joined = g.star.materialize_all().unwrap();
+        let max_xr = joined.column("xr0").unwrap().codes().iter().max().copied().unwrap();
+        assert!(max_xr < 5);
+    }
+
+    #[test]
+    fn bayes_error_is_min_p() {
+        let p = OneXrParams {
+            p: 0.2,
+            ..Default::default()
+        };
+        assert!((bayes_error(&p) - 0.2).abs() < 1e-12);
+        let p = OneXrParams {
+            p: 0.9,
+            ..Default::default()
+        };
+        assert!((bayes_error(&p) - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,165 @@
+//! Scenario `RepOneXr` (§4.3): the driving feature replicated across `X_R`.
+//!
+//! Like `OneXr`, a single binary `X_r` (with flip-noise `p`) determines `Y`
+//! — but the dimension's *entire* feature vector is `X_r` repeated `d_R`
+//! times. Since `FK → X_R`, there are at least as many FK values as `X_R`
+//! values; raising `n_R` relative to the two `X_R` values maximises the
+//! model's chance of getting "confused" by NoJoin. The paper uses this to
+//! probe where the tree/SVM/1-NN deviate.
+
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::sim::{assemble_star, sim_split_sizes, DimColumns, FactColumns, GeneratedStar};
+
+/// Parameters of the RepOneXr generator. Figure 7 uses
+/// `(n_s, d_s) = (1000, 4)` with `n_r ∈ {40, 200}` and `d_r ∈ 1..16`.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RepOneXrParams {
+    /// Training examples `n_S`.
+    pub n_s: usize,
+    /// Dimension rows `n_R = |D_FK|`.
+    pub n_r: u32,
+    /// Home features `d_S` (binary noise).
+    pub d_s: usize,
+    /// Foreign features `d_R` (all copies of `X_r`).
+    pub d_r: usize,
+    /// Flip-noise parameter `p`.
+    pub p: f64,
+    /// Seed for example sampling (varied per Monte-Carlo run).
+    pub seed: u64,
+    /// Seed for the true distribution (the dimension's X_r draw, held fixed
+    /// across Monte-Carlo runs).
+    pub dist_seed: u64,
+}
+
+impl Default for RepOneXrParams {
+    fn default() -> Self {
+        Self {
+            n_s: 1000,
+            n_r: 40,
+            d_s: 4,
+            d_r: 4,
+            p: 0.1,
+            seed: 0x0e1,
+            dist_seed: 0xD157,
+        }
+    }
+}
+
+/// Samples one RepOneXr star schema.
+pub fn generate(params: RepOneXrParams) -> GeneratedStar {
+    assert!(params.d_r >= 1 && params.n_r >= 1);
+    let mut dist_rng = rand::rngs::StdRng::seed_from_u64(params.dist_seed);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(params.seed);
+    let (n_train, n_val, n_test) = sim_split_sizes(params.n_s);
+    let n_total = n_train + n_val + n_test;
+    let n_r = params.n_r as usize;
+
+    // Dimension (true distribution → dist_rng): one X_r draw per row,
+    // replicated d_R times.
+    let xr: Vec<u32> = (0..n_r).map(|_| dist_rng.gen_range(0..2)).collect();
+    let dim_cols: Vec<(String, u32, Vec<u32>)> = (0..params.d_r)
+        .map(|j| (format!("xr{j}"), 2u32, xr.clone()))
+        .collect();
+
+    // Home features: binary noise.
+    let xs: Vec<(String, u32, Vec<u32>)> = (0..params.d_s)
+        .map(|j| {
+            let codes: Vec<u32> = (0..n_total).map(|_| rng.gen_range(0..2)).collect();
+            (format!("xs{j}"), 2u32, codes)
+        })
+        .collect();
+
+    // FK uniform; Y via the implicit join with flip-noise p.
+    let fk: Vec<u32> = (0..n_total).map(|_| rng.gen_range(0..params.n_r)).collect();
+    let y: Vec<bool> = fk
+        .iter()
+        .map(|&code| {
+            let v = xr[code as usize];
+            let p_pos = if v == 1 { params.p } else { 1.0 - params.p };
+            rng.gen_bool(p_pos)
+        })
+        .collect();
+
+    let star = assemble_star(
+        "reponexr",
+        FactColumns {
+            y,
+            xs,
+            fks: vec![fk],
+        },
+        vec![DimColumns {
+            name: "r".into(),
+            columns: dim_cols,
+            open_domain: false,
+        }],
+    );
+    GeneratedStar {
+        star,
+        n_train,
+        n_val,
+        n_test,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_foreign_features_are_identical() {
+        let g = generate(RepOneXrParams {
+            d_r: 6,
+            ..Default::default()
+        });
+        let dim = &g.star.dims()[0].table;
+        let first = dim.column("xr0").unwrap().codes().to_vec();
+        for j in 1..6 {
+            assert_eq!(dim.column(&format!("xr{j}")).unwrap().codes(), &first[..]);
+        }
+    }
+
+    #[test]
+    fn shapes_follow_params() {
+        let g = generate(RepOneXrParams {
+            n_r: 200,
+            d_r: 16,
+            ..Default::default()
+        });
+        assert_eq!(g.star.dims()[0].n_rows(), 200);
+        assert_eq!(g.star.dims()[0].d_features(), 16);
+        assert_eq!(g.n_total(), 1500);
+    }
+
+    #[test]
+    fn labels_follow_xr_with_noise() {
+        let g = generate(RepOneXrParams {
+            n_s: 4000,
+            p: 0.05,
+            ..Default::default()
+        });
+        let joined = g.star.materialize_all().unwrap();
+        let xr = joined.column("xr0").unwrap().codes().to_vec();
+        let y = joined.target_as_bool().unwrap();
+        let mut agree = 0usize;
+        for (v, label) in xr.iter().zip(&y) {
+            // X_r = 0 → Y likely 1; X_r = 1 → Y likely 0 (p flips).
+            if (*v == 0) == *label {
+                agree += 1;
+            }
+        }
+        let f = agree as f64 / y.len() as f64;
+        assert!(f > 0.9, "agreement {f}");
+    }
+
+    #[test]
+    fn reproducible() {
+        let a = generate(RepOneXrParams::default());
+        let b = generate(RepOneXrParams::default());
+        assert_eq!(
+            a.star.fact().column("fk_r").unwrap().codes(),
+            b.star.fact().column("fk_r").unwrap().codes()
+        );
+    }
+}

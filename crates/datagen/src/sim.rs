@@ -1,0 +1,199 @@
+//! Shared plumbing for the simulation scenarios and emulators: assembling
+//! validated [`StarSchema`]s from generated code arrays and carrying the
+//! paper's train/validation/test convention (n_S training examples plus
+//! n_S/4 validation and n_S/4 holdout, §4).
+
+use std::sync::Arc;
+
+use hamlet_relation::prelude::*;
+
+/// A generated star schema plus the index ranges of its three splits inside
+/// the fact table. Simulated rows are IID by construction, so contiguous
+/// ranges are a valid split.
+#[derive(Debug, Clone)]
+pub struct GeneratedStar {
+    /// The star schema (fact rows = train + val + test).
+    pub star: StarSchema,
+    /// Number of training rows (first `n_train` fact rows).
+    pub n_train: usize,
+    /// Number of validation rows (next `n_val`).
+    pub n_val: usize,
+    /// Number of holdout rows (last `n_test`).
+    pub n_test: usize,
+}
+
+impl GeneratedStar {
+    /// Training row indices.
+    pub fn train_idx(&self) -> Vec<usize> {
+        (0..self.n_train).collect()
+    }
+
+    /// Validation row indices.
+    pub fn val_idx(&self) -> Vec<usize> {
+        (self.n_train..self.n_train + self.n_val).collect()
+    }
+
+    /// Holdout row indices.
+    pub fn test_idx(&self) -> Vec<usize> {
+        let start = self.n_train + self.n_val;
+        (start..start + self.n_test).collect()
+    }
+
+    /// Total fact rows.
+    pub fn n_total(&self) -> usize {
+        self.n_train + self.n_val + self.n_test
+    }
+}
+
+/// One generated dimension table: named feature columns with cardinalities.
+pub struct DimColumns {
+    /// Dimension table name.
+    pub name: String,
+    /// `(feature name, cardinality, codes)` per foreign feature.
+    pub columns: Vec<(String, u32, Vec<u32>)>,
+    /// Whether the FK for this dimension has an open domain.
+    pub open_domain: bool,
+}
+
+/// Fact-table ingredients produced by a generator.
+pub struct FactColumns {
+    /// Labels (`Y`).
+    pub y: Vec<bool>,
+    /// `(feature name, cardinality, codes)` per home feature.
+    pub xs: Vec<(String, u32, Vec<u32>)>,
+    /// FK code vectors, one per dimension, aligned with `y`.
+    pub fks: Vec<Vec<u32>>,
+}
+
+/// Assembles a validated star schema from generated columns.
+///
+/// The FK and RID columns of each dimension share one `CatDomain` of size
+/// `n_r`, so joins are direct code lookups; RIDs are sequential `0..n_r`.
+pub fn assemble_star(name: &str, fact: FactColumns, dims: Vec<DimColumns>) -> StarSchema {
+    let n = fact.y.len();
+    let bin = CatDomain::synthetic("label", 2).into_shared();
+
+    let mut defs = vec![ColumnDef::new("y", ColumnRole::Target)];
+    let mut cols = vec![CatColumn::new(
+        Arc::clone(&bin),
+        fact.y.iter().map(|&b| u32::from(b)).collect(),
+    )
+    .expect("label codes are 0/1")];
+
+    for (fname, card, codes) in &fact.xs {
+        assert_eq!(codes.len(), n, "home feature length mismatch");
+        let dom = CatDomain::synthetic(fname.clone(), *card).into_shared();
+        defs.push(ColumnDef::new(fname.clone(), ColumnRole::HomeFeature));
+        cols.push(CatColumn::new(dom, codes.clone()).expect("generated codes in domain"));
+    }
+
+    let mut dim_tables = Vec::with_capacity(dims.len());
+    for (i, dim) in dims.iter().enumerate() {
+        let n_r = dim
+            .columns
+            .first()
+            .map(|(_, _, codes)| codes.len())
+            .expect("dimensions have at least one feature column");
+        let key_dom = CatDomain::synthetic(format!("{}_rid", dim.name), n_r as u32).into_shared();
+
+        // FK column in the fact table.
+        let fk_name = format!("fk_{}", dim.name);
+        defs.push(ColumnDef::new(
+            fk_name.clone(),
+            ColumnRole::ForeignKey { dim: i },
+        ));
+        cols.push(
+            CatColumn::new(Arc::clone(&key_dom), fact.fks[i].clone())
+                .expect("generated FK codes within the dimension key domain"),
+        );
+
+        // Dimension table.
+        let mut d_defs = vec![ColumnDef::new("rid", ColumnRole::Id)];
+        let mut d_cols = vec![CatColumn::new(Arc::clone(&key_dom), (0..n_r as u32).collect())
+            .expect("sequential RIDs")];
+        for (cname, card, codes) in &dim.columns {
+            assert_eq!(codes.len(), n_r, "foreign feature length mismatch");
+            let dom = CatDomain::synthetic(format!("{}_{cname}", dim.name), *card).into_shared();
+            d_defs.push(ColumnDef::new(cname.clone(), ColumnRole::HomeFeature));
+            d_cols.push(CatColumn::new(dom, codes.clone()).expect("generated codes in domain"));
+        }
+        let table = Table::new(
+            TableSchema::new(dim.name.clone(), d_defs).expect("unique dimension column names"),
+            d_cols,
+        )
+        .expect("dimension column lengths agree");
+        let mut d = Dimension::new(table, "rid", fk_name);
+        if dim.open_domain {
+            d = d.open();
+        }
+        dim_tables.push(d);
+    }
+
+    let fact_table = Table::new(
+        TableSchema::new(name, defs).expect("unique fact column names"),
+        cols,
+    )
+    .expect("fact column lengths agree");
+    StarSchema::new(fact_table, dim_tables).expect("generated star satisfies KFK constraints")
+}
+
+/// The paper's simulation split sizes: `n_s` train plus `n_s/4` validation
+/// and `n_s/4` test (§4 "we also sample nS/4 examples each ...").
+pub fn sim_split_sizes(n_s: usize) -> (usize, usize, usize) {
+    let quarter = (n_s / 4).max(1);
+    (n_s, quarter, quarter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assemble_round_trips_through_validation() {
+        let fact = FactColumns {
+            y: vec![true, false, true, false],
+            xs: vec![("xs0".into(), 2, vec![0, 1, 0, 1])],
+            fks: vec![vec![0, 1, 2, 0]],
+        };
+        let dims = vec![DimColumns {
+            name: "r1".into(),
+            columns: vec![("xr0".into(), 2, vec![1, 0, 1])],
+            open_domain: false,
+        }];
+        let star = assemble_star("sim", fact, dims);
+        assert_eq!(star.fact().n_rows(), 4);
+        assert_eq!(star.q(), 1);
+        let joined = star.materialize_all().unwrap();
+        assert_eq!(joined.column("xr0").unwrap().codes(), &[1, 0, 1, 1]);
+    }
+
+    #[test]
+    fn split_sizes_follow_paper() {
+        assert_eq!(sim_split_sizes(1000), (1000, 250, 250));
+        assert_eq!(sim_split_sizes(2), (2, 1, 1));
+    }
+
+    #[test]
+    fn generated_star_indices_are_contiguous() {
+        let fact = FactColumns {
+            y: vec![true; 6],
+            xs: vec![("a".into(), 2, vec![0; 6])],
+            fks: vec![vec![0; 6]],
+        };
+        let dims = vec![DimColumns {
+            name: "r".into(),
+            columns: vec![("x".into(), 2, vec![0])],
+            open_domain: false,
+        }];
+        let g = GeneratedStar {
+            star: assemble_star("s", fact, dims),
+            n_train: 4,
+            n_val: 1,
+            n_test: 1,
+        };
+        assert_eq!(g.train_idx(), vec![0, 1, 2, 3]);
+        assert_eq!(g.val_idx(), vec![4]);
+        assert_eq!(g.test_idx(), vec![5]);
+        assert_eq!(g.n_total(), 6);
+    }
+}

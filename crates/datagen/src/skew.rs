@@ -1,0 +1,184 @@
+//! Foreign-key skew distributions (§4.1 "Foreign Key Skew").
+//!
+//! The paper stress-tests NoJoin under two FK skews: a Zipfian distribution
+//! (parameterised by the usual exponent) and a "needle-and-thread" skew that
+//! puts probability mass `p` on a single FK value (the needle) and spreads
+//! the rest uniformly (the thread).
+
+use rand::Rng;
+
+/// How fact-table FK values are drawn from the dimension's key domain.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum FkSkew {
+    /// Uniform over `0..n_r`.
+    Uniform,
+    /// Zipfian with exponent `s` (`s = 0` degenerates to uniform).
+    Zipf {
+        /// Skew exponent; the paper sweeps 0..4.
+        s: f64,
+    },
+    /// Needle-and-thread: mass `p` on code 0, the rest uniform on the others.
+    NeedleThread {
+        /// Needle probability; the paper sweeps 0.1..1.
+        p: f64,
+    },
+}
+
+/// A sampler over `0..n` for any [`FkSkew`], precomputing the CDF once.
+#[derive(Debug, Clone)]
+pub struct SkewSampler {
+    cdf: Vec<f64>,
+}
+
+impl SkewSampler {
+    /// Builds the cumulative distribution for `n` codes.
+    pub fn new(skew: FkSkew, n: u32) -> Self {
+        assert!(n > 0, "skew sampler needs at least one code");
+        let n = n as usize;
+        let mut pmf = vec![0.0f64; n];
+        match skew {
+            FkSkew::Uniform => {
+                pmf.iter_mut().for_each(|p| *p = 1.0 / n as f64);
+            }
+            FkSkew::Zipf { s } => {
+                let mut z = 0.0;
+                for (i, p) in pmf.iter_mut().enumerate() {
+                    *p = 1.0 / ((i + 1) as f64).powf(s);
+                    z += *p;
+                }
+                pmf.iter_mut().for_each(|p| *p /= z);
+            }
+            FkSkew::NeedleThread { p } => {
+                let p = p.clamp(0.0, 1.0);
+                if n == 1 {
+                    pmf[0] = 1.0;
+                } else {
+                    pmf[0] = p;
+                    let rest = (1.0 - p) / (n - 1) as f64;
+                    pmf.iter_mut().skip(1).for_each(|q| *q = rest);
+                }
+            }
+        }
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for p in pmf {
+            acc += p;
+            cdf.push(acc);
+        }
+        // Guard against floating-point shortfall at the tail.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Self { cdf }
+    }
+
+    /// Draws one code.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u32 {
+        let u: f64 = rng.gen();
+        // First index with cdf >= u.
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) | Err(i) => i.min(self.cdf.len() - 1) as u32,
+        }
+    }
+
+    /// Probability of one code (from CDF differences).
+    pub fn pmf(&self, code: u32) -> f64 {
+        let i = code as usize;
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+
+    /// Number of codes.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn hist(skew: FkSkew, n: u32, draws: usize) -> Vec<usize> {
+        let sampler = SkewSampler::new(skew, n);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut h = vec![0usize; n as usize];
+        for _ in 0..draws {
+            h[sampler.sample(&mut rng) as usize] += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn uniform_is_flat() {
+        let h = hist(FkSkew::Uniform, 10, 40_000);
+        for &c in &h {
+            let f = c as f64 / 40_000.0;
+            assert!((f - 0.1).abs() < 0.02, "freq {f}");
+        }
+    }
+
+    #[test]
+    fn zipf_zero_is_uniform() {
+        let s = SkewSampler::new(FkSkew::Zipf { s: 0.0 }, 5);
+        for c in 0..5 {
+            assert!((s.pmf(c) - 0.2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_mass_decreases_with_rank() {
+        let s = SkewSampler::new(FkSkew::Zipf { s: 2.0 }, 8);
+        for c in 1..8 {
+            assert!(s.pmf(c) < s.pmf(c - 1));
+        }
+        // Empirically the first code dominates.
+        let h = hist(FkSkew::Zipf { s: 2.0 }, 8, 20_000);
+        assert!(h[0] > h[1] && h[1] > h[2]);
+    }
+
+    #[test]
+    fn needle_gets_requested_mass() {
+        let s = SkewSampler::new(FkSkew::NeedleThread { p: 0.7 }, 11);
+        assert!((s.pmf(0) - 0.7).abs() < 1e-12);
+        for c in 1..11 {
+            assert!((s.pmf(c) - 0.03).abs() < 1e-12);
+        }
+        let h = hist(FkSkew::NeedleThread { p: 0.7 }, 11, 20_000);
+        let f0 = h[0] as f64 / 20_000.0;
+        assert!((f0 - 0.7).abs() < 0.02);
+    }
+
+    #[test]
+    fn needle_p_one_is_deterministic() {
+        let h = hist(FkSkew::NeedleThread { p: 1.0 }, 4, 1000);
+        assert_eq!(h[0], 1000);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for skew in [
+            FkSkew::Uniform,
+            FkSkew::Zipf { s: 1.5 },
+            FkSkew::NeedleThread { p: 0.4 },
+        ] {
+            let s = SkewSampler::new(skew, 23);
+            let total: f64 = (0..23).map(|c| s.pmf(c)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "{skew:?}");
+        }
+    }
+
+    #[test]
+    fn single_code_domain_works() {
+        let s = SkewSampler::new(FkSkew::NeedleThread { p: 0.5 }, 1);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        assert_eq!(s.sample(&mut rng), 0);
+        assert_eq!(s.n(), 1);
+    }
+}

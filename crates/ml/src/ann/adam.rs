@@ -1,0 +1,86 @@
+//! Adam optimizer (Kingma & Ba, ICLR 2015) — the paper's choice, with the
+//! algorithm's published default moment decays.
+
+/// Per-tensor Adam state.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    t: u64,
+    m: Vec<f64>,
+    v: Vec<f64>,
+}
+
+impl Adam {
+    /// Fresh optimizer state for a tensor of `len` parameters.
+    pub fn new(len: usize, lr: f64) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: vec![0.0; len],
+            v: vec![0.0; len],
+        }
+    }
+
+    /// One update step: `w ← w − lr · m̂ / (√v̂ + ε)` with bias correction.
+    pub fn step(&mut self, weights: &mut [f32], grads: &[f32]) {
+        debug_assert_eq!(weights.len(), grads.len());
+        debug_assert_eq!(weights.len(), self.m.len());
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..weights.len() {
+            let g = f64::from(grads[i]);
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
+            let m_hat = self.m[i] / b1t;
+            let v_hat = self.v[i] / b2t;
+            weights[i] -= (self.lr * m_hat / (v_hat.sqrt() + self.eps)) as f32;
+        }
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_step_moves_by_lr() {
+        // With bias correction, the first Adam step ≈ lr · sign(g).
+        let mut opt = Adam::new(1, 0.1);
+        let mut w = [1.0f32];
+        opt.step(&mut w, &[0.5]);
+        assert!((f64::from(w[0]) - (1.0 - 0.1)).abs() < 1e-6);
+        assert_eq!(opt.steps(), 1);
+    }
+
+    #[test]
+    fn converges_on_a_quadratic() {
+        // Minimise (w − 3)²; gradient 2(w − 3).
+        let mut opt = Adam::new(1, 0.05);
+        let mut w = [0.0f32];
+        for _ in 0..2000 {
+            let g = 2.0 * (w[0] - 3.0);
+            opt.step(&mut w, &[g]);
+        }
+        assert!((w[0] - 3.0).abs() < 1e-2, "w = {}", w[0]);
+    }
+
+    #[test]
+    fn zero_gradient_is_a_fixed_point_from_cold_start() {
+        let mut opt = Adam::new(2, 0.1);
+        let mut w = [2.0f32, -1.0];
+        opt.step(&mut w, &[0.0, 0.0]);
+        assert_eq!(w, [2.0, -1.0]);
+    }
+}

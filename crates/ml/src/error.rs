@@ -1,0 +1,75 @@
+//! Error type for the ML crate.
+
+use std::fmt;
+
+/// Errors raised by dataset construction and model fitting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MlError {
+    /// Row/label/feature shape disagreement.
+    Shape {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// A feature code exceeds its declared cardinality.
+    BadCode {
+        /// Feature index.
+        feature: usize,
+        /// Offending code.
+        code: u32,
+        /// Declared cardinality.
+        cardinality: u32,
+    },
+    /// A model was asked to do something unsupported (e.g. predict with an
+    /// out-of-domain feature vector length).
+    Invalid(String),
+    /// Propagated relational-substrate error.
+    Relation(String),
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Shape { detail } => write!(f, "shape error: {detail}"),
+            Self::BadCode {
+                feature,
+                code,
+                cardinality,
+            } => write!(
+                f,
+                "code {code} out of range for feature {feature} (cardinality {cardinality})"
+            ),
+            Self::Invalid(msg) => write!(f, "invalid operation: {msg}"),
+            Self::Relation(msg) => write!(f, "relation error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MlError {}
+
+impl From<hamlet_relation::error::RelationError> for MlError {
+    fn from(e: hamlet_relation::error::RelationError) -> Self {
+        Self::Relation(e.to_string())
+    }
+}
+
+/// Result alias for the ML crate.
+pub type Result<T> = std::result::Result<T, MlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = MlError::BadCode {
+            feature: 2,
+            code: 9,
+            cardinality: 4,
+        };
+        assert!(e.to_string().contains('9'));
+        let e = MlError::Shape {
+            detail: "labels".into(),
+        };
+        assert!(e.to_string().contains("labels"));
+    }
+}

@@ -1,0 +1,94 @@
+//! Evaluation metrics for binary classification.
+
+/// Fraction of agreeing predictions. Panics on length mismatch; an empty
+/// input scores 0 (callers never evaluate empty splits deliberately).
+pub fn accuracy(pred: &[bool], truth: &[bool]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "prediction/label length mismatch");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let hits = pred.iter().zip(truth).filter(|(p, t)| p == t).count();
+    hits as f64 / pred.len() as f64
+}
+
+/// 0/1 loss (`1 − accuracy`).
+pub fn error_rate(pred: &[bool], truth: &[bool]) -> f64 {
+    1.0 - accuracy(pred, truth)
+}
+
+/// Confusion counts for binary classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Tallies a prediction/label pairing.
+    pub fn from_pairs(pred: &[bool], truth: &[bool]) -> Self {
+        assert_eq!(pred.len(), truth.len());
+        let mut c = Self::default();
+        for (&p, &t) in pred.iter().zip(truth) {
+            match (p, t) {
+                (true, true) => c.tp += 1,
+                (false, false) => c.tn += 1,
+                (true, false) => c.fp += 1,
+                (false, true) => c.fn_ += 1,
+            }
+        }
+        c
+    }
+
+    /// Total examples tallied.
+    pub fn total(&self) -> usize {
+        self.tp + self.tn + self.fp + self.fn_
+    }
+
+    /// Accuracy from the counts.
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        (self.tp + self.tn) as f64 / self.total() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        let p = vec![true, false, true];
+        let t = vec![true, true, true];
+        assert!((accuracy(&p, &t) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((error_rate(&p, &t) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_scores_zero() {
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatch_panics() {
+        accuracy(&[true], &[]);
+    }
+
+    #[test]
+    fn confusion_counts() {
+        let p = vec![true, false, true, false];
+        let t = vec![true, true, false, false];
+        let c = Confusion::from_pairs(&p, &t);
+        assert_eq!((c.tp, c.fn_, c.fp, c.tn), (1, 1, 1, 1));
+        assert!((c.accuracy() - 0.5).abs() < 1e-12);
+        assert_eq!(c.total(), 4);
+    }
+}

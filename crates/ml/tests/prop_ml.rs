@@ -1,0 +1,208 @@
+//! Property-based tests of the classifiers' public-API invariants.
+
+use proptest::prelude::*;
+
+use hamlet_ml::prelude::*;
+
+/// A random dataset whose labels are a *deterministic function of the row*
+/// (XOR of parity bits), so no two identical rows disagree — the condition
+/// under which an unpruned tree must fit perfectly.
+fn consistent_dataset() -> impl Strategy<Value = CatDataset> {
+    (2usize..40, 1usize..4, 2u32..5, 0u64..1_000).prop_map(|(n, d, k, seed)| {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let features: Vec<FeatureMeta> = (0..d)
+            .map(|j| FeatureMeta {
+                name: format!("f{j}"),
+                cardinality: k,
+                provenance: Provenance::Home,
+            })
+            .collect();
+        let mut rows = Vec::with_capacity(n * d);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let row: Vec<u32> = (0..d).map(|_| rng.gen_range(0..k)).collect();
+            let label = row.iter().map(|&c| c & 1).sum::<u32>() % 2 == 0;
+            rows.extend_from_slice(&row);
+            labels.push(label);
+        }
+        CatDataset::new(features, rows, labels).unwrap()
+    })
+}
+
+/// Any random (possibly label-conflicting) dataset.
+fn any_dataset() -> impl Strategy<Value = CatDataset> {
+    (2usize..40, 1usize..4, 2u32..5, 0u64..1_000).prop_map(|(n, d, k, seed)| {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xABCD);
+        let features: Vec<FeatureMeta> = (0..d)
+            .map(|j| FeatureMeta {
+                name: format!("f{j}"),
+                cardinality: k,
+                provenance: Provenance::Home,
+            })
+            .collect();
+        let rows: Vec<u32> = (0..n * d).map(|_| rng.gen_range(0..k)).collect();
+        let labels: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+        CatDataset::new(features, rows, labels).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn unpruned_tree_at_least_matches_majority_and_fits_consistent_data(
+        ds in consistent_dataset()
+    ) {
+        let tree = DecisionTree::fit(
+            &ds,
+            TreeParams::new(SplitCriterion::Gini).with_minsplit(2).with_cp(0.0),
+        ).unwrap();
+        let majority = MajorityClass::fit(&ds);
+        prop_assert!(tree.accuracy(&ds) + 1e-12 >= majority.accuracy(&ds));
+        // Consistent labels + greedy may stall on zero-gain plateaus only
+        // when no single feature has gain anywhere on the path; parity
+        // labels CAN be such a plateau, so perfect fit is only guaranteed
+        // when the tree actually split. When it didn't, it must equal the
+        // majority baseline exactly.
+        if tree.n_nodes() > 1 {
+            prop_assert!(tree.accuracy(&ds) >= majority.accuracy(&ds));
+        } else {
+            prop_assert_eq!(tree.accuracy(&ds), majority.accuracy(&ds));
+        }
+    }
+
+    #[test]
+    fn tree_depth_and_leaves_are_bounded(ds in any_dataset()) {
+        let max_depth = 4usize;
+        let tree = DecisionTree::fit(
+            &ds,
+            TreeParams::new(SplitCriterion::InfoGain)
+                .with_minsplit(2)
+                .with_cp(0.0)
+                .with_max_depth(max_depth),
+        ).unwrap();
+        prop_assert!(tree.depth() <= max_depth);
+        prop_assert!(tree.n_leaves() <= ds.n_rows());
+        prop_assert_eq!(tree.n_nodes() % 2, 1, "binary trees have odd node counts");
+    }
+
+    #[test]
+    fn svm_dual_constraints_hold(ds in any_dataset(), c_idx in 0usize..3) {
+        let c = [0.5, 5.0, 50.0][c_idx];
+        let model = SvmModel::fit(
+            &ds,
+            SvmParams::new(KernelKind::Rbf { gamma: 0.5 }, c),
+        ).unwrap();
+        let sum: f64 = model.sv_coefficients().iter().sum();
+        prop_assert!(sum.abs() < 1e-6, "Σ αy = {sum}");
+        for &coef in model.sv_coefficients() {
+            prop_assert!(coef.abs() <= c + 1e-9, "|αy| = {} > C = {c}", coef.abs());
+        }
+    }
+
+    #[test]
+    fn svm_prediction_matches_decision_sign(ds in any_dataset()) {
+        let model = SvmModel::fit(
+            &ds,
+            SvmParams::new(KernelKind::Linear, 1.0),
+        ).unwrap();
+        for i in 0..ds.n_rows() {
+            let row = ds.row(i);
+            prop_assert_eq!(model.predict_row(row), model.decision(row) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn nb_posterior_is_a_probability_everywhere(ds in any_dataset()) {
+        let nb = NaiveBayes::fit(&ds).unwrap();
+        let k = ds.feature(0).cardinality;
+        // Probe the whole first-feature domain, including codes unseen in
+        // training.
+        for code in 0..k {
+            let mut row: Vec<u32> = ds.row(0).to_vec();
+            row[0] = code;
+            let p = nb.posterior_pos(&row);
+            prop_assert!((0.0..=1.0).contains(&p) && p.is_finite());
+            prop_assert_eq!(nb.predict_row(&row), p >= 0.5);
+        }
+    }
+
+    #[test]
+    fn knn_memorises_unique_rows(seed in 0u64..500) {
+        use rand::{seq::SliceRandom, SeedableRng};
+        // Build rows that are all distinct: codes enumerate a grid.
+        let k = 5u32;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut all: Vec<(u32, u32)> = (0..k).flat_map(|a| (0..k).map(move |b| (a, b))).collect();
+        all.shuffle(&mut rng);
+        all.truncate(12);
+        let features: Vec<FeatureMeta> = (0..2)
+            .map(|j| FeatureMeta {
+                name: format!("f{j}"),
+                cardinality: k,
+                provenance: Provenance::Home,
+            })
+            .collect();
+        let rows: Vec<u32> = all.iter().flat_map(|&(a, b)| [a, b]).collect();
+        let labels: Vec<bool> = all.iter().map(|&(a, b)| (a + b) % 2 == 0).collect();
+        let ds = CatDataset::new(features, rows, labels).unwrap();
+        let knn = OneNearestNeighbor::fit(&ds).unwrap();
+        prop_assert_eq!(knn.accuracy(&ds), 1.0);
+    }
+
+    #[test]
+    fn logreg_stays_finite_and_bounded(ds in any_dataset()) {
+        let model = LogRegL1::fit_path(&ds, &ds, LogRegParams {
+            nlambda: 5,
+            max_iter: 50,
+            ..Default::default()
+        }).unwrap();
+        prop_assert!(model.nnz() <= ds.onehot_dim());
+        for i in 0..ds.n_rows() {
+            let z = model.decision(ds.row(i));
+            prop_assert!(z.is_finite());
+            let p = model.probability(ds.row(i));
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn grid_search_returns_a_grid_cell(ds in consistent_dataset()) {
+        let grid = vec![
+            TreeParams::new(SplitCriterion::Gini).with_minsplit(2).with_cp(0.0),
+            TreeParams::new(SplitCriterion::Gini).with_minsplit(5).with_cp(0.01),
+            TreeParams::new(SplitCriterion::Gini).with_minsplit(100),
+        ];
+        let out = grid_search(&grid, &ds, &ds, |p, t| DecisionTree::fit(t, *p)).unwrap();
+        prop_assert!(grid.contains(&out.params));
+        prop_assert_eq!(out.evals.len(), grid.len());
+        // The winner's val accuracy is the max over all evals.
+        let best = out.evals.iter().map(|&(_, a)| a).fold(f64::MIN, f64::max);
+        prop_assert!((out.val_accuracy - best).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_50_25_25_partitions_rows(ds in any_dataset(), seed in 0u64..100) {
+        let s = split_50_25_25(&ds, seed);
+        prop_assert_eq!(
+            s.train.n_rows() + s.val.n_rows() + s.test.n_rows(),
+            ds.n_rows()
+        );
+        prop_assert!(s.train.n_rows() >= 1);
+    }
+
+    #[test]
+    fn match_matrix_is_a_valid_gram_basis(ds in any_dataset()) {
+        let mm = MatchMatrix::compute(&ds);
+        let d = ds.n_features() as u32;
+        for i in 0..ds.n_rows() {
+            prop_assert_eq!(mm.get(i, i), d);
+            for j in 0..ds.n_rows() {
+                prop_assert_eq!(mm.get(i, j), mm.get(j, i));
+                prop_assert!(mm.get(i, j) <= d);
+            }
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Dictionary-encoded categorical columns.
+
+use std::sync::Arc;
+
+use crate::domain::CatDomain;
+use crate::error::{RelationError, Result};
+
+/// A column of categorical codes with its shared domain.
+///
+/// Codes are validated against the domain at construction, so every consumer
+/// may index dense per-code arrays without bounds anxiety.
+#[derive(Debug, Clone)]
+pub struct CatColumn {
+    domain: Arc<CatDomain>,
+    codes: Vec<u32>,
+}
+
+impl CatColumn {
+    /// Builds a column, validating every code against the domain.
+    pub fn new(domain: Arc<CatDomain>, codes: Vec<u32>) -> Result<Self> {
+        let k = domain.cardinality();
+        if let Some(&bad) = codes.iter().find(|&&c| c >= k) {
+            return Err(RelationError::DomainViolation {
+                column: domain.name().to_string(),
+                code: bad,
+                cardinality: k,
+            });
+        }
+        Ok(Self { domain, codes })
+    }
+
+    /// Builds a column by encoding string labels (unknowns map to `Others`
+    /// when the domain has that slot).
+    pub fn from_labels<S: AsRef<str>>(domain: Arc<CatDomain>, labels: &[S]) -> Result<Self> {
+        let mut codes = Vec::with_capacity(labels.len());
+        for l in labels {
+            let l = l.as_ref();
+            match domain.encode(l) {
+                Some(c) => codes.push(c),
+                None => {
+                    return Err(RelationError::Csv(format!(
+                        "label `{l}` not in domain `{}`",
+                        domain.name()
+                    )))
+                }
+            }
+        }
+        Ok(Self { domain, codes })
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Whether the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Code at a row.
+    #[inline]
+    pub fn get(&self, row: usize) -> u32 {
+        self.codes[row]
+    }
+
+    /// Raw code slice.
+    #[inline]
+    pub fn codes(&self) -> &[u32] {
+        &self.codes
+    }
+
+    /// Shared domain.
+    pub fn domain(&self) -> &Arc<CatDomain> {
+        &self.domain
+    }
+
+    /// Domain cardinality (codes are `< cardinality`).
+    pub fn cardinality(&self) -> u32 {
+        self.domain.cardinality()
+    }
+
+    /// New column containing `rows[i] = self[idx[i]]`.
+    pub fn gather(&self, idx: &[usize]) -> CatColumn {
+        let codes = idx.iter().map(|&i| self.codes[i]).collect();
+        Self {
+            domain: Arc::clone(&self.domain),
+            codes,
+        }
+    }
+
+    /// Per-code occurrence counts (dense, length = cardinality).
+    pub fn value_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.cardinality() as usize];
+        for &c in &self.codes {
+            counts[c as usize] += 1;
+        }
+        counts
+    }
+
+    /// Number of codes that actually occur at least once.
+    pub fn distinct_present(&self) -> usize {
+        self.value_counts().iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Replaces the domain+codes through a total remapping `f: old -> new`.
+    /// Used by FK domain compression. `new_domain.cardinality()` must bound
+    /// the mapped codes.
+    pub fn remap(&self, new_domain: Arc<CatDomain>, map: &[u32]) -> Result<CatColumn> {
+        debug_assert_eq!(map.len(), self.cardinality() as usize);
+        let codes: Vec<u32> = self.codes.iter().map(|&c| map[c as usize]).collect();
+        CatColumn::new(new_domain, codes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dom(k: u32) -> Arc<CatDomain> {
+        CatDomain::synthetic("d", k).into_shared()
+    }
+
+    #[test]
+    fn construction_validates_codes() {
+        let d = dom(3);
+        assert!(CatColumn::new(Arc::clone(&d), vec![0, 1, 2, 1]).is_ok());
+        let err = CatColumn::new(d, vec![0, 3]).unwrap_err();
+        assert!(matches!(err, RelationError::DomainViolation { code: 3, .. }));
+    }
+
+    #[test]
+    fn from_labels_encodes() {
+        let d = dom(3);
+        let col = CatColumn::from_labels(Arc::clone(&d), &["v2", "v0"]).unwrap();
+        assert_eq!(col.codes(), &[2, 0]);
+        assert!(CatColumn::from_labels(d, &["bogus"]).is_err());
+    }
+
+    #[test]
+    fn gather_reorders_rows() {
+        let d = dom(4);
+        let col = CatColumn::new(d, vec![3, 1, 0, 2]).unwrap();
+        let g = col.gather(&[2, 0, 0]);
+        assert_eq!(g.codes(), &[0, 3, 3]);
+    }
+
+    #[test]
+    fn value_counts_dense() {
+        let d = dom(4);
+        let col = CatColumn::new(d, vec![1, 1, 3]).unwrap();
+        assert_eq!(col.value_counts(), vec![0, 2, 0, 1]);
+        assert_eq!(col.distinct_present(), 2);
+    }
+
+    #[test]
+    fn remap_compresses_domain() {
+        let d = dom(4);
+        let col = CatColumn::new(d, vec![0, 1, 2, 3]).unwrap();
+        let small = CatDomain::synthetic("small", 2).into_shared();
+        let mapped = col.remap(small, &[0, 0, 1, 1]).unwrap();
+        assert_eq!(mapped.codes(), &[0, 0, 1, 1]);
+        assert_eq!(mapped.cardinality(), 2);
+    }
+}

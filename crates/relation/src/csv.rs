@@ -1,0 +1,143 @@
+//! Minimal CSV import/export for categorical tables.
+//!
+//! Deliberately small: comma-separated, first row is the header, values are
+//! trimmed, quoting is not supported (labels in this workload are identifier
+//! -like). Import infers each column's domain from the distinct values seen,
+//! in first-appearance order, and tags roles via a caller-supplied function.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::column::CatColumn;
+use crate::domain::CatDomain;
+use crate::error::{RelationError, Result};
+use crate::schema::{ColumnDef, ColumnRole, TableSchema};
+use crate::table::Table;
+
+/// Writes a table as CSV (header + label rows).
+pub fn write_csv<W: Write>(table: &Table, mut w: W) -> Result<()> {
+    let header: Vec<&str> = table
+        .schema()
+        .columns()
+        .iter()
+        .map(|c| c.name.as_str())
+        .collect();
+    writeln!(w, "{}", header.join(","))?;
+    for row in 0..table.n_rows() {
+        let mut first = true;
+        for col in table.columns() {
+            if !first {
+                write!(w, ",")?;
+            }
+            write!(w, "{}", col.domain().label(col.get(row)))?;
+            first = false;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Reads a CSV into a table. `role_of(column_name)` assigns roles; domains
+/// are inferred from the data (distinct labels, first-appearance order).
+pub fn read_csv<R: Read>(
+    name: impl Into<String>,
+    reader: R,
+    role_of: impl Fn(&str) -> ColumnRole,
+) -> Result<Table> {
+    let mut lines = BufReader::new(reader).lines();
+    let header = match lines.next() {
+        Some(h) => h?,
+        None => return Err(RelationError::Csv("empty input".into())),
+    };
+    let names: Vec<String> = header.split(',').map(|s| s.trim().to_string()).collect();
+    if names.is_empty() || names.iter().any(String::is_empty) {
+        return Err(RelationError::Csv("bad header".into()));
+    }
+    let width = names.len();
+
+    let mut cells: Vec<Vec<String>> = vec![Vec::new(); width];
+    for (line_no, line) in lines.enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() != width {
+            return Err(RelationError::Csv(format!(
+                "row {} has {} fields, expected {width}",
+                line_no + 2,
+                fields.len()
+            )));
+        }
+        for (c, f) in fields.iter().enumerate() {
+            cells[c].push((*f).to_string());
+        }
+    }
+
+    let mut defs = Vec::with_capacity(width);
+    let mut columns = Vec::with_capacity(width);
+    for (i, col_name) in names.iter().enumerate() {
+        // Infer domain: distinct labels in first-appearance order.
+        let mut labels: Vec<String> = Vec::new();
+        for v in &cells[i] {
+            if !labels.iter().any(|l| l == v) {
+                labels.push(v.clone());
+            }
+        }
+        let domain = CatDomain::new(col_name.clone(), labels)?.into_shared();
+        columns.push(CatColumn::from_labels(domain, &cells[i])?);
+        defs.push(ColumnDef::new(col_name.clone(), role_of(col_name)));
+    }
+    Table::new(TableSchema::new(name, defs)?, columns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let csv = "y,gender,employer\nno,m,acme\nyes,f,globex\nyes,m,acme\n";
+        let t = read_csv("customers", csv.as_bytes(), |name| match name {
+            "y" => ColumnRole::Target,
+            "employer" => ColumnRole::ForeignKey { dim: 0 },
+            _ => ColumnRole::HomeFeature,
+        })
+        .unwrap();
+        assert_eq!(t.n_rows(), 3);
+        assert_eq!(t.column("employer").unwrap().codes(), &[0, 1, 0]);
+        assert_eq!(
+            t.schema().column("employer").unwrap().role,
+            ColumnRole::ForeignKey { dim: 0 }
+        );
+
+        let mut out = Vec::new();
+        write_csv(&t, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(text, csv.replace(",,", ","));
+
+        // Re-read the written text: identical codes.
+        let t2 = read_csv("again", text.as_bytes(), |_| ColumnRole::HomeFeature).unwrap();
+        assert_eq!(
+            t2.column("employer").unwrap().codes(),
+            t.column("employer").unwrap().codes()
+        );
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let csv = "a,b\n1,2\n3\n";
+        assert!(read_csv("t", csv.as_bytes(), |_| ColumnRole::HomeFeature).is_err());
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(read_csv("t", "".as_bytes(), |_| ColumnRole::HomeFeature).is_err());
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let csv = "a\nx\n\ny\n";
+        let t = read_csv("t", csv.as_bytes(), |_| ColumnRole::HomeFeature).unwrap();
+        assert_eq!(t.n_rows(), 2);
+    }
+}

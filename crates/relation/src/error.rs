@@ -1,0 +1,143 @@
+//! Error type for the relational substrate.
+
+use std::fmt;
+
+/// Errors raised by table construction, joins and star-schema validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelationError {
+    /// A column name was not found in a table schema.
+    ColumnNotFound {
+        /// Table whose schema was searched.
+        table: String,
+        /// Requested column name.
+        column: String,
+    },
+    /// A categorical code is outside its domain's cardinality.
+    DomainViolation {
+        /// Offending column.
+        column: String,
+        /// Code found in the data.
+        code: u32,
+        /// Domain cardinality (codes must be `< cardinality`).
+        cardinality: u32,
+    },
+    /// Two columns of the same table have different lengths.
+    LengthMismatch {
+        /// Expected number of rows.
+        expected: usize,
+        /// Actual number of rows found.
+        got: usize,
+    },
+    /// A schema declares the same column name twice.
+    DuplicateColumn(String),
+    /// A fact-table foreign key value has no matching dimension row.
+    ReferentialIntegrity {
+        /// Foreign-key column in the fact table.
+        fk_column: String,
+        /// Dangling code.
+        code: u32,
+    },
+    /// Joining columns draw from incompatible domains.
+    DomainMismatch {
+        /// Left (probe) column.
+        left: String,
+        /// Right (build) column.
+        right: String,
+    },
+    /// The dimension table's key column is not a primary key (duplicates).
+    NotAKey {
+        /// Key column name.
+        column: String,
+        /// A code that appears more than once.
+        code: u32,
+    },
+    /// Generic schema-level invariant violation.
+    InvalidSchema(String),
+    /// CSV parse failure.
+    Csv(String),
+    /// I/O failure (message only; `std::io::Error` is not `Clone`).
+    Io(String),
+}
+
+impl fmt::Display for RelationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ColumnNotFound { table, column } => {
+                write!(f, "column `{column}` not found in table `{table}`")
+            }
+            Self::DomainViolation {
+                column,
+                code,
+                cardinality,
+            } => write!(
+                f,
+                "code {code} out of domain for column `{column}` (cardinality {cardinality})"
+            ),
+            Self::LengthMismatch { expected, got } => {
+                write!(f, "column length mismatch: expected {expected}, got {got}")
+            }
+            Self::DuplicateColumn(name) => write!(f, "duplicate column name `{name}`"),
+            Self::ReferentialIntegrity { fk_column, code } => write!(
+                f,
+                "referential integrity violated: FK `{fk_column}` code {code} has no dimension row"
+            ),
+            Self::DomainMismatch { left, right } => {
+                write!(f, "domain mismatch between `{left}` and `{right}`")
+            }
+            Self::NotAKey { column, code } => {
+                write!(f, "column `{column}` is not a key: code {code} duplicated")
+            }
+            Self::InvalidSchema(msg) => write!(f, "invalid schema: {msg}"),
+            Self::Csv(msg) => write!(f, "csv error: {msg}"),
+            Self::Io(msg) => write!(f, "io error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RelationError {}
+
+impl From<std::io::Error> for RelationError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e.to_string())
+    }
+}
+
+/// Convenience result alias used throughout the substrate.
+pub type Result<T> = std::result::Result<T, RelationError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = RelationError::ColumnNotFound {
+            table: "S".into(),
+            column: "FK1".into(),
+        };
+        assert!(e.to_string().contains("FK1"));
+        assert!(e.to_string().contains('S'));
+
+        let e = RelationError::DomainViolation {
+            column: "c".into(),
+            code: 9,
+            cardinality: 4,
+        };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('4'));
+
+        let e = RelationError::ReferentialIntegrity {
+            fk_column: "FK".into(),
+            code: 3,
+        };
+        assert!(e.to_string().contains("FK"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: RelationError = io.into();
+        assert!(matches!(e, RelationError::Io(_)));
+        assert!(e.to_string().contains("gone"));
+    }
+}

@@ -1,0 +1,119 @@
+//! Functional-dependency checking.
+//!
+//! A KFK join plants the FD `FK → X_R` in its output (§1, footnote 1): two
+//! rows that agree on the foreign key must agree on every foreign feature.
+//! This module verifies that property on materialized tables — it is the
+//! workhorse of the substrate's property tests and a useful data-quality
+//! assertion for users bringing their own denormalized data.
+
+use crate::error::Result;
+use crate::table::Table;
+
+/// Checks whether `lhs → rhs` holds in `table`: every pair of rows agreeing
+/// on `lhs` agrees on all `rhs` columns. O(n · |rhs|) with dense per-code
+/// witness storage.
+pub fn check_fd(table: &Table, lhs: &str, rhs: &[&str]) -> Result<bool> {
+    let lhs_col = table.column(lhs)?;
+    let rhs_cols = rhs
+        .iter()
+        .map(|name| table.column(name))
+        .collect::<Result<Vec<_>>>()?;
+
+    // witness[code] = first-seen rhs tuple for that lhs code.
+    let k = lhs_col.cardinality() as usize;
+    let mut witness: Vec<Option<Vec<u32>>> = vec![None; k];
+    for row in 0..table.n_rows() {
+        let code = lhs_col.get(row) as usize;
+        let tuple: Vec<u32> = rhs_cols.iter().map(|c| c.get(row)).collect();
+        match &witness[code] {
+            None => witness[code] = Some(tuple),
+            Some(seen) => {
+                if *seen != tuple {
+                    return Ok(false);
+                }
+            }
+        }
+    }
+    Ok(true)
+}
+
+/// Returns the set of violating `lhs` codes (empty when the FD holds).
+pub fn fd_violations(table: &Table, lhs: &str, rhs: &[&str]) -> Result<Vec<u32>> {
+    let lhs_col = table.column(lhs)?;
+    let rhs_cols = rhs
+        .iter()
+        .map(|name| table.column(name))
+        .collect::<Result<Vec<_>>>()?;
+
+    let k = lhs_col.cardinality() as usize;
+    let mut witness: Vec<Option<Vec<u32>>> = vec![None; k];
+    let mut bad = vec![false; k];
+    for row in 0..table.n_rows() {
+        let code = lhs_col.get(row) as usize;
+        let tuple: Vec<u32> = rhs_cols.iter().map(|c| c.get(row)).collect();
+        match &witness[code] {
+            None => witness[code] = Some(tuple),
+            Some(seen) => {
+                if *seen != tuple {
+                    bad[code] = true;
+                }
+            }
+        }
+    }
+    Ok((0..k as u32).filter(|&c| bad[c as usize]).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::CatColumn;
+    use crate::domain::CatDomain;
+    use crate::schema::{ColumnDef, ColumnRole, TableSchema};
+
+    fn table(fk: Vec<u32>, xr: Vec<u32>) -> Table {
+        let d4 = CatDomain::synthetic("fk", 4).into_shared();
+        let d3 = CatDomain::synthetic("xr", 3).into_shared();
+        Table::new(
+            TableSchema::new(
+                "t",
+                vec![
+                    ColumnDef::new("fk", ColumnRole::ForeignKey { dim: 0 }),
+                    ColumnDef::new("xr", ColumnRole::ForeignFeature { dim: 0 }),
+                ],
+            )
+            .unwrap(),
+            vec![
+                CatColumn::new(d4, fk).unwrap(),
+                CatColumn::new(d3, xr).unwrap(),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fd_holds() {
+        let t = table(vec![0, 1, 0, 2, 1], vec![2, 0, 2, 1, 0]);
+        assert!(check_fd(&t, "fk", &["xr"]).unwrap());
+        assert!(fd_violations(&t, "fk", &["xr"]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn fd_violated() {
+        let t = table(vec![0, 1, 0], vec![2, 0, 1]);
+        assert!(!check_fd(&t, "fk", &["xr"]).unwrap());
+        assert_eq!(fd_violations(&t, "fk", &["xr"]).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn missing_column_errors() {
+        let t = table(vec![0], vec![0]);
+        assert!(check_fd(&t, "nope", &["xr"]).is_err());
+        assert!(check_fd(&t, "fk", &["nope"]).is_err());
+    }
+
+    #[test]
+    fn empty_rhs_trivially_holds() {
+        let t = table(vec![0, 1], vec![0, 1]);
+        assert!(check_fd(&t, "fk", &[]).unwrap());
+    }
+}

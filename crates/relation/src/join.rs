@@ -1,0 +1,246 @@
+//! Key–foreign-key equi-joins.
+//!
+//! The projected KFK join `T ← π(R ⋈_{RID=FK} S)` (§2.1) is the only join the
+//! paper's setting needs: build a key index on the dimension's primary key,
+//! probe with the fact table's FK column, and gather the dimension's feature
+//! columns into the output. Because categorical codes are dense (`< |D|`),
+//! the "hash" index degenerates into a direct-addressed array — the fastest
+//! possible build/probe structure for this workload.
+
+use crate::domain::join_compatible;
+use crate::error::{RelationError, Result};
+use crate::schema::{ColumnDef, ColumnRole};
+use crate::table::Table;
+
+/// A direct-addressed unique-key index over a dimension table:
+/// `lookup[code] = Some(row)` iff some dimension row has that key code.
+#[derive(Debug, Clone)]
+pub struct KeyIndex {
+    lookup: Vec<Option<u32>>,
+}
+
+impl KeyIndex {
+    /// Builds the index from a dimension's key column, enforcing uniqueness.
+    pub fn build(dim: &Table, rid_col: &str) -> Result<Self> {
+        let key = dim.column(rid_col)?;
+        let mut lookup = vec![None; key.cardinality() as usize];
+        for (row, &code) in key.codes().iter().enumerate() {
+            let slot = &mut lookup[code as usize];
+            if slot.is_some() {
+                return Err(RelationError::NotAKey {
+                    column: rid_col.to_string(),
+                    code,
+                });
+            }
+            *slot = Some(row as u32);
+        }
+        Ok(Self { lookup })
+    }
+
+    /// Dimension row for a key code, if present.
+    #[inline]
+    pub fn probe(&self, code: u32) -> Option<u32> {
+        self.lookup[code as usize]
+    }
+
+    /// Number of key codes with a matching row.
+    pub fn populated(&self) -> usize {
+        self.lookup.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+/// Performs the projected KFK equi-join of one dimension into the fact table.
+///
+/// Output columns: every fact column unchanged, followed by every non-key
+/// dimension column gathered through the FK, tagged `ForeignFeature { dim }`.
+/// Name collisions are disambiguated with a `"{dim_table}."` prefix.
+///
+/// Errors if the FK and RID domains are incompatible, the RID is not unique,
+/// or any FK value dangles (referential-integrity violation) — KFK joins are
+/// never selective in this setting (§2.1), so a dangling key is a data bug.
+pub fn kfk_join(
+    fact: &Table,
+    fk_col: &str,
+    dim: &Table,
+    rid_col: &str,
+    dim_tag: usize,
+) -> Result<Table> {
+    let fk = fact.column(fk_col)?;
+    let rid = dim.column(rid_col)?;
+    if !join_compatible(fk.domain(), rid.domain()) {
+        return Err(RelationError::DomainMismatch {
+            left: fk_col.to_string(),
+            right: rid_col.to_string(),
+        });
+    }
+    let index = KeyIndex::build(dim, rid_col)?;
+
+    // Probe: map each fact row to its dimension row.
+    let mut dim_rows = Vec::with_capacity(fact.n_rows());
+    for &code in fk.codes() {
+        match index.probe(code) {
+            Some(row) => dim_rows.push(row as usize),
+            None => {
+                return Err(RelationError::ReferentialIntegrity {
+                    fk_column: fk_col.to_string(),
+                    code,
+                })
+            }
+        }
+    }
+
+    // Gather dimension feature columns into the fact's row order.
+    let mut out = fact.clone().renamed(format!("{}⋈{}", fact.name(), dim.name()));
+    let rid_idx = dim.schema().index_of(rid_col)?;
+    for (i, def) in dim.schema().columns().iter().enumerate() {
+        if i == rid_idx {
+            continue; // the projected join drops the dimension key
+        }
+        let name = if out.schema().index_of(&def.name).is_ok() {
+            format!("{}.{}", dim.name(), def.name)
+        } else {
+            def.name.clone()
+        };
+        let gathered = dim.column_at(i).gather(&dim_rows);
+        out = out.with_column(
+            ColumnDef::new(name, ColumnRole::ForeignFeature { dim: dim_tag }),
+            gathered,
+        )?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::CatColumn;
+    use crate::domain::CatDomain;
+    use crate::schema::TableSchema;
+    use std::sync::Arc;
+
+    fn star() -> (Table, Table) {
+        // Shared FK/RID domain of 3 employers.
+        let emp = CatDomain::synthetic("employer", 3).into_shared();
+        let bin = CatDomain::synthetic("bin", 2).into_shared();
+
+        let fact = Table::new(
+            TableSchema::new(
+                "customers",
+                vec![
+                    ColumnDef::new("y", ColumnRole::Target),
+                    ColumnDef::new("gender", ColumnRole::HomeFeature),
+                    ColumnDef::new("employer", ColumnRole::ForeignKey { dim: 0 }),
+                ],
+            )
+            .unwrap(),
+            vec![
+                CatColumn::new(Arc::clone(&bin), vec![0, 1, 1, 0, 1]).unwrap(),
+                CatColumn::new(Arc::clone(&bin), vec![0, 0, 1, 1, 0]).unwrap(),
+                CatColumn::new(Arc::clone(&emp), vec![2, 0, 1, 2, 0]).unwrap(),
+            ],
+        )
+        .unwrap();
+
+        let dim = Table::new(
+            TableSchema::new(
+                "employers",
+                vec![
+                    ColumnDef::new("rid", ColumnRole::Id),
+                    ColumnDef::new("state", ColumnRole::HomeFeature),
+                    ColumnDef::new("revenue", ColumnRole::HomeFeature),
+                ],
+            )
+            .unwrap(),
+            vec![
+                CatColumn::new(Arc::clone(&emp), vec![0, 1, 2]).unwrap(),
+                CatColumn::new(Arc::clone(&bin), vec![1, 0, 1]).unwrap(),
+                CatColumn::new(Arc::clone(&bin), vec![0, 0, 1]).unwrap(),
+            ],
+        )
+        .unwrap();
+        (fact, dim)
+    }
+
+    #[test]
+    fn join_gathers_foreign_features() {
+        let (fact, dim) = star();
+        let t = kfk_join(&fact, "employer", &dim, "rid", 0).unwrap();
+        assert_eq!(t.n_rows(), 5);
+        assert_eq!(t.width(), 5);
+        // employer codes 2,0,1,2,0 → state 1,1,0,1,1 and revenue 1,0,0,1,0
+        assert_eq!(t.column("state").unwrap().codes(), &[1, 1, 0, 1, 1]);
+        assert_eq!(t.column("revenue").unwrap().codes(), &[1, 0, 0, 1, 0]);
+        let def = t.schema().column("state").unwrap();
+        assert_eq!(def.role, ColumnRole::ForeignFeature { dim: 0 });
+        // Fact columns unchanged.
+        assert_eq!(t.column("employer").unwrap().codes(), &[2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn join_is_order_preserving_and_non_selective() {
+        let (fact, dim) = star();
+        let t = kfk_join(&fact, "employer", &dim, "rid", 0).unwrap();
+        assert_eq!(
+            t.column("y").unwrap().codes(),
+            fact.column("y").unwrap().codes()
+        );
+    }
+
+    #[test]
+    fn dangling_fk_is_an_error() {
+        let (fact, dim) = star();
+        // Shrink the dimension so employer code 2 dangles.
+        let small = dim.gather_rows(&[0, 1]).unwrap();
+        let err = kfk_join(&fact, "employer", &small, "rid", 0).unwrap_err();
+        assert!(matches!(
+            err,
+            RelationError::ReferentialIntegrity { code: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn duplicate_rid_is_an_error() {
+        let (fact, dim) = star();
+        let dupl = dim.gather_rows(&[0, 0, 1]).unwrap();
+        let err = kfk_join(&fact, "employer", &dupl, "rid", 0).unwrap_err();
+        assert!(matches!(err, RelationError::NotAKey { code: 0, .. }));
+    }
+
+    #[test]
+    fn incompatible_domains_rejected() {
+        let (fact, dim) = star();
+        // Rebuild the dim with a different-size key domain.
+        let other = CatDomain::synthetic("other", 4).into_shared();
+        let dim2 = dim
+            .replace_column(0, CatColumn::new(other, vec![0, 1, 2]).unwrap())
+            .unwrap();
+        let err = kfk_join(&fact, "employer", &dim2, "rid", 0).unwrap_err();
+        assert!(matches!(err, RelationError::DomainMismatch { .. }));
+    }
+
+    #[test]
+    fn name_collisions_get_prefixed() {
+        let (fact, dim) = star();
+        // Rename dim's "state" to "gender" to force a collision.
+        let schema = TableSchema::new(
+            "employers",
+            vec![
+                ColumnDef::new("rid", ColumnRole::Id),
+                ColumnDef::new("gender", ColumnRole::HomeFeature),
+                ColumnDef::new("revenue", ColumnRole::HomeFeature),
+            ],
+        )
+        .unwrap();
+        let dim2 = Table::new(schema, dim.columns().to_vec()).unwrap();
+        let t = kfk_join(&fact, "employer", &dim2, "rid", 0).unwrap();
+        assert!(t.column("employers.gender").is_ok());
+    }
+
+    #[test]
+    fn key_index_probe() {
+        let (_, dim) = star();
+        let idx = KeyIndex::build(&dim, "rid").unwrap();
+        assert_eq!(idx.populated(), 3);
+        assert_eq!(idx.probe(1), Some(1));
+    }
+}

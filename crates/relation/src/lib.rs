@@ -1,0 +1,81 @@
+//! # hamlet-relation
+//!
+//! In-memory columnar relational substrate for *categorical* star schemas —
+//! the data layer under the VLDB 2017 study "Are Key-Foreign Key Joins Safe
+//! to Avoid when Learning High-Capacity Classifiers?" (Shah, Kumar, Zhu).
+//!
+//! The paper's setting (§2) is a star schema: a fact table
+//! `S(SID, Y, X_S, FK_1..FK_q)` and dimension tables `R_i(RID_i, X_Ri)`,
+//! every feature categorical with a known finite domain. This crate provides
+//! exactly that world:
+//!
+//! - [`domain::CatDomain`] — closed categorical domains with dense `u32`
+//!   codes and optional `Others` slots;
+//! - [`column::CatColumn`] / [`table::Table`] — validated dictionary-encoded
+//!   columnar storage with projection and row-gather primitives;
+//! - [`schema::ColumnRole`] — the paper's feature taxonomy (home features,
+//!   foreign keys, foreign features) as first-class schema metadata;
+//! - [`join::kfk_join`] — the projected KFK equi-join `π(R ⋈ S)` with
+//!   direct-addressed key indexes and referential-integrity enforcement;
+//! - [`star::StarSchema`] — validated fact/dimension bundles, tuple ratios,
+//!   and selective materialization (the JoinAll / NoR_i inputs);
+//! - [`fd`] — functional-dependency checking (`FK → X_R` must hold in every
+//!   materialized join output);
+//! - [`stats`] — entropies and per-code label histograms feeding the
+//!   compression and advisor machinery upstream;
+//! - [`csv`] — minimal import/export for examples and interop.
+//!
+//! ```
+//! use hamlet_relation::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // Customers(fact) -- Employer FK --> Employers(dimension)
+//! let employer = CatDomain::synthetic("employer", 3).into_shared();
+//! let bin = CatDomain::synthetic("bin", 2).into_shared();
+//! let fact = Table::new(
+//!     TableSchema::new("customers", vec![
+//!         ColumnDef::new("churn", ColumnRole::Target),
+//!         ColumnDef::new("employer", ColumnRole::ForeignKey { dim: 0 }),
+//!     ]).unwrap(),
+//!     vec![
+//!         CatColumn::new(Arc::clone(&bin), vec![0, 1, 1]).unwrap(),
+//!         CatColumn::new(Arc::clone(&employer), vec![2, 0, 1]).unwrap(),
+//!     ],
+//! ).unwrap();
+//! let employers = Table::new(
+//!     TableSchema::new("employers", vec![
+//!         ColumnDef::new("rid", ColumnRole::Id),
+//!         ColumnDef::new("state", ColumnRole::HomeFeature),
+//!     ]).unwrap(),
+//!     vec![
+//!         CatColumn::new(Arc::clone(&employer), vec![0, 1, 2]).unwrap(),
+//!         CatColumn::new(Arc::clone(&bin), vec![0, 1, 0]).unwrap(),
+//!     ],
+//! ).unwrap();
+//!
+//! let star = StarSchema::new(fact, vec![Dimension::new(employers, "rid", "employer")]).unwrap();
+//! let joined = star.materialize_all().unwrap();
+//! assert!(hamlet_relation::fd::check_fd(&joined, "employer", &["state"]).unwrap());
+//! ```
+
+pub mod column;
+pub mod csv;
+pub mod domain;
+pub mod error;
+pub mod fd;
+pub mod join;
+pub mod schema;
+pub mod star;
+pub mod stats;
+pub mod table;
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::column::CatColumn;
+    pub use crate::domain::{CatDomain, OTHERS_LABEL};
+    pub use crate::error::{RelationError, Result as RelationResult};
+    pub use crate::join::{kfk_join, KeyIndex};
+    pub use crate::schema::{ColumnDef, ColumnRole, TableSchema};
+    pub use crate::star::{Dimension, DimensionStats, StarSchema};
+    pub use crate::table::Table;
+}

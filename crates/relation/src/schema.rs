@@ -1,0 +1,203 @@
+//! Table schemas with ML-aware column roles.
+//!
+//! The paper's setting distinguishes *home features* `X_S`, *foreign keys*
+//! `FK_i` and *foreign features* `X_Ri` (§2.1); the whole point of "avoiding
+//! joins safely" is that these roles — pure schema information — decide which
+//! columns a model needs. Roles therefore live in the substrate.
+
+use crate::error::{RelationError, Result};
+
+/// The provenance/role of a column in the star-schema learning setting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ColumnRole {
+    /// Row identifier (e.g. `SID`, or a dimension's `RID`). Never a feature.
+    Id,
+    /// The class label `Y`.
+    Target,
+    /// A feature native to the fact table (`X_S`).
+    HomeFeature,
+    /// A foreign key `FK_i` referencing dimension `dim`.
+    ForeignKey {
+        /// Index of the referenced dimension within the star schema.
+        dim: usize,
+    },
+    /// A feature brought in from dimension `dim` (`X_Ri`).
+    ForeignFeature {
+        /// Index of the originating dimension within the star schema.
+        dim: usize,
+    },
+}
+
+impl ColumnRole {
+    /// Whether a column with this role may ever be used as a model feature.
+    pub fn is_feature(self) -> bool {
+        matches!(
+            self,
+            Self::HomeFeature | Self::ForeignKey { .. } | Self::ForeignFeature { .. }
+        )
+    }
+}
+
+/// A named, role-tagged column declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name, unique within its table.
+    pub name: String,
+    /// Learning role.
+    pub role: ColumnRole,
+}
+
+impl ColumnDef {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, role: ColumnRole) -> Self {
+        Self {
+            name: name.into(),
+            role,
+        }
+    }
+}
+
+/// An ordered collection of column definitions with a table name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    name: String,
+    columns: Vec<ColumnDef>,
+}
+
+impl TableSchema {
+    /// Builds a schema, rejecting duplicate column names.
+    pub fn new(name: impl Into<String>, columns: Vec<ColumnDef>) -> Result<Self> {
+        let name = name.into();
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].iter().any(|p| p.name == c.name) {
+                return Err(RelationError::DuplicateColumn(c.name.clone()));
+            }
+        }
+        Ok(Self { name, columns })
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All column definitions, in storage order.
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Index of a column by name.
+    pub fn index_of(&self, column: &str) -> Result<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name == column)
+            .ok_or_else(|| RelationError::ColumnNotFound {
+                table: self.name.clone(),
+                column: column.to_string(),
+            })
+    }
+
+    /// Definition of a column by name.
+    pub fn column(&self, name: &str) -> Result<&ColumnDef> {
+        self.index_of(name).map(|i| &self.columns[i])
+    }
+
+    /// Indices of all columns with a given role predicate.
+    pub fn indices_where(&self, pred: impl Fn(ColumnRole) -> bool) -> Vec<usize> {
+        self.columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| pred(c.role))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Index of the unique `Target` column, if any.
+    pub fn target_index(&self) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.role == ColumnRole::Target)
+    }
+
+    /// New schema holding the same table name and a subset of columns.
+    pub fn project(&self, indices: &[usize]) -> TableSchema {
+        let columns = indices.iter().map(|&i| self.columns[i].clone()).collect();
+        Self {
+            name: self.name.clone(),
+            columns,
+        }
+    }
+
+    /// New schema with an extra column appended.
+    pub fn with_column(&self, def: ColumnDef) -> Result<TableSchema> {
+        let mut columns = self.columns.clone();
+        columns.push(def);
+        Self::new(self.name.clone(), columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> TableSchema {
+        TableSchema::new(
+            "S",
+            vec![
+                ColumnDef::new("sid", ColumnRole::Id),
+                ColumnDef::new("y", ColumnRole::Target),
+                ColumnDef::new("xs1", ColumnRole::HomeFeature),
+                ColumnDef::new("fk1", ColumnRole::ForeignKey { dim: 0 }),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = TableSchema::new(
+            "S",
+            vec![
+                ColumnDef::new("a", ColumnRole::Id),
+                ColumnDef::new("a", ColumnRole::Target),
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, RelationError::DuplicateColumn(_)));
+    }
+
+    #[test]
+    fn lookup_and_roles() {
+        let s = schema();
+        assert_eq!(s.index_of("fk1").unwrap(), 3);
+        assert!(s.index_of("nope").is_err());
+        assert_eq!(s.target_index(), Some(1));
+        assert_eq!(s.indices_where(|r| r.is_feature()), vec![2, 3]);
+        assert!(!ColumnRole::Id.is_feature());
+        assert!(ColumnRole::ForeignFeature { dim: 1 }.is_feature());
+    }
+
+    #[test]
+    fn projection_preserves_order() {
+        let s = schema().project(&[3, 2]);
+        assert_eq!(s.columns()[0].name, "fk1");
+        assert_eq!(s.columns()[1].name, "xs1");
+        assert_eq!(s.width(), 2);
+    }
+
+    #[test]
+    fn with_column_appends() {
+        let s = schema()
+            .with_column(ColumnDef::new("xr1", ColumnRole::ForeignFeature { dim: 0 }))
+            .unwrap();
+        assert_eq!(s.width(), 5);
+        assert!(s
+            .with_column(ColumnDef::new("xr1", ColumnRole::HomeFeature))
+            .is_err());
+    }
+}

@@ -1,0 +1,323 @@
+//! Star schemas: a fact table plus dimension tables bound by KFK constraints.
+
+use crate::error::{RelationError, Result};
+use crate::join::{kfk_join, KeyIndex};
+use crate::schema::ColumnRole;
+use crate::table::Table;
+
+/// One dimension table and its binding to the fact table.
+#[derive(Debug, Clone)]
+pub struct Dimension {
+    /// The dimension table `R_i`.
+    pub table: Table,
+    /// Primary-key column name inside `table`.
+    pub rid: String,
+    /// Foreign-key column name inside the fact table.
+    pub fk: String,
+    /// `true` when the FK's domain is "open" (e.g. Expedia's search id):
+    /// values are never repeated in the future, so the FK itself is unusable
+    /// as a feature and the dimension can never be discarded (Table 1 "N/A").
+    pub open_domain: bool,
+}
+
+impl Dimension {
+    /// Convenience constructor for a closed-domain dimension.
+    pub fn new(table: Table, rid: impl Into<String>, fk: impl Into<String>) -> Self {
+        Self {
+            table,
+            rid: rid.into(),
+            fk: fk.into(),
+            open_domain: false,
+        }
+    }
+
+    /// Marks the FK as open-domain.
+    pub fn open(mut self) -> Self {
+        self.open_domain = true;
+        self
+    }
+
+    /// Number of dimension rows `n_R` (= `|D_FK|` by definition, §2.1).
+    pub fn n_rows(&self) -> usize {
+        self.table.n_rows()
+    }
+
+    /// Number of foreign features `d_R` (non-key columns).
+    pub fn d_features(&self) -> usize {
+        self.table.width() - 1
+    }
+}
+
+/// Summary statistics for one dimension, as reported in the paper's Table 1.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct DimensionStats {
+    /// Dimension table name.
+    pub name: String,
+    /// `n_R`: rows in the dimension (= FK domain size).
+    pub n_rows: usize,
+    /// `d_R`: foreign feature count.
+    pub d_features: usize,
+    /// `n_S / n_R` computed on the rows supplied (callers pass the *training*
+    /// row count to match Table 1's 50 %-split convention).
+    pub tuple_ratio: f64,
+    /// Whether the FK has an open domain (Table 1's "N/A" rows).
+    pub open_domain: bool,
+}
+
+/// A fact table with `q` dimensions. Construction validates the KFK bindings:
+/// column existence, key uniqueness and referential integrity.
+#[derive(Debug, Clone)]
+pub struct StarSchema {
+    fact: Table,
+    dims: Vec<Dimension>,
+}
+
+impl StarSchema {
+    /// Builds and validates a star schema.
+    pub fn new(fact: Table, dims: Vec<Dimension>) -> Result<Self> {
+        for (i, d) in dims.iter().enumerate() {
+            // FK must exist in the fact table and be role-tagged for dim i.
+            let def = fact.schema().column(&d.fk)?;
+            match def.role {
+                ColumnRole::ForeignKey { dim } if dim == i => {}
+                ColumnRole::ForeignKey { dim } => {
+                    return Err(RelationError::InvalidSchema(format!(
+                        "FK `{}` is tagged for dimension {dim} but bound to dimension {i}",
+                        d.fk
+                    )))
+                }
+                _ => {
+                    return Err(RelationError::InvalidSchema(format!(
+                        "column `{}` is not a foreign key",
+                        d.fk
+                    )))
+                }
+            }
+            // RID must exist and be a unique key; every FK value must match.
+            let index = KeyIndex::build(&d.table, &d.rid)?;
+            let fk_col = fact.column(&d.fk)?;
+            for &code in fk_col.codes() {
+                if index.probe(code).is_none() {
+                    return Err(RelationError::ReferentialIntegrity {
+                        fk_column: d.fk.clone(),
+                        code,
+                    });
+                }
+            }
+        }
+        Ok(Self { fact, dims })
+    }
+
+    /// The fact table `S`.
+    pub fn fact(&self) -> &Table {
+        &self.fact
+    }
+
+    /// The dimensions `R_1 .. R_q`.
+    pub fn dims(&self) -> &[Dimension] {
+        &self.dims
+    }
+
+    /// Number of dimensions `q`.
+    pub fn q(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// `n_S / n_R(i)` over the full fact table. Table 1 reports the ratio on
+    /// the 50 % training split; callers can halve as needed.
+    pub fn tuple_ratio(&self, dim: usize) -> f64 {
+        self.fact.n_rows() as f64 / self.dims[dim].n_rows() as f64
+    }
+
+    /// Per-dimension stats with the tuple ratio computed against
+    /// `effective_n_s` fact rows (pass the training-split size to reproduce
+    /// Table 1 exactly).
+    pub fn stats(&self, effective_n_s: usize) -> Vec<DimensionStats> {
+        self.dims
+            .iter()
+            .map(|d| DimensionStats {
+                name: d.table.name().to_string(),
+                n_rows: d.n_rows(),
+                d_features: d.d_features(),
+                tuple_ratio: effective_n_s as f64 / d.n_rows() as f64,
+                open_domain: d.open_domain,
+            })
+            .collect()
+    }
+
+    /// Materializes the projected KFK join with the dimensions selected by
+    /// `include[i]`. `include.len()` must equal `q`. The fact's own columns
+    /// (including every FK) always appear; use downstream feature configs to
+    /// drop FK columns from the model's view.
+    pub fn materialize(&self, include: &[bool]) -> Result<Table> {
+        if include.len() != self.dims.len() {
+            return Err(RelationError::InvalidSchema(format!(
+                "include mask has {} entries for {} dimensions",
+                include.len(),
+                self.dims.len()
+            )));
+        }
+        let mut out = self.fact.clone();
+        for (i, d) in self.dims.iter().enumerate() {
+            if include[i] {
+                out = kfk_join(&out, &d.fk, &d.table, &d.rid, i)?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Materializes the full join `T` (all dimensions) — the paper's JoinAll
+    /// input.
+    pub fn materialize_all(&self) -> Result<Table> {
+        self.materialize(&vec![true; self.dims.len()])
+    }
+
+    /// New star schema containing only the fact rows in `idx` (all dimensions
+    /// untouched). Used for train/validation/test splitting — dimension
+    /// tables are metadata, not examples.
+    pub fn gather_fact_rows(&self, idx: &[usize]) -> Result<StarSchema> {
+        let fact = self.fact.gather_rows(idx)?;
+        // Rows were only removed, so integrity still holds; revalidate anyway
+        // to keep the constructor the single source of truth.
+        StarSchema::new(fact, self.dims.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::CatColumn;
+    use crate::domain::CatDomain;
+    use crate::schema::{ColumnDef, TableSchema};
+    use std::sync::Arc;
+
+    fn two_dim_star() -> StarSchema {
+        let k1 = CatDomain::synthetic("fk1", 2).into_shared();
+        let k2 = CatDomain::synthetic("fk2", 3).into_shared();
+        let bin = CatDomain::synthetic("bin", 2).into_shared();
+
+        let fact = Table::new(
+            TableSchema::new(
+                "S",
+                vec![
+                    ColumnDef::new("y", ColumnRole::Target),
+                    ColumnDef::new("xs", ColumnRole::HomeFeature),
+                    ColumnDef::new("fk1", ColumnRole::ForeignKey { dim: 0 }),
+                    ColumnDef::new("fk2", ColumnRole::ForeignKey { dim: 1 }),
+                ],
+            )
+            .unwrap(),
+            vec![
+                CatColumn::new(Arc::clone(&bin), vec![0, 1, 1, 0, 1, 0]).unwrap(),
+                CatColumn::new(Arc::clone(&bin), vec![0, 0, 1, 1, 0, 1]).unwrap(),
+                CatColumn::new(Arc::clone(&k1), vec![0, 1, 0, 1, 0, 1]).unwrap(),
+                CatColumn::new(Arc::clone(&k2), vec![0, 1, 2, 0, 1, 2]).unwrap(),
+            ],
+        )
+        .unwrap();
+
+        let r1 = Table::new(
+            TableSchema::new(
+                "R1",
+                vec![
+                    ColumnDef::new("rid", ColumnRole::Id),
+                    ColumnDef::new("a", ColumnRole::HomeFeature),
+                ],
+            )
+            .unwrap(),
+            vec![
+                CatColumn::new(Arc::clone(&k1), vec![0, 1]).unwrap(),
+                CatColumn::new(Arc::clone(&bin), vec![1, 0]).unwrap(),
+            ],
+        )
+        .unwrap();
+
+        let r2 = Table::new(
+            TableSchema::new(
+                "R2",
+                vec![
+                    ColumnDef::new("rid", ColumnRole::Id),
+                    ColumnDef::new("b", ColumnRole::HomeFeature),
+                    ColumnDef::new("c", ColumnRole::HomeFeature),
+                ],
+            )
+            .unwrap(),
+            vec![
+                CatColumn::new(Arc::clone(&k2), vec![0, 1, 2]).unwrap(),
+                CatColumn::new(Arc::clone(&bin), vec![0, 1, 1]).unwrap(),
+                CatColumn::new(Arc::clone(&bin), vec![1, 1, 0]).unwrap(),
+            ],
+        )
+        .unwrap();
+
+        StarSchema::new(
+            fact,
+            vec![Dimension::new(r1, "rid", "fk1"), Dimension::new(r2, "rid", "fk2")],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates_bindings() {
+        let star = two_dim_star();
+        assert_eq!(star.q(), 2);
+        assert_eq!(star.tuple_ratio(0), 3.0);
+        assert_eq!(star.tuple_ratio(1), 2.0);
+    }
+
+    #[test]
+    fn fk_role_mismatch_rejected() {
+        let star = two_dim_star();
+        // Swap the dimension order so fk tags no longer line up.
+        let dims: Vec<Dimension> = star.dims().iter().rev().cloned().collect();
+        let err = StarSchema::new(star.fact().clone(), dims).unwrap_err();
+        assert!(matches!(err, RelationError::InvalidSchema(_)));
+    }
+
+    #[test]
+    fn materialize_selected_dimensions() {
+        let star = two_dim_star();
+        let all = star.materialize_all().unwrap();
+        assert_eq!(all.width(), 4 + 1 + 2); // fact + a + (b, c)
+        let only_r2 = star.materialize(&[false, true]).unwrap();
+        assert!(only_r2.column("a").is_err());
+        assert!(only_r2.column("b").is_ok());
+        // FD check by hand: rows with equal fk2 codes share b and c.
+        let fk2 = only_r2.column("fk2").unwrap().codes().to_vec();
+        let b = only_r2.column("b").unwrap().codes().to_vec();
+        for i in 0..fk2.len() {
+            for j in 0..fk2.len() {
+                if fk2[i] == fk2[j] {
+                    assert_eq!(b[i], b[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_match_table1_convention() {
+        let star = two_dim_star();
+        let stats = star.stats(3); // pretend 3 training rows
+        assert_eq!(stats[0].tuple_ratio, 1.5);
+        assert_eq!(stats[1].d_features, 2);
+        assert!(!stats[0].open_domain);
+    }
+
+    #[test]
+    fn gather_fact_rows_preserves_star() {
+        let star = two_dim_star();
+        let sub = star.gather_fact_rows(&[0, 2, 4]).unwrap();
+        assert_eq!(sub.fact().n_rows(), 3);
+        assert_eq!(sub.q(), 2);
+    }
+
+    #[test]
+    fn open_dimension_flag_propagates() {
+        let star = two_dim_star();
+        let mut dims = star.dims().to_vec();
+        dims[1] = dims[1].clone().open();
+        let star = StarSchema::new(star.fact().clone(), dims).unwrap();
+        let stats = star.stats(6);
+        assert!(stats[1].open_domain);
+    }
+}

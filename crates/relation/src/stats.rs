@@ -1,0 +1,146 @@
+//! Column- and schema-level statistics: entropies, frequencies, tuple ratios.
+//!
+//! These are the quantities the paper's decision machinery runs on: the
+//! *tuple ratio* drives the avoid-the-join advisor, and the conditional
+//! entropy `H(Y | FK = z)` drives the sort-based FK domain compression (§6.1).
+
+use crate::column::CatColumn;
+
+/// Shannon entropy (bits) of a discrete distribution given as counts.
+/// Zero-count cells contribute nothing; an all-zero histogram has entropy 0.
+pub fn entropy(counts: &[usize]) -> f64 {
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let n = total as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Empirical binary entropy of a label slice.
+pub fn label_entropy(y: &[bool]) -> f64 {
+    let pos = y.iter().filter(|&&b| b).count();
+    entropy(&[pos, y.len() - pos])
+}
+
+/// Per-code binary label histograms: `out[code] = (n_total, n_positive)`.
+pub fn per_code_label_counts(col: &CatColumn, y: &[bool]) -> Vec<(usize, usize)> {
+    debug_assert_eq!(col.len(), y.len());
+    let mut out = vec![(0usize, 0usize); col.cardinality() as usize];
+    for (&code, &label) in col.codes().iter().zip(y) {
+        let cell = &mut out[code as usize];
+        cell.0 += 1;
+        if label {
+            cell.1 += 1;
+        }
+    }
+    out
+}
+
+/// Conditional entropy `H(Y | X)` in bits, estimated from data.
+pub fn conditional_entropy(col: &CatColumn, y: &[bool]) -> f64 {
+    let counts = per_code_label_counts(col, y);
+    let n = col.len() as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    counts
+        .iter()
+        .filter(|(t, _)| *t > 0)
+        .map(|&(t, p)| (t as f64 / n) * entropy(&[p, t - p]))
+        .sum()
+}
+
+/// Per-code conditional entropy `H(Y | X = code)`, `None` for codes unseen in
+/// the data (the sort-based compressor needs to treat those separately).
+pub fn per_code_conditional_entropy(col: &CatColumn, y: &[bool]) -> Vec<Option<f64>> {
+    per_code_label_counts(col, y)
+        .iter()
+        .map(|&(t, p)| {
+            if t == 0 {
+                None
+            } else {
+                Some(entropy(&[p, t - p]))
+            }
+        })
+        .collect()
+}
+
+/// Mutual information `I(Y; X) = H(Y) − H(Y|X)` in bits.
+pub fn mutual_information(col: &CatColumn, y: &[bool]) -> f64 {
+    (label_entropy(y) - conditional_entropy(col, y)).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::CatDomain;
+
+    fn col(k: u32, codes: Vec<u32>) -> CatColumn {
+        CatColumn::new(CatDomain::synthetic("c", k).into_shared(), codes).unwrap()
+    }
+
+    #[test]
+    fn entropy_extremes() {
+        assert_eq!(entropy(&[10, 0]), 0.0);
+        assert!((entropy(&[5, 5]) - 1.0).abs() < 1e-12);
+        assert_eq!(entropy(&[]), 0.0);
+        assert_eq!(entropy(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn entropy_uniform_4_is_2_bits() {
+        assert!((entropy(&[3, 3, 3, 3]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn label_entropy_matches_entropy() {
+        let y = vec![true, false, true, false];
+        assert!((label_entropy(&y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_code_counts() {
+        let c = col(3, vec![0, 0, 1, 2, 2, 2]);
+        let y = vec![true, false, true, false, false, true];
+        assert_eq!(
+            per_code_label_counts(&c, &y),
+            vec![(2, 1), (1, 1), (3, 1)]
+        );
+    }
+
+    #[test]
+    fn conditional_entropy_perfect_predictor_is_zero() {
+        // X determines Y exactly.
+        let c = col(2, vec![0, 0, 1, 1]);
+        let y = vec![false, false, true, true];
+        assert!(conditional_entropy(&c, &y) < 1e-12);
+        assert!((mutual_information(&c, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conditional_entropy_useless_predictor_equals_hy() {
+        let c = col(2, vec![0, 1, 0, 1]);
+        let y = vec![false, false, true, true];
+        let hy = label_entropy(&y);
+        assert!((conditional_entropy(&c, &y) - hy).abs() < 1e-12);
+        assert!(mutual_information(&c, &y) < 1e-12);
+    }
+
+    #[test]
+    fn per_code_conditional_entropy_handles_unseen() {
+        let c = col(3, vec![0, 0, 1, 1]);
+        let y = vec![true, false, true, true];
+        let e = per_code_conditional_entropy(&c, &y);
+        assert!((e[0].unwrap() - 1.0).abs() < 1e-12);
+        assert!(e[1].unwrap() < 1e-12);
+        assert!(e[2].is_none());
+    }
+}

@@ -1,0 +1,275 @@
+//! Immutable columnar tables of categorical data.
+
+use crate::column::CatColumn;
+use crate::error::{RelationError, Result};
+use crate::schema::{ColumnDef, ColumnRole, TableSchema};
+
+/// An immutable table: a schema plus one categorical column per definition.
+///
+/// All columns have identical length. Tables are cheap to project and gather
+/// (columns share domains via `Arc`; codes are copied only when rows move).
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: TableSchema,
+    columns: Vec<CatColumn>,
+    n_rows: usize,
+}
+
+impl Table {
+    /// Builds a table, checking that column count and lengths agree with the
+    /// schema.
+    pub fn new(schema: TableSchema, columns: Vec<CatColumn>) -> Result<Self> {
+        if schema.width() != columns.len() {
+            return Err(RelationError::InvalidSchema(format!(
+                "schema `{}` declares {} columns but {} were provided",
+                schema.name(),
+                schema.width(),
+                columns.len()
+            )));
+        }
+        let n_rows = columns.first().map_or(0, CatColumn::len);
+        for c in &columns {
+            if c.len() != n_rows {
+                return Err(RelationError::LengthMismatch {
+                    expected: n_rows,
+                    got: c.len(),
+                });
+            }
+        }
+        Ok(Self {
+            schema,
+            columns,
+            n_rows,
+        })
+    }
+
+    /// Table schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Table name (from the schema).
+    pub fn name(&self) -> &str {
+        self.schema.name()
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column by position.
+    pub fn column_at(&self, i: usize) -> &CatColumn {
+        &self.columns[i]
+    }
+
+    /// Column by name.
+    pub fn column(&self, name: &str) -> Result<&CatColumn> {
+        self.schema.index_of(name).map(|i| &self.columns[i])
+    }
+
+    /// All columns in schema order.
+    pub fn columns(&self) -> &[CatColumn] {
+        &self.columns
+    }
+
+    /// New table with a subset of columns (by index), preserving order given.
+    pub fn project(&self, indices: &[usize]) -> Result<Table> {
+        for &i in indices {
+            if i >= self.columns.len() {
+                return Err(RelationError::InvalidSchema(format!(
+                    "projection index {i} out of bounds for width {}",
+                    self.columns.len()
+                )));
+            }
+        }
+        let schema = self.schema.project(indices);
+        let columns = indices.iter().map(|&i| self.columns[i].clone()).collect();
+        Table::new(schema, columns)
+    }
+
+    /// New table with a subset of columns (by name).
+    pub fn project_named(&self, names: &[&str]) -> Result<Table> {
+        let indices = names
+            .iter()
+            .map(|n| self.schema.index_of(n))
+            .collect::<Result<Vec<_>>>()?;
+        self.project(&indices)
+    }
+
+    /// New table containing rows `idx[0], idx[1], ..` (duplicates allowed —
+    /// this is the gather primitive joins and splits are built on).
+    pub fn gather_rows(&self, idx: &[usize]) -> Result<Table> {
+        if let Some(&bad) = idx.iter().find(|&&i| i >= self.n_rows) {
+            return Err(RelationError::InvalidSchema(format!(
+                "row index {bad} out of bounds for {} rows",
+                self.n_rows
+            )));
+        }
+        let columns = self.columns.iter().map(|c| c.gather(idx)).collect();
+        Table::new(self.schema.clone(), columns)
+    }
+
+    /// Appends a column (e.g. foreign features during a join).
+    pub fn with_column(&self, def: ColumnDef, column: CatColumn) -> Result<Table> {
+        if column.len() != self.n_rows {
+            return Err(RelationError::LengthMismatch {
+                expected: self.n_rows,
+                got: column.len(),
+            });
+        }
+        let schema = self.schema.with_column(def)?;
+        let mut columns = self.columns.clone();
+        columns.push(column);
+        Table::new(schema, columns)
+    }
+
+    /// Replaces the column at `i`, keeping its definition name/role unless a
+    /// new definition is supplied.
+    pub fn replace_column(&self, i: usize, column: CatColumn) -> Result<Table> {
+        if i >= self.columns.len() {
+            return Err(RelationError::InvalidSchema(format!(
+                "column index {i} out of bounds"
+            )));
+        }
+        if column.len() != self.n_rows {
+            return Err(RelationError::LengthMismatch {
+                expected: self.n_rows,
+                got: column.len(),
+            });
+        }
+        let mut columns = self.columns.clone();
+        columns[i] = column;
+        Table::new(self.schema.clone(), columns)
+    }
+
+    /// Extracts the target column as booleans (code 1 = positive). The paper
+    /// binarises every task (§3.1), so targets are two-valued by convention.
+    pub fn target_as_bool(&self) -> Result<Vec<bool>> {
+        let idx = self
+            .schema
+            .target_index()
+            .ok_or_else(|| RelationError::InvalidSchema("no target column".into()))?;
+        let col = &self.columns[idx];
+        if col.cardinality() != 2 {
+            return Err(RelationError::InvalidSchema(format!(
+                "target column must be binary, found cardinality {}",
+                col.cardinality()
+            )));
+        }
+        Ok(col.codes().iter().map(|&c| c == 1).collect())
+    }
+
+    /// Renames the table (used when materialized joins produce new tables).
+    pub fn renamed(&self, name: impl Into<String>) -> Table {
+        let schema = TableSchema::new(name, self.schema.columns().to_vec())
+            .expect("existing schema column names are unique");
+        Table {
+            schema,
+            columns: self.columns.clone(),
+            n_rows: self.n_rows,
+        }
+    }
+
+    /// Indices of feature columns, honouring role semantics.
+    pub fn feature_indices(&self) -> Vec<usize> {
+        self.schema.indices_where(ColumnRole::is_feature)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::CatDomain;
+    use std::sync::Arc;
+
+    fn toy() -> Table {
+        let d2 = CatDomain::synthetic("b", 2).into_shared();
+        let d4 = CatDomain::synthetic("f", 4).into_shared();
+        let schema = TableSchema::new(
+            "S",
+            vec![
+                ColumnDef::new("y", ColumnRole::Target),
+                ColumnDef::new("xs", ColumnRole::HomeFeature),
+                ColumnDef::new("fk", ColumnRole::ForeignKey { dim: 0 }),
+            ],
+        )
+        .unwrap();
+        Table::new(
+            schema,
+            vec![
+                CatColumn::new(Arc::clone(&d2), vec![0, 1, 1, 0]).unwrap(),
+                CatColumn::new(d2, vec![1, 1, 0, 0]).unwrap(),
+                CatColumn::new(d4, vec![0, 1, 2, 3]).unwrap(),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_checks_lengths_and_width() {
+        let d = CatDomain::synthetic("d", 2).into_shared();
+        let schema = TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("a", ColumnRole::HomeFeature),
+                ColumnDef::new("b", ColumnRole::HomeFeature),
+            ],
+        )
+        .unwrap();
+        let short = CatColumn::new(Arc::clone(&d), vec![0]).unwrap();
+        let long = CatColumn::new(Arc::clone(&d), vec![0, 1]).unwrap();
+        assert!(Table::new(schema.clone(), vec![long.clone(), short]).is_err());
+        assert!(Table::new(schema.clone(), vec![long.clone()]).is_err());
+        assert!(Table::new(schema, vec![long.clone(), long]).is_ok());
+    }
+
+    #[test]
+    fn projection_and_gather() {
+        let t = toy();
+        let p = t.project_named(&["fk", "y"]).unwrap();
+        assert_eq!(p.width(), 2);
+        assert_eq!(p.column_at(0).codes(), &[0, 1, 2, 3]);
+
+        let g = t.gather_rows(&[3, 3, 0]).unwrap();
+        assert_eq!(g.n_rows(), 3);
+        assert_eq!(g.column("fk").unwrap().codes(), &[3, 3, 0]);
+        assert!(t.gather_rows(&[4]).is_err());
+    }
+
+    #[test]
+    fn target_extraction() {
+        let t = toy();
+        assert_eq!(t.target_as_bool().unwrap(), vec![false, true, true, false]);
+    }
+
+    #[test]
+    fn with_and_replace_column() {
+        let t = toy();
+        let d3 = CatDomain::synthetic("xr", 3).into_shared();
+        let col = CatColumn::new(d3, vec![2, 2, 1, 0]).unwrap();
+        let t2 = t
+            .with_column(
+                ColumnDef::new("xr", ColumnRole::ForeignFeature { dim: 0 }),
+                col.clone(),
+            )
+            .unwrap();
+        assert_eq!(t2.width(), 4);
+        let t3 = t2.replace_column(3, col).unwrap();
+        assert_eq!(t3.column("xr").unwrap().codes(), &[2, 2, 1, 0]);
+
+        let short = CatColumn::new(CatDomain::synthetic("s", 2).into_shared(), vec![0]).unwrap();
+        assert!(t.with_column(ColumnDef::new("s", ColumnRole::HomeFeature), short).is_err());
+    }
+
+    #[test]
+    fn feature_indices_skip_id_and_target() {
+        let t = toy();
+        assert_eq!(t.feature_indices(), vec![1, 2]);
+    }
+}

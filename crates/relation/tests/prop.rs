@@ -1,0 +1,133 @@
+//! Property-based tests for the relational substrate.
+//!
+//! The load-bearing invariant of the whole paper is that a KFK join plants
+//! the functional dependency `FK → X_R` in its output. We fuzz random star
+//! schemas and verify it always holds, along with the join's
+//! order-preserving / non-selective contract.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+
+use hamlet_relation::fd::check_fd;
+use hamlet_relation::prelude::*;
+use hamlet_relation::stats::entropy;
+
+/// Strategy producing a random (fact, dimension) star with consistent codes.
+fn star_strategy() -> impl Strategy<Value = StarSchema> {
+    // n_r in 1..=12, n_s in 1..=60, d_r in 1..=4 foreign features.
+    (1u32..=12, 1usize..=60, 1usize..=4).prop_flat_map(|(n_r, n_s, d_r)| {
+        let fk_codes = proptest::collection::vec(0..n_r, n_s);
+        let y_codes = proptest::collection::vec(0u32..2, n_s);
+        let xr_cols = proptest::collection::vec(
+            proptest::collection::vec(0u32..3, n_r as usize),
+            d_r,
+        );
+        (fk_codes, y_codes, xr_cols).prop_map(move |(fk, y, xrs)| {
+            let key_dom = CatDomain::synthetic("rid", n_r).into_shared();
+            let bin = CatDomain::synthetic("bin", 2).into_shared();
+            let tri = CatDomain::synthetic("tri", 3).into_shared();
+
+            let fact = Table::new(
+                TableSchema::new(
+                    "S",
+                    vec![
+                        ColumnDef::new("y", ColumnRole::Target),
+                        ColumnDef::new("fk", ColumnRole::ForeignKey { dim: 0 }),
+                    ],
+                )
+                .unwrap(),
+                vec![
+                    CatColumn::new(Arc::clone(&bin), y).unwrap(),
+                    CatColumn::new(Arc::clone(&key_dom), fk).unwrap(),
+                ],
+            )
+            .unwrap();
+
+            let mut defs = vec![ColumnDef::new("rid", ColumnRole::Id)];
+            let mut cols = vec![CatColumn::new(Arc::clone(&key_dom), (0..n_r).collect()).unwrap()];
+            for (j, xr) in xrs.into_iter().enumerate() {
+                defs.push(ColumnDef::new(format!("xr{j}"), ColumnRole::HomeFeature));
+                cols.push(CatColumn::new(Arc::clone(&tri), xr).unwrap());
+            }
+            let dim = Table::new(TableSchema::new("R", defs).unwrap(), cols).unwrap();
+            StarSchema::new(fact, vec![Dimension::new(dim, "rid", "fk")]).unwrap()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn join_output_always_satisfies_fk_fd(star in star_strategy()) {
+        let joined = star.materialize_all().unwrap();
+        let xr_names: Vec<String> = joined
+            .schema()
+            .columns()
+            .iter()
+            .filter(|c| matches!(c.role, ColumnRole::ForeignFeature { .. }))
+            .map(|c| c.name.clone())
+            .collect();
+        let refs: Vec<&str> = xr_names.iter().map(String::as_str).collect();
+        prop_assert!(check_fd(&joined, "fk", &refs).unwrap());
+    }
+
+    #[test]
+    fn join_is_non_selective_and_order_preserving(star in star_strategy()) {
+        let joined = star.materialize_all().unwrap();
+        prop_assert_eq!(joined.n_rows(), star.fact().n_rows());
+        prop_assert_eq!(
+            joined.column("y").unwrap().codes(),
+            star.fact().column("y").unwrap().codes()
+        );
+        prop_assert_eq!(
+            joined.column("fk").unwrap().codes(),
+            star.fact().column("fk").unwrap().codes()
+        );
+        // Projected join: output width = fact width + d_R.
+        prop_assert_eq!(
+            joined.width(),
+            star.fact().width() + star.dims()[0].d_features()
+        );
+    }
+
+    #[test]
+    fn gather_then_project_commutes(star in star_strategy(), seed in 0u64..1000) {
+        let fact = star.fact();
+        let n = fact.n_rows();
+        // Deterministic pseudo-shuffle from the seed.
+        let idx: Vec<usize> = (0..n).map(|i| (i * 7 + seed as usize) % n).collect();
+        let a = fact.gather_rows(&idx).unwrap().project_named(&["fk"]).unwrap();
+        let b = fact.project_named(&["fk"]).unwrap().gather_rows(&idx).unwrap();
+        prop_assert_eq!(a.column("fk").unwrap().codes(), b.column("fk").unwrap().codes());
+    }
+
+    #[test]
+    fn entropy_bounds(counts in proptest::collection::vec(0usize..50, 1..10)) {
+        let h = entropy(&counts);
+        let k = counts.iter().filter(|&&c| c > 0).count().max(1);
+        prop_assert!(h >= 0.0);
+        prop_assert!(h <= (k as f64).log2() + 1e-9);
+    }
+
+    #[test]
+    fn csv_roundtrip_preserves_codes(star in star_strategy()) {
+        let fact = star.fact();
+        let mut buf = Vec::new();
+        hamlet_relation::csv::write_csv(fact, &mut buf).unwrap();
+        let back = hamlet_relation::csv::read_csv("t", buf.as_slice(), |name| {
+            if name == "y" { ColumnRole::Target } else { ColumnRole::ForeignKey { dim: 0 } }
+        }).unwrap();
+        prop_assert_eq!(back.n_rows(), fact.n_rows());
+        // Labels (not necessarily codes) must match: domains are re-inferred
+        // in first-appearance order.
+        for row in 0..fact.n_rows() {
+            let orig = fact.column("fk").unwrap();
+            let new = back.column("fk").unwrap();
+            prop_assert_eq!(
+                orig.domain().label(orig.get(row)),
+                new.domain().label(new.get(row))
+            );
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! A miniature of the paper's §4 simulation study: stress-test how safe it
+//! is to avoid the join as the foreign-key domain grows (Figure 2(B)).
+//!
+//! For each `n_R`, we draw several training sets from a fixed OneXr
+//! distribution, tune a gini decision tree under JoinAll / NoJoin / NoFK,
+//! and report the Domingos decomposition — average test error and net
+//! variance — against the known Bayes-optimal predictions.
+//!
+//! ```text
+//! cargo run --release --example simulation_study
+//! ```
+
+use hamlet::prelude::*;
+
+fn main() {
+    let budget = Budget::quick();
+    let runs = 10;
+    let p = 0.1; // Bayes error of the scenario
+    println!("OneXr stress test: vary |D_FK| = n_R at n_S = 1000 ({runs} runs/point)");
+    println!("Bayes error = {p}\n");
+    println!(
+        "{:>6}  {:>11}  {:>22}  {:>22}  {:>22}",
+        "n_R", "tuple ratio", "JoinAll err (netvar)", "NoJoin err (netvar)", "NoFK err (netvar)"
+    );
+
+    for n_r in [10u32, 40, 100, 333, 1000] {
+        let generate = move |seed: u64| {
+            onexr::generate(OneXrParams {
+                n_s: 1000,
+                n_r,
+                seed,
+                ..Default::default()
+            })
+        };
+        let mut cells = Vec::new();
+        for config in [
+            FeatureConfig::JoinAll,
+            FeatureConfig::NoJoin,
+            FeatureConfig::NoFK,
+        ] {
+            let point = run_monte_carlo(
+                generate,
+                |gs| onexr_bayes(gs, p),
+                runs,
+                ModelSpec::TreeGini,
+                &config,
+                &budget,
+                42,
+            )
+            .unwrap();
+            cells.push(format!(
+                "{:.4} ({:+.4})",
+                point.result.avg_error, point.result.net_variance
+            ));
+        }
+        println!(
+            "{:>6}  {:>11.1}  {:>22}  {:>22}  {:>22}",
+            n_r,
+            1000.0 / f64::from(n_r),
+            cells[0],
+            cells[1],
+            cells[2]
+        );
+    }
+
+    println!("\nReading the table: NoJoin tracks JoinAll (and the 0.1 Bayes floor) until");
+    println!("the tuple ratio collapses below ~3; only then does net variance — extra");
+    println!("overfitting from the FK's huge domain — push its error up, while NoFK");
+    println!("(which sees the true driving feature directly) stays flat.");
+}

@@ -1,0 +1,51 @@
+//! # hamlet
+//!
+//! A from-scratch Rust reproduction of **"Are Key-Foreign Key Joins Safe to
+//! Avoid when Learning High-Capacity Classifiers?"** (Shah, Kumar, Zhu —
+//! VLDB 2017), the follow-up to the SIGMOD'16 "Hamlet" line of work.
+//!
+//! This facade crate re-exports the four layers of the system:
+//!
+//! - [`relation`] (`hamlet-relation`) — the categorical star-schema
+//!   substrate: domains, columnar tables, KFK joins, FD checking;
+//! - [`ml`] (`hamlet-ml`) — the ten classifiers of the study, built from
+//!   scratch (CART trees, SMO kernel SVMs, an MLP with Adam, 1-NN, Naive
+//!   Bayes, L1 logistic regression) plus grid-search tuning;
+//! - [`datagen`] (`hamlet-datagen`) — the paper's simulation scenarios
+//!   (`OneXr`, `XSXR`, `RepOneXr`, FK skew) and Table-1 dataset emulators;
+//! - [`core`] (`hamlet-core`) — the contribution itself: feature configs
+//!   (JoinAll / NoJoin / NoFK), the tuple-ratio advisor, FK domain
+//!   compression and smoothing, the bias-variance harness and the
+//!   experiment runner.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hamlet::prelude::*;
+//!
+//! // A Movies-shaped star schema at reduced scale.
+//! let g = EmulatorSpec::movies().generate_scaled(1200, 7);
+//!
+//! // Should we bother joining the dimension tables for a decision tree?
+//! let report = advise(&g.star, g.n_train, ModelFamily::TreeOrAnn);
+//! assert!(report.all_avoidable());
+//!
+//! // Prove it: accuracy with and without the joins.
+//! let budget = Budget::quick();
+//! let join_all = run_experiment(&g, ModelSpec::TreeGini, &FeatureConfig::JoinAll, &budget).unwrap();
+//! let no_join = run_experiment(&g, ModelSpec::TreeGini, &FeatureConfig::NoJoin, &budget).unwrap();
+//! assert!((join_all.test_accuracy - no_join.test_accuracy).abs() < 0.08);
+//! ```
+
+pub use hamlet_core as core;
+pub use hamlet_datagen as datagen;
+pub use hamlet_ml as ml;
+pub use hamlet_relation as relation;
+
+/// Everything a typical user needs, in one import.
+pub mod prelude {
+    pub use hamlet_core::prelude::*;
+    pub use hamlet_datagen::prelude::*;
+    pub use hamlet_ml::prelude::*;
+    pub use hamlet_relation::prelude::*;
+}

@@ -1,0 +1,148 @@
+//! End-to-end integration tests: the full pipeline (generator → star schema
+//! → feature config → tuned model → accuracy) across crates, pinned to the
+//! paper's headline claims at test-friendly scales.
+
+use hamlet::prelude::*;
+
+fn quick() -> Budget {
+    Budget::quick()
+}
+
+#[test]
+fn nojoin_tracks_joinall_for_every_model_family_on_onexr() {
+    // The paper's central claim, exercised through every model family on a
+    // healthy-tuple-ratio OneXr instance (ratio 1000/40 = 25).
+    let g = onexr::generate(OneXrParams {
+        n_s: 600,
+        ..Default::default()
+    });
+    let budget = quick();
+    for spec in [
+        ModelSpec::TreeGini,
+        ModelSpec::SvmRbf,
+        ModelSpec::NaiveBayesBfs,
+        ModelSpec::LogRegL1,
+    ] {
+        let ja = run_experiment(&g, spec, &FeatureConfig::JoinAll, &budget).unwrap();
+        let nj = run_experiment(&g, spec, &FeatureConfig::NoJoin, &budget).unwrap();
+        let gap = (ja.test_accuracy - nj.test_accuracy).abs();
+        assert!(
+            gap < 0.08,
+            "{}: JoinAll {} vs NoJoin {} (gap {gap})",
+            spec.name(),
+            ja.test_accuracy,
+            nj.test_accuracy
+        );
+    }
+}
+
+#[test]
+fn yelp_low_tuple_ratio_degrades_nojoin() {
+    // The exception that proves the rule: Yelp's users dimension (ratio
+    // ≈ 2.5) carries signal NoJoin cannot fully recover.
+    let g = EmulatorSpec::yelp().generate_scaled(4000, 99);
+    let budget = quick();
+    let ja = run_experiment(&g, ModelSpec::NaiveBayesBfs, &FeatureConfig::JoinAll, &budget)
+        .unwrap();
+    let nj = run_experiment(&g, ModelSpec::NaiveBayesBfs, &FeatureConfig::NoJoin, &budget)
+        .unwrap();
+    assert!(
+        ja.test_accuracy - nj.test_accuracy > 0.015,
+        "expected a visible NoJoin drop on Yelp: JoinAll {} vs NoJoin {}",
+        ja.test_accuracy,
+        nj.test_accuracy
+    );
+}
+
+#[test]
+fn advisor_agrees_with_measured_accuracy_on_safe_dataset() {
+    // Walmart: both dimensions clear every threshold, and measured NoJoin
+    // accuracy confirms the call.
+    let g = EmulatorSpec::walmart().generate_scaled(3000, 5);
+    let report = advise(&g.star, g.n_train, ModelFamily::TreeOrAnn);
+    assert!(report.all_avoidable());
+
+    let budget = quick();
+    let ja = run_experiment(&g, ModelSpec::TreeGini, &FeatureConfig::JoinAll, &budget).unwrap();
+    let nj = run_experiment(&g, ModelSpec::TreeGini, &FeatureConfig::NoJoin, &budget).unwrap();
+    assert!((ja.test_accuracy - nj.test_accuracy).abs() < 0.05);
+}
+
+#[test]
+fn experiment_pipeline_is_seeded_and_reproducible() {
+    let budget = quick();
+    let run = || {
+        let g = EmulatorSpec::books().generate_scaled(1500, 21);
+        run_experiment(&g, ModelSpec::TreeGini, &FeatureConfig::NoJoin, &budget)
+            .unwrap()
+            .test_accuracy
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn nofk_loses_fk_effect_signal() {
+    // LastFM plants a strong per-user FK effect that X_R cannot express
+    // (profile pooling): NoFK must land visibly below JoinAll.
+    let g = EmulatorSpec::lastfm().generate_scaled(4000, 3);
+    let budget = quick();
+    let ja = run_experiment(&g, ModelSpec::TreeGini, &FeatureConfig::JoinAll, &budget).unwrap();
+    let nofk = run_experiment(&g, ModelSpec::TreeGini, &FeatureConfig::NoFK, &budget).unwrap();
+    assert!(
+        ja.test_accuracy - nofk.test_accuracy > 0.03,
+        "JoinAll {} vs NoFK {}",
+        ja.test_accuracy,
+        nofk.test_accuracy
+    );
+}
+
+#[test]
+fn open_domain_dimension_never_discarded() {
+    // Expedia's searches table is open-domain: even NoJoin keeps its
+    // features, and its FK is never a feature in any config.
+    let g = EmulatorSpec::expedia().generate_scaled(1200, 8);
+    for config in [
+        FeatureConfig::JoinAll,
+        FeatureConfig::NoJoin,
+        FeatureConfig::NoFK,
+    ] {
+        let ds = build_dataset(&g.star, &config).unwrap();
+        let has_open_foreign = ds
+            .features()
+            .iter()
+            .any(|f| f.provenance == Provenance::Foreign { dim: 1 });
+        let has_open_fk = ds
+            .features()
+            .iter()
+            .any(|f| f.provenance == Provenance::ForeignKey { dim: 1 });
+        assert!(has_open_foreign, "{}: open dim features missing", config.name());
+        assert!(!has_open_fk, "{}: open-domain FK leaked in", config.name());
+    }
+}
+
+#[test]
+fn materialized_joins_preserve_the_fd_on_every_emulator() {
+    for spec in EmulatorSpec::all() {
+        let g = spec.generate_scaled(800, 13);
+        let joined = g.star.materialize_all().unwrap();
+        for (i, dim) in g.star.dims().iter().enumerate() {
+            let fk_name = format!("fk_{}", dim.table.name());
+            let foreign: Vec<String> = joined
+                .schema()
+                .columns()
+                .iter()
+                .filter(|c|
+
+                    matches!(c.role, hamlet::relation::schema::ColumnRole::ForeignFeature { dim } if dim == i))
+                .map(|c| c.name.clone())
+                .collect();
+            let refs: Vec<&str> = foreign.iter().map(String::as_str).collect();
+            assert!(
+                hamlet::relation::fd::check_fd(&joined, &fk_name, &refs).unwrap(),
+                "{}: FD {} -> X_R violated",
+                spec.name,
+                fk_name
+            );
+        }
+    }
+}

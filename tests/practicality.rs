@@ -1,0 +1,146 @@
+//! Integration tests for the §6 practicality machinery (FK compression and
+//! smoothing) running over the full pipeline.
+
+use hamlet::ml::dataset::Provenance;
+use hamlet::prelude::*;
+
+fn fk_index(ds: &CatDataset) -> usize {
+    ds.features()
+        .iter()
+        .position(|f| matches!(f.provenance, Provenance::ForeignKey { .. }))
+        .expect("dataset has an FK feature")
+}
+
+#[test]
+fn compression_is_consistent_across_splits() {
+    let g = onexr::generate(OneXrParams {
+        n_s: 800,
+        n_r: 100,
+        ..Default::default()
+    });
+    let data = build_splits(&g, &FeatureConfig::NoJoin).unwrap();
+    let fk = fk_index(&data.train);
+    for method in [
+        CompressionMethod::RandomHash { seed: 4 },
+        CompressionMethod::SortBased,
+        CompressionMethod::RateBased,
+    ] {
+        let comp = build_compression(&data.train, fk, 8, method).unwrap();
+        let train = comp.apply(&data.train).unwrap();
+        let test = comp.apply(&data.test).unwrap();
+        // Same feature space on both splits.
+        assert_eq!(train.feature(fk).cardinality, test.feature(fk).cardinality);
+        assert!(train.feature(fk).cardinality <= 8);
+        // And a model trained on one can score the other.
+        let tree = DecisionTree::fit(&train, TreeParams::new(SplitCriterion::Gini)).unwrap();
+        let acc = tree.accuracy(&test);
+        assert!(acc > 0.4, "degenerate accuracy {acc} for {method:?}");
+    }
+}
+
+#[test]
+fn rate_based_compression_preserves_fk_signal_where_entropy_sort_cannot() {
+    // OneXr: all signal flows through the FK. Rate-based compression to 4
+    // groups must stay near the uncompressed accuracy; the class-symmetric
+    // entropy sort collapses (documented limitation of the paper's method).
+    let g = onexr::generate(OneXrParams {
+        n_s: 1500,
+        n_r: 300,
+        ..Default::default()
+    });
+    let data = build_splits(&g, &FeatureConfig::NoJoin).unwrap();
+    let fk = fk_index(&data.train);
+    let budget = Budget::quick();
+
+    let acc_of = |method: Option<CompressionMethod>| -> f64 {
+        let (train, val, test) = match method {
+            Some(m) => {
+                let comp = build_compression(&data.train, fk, 4, m).unwrap();
+                (
+                    comp.apply(&data.train).unwrap(),
+                    comp.apply(&data.val).unwrap(),
+                    comp.apply(&data.test).unwrap(),
+                )
+            }
+            None => (data.train.clone(), data.val.clone(), data.test.clone()),
+        };
+        let tuned = ModelSpec::TreeGini.fit_tuned(&train, &val, &budget).unwrap();
+        tuned.model.accuracy(&test)
+    };
+
+    let uncompressed = acc_of(None);
+    let rate = acc_of(Some(CompressionMethod::RateBased));
+    assert!(
+        uncompressed - rate < 0.05,
+        "rate-based lost too much: {uncompressed} -> {rate}"
+    );
+}
+
+#[test]
+fn xr_smoothing_beats_random_on_onexr() {
+    // Figure 11's qualitative claim as a pinned test: at γ = 0.5, X_R-based
+    // smoothing should beat random reassignment.
+    let budget = Budget::quick();
+    let mut random_acc = 0.0;
+    let mut xr_acc = 0.0;
+    let runs = 5;
+    for k in 0..runs {
+        let g = onexr::generate(OneXrParams {
+            n_s: 1000,
+            n_r: 40,
+            unseen_frac: 0.5,
+            seed: 1000 + k,
+            ..Default::default()
+        });
+        let data = build_splits(&g, &FeatureConfig::NoJoin).unwrap();
+        let fk = fk_index(&data.train);
+        let dim = &g.star.dims()[0].table;
+        for (is_xr, acc_sum) in [(false, &mut random_acc), (true, &mut xr_acc)] {
+            let method = if is_xr {
+                SmoothingMethod::XrBased
+            } else {
+                SmoothingMethod::Random { seed: 77 }
+            };
+            let smoothing = build_smoothing(&data.train, fk, method, Some(dim)).unwrap();
+            assert!(smoothing.n_unseen > 0, "γ=0.5 must hide some codes");
+            let val = smoothing.apply(&data.val).unwrap();
+            let test = smoothing.apply(&data.test).unwrap();
+            let tuned = ModelSpec::TreeGini.fit_tuned(&data.train, &val, &budget).unwrap();
+            *acc_sum += tuned.model.accuracy(&test);
+        }
+    }
+    random_acc /= runs as f64;
+    xr_acc /= runs as f64;
+    assert!(
+        xr_acc > random_acc + 0.05,
+        "X_R smoothing {xr_acc} should beat random {random_acc}"
+    );
+}
+
+#[test]
+fn smoothing_map_is_total_and_identity_on_seen() {
+    let g = onexr::generate(OneXrParams {
+        n_s: 400,
+        n_r: 60,
+        unseen_frac: 0.4,
+        ..Default::default()
+    });
+    let data = build_splits(&g, &FeatureConfig::NoJoin).unwrap();
+    let fk = fk_index(&data.train);
+    let seen = seen_mask(&data.train, fk);
+    let smoothing = build_smoothing(
+        &data.train,
+        fk,
+        SmoothingMethod::Random { seed: 2 },
+        None,
+    )
+    .unwrap();
+    for (code, &is_seen) in seen.iter().enumerate() {
+        let target = smoothing.map[code] as usize;
+        if is_seen {
+            assert_eq!(target, code);
+        } else {
+            assert!(seen[target], "unseen code {code} mapped to unseen {target}");
+        }
+    }
+}

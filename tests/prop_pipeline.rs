@@ -1,0 +1,117 @@
+//! Cross-crate property tests: invariants of the full feature-config and
+//! practicality pipeline under randomly shaped star schemas.
+
+use proptest::prelude::*;
+
+use hamlet::prelude::*;
+
+/// Random small OneXr-shaped parameter sets.
+fn params_strategy() -> impl Strategy<Value = OneXrParams> {
+    (
+        50usize..300,  // n_s
+        2u32..60,      // n_r
+        1usize..5,     // d_s
+        1usize..5,     // d_r
+        0u64..1000,    // seed
+    )
+        .prop_map(|(n_s, n_r, d_s, d_r, seed)| OneXrParams {
+            n_s,
+            n_r,
+            d_s,
+            d_r,
+            seed,
+            ..Default::default()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn feature_configs_partition_the_feature_space(params in params_strategy()) {
+        let g = onexr::generate(params);
+        let all = build_dataset(&g.star, &FeatureConfig::JoinAll).unwrap();
+        let nojoin = build_dataset(&g.star, &FeatureConfig::NoJoin).unwrap();
+        let nofk = build_dataset(&g.star, &FeatureConfig::NoFK).unwrap();
+        // JoinAll = home + fk + foreign; NoJoin = home + fk; NoFK = home + foreign.
+        prop_assert_eq!(all.n_features(), params.d_s + 1 + params.d_r);
+        prop_assert_eq!(nojoin.n_features(), params.d_s + 1);
+        prop_assert_eq!(nofk.n_features(), params.d_s + params.d_r);
+        // Labels identical across configs.
+        prop_assert_eq!(all.labels(), nojoin.labels());
+        prop_assert_eq!(all.labels(), nofk.labels());
+    }
+
+    #[test]
+    fn splits_are_a_partition(params in params_strategy()) {
+        let g = onexr::generate(params);
+        let (train, val, test) = (g.train_idx(), g.val_idx(), g.test_idx());
+        prop_assert_eq!(train.len() + val.len() + test.len(), g.n_total());
+        // Contiguous, disjoint, ordered.
+        prop_assert!(train.iter().max().unwrap() < val.iter().min().unwrap());
+        prop_assert!(val.iter().max().unwrap() < test.iter().min().unwrap());
+    }
+
+    #[test]
+    fn compression_maps_are_total_and_within_budget(
+        params in params_strategy(),
+        budget in 1u32..20,
+    ) {
+        let g = onexr::generate(params);
+        let ds = build_dataset(&g.star, &FeatureConfig::NoJoin).unwrap();
+        let fk = params.d_s; // FK comes after the home features
+        for method in [
+            CompressionMethod::RandomHash { seed: 5 },
+            CompressionMethod::SortBased,
+            CompressionMethod::RateBased,
+        ] {
+            let comp = build_compression(&ds, fk, budget, method).unwrap();
+            prop_assert_eq!(comp.map.len() as u32, params.n_r);
+            let max_group = comp.map.iter().copied().max().unwrap();
+            prop_assert!(max_group < comp.budget);
+            prop_assert!(comp.budget <= params.n_r.max(budget));
+            let applied = comp.apply(&ds).unwrap();
+            prop_assert!(applied.feature(fk).cardinality <= params.n_r.max(1));
+        }
+    }
+
+    #[test]
+    fn tree_predictions_are_total_over_the_domain(params in params_strategy()) {
+        // Whatever rows exist in the domain (seen or not), prediction must
+        // not panic and must return a boolean.
+        let g = onexr::generate(params);
+        let data = build_splits(&g, &FeatureConfig::NoJoin).unwrap();
+        let tree = DecisionTree::fit(
+            &data.train,
+            TreeParams::new(SplitCriterion::Gini).with_minsplit(2).with_cp(0.0),
+        )
+        .unwrap();
+        // Build an adversarial row per FK code.
+        let d = data.train.n_features();
+        for code in 0..params.n_r {
+            let mut row = vec![0u32; d];
+            row[params.d_s] = code;
+            let _ = tree.predict_row(&row);
+        }
+    }
+
+    #[test]
+    fn bias_variance_identity_against_bayes_labels(
+        n in 3usize..40,
+        runs in 2usize..8,
+        seed in 0u64..500,
+    ) {
+        // Noise-free: labels == optimal ⇒ error = bias + net variance.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let truth: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+        let preds: Vec<Vec<bool>> = (0..runs)
+            .map(|_| (0..n).map(|_| rng.gen_bool(0.5)).collect())
+            .collect();
+        let bv = decompose(&preds, &truth, Some(&truth)).unwrap();
+        prop_assert!((bv.avg_error - (bv.bias + bv.net_variance)).abs() < 1e-12);
+        prop_assert!(bv.bias >= 0.0 && bv.bias <= 1.0);
+        prop_assert!(bv.unbiased_variance >= 0.0);
+        prop_assert!(bv.biased_variance >= 0.0);
+    }
+}
