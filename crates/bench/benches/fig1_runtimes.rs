@@ -18,16 +18,18 @@ const BENCH_N_S: usize = 1500;
 fn bench_model(c: &mut Criterion, model: ModelSpec, budget: &Budget) {
     let mut group = c.benchmark_group(format!("fig1/{}", model.name()));
     group.sample_size(10);
-    for spec in [EmulatorSpec::walmart(), EmulatorSpec::movies(), EmulatorSpec::flights()] {
+    for spec in [
+        EmulatorSpec::walmart(),
+        EmulatorSpec::movies(),
+        EmulatorSpec::flights(),
+    ] {
         let g = spec.generate_scaled(BENCH_N_S, 0xBE);
         for config in [FeatureConfig::JoinAll, FeatureConfig::NoJoin] {
             group.bench_with_input(
                 BenchmarkId::new(config.name(), spec.name),
                 &(&g, &config),
                 |b, (g, config)| {
-                    b.iter(|| {
-                        run_experiment(g, model, config, budget).expect("experiment runs")
-                    });
+                    b.iter(|| run_experiment(g, model, config, budget).expect("experiment runs"));
                 },
             );
         }

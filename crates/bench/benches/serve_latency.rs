@@ -1,0 +1,101 @@
+//! Serving-layer microbenchmarks: the enum-dispatch predict hot path vs the
+//! boxed-trait-object path, batch throughput through `predict_batch`, and
+//! artifact save/load costs.
+//!
+//! Run with `cargo bench -p hamlet-bench --bench serve_latency`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use hamlet_core::experiment::run_experiment_with_model;
+use hamlet_core::feature_config::{build_dataset, build_splits, FeatureConfig};
+use hamlet_core::model_zoo::{Budget, ModelSpec};
+use hamlet_datagen::prelude::*;
+use hamlet_ml::any::AnyClassifier;
+use hamlet_ml::model::Classifier;
+use hamlet_serve::artifact::{ModelArtifact, TrainingMetadata, FORMAT_VERSION};
+
+fn trained_tree() -> (AnyClassifier, Vec<u32>, usize, GeneratedStar) {
+    let g = onexr::generate(OneXrParams {
+        n_s: 1200,
+        n_r: 100,
+        ..Default::default()
+    });
+    let config = FeatureConfig::NoJoin;
+    let trained =
+        run_experiment_with_model(&g, ModelSpec::TreeGini, &config, &Budget::quick()).unwrap();
+    let data = build_splits(&g, &config).unwrap();
+    let d = data.test.n_features();
+    let mut rows = Vec::with_capacity(data.test.n_rows() * d);
+    for i in 0..data.test.n_rows() {
+        rows.extend_from_slice(data.test.row(i));
+    }
+    (trained.model, rows, d, g)
+}
+
+fn predict_dispatch(c: &mut Criterion) {
+    let (model, rows, d, _g) = trained_tree();
+    let boxed: Box<dyn Classifier> = Box::new(model.clone());
+    let first_row = &rows[..d];
+
+    let mut group = c.benchmark_group("predict_row");
+    group.bench_function("enum_dispatch", |b| {
+        b.iter(|| black_box(model.predict_row(black_box(first_row))))
+    });
+    group.bench_function("boxed_dyn", |b| {
+        b.iter(|| black_box(boxed.predict_row(black_box(first_row))))
+    });
+    group.finish();
+}
+
+fn predict_batch_throughput(c: &mut Criterion) {
+    let (model, rows, d, _g) = trained_tree();
+    let n = rows.len() / d;
+    c.bench_function(&format!("predict_batch/n{n}"), |b| {
+        b.iter(|| black_box(model.predict_batch(black_box(&rows), d)))
+    });
+}
+
+fn artifact_io(c: &mut Criterion) {
+    let (model, _rows, _d, g) = trained_tree();
+    let config = FeatureConfig::NoJoin;
+    let features = build_dataset(&g.star, &config).unwrap().features().to_vec();
+    let artifact = ModelArtifact {
+        format_version: FORMAT_VERSION,
+        name: "bench-tree".into(),
+        version: 1,
+        model,
+        feature_config: config,
+        features,
+        schema_fingerprint: g.star.fingerprint(),
+        metadata: TrainingMetadata {
+            dataset: "onexr".into(),
+            spec: ModelSpec::TreeGini,
+            train_rows: g.n_train,
+            metrics: hamlet_core::experiment::RunResult {
+                model: "DT-Gini".into(),
+                config: "NoJoin".into(),
+                train_accuracy: 0.0,
+                val_accuracy: 0.0,
+                test_accuracy: 0.0,
+                seconds: 0.0,
+                winner: String::new(),
+            },
+        },
+    };
+    let dir = std::env::temp_dir().join(format!("hamlet-bench-art-{}", std::process::id()));
+    let path = artifact.save(&dir).unwrap();
+
+    let mut group = c.benchmark_group("artifact");
+    group.bench_function("save", |b| b.iter(|| artifact.save(&dir).unwrap()));
+    group.bench_function("load", |b| b.iter(|| ModelArtifact::load(&path).unwrap()));
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(
+    benches,
+    predict_dispatch,
+    predict_batch_throughput,
+    artifact_io
+);
+criterion_main!(benches);

@@ -35,7 +35,9 @@ fn tree_fit_large_fk_domain(c: &mut Criterion) {
         b.iter(|| {
             DecisionTree::fit(
                 &ds,
-                TreeParams::new(SplitCriterion::Gini).with_minsplit(10).with_cp(1e-3),
+                TreeParams::new(SplitCriterion::Gini)
+                    .with_minsplit(10)
+                    .with_cp(1e-3),
             )
             .expect("fits")
         })
@@ -76,7 +78,12 @@ fn fk_compression(c: &mut Criterion) {
     let fk = train
         .features()
         .iter()
-        .position(|f| matches!(f.provenance, hamlet_ml::dataset::Provenance::ForeignKey { .. }))
+        .position(|f| {
+            matches!(
+                f.provenance,
+                hamlet_ml::dataset::Provenance::ForeignKey { .. }
+            )
+        })
         .expect("has an FK");
     let mut group = c.benchmark_group("fk_compression");
     group.bench_function("random_hash", |b| {

@@ -78,20 +78,29 @@ fn main() {
                     &data,
                     target_dim,
                     l,
-                    CompressionMethod::RandomHash { seed: 0x5EED + seed },
+                    CompressionMethod::RandomHash {
+                        seed: 0x5EED + seed,
+                    },
                     &budget,
                 );
             }
             let random = random_sum / 5.0;
-            let sorted = run_with_budget(&data, target_dim, l, CompressionMethod::SortBased, &budget);
-            let rated = run_with_budget(&data, target_dim, l, CompressionMethod::RateBased, &budget);
+            let sorted =
+                run_with_budget(&data, target_dim, l, CompressionMethod::SortBased, &budget);
+            let rated =
+                run_with_budget(&data, target_dim, l, CompressionMethod::RateBased, &budget);
             printer.row(&[&format!("{l}"), &acc(random), &acc(sorted), &acc(rated)]);
             artifacts.push((spec.name.to_string(), l, "Random".into(), random));
             artifacts.push((spec.name.to_string(), l, "Sort-based".into(), sorted));
             artifacts.push((spec.name.to_string(), l, "Rate-based".into(), rated));
         }
         println!("uncompressed (l = |D_FK|): {}\n", acc(full_acc));
-        artifacts.push((spec.name.to_string(), u32::MAX, "Uncompressed".into(), full_acc));
+        artifacts.push((
+            spec.name.to_string(),
+            u32::MAX,
+            "Uncompressed".into(),
+            full_acc,
+        ));
     }
     write_json("fig10", &artifacts);
     println!("Shape check (paper §6.1): Sort-based ≥ Random, gap largest at small l and");

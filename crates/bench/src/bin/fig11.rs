@@ -41,8 +41,8 @@ fn avg_error(
         let (train, val, test) = match (fk, method) {
             (Some(j), Some(m)) => {
                 let dim = &g.star.dims()[0].table;
-                let smoothing = build_smoothing(&data.train, j, m, Some(dim))
-                    .expect("smoothing builds");
+                let smoothing =
+                    build_smoothing(&data.train, j, m, Some(dim)).expect("smoothing builds");
                 (
                     data.train.clone(),
                     smoothing.apply(&data.val).expect("val applies"),
@@ -67,12 +67,14 @@ fn main() {
 
     let mut artifacts: Vec<(String, f64, String, f64)> = Vec::new();
     for (panel, method) in [
-        ("(A) Random reassignment", SmoothingMethod::Random { seed: 0x5400 }),
+        (
+            "(A) Random reassignment",
+            SmoothingMethod::Random { seed: 0x5400 },
+        ),
         ("(B) X_R-based reassignment", SmoothingMethod::XrBased),
     ] {
         println!("{panel}");
-        let printer =
-            TablePrinter::new(&["gamma", "UseAll", "NoJoin", "NoFK"], &[7, 8, 8, 8]);
+        let printer = TablePrinter::new(&["gamma", "UseAll", "NoJoin", "NoFK"], &[7, 8, 8, 8]);
         for &gamma in &gammas {
             let mut cells = vec![format!("{gamma}")];
             for config in three_configs() {

@@ -31,79 +31,139 @@ fn main() {
     // (A) vary n_S.
     let a = mc_sweep(
         &[100.0, 300.0, 1000.0, 3000.0, 10_000.0],
-        |x, seed| onexr::generate(OneXrParams { n_s: x as usize, seed, ..base() }),
+        |x, seed| {
+            onexr::generate(OneXrParams {
+                n_s: x as usize,
+                seed,
+                ..base()
+            })
+        },
         |_, gs| onexr_bayes(gs, base().p),
         spec,
         &configs,
         &budget,
         runs,
     );
-    print_sweep("(A) vary number of training examples n_S", "n_S", &a, |bv| bv.avg_error);
+    print_sweep(
+        "(A) vary number of training examples n_S",
+        "n_S",
+        &a,
+        |bv| bv.avg_error,
+    );
     artifacts.push(("A_vary_ns", a));
 
     // (B) vary n_R = |D_FK| (the tuple-ratio stress test).
     let b = mc_sweep(
         &[1.0, 10.0, 40.0, 100.0, 333.0, 1000.0],
-        |x, seed| onexr::generate(OneXrParams { n_r: x as u32, seed, ..base() }),
+        |x, seed| {
+            onexr::generate(OneXrParams {
+                n_r: x as u32,
+                seed,
+                ..base()
+            })
+        },
         |_, gs| onexr_bayes(gs, base().p),
         spec,
         &configs,
         &budget,
         runs,
     );
-    print_sweep("(B) vary number of FK values |D_FK| = n_R", "n_R", &b, |bv| bv.avg_error);
+    print_sweep(
+        "(B) vary number of FK values |D_FK| = n_R",
+        "n_R",
+        &b,
+        |bv| bv.avg_error,
+    );
     artifacts.push(("B_vary_nr", b));
 
     // (C) vary d_S.
     let c = mc_sweep(
         &[1.0, 4.0, 7.0, 10.0],
-        |x, seed| onexr::generate(OneXrParams { d_s: x as usize, seed, ..base() }),
+        |x, seed| {
+            onexr::generate(OneXrParams {
+                d_s: x as usize,
+                seed,
+                ..base()
+            })
+        },
         |_, gs| onexr_bayes(gs, base().p),
         spec,
         &configs,
         &budget,
         runs,
     );
-    print_sweep("(C) vary number of features in S (d_S)", "d_S", &c, |bv| bv.avg_error);
+    print_sweep("(C) vary number of features in S (d_S)", "d_S", &c, |bv| {
+        bv.avg_error
+    });
     artifacts.push(("C_vary_ds", c));
 
     // (D) vary d_R.
     let d = mc_sweep(
         &[1.0, 4.0, 7.0, 10.0],
-        |x, seed| onexr::generate(OneXrParams { d_r: x as usize, seed, ..base() }),
+        |x, seed| {
+            onexr::generate(OneXrParams {
+                d_r: x as usize,
+                seed,
+                ..base()
+            })
+        },
         |_, gs| onexr_bayes(gs, base().p),
         spec,
         &configs,
         &budget,
         runs,
     );
-    print_sweep("(D) vary number of features in R (d_R)", "d_R", &d, |bv| bv.avg_error);
+    print_sweep("(D) vary number of features in R (d_R)", "d_R", &d, |bv| {
+        bv.avg_error
+    });
     artifacts.push(("D_vary_dr", d));
 
     // (E) vary the probability parameter p (Bayes noise).
     let e = mc_sweep(
         &[0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0],
-        |x, seed| onexr::generate(OneXrParams { p: x, seed, ..base() }),
+        |x, seed| {
+            onexr::generate(OneXrParams {
+                p: x,
+                seed,
+                ..base()
+            })
+        },
         |x, gs| onexr_bayes(gs, x),
         spec,
         &configs,
         &budget,
         runs,
     );
-    print_sweep("(E) vary probability parameter p of P(Y|Xr)", "p", &e, |bv| bv.avg_error);
+    print_sweep(
+        "(E) vary probability parameter p of P(Y|Xr)",
+        "p",
+        &e,
+        |bv| bv.avg_error,
+    );
     artifacts.push(("E_vary_p", e));
 
     // (F) vary |D_Xr|.
     let f = mc_sweep(
         &[2.0, 5.0, 10.0, 20.0, 40.0],
-        |x, seed| onexr::generate(OneXrParams { xr_domain: x as u32, seed, ..base() }),
+        |x, seed| {
+            onexr::generate(OneXrParams {
+                xr_domain: x as u32,
+                seed,
+                ..base()
+            })
+        },
         |_, gs| onexr_bayes(gs, base().p),
         spec,
         &configs,
         &budget,
         runs,
     );
-    print_sweep("(F) vary |D_Xr| (driving-feature domain)", "|D_Xr|", &f, |bv| bv.avg_error);
+    print_sweep(
+        "(F) vary |D_Xr| (driving-feature domain)",
+        "|D_Xr|",
+        &f,
+        |bv| bv.avg_error,
+    );
     artifacts.push(("F_vary_dxr", f));
 
     write_json("fig2", &artifacts);

@@ -5,7 +5,9 @@
 //! cargo run --release -p hamlet-bench --bin fig3
 //! ```
 
-use hamlet_bench::{mc_runs, mc_sweep, print_sweep, sim_budget, three_configs, write_json, SweepPoint};
+use hamlet_bench::{
+    mc_runs, mc_sweep, print_sweep, sim_budget, three_configs, write_json, SweepPoint,
+};
 use hamlet_core::montecarlo::onexr_bayes;
 use hamlet_core::prelude::*;
 use hamlet_datagen::prelude::*;
@@ -39,7 +41,9 @@ fn main() {
     print_sweep("(A) 1-NN: average test error", "n_R", &a, |bv| bv.avg_error);
 
     let b = nr_sweep(ModelSpec::SvmRbf, runs, &budget);
-    print_sweep("(B) RBF-SVM: average test error", "n_R", &b, |bv| bv.avg_error);
+    print_sweep("(B) RBF-SVM: average test error", "n_R", &b, |bv| {
+        bv.avg_error
+    });
 
     write_json("fig3", &vec![("A_1nn", a), ("B_rbf", b)]);
     println!("\nShape check (paper §4.1): the RBF-SVM's NoJoin deviates from JoinAll once");

@@ -7,7 +7,9 @@
 //! cargo run --release -p hamlet-bench --bin fig4
 //! ```
 
-use hamlet_bench::{mc_runs, mc_sweep, print_sweep, sim_budget, three_configs, write_json, SweepPoint};
+use hamlet_bench::{
+    mc_runs, mc_sweep, print_sweep, sim_budget, three_configs, write_json, SweepPoint,
+};
 use hamlet_core::montecarlo::onexr_bayes;
 use hamlet_core::prelude::*;
 use hamlet_datagen::prelude::*;
@@ -37,10 +39,14 @@ fn main() {
     println!("Figure 4: OneXr net variance, vary n_R = |D_FK| ({runs} runs/point)");
 
     let a = nr_sweep(ModelSpec::OneNN, runs, &budget);
-    print_sweep("(A) 1-NN: average net variance", "n_R", &a, |bv| bv.net_variance);
+    print_sweep("(A) 1-NN: average net variance", "n_R", &a, |bv| {
+        bv.net_variance
+    });
 
     let b = nr_sweep(ModelSpec::SvmRbf, runs, &budget);
-    print_sweep("(B) RBF-SVM: average net variance", "n_R", &b, |bv| bv.net_variance);
+    print_sweep("(B) RBF-SVM: average net variance", "n_R", &b, |bv| {
+        bv.net_variance
+    });
 
     write_json("fig4", &vec![("A_1nn", a), ("B_rbf", b)]);
     println!("\nShape check (paper §4.1): the RBF-SVM's error deviation is mirrored by");

@@ -36,7 +36,9 @@ fn main() {
         &budget,
         runs,
     );
-    print_sweep("(A) vary Zipfian skew parameter", "zipf_s", &a, |bv| bv.avg_error);
+    print_sweep("(A) vary Zipfian skew parameter", "zipf_s", &a, |bv| {
+        bv.avg_error
+    });
     artifacts.push(("A_zipf_param", a));
 
     // (B) vary n_S with Zipf skew fixed at 2.
@@ -75,7 +77,9 @@ fn main() {
         &budget,
         runs,
     );
-    print_sweep("(C) vary needle probability", "needle_p", &c, |bv| bv.avg_error);
+    print_sweep("(C) vary needle probability", "needle_p", &c, |bv| {
+        bv.avg_error
+    });
     artifacts.push(("C_needle_param", c));
 
     // (D) vary n_S with needle probability fixed at 0.5.
@@ -95,7 +99,9 @@ fn main() {
         &budget,
         runs,
     );
-    print_sweep("(D) vary n_S at needle probability 0.5", "n_S", &d, |bv| bv.avg_error);
+    print_sweep("(D) vary n_S at needle probability 0.5", "n_S", &d, |bv| {
+        bv.avg_error
+    });
     artifacts.push(("D_needle05_ns", d));
 
     write_json("fig5", &artifacts);

@@ -35,7 +35,12 @@ fn main() {
         &budget,
         runs,
     );
-    print_sweep("(A) vary number of training examples n_S", "n_S", &a, |bv| bv.avg_error);
+    print_sweep(
+        "(A) vary number of training examples n_S",
+        "n_S",
+        &a,
+        |bv| bv.avg_error,
+    );
     artifacts.push(("A_vary_ns", a));
 
     // (B) vary n_R.
@@ -54,7 +59,12 @@ fn main() {
         &budget,
         runs,
     );
-    print_sweep("(B) vary number of FK values |D_FK| = n_R", "n_R", &b, |bv| bv.avg_error);
+    print_sweep(
+        "(B) vary number of FK values |D_FK| = n_R",
+        "n_R",
+        &b,
+        |bv| bv.avg_error,
+    );
     artifacts.push(("B_vary_nr", b));
 
     // (C) vary d_R.
@@ -73,7 +83,9 @@ fn main() {
         &budget,
         runs,
     );
-    print_sweep("(C) vary number of features in R (d_R)", "d_R", &c, |bv| bv.avg_error);
+    print_sweep("(C) vary number of features in R (d_R)", "d_R", &c, |bv| {
+        bv.avg_error
+    });
     artifacts.push(("C_vary_dr", c));
 
     // (D) vary d_S.
@@ -92,7 +104,9 @@ fn main() {
         &budget,
         runs,
     );
-    print_sweep("(D) vary number of features in S (d_S)", "d_S", &d, |bv| bv.avg_error);
+    print_sweep("(D) vary number of features in S (d_S)", "d_S", &d, |bv| {
+        bv.avg_error
+    });
     artifacts.push(("D_vary_ds", d));
 
     write_json("fig6", &artifacts);

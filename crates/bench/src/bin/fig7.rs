@@ -6,8 +6,8 @@
 //! cargo run --release -p hamlet-bench --bin fig7
 //! ```
 
-use hamlet_bench::{mc_runs, print_sweep, sim_budget, write_json};
 use hamlet_bench::reponexr_sweep;
+use hamlet_bench::{mc_runs, print_sweep, sim_budget, write_json};
 use hamlet_core::prelude::*;
 
 fn main() {
@@ -16,10 +16,14 @@ fn main() {
     println!("Figure 7: RepOneXr, gini decision tree ({runs} runs/point)");
 
     let a = reponexr_sweep(ModelSpec::TreeGini, 40, runs, &budget);
-    print_sweep("(A) vary d_R at n_R = 40 (ratio 25x)", "d_R", &a, |bv| bv.avg_error);
+    print_sweep("(A) vary d_R at n_R = 40 (ratio 25x)", "d_R", &a, |bv| {
+        bv.avg_error
+    });
 
     let b = reponexr_sweep(ModelSpec::TreeGini, 200, runs, &budget);
-    print_sweep("(B) vary d_R at n_R = 200 (ratio 5x)", "d_R", &b, |bv| bv.avg_error);
+    print_sweep("(B) vary d_R at n_R = 200 (ratio 5x)", "d_R", &b, |bv| {
+        bv.avg_error
+    });
 
     write_json("fig7", &vec![("A_nr40", a), ("B_nr200", b)]);
     println!("\nShape check (paper §4.3): JoinAll ≈ NoJoin in both panels for the tree.");

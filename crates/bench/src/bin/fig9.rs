@@ -14,10 +14,14 @@ fn main() {
     println!("Figure 9: RepOneXr, 1-NN ({runs} runs/point)");
 
     let a = reponexr_sweep(ModelSpec::OneNN, 40, runs, &budget);
-    print_sweep("(A) vary d_R at n_R = 40 (ratio 25x)", "d_R", &a, |bv| bv.avg_error);
+    print_sweep("(A) vary d_R at n_R = 40 (ratio 25x)", "d_R", &a, |bv| {
+        bv.avg_error
+    });
 
     let b = reponexr_sweep(ModelSpec::OneNN, 200, runs, &budget);
-    print_sweep("(B) vary d_R at n_R = 200 (ratio 5x)", "d_R", &b, |bv| bv.avg_error);
+    print_sweep("(B) vary d_R at n_R = 200 (ratio 5x)", "d_R", &b, |bv| {
+        bv.avg_error
+    });
 
     write_json("fig9", &vec![("A_nr40", a), ("B_nr200", b)]);
     println!("\nShape check (paper §4.3): the 1-NN is the least stable — its NoJoin");

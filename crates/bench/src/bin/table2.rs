@@ -7,7 +7,9 @@
 //! cargo run --release -p hamlet-bench --bin table2
 //! ```
 
-use hamlet_bench::{acc, table_budget, target_n_s, three_configs, two_configs, write_json, TablePrinter};
+use hamlet_bench::{
+    acc, table_budget, target_n_s, three_configs, two_configs, write_json, TablePrinter,
+};
 use hamlet_core::prelude::*;
 use hamlet_datagen::prelude::*;
 
@@ -21,13 +23,25 @@ fn main() {
     ];
 
     let mut all_results: Vec<RunResult> = Vec::new();
-    for table in ["Table 2 (holdout test accuracy)", "Table 5 (training accuracy)"] {
+    for table in [
+        "Table 2 (holdout test accuracy)",
+        "Table 5 (training accuracy)",
+    ] {
         println!("\n{table}: decision trees and 1-NN\n");
         let printer = TablePrinter::new(
             &[
-                "Dataset", "Gini:JoinAll", "Gini:NoJoin", "Gini:NoFK", "IG:JoinAll",
-                "IG:NoJoin", "IG:NoFK", "GR:JoinAll", "GR:NoJoin", "GR:NoFK",
-                "1NN:JoinAll", "1NN:NoJoin",
+                "Dataset",
+                "Gini:JoinAll",
+                "Gini:NoJoin",
+                "Gini:NoFK",
+                "IG:JoinAll",
+                "IG:NoJoin",
+                "IG:NoFK",
+                "GR:JoinAll",
+                "GR:NoJoin",
+                "GR:NoFK",
+                "1NN:JoinAll",
+                "1NN:NoJoin",
             ],
             &[8, 12, 12, 10, 10, 10, 8, 10, 10, 8, 11, 11],
         );
@@ -74,10 +88,11 @@ fn cached_run(
 ) -> (f64, f64) {
     let key_model = model.name();
     let key_config = config.name();
-    if let Some(r) = cache
-        .iter()
-        .find(|r| r.model == key_model && r.config == key_config && r.winner.starts_with(&format!("[{dataset}] ")))
-    {
+    if let Some(r) = cache.iter().find(|r| {
+        r.model == key_model
+            && r.config == key_config
+            && r.winner.starts_with(&format!("[{dataset}] "))
+    }) {
         return (r.test_accuracy, r.train_accuracy);
     }
     let mut r = run_experiment(g, model, config, budget).expect("experiment runs");

@@ -32,18 +32,17 @@ fn main() {
                 let r = run_experiment(&g, model, &config, &budget).expect("experiment runs");
                 eprintln!(
                     "[{}] {} {}: test {:.4} ({:.1}s)",
-                    spec.name,
-                    r.model,
-                    r.config,
-                    r.test_accuracy,
-                    r.seconds
+                    spec.name, r.model, r.config, r.test_accuracy, r.seconds
                 );
                 results.push((spec.name.to_string(), r));
             }
         }
     }
 
-    for (table, test) in [("Table 3 (holdout test accuracy)", true), ("Table 6 (training accuracy)", false)] {
+    for (table, test) in [
+        ("Table 3 (holdout test accuracy)", true),
+        ("Table 6 (training accuracy)", false),
+    ] {
         println!("\n{table}: SVMs, ANN, NB-BFS, LogReg-L1\n");
         let mut headers = vec!["Dataset".to_string()];
         for model in specs {
@@ -63,7 +62,13 @@ fn main() {
                         .find(|(d, r)| {
                             d == spec.name && r.model == model.name() && r.config == config.name()
                         })
-                        .map(|(_, r)| if test { r.test_accuracy } else { r.train_accuracy })
+                        .map(|(_, r)| {
+                            if test {
+                                r.test_accuracy
+                            } else {
+                                r.train_accuracy
+                            }
+                        })
                         .expect("cell was computed");
                     cells.push(acc(r));
                 }

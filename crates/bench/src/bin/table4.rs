@@ -66,7 +66,11 @@ fn run_table(target: usize, budget: &Budget, artifacts: &mut Vec<RunResult>) {
         printer.row(&[
             spec.name,
             &acc(no_r1),
-            &if no_r2.is_nan() { "X".to_string() } else { acc(no_r2) },
+            &if no_r2.is_nan() {
+                "X".to_string()
+            } else {
+                acc(no_r2)
+            },
             &acc(join_all),
             &acc(no_join),
         ]);

@@ -227,12 +227,7 @@ pub fn print_sweep(
 
 /// The shared Figure 7/8/9 sweep: RepOneXr, vary `d_R ∈ {1,4,8,12,16}` at a
 /// fixed `n_R`, with `(n_S, d_S) = (1000, 4)` and `p = 0.1`.
-pub fn reponexr_sweep(
-    spec: ModelSpec,
-    n_r: u32,
-    runs: usize,
-    budget: &Budget,
-) -> Vec<SweepPoint> {
+pub fn reponexr_sweep(spec: ModelSpec, n_r: u32, runs: usize, budget: &Budget) -> Vec<SweepPoint> {
     use hamlet_core::montecarlo::onexr_bayes;
     use hamlet_datagen::prelude::*;
     let p = RepOneXrParams::default().p;

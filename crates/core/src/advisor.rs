@@ -28,6 +28,31 @@ pub fn threshold(family: ModelFamily) -> f64 {
     }
 }
 
+/// The minimal per-dimension information the advisor needs — pure schema
+/// statistics, no table contents. This is the request shape served over
+/// `POST /v1/advise` in `hamlet-serve`: a client describes its star schema
+/// in a few numbers and gets a sourcing verdict without shipping any data.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct DimStats {
+    /// Dimension table name (reporting only).
+    pub name: String,
+    /// `n_R`: dimension row count = FK domain size.
+    pub n_rows: usize,
+    /// Whether the FK's domain is open (Table 1 "N/A" rows).
+    pub open_domain: bool,
+}
+
+impl DimStats {
+    /// Stats for a closed-domain dimension.
+    pub fn closed(name: impl Into<String>, n_rows: usize) -> Self {
+        DimStats {
+            name: name.into(),
+            n_rows,
+            open_domain: false,
+        }
+    }
+}
+
 /// The advisor's verdict for one dimension table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum Advice {
@@ -40,7 +65,7 @@ pub enum Advice {
 }
 
 /// Per-dimension advisor output.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct DimensionAdvice {
     /// Dimension table name.
     pub dimension: String,
@@ -53,7 +78,7 @@ pub struct DimensionAdvice {
 }
 
 /// Full advisor report for a star schema under one model family.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct AdvisorReport {
     /// Model family the report was computed for.
     pub family: ModelFamily,
@@ -132,12 +157,29 @@ pub fn sourcing_plan(star: &StarSchema, n_train: usize, family: ModelFamily) -> 
 /// Runs the advisor: needs only the schema, the training-set size and each
 /// dimension's cardinality — never the dimension's contents.
 pub fn advise(star: &StarSchema, n_train: usize, family: ModelFamily) -> AdvisorReport {
-    let thr = threshold(family);
-    let dimensions = star
+    let dims: Vec<DimStats> = star
         .dims()
         .iter()
+        .map(|d| DimStats {
+            name: d.table.name().to_string(),
+            n_rows: d.n_rows(),
+            open_domain: d.open_domain,
+        })
+        .collect();
+    advise_dims(&dims, n_train, family)
+}
+
+/// The advisor on raw dimension statistics — the request-time entry point:
+/// no table, no star, just the numbers the decision rule consumes. `advise`
+/// delegates here, so the two paths can never diverge.
+pub fn advise_dims(dims: &[DimStats], n_train: usize, family: ModelFamily) -> AdvisorReport {
+    let thr = threshold(family);
+    let dimensions = dims
+        .iter()
         .map(|d| {
-            let ratio = n_train as f64 / d.n_rows() as f64;
+            // A zero-row dimension yields ratio = +inf and AvoidJoin: an
+            // empty table carries no signal and is always discardable.
+            let ratio = n_train as f64 / d.n_rows as f64;
             let advice = if d.open_domain {
                 Advice::CannotDiscard
             } else if ratio >= thr {
@@ -146,7 +188,7 @@ pub fn advise(star: &StarSchema, n_train: usize, family: ModelFamily) -> Advisor
                 Advice::RetainJoin
             };
             DimensionAdvice {
-                dimension: d.table.name().to_string(),
+                dimension: d.name.clone(),
                 tuple_ratio: ratio,
                 threshold: thr,
                 advice,

@@ -143,10 +143,14 @@ pub fn build_compression(
                     .collect();
                 let mut by_gap = gaps.clone();
                 by_gap.sort_by(|a, b| {
-                    b.0.partial_cmp(&a.0).expect("gaps are finite").then(a.1.cmp(&b.1))
+                    b.0.partial_cmp(&a.0)
+                        .expect("gaps are finite")
+                        .then(a.1.cmp(&b.1))
                 });
-                let mut boundaries: Vec<usize> =
-                    by_gap[..(budget as usize - 1)].iter().map(|&(_, i)| i).collect();
+                let mut boundaries: Vec<usize> = by_gap[..(budget as usize - 1)]
+                    .iter()
+                    .map(|&(_, i)| i)
+                    .collect();
                 boundaries.sort_unstable();
 
                 let mut group = 0u32;
@@ -219,8 +223,7 @@ mod tests {
     #[test]
     fn random_hash_respects_budget_and_is_total() {
         let ds = fk_dataset(64, 4);
-        let c =
-            build_compression(&ds, 0, 8, CompressionMethod::RandomHash { seed: 7 }).unwrap();
+        let c = build_compression(&ds, 0, 8, CompressionMethod::RandomHash { seed: 7 }).unwrap();
         assert_eq!(c.map.len(), 64);
         assert!(c.map.iter().all(|&g| g < 8));
         let applied = c.apply(&ds).unwrap();

@@ -9,13 +9,16 @@
 use std::time::Instant;
 
 use hamlet_datagen::sim::GeneratedStar;
+use hamlet_ml::any::AnyClassifier;
+use hamlet_ml::dataset::FeatureMeta;
 use hamlet_ml::error::Result;
+use hamlet_ml::model::Classifier;
 
 use crate::feature_config::{build_splits, FeatureConfig};
 use crate::model_zoo::{Budget, ModelSpec};
 
 /// Outcome of one (dataset, model, config) run.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct RunResult {
     /// Model display name.
     pub model: String,
@@ -33,6 +36,20 @@ pub struct RunResult {
     pub winner: String,
 }
 
+/// A finished experiment that also keeps the trained model — the input to
+/// artifact persistence in `hamlet-serve`.
+#[derive(Debug, Clone)]
+pub struct TrainedExperiment {
+    /// Metrics and provenance of the run.
+    pub result: RunResult,
+    /// The tuned, servable model.
+    pub model: AnyClassifier,
+    /// The model's input contract: per-feature name, cardinality and
+    /// provenance of the dataset the config built (what persisted artifacts
+    /// validate prediction rows against).
+    pub features: Vec<FeatureMeta>,
+}
+
 /// Runs one experiment end to end.
 pub fn run_experiment(
     gs: &GeneratedStar,
@@ -40,20 +57,35 @@ pub fn run_experiment(
     config: &FeatureConfig,
     budget: &Budget,
 ) -> Result<RunResult> {
+    run_experiment_with_model(gs, spec, config, budget).map(|t| t.result)
+}
+
+/// Runs one experiment end to end, returning the trained model alongside
+/// the metrics so callers can persist and serve it.
+pub fn run_experiment_with_model(
+    gs: &GeneratedStar,
+    spec: ModelSpec,
+    config: &FeatureConfig,
+    budget: &Budget,
+) -> Result<TrainedExperiment> {
     let start = Instant::now();
     let data = build_splits(gs, config)?;
     let tuned = spec.fit_tuned(&data.train, &data.val, budget)?;
     let train_accuracy = tuned.model.accuracy(&data.train);
     let test_accuracy = tuned.model.accuracy(&data.test);
     let seconds = start.elapsed().as_secs_f64();
-    Ok(RunResult {
-        model: spec.name().to_string(),
-        config: config.name(),
-        train_accuracy,
-        val_accuracy: tuned.val_accuracy,
-        test_accuracy,
-        seconds,
-        winner: tuned.description,
+    Ok(TrainedExperiment {
+        result: RunResult {
+            model: spec.name().to_string(),
+            config: config.name(),
+            train_accuracy,
+            val_accuracy: tuned.val_accuracy,
+            test_accuracy,
+            seconds,
+            winner: tuned.description,
+        },
+        model: tuned.model,
+        features: data.train.features().to_vec(),
     })
 }
 

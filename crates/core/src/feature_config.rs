@@ -121,9 +121,7 @@ pub fn build_dataset(star: &StarSchema, config: &FeatureConfig) -> Result<CatDat
         .enumerate()
         .filter(|(_, f)| match f.provenance {
             Provenance::Home => true,
-            Provenance::ForeignKey { dim } => {
-                config.includes_fk(dim, star.dims()[dim].open_domain)
-            }
+            Provenance::ForeignKey { dim } => config.includes_fk(dim, star.dims()[dim].open_domain),
             Provenance::Foreign { dim } => {
                 let quota = config.foreign_keep_count(dim, star.dims()[dim].open_domain);
                 let pos = foreign_seen[dim];
@@ -267,13 +265,16 @@ mod tests {
         assert_eq!(FeatureConfig::JoinAll.name(), "JoinAll");
         assert_eq!(FeatureConfig::NoJoin.name(), "NoJoin");
         assert_eq!(FeatureConfig::NoFK.name(), "NoFK");
-        assert_eq!(FeatureConfig::PartialForeign(vec![2, 0]).name(), "Partial[2,0]");
+        assert_eq!(
+            FeatureConfig::PartialForeign(vec![2, 0]).name(),
+            "Partial[2,0]"
+        );
     }
 
     #[test]
     fn partial_foreign_interpolates_between_joinall_and_nojoin() {
         let g = onexr(); // d_s=4, 1 FK, d_r=4
-        // Keep 2 of the 4 foreign features.
+                         // Keep 2 of the 4 foreign features.
         let ds = build_dataset(&g.star, &FeatureConfig::PartialForeign(vec![2])).unwrap();
         assert_eq!(ds.n_features(), 4 + 1 + 2);
         let foreign: Vec<&str> = ds
@@ -282,7 +283,11 @@ mod tests {
             .filter(|f| matches!(f.provenance, Provenance::Foreign { .. }))
             .map(|f| f.name.as_str())
             .collect();
-        assert_eq!(foreign, vec!["xr0", "xr1"], "prefix rule keeps the first features");
+        assert_eq!(
+            foreign,
+            vec!["xr0", "xr1"],
+            "prefix rule keeps the first features"
+        );
 
         // keep = 0 ⇒ NoJoin; keep = d_r ⇒ JoinAll.
         let nojoin = build_dataset(&g.star, &FeatureConfig::PartialForeign(vec![0])).unwrap();

@@ -47,17 +47,16 @@ pub mod smooth;
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::advisor::{
-        advise, sourcing_plan, threshold, Advice, AdvisorReport, DimensionAdvice, SourcingPlan,
+        advise, advise_dims, sourcing_plan, threshold, Advice, AdvisorReport, DimStats,
+        DimensionAdvice, SourcingPlan,
     };
     pub use crate::bias_variance::{decompose, BiasVariance};
     pub use crate::compress::{build_compression, CompressionMethod, FkCompression};
-    pub use crate::experiment::{run_configs, run_experiment, RunResult};
-    pub use crate::feature_config::{
-        build_dataset, build_splits, ExperimentData, FeatureConfig,
+    pub use crate::experiment::{
+        run_configs, run_experiment, run_experiment_with_model, RunResult, TrainedExperiment,
     };
+    pub use crate::feature_config::{build_dataset, build_splits, ExperimentData, FeatureConfig};
     pub use crate::model_zoo::{Budget, ModelFamily, ModelSpec, TunedModel};
-    pub use crate::montecarlo::{
-        onexr_bayes, run_monte_carlo, xsxr_bayes, MonteCarloPoint,
-    };
+    pub use crate::montecarlo::{onexr_bayes, run_monte_carlo, xsxr_bayes, MonteCarloPoint};
     pub use crate::smooth::{build_smoothing, seen_mask, FkSmoothing, SmoothingMethod};
 }

@@ -7,6 +7,7 @@
 //! drives quick CI runs, simulations and full-fidelity reproductions.
 
 use hamlet_ml::ann::{AnnParams, Mlp};
+use hamlet_ml::any::{AnyClassifier, SubsetModel};
 use hamlet_ml::dataset::CatDataset;
 use hamlet_ml::error::{MlError, Result};
 use hamlet_ml::feature_selection::backward_selection;
@@ -104,10 +105,7 @@ impl ModelSpec {
 
     /// Whether the paper counts this model as high-capacity.
     pub fn is_high_capacity(&self) -> bool {
-        !matches!(
-            self,
-            Self::SvmLinear | Self::NaiveBayesBfs | Self::LogRegL1
-        )
+        !matches!(self, Self::SvmLinear | Self::NaiveBayesBfs | Self::LogRegL1)
     }
 }
 
@@ -186,26 +184,17 @@ impl Budget {
 }
 
 /// A tuned classifier plus a description of the winning cell.
+///
+/// The model is a concrete [`AnyClassifier`] (not `Box<dyn Classifier>`), so
+/// it can be persisted, registered and served — see `hamlet-serve` — while
+/// still predicting through the [`Classifier`] trait everywhere else.
 pub struct TunedModel {
     /// The fitted model.
-    pub model: Box<dyn Classifier>,
+    pub model: AnyClassifier,
     /// Human-readable winning hyper-parameters.
     pub description: String,
     /// Validation accuracy of the winner.
     pub val_accuracy: f64,
-}
-
-/// Wraps a model fitted on a feature subset so it can consume full rows.
-struct SubsetClassifier<M: Classifier> {
-    inner: M,
-    keep: Vec<usize>,
-}
-
-impl<M: Classifier> Classifier for SubsetClassifier<M> {
-    fn predict_row(&self, row: &[u32]) -> bool {
-        let sub: Vec<u32> = self.keep.iter().map(|&j| row[j]).collect();
-        self.inner.predict_row(&sub)
-    }
 }
 
 impl ModelSpec {
@@ -226,7 +215,7 @@ impl ModelSpec {
                 let model = OneNearestNeighbor::fit(&sub)?;
                 let val_accuracy = model.accuracy(val);
                 Ok(TunedModel {
-                    model: Box::new(model),
+                    model: model.into(),
                     description: "1-NN (no hyper-parameters)".into(),
                     val_accuracy,
                 })
@@ -283,7 +272,7 @@ impl ModelSpec {
                 .collect();
                 let out = grid_search(&grid, &sub, val, |p, t| Mlp::fit(t, *p))?;
                 Ok(TunedModel {
-                    model: Box::new(out.model),
+                    model: out.model.into(),
                     description: format!("ANN l2={} lr={}", out.params.l2, out.params.lr),
                     val_accuracy: out.val_accuracy,
                 })
@@ -294,7 +283,11 @@ impl ModelSpec {
                 let sub_train = train.select_features(&keep)?;
                 let inner = NaiveBayes::fit(&sub_train)?;
                 Ok(TunedModel {
-                    model: Box::new(SubsetClassifier { inner, keep }),
+                    model: SubsetModel {
+                        keep,
+                        inner: Box::new(inner.into()),
+                    }
+                    .into(),
                     description: format!(
                         "NB-BFS kept {} of {} features",
                         outcome.selected.len(),
@@ -315,7 +308,7 @@ impl ModelSpec {
                 let model = LogRegL1::fit_path(train, val, params)?;
                 let val_accuracy = model.accuracy(val);
                 Ok(TunedModel {
-                    model: Box::new(model),
+                    model: model.into(),
                     description: "LogReg-L1 (validation-selected lambda)".into(),
                     val_accuracy,
                 })
@@ -345,15 +338,27 @@ fn fit_tree(
         TreeParams::paper_grid_with(criterion, cat)
     } else {
         vec![
-            TreeParams::new(criterion).with_minsplit(1).with_cp(1e-3).with_categorical(cat),
-            TreeParams::new(criterion).with_minsplit(10).with_cp(1e-3).with_categorical(cat),
-            TreeParams::new(criterion).with_minsplit(10).with_cp(0.01).with_categorical(cat),
-            TreeParams::new(criterion).with_minsplit(100).with_cp(1e-4).with_categorical(cat),
+            TreeParams::new(criterion)
+                .with_minsplit(1)
+                .with_cp(1e-3)
+                .with_categorical(cat),
+            TreeParams::new(criterion)
+                .with_minsplit(10)
+                .with_cp(1e-3)
+                .with_categorical(cat),
+            TreeParams::new(criterion)
+                .with_minsplit(10)
+                .with_cp(0.01)
+                .with_categorical(cat),
+            TreeParams::new(criterion)
+                .with_minsplit(100)
+                .with_cp(1e-4)
+                .with_categorical(cat),
         ]
     };
     let out = grid_search(&grid, train, val, |p, t| DecisionTree::fit(t, *p))?;
     Ok(TunedModel {
-        model: Box::new(out.model),
+        model: out.model.into(),
         description: format!(
             "{criterion:?} minsplit={} cp={}",
             out.params.minsplit, out.params.cp
@@ -373,9 +378,11 @@ fn fit_svm(
     }
     let sub = budget.subsample(train, budget.max_kernel_rows);
     let mm = MatchMatrix::compute(&sub);
-    let out = grid_search(&grid, &sub, val, |p, t| SvmModel::fit_precomputed(t, &mm, *p))?;
+    let out = grid_search(&grid, &sub, val, |p, t| {
+        SvmModel::fit_precomputed(t, &mm, *p)
+    })?;
     Ok(TunedModel {
-        model: Box::new(out.model),
+        model: out.model.into(),
         description: format!("{:?} C={}", out.params.kernel, out.params.c),
         val_accuracy: out.val_accuracy,
     })
@@ -384,8 +391,8 @@ fn fit_svm(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hamlet_datagen::prelude::*;
     use crate::feature_config::{build_splits, FeatureConfig};
+    use hamlet_datagen::prelude::*;
 
     fn quick_data() -> crate::feature_config::ExperimentData {
         let g = onexr::generate(OneXrParams {

@@ -142,7 +142,11 @@ mod tests {
             joinall.result.avg_error,
             nojoin.result.avg_error
         );
-        assert!(nojoin.result.avg_error < 0.25, "{}", nojoin.result.avg_error);
+        assert!(
+            nojoin.result.avg_error < 0.25,
+            "{}",
+            nojoin.result.avg_error
+        );
     }
 
     #[test]

@@ -70,7 +70,9 @@ pub fn build_smoothing(
         )));
     }
     let seen = seen_mask(train, feature);
-    let seen_codes: Vec<u32> = (0..seen.len() as u32).filter(|&c| seen[c as usize]).collect();
+    let seen_codes: Vec<u32> = (0..seen.len() as u32)
+        .filter(|&c| seen[c as usize])
+        .collect();
     if seen_codes.is_empty() {
         return Err(MlError::Invalid("no FK codes seen in training".into()));
     }

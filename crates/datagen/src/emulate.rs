@@ -455,11 +455,7 @@ impl EmulatorSpec {
 
         // dS = 0 datasets still need a fact side: FKs are features, so the
         // fact table is simply y + FKs (CatDataset accepts FK-only rows).
-        let star = assemble_star(
-            self.name,
-            FactColumns { y, xs, fks },
-            dims_cols,
-        );
+        let star = assemble_star(self.name, FactColumns { y, xs, fks }, dims_cols);
         // 50 / 25 / 25 split of the generated labelled examples (§3.2).
         let n_train = n_s / 2;
         let n_val = n_s / 4;
@@ -516,8 +512,16 @@ mod tests {
         let g = spec.generate_scaled(10_000, 1);
         let stats = g.star.stats(g.n_train);
         // Paper: 9.4 and 2.5 (on the train split).
-        assert!((stats[0].tuple_ratio - 9.4).abs() < 1.5, "{}", stats[0].tuple_ratio);
-        assert!((stats[1].tuple_ratio - 2.5).abs() < 0.6, "{}", stats[1].tuple_ratio);
+        assert!(
+            (stats[0].tuple_ratio - 9.4).abs() < 1.5,
+            "{}",
+            stats[0].tuple_ratio
+        );
+        assert!(
+            (stats[1].tuple_ratio - 2.5).abs() < 0.6,
+            "{}",
+            stats[1].tuple_ratio
+        );
     }
 
     #[test]

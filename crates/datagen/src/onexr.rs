@@ -225,7 +225,10 @@ mod tests {
         let g = generate(params);
         let fk = g.star.fact().column("fk_r").unwrap().codes().to_vec();
         let train_max = g.train_idx().into_iter().map(|i| fk[i]).max().unwrap();
-        assert!(train_max < 20, "train FK codes must come from the seen half");
+        assert!(
+            train_max < 20,
+            "train FK codes must come from the seen half"
+        );
         // The test split should hit at least one hidden code.
         let test_hits_hidden = g.test_idx().into_iter().any(|i| fk[i] >= 20);
         assert!(test_hits_hidden);
@@ -261,7 +264,14 @@ mod tests {
         };
         let g = generate(params);
         let joined = g.star.materialize_all().unwrap();
-        let max_xr = joined.column("xr0").unwrap().codes().iter().max().copied().unwrap();
+        let max_xr = joined
+            .column("xr0")
+            .unwrap()
+            .codes()
+            .iter()
+            .max()
+            .copied()
+            .unwrap();
         assert!(max_xr < 5);
     }
 

@@ -109,8 +109,10 @@ pub fn assemble_star(name: &str, fact: FactColumns, dims: Vec<DimColumns>) -> St
 
         // Dimension table.
         let mut d_defs = vec![ColumnDef::new("rid", ColumnRole::Id)];
-        let mut d_cols = vec![CatColumn::new(Arc::clone(&key_dom), (0..n_r as u32).collect())
-            .expect("sequential RIDs")];
+        let mut d_cols = vec![
+            CatColumn::new(Arc::clone(&key_dom), (0..n_r as u32).collect())
+                .expect("sequential RIDs"),
+        ];
         for (cname, card, codes) in &dim.columns {
             assert_eq!(codes.len(), n_r, "foreign feature length mismatch");
             let dom = CatDomain::synthetic(format!("{}_{cname}", dim.name), *card).into_shared();

@@ -57,7 +57,10 @@ fn sample_weighted<R: Rng>(weights: &[f64], total: f64, rng: &mut R) -> usize {
 
 /// Samples one XSXR star schema.
 pub fn generate(params: XsXrParams) -> GeneratedStar {
-    assert!(params.d_s + params.d_r <= 24, "TPT would exceed 2^24 entries");
+    assert!(
+        params.d_s + params.d_r <= 24,
+        "TPT would exceed 2^24 entries"
+    );
     assert!(params.d_r >= 1 && params.n_r >= 1);
     let mut dist_rng = rand::rngs::StdRng::seed_from_u64(params.dist_seed);
     let mut rng = rand::rngs::StdRng::seed_from_u64(params.seed);

@@ -78,7 +78,7 @@ impl AnnParams {
 }
 
 /// A trained MLP.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Mlp {
     offsets: Vec<u32>,
     d_in: usize,
@@ -440,6 +440,9 @@ mod tests {
             loss_long < loss_short,
             "60 epochs ({loss_long}) should beat 1 epoch ({loss_short})"
         );
-        assert!(loss_long < 0.2, "converged loss should be small: {loss_long}");
+        assert!(
+            loss_long < 0.2,
+            "converged loss should be small: {loss_long}"
+        );
     }
 }

@@ -1,0 +1,215 @@
+//! [`AnyClassifier`]: every trained model family behind one serializable,
+//! enum-dispatched type.
+//!
+//! Trained models historically left the model zoo as `Box<dyn Classifier>`,
+//! which cannot be persisted or named. `AnyClassifier` closes that gap for
+//! the serving path: it is `serde`-serializable (so artifacts can be saved
+//! and reloaded bit-exactly), `Clone`, and predicts through a plain `match`
+//! — no vtable indirection and no allocation on the base-model hot path.
+
+use crate::ann::Mlp;
+use crate::dataset::CatDataset;
+use crate::knn::OneNearestNeighbor;
+use crate::logreg::LogRegL1;
+use crate::model::{Classifier, MajorityClass};
+use crate::naive_bayes::NaiveBayes;
+use crate::svm::SvmModel;
+use crate::tree::DecisionTree;
+
+/// A model wrapped with the feature subset it was trained on, so it can
+/// consume full-width rows (the NB-BFS path after backward selection).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SubsetModel {
+    /// Indices (into the full row) of the features the inner model sees.
+    pub keep: Vec<usize>,
+    /// The model trained on the selected features.
+    pub inner: Box<AnyClassifier>,
+}
+
+/// Every trained classifier in the repo, as one concrete type.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum AnyClassifier {
+    /// Constant majority-class baseline.
+    Majority(MajorityClass),
+    /// CART decision tree.
+    Tree(DecisionTree),
+    /// 1-nearest neighbour.
+    Knn(OneNearestNeighbor),
+    /// Kernel SVM (linear / quadratic / RBF).
+    Svm(SvmModel),
+    /// Multi-layer perceptron.
+    Mlp(Mlp),
+    /// Categorical Naive Bayes.
+    NaiveBayes(NaiveBayes),
+    /// L1 logistic regression.
+    LogReg(LogRegL1),
+    /// Any of the above behind a feature-subset projection.
+    Subset(SubsetModel),
+}
+
+impl AnyClassifier {
+    /// Short family tag for registry listings and logs.
+    pub fn family(&self) -> &'static str {
+        match self {
+            AnyClassifier::Majority(_) => "majority",
+            AnyClassifier::Tree(_) => "tree",
+            AnyClassifier::Knn(_) => "knn",
+            AnyClassifier::Svm(_) => "svm",
+            AnyClassifier::Mlp(_) => "mlp",
+            AnyClassifier::NaiveBayes(_) => "naive-bayes",
+            AnyClassifier::LogReg(_) => "logreg",
+            AnyClassifier::Subset(s) => s.inner.family(),
+        }
+    }
+
+    /// Batched prediction over row-major codes (`rows.len() == n * d`),
+    /// reusing one scratch buffer across the batch so even subset-projected
+    /// models allocate O(1) times per request.
+    pub fn predict_batch(&self, rows: &[u32], d: usize) -> Vec<bool> {
+        assert!(
+            d > 0 && rows.len().is_multiple_of(d),
+            "rows must be n × d codes"
+        );
+        let mut out = Vec::with_capacity(rows.len() / d);
+        let mut scratch = Vec::new();
+        for row in rows.chunks_exact(d) {
+            out.push(self.predict_row_scratch(row, &mut scratch));
+        }
+        out
+    }
+
+    /// `predict_row` with an external scratch buffer for subset projection.
+    #[inline]
+    pub fn predict_row_scratch(&self, row: &[u32], scratch: &mut Vec<u32>) -> bool {
+        match self {
+            AnyClassifier::Majority(m) => m.predict_row(row),
+            AnyClassifier::Tree(m) => m.predict_row(row),
+            AnyClassifier::Knn(m) => m.predict_row(row),
+            AnyClassifier::Svm(m) => m.predict_row(row),
+            AnyClassifier::Mlp(m) => m.predict_row(row),
+            AnyClassifier::NaiveBayes(m) => m.predict_row(row),
+            AnyClassifier::LogReg(m) => m.predict_row(row),
+            AnyClassifier::Subset(s) => {
+                scratch.clear();
+                scratch.extend(s.keep.iter().map(|&j| row[j]));
+                // The inner model may itself be a subset (not produced today,
+                // but the representation allows it); a fresh scratch keeps
+                // borrows simple on that cold path.
+                let mut inner_scratch = Vec::new();
+                s.inner.predict_row_scratch(scratch, &mut inner_scratch)
+            }
+        }
+    }
+}
+
+impl Classifier for AnyClassifier {
+    #[inline]
+    fn predict_row(&self, row: &[u32]) -> bool {
+        // Vec::new() is allocation-free until the Subset arm pushes — the
+        // only arm that needed a buffer anyway.
+        self.predict_row_scratch(row, &mut Vec::new())
+    }
+
+    fn predict(&self, ds: &CatDataset) -> Vec<bool> {
+        // Batched path: one scratch allocation for the whole dataset.
+        let mut out = Vec::with_capacity(ds.n_rows());
+        let mut scratch = Vec::new();
+        for i in 0..ds.n_rows() {
+            out.push(self.predict_row_scratch(ds.row(i), &mut scratch));
+        }
+        out
+    }
+}
+
+macro_rules! impl_from {
+    ($($variant:ident <- $ty:ty),* $(,)?) => {$(
+        impl From<$ty> for AnyClassifier {
+            fn from(m: $ty) -> Self {
+                AnyClassifier::$variant(m)
+            }
+        }
+    )*};
+}
+impl_from! {
+    Majority <- MajorityClass,
+    Tree <- DecisionTree,
+    Knn <- OneNearestNeighbor,
+    Svm <- SvmModel,
+    Mlp <- Mlp,
+    NaiveBayes <- NaiveBayes,
+    LogReg <- LogRegL1,
+    Subset <- SubsetModel,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{FeatureMeta, Provenance};
+    use crate::tree::{SplitCriterion, TreeParams};
+
+    fn ds() -> CatDataset {
+        let meta: Vec<FeatureMeta> = (0..2)
+            .map(|j| FeatureMeta {
+                name: format!("f{j}"),
+                cardinality: 3,
+                provenance: Provenance::Home,
+            })
+            .collect();
+        CatDataset::new(
+            meta,
+            vec![0, 1, 1, 0, 2, 2, 0, 0, 1, 1, 2, 0],
+            vec![true, false, true, true, false, false],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dispatch_matches_inner_model() {
+        let data = ds();
+        let tree = DecisionTree::fit(
+            &data,
+            TreeParams::new(SplitCriterion::Gini)
+                .with_minsplit(2)
+                .with_cp(0.0),
+        )
+        .unwrap();
+        let any: AnyClassifier = tree.clone().into();
+        for i in 0..data.n_rows() {
+            assert_eq!(any.predict_row(data.row(i)), tree.predict_row(data.row(i)));
+        }
+        assert_eq!(any.predict(&data), tree.predict(&data));
+        assert_eq!(any.family(), "tree");
+    }
+
+    #[test]
+    fn subset_projects_before_predicting() {
+        let data = ds();
+        let sub_data = data.select_features(&[1]).unwrap();
+        let nb = NaiveBayes::fit(&sub_data).unwrap();
+        let any = AnyClassifier::Subset(SubsetModel {
+            keep: vec![1],
+            inner: Box::new(nb.clone().into()),
+        });
+        for i in 0..data.n_rows() {
+            assert_eq!(
+                any.predict_row(data.row(i)),
+                nb.predict_row(sub_data.row(i))
+            );
+        }
+        assert_eq!(any.family(), "naive-bayes");
+    }
+
+    #[test]
+    fn predict_batch_matches_predict() {
+        let data = ds();
+        let any: AnyClassifier = MajorityClass::fit(&data).into();
+        let mut flat = Vec::new();
+        for i in 0..data.n_rows() {
+            flat.extend_from_slice(data.row(i));
+        }
+        assert_eq!(
+            any.predict_batch(&flat, data.n_features()),
+            any.predict(&data)
+        );
+    }
+}

@@ -243,7 +243,12 @@ impl CatDataset {
 
     /// Replaces one feature column (same length), updating its cardinality.
     /// Used by FK compression/smoothing, which rewrite the FK column.
-    pub fn replace_column(&self, j: usize, codes: Vec<u32>, cardinality: u32) -> Result<CatDataset> {
+    pub fn replace_column(
+        &self,
+        j: usize,
+        codes: Vec<u32>,
+        cardinality: u32,
+    ) -> Result<CatDataset> {
         if codes.len() != self.n_rows() {
             return Err(MlError::Shape {
                 detail: format!(

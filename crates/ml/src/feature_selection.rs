@@ -20,12 +20,7 @@ pub struct SelectionOutcome {
     pub fits_evaluated: usize,
 }
 
-fn eval_subset<M, F>(
-    train: &CatDataset,
-    val: &CatDataset,
-    subset: &[usize],
-    fit: &F,
-) -> Result<f64>
+fn eval_subset<M, F>(train: &CatDataset, val: &CatDataset, subset: &[usize], fit: &F) -> Result<f64>
 where
     M: Classifier,
     F: Fn(&CatDataset) -> Result<M>,
@@ -171,7 +166,11 @@ mod tests {
             for _ in 0..n {
                 let y = rng.gen_bool(0.5);
                 // Signal feature: tracks y with 95 % fidelity.
-                let f0 = if rng.gen_bool(0.95) { u32::from(y) } else { u32::from(!y) };
+                let f0 = if rng.gen_bool(0.95) {
+                    u32::from(y)
+                } else {
+                    u32::from(!y)
+                };
                 rows.push(f0);
                 rows.push(rng.gen_range(0..4));
                 rows.push(rng.gen_range(0..4));

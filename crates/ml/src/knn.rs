@@ -12,7 +12,7 @@ use crate::model::Classifier;
 use crate::svm::kernel::match_count;
 
 /// A fitted (i.e. memorised) 1-NN classifier.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct OneNearestNeighbor {
     d: usize,
     rows: Vec<u32>,
@@ -85,12 +85,8 @@ mod tests {
 
     #[test]
     fn memorises_training_data() {
-        let ds = CatDataset::new(
-            meta(2, 3),
-            vec![0, 0, 1, 1, 2, 2],
-            vec![true, false, true],
-        )
-        .unwrap();
+        let ds =
+            CatDataset::new(meta(2, 3), vec![0, 0, 1, 1, 2, 2], vec![true, false, true]).unwrap();
         let knn = OneNearestNeighbor::fit(&ds).unwrap();
         assert!((knn.accuracy(&ds) - 1.0).abs() < 1e-12);
         assert_eq!(knn.n_train(), 3);

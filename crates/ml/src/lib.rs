@@ -23,6 +23,7 @@
 //! models.
 
 pub mod ann;
+pub mod any;
 pub mod dataset;
 pub mod error;
 pub mod feature_selection;
@@ -38,6 +39,7 @@ pub mod tuning;
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::ann::{AnnParams, Mlp};
+    pub use crate::any::{AnyClassifier, SubsetModel};
     pub use crate::dataset::{
         split_50_25_25, split_fractions, CatDataset, FeatureMeta, Provenance, TrainValTest,
     };

@@ -52,7 +52,7 @@ impl LogRegParams {
 }
 
 /// A fitted L1 logistic-regression model (weights live in one-hot space).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct LogRegL1 {
     offsets: Vec<u32>,
     weights: Vec<f64>,
@@ -96,13 +96,7 @@ fn sigmoid(z: f64) -> f64 {
 /// Mean logistic loss and gradient at (w, b). `grad` must be zeroed by the
 /// caller; the intercept gradient is returned.
 #[allow(clippy::needless_range_loop)] // rows and labels are co-indexed
-fn loss_grad(
-    design: &Design,
-    y: &[bool],
-    w: &[f64],
-    b: f64,
-    grad: &mut [f64],
-) -> (f64, f64) {
+fn loss_grad(design: &Design, y: &[bool], w: &[f64], b: f64, grad: &mut [f64]) -> (f64, f64) {
     let n = design.n as f64;
     let mut loss = 0.0;
     let mut grad_b = 0.0;
@@ -302,7 +296,11 @@ impl LogRegL1 {
         let ratio = params.lambda_min_ratio.clamp(1e-6, 1.0);
         let lambdas: Vec<f64> = (0..nl)
             .map(|k| {
-                let f = if nl == 1 { 0.0 } else { k as f64 / (nl - 1) as f64 };
+                let f = if nl == 1 {
+                    0.0
+                } else {
+                    k as f64 / (nl - 1) as f64
+                };
                 lambda_max * ratio.powf(f)
             })
             .collect();
@@ -375,7 +373,11 @@ mod tests {
         let mut labels = Vec::new();
         for _ in 0..n {
             let y = rng.gen_bool(0.5);
-            let f0 = if rng.gen_bool(0.9) { u32::from(y) } else { u32::from(!y) };
+            let f0 = if rng.gen_bool(0.9) {
+                u32::from(y)
+            } else {
+                u32::from(!y)
+            };
             rows.push(f0);
             rows.push(rng.gen_range(0..4));
             labels.push(y);
@@ -446,8 +448,16 @@ mod tests {
             },
         )
         .unwrap();
-        assert!((m.probability(&[1]) - 0.8).abs() < 0.01, "{}", m.probability(&[1]));
-        assert!((m.probability(&[0]) - 0.2).abs() < 0.01, "{}", m.probability(&[0]));
+        assert!(
+            (m.probability(&[1]) - 0.8).abs() < 0.01,
+            "{}",
+            m.probability(&[1])
+        );
+        assert!(
+            (m.probability(&[0]) - 0.2).abs() < 0.01,
+            "{}",
+            m.probability(&[0])
+        );
     }
 
     #[test]

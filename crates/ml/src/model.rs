@@ -9,7 +9,9 @@ pub trait Classifier: Send + Sync {
 
     /// Predicts labels for every row of a dataset.
     fn predict(&self, ds: &CatDataset) -> Vec<bool> {
-        (0..ds.n_rows()).map(|i| self.predict_row(ds.row(i))).collect()
+        (0..ds.n_rows())
+            .map(|i| self.predict_row(ds.row(i)))
+            .collect()
     }
 
     /// Accuracy on a labelled dataset.
@@ -26,7 +28,7 @@ impl<C: Classifier + ?Sized> Classifier for Box<C> {
 
 /// A trivial majority-class classifier; the baseline every model must beat
 /// and a convenient stub for tests.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct MajorityClass {
     /// The constant prediction.
     pub positive: bool,

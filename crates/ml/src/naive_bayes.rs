@@ -11,7 +11,7 @@ use crate::error::{MlError, Result};
 use crate::model::Classifier;
 
 /// A fitted categorical Naive Bayes model (log-space).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct NaiveBayes {
     /// Log prior for (negative, positive).
     log_prior: [f64; 2],
@@ -126,12 +126,8 @@ mod tests {
 
     #[test]
     fn posterior_is_probability() {
-        let ds = CatDataset::new(
-            meta(1, 2),
-            vec![0, 0, 1, 1],
-            vec![true, true, false, false],
-        )
-        .unwrap();
+        let ds =
+            CatDataset::new(meta(1, 2), vec![0, 0, 1, 1], vec![true, true, false, false]).unwrap();
         let nb = NaiveBayes::fit(&ds).unwrap();
         let p0 = nb.posterior_pos(&[0]);
         let p1 = nb.posterior_pos(&[1]);

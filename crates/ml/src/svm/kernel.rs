@@ -73,7 +73,10 @@ impl MatchMatrix {
     pub fn compute(ds: &CatDataset) -> Self {
         let n = ds.n_rows();
         let d = ds.n_features();
-        assert!(d < u16::MAX as usize, "too many features for u16 match counts");
+        assert!(
+            d < u16::MAX as usize,
+            "too many features for u16 match counts"
+        );
         let mut data = vec![0u16; n * n];
         for i in 0..n {
             let ri = ds.row(i);

@@ -80,7 +80,7 @@ impl SvmParams {
 }
 
 /// A trained SVM: support vectors with coefficients `αᵢ yᵢ` plus bias.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct SvmModel {
     kernel: KernelKind,
     n_features: usize,
@@ -113,7 +113,11 @@ impl SvmModel {
             });
         }
         let d = ds.n_features();
-        let y: Vec<f64> = ds.labels().iter().map(|&b| if b { 1.0 } else { -1.0 }).collect();
+        let y: Vec<f64> = ds
+            .labels()
+            .iter()
+            .map(|&b| if b { 1.0 } else { -1.0 })
+            .collect();
 
         // Degenerate single-class training data: constant classifier.
         let pos = ds.pos_count();
@@ -176,9 +180,15 @@ impl SvmModel {
                 }
 
                 let (lo, hi) = if (y[i] - y[j]).abs() > f64::EPSILON {
-                    ((alpha[j] - alpha[i]).max(0.0), (c + alpha[j] - alpha[i]).min(c))
+                    (
+                        (alpha[j] - alpha[i]).max(0.0),
+                        (c + alpha[j] - alpha[i]).min(c),
+                    )
                 } else {
-                    ((alpha[i] + alpha[j] - c).max(0.0), (alpha[i] + alpha[j]).min(c))
+                    (
+                        (alpha[i] + alpha[j] - c).max(0.0),
+                        (alpha[i] + alpha[j]).min(c),
+                    )
                 };
                 if hi - lo < 1e-12 {
                     continue;
@@ -337,11 +347,7 @@ mod tests {
     #[test]
     fn rbf_svm_solves_xor() {
         let ds = xor();
-        let m = SvmModel::fit(
-            &ds,
-            SvmParams::new(KernelKind::Rbf { gamma: 1.0 }, 100.0),
-        )
-        .unwrap();
+        let m = SvmModel::fit(&ds, SvmParams::new(KernelKind::Rbf { gamma: 1.0 }, 100.0)).unwrap();
         assert!((m.accuracy(&ds) - 1.0).abs() < 1e-12);
     }
 

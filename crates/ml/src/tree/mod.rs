@@ -13,8 +13,8 @@ pub mod split;
 use crate::dataset::CatDataset;
 use crate::error::{MlError, Result};
 use crate::model::Classifier;
-pub use split::{CategoricalSplit, SplitCriterion};
 use split::{find_best_split, impurity, SplitScratch};
+pub use split::{CategoricalSplit, SplitCriterion};
 
 /// Hyper-parameters with `rpart` semantics.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -105,7 +105,7 @@ impl TreeParams {
     }
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 struct NodeSplit {
     feature: u32,
     /// Observed codes routed left (sorted).
@@ -118,7 +118,7 @@ struct NodeSplit {
     majority_left: bool,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 struct Node {
     prediction: bool,
     n: u32,
@@ -128,7 +128,7 @@ struct Node {
 }
 
 /// A fitted CART decision tree.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct DecisionTree {
     params: TreeParams,
     nodes: Vec<Node>,
@@ -199,8 +199,7 @@ impl DecisionTree {
             let Some(best) = best else { continue };
 
             // rpart cp gate: scaled fit improvement must reach cp.
-            let rel_improvement =
-                best.raw_gain * (n as f64) / (root_impurity * n_total as f64);
+            let rel_improvement = best.raw_gain * (n as f64) / (root_impurity * n_total as f64);
             if rel_improvement < params.cp {
                 continue;
             }
@@ -264,7 +263,11 @@ impl DecisionTree {
 
     /// Maximum node depth.
     pub fn depth(&self) -> usize {
-        self.nodes.iter().map(|n| n.depth as usize).max().unwrap_or(0)
+        self.nodes
+            .iter()
+            .map(|n| n.depth as usize)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Fitting parameters.
@@ -406,12 +409,7 @@ mod tests {
 
     #[test]
     fn pure_dataset_is_a_single_leaf() {
-        let ds = CatDataset::new(
-            meta(&[("a", 2)]),
-            vec![0, 1, 0],
-            vec![true, true, true],
-        )
-        .unwrap();
+        let ds = CatDataset::new(meta(&[("a", 2)]), vec![0, 1, 0], vec![true, true, true]).unwrap();
         let t = DecisionTree::fit(&ds, full_params(SplitCriterion::Gini)).unwrap();
         assert_eq!(t.n_nodes(), 1);
         assert_eq!(t.n_leaves(), 1);
@@ -423,7 +421,9 @@ mod tests {
         let ds = xor_dataset();
         let t = DecisionTree::fit(
             &ds,
-            TreeParams::new(SplitCriterion::Gini).with_minsplit(2).with_cp(10.0),
+            TreeParams::new(SplitCriterion::Gini)
+                .with_minsplit(2)
+                .with_cp(10.0),
         )
         .unwrap();
         assert_eq!(t.n_nodes(), 1);
@@ -434,7 +434,9 @@ mod tests {
         let ds = xor_dataset(); // 16 rows
         let t = DecisionTree::fit(
             &ds,
-            TreeParams::new(SplitCriterion::Gini).with_minsplit(100).with_cp(0.0),
+            TreeParams::new(SplitCriterion::Gini)
+                .with_minsplit(100)
+                .with_cp(0.0),
         )
         .unwrap();
         assert_eq!(t.n_nodes(), 1);
@@ -443,11 +445,8 @@ mod tests {
     #[test]
     fn max_depth_guard() {
         let ds = xor_dataset();
-        let t = DecisionTree::fit(
-            &ds,
-            full_params(SplitCriterion::Gini).with_max_depth(1),
-        )
-        .unwrap();
+        let t =
+            DecisionTree::fit(&ds, full_params(SplitCriterion::Gini).with_max_depth(1)).unwrap();
         assert!(t.depth() <= 1);
     }
 

@@ -324,7 +324,16 @@ mod tests {
             SplitCriterion::GainRatio,
         ] {
             let mut scratch = SplitScratch::new(4);
-            let s = find_best_split(&d, &rows, 0, crit, CategoricalSplit::SubsetPartition, 1, &mut scratch).unwrap();
+            let s = find_best_split(
+                &d,
+                &rows,
+                0,
+                crit,
+                CategoricalSplit::SubsetPartition,
+                1,
+                &mut scratch,
+            )
+            .unwrap();
             // Left = pure negatives, right = pure positives (or vice versa).
             assert_eq!(s.left_codes, vec![0, 1]);
             assert_eq!(s.right_codes, vec![2, 3]);
@@ -352,7 +361,16 @@ mod tests {
     fn single_level_has_no_split() {
         let d = ds(vec![1, 1, 1], 3, vec![true, false, true]);
         let mut scratch = SplitScratch::new(3);
-        assert!(find_best_split(&d, &[0, 1, 2], 0, SplitCriterion::Gini, CategoricalSplit::SubsetPartition, 1, &mut scratch).is_none());
+        assert!(find_best_split(
+            &d,
+            &[0, 1, 2],
+            0,
+            SplitCriterion::Gini,
+            CategoricalSplit::SubsetPartition,
+            1,
+            &mut scratch
+        )
+        .is_none());
     }
 
     #[test]
@@ -365,12 +383,26 @@ mod tests {
         let rows: Vec<usize> = (0..6).collect();
         let mut scratch = SplitScratch::new(2);
         // min_bucket=2 forbids the only useful cut (1 vs 5).
-        assert!(
-            find_best_split(&d, &rows, 0, SplitCriterion::Gini, CategoricalSplit::SubsetPartition, 2, &mut scratch).is_none()
-        );
-        assert!(
-            find_best_split(&d, &rows, 0, SplitCriterion::Gini, CategoricalSplit::SubsetPartition, 1, &mut scratch).is_some()
-        );
+        assert!(find_best_split(
+            &d,
+            &rows,
+            0,
+            SplitCriterion::Gini,
+            CategoricalSplit::SubsetPartition,
+            2,
+            &mut scratch
+        )
+        .is_none());
+        assert!(find_best_split(
+            &d,
+            &rows,
+            0,
+            SplitCriterion::Gini,
+            CategoricalSplit::SubsetPartition,
+            1,
+            &mut scratch
+        )
+        .is_some());
     }
 
     #[test]
@@ -385,7 +417,16 @@ mod tests {
         );
         let rows: Vec<usize> = (0..6).collect();
         let mut scratch = SplitScratch::new(3);
-        let s = find_best_split(&d, &rows, 0, SplitCriterion::GainRatio, CategoricalSplit::SubsetPartition, 1, &mut scratch).unwrap();
+        let s = find_best_split(
+            &d,
+            &rows,
+            0,
+            SplitCriterion::GainRatio,
+            CategoricalSplit::SubsetPartition,
+            1,
+            &mut scratch,
+        )
+        .unwrap();
         assert!((s.score - s.raw_gain / split_info(s.n_left, s.n_right)).abs() < 1e-12);
     }
 
@@ -395,8 +436,26 @@ mod tests {
         let rows: Vec<usize> = (0..4).collect();
         let mut s1 = SplitScratch::new(4);
         let mut s2 = SplitScratch::new(4);
-        let a = find_best_split(&d, &rows, 0, SplitCriterion::Gini, CategoricalSplit::SubsetPartition, 1, &mut s1).unwrap();
-        let b = find_best_split(&d, &rows, 0, SplitCriterion::Gini, CategoricalSplit::SubsetPartition, 1, &mut s2).unwrap();
+        let a = find_best_split(
+            &d,
+            &rows,
+            0,
+            SplitCriterion::Gini,
+            CategoricalSplit::SubsetPartition,
+            1,
+            &mut s1,
+        )
+        .unwrap();
+        let b = find_best_split(
+            &d,
+            &rows,
+            0,
+            SplitCriterion::Gini,
+            CategoricalSplit::SubsetPartition,
+            1,
+            &mut s2,
+        )
+        .unwrap();
         assert_eq!(a.left_codes, b.left_codes);
     }
 }

@@ -1,4 +1,4 @@
-//! Validation-set grid search, parallelised with crossbeam scoped threads.
+//! Validation-set grid search, parallelised with std scoped threads.
 //!
 //! Every model in the paper is tuned by exhaustive grid search on the 25 %
 //! validation split (§3.2). The search is embarrassingly parallel across
@@ -45,11 +45,11 @@ where
 
     type CellResult<M> = (usize, f64, M);
     let chunk = grid.len().div_ceil(threads);
-    let results: Vec<Result<Vec<CellResult<M>>>> = crossbeam::scope(|scope| {
+    let results: Vec<Result<Vec<CellResult<M>>>> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for (t, cells) in grid.chunks(chunk).enumerate() {
             let fit = &fit;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut out = Vec::with_capacity(cells.len());
                 for (k, p) in cells.iter().enumerate() {
                     let model = fit(p, train)?;
@@ -63,8 +63,7 @@ where
             .into_iter()
             .map(|h| h.join().expect("grid worker panicked"))
             .collect()
-    })
-    .expect("crossbeam scope failed");
+    });
 
     let mut evals = Vec::with_capacity(grid.len());
     let mut best: Option<CellResult<M>> = None;
@@ -123,7 +122,9 @@ mod tests {
         // minsplit=100 cannot split 16 rows; minsplit=2 fits XOR perfectly.
         let grid = vec![
             TreeParams::new(SplitCriterion::Gini).with_minsplit(100),
-            TreeParams::new(SplitCriterion::Gini).with_minsplit(2).with_cp(0.0),
+            TreeParams::new(SplitCriterion::Gini)
+                .with_minsplit(2)
+                .with_cp(0.0),
         ];
         let out = grid_search(&grid, &ds, &ds, |p, train| DecisionTree::fit(train, *p)).unwrap();
         assert_eq!(out.params.minsplit, 2);
@@ -136,8 +137,12 @@ mod tests {
     fn ties_break_to_lowest_index() {
         let ds = xor();
         let grid = vec![
-            TreeParams::new(SplitCriterion::Gini).with_minsplit(2).with_cp(0.0),
-            TreeParams::new(SplitCriterion::InfoGain).with_minsplit(2).with_cp(0.0),
+            TreeParams::new(SplitCriterion::Gini)
+                .with_minsplit(2)
+                .with_cp(0.0),
+            TreeParams::new(SplitCriterion::InfoGain)
+                .with_minsplit(2)
+                .with_cp(0.0),
         ];
         let out = grid_search(&grid, &ds, &ds, |p, train| DecisionTree::fit(train, *p)).unwrap();
         assert_eq!(out.params.criterion, SplitCriterion::Gini);

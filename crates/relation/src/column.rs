@@ -126,7 +126,10 @@ mod tests {
         let d = dom(3);
         assert!(CatColumn::new(Arc::clone(&d), vec![0, 1, 2, 1]).is_ok());
         let err = CatColumn::new(d, vec![0, 3]).unwrap_err();
-        assert!(matches!(err, RelationError::DomainViolation { code: 3, .. }));
+        assert!(matches!(
+            err,
+            RelationError::DomainViolation { code: 3, .. }
+        ));
     }
 
     #[test]

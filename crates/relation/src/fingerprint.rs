@@ -1,0 +1,206 @@
+//! Stable structural fingerprints for schemas, tables and stars.
+//!
+//! A served model is only valid for the feature space it was trained on.
+//! Persisted `ModelArtifact`s (in `hamlet-serve`) record a fingerprint of
+//! the star schema that produced their training data, as provenance:
+//! operators and clients can compare it against their own schema's hash to
+//! detect drift before trusting a model's answers. (Request-time
+//! enforcement is structural — row width and per-feature cardinality are
+//! validated per predict call; the fingerprint itself is not sent with
+//! prediction requests today.) The fingerprint is a 64-bit FNV-1a over a
+//! canonical byte walk of the structure — content-independent (codes never
+//! enter the hash), platform-independent, and stable across releases as
+//! long as names, roles, column order and cardinalities are unchanged.
+
+use crate::schema::{ColumnRole, TableSchema};
+use crate::star::StarSchema;
+use crate::table::Table;
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+/// Incremental FNV-1a fingerprint builder.
+///
+/// Exposed so downstream crates (e.g. the serving layer) can fingerprint
+/// their own structures — feature metadata, configs — with the same
+/// algorithm and mixing discipline.
+#[derive(Debug, Clone)]
+pub struct Fingerprint {
+    state: u64,
+}
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Fingerprint { state: FNV_OFFSET }
+    }
+}
+
+impl Fingerprint {
+    /// Fresh fingerprint at the FNV offset basis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mixes raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Mixes a length-prefixed string (prefixing prevents concatenation
+    /// collisions like `("ab", "c")` vs `("a", "bc")`).
+    pub fn write_str(&mut self, s: &str) -> &mut Self {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes())
+    }
+
+    /// Mixes a `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, v: u64) -> &mut Self {
+        self.write_bytes(&v.to_le_bytes())
+    }
+
+    /// Final 64-bit digest.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+fn write_role(fp: &mut Fingerprint, role: ColumnRole) {
+    match role {
+        ColumnRole::Id => {
+            fp.write_u64(0);
+        }
+        ColumnRole::Target => {
+            fp.write_u64(1);
+        }
+        ColumnRole::HomeFeature => {
+            fp.write_u64(2);
+        }
+        ColumnRole::ForeignKey { dim } => {
+            fp.write_u64(3).write_u64(dim as u64);
+        }
+        ColumnRole::ForeignFeature { dim } => {
+            fp.write_u64(4).write_u64(dim as u64);
+        }
+    }
+}
+
+impl TableSchema {
+    /// Structural fingerprint: table name plus ordered (column name, role)
+    /// pairs. Row contents and domain labels do not participate.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new();
+        fp.write_str(self.name());
+        fp.write_u64(self.width() as u64);
+        for def in self.columns() {
+            fp.write_str(&def.name);
+            write_role(&mut fp, def.role);
+        }
+        fp.finish()
+    }
+}
+
+impl Table {
+    /// Schema fingerprint extended with each column's domain cardinality —
+    /// what a trained model's input contract actually depends on.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new();
+        fp.write_u64(self.schema().fingerprint());
+        for col in self.columns() {
+            fp.write_u64(u64::from(col.cardinality()));
+        }
+        fp.finish()
+    }
+}
+
+impl StarSchema {
+    /// Fingerprint of the whole star: the fact table's contract plus each
+    /// dimension's binding (rid/fk names, open-domain flag) and table
+    /// contract, in dimension order.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new();
+        fp.write_u64(self.fact().fingerprint());
+        fp.write_u64(self.q() as u64);
+        for d in self.dims() {
+            fp.write_u64(d.table.fingerprint());
+            fp.write_str(&d.rid);
+            fp.write_str(&d.fk);
+            fp.write_u64(u64::from(d.open_domain));
+        }
+        fp.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+
+    fn schema(cols: &[(&str, ColumnRole)]) -> TableSchema {
+        TableSchema::new(
+            "t",
+            cols.iter()
+                .map(|&(n, r)| ColumnDef::new(n, r))
+                .collect::<Vec<_>>(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn equal_structures_share_fingerprints() {
+        let a = schema(&[("y", ColumnRole::Target), ("x", ColumnRole::HomeFeature)]);
+        let b = schema(&[("y", ColumnRole::Target), ("x", ColumnRole::HomeFeature)]);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn names_roles_and_order_matter() {
+        let base = schema(&[("y", ColumnRole::Target), ("x", ColumnRole::HomeFeature)]);
+        let renamed = schema(&[("y", ColumnRole::Target), ("z", ColumnRole::HomeFeature)]);
+        let rerole = schema(&[
+            ("y", ColumnRole::Target),
+            ("x", ColumnRole::ForeignKey { dim: 0 }),
+        ]);
+        let reordered = schema(&[("x", ColumnRole::HomeFeature), ("y", ColumnRole::Target)]);
+        assert_ne!(base.fingerprint(), renamed.fingerprint());
+        assert_ne!(base.fingerprint(), rerole.fingerprint());
+        assert_ne!(base.fingerprint(), reordered.fingerprint());
+    }
+
+    #[test]
+    fn fk_dimension_index_matters() {
+        let d0 = schema(&[("fk", ColumnRole::ForeignKey { dim: 0 })]);
+        let d1 = schema(&[("fk", ColumnRole::ForeignKey { dim: 1 })]);
+        assert_ne!(d0.fingerprint(), d1.fingerprint());
+    }
+
+    #[test]
+    fn string_prefixing_blocks_concat_collisions() {
+        let mut a = Fingerprint::new();
+        a.write_str("ab").write_str("c");
+        let mut b = Fingerprint::new();
+        b.write_str("a").write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn table_fingerprint_tracks_cardinality() {
+        use crate::column::CatColumn;
+        use crate::domain::CatDomain;
+        use std::sync::Arc;
+
+        let mk = |card: u32| {
+            let dom = CatDomain::synthetic("d", card).into_shared();
+            Table::new(
+                schema(&[("x", ColumnRole::HomeFeature)]),
+                vec![CatColumn::new(Arc::clone(&dom), vec![0, 1]).unwrap()],
+            )
+            .unwrap()
+        };
+        assert_eq!(mk(4).fingerprint(), mk(4).fingerprint());
+        assert_ne!(mk(4).fingerprint(), mk(5).fingerprint());
+    }
+}

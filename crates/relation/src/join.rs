@@ -90,7 +90,9 @@ pub fn kfk_join(
     }
 
     // Gather dimension feature columns into the fact's row order.
-    let mut out = fact.clone().renamed(format!("{}⋈{}", fact.name(), dim.name()));
+    let mut out = fact
+        .clone()
+        .renamed(format!("{}⋈{}", fact.name(), dim.name()));
     let rid_idx = dim.schema().index_of(rid_col)?;
     for (i, def) in dim.schema().columns().iter().enumerate() {
         if i == rid_idx {

@@ -63,6 +63,7 @@ pub mod csv;
 pub mod domain;
 pub mod error;
 pub mod fd;
+pub mod fingerprint;
 pub mod join;
 pub mod schema;
 pub mod star;
@@ -74,6 +75,7 @@ pub mod prelude {
     pub use crate::column::CatColumn;
     pub use crate::domain::{CatDomain, OTHERS_LABEL};
     pub use crate::error::{RelationError, Result as RelationResult};
+    pub use crate::fingerprint::Fingerprint;
     pub use crate::join::{kfk_join, KeyIndex};
     pub use crate::schema::{ColumnDef, ColumnRole, TableSchema};
     pub use crate::star::{Dimension, DimensionStats, StarSchema};

@@ -252,7 +252,10 @@ mod tests {
 
         StarSchema::new(
             fact,
-            vec![Dimension::new(r1, "rid", "fk1"), Dimension::new(r2, "rid", "fk2")],
+            vec![
+                Dimension::new(r1, "rid", "fk1"),
+                Dimension::new(r2, "rid", "fk2"),
+            ],
         )
         .unwrap()
     }

@@ -110,10 +110,7 @@ mod tests {
     fn per_code_counts() {
         let c = col(3, vec![0, 0, 1, 2, 2, 2]);
         let y = vec![true, false, true, false, false, true];
-        assert_eq!(
-            per_code_label_counts(&c, &y),
-            vec![(2, 1), (1, 1), (3, 1)]
-        );
+        assert_eq!(per_code_label_counts(&c, &y), vec![(2, 1), (1, 1), (3, 1)]);
     }
 
     #[test]

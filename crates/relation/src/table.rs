@@ -264,7 +264,9 @@ mod tests {
         assert_eq!(t3.column("xr").unwrap().codes(), &[2, 2, 1, 0]);
 
         let short = CatColumn::new(CatDomain::synthetic("s", 2).into_shared(), vec![0]).unwrap();
-        assert!(t.with_column(ColumnDef::new("s", ColumnRole::HomeFeature), short).is_err());
+        assert!(t
+            .with_column(ColumnDef::new("s", ColumnRole::HomeFeature), short)
+            .is_err());
     }
 
     #[test]

@@ -18,10 +18,8 @@ fn star_strategy() -> impl Strategy<Value = StarSchema> {
     (1u32..=12, 1usize..=60, 1usize..=4).prop_flat_map(|(n_r, n_s, d_r)| {
         let fk_codes = proptest::collection::vec(0..n_r, n_s);
         let y_codes = proptest::collection::vec(0u32..2, n_s);
-        let xr_cols = proptest::collection::vec(
-            proptest::collection::vec(0u32..3, n_r as usize),
-            d_r,
-        );
+        let xr_cols =
+            proptest::collection::vec(proptest::collection::vec(0u32..3, n_r as usize), d_r);
         (fk_codes, y_codes, xr_cols).prop_map(move |(fk, y, xrs)| {
             let key_dom = CatDomain::synthetic("rid", n_r).into_shared();
             let bin = CatDomain::synthetic("bin", 2).into_shared();

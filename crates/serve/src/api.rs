@@ -1,0 +1,136 @@
+//! Request/response shapes of the HTTP API (all JSON).
+
+use hamlet_core::advisor::{AdvisorReport, DimStats};
+use hamlet_core::experiment::RunResult;
+use hamlet_core::feature_config::FeatureConfig;
+use hamlet_core::model_zoo::{ModelFamily, ModelSpec};
+
+use crate::registry::ModelSummary;
+
+/// `POST /v1/predict` — a batch of categorical rows for one model.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct PredictRequest {
+    /// Registry name (`model-name`) or pinned key (`model-name@3`).
+    pub model: String,
+    /// Rows of categorical codes; every row must match the model's feature
+    /// contract (width and per-feature cardinality).
+    pub rows: Vec<Vec<u32>>,
+}
+
+/// `POST /v1/predict` response.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct PredictResponse {
+    /// The exact artifact that answered (`name@version`).
+    pub model: String,
+    /// One label per input row.
+    pub labels: Vec<bool>,
+    /// Server-side latency of validation + prediction, in milliseconds.
+    pub latency_ms: f64,
+}
+
+/// `POST /v1/advise` — star-schema statistics for a sourcing decision.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct AdviseRequest {
+    /// Model family whose tuple-ratio threshold applies.
+    pub family: ModelFamily,
+    /// Labelled training examples available.
+    pub n_train: usize,
+    /// Per-dimension statistics (name, `n_R`, open-domain flag).
+    pub dims: Vec<DimStats>,
+}
+
+/// `POST /v1/advise` response: the advisor report, verbatim from
+/// `hamlet_core::advisor::advise_dims`.
+pub type AdviseResponse = AdvisorReport;
+
+/// `POST /v1/train` — train on an emulated dataset and register the result.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct TrainRequest {
+    /// Registry name for the new artifact.
+    pub name: String,
+    /// Dataset: a Table-1 emulator (`movies`, `yelp`, `walmart`, `expedia`,
+    /// `lastfm`, `books`, `flights`) or the `onexr` simulation scenario.
+    pub dataset: String,
+    /// Model to tune (paper spec).
+    pub spec: ModelSpec,
+    /// Feature configuration (defaults to `NoJoin` — the paper's verdict).
+    pub config: Option<FeatureConfig>,
+    /// Target total labelled examples for the emulator (default 2000).
+    pub scale: Option<usize>,
+    /// Generator seed (default 7).
+    pub seed: Option<u64>,
+    /// Use the full paper grids instead of the quick budget (default false;
+    /// full grids are minutes, quick is seconds).
+    pub full_budget: Option<bool>,
+}
+
+/// `POST /v1/train` response.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct TrainResponse {
+    /// Key the artifact was registered under.
+    pub key: String,
+    /// Where the artifact was persisted.
+    pub path: String,
+    /// Training metrics.
+    pub metrics: RunResult,
+    /// Schema fingerprint of the generated star.
+    pub schema_fingerprint: u64,
+}
+
+/// `GET /v1/models` response.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ModelsResponse {
+    /// One row per registered artifact.
+    pub models: Vec<ModelSummary>,
+}
+
+/// `GET /healthz` response.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Health {
+    /// Always `"ok"` when the server can answer at all.
+    pub status: String,
+    /// Registered model count.
+    pub models: usize,
+}
+
+/// Error envelope used by every non-2xx response.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ApiError {
+    /// Human-readable description.
+    pub error: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_roundtrip_through_json() {
+        let req = PredictRequest {
+            model: "m@1".into(),
+            rows: vec![vec![0, 1], vec![2, 3]],
+        };
+        let text = serde_json::to_string(&req).unwrap();
+        let back: PredictRequest = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.model, "m@1");
+        assert_eq!(back.rows, vec![vec![0, 1], vec![2, 3]]);
+
+        let adv: AdviseRequest = serde_json::from_str(
+            "{\"family\":\"TreeOrAnn\",\"n_train\":100,\
+             \"dims\":[{\"name\":\"users\",\"n_rows\":40,\"open_domain\":false}]}",
+        )
+        .unwrap();
+        assert_eq!(adv.family, ModelFamily::TreeOrAnn);
+        assert_eq!(adv.dims[0].n_rows, 40);
+    }
+
+    #[test]
+    fn train_request_optionals_default_via_null() {
+        let req: TrainRequest =
+            serde_json::from_str("{\"name\":\"m\",\"dataset\":\"movies\",\"spec\":\"TreeGini\"}")
+                .unwrap();
+        assert!(req.config.is_none());
+        assert!(req.scale.is_none());
+        assert_eq!(req.spec, ModelSpec::TreeGini);
+    }
+}

@@ -1,0 +1,313 @@
+//! Versioned, validated persistence of trained models.
+//!
+//! A [`ModelArtifact`] is everything needed to serve a classifier trained by
+//! `hamlet_core::experiment`: the model itself (as a serializable
+//! [`AnyClassifier`]), the [`FeatureConfig`] it was trained under, the
+//! expected input feature space ([`FeatureMeta`] per column: name,
+//! cardinality, provenance), a fingerprint of the source star schema, and
+//! training metadata (metrics, spec, wall-clock). Artifacts are JSON files
+//! (`<name>@<version>.model.json`) with an explicit [`FORMAT_VERSION`] gate,
+//! so a future layout change fails loudly instead of mis-deserializing.
+
+use std::path::{Path, PathBuf};
+
+use hamlet_core::experiment::RunResult;
+use hamlet_core::feature_config::FeatureConfig;
+use hamlet_core::model_zoo::ModelSpec;
+use hamlet_ml::any::AnyClassifier;
+use hamlet_ml::dataset::FeatureMeta;
+use hamlet_relation::fingerprint::Fingerprint;
+
+use crate::error::{Result, ServeError};
+
+/// Artifact layout version written by this build.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Filename suffix for artifacts in an artifact directory.
+pub const ARTIFACT_SUFFIX: &str = ".model.json";
+
+/// Provenance and quality records captured at training time.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct TrainingMetadata {
+    /// Dataset identifier (emulator or scenario name).
+    pub dataset: String,
+    /// The model family/spec that was tuned.
+    pub spec: ModelSpec,
+    /// Number of training rows.
+    pub train_rows: usize,
+    /// Full experiment metrics (accuracies, runtime, winning cell).
+    pub metrics: RunResult,
+}
+
+/// A servable trained model with its input contract.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ModelArtifact {
+    /// Artifact layout version (see [`FORMAT_VERSION`]).
+    pub format_version: u32,
+    /// Registry name (caller-chosen, e.g. `movies-tree`).
+    pub name: String,
+    /// Monotonic version under the name; the registry serves the latest by
+    /// default.
+    pub version: u32,
+    /// The trained classifier.
+    pub model: AnyClassifier,
+    /// Feature configuration the model was trained under.
+    pub feature_config: FeatureConfig,
+    /// Expected input columns, in order: every prediction row must supply
+    /// one code per entry, each `< cardinality`.
+    pub features: Vec<FeatureMeta>,
+    /// Fingerprint of the star schema that produced the training data
+    /// (`StarSchema::fingerprint`).
+    pub schema_fingerprint: u64,
+    /// Training provenance and metrics.
+    pub metadata: TrainingMetadata,
+}
+
+impl ModelArtifact {
+    /// Registry key `name@version`.
+    pub fn key(&self) -> String {
+        format!("{}@{}", self.name, self.version)
+    }
+
+    /// Fingerprint of the *feature space* this model consumes (names,
+    /// cardinalities, provenance, in order). Computed, not stored: it can
+    /// never drift from `features`.
+    pub fn feature_fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new();
+        fp.write_u64(self.features.len() as u64);
+        for f in &self.features {
+            fp.write_str(&f.name);
+            fp.write_u64(u64::from(f.cardinality));
+            // Provenance as (tag, dim).
+            let (tag, dim) = match f.provenance {
+                hamlet_ml::dataset::Provenance::Home => (0u64, 0usize),
+                hamlet_ml::dataset::Provenance::ForeignKey { dim } => (1, dim),
+                hamlet_ml::dataset::Provenance::Foreign { dim } => (2, dim),
+            };
+            fp.write_u64(tag).write_u64(dim as u64);
+        }
+        fp.finish()
+    }
+
+    /// Validates a batch of row-major codes against the input contract.
+    pub fn validate_rows(&self, rows: &[u32], n_rows: usize) -> Result<()> {
+        let d = self.features.len();
+        if n_rows == 0 {
+            return Err(ServeError::BadRequest("empty prediction batch".into()));
+        }
+        if rows.len() != n_rows * d {
+            return Err(ServeError::BadRequest(format!(
+                "batch has {} codes for {} rows; model `{}` expects {} features per row",
+                rows.len(),
+                n_rows,
+                self.key(),
+                d
+            )));
+        }
+        for (i, row) in rows.chunks_exact(d).enumerate() {
+            for (j, (&code, meta)) in row.iter().zip(&self.features).enumerate() {
+                if code >= meta.cardinality {
+                    return Err(ServeError::BadRequest(format!(
+                        "row {i} feature {j} (`{}`): code {code} out of domain (cardinality {})",
+                        meta.name, meta.cardinality
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Canonical file path inside an artifact directory.
+    pub fn path_in(&self, dir: &Path) -> PathBuf {
+        dir.join(format!("{}{ARTIFACT_SUFFIX}", self.key()))
+    }
+
+    /// Persists the artifact, creating the directory if needed. The write
+    /// goes through a temp file + rename so readers never observe a torn
+    /// artifact.
+    pub fn save(&self, dir: &Path) -> Result<PathBuf> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| ServeError::io(format!("creating {}", dir.display()), e))?;
+        let path = self.path_in(dir);
+        let tmp = dir.join(format!(".{}.tmp", self.key()));
+        let json = serde_json::to_string(self)?;
+        std::fs::write(&tmp, json)
+            .map_err(|e| ServeError::io(format!("writing {}", tmp.display()), e))?;
+        std::fs::rename(&tmp, &path)
+            .map_err(|e| ServeError::io(format!("renaming into {}", path.display()), e))?;
+        Ok(path)
+    }
+
+    /// Highest version present in `dir` for `name`, parsed from artifact
+    /// *filenames* (`name@V.model.json`) — no deserialization, so version
+    /// allocation does not need to materialize every stored model. Returns
+    /// 0 when none exist.
+    pub fn max_version_on_disk(dir: &Path, name: &str) -> u32 {
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return 0;
+        };
+        entries
+            .flatten()
+            .filter_map(|e| {
+                let file = e.file_name();
+                let file = file.to_str()?;
+                let stem = file.strip_suffix(ARTIFACT_SUFFIX)?;
+                let (n, v) = stem.rsplit_once('@')?;
+                (n == name).then(|| v.parse().ok()).flatten()
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Loads and format-checks one artifact file.
+    pub fn load(path: &Path) -> Result<ModelArtifact> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ServeError::io(format!("reading {}", path.display()), e))?;
+        // Check the version gate before full deserialization so a layout
+        // change yields a clear error.
+        let value = serde_json::from_str::<serde_json::Value>(&text)?;
+        let found = match &value {
+            serde_json::Value::Obj(entries) => entries
+                .iter()
+                .find(|(k, _)| k == "format_version")
+                .and_then(|(_, v)| match v {
+                    serde_json::Value::Num(n) => n.as_u64(),
+                    _ => None,
+                }),
+            _ => None,
+        };
+        match found {
+            Some(v) if v == u64::from(FORMAT_VERSION) => {}
+            Some(v) => {
+                return Err(ServeError::Format {
+                    found: v as u32,
+                    supported: FORMAT_VERSION,
+                })
+            }
+            None => {
+                return Err(ServeError::Json(format!(
+                    "{} has no format_version field",
+                    path.display()
+                )))
+            }
+        }
+        let artifact: ModelArtifact = serde_json::from_value(&value)?;
+        Ok(artifact)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use hamlet_ml::dataset::Provenance;
+    use hamlet_ml::model::MajorityClass;
+
+    pub(crate) fn toy_artifact(name: &str, version: u32) -> ModelArtifact {
+        ModelArtifact {
+            format_version: FORMAT_VERSION,
+            name: name.into(),
+            version,
+            model: AnyClassifier::Majority(MajorityClass { positive: true }),
+            feature_config: FeatureConfig::NoJoin,
+            features: vec![
+                FeatureMeta {
+                    name: "xs0".into(),
+                    cardinality: 2,
+                    provenance: Provenance::Home,
+                },
+                FeatureMeta {
+                    name: "fk".into(),
+                    cardinality: 5,
+                    provenance: Provenance::ForeignKey { dim: 0 },
+                },
+            ],
+            schema_fingerprint: 0xDEADBEEF,
+            metadata: TrainingMetadata {
+                dataset: "toy".into(),
+                spec: ModelSpec::TreeGini,
+                train_rows: 10,
+                metrics: RunResult {
+                    model: "DT-Gini".into(),
+                    config: "NoJoin".into(),
+                    train_accuracy: 1.0,
+                    val_accuracy: 0.9,
+                    test_accuracy: 0.8,
+                    seconds: 0.1,
+                    winner: "minsplit=2".into(),
+                },
+            },
+        }
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("hamlet-art-{}", std::process::id()));
+        let art = toy_artifact("toy-model", 3);
+        let path = art.save(&dir).unwrap();
+        assert!(path.ends_with("toy-model@3.model.json"));
+        let back = ModelArtifact::load(&path).unwrap();
+        assert_eq!(back.key(), "toy-model@3");
+        assert_eq!(back.schema_fingerprint, 0xDEADBEEF);
+        assert_eq!(back.features.len(), 2);
+        assert_eq!(back.feature_fingerprint(), art.feature_fingerprint());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn max_version_on_disk_parses_filenames_only() {
+        let dir = std::env::temp_dir().join(format!("hamlet-art-ver-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        toy_artifact("m", 2).save(&dir).unwrap();
+        toy_artifact("m", 9).save(&dir).unwrap();
+        toy_artifact("other", 40).save(&dir).unwrap();
+        // Corrupt content is irrelevant: only the filename is read.
+        std::fs::write(dir.join("m@11.model.json"), "garbage").unwrap();
+        std::fs::write(dir.join("nonsense.txt"), "x").unwrap();
+        assert_eq!(ModelArtifact::max_version_on_disk(&dir, "m"), 11);
+        assert_eq!(ModelArtifact::max_version_on_disk(&dir, "other"), 40);
+        assert_eq!(ModelArtifact::max_version_on_disk(&dir, "ghost"), 0);
+        assert_eq!(
+            ModelArtifact::max_version_on_disk(std::path::Path::new("/nope"), "m"),
+            0
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn format_gate_rejects_future_versions() {
+        let dir = std::env::temp_dir().join(format!("hamlet-art-v-{}", std::process::id()));
+        let mut art = toy_artifact("future", 1);
+        art.format_version = FORMAT_VERSION + 1;
+        let path = art.save(&dir).unwrap();
+        match ModelArtifact::load(&path) {
+            Err(ServeError::Format { found, supported }) => {
+                assert_eq!(found, FORMAT_VERSION + 1);
+                assert_eq!(supported, FORMAT_VERSION);
+            }
+            other => panic!("expected format error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn validate_rows_enforces_contract() {
+        let art = toy_artifact("v", 1);
+        // Happy path: 2 rows × 2 features, codes in domain.
+        art.validate_rows(&[0, 4, 1, 0], 2).unwrap();
+        // Wrong width.
+        assert!(art.validate_rows(&[0, 1, 0], 2).is_err());
+        // Out-of-domain code.
+        assert!(art.validate_rows(&[0, 5], 1).is_err());
+        // Empty batch.
+        assert!(art.validate_rows(&[], 0).is_err());
+    }
+
+    #[test]
+    fn feature_fingerprint_tracks_contract() {
+        let a = toy_artifact("a", 1);
+        let mut b = toy_artifact("a", 1);
+        assert_eq!(a.feature_fingerprint(), b.feature_fingerprint());
+        b.features[1].cardinality = 6;
+        assert_ne!(a.feature_fingerprint(), b.feature_fingerprint());
+    }
+}

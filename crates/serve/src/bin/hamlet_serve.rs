@@ -1,0 +1,169 @@
+//! `hamlet-serve` CLI: train servable artifacts and run the HTTP server.
+//!
+//! ```bash
+//! hamlet-serve train --name movies-tree --dataset movies --spec TreeGini \
+//!     [--config NoJoin|JoinAll|NoFK] [--scale 2000] [--seed 7] [--full] [--dir artifacts]
+//! hamlet-serve serve [--addr 127.0.0.1:8080] [--workers N] [--dir artifacts]
+//! hamlet-serve datasets
+//! ```
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use hamlet_core::feature_config::FeatureConfig;
+use hamlet_core::model_zoo::ModelSpec;
+use hamlet_serve::api::TrainRequest;
+use hamlet_serve::server::AppState;
+use hamlet_serve::train::{train_and_register, DATASETS};
+
+const USAGE: &str = "hamlet-serve — model training and batched HTTP serving
+
+USAGE:
+    hamlet-serve train --name <NAME> --dataset <DATASET> --spec <SPEC>
+                       [--config <CONFIG>] [--scale <N>] [--seed <N>]
+                       [--full] [--dir <DIR>]
+    hamlet-serve serve [--addr <ADDR>] [--workers <N>] [--dir <DIR>]
+    hamlet-serve datasets
+
+SPECS:    TreeGini TreeInfoGain TreeGainRatio OneNN SvmLinear SvmQuadratic
+          SvmRbf Ann NaiveBayesBfs LogRegL1
+CONFIGS:  NoJoin (default) | JoinAll | NoFK
+DATASETS: movies yelp walmart expedia lastfm books flights onexr
+DEFAULTS: --dir artifacts, --addr 127.0.0.1:8080, --workers = CPU count,
+          --scale 2000, --seed 7; --full uses the paper-fidelity grids
+";
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        let Some(name) = a.strip_prefix("--") else {
+            return Err(format!("unexpected argument `{a}`"));
+        };
+        if name == "full" {
+            flags.insert("full".to_string(), "true".to_string());
+            i += 1;
+        } else {
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("--{name} needs a value"))?;
+            flags.insert(name.to_string(), value.clone());
+            i += 2;
+        }
+    }
+    Ok(flags)
+}
+
+/// Parses a serde-named enum value (e.g. `TreeGini`) via its JSON form.
+fn parse_enum<T: serde::Deserialize>(what: &str, value: &str) -> Result<T, String> {
+    serde_json::from_str(&format!("\"{value}\""))
+        .map_err(|_| format!("unknown {what} `{value}` (see --help)"))
+}
+
+fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
+    let name = flags.get("name").ok_or("--name is required")?.clone();
+    let dataset = flags.get("dataset").ok_or("--dataset is required")?.clone();
+    let spec: ModelSpec = parse_enum("spec", flags.get("spec").ok_or("--spec is required")?)?;
+    let config: Option<FeatureConfig> = flags
+        .get("config")
+        .map(|c| parse_enum("config", c))
+        .transpose()?;
+    let scale = flags
+        .get("scale")
+        .map(|s| s.parse().map_err(|_| format!("bad --scale `{s}`")))
+        .transpose()?;
+    let seed = flags
+        .get("seed")
+        .map(|s| s.parse().map_err(|_| format!("bad --seed `{s}`")))
+        .transpose()?;
+    let dir = PathBuf::from(flags.get("dir").map(String::as_str).unwrap_or("artifacts"));
+
+    // No warm-load: version allocation reads versions from artifact
+    // filenames, so existing models need not be deserialized to train.
+    let registry = hamlet_serve::registry::ModelRegistry::new();
+    let req = TrainRequest {
+        name,
+        dataset,
+        spec,
+        config,
+        scale,
+        seed,
+        full_budget: flags.get("full").map(|_| true),
+    };
+    eprintln!(
+        "training {} on `{}` ({})...",
+        req.spec.name(),
+        req.dataset,
+        req.config.clone().unwrap_or(FeatureConfig::NoJoin).name()
+    );
+    let resp = train_and_register(&registry, &dir, &req).map_err(|e| e.to_string())?;
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&resp).map_err(|e| e.to_string())?
+    );
+    Ok(())
+}
+
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    let addr = flags
+        .get("addr")
+        .map(String::as_str)
+        .unwrap_or("127.0.0.1:8080");
+    let workers = match flags.get("workers") {
+        Some(w) => w.parse().map_err(|_| format!("bad --workers `{w}`"))?,
+        None => std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4),
+    };
+    let dir = PathBuf::from(flags.get("dir").map(String::as_str).unwrap_or("artifacts"));
+
+    let (state, loaded) = AppState::warm(dir.clone()).map_err(|e| e.to_string())?;
+    let server = hamlet_serve::server::serve(addr, workers, state).map_err(|e| e.to_string())?;
+    eprintln!(
+        "hamlet-serve listening on http://{} ({} worker(s), {} model(s) warm from {})",
+        server.addr(),
+        workers,
+        loaded,
+        dir.display()
+    );
+    server.block_forever()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().map(String::as_str) else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    if matches!(cmd, "-h" | "--help" | "help") {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let flags = match parse_flags(&args[1..]) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd {
+        "train" => cmd_train(&flags),
+        "serve" => cmd_serve(&flags),
+        "datasets" => {
+            for d in DATASETS {
+                println!("{d}");
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Error type for the serving layer.
+
+use std::fmt;
+
+/// Errors raised by persistence, the registry and request handling.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Filesystem failure (path included for operator debugging).
+    Io {
+        /// What was being done.
+        context: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// Artifact or request (de)serialization failure.
+    Json(String),
+    /// Artifact format too new/old for this binary.
+    Format {
+        /// Version found in the file.
+        found: u32,
+        /// Version this binary writes.
+        supported: u32,
+    },
+    /// Registry lookup miss.
+    ModelNotFound(String),
+    /// Client-side request problem (HTTP 400/422).
+    BadRequest(String),
+    /// Training failure propagated from the experiment pipeline.
+    Train(String),
+}
+
+impl ServeError {
+    /// Wraps an I/O error with context.
+    pub fn io(context: impl Into<String>, source: std::io::Error) -> Self {
+        ServeError::Io {
+            context: context.into(),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io { context, source } => write!(f, "{context}: {source}"),
+            ServeError::Json(msg) => write!(f, "serialization error: {msg}"),
+            ServeError::Format { found, supported } => write!(
+                f,
+                "unsupported artifact format {found} (this build reads {supported})"
+            ),
+            ServeError::ModelNotFound(key) => write!(f, "model `{key}` is not registered"),
+            ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::Train(msg) => write!(f, "training failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<serde_json::Error> for ServeError {
+    fn from(e: serde_json::Error) -> Self {
+        ServeError::Json(e.to_string())
+    }
+}
+
+impl From<hamlet_ml::error::MlError> for ServeError {
+    fn from(e: hamlet_ml::error::MlError) -> Self {
+        ServeError::Train(e.to_string())
+    }
+}
+
+/// Result alias for the serving layer.
+pub type Result<T> = std::result::Result<T, ServeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_carry_context() {
+        let e = ServeError::io("writing artifact", std::io::Error::other("disk full"));
+        assert!(e.to_string().contains("writing artifact"));
+        assert!(ServeError::ModelNotFound("m@1".into())
+            .to_string()
+            .contains("m@1"));
+        let f = ServeError::Format {
+            found: 9,
+            supported: 1,
+        };
+        assert!(f.to_string().contains('9'));
+    }
+}

@@ -1,0 +1,445 @@
+//! A deliberately small HTTP/1.1 server on `std::net`.
+//!
+//! No async runtime is available offline, and none is needed for the
+//! latency envelope this layer targets: a fixed pool of worker threads pulls
+//! accepted connections off an `mpsc` channel, parses one request
+//! (request-line + headers + `Content-Length` body), dispatches to the
+//! router, writes the response and closes (`Connection: close`). Malformed
+//! requests get a 400, oversized bodies a 413, and worker panics are
+//! confined to the connection that caused them.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Upper bound on request bodies (16 MiB) — predict batches are bounded by
+/// the client; this guards the server's memory.
+pub const MAX_BODY_BYTES: u64 = 16 * 1024 * 1024;
+
+/// Per-connection socket timeout.
+const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercased method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request path without query string.
+    pub path: String,
+    /// Raw body bytes.
+    pub body: Vec<u8>,
+}
+
+/// An HTTP response under construction.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Content type header value.
+    pub content_type: &'static str,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// JSON response with a status code.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+
+    /// Plain-text response.
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+        }
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            413 => "Payload Too Large",
+            422 => "Unprocessable Entity",
+            429 => "Too Many Requests",
+            500 => "Internal Server Error",
+            _ => "Unknown",
+        }
+    }
+
+    fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            self.reason(),
+            self.content_type,
+            self.body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// The application's request handler.
+pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
+
+/// A running server: acceptor thread + fixed worker pool.
+pub struct Server {
+    addr: std::net::SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts accepting
+    /// with `n_workers` handler threads.
+    pub fn bind(addr: &str, n_workers: usize, handler: Handler) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = std::sync::mpsc::channel();
+        let rx = Arc::new(Mutex::new(rx));
+
+        let workers = (0..n_workers.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let handler = Arc::clone(&handler);
+                std::thread::Builder::new()
+                    .name(format!("hamlet-serve-worker-{i}"))
+                    .spawn(move || loop {
+                        let conn = rx.lock().expect("worker queue poisoned").recv();
+                        match conn {
+                            Ok(stream) => handle_connection(stream, &handler),
+                            Err(_) => return, // acceptor gone: drain and exit
+                        }
+                    })
+                    .expect("spawning worker thread")
+            })
+            .collect();
+
+        let acceptor = {
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name("hamlet-serve-acceptor".into())
+                .spawn(move || {
+                    for conn in listener.incoming() {
+                        if shutdown.load(Ordering::SeqCst) {
+                            return; // drops tx → workers drain and exit
+                        }
+                        match conn {
+                            Ok(stream) => {
+                                let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+                                let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+                                let _ = stream.set_nodelay(true);
+                                if tx.send(stream).is_err() {
+                                    return;
+                                }
+                            }
+                            Err(_) => continue,
+                        }
+                    }
+                })
+                .expect("spawning acceptor thread")
+        };
+
+        Ok(Server {
+            addr: local,
+            shutdown,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Signals shutdown and joins all threads. The acceptor is woken by a
+    /// loopback connection so `listener.incoming()` observes the flag.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+
+    /// Blocks the calling thread forever (CLI `serve` mode).
+    pub fn block_forever(&self) -> ! {
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, handler: &Handler) {
+    let mut stream = stream;
+    let mut request_error = false;
+    let response = match read_request(&mut stream) {
+        Ok(request) => {
+            // Confine handler panics to this connection.
+            let result =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler(&request)));
+            result.unwrap_or_else(|_| {
+                Response::json(
+                    500,
+                    "{\"error\":\"internal handler panic\"}".as_bytes().to_vec(),
+                )
+            })
+        }
+        Err(ReadError::TooLarge(what)) => {
+            request_error = true;
+            Response::json(413, format!("{{\"error\":\"{what}\"}}").into_bytes())
+        }
+        Err(ReadError::Malformed(msg)) => {
+            request_error = true;
+            Response::json(400, format!("{{\"error\":\"{msg}\"}}").into_bytes())
+        }
+        Err(ReadError::Io) => return, // client went away; nothing to write
+    };
+    if request_error {
+        // The client may still be mid-send; closing with unread input makes
+        // the kernel RST the connection and the client never sees the error
+        // response. Drain a bounded amount first (abusive streams beyond the
+        // cap still get dropped).
+        drain_bounded(&mut stream);
+    }
+    let _ = response.write_to(&mut stream);
+}
+
+/// Reads and discards up to 1 MiB of pending input with a short timeout.
+fn drain_bounded(stream: &mut TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut buf = [0u8; 8192];
+    let mut total = 0usize;
+    while total < 1024 * 1024 {
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => total += n,
+        }
+    }
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+}
+
+enum ReadError {
+    Io,
+    /// A size cap was exceeded; the payload names which limit.
+    TooLarge(&'static str),
+    Malformed(&'static str),
+}
+
+/// Cap on the request line and each header line; a client streaming bytes
+/// with no newline must not grow server memory unboundedly.
+const MAX_LINE_BYTES: u64 = 16 * 1024;
+
+/// Cap on the number of headers per request.
+const MAX_HEADERS: usize = 100;
+
+/// `read_line` with a hard length cap. Returns the line without its
+/// terminator; errors when the cap is hit before a newline.
+fn read_line_bounded(
+    reader: &mut BufReader<&mut TcpStream>,
+    buf: &mut Vec<u8>,
+) -> Result<(), ReadError> {
+    buf.clear();
+    let n = reader
+        .by_ref()
+        .take(MAX_LINE_BYTES)
+        .read_until(b'\n', buf)
+        .map_err(|_| ReadError::Io)?;
+    if n == 0 {
+        return Err(ReadError::Malformed("truncated request"));
+    }
+    if buf.last() != Some(&b'\n') {
+        // Either the peer closed mid-line or the line exceeds the cap.
+        return Err(if n as u64 == MAX_LINE_BYTES {
+            ReadError::TooLarge("request/header line exceeds 16 KiB")
+        } else {
+            ReadError::Malformed("truncated request")
+        });
+    }
+    while matches!(buf.last(), Some(b'\n' | b'\r')) {
+        buf.pop();
+    }
+    Ok(())
+}
+
+fn read_request(stream: &mut TcpStream) -> Result<Request, ReadError> {
+    let mut reader = BufReader::new(stream);
+    let mut line = Vec::new();
+    read_line_bounded(&mut reader, &mut line)?;
+    let line = String::from_utf8(line).map_err(|_| ReadError::Malformed("non-UTF-8 request"))?;
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or(ReadError::Malformed("missing method"))?
+        .to_ascii_uppercase();
+    let target = parts.next().ok_or(ReadError::Malformed("missing path"))?;
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    if !path.starts_with('/') {
+        return Err(ReadError::Malformed("path must be absolute"));
+    }
+
+    let mut content_length: u64 = 0;
+    let mut header = Vec::new();
+    for n_headers in 0.. {
+        if n_headers >= MAX_HEADERS {
+            return Err(ReadError::TooLarge("more than 100 headers"));
+        }
+        read_line_bounded(&mut reader, &mut header)?;
+        if header.is_empty() {
+            break;
+        }
+        let Ok(text) = std::str::from_utf8(&header) else {
+            continue; // tolerate non-UTF-8 headers we don't care about
+        };
+        if let Some((name, value)) = text.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| ReadError::Malformed("bad content-length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(ReadError::TooLarge("body exceeds 16 MiB"));
+    }
+    let mut body = vec![0u8; content_length as usize];
+    reader.read_exact(&mut body).map_err(|_| ReadError::Io)?;
+    Ok(Request { method, path, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_server() -> Server {
+        Server::bind(
+            "127.0.0.1:0",
+            2,
+            Arc::new(|req: &Request| {
+                Response::text(
+                    200,
+                    format!("{} {} {}", req.method, req.path, req.body.len()),
+                )
+            }),
+        )
+        .unwrap()
+    }
+
+    fn roundtrip(addr: std::net::SocketAddr, raw: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(raw.as_bytes()).unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn parses_and_responds_over_real_sockets() {
+        let server = echo_server();
+        let addr = server.addr();
+        let resp = roundtrip(
+            addr,
+            "POST /v1/echo?x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 5\r\n\r\nhello",
+        );
+        assert!(resp.starts_with("HTTP/1.1 200 OK\r\n"), "{resp}");
+        assert!(resp.contains("POST /v1/echo 5"), "{resp}");
+        // Parallel requests across the pool.
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(move || roundtrip(addr, "GET /ping HTTP/1.1\r\nHost: h\r\n\r\n"))
+            })
+            .collect();
+        for h in handles {
+            assert!(h.join().unwrap().contains("GET /ping 0"));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_requests_get_400() {
+        let server = echo_server();
+        let resp = roundtrip(server.addr(), "NONSENSE\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+        let resp = roundtrip(
+            server.addr(),
+            "POST /x HTTP/1.1\r\nContent-Length: banana\r\n\r\n",
+        );
+        assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_bodies_get_413() {
+        let server = echo_server();
+        let resp = roundtrip(
+            server.addr(),
+            &format!(
+                "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                MAX_BODY_BYTES + 1
+            ),
+        );
+        assert!(resp.starts_with("HTTP/1.1 413"), "{resp}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn unbounded_header_lines_are_rejected_not_buffered() {
+        let server = echo_server();
+        // A header line past the 16 KiB cap must get 413, not grow memory.
+        let huge = format!(
+            "GET /x HTTP/1.1\r\nX-Junk: {}\r\n\r\n",
+            "a".repeat(2 * MAX_LINE_BYTES as usize)
+        );
+        let resp = roundtrip(server.addr(), &huge);
+        assert!(resp.starts_with("HTTP/1.1 413"), "{resp}");
+        // Too many headers are likewise bounded.
+        let mut many = String::from("GET /x HTTP/1.1\r\n");
+        for i in 0..200 {
+            many.push_str(&format!("X-H{i}: v\r\n"));
+        }
+        many.push_str("\r\n");
+        let resp = roundtrip(server.addr(), &many);
+        assert!(resp.starts_with("HTTP/1.1 413"), "{resp}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn handler_panics_become_500() {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            1,
+            Arc::new(|req: &Request| {
+                if req.path == "/boom" {
+                    panic!("handler exploded");
+                }
+                Response::text(200, "ok")
+            }),
+        )
+        .unwrap();
+        let resp = roundtrip(server.addr(), "GET /boom HTTP/1.1\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 500"), "{resp}");
+        // The worker survives the panic.
+        let resp = roundtrip(server.addr(), "GET /fine HTTP/1.1\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        server.shutdown();
+    }
+}

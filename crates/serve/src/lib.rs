@@ -1,0 +1,71 @@
+//! # hamlet-serve
+//!
+//! The serving layer of the hamlet reproduction: turn trained classifiers
+//! into *servable artifacts* and answer prediction/advisor traffic over
+//! HTTP — the paper's operational decision ("skip the join before sourcing
+//! the table") available at request time instead of only inside offline
+//! experiment binaries.
+//!
+//! - [`artifact`] — versioned save/load of [`ModelArtifact`]s: an
+//!   [`hamlet_ml::any::AnyClassifier`] plus its
+//!   [`hamlet_core::feature_config::FeatureConfig`], input feature contract,
+//!   star-schema fingerprint and training metrics;
+//! - [`registry`] — an `RwLock`-based concurrent [`ModelRegistry`] keyed by
+//!   `name@version`, warm-loaded from an artifact directory at boot;
+//! - [`http`] — a hand-rolled HTTP/1.1 server on `std::net::TcpListener`
+//!   with a fixed worker-thread pool;
+//! - [`server`] — the endpoints:
+//!
+//! | endpoint | purpose |
+//! |---|---|
+//! | `POST /v1/predict` | batch of categorical rows → labels (+ latency) |
+//! | `POST /v1/advise`  | star-schema stats → join-avoidance verdicts |
+//! | `POST /v1/train`   | train spec → runs the experiment pipeline, persists + registers |
+//! | `GET /v1/models`   | registry listing |
+//! | `GET /healthz`     | liveness + model count |
+//!
+//! - [`train`] — the train-to-artifact pipeline shared by `/v1/train` and
+//!   the `hamlet-serve` CLI (`train` / `serve` subcommands).
+//!
+//! ## Quickstart
+//!
+//! ```bash
+//! # Train a decision tree on the Movies-shaped emulator, NoJoin features:
+//! cargo run --release --bin hamlet-serve -- train \
+//!     --name movies-tree --dataset movies --spec TreeGini --dir artifacts
+//!
+//! # Boot the server (warm-loads artifacts/):
+//! cargo run --release --bin hamlet-serve -- serve --dir artifacts --addr 127.0.0.1:8080
+//!
+//! # Ask for predictions and advice:
+//! curl -s localhost:8080/healthz
+//! curl -s -X POST localhost:8080/v1/predict \
+//!     -d '{"model":"movies-tree","rows":[[0,1,2]]}'
+//! curl -s -X POST localhost:8080/v1/advise \
+//!     -d '{"family":"TreeOrAnn","n_train":6000,
+//!          "dims":[{"name":"users","n_rows":2400,"open_domain":false}]}'
+//! ```
+//!
+//! [`ModelArtifact`]: artifact::ModelArtifact
+//! [`ModelRegistry`]: registry::ModelRegistry
+
+pub mod api;
+pub mod artifact;
+pub mod error;
+pub mod http;
+pub mod registry;
+pub mod server;
+pub mod train;
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::api::{
+        AdviseRequest, AdviseResponse, Health, ModelsResponse, PredictRequest, PredictResponse,
+        TrainRequest, TrainResponse,
+    };
+    pub use crate::artifact::{ModelArtifact, TrainingMetadata, FORMAT_VERSION};
+    pub use crate::error::{Result as ServeResult, ServeError};
+    pub use crate::registry::{ModelRegistry, ModelSummary};
+    pub use crate::server::{router, serve, AppState};
+    pub use crate::train::{resolve_dataset, train_and_register, DATASETS};
+}

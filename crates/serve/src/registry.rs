@@ -1,0 +1,419 @@
+//! A concurrent, versioned model registry.
+//!
+//! Prediction threads resolve models by `name` (latest version) or
+//! `name@version` (pinned) through an `RwLock`ed map — reads are lock-shared
+//! and clone one `Arc`, so the predict hot path never blocks on other
+//! readers and never copies a model. Artifacts are `Arc`-shared between the
+//! registry and in-flight requests, making hot-swap (`insert` of a newer
+//! version) safe: running requests keep the version they resolved.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::{Arc, RwLock};
+
+use crate::artifact::{ModelArtifact, ARTIFACT_SUFFIX};
+use crate::error::{Result, ServeError};
+
+/// One registry row, as reported by `GET /v1/models`.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ModelSummary {
+    /// Full key `name@version`.
+    pub key: String,
+    /// Registry name.
+    pub name: String,
+    /// Version under the name.
+    pub version: u32,
+    /// Model family tag (`tree`, `svm`, ...).
+    pub family: String,
+    /// Feature-config name (`NoJoin`, `JoinAll`, ...).
+    pub config: String,
+    /// Expected input width (features per row).
+    pub n_features: usize,
+    /// Holdout accuracy recorded at training time.
+    pub test_accuracy: f64,
+    /// Source dataset recorded at training time.
+    pub dataset: String,
+}
+
+fn next_version_in(index: &Index, name: &str) -> u32 {
+    index.latest.get(name).map_or(1, |a| a.version + 1)
+}
+
+fn summarize(a: &ModelArtifact) -> ModelSummary {
+    ModelSummary {
+        key: a.key(),
+        name: a.name.clone(),
+        version: a.version,
+        family: a.model.family().to_string(),
+        config: a.feature_config.name(),
+        n_features: a.features.len(),
+        test_accuracy: a.metadata.metrics.test_accuracy,
+        dataset: a.metadata.dataset.clone(),
+    }
+}
+
+/// Index state behind the registry lock: artifacts by exact key plus a
+/// latest-version pointer per name, so bare-name resolution on the predict
+/// hot path is O(1) instead of a scan over every artifact.
+#[derive(Debug, Default)]
+struct Index {
+    by_key: HashMap<String, Arc<ModelArtifact>>,
+    latest: HashMap<String, Arc<ModelArtifact>>,
+}
+
+impl Index {
+    fn insert(&mut self, artifact: Arc<ModelArtifact>) {
+        let replaces_latest = self
+            .latest
+            .get(&artifact.name)
+            .is_none_or(|cur| artifact.version >= cur.version);
+        if replaces_latest {
+            self.latest
+                .insert(artifact.name.clone(), Arc::clone(&artifact));
+        }
+        self.by_key.insert(artifact.key(), artifact);
+    }
+
+    /// Removes one key, repairing the latest pointer for its name (rare —
+    /// only the persist-failure rollback path).
+    fn remove(&mut self, key: &str) {
+        let Some(removed) = self.by_key.remove(key) else {
+            return;
+        };
+        if self
+            .latest
+            .get(&removed.name)
+            .is_some_and(|cur| cur.version == removed.version)
+        {
+            match self
+                .by_key
+                .values()
+                .filter(|a| a.name == removed.name)
+                .max_by_key(|a| a.version)
+            {
+                Some(next) => {
+                    let next = Arc::clone(next);
+                    self.latest.insert(removed.name.clone(), next);
+                }
+                None => {
+                    self.latest.remove(&removed.name);
+                }
+            }
+        }
+    }
+}
+
+/// Thread-safe registry of loaded artifacts.
+#[derive(Debug, Default)]
+pub struct ModelRegistry {
+    inner: RwLock<Index>,
+}
+
+impl ModelRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registry warm-loaded from every `*.model.json` in `dir` (missing
+    /// directory = empty registry, so first boot needs no setup). Returns
+    /// the registry and the number of artifacts loaded. An unreadable or
+    /// wrong-format artifact is *skipped with a stderr warning* rather than
+    /// failing the boot — one bad file (e.g. written by a newer build
+    /// before a rollback) must not take every valid model offline.
+    pub fn warm_load(dir: &Path) -> Result<(Self, usize)> {
+        let registry = Self::new();
+        let mut loaded = 0;
+        let entries = match std::fs::read_dir(dir) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((registry, 0)),
+            Err(e) => return Err(ServeError::io(format!("listing {}", dir.display()), e)),
+        };
+        for entry in entries {
+            let entry =
+                entry.map_err(|e| ServeError::io(format!("listing {}", dir.display()), e))?;
+            let path = entry.path();
+            if !path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.ends_with(ARTIFACT_SUFFIX))
+            {
+                continue;
+            }
+            match ModelArtifact::load(&path) {
+                Ok(artifact) => {
+                    registry.insert(artifact);
+                    loaded += 1;
+                }
+                Err(e) => {
+                    eprintln!("warm-load: skipping {}: {e}", path.display());
+                }
+            }
+        }
+        Ok((registry, loaded))
+    }
+
+    /// Registers an artifact under its `name@version` key, replacing any
+    /// previous artifact at the same key. Returns the key.
+    pub fn insert(&self, artifact: ModelArtifact) -> String {
+        let key = artifact.key();
+        self.inner
+            .write()
+            .expect("registry lock poisoned")
+            .insert(Arc::new(artifact));
+        key
+    }
+
+    /// Resolves `name@version` exactly, or a bare `name` to its latest
+    /// version.
+    pub fn get(&self, key_or_name: &str) -> Result<Arc<ModelArtifact>> {
+        let index = self.inner.read().expect("registry lock poisoned");
+        index
+            .by_key
+            .get(key_or_name)
+            .or_else(|| index.latest.get(key_or_name))
+            .map(Arc::clone)
+            .ok_or_else(|| ServeError::ModelNotFound(key_or_name.to_string()))
+    }
+
+    /// Next free version for a name (1 when unused). Advisory only: for a
+    /// race-free allocate-persist-register sequence use
+    /// [`ModelRegistry::register_next_version`].
+    pub fn next_version(&self, name: &str) -> u32 {
+        let index = self.inner.read().expect("registry lock poisoned");
+        next_version_in(&index, name)
+    }
+
+    /// Atomically assigns the next version under `artifact.name` and
+    /// registers it, then runs `persist` on the finalized artifact
+    /// *outside* the lock — concurrent trains for the same name can
+    /// neither collide on a version nor overwrite each other's files, and
+    /// predict traffic never blocks on artifact serialization or disk I/O.
+    /// If `persist` fails the registration is rolled back and the registry
+    /// is left unchanged (a concurrent reader may have briefly resolved
+    /// the in-memory model, which is harmless: it was fully trained).
+    /// `min_version` is a floor on the assigned version (pass
+    /// `ModelArtifact::max_version_on_disk(dir, name) + 1` to respect
+    /// artifacts on disk that were never warm-loaded into this registry).
+    pub fn register_next_version<T>(
+        &self,
+        mut artifact: ModelArtifact,
+        min_version: u32,
+        persist: impl FnOnce(&ModelArtifact) -> Result<T>,
+    ) -> Result<(String, T)> {
+        let key = {
+            let mut index = self.inner.write().expect("registry lock poisoned");
+            artifact.version = next_version_in(&index, &artifact.name).max(min_version.max(1));
+            let key = artifact.key();
+            index.insert(Arc::new(artifact));
+            key
+        };
+        let registered = self.get(&key).expect("just inserted");
+        match persist(&registered) {
+            Ok(persisted) => Ok((key, persisted)),
+            Err(e) => {
+                self.inner
+                    .write()
+                    .expect("registry lock poisoned")
+                    .remove(&key);
+                Err(e)
+            }
+        }
+    }
+
+    /// All registered models, sorted by key for stable output.
+    pub fn list(&self) -> Vec<ModelSummary> {
+        let index = self.inner.read().expect("registry lock poisoned");
+        let mut out: Vec<ModelSummary> = index.by_key.values().map(|a| summarize(a)).collect();
+        out.sort_by(|a, b| a.key.cmp(&b.key));
+        out
+    }
+
+    /// Number of registered artifacts.
+    pub fn len(&self) -> usize {
+        self.inner
+            .read()
+            .expect("registry lock poisoned")
+            .by_key
+            .len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::tests::toy_artifact;
+
+    #[test]
+    fn name_resolves_to_latest_version() {
+        let reg = ModelRegistry::new();
+        reg.insert(toy_artifact("m", 1));
+        reg.insert(toy_artifact("m", 3));
+        reg.insert(toy_artifact("m", 2));
+        reg.insert(toy_artifact("other", 9));
+        assert_eq!(reg.get("m").unwrap().version, 3);
+        assert_eq!(reg.get("m@2").unwrap().version, 2);
+        assert!(reg.get("m@4").is_err());
+        assert!(reg.get("ghost").is_err());
+        assert_eq!(reg.next_version("m"), 4);
+        assert_eq!(reg.next_version("fresh"), 1);
+    }
+
+    #[test]
+    fn list_is_sorted_and_summarized() {
+        let reg = ModelRegistry::new();
+        reg.insert(toy_artifact("b", 1));
+        reg.insert(toy_artifact("a", 1));
+        let rows = reg.list();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].key, "a@1");
+        assert_eq!(rows[0].family, "majority");
+        assert_eq!(rows[0].config, "NoJoin");
+        assert_eq!(rows[0].n_features, 2);
+    }
+
+    #[test]
+    fn warm_load_roundtrips_a_directory() {
+        let dir = std::env::temp_dir().join(format!("hamlet-reg-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        toy_artifact("w", 1).save(&dir).unwrap();
+        toy_artifact("w", 2).save(&dir).unwrap();
+        // Non-artifact files are ignored.
+        std::fs::write(dir.join("notes.txt"), "hi").unwrap();
+        let (reg, loaded) = ModelRegistry::warm_load(&dir).unwrap();
+        assert_eq!(loaded, 2);
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.get("w").unwrap().version, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn warm_load_skips_bad_artifacts_instead_of_failing_boot() {
+        let dir = std::env::temp_dir().join(format!("hamlet-reg-bad-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        toy_artifact("good", 1).save(&dir).unwrap();
+        // A corrupt artifact and a future-format artifact sit alongside it.
+        std::fs::write(dir.join("corrupt@1.model.json"), "{not json").unwrap();
+        let mut future = toy_artifact("future", 1);
+        future.format_version = crate::artifact::FORMAT_VERSION + 1;
+        future.save(&dir).unwrap();
+        let (reg, loaded) = ModelRegistry::warm_load(&dir).unwrap();
+        assert_eq!(loaded, 1, "only the valid artifact loads");
+        assert!(reg.get("good").is_ok());
+        assert!(reg.get("future").is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn register_next_version_respects_disk_floor() {
+        let reg = ModelRegistry::new();
+        let (key, ()) = reg
+            .register_next_version(toy_artifact("floored", 0), 7, |_| Ok(()))
+            .unwrap();
+        assert_eq!(key, "floored@7", "cold registry honours the on-disk floor");
+        let (key, ()) = reg
+            .register_next_version(toy_artifact("floored", 0), 3, |_| Ok(()))
+            .unwrap();
+        assert_eq!(key, "floored@8", "in-memory max wins when higher");
+    }
+
+    #[test]
+    fn warm_load_missing_dir_is_empty() {
+        let dir = std::env::temp_dir().join("hamlet-reg-definitely-missing");
+        let (reg, loaded) = ModelRegistry::warm_load(&dir).unwrap();
+        assert_eq!(loaded, 0);
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn register_next_version_is_race_free() {
+        let dir = std::env::temp_dir().join(format!("hamlet-regver-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let reg = Arc::new(ModelRegistry::new());
+        let keys: Vec<String> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let reg = Arc::clone(&reg);
+                    let dir = dir.clone();
+                    scope.spawn(move || {
+                        let (key, _path) = reg
+                            .register_next_version(toy_artifact("raced", 0), 0, |a| a.save(&dir))
+                            .unwrap();
+                        key
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // All eight trains got distinct versions and none was lost.
+        let mut sorted = keys.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 8, "duplicate versions handed out: {keys:?}");
+        assert_eq!(reg.len(), 8);
+        assert_eq!(reg.get("raced").unwrap().version, 8);
+        let (reloaded, n) = ModelRegistry::warm_load(&dir).unwrap();
+        assert_eq!(n, 8, "an artifact file was overwritten");
+        assert_eq!(reloaded.get("raced").unwrap().version, 8);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn register_next_version_persist_failure_leaves_registry_unchanged() {
+        let reg = ModelRegistry::new();
+        let err = reg.register_next_version(toy_artifact("failing", 0), 0, |_| {
+            Err::<(), _>(crate::error::ServeError::Json("disk exploded".into()))
+        });
+        assert!(err.is_err());
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn rollback_repairs_the_latest_pointer() {
+        let reg = ModelRegistry::new();
+        reg.register_next_version(toy_artifact("m", 0), 0, |_| Ok(()))
+            .unwrap();
+        assert_eq!(reg.get("m").unwrap().version, 1);
+        // A failed v2 must not leave the bare name dangling or stale.
+        let _ = reg.register_next_version(toy_artifact("m", 0), 0, |_| {
+            Err::<(), _>(crate::error::ServeError::Json("boom".into()))
+        });
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.get("m").unwrap().version, 1, "latest repaired to v1");
+        // And the next successful train still gets v2.
+        let (key, ()) = reg
+            .register_next_version(toy_artifact("m", 0), 0, |_| Ok(()))
+            .unwrap();
+        assert_eq!(key, "m@2");
+        assert_eq!(reg.get("m").unwrap().version, 2);
+    }
+
+    #[test]
+    fn concurrent_reads_and_hot_swap() {
+        let reg = Arc::new(ModelRegistry::new());
+        reg.insert(toy_artifact("hot", 1));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let reg = Arc::clone(&reg);
+                std::thread::spawn(move || {
+                    for _ in 0..500 {
+                        let a = reg.get("hot").unwrap();
+                        assert!(a.version >= 1);
+                    }
+                })
+            })
+            .collect();
+        for v in 2..10 {
+            reg.insert(toy_artifact("hot", v));
+        }
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(reg.get("hot").unwrap().version, 9);
+    }
+}

@@ -1,0 +1,342 @@
+//! Endpoint handlers: the bridge from HTTP to registry/advisor/trainer.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use hamlet_core::advisor::advise_dims;
+
+use crate::api::{
+    AdviseRequest, ApiError, Health, ModelsResponse, PredictRequest, PredictResponse, TrainRequest,
+    TrainResponse,
+};
+use crate::error::ServeError;
+use crate::http::{Handler, Request, Response, Server};
+use crate::registry::ModelRegistry;
+use crate::train::train_and_register;
+
+/// Shared state behind every worker thread.
+pub struct AppState {
+    /// The live model registry.
+    pub registry: ModelRegistry,
+    /// Directory artifacts are persisted into (and warm-loaded from).
+    pub artifact_dir: PathBuf,
+    /// Admission gate for `/v1/train`: training runs for seconds to minutes
+    /// on a worker thread, so at most one runs at a time — otherwise a
+    /// handful of train requests would occupy every worker and starve the
+    /// predict/health hot path. An atomic flag (not a `Mutex`) so a panic
+    /// inside a training run can never poison the gate shut: the RAII
+    /// release in [`TrainPermit`] runs during unwinding.
+    train_gate: std::sync::atomic::AtomicBool,
+}
+
+/// RAII permit for the training gate; releases on drop (including panics).
+struct TrainPermit<'a>(&'a std::sync::atomic::AtomicBool);
+
+impl<'a> TrainPermit<'a> {
+    fn acquire(gate: &'a std::sync::atomic::AtomicBool) -> Option<Self> {
+        use std::sync::atomic::Ordering;
+        gate.compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+            .then_some(TrainPermit(gate))
+    }
+}
+
+impl Drop for TrainPermit<'_> {
+    fn drop(&mut self) {
+        self.0.store(false, std::sync::atomic::Ordering::Release);
+    }
+}
+
+impl AppState {
+    /// State with a warm-loaded registry.
+    pub fn warm(artifact_dir: PathBuf) -> crate::error::Result<(Arc<AppState>, usize)> {
+        let (registry, loaded) = ModelRegistry::warm_load(&artifact_dir)?;
+        Ok((
+            Arc::new(AppState {
+                registry,
+                artifact_dir,
+                train_gate: std::sync::atomic::AtomicBool::new(false),
+            }),
+            loaded,
+        ))
+    }
+}
+
+fn error_response(e: &ServeError) -> Response {
+    let status = match e {
+        ServeError::BadRequest(_) | ServeError::Json(_) => 400,
+        ServeError::ModelNotFound(_) => 404,
+        ServeError::Format { .. } => 422,
+        ServeError::Io { .. } | ServeError::Train(_) => 500,
+    };
+    let body = serde_json::to_string(&ApiError {
+        error: e.to_string(),
+    })
+    .unwrap_or_else(|_| "{\"error\":\"unserializable error\"}".into());
+    Response::json(status, body)
+}
+
+fn ok_json<T: serde::Serialize>(value: &T) -> Response {
+    match serde_json::to_string(value) {
+        Ok(body) => Response::json(200, body),
+        Err(e) => error_response(&ServeError::Json(e.to_string())),
+    }
+}
+
+fn parse_body<T: serde::Deserialize>(req: &Request) -> Result<T, ServeError> {
+    serde_json::from_slice(&req.body).map_err(|e| ServeError::BadRequest(e.to_string()))
+}
+
+/// `POST /v1/predict`: resolve → validate → batched enum-dispatch predict.
+fn predict(state: &AppState, req: &Request) -> Result<PredictResponse, ServeError> {
+    let body: PredictRequest = parse_body(req)?;
+    let artifact = state.registry.get(&body.model)?;
+    let start = Instant::now();
+    let d = artifact.features.len();
+    let n = body.rows.len();
+    // Flatten into one row-major buffer for the batched hot path. Each row's
+    // width is checked *before* flattening: compensating-length rows (e.g.
+    // [[0,1,0],[1]] against d=2) would otherwise splice across row
+    // boundaries and pass the total-length check with misaligned codes.
+    let mut rows = Vec::with_capacity(n * d);
+    for (i, row) in body.rows.iter().enumerate() {
+        if row.len() != d {
+            return Err(ServeError::BadRequest(format!(
+                "row {i} has {} codes; model `{}` expects {d} features per row",
+                row.len(),
+                artifact.key()
+            )));
+        }
+        rows.extend_from_slice(row);
+    }
+    artifact.validate_rows(&rows, n)?;
+    let labels = artifact.model.predict_batch(&rows, d);
+    Ok(PredictResponse {
+        model: artifact.key(),
+        labels,
+        latency_ms: start.elapsed().as_secs_f64() * 1e3,
+    })
+}
+
+/// `POST /v1/advise`: star-schema stats → per-dimension verdicts.
+fn advise(req: &Request) -> Result<crate::api::AdviseResponse, ServeError> {
+    let body: AdviseRequest = parse_body(req)?;
+    if body.dims.is_empty() {
+        return Err(ServeError::BadRequest("dims must be non-empty".into()));
+    }
+    // Zero-row dimensions would produce an infinite tuple ratio, which JSON
+    // cannot carry; a real dimension table always has at least one row.
+    if let Some(bad) = body.dims.iter().find(|d| d.n_rows == 0) {
+        return Err(ServeError::BadRequest(format!(
+            "dimension `{}` has n_rows = 0; dimension tables are non-empty",
+            bad.name
+        )));
+    }
+    Ok(advise_dims(&body.dims, body.n_train, body.family))
+}
+
+/// `POST /v1/train`: run the experiment pipeline, persist, register. At
+/// most one training runs at a time (see `AppState::train_gate`); a second
+/// concurrent request gets a 429 instead of tying up another worker.
+fn train(state: &AppState, req: &Request) -> Result<Response, ServeError> {
+    let Some(_running) = TrainPermit::acquire(&state.train_gate) else {
+        return Ok(Response::json(
+            429,
+            "{\"error\":\"a training run is already in progress; retry later\"}",
+        ));
+    };
+    let body: TrainRequest = parse_body(req)?;
+    let resp: TrainResponse = train_and_register(&state.registry, &state.artifact_dir, &body)?;
+    Ok(ok_json(&resp))
+}
+
+/// Builds the router over shared state.
+pub fn router(state: Arc<AppState>) -> Handler {
+    Arc::new(move |req: &Request| -> Response {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/healthz") => ok_json(&Health {
+                status: "ok".into(),
+                models: state.registry.len(),
+            }),
+            ("GET", "/v1/models") => ok_json(&ModelsResponse {
+                models: state.registry.list(),
+            }),
+            ("POST", "/v1/predict") => match predict(&state, req) {
+                Ok(resp) => ok_json(&resp),
+                Err(e) => error_response(&e),
+            },
+            ("POST", "/v1/advise") => match advise(req) {
+                Ok(resp) => ok_json(&resp),
+                Err(e) => error_response(&e),
+            },
+            ("POST", "/v1/train") => match train(&state, req) {
+                Ok(resp) => resp,
+                Err(e) => error_response(&e),
+            },
+            ("GET" | "POST", _) => Response::json(
+                404,
+                "{\"error\":\"no such endpoint; see /healthz, /v1/models, /v1/predict, \
+                 /v1/advise, /v1/train\"}",
+            ),
+            _ => Response::json(405, "{\"error\":\"method not allowed\"}"),
+        }
+    })
+}
+
+/// Binds and starts the full server.
+pub fn serve(addr: &str, workers: usize, state: Arc<AppState>) -> std::io::Result<Server> {
+    Server::bind(addr, workers, router(state))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> Arc<AppState> {
+        Arc::new(AppState {
+            registry: ModelRegistry::new(),
+            artifact_dir: std::env::temp_dir().join("hamlet-serve-router-tests"),
+            train_gate: std::sync::atomic::AtomicBool::new(false),
+        })
+    }
+
+    fn call(handler: &Handler, method: &str, path: &str, body: &str) -> (u16, String) {
+        let resp = handler(&Request {
+            method: method.into(),
+            path: path.into(),
+            body: body.as_bytes().to_vec(),
+        });
+        (resp.status, String::from_utf8(resp.body).unwrap())
+    }
+
+    #[test]
+    fn routes_dispatch_and_404() {
+        let handler = router(state());
+        let (status, body) = call(&handler, "GET", "/healthz", "");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"ok\""));
+        let (status, _) = call(&handler, "GET", "/nope", "");
+        assert_eq!(status, 404);
+        let (status, _) = call(&handler, "DELETE", "/healthz", "");
+        assert_eq!(status, 405);
+        let (status, _) = call(&handler, "GET", "/v1/models", "");
+        assert_eq!(status, 200);
+    }
+
+    #[test]
+    fn predict_unknown_model_is_404() {
+        let handler = router(state());
+        let (status, body) = call(
+            &handler,
+            "POST",
+            "/v1/predict",
+            "{\"model\":\"ghost\",\"rows\":[[0]]}",
+        );
+        assert_eq!(status, 404, "{body}");
+        assert!(body.contains("ghost"));
+    }
+
+    #[test]
+    fn predict_ragged_rows_are_400_not_misaligned() {
+        // Rows of compensating lengths must be rejected, not silently
+        // spliced into a misaligned row-major buffer.
+        let app = state();
+        app.registry
+            .insert(crate::artifact::tests::toy_artifact("ragged", 1));
+        let handler = router(app);
+        let (status, body) = call(
+            &handler,
+            "POST",
+            "/v1/predict",
+            "{\"model\":\"ragged\",\"rows\":[[0,1,0],[1]]}",
+        );
+        assert_eq!(status, 400, "{body}");
+        assert!(body.contains("row 0"), "{body}");
+        // Correct widths still work.
+        let (status, body) = call(
+            &handler,
+            "POST",
+            "/v1/predict",
+            "{\"model\":\"ragged\",\"rows\":[[0,1],[1,0]]}",
+        );
+        assert_eq!(status, 200, "{body}");
+    }
+
+    #[test]
+    fn predict_malformed_body_is_400() {
+        let handler = router(state());
+        let (status, _) = call(&handler, "POST", "/v1/predict", "{not json");
+        assert_eq!(status, 400);
+        let (status, _) = call(&handler, "POST", "/v1/predict", "{\"model\":3}");
+        assert_eq!(status, 400);
+    }
+
+    #[test]
+    fn advise_matches_core_advisor() {
+        use hamlet_core::advisor::{advise_dims, Advice, DimStats};
+        use hamlet_core::model_zoo::ModelFamily;
+
+        let handler = router(state());
+        let dims = vec![
+            DimStats::closed("safe", 100),
+            DimStats::closed("risky", 5000),
+        ];
+        let (status, body) = call(
+            &handler,
+            "POST",
+            "/v1/advise",
+            &serde_json::to_string(&crate::api::AdviseRequest {
+                family: ModelFamily::TreeOrAnn,
+                n_train: 6000,
+                dims: dims.clone(),
+            })
+            .unwrap(),
+        );
+        assert_eq!(status, 200, "{body}");
+        let got: crate::api::AdviseResponse = serde_json::from_str(&body).unwrap();
+        let want = advise_dims(&dims, 6000, ModelFamily::TreeOrAnn);
+        assert_eq!(got.dimensions.len(), want.dimensions.len());
+        for (g, w) in got.dimensions.iter().zip(&want.dimensions) {
+            assert_eq!(g.advice, w.advice);
+            assert!((g.tuple_ratio - w.tuple_ratio).abs() < 1e-12);
+        }
+        assert_eq!(got.dimensions[0].advice, Advice::AvoidJoin);
+        assert_eq!(got.dimensions[1].advice, Advice::RetainJoin);
+    }
+
+    #[test]
+    fn concurrent_train_requests_get_429() {
+        let app = state();
+        let handler = router(Arc::clone(&app));
+        // Simulate an in-flight training run by holding the gate.
+        let permit = TrainPermit::acquire(&app.train_gate).unwrap();
+        let (status, body) = call(
+            &handler,
+            "POST",
+            "/v1/train",
+            "{\"name\":\"x\",\"dataset\":\"movies\",\"spec\":\"TreeGini\"}",
+        );
+        assert_eq!(status, 429, "{body}");
+        assert!(body.contains("in progress"), "{body}");
+        drop(permit);
+        // A failed (or panicked) run must release the gate: this request
+        // gets past admission and fails on the body instead of with 429.
+        let (status, _) = call(&handler, "POST", "/v1/train", "{not json");
+        assert_eq!(status, 400);
+        let (status, _) = call(&handler, "POST", "/v1/train", "{not json");
+        assert_eq!(status, 400, "gate must be released after a failed run");
+    }
+
+    #[test]
+    fn advise_empty_dims_is_400() {
+        let handler = router(state());
+        let (status, _) = call(
+            &handler,
+            "POST",
+            "/v1/advise",
+            "{\"family\":\"Linear\",\"n_train\":10,\"dims\":[]}",
+        );
+        assert_eq!(status, 400);
+    }
+}

@@ -1,0 +1,175 @@
+//! Train-to-artifact pipeline shared by the CLI and `POST /v1/train`.
+
+use std::path::Path;
+
+use hamlet_core::experiment::run_experiment_with_model;
+use hamlet_core::feature_config::FeatureConfig;
+use hamlet_core::model_zoo::Budget;
+use hamlet_datagen::emulate::EmulatorSpec;
+use hamlet_datagen::onexr::{self, OneXrParams};
+use hamlet_datagen::sim::GeneratedStar;
+
+use crate::api::{TrainRequest, TrainResponse};
+use crate::artifact::{ModelArtifact, TrainingMetadata, FORMAT_VERSION};
+use crate::error::{Result, ServeError};
+use crate::registry::ModelRegistry;
+
+/// Datasets servable by name (the Table-1 emulators plus the OneXr
+/// scenario).
+pub const DATASETS: &[&str] = &[
+    "movies", "yelp", "walmart", "expedia", "lastfm", "books", "flights", "onexr",
+];
+
+/// Resolves a dataset name to a generated star at the requested scale.
+pub fn resolve_dataset(name: &str, scale: usize, seed: u64) -> Result<GeneratedStar> {
+    let spec = match name.to_ascii_lowercase().as_str() {
+        "movies" => EmulatorSpec::movies(),
+        "yelp" => EmulatorSpec::yelp(),
+        "walmart" => EmulatorSpec::walmart(),
+        "expedia" => EmulatorSpec::expedia(),
+        "lastfm" => EmulatorSpec::lastfm(),
+        "books" => EmulatorSpec::books(),
+        "flights" => EmulatorSpec::flights(),
+        "onexr" => {
+            // `scale` means *total* labelled examples everywhere; OneXr's
+            // n_s parameter is the training-split size and the generator
+            // adds n_s/4 validation + n_s/4 test, so total = 1.5 × n_s.
+            return Ok(onexr::generate(OneXrParams {
+                n_s: (scale.max(12) * 2) / 3,
+                seed,
+                ..Default::default()
+            }));
+        }
+        other => {
+            return Err(ServeError::BadRequest(format!(
+                "unknown dataset `{other}` (expected one of {DATASETS:?})"
+            )))
+        }
+    };
+    Ok(spec.generate_scaled(scale, seed))
+}
+
+/// Trains per the request, persists the artifact into `dir`, registers it,
+/// and reports key/path/metrics.
+pub fn train_and_register(
+    registry: &ModelRegistry,
+    dir: &Path,
+    req: &TrainRequest,
+) -> Result<TrainResponse> {
+    if req.name.is_empty()
+        || !req
+            .name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+    {
+        return Err(ServeError::BadRequest(format!(
+            "model name `{}` must be non-empty [A-Za-z0-9_-]",
+            req.name
+        )));
+    }
+    let scale = req.scale.unwrap_or(2000);
+    let seed = req.seed.unwrap_or(7);
+    let config = req.config.clone().unwrap_or(FeatureConfig::NoJoin);
+    let budget = if req.full_budget.unwrap_or(false) {
+        Budget::paper()
+    } else {
+        Budget::quick()
+    };
+
+    let g = resolve_dataset(&req.dataset, scale, seed)?;
+    let trained = run_experiment_with_model(&g, req.spec, &config, &budget)
+        .map_err(|e| ServeError::Train(e.to_string()))?;
+
+    let fingerprint = g.star.fingerprint();
+    let artifact = ModelArtifact {
+        format_version: FORMAT_VERSION,
+        name: req.name.clone(),
+        // Placeholder: register_next_version assigns the real version
+        // atomically with registration.
+        version: 0,
+        model: trained.model,
+        feature_config: config,
+        features: trained.features,
+        schema_fingerprint: fingerprint,
+        metadata: TrainingMetadata {
+            dataset: req.dataset.to_ascii_lowercase(),
+            spec: req.spec,
+            train_rows: g.n_train,
+            metrics: trained.result.clone(),
+        },
+    };
+    // Respect artifacts already on disk even when this registry was not
+    // warm-loaded (the CLI path): versions are parsed from filenames, so no
+    // stored model gets deserialized just to allocate a number.
+    let disk_floor = ModelArtifact::max_version_on_disk(dir, &req.name) + 1;
+    let (key, path) = registry.register_next_version(artifact, disk_floor, |a| a.save(dir))?;
+    Ok(TrainResponse {
+        key,
+        path: path.display().to_string(),
+        metrics: trained.result,
+        schema_fingerprint: fingerprint,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hamlet_core::model_zoo::ModelSpec;
+
+    #[test]
+    fn unknown_dataset_is_a_bad_request() {
+        match resolve_dataset("mnist", 1000, 1) {
+            Err(ServeError::BadRequest(msg)) => assert!(msg.contains("mnist")),
+            other => panic!("expected BadRequest, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_names_are_rejected() {
+        let reg = ModelRegistry::new();
+        let dir = std::env::temp_dir().join("hamlet-train-rejects");
+        for name in ["", "has space", "sla/sh"] {
+            let req = TrainRequest {
+                name: name.into(),
+                dataset: "movies".into(),
+                spec: ModelSpec::TreeGini,
+                config: None,
+                scale: None,
+                seed: None,
+                full_budget: None,
+            };
+            assert!(train_and_register(&reg, &dir, &req).is_err(), "{name:?}");
+        }
+    }
+
+    #[test]
+    fn trains_persists_and_versions() {
+        let dir = std::env::temp_dir().join(format!("hamlet-train-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let reg = ModelRegistry::new();
+        let req = TrainRequest {
+            name: "movies-tree".into(),
+            dataset: "movies".into(),
+            spec: ModelSpec::TreeGini,
+            config: None,
+            scale: Some(800),
+            seed: Some(3),
+            full_budget: None,
+        };
+        let r1 = train_and_register(&reg, &dir, &req).unwrap();
+        assert_eq!(r1.key, "movies-tree@1");
+        assert!(
+            r1.metrics.test_accuracy > 0.5,
+            "{}",
+            r1.metrics.test_accuracy
+        );
+        // Retraining bumps the version; both artifacts exist on disk.
+        let r2 = train_and_register(&reg, &dir, &req).unwrap();
+        assert_eq!(r2.key, "movies-tree@2");
+        assert_eq!(reg.len(), 2);
+        let (reloaded, n) = ModelRegistry::warm_load(&dir).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(reloaded.get("movies-tree").unwrap().version, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

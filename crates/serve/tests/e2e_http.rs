@@ -1,0 +1,224 @@
+//! End-to-end serving test over a real TCP socket: boot on an ephemeral
+//! port, train + persist an artifact, restart the server from disk, and
+//! check `/healthz`, `/v1/models`, `/v1/predict` and `/v1/advise` answer
+//! correctly — with `/v1/predict` matching in-process `Classifier::predict`
+//! and `/v1/advise` matching `hamlet_core::advisor::advise`.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use hamlet_core::advisor::{advise, DimStats};
+use hamlet_core::feature_config::{build_splits, FeatureConfig};
+use hamlet_core::model_zoo::{ModelFamily, ModelSpec};
+use hamlet_datagen::prelude::*;
+use hamlet_ml::model::Classifier;
+use hamlet_serve::api::{
+    AdviseRequest, AdviseResponse, Health, ModelsResponse, PredictRequest, PredictResponse,
+    TrainRequest,
+};
+use hamlet_serve::server::{serve, AppState};
+use hamlet_serve::train::train_and_register;
+
+/// Minimal HTTP client: one request, returns (status, body).
+fn http(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("send");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("recv");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("numeric status");
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hamlet-e2e-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+#[test]
+fn full_train_restart_predict_advise_cycle() {
+    let dir = tmp_dir("cycle");
+
+    // ---- Phase 1: a "first process" trains and persists a model. ----
+    let g = EmulatorSpec::movies().generate_scaled(1200, 7);
+    let (state1, loaded) = AppState::warm(dir.clone()).unwrap();
+    assert_eq!(loaded, 0, "fresh dir starts empty");
+    let train_req = TrainRequest {
+        name: "movies-tree".into(),
+        dataset: "movies".into(),
+        spec: ModelSpec::TreeGini,
+        config: Some(FeatureConfig::NoJoin),
+        scale: Some(1200),
+        seed: Some(7),
+        full_budget: None,
+    };
+    let trained = train_and_register(&state1.registry, &state1.artifact_dir, &train_req).unwrap();
+    assert_eq!(trained.key, "movies-tree@1");
+    drop(state1); // "process exit"
+
+    // ---- Phase 2: a fresh server boots from the artifact directory. ----
+    let (state2, loaded) = AppState::warm(dir.clone()).unwrap();
+    assert_eq!(loaded, 1, "artifact survives restart");
+    let server = serve("127.0.0.1:0", 2, Arc::clone(&state2)).unwrap();
+    let addr = server.addr();
+
+    // /healthz
+    let (status, body) = http(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200, "{body}");
+    let health: Health = serde_json::from_str(&body).unwrap();
+    assert_eq!(health.status, "ok");
+    assert_eq!(health.models, 1);
+
+    // /v1/models
+    let (status, body) = http(addr, "GET", "/v1/models", "");
+    assert_eq!(status, 200, "{body}");
+    let models: ModelsResponse = serde_json::from_str(&body).unwrap();
+    assert_eq!(models.models.len(), 1);
+    assert_eq!(models.models[0].key, "movies-tree@1");
+    assert_eq!(models.models[0].config, "NoJoin");
+
+    // /v1/predict over the full holdout split, compared against in-process
+    // Classifier::predict of the same artifact.
+    let artifact = state2.registry.get("movies-tree").unwrap();
+    let data = build_splits(&g, &FeatureConfig::NoJoin).unwrap();
+    let rows: Vec<Vec<u32>> = (0..data.test.n_rows())
+        .map(|i| data.test.row(i).to_vec())
+        .collect();
+    let expected = artifact.model.predict(&data.test);
+    let (status, body) = http(
+        addr,
+        "POST",
+        "/v1/predict",
+        &serde_json::to_string(&PredictRequest {
+            model: "movies-tree".into(),
+            rows,
+        })
+        .unwrap(),
+    );
+    assert_eq!(status, 200, "{body}");
+    let predicted: PredictResponse = serde_json::from_str(&body).unwrap();
+    assert_eq!(predicted.model, "movies-tree@1");
+    assert_eq!(
+        predicted.labels, expected,
+        "HTTP predictions must match in-process Classifier::predict"
+    );
+    assert!(predicted.latency_ms >= 0.0);
+
+    // /v1/advise with the generated star's true statistics, compared against
+    // the in-process advisor on the star itself.
+    let dims: Vec<DimStats> = g
+        .star
+        .dims()
+        .iter()
+        .map(|d| DimStats {
+            name: d.table.name().to_string(),
+            n_rows: d.n_rows(),
+            open_domain: d.open_domain,
+        })
+        .collect();
+    let (status, body) = http(
+        addr,
+        "POST",
+        "/v1/advise",
+        &serde_json::to_string(&AdviseRequest {
+            family: ModelFamily::TreeOrAnn,
+            n_train: g.n_train,
+            dims,
+        })
+        .unwrap(),
+    );
+    assert_eq!(status, 200, "{body}");
+    let got: AdviseResponse = serde_json::from_str(&body).unwrap();
+    let want = advise(&g.star, g.n_train, ModelFamily::TreeOrAnn);
+    assert_eq!(got.dimensions.len(), want.dimensions.len());
+    for (g_dim, w_dim) in got.dimensions.iter().zip(&want.dimensions) {
+        assert_eq!(g_dim.dimension, w_dim.dimension);
+        assert_eq!(g_dim.advice, w_dim.advice, "{}", g_dim.dimension);
+        assert!((g_dim.tuple_ratio - w_dim.tuple_ratio).abs() < 1e-12);
+    }
+
+    // Bad prediction input: wrong width must be a 400, not a panic.
+    let (status, body) = http(
+        addr,
+        "POST",
+        "/v1/predict",
+        "{\"model\":\"movies-tree\",\"rows\":[[0]]}",
+    );
+    assert_eq!(status, 400, "{body}");
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn concurrent_batched_predictions_are_consistent() {
+    let dir = tmp_dir("conc");
+    let (state, _) = AppState::warm(dir.clone()).unwrap();
+    let train_req = TrainRequest {
+        name: "onexr-nb".into(),
+        dataset: "onexr".into(),
+        spec: ModelSpec::NaiveBayesBfs,
+        config: None,
+        scale: Some(600),
+        seed: Some(11),
+        full_budget: None,
+    };
+    train_and_register(&state.registry, &state.artifact_dir, &train_req).unwrap();
+    let server = serve("127.0.0.1:0", 4, Arc::clone(&state)).unwrap();
+    let addr = server.addr();
+
+    let artifact = state.registry.get("onexr-nb").unwrap();
+    let d = artifact.features.len();
+    // One fixed batch; every thread must get the identical answer.
+    let rows: Vec<Vec<u32>> = (0..32)
+        .map(|i| {
+            (0..d)
+                .map(|j| (i as u32 + j as u32) % artifact.features[j].cardinality)
+                .collect()
+        })
+        .collect();
+    let body = serde_json::to_string(&PredictRequest {
+        model: "onexr-nb".into(),
+        rows,
+    })
+    .unwrap();
+
+    let mut answers = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let body = body.clone();
+                scope.spawn(move || http(addr, "POST", "/v1/predict", &body))
+            })
+            .collect();
+        for h in handles {
+            answers.push(h.join().unwrap());
+        }
+    });
+    let first: PredictResponse = serde_json::from_str(&answers[0].1).unwrap();
+    assert_eq!(first.labels.len(), 32);
+    for (status, body) in &answers {
+        assert_eq!(*status, 200);
+        let r: PredictResponse = serde_json::from_str(body).unwrap();
+        assert_eq!(r.labels, first.labels);
+    }
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -35,10 +35,20 @@ fn main() {
     println!("\nVerification on the flagged vs. an unflagged dataset (NB-BFS):\n");
     for spec in [EmulatorSpec::yelp(), EmulatorSpec::walmart()] {
         let g = spec.generate_scaled(target, 11);
-        let ja =
-            run_experiment(&g, ModelSpec::NaiveBayesBfs, &FeatureConfig::JoinAll, &budget).unwrap();
-        let nj =
-            run_experiment(&g, ModelSpec::NaiveBayesBfs, &FeatureConfig::NoJoin, &budget).unwrap();
+        let ja = run_experiment(
+            &g,
+            ModelSpec::NaiveBayesBfs,
+            &FeatureConfig::JoinAll,
+            &budget,
+        )
+        .unwrap();
+        let nj = run_experiment(
+            &g,
+            ModelSpec::NaiveBayesBfs,
+            &FeatureConfig::NoJoin,
+            &budget,
+        )
+        .unwrap();
         println!(
             "{:<8} JoinAll {:.4} vs NoJoin {:.4}  (gap {:+.4})",
             spec.name,

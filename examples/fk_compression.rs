@@ -10,8 +10,8 @@
 //! cargo run --release --example fk_compression
 //! ```
 
-use hamlet::prelude::*;
 use hamlet::ml::dataset::Provenance;
+use hamlet::prelude::*;
 
 fn main() {
     let budget = Budget::quick();
@@ -50,7 +50,9 @@ fn main() {
             let train = comp.apply(&data.train).unwrap();
             let val = comp.apply(&data.val).unwrap();
             let test = comp.apply(&data.test).unwrap();
-            let tuned = ModelSpec::TreeGini.fit_tuned(&train, &val, &budget).unwrap();
+            let tuned = ModelSpec::TreeGini
+                .fit_tuned(&train, &val, &budget)
+                .unwrap();
             println!(
                 "  budget {l:>3} {:<26} test accuracy {:.4}",
                 format!("({method:?})"),
@@ -95,7 +97,9 @@ fn main() {
         let smoothing = build_smoothing(&data.train, fk, method, Some(dim)).unwrap();
         let val = smoothing.apply(&data.val).unwrap();
         let test = smoothing.apply(&data.test).unwrap();
-        let tuned = ModelSpec::TreeGini.fit_tuned(&data.train, &val, &budget).unwrap();
+        let tuned = ModelSpec::TreeGini
+            .fit_tuned(&data.train, &val, &budget)
+            .unwrap();
         println!(
             "  {label}: test accuracy {:.4}  ({} unseen codes reassigned)",
             tuned.model.accuracy(&test),

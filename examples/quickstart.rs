@@ -23,18 +23,12 @@ fn main() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
 
     let employer_keys = CatDomain::synthetic("employer", n_employers).into_shared();
-    let state = CatDomain::new(
-        "state",
-        vec!["coastal".into(), "inland".into()],
-    )
-    .unwrap()
-    .into_shared();
-    let revenue = CatDomain::new(
-        "revenue",
-        vec!["low".into(), "mid".into(), "high".into()],
-    )
-    .unwrap()
-    .into_shared();
+    let state = CatDomain::new("state", vec!["coastal".into(), "inland".into()])
+        .unwrap()
+        .into_shared();
+    let revenue = CatDomain::new("revenue", vec!["low".into(), "mid".into(), "high".into()])
+        .unwrap()
+        .into_shared();
     let gender = CatDomain::synthetic("gender", 2).into_shared();
     let age = CatDomain::new(
         "age_band",
@@ -118,7 +112,10 @@ fn main() {
     // --- Ask the advisor (no employer data needed, just its cardinality).
     let n_train = n_customers as usize / 2;
     let report = advise(&star, n_train, ModelFamily::TreeOrAnn);
-    println!("Advisor (decision tree, threshold {}x):", report.dimensions[0].threshold);
+    println!(
+        "Advisor (decision tree, threshold {}x):",
+        report.dimensions[0].threshold
+    );
     for d in &report.dimensions {
         println!(
             "  {}: tuple ratio {:.1} → {:?}",

@@ -4,7 +4,7 @@
 //! Avoid when Learning High-Capacity Classifiers?"** (Shah, Kumar, Zhu —
 //! VLDB 2017), the follow-up to the SIGMOD'16 "Hamlet" line of work.
 //!
-//! This facade crate re-exports the four layers of the system:
+//! This facade crate re-exports the core layers of the system:
 //!
 //! - [`relation`] (`hamlet-relation`) — the categorical star-schema
 //!   substrate: domains, columnar tables, KFK joins, FD checking;
@@ -17,6 +17,11 @@
 //!   (JoinAll / NoJoin / NoFK), the tuple-ratio advisor, FK domain
 //!   compression and smoothing, the bias-variance harness and the
 //!   experiment runner.
+//!
+//! The serving layer (`hamlet-serve`: model persistence, the registry and
+//! the batched HTTP inference/advisor server) is intentionally not
+//! re-exported here — depend on it directly, or use the `hamlet-serve`
+//! binary (see the README quickstart).
 //!
 //! ## Quickstart
 //!

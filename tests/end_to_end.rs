@@ -42,10 +42,20 @@ fn yelp_low_tuple_ratio_degrades_nojoin() {
     // ≈ 2.5) carries signal NoJoin cannot fully recover.
     let g = EmulatorSpec::yelp().generate_scaled(4000, 99);
     let budget = quick();
-    let ja = run_experiment(&g, ModelSpec::NaiveBayesBfs, &FeatureConfig::JoinAll, &budget)
-        .unwrap();
-    let nj = run_experiment(&g, ModelSpec::NaiveBayesBfs, &FeatureConfig::NoJoin, &budget)
-        .unwrap();
+    let ja = run_experiment(
+        &g,
+        ModelSpec::NaiveBayesBfs,
+        &FeatureConfig::JoinAll,
+        &budget,
+    )
+    .unwrap();
+    let nj = run_experiment(
+        &g,
+        ModelSpec::NaiveBayesBfs,
+        &FeatureConfig::NoJoin,
+        &budget,
+    )
+    .unwrap();
     assert!(
         ja.test_accuracy - nj.test_accuracy > 0.015,
         "expected a visible NoJoin drop on Yelp: JoinAll {} vs NoJoin {}",
@@ -115,7 +125,11 @@ fn open_domain_dimension_never_discarded() {
             .features()
             .iter()
             .any(|f| f.provenance == Provenance::ForeignKey { dim: 1 });
-        assert!(has_open_foreign, "{}: open dim features missing", config.name());
+        assert!(
+            has_open_foreign,
+            "{}: open dim features missing",
+            config.name()
+        );
         assert!(!has_open_fk, "{}: open-domain FK leaked in", config.name());
     }
 }

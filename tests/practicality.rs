@@ -64,7 +64,9 @@ fn rate_based_compression_preserves_fk_signal_where_entropy_sort_cannot() {
             }
             None => (data.train.clone(), data.val.clone(), data.test.clone()),
         };
-        let tuned = ModelSpec::TreeGini.fit_tuned(&train, &val, &budget).unwrap();
+        let tuned = ModelSpec::TreeGini
+            .fit_tuned(&train, &val, &budget)
+            .unwrap();
         tuned.model.accuracy(&test)
     };
 
@@ -105,7 +107,9 @@ fn xr_smoothing_beats_random_on_onexr() {
             assert!(smoothing.n_unseen > 0, "γ=0.5 must hide some codes");
             let val = smoothing.apply(&data.val).unwrap();
             let test = smoothing.apply(&data.test).unwrap();
-            let tuned = ModelSpec::TreeGini.fit_tuned(&data.train, &val, &budget).unwrap();
+            let tuned = ModelSpec::TreeGini
+                .fit_tuned(&data.train, &val, &budget)
+                .unwrap();
             *acc_sum += tuned.model.accuracy(&test);
         }
     }
@@ -128,13 +132,8 @@ fn smoothing_map_is_total_and_identity_on_seen() {
     let data = build_splits(&g, &FeatureConfig::NoJoin).unwrap();
     let fk = fk_index(&data.train);
     let seen = seen_mask(&data.train, fk);
-    let smoothing = build_smoothing(
-        &data.train,
-        fk,
-        SmoothingMethod::Random { seed: 2 },
-        None,
-    )
-    .unwrap();
+    let smoothing =
+        build_smoothing(&data.train, fk, SmoothingMethod::Random { seed: 2 }, None).unwrap();
     for (code, &is_seen) in seen.iter().enumerate() {
         let target = smoothing.map[code] as usize;
         if is_seen {

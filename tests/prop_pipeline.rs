@@ -8,11 +8,11 @@ use hamlet::prelude::*;
 /// Random small OneXr-shaped parameter sets.
 fn params_strategy() -> impl Strategy<Value = OneXrParams> {
     (
-        50usize..300,  // n_s
-        2u32..60,      // n_r
-        1usize..5,     // d_s
-        1usize..5,     // d_r
-        0u64..1000,    // seed
+        50usize..300, // n_s
+        2u32..60,     // n_r
+        1usize..5,    // d_s
+        1usize..5,    // d_r
+        0u64..1000,   // seed
     )
         .prop_map(|(n_s, n_r, d_s, d_r, seed)| OneXrParams {
             n_s,

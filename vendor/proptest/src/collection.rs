@@ -1,0 +1,87 @@
+//! Collection strategies (subset of `proptest::collection`).
+
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// Length specification for [`vec`]: a fixed size or a half-open range.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+/// Strategy producing `Vec`s of values drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Output of [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn draw(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = if self.size.hi - self.size.lo <= 1 {
+            self.size.lo
+        } else {
+            rng.gen_range(self.size.lo..self.size.hi)
+        };
+        (0..len).map(|_| self.element.draw(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_and_ranged_lengths() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let fixed = vec(0u32..3, 4usize);
+        assert_eq!(fixed.draw(&mut rng).len(), 4);
+        let ranged = vec(0u32..3, 1..6);
+        for _ in 0..100 {
+            let v = ranged.draw(&mut rng);
+            assert!((1..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 3));
+        }
+    }
+
+    #[test]
+    fn nested_vecs() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let nested = vec(vec(0u32..2, 3usize), 2usize);
+        let v = nested.draw(&mut rng);
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|inner| inner.len() == 3));
+    }
+}

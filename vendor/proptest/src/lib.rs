@@ -1,0 +1,127 @@
+//! Offline compat subset of the `proptest` API.
+//!
+//! The build environment has no network access, so this workspace vendors a
+//! small property-testing harness covering the surface the hamlet crates
+//! use: the [`Strategy`] trait with `prop_map`/`prop_flat_map`, range and
+//! tuple strategies, [`collection::vec`], [`Just`], the [`ProptestConfig`]
+//! case count, and the `proptest!`/`prop_assert*` macros.
+//!
+//! Differences from upstream: cases are drawn from a fixed-seed RNG stream
+//! (deterministic per test name length and case index — fully reproducible),
+//! and failing inputs are reported but **not shrunk**.
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{Just, Strategy};
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+/// Runner configuration (subset of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Commonly used items, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests: each `#[test] fn name(binding in strategy, ...)`
+/// becomes a standard test that draws `cases` random inputs and runs the
+/// body on each, panicking with the offending input on failure.
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($cfg:expr) $(
+        $(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            use $crate::Strategy as _;
+            let config: $crate::ProptestConfig = $cfg;
+            // Deterministic seed: the test name keeps sibling tests on
+            // different streams; no time or global state involved.
+            let mut seed: u64 = 0xCAFE_F00D_D15E_A5E5;
+            for b in stringify!($name).bytes() {
+                seed = seed.wrapping_mul(0x100000001B3).wrapping_add(b as u64);
+            }
+            for case in 0..config.cases as u64 {
+                let mut rng =
+                    <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(
+                        seed ^ case.wrapping_mul(0x9E3779B97F4A7C15),
+                    );
+                $(let $arg = ($strat).draw(&mut rng);)*
+                let inputs = ($(::std::clone::Clone::clone(&$arg),)*);
+                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    move || $body,
+                ));
+                if let Err(panic) = result {
+                    let msg = panic
+                        .downcast_ref::<String>()
+                        .map(String::as_str)
+                        .or_else(|| panic.downcast_ref::<&str>().copied())
+                        .unwrap_or("<non-string panic>");
+                    panic!("proptest case {case} failed: {msg}\n  inputs: {inputs:?}");
+                }
+            }
+        }
+    )*};
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}

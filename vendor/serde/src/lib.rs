@@ -1,0 +1,118 @@
+//! Offline compat subset of the `serde` API.
+//!
+//! The build environment has no network access, so this workspace vendors a
+//! small, dependency-free serialization framework exposing the serde surface
+//! the hamlet crates use: the [`Serialize`]/[`Deserialize`] traits and their
+//! derive macros. Instead of upstream serde's visitor architecture, both
+//! traits go through one self-describing in-memory tree, [`Value`] — the
+//! derive macros and the `serde_json` facade all speak [`Value`].
+//!
+//! Representation choices mirror `serde_json` so derived types interoperate
+//! with hand-written JSON:
+//!
+//! - structs → objects keyed by field name;
+//! - unit enum variants → the variant name as a string;
+//! - struct/tuple enum variants → externally tagged single-key objects;
+//! - newtype variants → `{"Variant": value}`;
+//! - `Option` → the value or `null`; missing object keys deserialize into
+//!   `Option::None`.
+//!
+//! Integers keep 64-bit precision end to end ([`Value::Int`]/[`Value::UInt`]
+//! are not collapsed into `f64`), so `u64` seeds and hashes round-trip
+//! bit-exactly; floats print in shortest round-trip form.
+
+mod impls;
+pub mod value;
+
+pub use value::{Number, Value};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// Deserialization error: a human-readable path plus expectation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Builds an error describing what was expected at which field.
+    pub fn expected(what: &str, got: &Value) -> Error {
+        Error(format!("expected {what}, got {}", got.kind()))
+    }
+
+    /// Prefixes an error with a field/variant path segment.
+    #[must_use]
+    pub fn at(self, segment: &str) -> Error {
+        Error(format!("{segment}: {}", self.0))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types convertible into a [`Value`] tree.
+pub trait Serialize {
+    /// Serializes `self` into the value tree.
+    fn serialize(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Deserializes from a value tree.
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+}
+
+/// Object-shaped helper used by derived code: field lookup with
+/// missing-field tracking (missing fields read as [`Value::Null`], which
+/// only `Option` fields accept).
+pub struct ObjView<'a> {
+    entries: &'a [(String, Value)],
+}
+
+impl<'a> ObjView<'a> {
+    /// Wraps an object's entries.
+    pub fn new(entries: &'a [(String, Value)]) -> Self {
+        ObjView { entries }
+    }
+
+    /// Looks up a field; absent fields read as `Null`.
+    pub fn field(&self, name: &str) -> &'a Value {
+        self.entries
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .unwrap_or(&Value::Null)
+    }
+}
+
+impl Value {
+    /// Views this value as an object, or errors naming the expecting type.
+    pub fn as_obj_view(&self, type_name: &str) -> Result<ObjView<'_>, Error> {
+        match self {
+            Value::Obj(entries) => Ok(ObjView::new(entries)),
+            other => Err(Error(format!(
+                "expected object for {type_name}, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Views this value as an externally tagged enum: either a bare string
+    /// (unit variant) or a single-key object `(tag, payload)`.
+    pub fn as_enum_view(&self, type_name: &str) -> Result<(&str, &Value), Error> {
+        match self {
+            Value::Str(s) => Ok((s.as_str(), &Value::Null)),
+            Value::Obj(entries) if entries.len() == 1 => Ok((entries[0].0.as_str(), &entries[0].1)),
+            other => Err(Error(format!(
+                "expected enum variant for {type_name}, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}

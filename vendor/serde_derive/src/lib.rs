@@ -1,0 +1,422 @@
+//! Offline compat `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored `serde`.
+//!
+//! Implemented directly on `proc_macro` token trees (no `syn`/`quote`, which
+//! are unavailable offline). Supports the shapes this workspace uses:
+//!
+//! - structs with named fields;
+//! - tuple structs (newtype and multi-field);
+//! - enums with unit, newtype, tuple and struct variants;
+//!
+//! without generic parameters and without `#[serde(...)]` attributes. The
+//! emitted representation matches `serde_json`'s externally tagged default,
+//! see the `serde` crate docs.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = serialize_body(&item);
+    format!(
+        "impl ::serde::Serialize for {} {{\n\
+         fn serialize(&self) -> ::serde::Value {{ {} }}\n\
+         }}",
+        item.name, body
+    )
+    .parse()
+    .expect("derive(Serialize): generated code must parse")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = deserialize_body(&item);
+    format!(
+        "impl ::serde::Deserialize for {} {{\n\
+         fn deserialize(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {} }}\n\
+         }}",
+        item.name, body
+    )
+    .parse()
+    .expect("derive(Deserialize): generated code must parse")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attrs_and_vis(&tokens, &mut pos);
+    let kind = match &tokens[pos] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, got {other}"),
+    };
+    pos += 1;
+    let name = match &tokens[pos] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected type name, got {other}"),
+    };
+    pos += 1;
+    if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive (vendored): generic types are not supported — `{name}`");
+    }
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("serde derive: unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde derive: unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("serde derive: cannot derive for `{other}` items"),
+    };
+    Item { name, shape }
+}
+
+/// Advances past outer attributes (`#[...]`) and visibility (`pub`,
+/// `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 1; // '#'
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(_))) {
+                    *pos += 1; // [...]
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(
+                    tokens.get(*pos),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *pos += 1; // (crate) / (super) / ...
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `name: Type, ...` field lists, returning the names. Types are
+/// skipped with angle-bracket depth tracking so generic arguments' commas do
+/// not split fields.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[pos] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde derive: expected field name, got {other}"),
+        };
+        pos += 1;
+        match &tokens[pos] {
+            TokenTree::Punct(p) if p.as_char() == ':' => pos += 1,
+            other => panic!("serde derive: expected `:` after `{name}`, got {other}"),
+        }
+        skip_type(&tokens, &mut pos);
+        fields.push(name);
+        // Skip the trailing comma, if any.
+        if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    fields
+}
+
+/// Skips one type, stopping at a top-level `,` (or end of stream).
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+/// Counts tuple fields by splitting on top-level commas.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        skip_type(&tokens, &mut pos);
+        count += 1;
+        if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[pos] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde derive: expected variant name, got {other}"),
+        };
+        pos += 1;
+        let kind = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            pos += 1;
+            while pos < tokens.len()
+                && !matches!(&tokens[pos], TokenTree::Punct(p) if p.as_char() == ',')
+            {
+                pos += 1;
+            }
+        }
+        if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn str_lit(s: &str) -> String {
+    format!("::std::string::String::from(\"{s}\")")
+}
+
+fn serialize_body(item: &Item) -> String {
+    match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("({}, ::serde::Serialize::serialize(&self.{f}))", str_lit(f)))
+                .collect();
+            format!("::serde::Value::Obj(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Arr(::std::vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| serialize_variant_arm(&item.name, v))
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    }
+}
+
+fn serialize_variant_arm(ty: &str, v: &Variant) -> String {
+    let tag = str_lit(&v.name);
+    match &v.kind {
+        VariantKind::Unit => format!("{ty}::{v} => ::serde::Value::Str({tag}),", v = v.name),
+        VariantKind::Tuple(1) => format!(
+            "{ty}::{v}(x0) => ::serde::Value::Obj(::std::vec![({tag}, \
+             ::serde::Serialize::serialize(x0))]),",
+            v = v.name
+        ),
+        VariantKind::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+            let items: Vec<String> = binds
+                .iter()
+                .map(|b| format!("::serde::Serialize::serialize({b})"))
+                .collect();
+            format!(
+                "{ty}::{v}({binds}) => ::serde::Value::Obj(::std::vec![({tag}, \
+                 ::serde::Value::Arr(::std::vec![{items}]))]),",
+                v = v.name,
+                binds = binds.join(", "),
+                items = items.join(", ")
+            )
+        }
+        VariantKind::Named(fields) => {
+            let binds = fields.join(", ");
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("({}, ::serde::Serialize::serialize({f}))", str_lit(f)))
+                .collect();
+            format!(
+                "{ty}::{v} {{ {binds} }} => ::serde::Value::Obj(::std::vec![({tag}, \
+                 ::serde::Value::Obj(::std::vec![{entries}]))]),",
+                v = v.name,
+                entries = entries.join(", ")
+            )
+        }
+    }
+}
+
+fn deserialize_body(item: &Item) -> String {
+    let ty = &item.name;
+    match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize(obj.field(\"{f}\"))\
+                         .map_err(|e| e.at(\"{f}\"))?,"
+                    )
+                })
+                .collect();
+            format!(
+                "let obj = v.as_obj_view(\"{ty}\")?;\n\
+                 ::std::result::Result::Ok({ty} {{ {} }})",
+                inits.join("\n")
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({ty}(::serde::Deserialize::deserialize(v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize(&items[{i}])?"))
+                .collect();
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Arr(items) if items.len() == {n} => \
+                 ::std::result::Result::Ok({ty}({inits})),\n\
+                 other => ::std::result::Result::Err(::serde::Error::expected(\
+                 \"{n}-element array for {ty}\", other)),\n\
+                 }}",
+                inits = inits.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("::std::result::Result::Ok({ty})"),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| deserialize_variant_arm(ty, v))
+                .collect();
+            format!(
+                "let (tag, payload) = v.as_enum_view(\"{ty}\")?;\n\
+                 let _ = &payload;\n\
+                 match tag {{\n{}\n\
+                 other => ::std::result::Result::Err(::serde::Error(::std::format!(\
+                 \"unknown variant `{{other}}` for {ty}\"))),\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+fn deserialize_variant_arm(ty: &str, v: &Variant) -> String {
+    let name = &v.name;
+    match &v.kind {
+        VariantKind::Unit => {
+            format!("\"{name}\" => ::std::result::Result::Ok({ty}::{name}),")
+        }
+        VariantKind::Tuple(1) => format!(
+            "\"{name}\" => ::std::result::Result::Ok({ty}::{name}(\
+             ::serde::Deserialize::deserialize(payload).map_err(|e| e.at(\"{name}\"))?)),"
+        ),
+        VariantKind::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::deserialize(&items[{i}])\
+                         .map_err(|e| e.at(\"{name}\"))?"
+                    )
+                })
+                .collect();
+            format!(
+                "\"{name}\" => match payload {{\n\
+                 ::serde::Value::Arr(items) if items.len() == {n} => \
+                 ::std::result::Result::Ok({ty}::{name}({inits})),\n\
+                 other => ::std::result::Result::Err(::serde::Error::expected(\
+                 \"{n}-element array for {ty}::{name}\", other)),\n\
+                 }},",
+                inits = inits.join(", ")
+            )
+        }
+        VariantKind::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize(obj.field(\"{f}\"))\
+                         .map_err(|e| e.at(\"{name}.{f}\"))?,"
+                    )
+                })
+                .collect();
+            format!(
+                "\"{name}\" => {{\n\
+                 let obj = payload.as_obj_view(\"{ty}::{name}\")?;\n\
+                 ::std::result::Result::Ok({ty}::{name} {{ {} }})\n\
+                 }},",
+                inits.join("\n")
+            )
+        }
+    }
+}

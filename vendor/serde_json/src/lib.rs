@@ -1,0 +1,64 @@
+//! Offline compat subset of the `serde_json` API, backed by the vendored
+//! `serde`'s [`Value`] tree and its JSON reader/writer.
+
+pub use serde::value::Number;
+pub use serde::Error;
+pub use serde::Value;
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes a value to compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.serialize().to_json())
+}
+
+/// Serializes a value to pretty-printed JSON.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.serialize().to_json_pretty())
+}
+
+/// Serializes a value to compact JSON bytes.
+pub fn to_vec<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    Ok(value.serialize().to_json().into_bytes())
+}
+
+/// Deserializes a value from JSON text.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T> {
+    T::deserialize(&Value::from_json(text)?)
+}
+
+/// Deserializes a value from JSON bytes.
+pub fn from_slice<T: serde::Deserialize>(bytes: &[u8]) -> Result<T> {
+    let text = std::str::from_utf8(bytes).map_err(|e| Error(format!("invalid UTF-8: {e}")))?;
+    from_str(text)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value> {
+    Ok(value.serialize())
+}
+
+/// Reconstructs a typed value from a [`Value`] tree.
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T> {
+    T::deserialize(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_level_roundtrip() {
+        let v: Vec<u32> = from_str("[1, 2, 3]").unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+        assert_eq!(to_string(&v).unwrap(), "[1,2,3]");
+        assert!(from_str::<Vec<u32>>("[1, ]").is_err());
+    }
+
+    #[test]
+    fn slice_and_vec_roundtrip() {
+        let bytes = to_vec(&true).unwrap();
+        assert!(from_slice::<bool>(&bytes).unwrap());
+    }
+}
