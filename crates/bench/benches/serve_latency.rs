@@ -1,6 +1,7 @@
 //! Serving-layer microbenchmarks: the enum-dispatch predict hot path vs the
-//! boxed-trait-object path, batch throughput through `predict_batch`, and
-//! artifact save/load costs.
+//! boxed-trait-object path, batch throughput through `predict_batch`,
+//! saturation (large-batch scoped-thread fan-out vs single thread), raw
+//! label encoding, and artifact save/load costs.
 //!
 //! Run with `cargo bench -p hamlet-bench --bench serve_latency`.
 
@@ -55,17 +56,67 @@ fn predict_batch_throughput(c: &mut Criterion) {
     });
 }
 
+/// Saturation case: a predict batch large enough to shard across every
+/// core, single-threaded vs the scoped-thread fan-out `/v1/predict` uses.
+fn predict_batch_saturation(c: &mut Criterion) {
+    let (model, rows, d, _g) = trained_tree();
+    // Tile the holdout rows up to ~20k rows — the "one huge client batch"
+    // shape the parallel path exists for.
+    let base_n = rows.len() / d;
+    let reps = 20_000usize.div_ceil(base_n);
+    let mut big = Vec::with_capacity(rows.len() * reps);
+    for _ in 0..reps {
+        big.extend_from_slice(&rows);
+    }
+    let n = big.len() / d;
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4);
+
+    let mut group = c.benchmark_group(format!("serve_saturation/n{n}"));
+    group.bench_function("single_thread", |b| {
+        b.iter(|| black_box(model.predict_batch(black_box(&big), d)))
+    });
+    group.bench_function(format!("parallel_t{threads}"), |b| {
+        b.iter(|| black_box(model.predict_batch_parallel(black_box(&big), d, threads)))
+    });
+    group.finish();
+}
+
+/// Cost of the server-side dictionary encoding that `rows_raw` adds on top
+/// of a pre-encoded predict.
+fn raw_encode_overhead(c: &mut Criterion) {
+    let (_model, rows, d, g) = trained_tree();
+    let contract = build_dataset(&g.star, &FeatureConfig::NoJoin)
+        .unwrap()
+        .contract();
+    let coded: Vec<Vec<u32>> = rows.chunks_exact(d).map(<[u32]>::to_vec).collect();
+    let raw: Vec<Vec<String>> = coded
+        .iter()
+        .map(|r| contract.decode_row(r).unwrap())
+        .collect();
+    let n = coded.len();
+    let mut group = c.benchmark_group(format!("ingest/n{n}"));
+    group.bench_function("validate_coded", |b| {
+        b.iter(|| black_box(contract.validate_batch(black_box(&coded)).unwrap()))
+    });
+    group.bench_function("encode_raw", |b| {
+        b.iter(|| black_box(contract.encode_batch(black_box(&raw)).unwrap()))
+    });
+    group.finish();
+}
+
 fn artifact_io(c: &mut Criterion) {
     let (model, _rows, _d, g) = trained_tree();
     let config = FeatureConfig::NoJoin;
-    let features = build_dataset(&g.star, &config).unwrap().features().to_vec();
+    let contract = build_dataset(&g.star, &config).unwrap().contract();
     let artifact = ModelArtifact {
         format_version: FORMAT_VERSION,
         name: "bench-tree".into(),
         version: 1,
         model,
         feature_config: config,
-        features,
+        contract,
         schema_fingerprint: g.star.fingerprint(),
         metadata: TrainingMetadata {
             dataset: "onexr".into(),
@@ -96,6 +147,8 @@ criterion_group!(
     benches,
     predict_dispatch,
     predict_batch_throughput,
+    predict_batch_saturation,
+    raw_encode_overhead,
     artifact_io
 );
 criterion_main!(benches);

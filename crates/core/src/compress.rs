@@ -209,11 +209,7 @@ mod tests {
             }
         }
         CatDataset::new(
-            vec![FeatureMeta {
-                name: "fk".into(),
-                cardinality: m,
-                provenance: Provenance::ForeignKey { dim: 0 },
-            }],
+            vec![FeatureMeta::new("fk", m, Provenance::ForeignKey { dim: 0 })],
             rows,
             labels,
         )
@@ -265,11 +261,7 @@ mod tests {
             }
         }
         let ds = CatDataset::new(
-            vec![FeatureMeta {
-                name: "fk".into(),
-                cardinality: 8,
-                provenance: Provenance::ForeignKey { dim: 0 },
-            }],
+            vec![FeatureMeta::new("fk", 8, Provenance::ForeignKey { dim: 0 })],
             rows,
             labels,
         )
@@ -298,11 +290,7 @@ mod tests {
             }
         }
         let ds = CatDataset::new(
-            vec![FeatureMeta {
-                name: "fk".into(),
-                cardinality: 8,
-                provenance: Provenance::ForeignKey { dim: 0 },
-            }],
+            vec![FeatureMeta::new("fk", 8, Provenance::ForeignKey { dim: 0 })],
             rows,
             labels,
         )
@@ -333,11 +321,11 @@ mod tests {
     fn unseen_codes_get_a_group() {
         // Cardinality 10 but only codes 0..3 appear.
         let ds = CatDataset::new(
-            vec![FeatureMeta {
-                name: "fk".into(),
-                cardinality: 10,
-                provenance: Provenance::ForeignKey { dim: 0 },
-            }],
+            vec![FeatureMeta::new(
+                "fk",
+                10,
+                Provenance::ForeignKey { dim: 0 },
+            )],
             vec![0, 1, 2, 0, 1, 2],
             vec![true, false, true, true, false, true],
         )

@@ -10,7 +10,7 @@ use std::time::Instant;
 
 use hamlet_datagen::sim::GeneratedStar;
 use hamlet_ml::any::AnyClassifier;
-use hamlet_ml::dataset::FeatureMeta;
+use hamlet_ml::contract::FeatureContract;
 use hamlet_ml::error::Result;
 use hamlet_ml::model::Classifier;
 
@@ -44,10 +44,11 @@ pub struct TrainedExperiment {
     pub result: RunResult,
     /// The tuned, servable model.
     pub model: AnyClassifier,
-    /// The model's input contract: per-feature name, cardinality and
-    /// provenance of the dataset the config built (what persisted artifacts
-    /// validate prediction rows against).
-    pub features: Vec<FeatureMeta>,
+    /// The model's input contract: per-feature name, cardinality,
+    /// provenance and label↔code dictionary of the dataset the config built
+    /// (what persisted artifacts validate and dictionary-encode prediction
+    /// rows against).
+    pub contract: FeatureContract,
 }
 
 /// Runs one experiment end to end.
@@ -85,7 +86,7 @@ pub fn run_experiment_with_model(
             winner: tuned.description,
         },
         model: tuned.model,
-        features: data.train.features().to_vec(),
+        contract: tuned.contract,
     })
 }
 

@@ -8,6 +8,7 @@
 
 use hamlet_ml::ann::{AnnParams, Mlp};
 use hamlet_ml::any::{AnyClassifier, SubsetModel};
+use hamlet_ml::contract::FeatureContract;
 use hamlet_ml::dataset::CatDataset;
 use hamlet_ml::error::{MlError, Result};
 use hamlet_ml::feature_selection::backward_selection;
@@ -187,7 +188,11 @@ impl Budget {
 ///
 /// The model is a concrete [`AnyClassifier`] (not `Box<dyn Classifier>`), so
 /// it can be persisted, registered and served — see `hamlet-serve` — while
-/// still predicting through the [`Classifier`] trait everywhere else.
+/// still predicting through the [`Classifier`] trait everywhere else. The
+/// [`FeatureContract`] of the training data rides along: it is the model's
+/// input schema (names, provenance, label↔code dictionaries) and what the
+/// serving layer embeds into persisted artifacts so clients can send raw
+/// label strings.
 pub struct TunedModel {
     /// The fitted model.
     pub model: AnyClassifier,
@@ -195,6 +200,28 @@ pub struct TunedModel {
     pub description: String,
     /// Validation accuracy of the winner.
     pub val_accuracy: f64,
+    /// Input contract of the training dataset.
+    pub contract: FeatureContract,
+}
+
+impl TunedModel {
+    /// Wraps a fitted model with the training data's contract, verifying
+    /// that the model can actually consume rows of that shape.
+    fn contracted(
+        model: AnyClassifier,
+        description: String,
+        val_accuracy: f64,
+        train: &CatDataset,
+    ) -> Result<TunedModel> {
+        let contract = train.contract();
+        model.check_contract(&contract)?;
+        Ok(TunedModel {
+            model,
+            description,
+            val_accuracy,
+            contract,
+        })
+    }
 }
 
 impl ModelSpec {
@@ -214,11 +241,12 @@ impl ModelSpec {
                 let sub = budget.subsample(train, budget.max_knn_rows);
                 let model = OneNearestNeighbor::fit(&sub)?;
                 let val_accuracy = model.accuracy(val);
-                Ok(TunedModel {
-                    model: model.into(),
-                    description: "1-NN (no hyper-parameters)".into(),
+                TunedModel::contracted(
+                    model.into(),
+                    "1-NN (no hyper-parameters)".into(),
                     val_accuracy,
-                })
+                    train,
+                )
             }
             Self::SvmLinear => fit_svm(
                 if budget.full_grids {
@@ -271,30 +299,32 @@ impl ModelSpec {
                 })
                 .collect();
                 let out = grid_search(&grid, &sub, val, |p, t| Mlp::fit(t, *p))?;
-                Ok(TunedModel {
-                    model: out.model.into(),
-                    description: format!("ANN l2={} lr={}", out.params.l2, out.params.lr),
-                    val_accuracy: out.val_accuracy,
-                })
+                TunedModel::contracted(
+                    out.model.into(),
+                    format!("ANN l2={} lr={}", out.params.l2, out.params.lr),
+                    out.val_accuracy,
+                    train,
+                )
             }
             Self::NaiveBayesBfs => {
                 let outcome = backward_selection(train, val, NaiveBayes::fit)?;
                 let keep = outcome.selected.clone();
                 let sub_train = train.select_features(&keep)?;
                 let inner = NaiveBayes::fit(&sub_train)?;
-                Ok(TunedModel {
-                    model: SubsetModel {
+                TunedModel::contracted(
+                    SubsetModel {
                         keep,
                         inner: Box::new(inner.into()),
                     }
                     .into(),
-                    description: format!(
+                    format!(
                         "NB-BFS kept {} of {} features",
                         outcome.selected.len(),
                         train.n_features()
                     ),
-                    val_accuracy: outcome.val_accuracy,
-                })
+                    outcome.val_accuracy,
+                    train,
+                )
             }
             Self::LogRegL1 => {
                 let params = LogRegParams {
@@ -307,11 +337,12 @@ impl ModelSpec {
                 };
                 let model = LogRegL1::fit_path(train, val, params)?;
                 let val_accuracy = model.accuracy(val);
-                Ok(TunedModel {
-                    model: model.into(),
-                    description: "LogReg-L1 (validation-selected lambda)".into(),
+                TunedModel::contracted(
+                    model.into(),
+                    "LogReg-L1 (validation-selected lambda)".into(),
                     val_accuracy,
-                })
+                    train,
+                )
             }
         }
     }
@@ -357,14 +388,15 @@ fn fit_tree(
         ]
     };
     let out = grid_search(&grid, train, val, |p, t| DecisionTree::fit(t, *p))?;
-    Ok(TunedModel {
-        model: out.model.into(),
-        description: format!(
+    TunedModel::contracted(
+        out.model.into(),
+        format!(
             "{criterion:?} minsplit={} cp={}",
             out.params.minsplit, out.params.cp
         ),
-        val_accuracy: out.val_accuracy,
-    })
+        out.val_accuracy,
+        train,
+    )
 }
 
 fn fit_svm(
@@ -381,11 +413,12 @@ fn fit_svm(
     let out = grid_search(&grid, &sub, val, |p, t| {
         SvmModel::fit_precomputed(t, &mm, *p)
     })?;
-    Ok(TunedModel {
-        model: out.model.into(),
-        description: format!("{:?} C={}", out.params.kernel, out.params.c),
-        val_accuracy: out.val_accuracy,
-    })
+    TunedModel::contracted(
+        out.model.into(),
+        format!("{:?} C={}", out.params.kernel, out.params.c),
+        out.val_accuracy,
+        train,
+    )
 }
 
 #[cfg(test)]

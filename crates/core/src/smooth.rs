@@ -164,11 +164,7 @@ mod tests {
 
     fn train_with_seen(seen: &[u32], m: u32) -> CatDataset {
         CatDataset::new(
-            vec![FeatureMeta {
-                name: "fk".into(),
-                cardinality: m,
-                provenance: Provenance::ForeignKey { dim: 0 },
-            }],
+            vec![FeatureMeta::new("fk", m, Provenance::ForeignKey { dim: 0 })],
             seen.to_vec(),
             vec![true; seen.len()],
         )

@@ -8,13 +8,20 @@
 //! — no vtable indirection and no allocation on the base-model hot path.
 
 use crate::ann::Mlp;
+use crate::contract::FeatureContract;
 use crate::dataset::CatDataset;
+use crate::error::{MlError, Result};
 use crate::knn::OneNearestNeighbor;
 use crate::logreg::LogRegL1;
 use crate::model::{Classifier, MajorityClass};
 use crate::naive_bayes::NaiveBayes;
 use crate::svm::SvmModel;
 use crate::tree::DecisionTree;
+
+/// Minimum rows per shard before [`AnyClassifier::predict_batch_parallel`]
+/// spawns an extra thread. Below this, per-row prediction is so cheap that
+/// thread spawn/join overhead exceeds the parallel win.
+pub const MIN_ROWS_PER_SHARD: usize = 256;
 
 /// A model wrapped with the feature subset it was trained on, so it can
 /// consume full-width rows (the NB-BFS path after backward selection).
@@ -76,6 +83,58 @@ impl AnyClassifier {
             out.push(self.predict_row_scratch(row, &mut scratch));
         }
         out
+    }
+
+    /// Batched prediction fanned out over up to `max_threads` scoped
+    /// threads. Shards are contiguous row ranges and results are
+    /// concatenated in shard order, so the output is bit-identical to
+    /// [`AnyClassifier::predict_batch`] — parallelism is purely a
+    /// wall-clock optimization. Batches smaller than
+    /// [`MIN_ROWS_PER_SHARD`] rows per extra thread stay sequential (the
+    /// spawn overhead would dominate).
+    pub fn predict_batch_parallel(&self, rows: &[u32], d: usize, max_threads: usize) -> Vec<bool> {
+        assert!(
+            d > 0 && rows.len().is_multiple_of(d),
+            "rows must be n × d codes"
+        );
+        let n = rows.len() / d;
+        let shards = (n / MIN_ROWS_PER_SHARD).clamp(1, max_threads.max(1));
+        if shards == 1 {
+            return self.predict_batch(rows, d);
+        }
+        let rows_per_shard = n.div_ceil(shards);
+        let mut out = Vec::with_capacity(n);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = rows
+                .chunks(rows_per_shard * d)
+                .map(|chunk| scope.spawn(move || self.predict_batch(chunk, d)))
+                .collect();
+            for h in handles {
+                out.extend(h.join().expect("predict shard panicked"));
+            }
+        });
+        out
+    }
+
+    /// Checks this model can consume rows shaped by `contract`: subset
+    /// projections must index inside the contract's width, recursively
+    /// (each projection narrows the width its inner model sees). Base
+    /// models take whatever width they were trained on; the contract *is*
+    /// that width by construction, so only projection indices can go stale.
+    pub fn check_contract(&self, contract: &FeatureContract) -> Result<()> {
+        self.check_width(contract.width())
+    }
+
+    fn check_width(&self, width: usize) -> Result<()> {
+        if let AnyClassifier::Subset(s) = self {
+            if let Some(&bad) = s.keep.iter().find(|&&j| j >= width) {
+                return Err(MlError::Invalid(format!(
+                    "subset model projects feature {bad} but its input has only {width} features"
+                )));
+            }
+            return s.inner.check_width(s.keep.len());
+        }
+        Ok(())
     }
 
     /// `predict_row` with an external scratch buffer for subset projection.
@@ -149,11 +208,7 @@ mod tests {
 
     fn ds() -> CatDataset {
         let meta: Vec<FeatureMeta> = (0..2)
-            .map(|j| FeatureMeta {
-                name: format!("f{j}"),
-                cardinality: 3,
-                provenance: Provenance::Home,
-            })
+            .map(|j| FeatureMeta::new(format!("f{j}"), 3, Provenance::Home))
             .collect();
         CatDataset::new(
             meta,
@@ -197,6 +252,57 @@ mod tests {
             );
         }
         assert_eq!(any.family(), "naive-bayes");
+    }
+
+    #[test]
+    fn predict_batch_parallel_bitmatches_sequential() {
+        use rand::{Rng, SeedableRng};
+        let data = ds();
+        let tree = DecisionTree::fit(
+            &data,
+            TreeParams::new(SplitCriterion::Gini)
+                .with_minsplit(2)
+                .with_cp(0.0),
+        )
+        .unwrap();
+        let any: AnyClassifier = tree.into();
+        // Large enough to shard several times over.
+        let d = data.n_features();
+        let n = MIN_ROWS_PER_SHARD * 5 + 17;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let rows: Vec<u32> = (0..n * d).map(|_| rng.gen_range(0..3)).collect();
+        let sequential = any.predict_batch(&rows, d);
+        for threads in [1, 2, 3, 8, 64] {
+            assert_eq!(
+                any.predict_batch_parallel(&rows, d, threads),
+                sequential,
+                "threads={threads}"
+            );
+        }
+        // Tiny batches stay on the sequential path (and still agree).
+        assert_eq!(
+            any.predict_batch_parallel(&rows[..d * 3], d, 8),
+            sequential[..3]
+        );
+    }
+
+    #[test]
+    fn check_contract_catches_stale_subset_projections() {
+        let data = ds();
+        let nb = NaiveBayes::fit(&data.select_features(&[1]).unwrap()).unwrap();
+        let any = AnyClassifier::Subset(SubsetModel {
+            keep: vec![1],
+            inner: Box::new(nb.into()),
+        });
+        let wide = data.contract();
+        any.check_contract(&wide).unwrap();
+        let narrow = crate::contract::FeatureContract::new(vec![FeatureMeta::new(
+            "only",
+            3,
+            Provenance::Home,
+        )])
+        .unwrap();
+        assert!(any.check_contract(&narrow).is_err());
     }
 
     #[test]

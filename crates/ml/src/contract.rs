@@ -1,0 +1,493 @@
+//! [`FeatureContract`]: the serializable input contract of a trained model.
+//!
+//! The paper (§2.2) assumes every feature — foreign keys included — has a
+//! known finite domain, optionally with an `Others` slot absorbing unseen
+//! values. A contract captures that assumption as data: per feature, the
+//! name, star-schema provenance, cardinality and (when known) the full
+//! label↔code bijection from `hamlet_relation::CatDomain`. It travels with
+//! the model from the generated star schema (`CatDataset::contract`) through
+//! tuning (`hamlet-core`) into persisted artifacts (`hamlet-serve`), so a
+//! serving endpoint can accept *raw label strings* and dictionary-encode
+//! them server-side — the NoJoin FK-as-feature rewrite at ingest — instead
+//! of pushing the encoding burden onto every client.
+
+use std::fmt;
+
+use hamlet_relation::fingerprint::Fingerprint;
+
+use crate::dataset::{FeatureMeta, Provenance};
+use crate::error::{MlError, Result};
+
+/// Upper bound on per-row violations collected by batch validation and
+/// encoding; past this the error reports only the total. Bounds both the
+/// work done on hostile batches and the size of error responses.
+pub const MAX_COLLECTED_ISSUES: usize = 8;
+
+/// One per-row violation found while validating or encoding a batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowIssue {
+    /// Index of the offending row in the request batch.
+    pub row: usize,
+    /// Name of the offending feature, when the violation is feature-local
+    /// (out-of-domain code, unknown label). `None` for row-level problems
+    /// (wrong width).
+    pub feature: Option<String>,
+    /// Human-readable description of the violation.
+    pub detail: String,
+}
+
+impl fmt::Display for RowIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.feature {
+            Some(name) => write!(f, "row {} feature `{}`: {}", self.row, name, self.detail),
+            None => write!(f, "row {}: {}", self.row, self.detail),
+        }
+    }
+}
+
+/// Why a batch could not be validated or encoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchError {
+    /// The contract carries no dictionary for `feature`, so raw labels
+    /// cannot be encoded at all (pre-contract / format-v1 artifacts).
+    MissingDomain {
+        /// First feature lacking a dictionary.
+        feature: String,
+    },
+    /// Per-row violations, capped at [`MAX_COLLECTED_ISSUES`].
+    Rows {
+        /// The first violations found, in row order.
+        issues: Vec<RowIssue>,
+        /// Total number of offending rows (may exceed `issues.len()`).
+        total: usize,
+    },
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatchError::MissingDomain { feature } => write!(
+                f,
+                "feature `{feature}` has no dictionary in this model's contract; \
+                 send pre-encoded `rows` or retrain to a format-v2 artifact"
+            ),
+            BatchError::Rows { issues, total } => {
+                let listed: Vec<String> = issues.iter().map(ToString::to_string).collect();
+                write!(f, "{}", listed.join("; "))?;
+                if *total > issues.len() {
+                    write!(f, " (+{} more offending row(s))", total - issues.len())?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+/// A model's input contract: ordered per-feature metadata, optionally with
+/// full label↔code dictionaries. Serializes as a bare array of
+/// [`FeatureMeta`] so format-v1 artifact payloads (the same array, minus
+/// `domain` entries) deserialize through the identical path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeatureContract {
+    features: Vec<FeatureMeta>,
+}
+
+impl FeatureContract {
+    /// Builds a contract, validating that every supplied dictionary agrees
+    /// with its feature's declared cardinality.
+    pub fn new(features: Vec<FeatureMeta>) -> Result<Self> {
+        if features.is_empty() {
+            return Err(MlError::Shape {
+                detail: "a feature contract needs at least one feature".into(),
+            });
+        }
+        for f in &features {
+            if let Some(domain) = &f.domain {
+                if domain.cardinality() != f.cardinality {
+                    return Err(MlError::Invalid(format!(
+                        "feature `{}` declares cardinality {} but its domain `{}` has {}",
+                        f.name,
+                        f.cardinality,
+                        domain.name(),
+                        domain.cardinality()
+                    )));
+                }
+            }
+        }
+        Ok(Self { features })
+    }
+
+    /// Per-feature metadata, in row order.
+    pub fn features(&self) -> &[FeatureMeta] {
+        &self.features
+    }
+
+    /// Metadata of one feature.
+    pub fn feature(&self, j: usize) -> &FeatureMeta {
+        &self.features[j]
+    }
+
+    /// Number of features per row.
+    pub fn width(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Whether every feature carries its dictionary (required for
+    /// raw-label encoding).
+    pub fn has_domains(&self) -> bool {
+        self.features.iter().all(|f| f.domain.is_some())
+    }
+
+    /// Whether feature `j`'s domain is *open* — it has an `Others` slot that
+    /// absorbs labels never seen at training time.
+    pub fn is_open(&self, j: usize) -> bool {
+        self.features[j]
+            .domain
+            .as_ref()
+            .is_some_and(|d| d.others_code().is_some())
+    }
+
+    /// Order-sensitive fingerprint of the feature space: names,
+    /// cardinalities, provenance and dictionary labels. Two models with
+    /// equal fingerprints consume bit-identical input batches.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new();
+        fp.write_u64(self.features.len() as u64);
+        for f in &self.features {
+            fp.write_str(&f.name);
+            fp.write_u64(u64::from(f.cardinality));
+            let (tag, dim) = match f.provenance {
+                Provenance::Home => (0u64, 0usize),
+                Provenance::ForeignKey { dim } => (1, dim),
+                Provenance::Foreign { dim } => (2, dim),
+            };
+            fp.write_u64(tag).write_u64(dim as u64);
+            match &f.domain {
+                None => {
+                    fp.write_u64(0);
+                }
+                Some(domain) => {
+                    fp.write_u64(1).write_u64(u64::from(domain.cardinality()));
+                    for label in domain.labels() {
+                        fp.write_str(label);
+                    }
+                }
+            }
+        }
+        fp.finish()
+    }
+
+    /// Validates a batch of pre-encoded rows (width and per-feature code
+    /// range), returning the flattened row-major buffer the batched predict
+    /// hot path consumes. All offending rows are found (not just the
+    /// first); the first [`MAX_COLLECTED_ISSUES`] are reported in detail.
+    pub fn validate_batch(&self, rows: &[Vec<u32>]) -> std::result::Result<Vec<u32>, BatchError> {
+        let d = self.width();
+        let mut flat = Vec::with_capacity(rows.len() * d);
+        let mut issues = Vec::new();
+        let mut total = 0usize;
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != d {
+                total += 1;
+                if issues.len() < MAX_COLLECTED_ISSUES {
+                    issues.push(RowIssue {
+                        row: i,
+                        feature: None,
+                        detail: format!("has {} codes; expected {d} features per row", row.len()),
+                    });
+                }
+                continue;
+            }
+            let mut row_bad = false;
+            for (meta, &code) in self.features.iter().zip(row) {
+                if code >= meta.cardinality {
+                    row_bad = true;
+                    if issues.len() < MAX_COLLECTED_ISSUES {
+                        issues.push(RowIssue {
+                            row: i,
+                            feature: Some(meta.name.clone()),
+                            detail: format!(
+                                "code {code} out of domain (cardinality {})",
+                                meta.cardinality
+                            ),
+                        });
+                    }
+                }
+            }
+            if row_bad {
+                total += 1;
+            } else {
+                flat.extend_from_slice(row);
+            }
+        }
+        if total > 0 {
+            return Err(BatchError::Rows { issues, total });
+        }
+        Ok(flat)
+    }
+
+    /// Dictionary-encodes a batch of raw label rows into the flattened
+    /// row-major code buffer. Labels unseen at training time fall back to
+    /// the `Others` slot on open domains (the paper's §2.2 convention) and
+    /// are per-row errors on closed domains.
+    pub fn encode_batch(&self, rows: &[Vec<String>]) -> std::result::Result<Vec<u32>, BatchError> {
+        if let Some(missing) = self.features.iter().find(|f| f.domain.is_none()) {
+            return Err(BatchError::MissingDomain {
+                feature: missing.name.clone(),
+            });
+        }
+        let d = self.width();
+        let mut flat = Vec::with_capacity(rows.len() * d);
+        let mut issues = Vec::new();
+        let mut total = 0usize;
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != d {
+                total += 1;
+                if issues.len() < MAX_COLLECTED_ISSUES {
+                    issues.push(RowIssue {
+                        row: i,
+                        feature: None,
+                        detail: format!("has {} labels; expected {d} features per row", row.len()),
+                    });
+                }
+                continue;
+            }
+            let mark = flat.len();
+            let mut row_bad = false;
+            for (meta, label) in self.features.iter().zip(row) {
+                let domain = meta.domain.as_ref().expect("checked above");
+                match domain.encode(label) {
+                    Some(code) => flat.push(code),
+                    None => {
+                        row_bad = true;
+                        if issues.len() < MAX_COLLECTED_ISSUES {
+                            issues.push(RowIssue {
+                                row: i,
+                                feature: Some(meta.name.clone()),
+                                detail: format!(
+                                    "label `{label}` not in closed domain `{}` \
+                                     (no `Others` slot)",
+                                    domain.name()
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+            if row_bad {
+                total += 1;
+                flat.truncate(mark);
+            }
+        }
+        if total > 0 {
+            return Err(BatchError::Rows { issues, total });
+        }
+        Ok(flat)
+    }
+
+    /// Decodes one row of codes back into labels. Errors when the contract
+    /// lacks a dictionary or a code is out of range.
+    pub fn decode_row(&self, codes: &[u32]) -> Result<Vec<String>> {
+        if codes.len() != self.width() {
+            return Err(MlError::Shape {
+                detail: format!(
+                    "row has {} codes; contract has {} features",
+                    codes.len(),
+                    self.width()
+                ),
+            });
+        }
+        let mut labels = Vec::with_capacity(codes.len());
+        for (j, (meta, &code)) in self.features.iter().zip(codes).enumerate() {
+            let domain = meta.domain.as_ref().ok_or_else(|| {
+                MlError::Invalid(format!("feature `{}` has no dictionary", meta.name))
+            })?;
+            if !domain.contains(code) {
+                return Err(MlError::BadCode {
+                    feature: j,
+                    code,
+                    cardinality: meta.cardinality,
+                });
+            }
+            labels.push(domain.label(code).to_string());
+        }
+        Ok(labels)
+    }
+}
+
+impl serde::Serialize for FeatureContract {
+    fn serialize(&self) -> serde::Value {
+        serde::Serialize::serialize(&self.features)
+    }
+}
+
+impl serde::Deserialize for FeatureContract {
+    fn deserialize(v: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        let features = Vec::<FeatureMeta>::deserialize(v)?;
+        FeatureContract::new(features).map_err(|e| serde::Error(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hamlet_relation::domain::CatDomain;
+
+    fn contract_open_closed() -> FeatureContract {
+        // Feature 0: closed domain {v0, v1}; feature 1: open domain
+        // {v0, v1, v2, Others}.
+        FeatureContract::new(vec![
+            FeatureMeta::with_domain(
+                "xs",
+                Provenance::Home,
+                CatDomain::synthetic("xs", 2).into_shared(),
+            ),
+            FeatureMeta::with_domain(
+                "fk",
+                Provenance::ForeignKey { dim: 0 },
+                CatDomain::synthetic_with_others("fk", 3).into_shared(),
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn new_rejects_domain_cardinality_mismatch() {
+        let mut meta = FeatureMeta::with_domain(
+            "f",
+            Provenance::Home,
+            CatDomain::synthetic("f", 3).into_shared(),
+        );
+        meta.cardinality = 5;
+        assert!(FeatureContract::new(vec![meta]).is_err());
+        assert!(FeatureContract::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn encode_open_absorbs_closed_rejects() {
+        let c = contract_open_closed();
+        assert!(!c.is_open(0));
+        assert!(c.is_open(1));
+        // Known labels encode exactly; unseen FK label hits Others (code 3).
+        let flat = c
+            .encode_batch(&[
+                vec!["v1".into(), "v2".into()],
+                vec!["v0".into(), "brand-new-entity".into()],
+            ])
+            .unwrap();
+        assert_eq!(flat, vec![1, 2, 0, 3]);
+        // Unseen label on the closed feature is a per-row error naming both
+        // the row and the feature.
+        let err = c
+            .encode_batch(&[
+                vec!["v0".into(), "v0".into()],
+                vec!["nope".into(), "v0".into()],
+            ])
+            .unwrap_err();
+        match &err {
+            BatchError::Rows { issues, total } => {
+                assert_eq!(*total, 1);
+                assert_eq!(issues[0].row, 1);
+                assert_eq!(issues[0].feature.as_deref(), Some("xs"));
+            }
+            other => panic!("expected Rows, got {other:?}"),
+        }
+        assert!(err.to_string().contains("row 1"));
+        assert!(err.to_string().contains("`xs`"));
+    }
+
+    #[test]
+    fn encode_without_domains_is_a_contract_error() {
+        let c = FeatureContract::new(vec![FeatureMeta::new("f", 4, Provenance::Home)]).unwrap();
+        assert!(!c.has_domains());
+        match c.encode_batch(&[vec!["v0".into()]]) {
+            Err(BatchError::MissingDomain { feature }) => assert_eq!(feature, "f"),
+            other => panic!("expected MissingDomain, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validate_batch_reports_every_offending_row() {
+        let c = contract_open_closed();
+        let err = c
+            .validate_batch(&[
+                vec![0, 1],
+                vec![0],    // wrong width
+                vec![0, 9], // bad code
+                vec![5, 0], // bad code
+            ])
+            .unwrap_err();
+        match err {
+            BatchError::Rows { issues, total } => {
+                assert_eq!(total, 3);
+                assert_eq!(issues.len(), 3);
+                assert_eq!(issues[0].row, 1);
+                assert!(issues[0].feature.is_none());
+                assert_eq!(issues[1].row, 2);
+                assert_eq!(issues[1].feature.as_deref(), Some("fk"));
+                assert_eq!(issues[2].row, 3);
+                assert_eq!(issues[2].feature.as_deref(), Some("xs"));
+            }
+            other => panic!("expected Rows, got {other:?}"),
+        }
+        // A clean batch flattens row-major.
+        assert_eq!(
+            c.validate_batch(&[vec![0, 3], vec![1, 0]]).unwrap(),
+            vec![0, 3, 1, 0]
+        );
+    }
+
+    #[test]
+    fn issue_collection_is_capped_but_total_is_exact() {
+        let c = contract_open_closed();
+        let rows: Vec<Vec<u32>> = (0..20).map(|_| vec![9, 9]).collect();
+        match c.validate_batch(&rows).unwrap_err() {
+            BatchError::Rows { issues, total } => {
+                assert_eq!(total, 20);
+                assert_eq!(issues.len(), MAX_COLLECTED_ISSUES);
+            }
+            other => panic!("expected Rows, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_then_encode_roundtrips() {
+        let c = contract_open_closed();
+        for codes in [[0u32, 0], [1, 3], [0, 2]] {
+            let labels = c.decode_row(&codes).unwrap();
+            let back = c.encode_batch(&[labels]).unwrap();
+            assert_eq!(back, codes);
+        }
+        assert!(c.decode_row(&[0]).is_err());
+        assert!(c.decode_row(&[0, 9]).is_err());
+    }
+
+    #[test]
+    fn serde_roundtrips_as_bare_feature_array() {
+        use serde::{Deserialize, Serialize};
+        let c = contract_open_closed();
+        let v = c.serialize();
+        assert!(matches!(v, serde::Value::Arr(_)), "serializes as array");
+        let back = FeatureContract::deserialize(&v).unwrap();
+        assert_eq!(back, c);
+        assert_eq!(back.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_tracks_domains() {
+        let a = contract_open_closed();
+        let mut features = a.features().to_vec();
+        features[1] = FeatureMeta::with_domain(
+            "fk",
+            Provenance::ForeignKey { dim: 0 },
+            CatDomain::new("fk", vec!["x".into(), "y".into(), "z".into(), "w".into()])
+                .unwrap()
+                .into_shared(),
+        );
+        let b = FeatureContract::new(features).unwrap();
+        // Same names/cardinalities/provenance, different labels.
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+}

@@ -6,11 +6,15 @@
 //! home feature, a foreign key, or a foreign feature. Provenance is what the
 //! paper's feature configurations (JoinAll / NoJoin / NoFK) select on.
 
+use std::sync::Arc;
+
+use hamlet_relation::domain::CatDomain;
 use hamlet_relation::schema::ColumnRole;
 use hamlet_relation::table::Table;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
+use crate::contract::FeatureContract;
 use crate::error::{MlError, Result};
 
 /// Where a feature came from in the star schema.
@@ -39,6 +43,38 @@ pub struct FeatureMeta {
     pub cardinality: u32,
     /// Star-schema provenance.
     pub provenance: Provenance,
+    /// The label↔code bijection behind the codes, when known. Datasets built
+    /// from relational tables carry the column's dictionary (a cheap `Arc`
+    /// clone); synthetic datasets and pre-contract (format-v1) artifacts
+    /// have `None` and can only consume pre-encoded codes.
+    pub domain: Option<Arc<CatDomain>>,
+}
+
+impl FeatureMeta {
+    /// Metadata without a dictionary (codes-only feature).
+    pub fn new(name: impl Into<String>, cardinality: u32, provenance: Provenance) -> Self {
+        Self {
+            name: name.into(),
+            cardinality,
+            provenance,
+            domain: None,
+        }
+    }
+
+    /// Metadata carrying the feature's dictionary; cardinality is taken from
+    /// the domain so the two can never disagree.
+    pub fn with_domain(
+        name: impl Into<String>,
+        provenance: Provenance,
+        domain: Arc<CatDomain>,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            cardinality: domain.cardinality(),
+            provenance,
+            domain: Some(domain),
+        }
+    }
 }
 
 /// A dense categorical dataset with binary labels.
@@ -68,6 +104,22 @@ impl CatDataset {
                     d
                 ),
             });
+        }
+        // Both fields are pub, so the with_domain invariant (cardinality
+        // mirrors the dictionary) must be re-checked here — it is what
+        // `contract()` relies on to be panic-free.
+        for meta in &features {
+            if let Some(domain) = &meta.domain {
+                if domain.cardinality() != meta.cardinality {
+                    return Err(MlError::Invalid(format!(
+                        "feature `{}` declares cardinality {} but its domain `{}` has {}",
+                        meta.name,
+                        meta.cardinality,
+                        domain.name(),
+                        domain.cardinality()
+                    )));
+                }
+            }
         }
         for (i, chunk) in rows.chunks_exact(d).enumerate() {
             for (j, (&code, meta)) in chunk.iter().zip(&features).enumerate() {
@@ -107,11 +159,11 @@ impl CatDataset {
                 ColumnRole::ForeignFeature { dim } => Provenance::Foreign { dim },
                 _ => unreachable!("feature_indices() only returns feature roles"),
             };
-            features.push(FeatureMeta {
-                name: def.name.clone(),
-                cardinality: table.column_at(i).cardinality(),
+            features.push(FeatureMeta::with_domain(
+                def.name.clone(),
                 provenance,
-            });
+                Arc::clone(table.column_at(i).domain()),
+            ));
         }
         let d = idx.len();
         let n = table.n_rows();
@@ -161,6 +213,14 @@ impl CatDataset {
     /// Metadata of one feature.
     pub fn feature(&self, j: usize) -> &FeatureMeta {
         &self.features[j]
+    }
+
+    /// The dataset's input contract: per-feature name, provenance,
+    /// cardinality and (when built from a relational table) the label↔code
+    /// dictionary. This is what trained models persist and serve against.
+    pub fn contract(&self) -> FeatureContract {
+        FeatureContract::new(self.features.clone())
+            .expect("dataset invariants guarantee a valid contract")
     }
 
     /// Per-feature cardinalities.
@@ -267,6 +327,10 @@ impl CatDataset {
         }
         let mut out = self.clone();
         out.features[j].cardinality = cardinality;
+        // The rewritten codes no longer index the original dictionary
+        // (compression/smoothing collapse labels), so the domain is dropped
+        // rather than left dangling.
+        out.features[j].domain = None;
         let d = self.features.len();
         for (i, code) in codes.into_iter().enumerate() {
             out.rows[i * d + j] = code;
@@ -317,11 +381,7 @@ mod tests {
         use rand::Rng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let features = (0..d)
-            .map(|j| FeatureMeta {
-                name: format!("f{j}"),
-                cardinality: k,
-                provenance: Provenance::Home,
-            })
+            .map(|j| FeatureMeta::new(format!("f{j}"), k, Provenance::Home))
             .collect();
         let rows: Vec<u32> = (0..n * d).map(|_| rng.gen_range(0..k)).collect();
         let labels: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
@@ -330,14 +390,24 @@ mod tests {
 
     #[test]
     fn construction_validates() {
-        let features = vec![FeatureMeta {
-            name: "f".into(),
-            cardinality: 2,
-            provenance: Provenance::Home,
-        }];
+        let features = vec![FeatureMeta::new("f", 2, Provenance::Home)];
         assert!(CatDataset::new(features.clone(), vec![0, 1], vec![true, false]).is_ok());
         assert!(CatDataset::new(features.clone(), vec![0, 2], vec![true, false]).is_err());
         assert!(CatDataset::new(features, vec![0], vec![true, false]).is_err());
+    }
+
+    #[test]
+    fn construction_rejects_domain_cardinality_mismatch() {
+        let mut meta = FeatureMeta::with_domain(
+            "f",
+            Provenance::Home,
+            CatDomain::synthetic("f", 2).into_shared(),
+        );
+        meta.cardinality = 3; // breaks the with_domain invariant
+        assert!(matches!(
+            CatDataset::new(vec![meta], vec![0, 1], vec![true, false]),
+            Err(MlError::Invalid(_))
+        ));
     }
 
     #[test]
@@ -355,16 +425,8 @@ mod tests {
     #[test]
     fn onehot_layout() {
         let features = vec![
-            FeatureMeta {
-                name: "a".into(),
-                cardinality: 3,
-                provenance: Provenance::Home,
-            },
-            FeatureMeta {
-                name: "b".into(),
-                cardinality: 5,
-                provenance: Provenance::ForeignKey { dim: 0 },
-            },
+            FeatureMeta::new("a", 3, Provenance::Home),
+            FeatureMeta::new("b", 5, Provenance::ForeignKey { dim: 0 }),
         ];
         let ds = CatDataset::new(features, vec![0, 4, 2, 0], vec![true, false]).unwrap();
         assert_eq!(ds.onehot_offsets(), vec![0, 3, 8]);

@@ -154,11 +154,7 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(17);
         let meta: Vec<FeatureMeta> = (0..3)
-            .map(|j| FeatureMeta {
-                name: format!("f{j}"),
-                cardinality: 4,
-                provenance: Provenance::Home,
-            })
+            .map(|j| FeatureMeta::new(format!("f{j}"), 4, Provenance::Home))
             .collect();
         let make = |rng: &mut rand::rngs::StdRng| {
             let mut rows = Vec::new();

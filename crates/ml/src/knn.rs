@@ -75,11 +75,7 @@ mod tests {
 
     fn meta(d: usize, k: u32) -> Vec<FeatureMeta> {
         (0..d)
-            .map(|j| FeatureMeta {
-                name: format!("f{j}"),
-                cardinality: k,
-                provenance: Provenance::Home,
-            })
+            .map(|j| FeatureMeta::new(format!("f{j}"), k, Provenance::Home))
             .collect()
     }
 

@@ -24,6 +24,7 @@
 
 pub mod ann;
 pub mod any;
+pub mod contract;
 pub mod dataset;
 pub mod error;
 pub mod feature_selection;
@@ -40,6 +41,7 @@ pub mod tuning;
 pub mod prelude {
     pub use crate::ann::{AnnParams, Mlp};
     pub use crate::any::{AnyClassifier, SubsetModel};
+    pub use crate::contract::{BatchError, FeatureContract, RowIssue};
     pub use crate::dataset::{
         split_50_25_25, split_fractions, CatDataset, FeatureMeta, Provenance, TrainValTest,
     };

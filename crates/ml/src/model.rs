@@ -57,11 +57,7 @@ mod tests {
     fn ds(labels: Vec<bool>) -> CatDataset {
         let n = labels.len();
         CatDataset::new(
-            vec![FeatureMeta {
-                name: "f".into(),
-                cardinality: 1,
-                provenance: Provenance::Home,
-            }],
+            vec![FeatureMeta::new("f", 1, Provenance::Home)],
             vec![0; n],
             labels,
         )

@@ -120,11 +120,7 @@ mod tests {
 
     fn ds() -> CatDataset {
         let features = (0..3)
-            .map(|j| FeatureMeta {
-                name: format!("f{j}"),
-                cardinality: 4,
-                provenance: Provenance::Home,
-            })
+            .map(|j| FeatureMeta::new(format!("f{j}"), 4, Provenance::Home))
             .collect();
         CatDataset::new(
             features,

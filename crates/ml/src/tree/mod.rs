@@ -364,11 +364,7 @@ mod tests {
     fn meta(names: &[(&str, u32)]) -> Vec<FeatureMeta> {
         names
             .iter()
-            .map(|&(n, k)| FeatureMeta {
-                name: n.into(),
-                cardinality: k,
-                provenance: Provenance::Home,
-            })
+            .map(|&(n, k)| FeatureMeta::new(n, k, Provenance::Home))
             .collect()
     }
 

@@ -287,11 +287,7 @@ mod tests {
 
     fn ds(codes: Vec<u32>, k: u32, labels: Vec<bool>) -> CatDataset {
         CatDataset::new(
-            vec![FeatureMeta {
-                name: "f".into(),
-                cardinality: k,
-                provenance: Provenance::Home,
-            }],
+            vec![FeatureMeta::new("f", k, Provenance::Home)],
             codes,
             labels,
         )

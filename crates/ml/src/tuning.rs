@@ -98,11 +98,7 @@ mod tests {
     /// Asymmetric XOR (zero-gain balanced XOR would stall a greedy CART).
     fn xor() -> CatDataset {
         let meta: Vec<FeatureMeta> = (0..2)
-            .map(|j| FeatureMeta {
-                name: format!("f{j}"),
-                cardinality: 2,
-                provenance: Provenance::Home,
-            })
+            .map(|j| FeatureMeta::new(format!("f{j}"), 2, Provenance::Home))
             .collect();
         let cells: [(u32, u32, usize); 4] = [(0, 0, 6), (0, 1, 4), (1, 0, 5), (1, 1, 5)];
         let mut rows = Vec::new();

@@ -12,11 +12,7 @@ fn consistent_dataset() -> impl Strategy<Value = CatDataset> {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let features: Vec<FeatureMeta> = (0..d)
-            .map(|j| FeatureMeta {
-                name: format!("f{j}"),
-                cardinality: k,
-                provenance: Provenance::Home,
-            })
+            .map(|j| FeatureMeta::new(format!("f{j}"), k, Provenance::Home))
             .collect();
         let mut rows = Vec::with_capacity(n * d);
         let mut labels = Vec::with_capacity(n);
@@ -36,11 +32,7 @@ fn any_dataset() -> impl Strategy<Value = CatDataset> {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xABCD);
         let features: Vec<FeatureMeta> = (0..d)
-            .map(|j| FeatureMeta {
-                name: format!("f{j}"),
-                cardinality: k,
-                provenance: Provenance::Home,
-            })
+            .map(|j| FeatureMeta::new(format!("f{j}"), k, Provenance::Home))
             .collect();
         let rows: Vec<u32> = (0..n * d).map(|_| rng.gen_range(0..k)).collect();
         let labels: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
@@ -139,11 +131,7 @@ proptest! {
         all.shuffle(&mut rng);
         all.truncate(12);
         let features: Vec<FeatureMeta> = (0..2)
-            .map(|j| FeatureMeta {
-                name: format!("f{j}"),
-                cardinality: k,
-                provenance: Provenance::Home,
-            })
+            .map(|j| FeatureMeta::new(format!("f{j}"), k, Provenance::Home))
             .collect();
         let rows: Vec<u32> = all.iter().flat_map(|&(a, b)| [a, b]).collect();
         let labels: Vec<bool> = all.iter().map(|&(a, b)| (a + b) % 2 == 0).collect();

@@ -8,13 +8,21 @@ use hamlet_core::model_zoo::{ModelFamily, ModelSpec};
 use crate::registry::ModelSummary;
 
 /// `POST /v1/predict` — a batch of categorical rows for one model.
+/// Exactly one of `rows` (pre-encoded codes) and `rows_raw` (raw label
+/// strings, dictionary-encoded server-side against the artifact's contract)
+/// must be supplied.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct PredictRequest {
     /// Registry name (`model-name`) or pinned key (`model-name@3`).
     pub model: String,
     /// Rows of categorical codes; every row must match the model's feature
     /// contract (width and per-feature cardinality).
-    pub rows: Vec<Vec<u32>>,
+    pub rows: Option<Vec<Vec<u32>>>,
+    /// Rows of raw label strings; the server encodes them against the
+    /// model's domains, mapping labels unseen at training time to the
+    /// `Others` slot on open domains and rejecting them (400) on closed
+    /// ones. Requires a format-v2 artifact (dictionaries embedded).
+    pub rows_raw: Option<Vec<Vec<String>>>,
 }
 
 /// `POST /v1/predict` response.
@@ -108,12 +116,24 @@ mod tests {
     fn requests_roundtrip_through_json() {
         let req = PredictRequest {
             model: "m@1".into(),
-            rows: vec![vec![0, 1], vec![2, 3]],
+            rows: Some(vec![vec![0, 1], vec![2, 3]]),
+            rows_raw: None,
         };
         let text = serde_json::to_string(&req).unwrap();
         let back: PredictRequest = serde_json::from_str(&text).unwrap();
         assert_eq!(back.model, "m@1");
-        assert_eq!(back.rows, vec![vec![0, 1], vec![2, 3]]);
+        assert_eq!(back.rows, Some(vec![vec![0, 1], vec![2, 3]]));
+        assert_eq!(back.rows_raw, None);
+
+        // A pre-rows_raw client payload (no such key) still parses, and a
+        // raw-label payload parses without `rows`.
+        let old: PredictRequest = serde_json::from_str("{\"model\":\"m\",\"rows\":[[0]]}").unwrap();
+        assert_eq!(old.rows, Some(vec![vec![0]]));
+        assert!(old.rows_raw.is_none());
+        let raw: PredictRequest =
+            serde_json::from_str("{\"model\":\"m\",\"rows_raw\":[[\"v0\",\"x\"]]}").unwrap();
+        assert!(raw.rows.is_none());
+        assert_eq!(raw.rows_raw, Some(vec![vec!["v0".into(), "x".into()]]));
 
         let adv: AdviseRequest = serde_json::from_str(
             "{\"family\":\"TreeOrAnn\",\"n_train\":100,\

@@ -2,12 +2,21 @@
 //!
 //! A [`ModelArtifact`] is everything needed to serve a classifier trained by
 //! `hamlet_core::experiment`: the model itself (as a serializable
-//! [`AnyClassifier`]), the [`FeatureConfig`] it was trained under, the
-//! expected input feature space ([`FeatureMeta`] per column: name,
-//! cardinality, provenance), a fingerprint of the source star schema, and
-//! training metadata (metrics, spec, wall-clock). Artifacts are JSON files
-//! (`<name>@<version>.model.json`) with an explicit [`FORMAT_VERSION`] gate,
-//! so a future layout change fails loudly instead of mis-deserializing.
+//! [`AnyClassifier`]), the [`FeatureConfig`] it was trained under, the full
+//! input [`FeatureContract`] (per feature: name, cardinality, provenance
+//! and — since format v2 — the label↔code dictionary), a fingerprint of the
+//! source star schema, and training metadata (metrics, spec, wall-clock).
+//! Artifacts are JSON files (`<name>@<version>.model.json`) with an explicit
+//! [`FORMAT_VERSION`] gate, so a future layout change fails loudly instead
+//! of mis-deserializing.
+//!
+//! ## Format history
+//!
+//! - **v1** — feature metadata under a `features` key, no dictionaries.
+//!   Still readable: [`ModelArtifact::load`] upgrades v1 payloads in memory
+//!   (the contract simply has no domains, so such models only accept
+//!   pre-encoded code rows, never raw labels).
+//! - **v2** — the contract (with embedded domains) under a `contract` key.
 
 use std::path::{Path, PathBuf};
 
@@ -15,13 +24,16 @@ use hamlet_core::experiment::RunResult;
 use hamlet_core::feature_config::FeatureConfig;
 use hamlet_core::model_zoo::ModelSpec;
 use hamlet_ml::any::AnyClassifier;
+use hamlet_ml::contract::{BatchError, FeatureContract};
 use hamlet_ml::dataset::FeatureMeta;
-use hamlet_relation::fingerprint::Fingerprint;
 
 use crate::error::{Result, ServeError};
 
 /// Artifact layout version written by this build.
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
+
+/// Oldest artifact layout this build can still read (upgraded on load).
+pub const MIN_READ_FORMAT_VERSION: u32 = 1;
 
 /// Filename suffix for artifacts in an artifact directory.
 pub const ARTIFACT_SUFFIX: &str = ".model.json";
@@ -53,9 +65,11 @@ pub struct ModelArtifact {
     pub model: AnyClassifier,
     /// Feature configuration the model was trained under.
     pub feature_config: FeatureConfig,
-    /// Expected input columns, in order: every prediction row must supply
-    /// one code per entry, each `< cardinality`.
-    pub features: Vec<FeatureMeta>,
+    /// The input contract: expected columns in order (every prediction row
+    /// supplies one code per entry, each `< cardinality`), plus — on
+    /// format-v2 artifacts — the label↔code dictionary per feature, which
+    /// is what lets `/v1/predict` accept raw label strings.
+    pub contract: FeatureContract,
     /// Fingerprint of the star schema that produced the training data
     /// (`StarSchema::fingerprint`).
     pub schema_fingerprint: u64,
@@ -69,52 +83,46 @@ impl ModelArtifact {
         format!("{}@{}", self.name, self.version)
     }
 
-    /// Fingerprint of the *feature space* this model consumes (names,
-    /// cardinalities, provenance, in order). Computed, not stored: it can
-    /// never drift from `features`.
-    pub fn feature_fingerprint(&self) -> u64 {
-        let mut fp = Fingerprint::new();
-        fp.write_u64(self.features.len() as u64);
-        for f in &self.features {
-            fp.write_str(&f.name);
-            fp.write_u64(u64::from(f.cardinality));
-            // Provenance as (tag, dim).
-            let (tag, dim) = match f.provenance {
-                hamlet_ml::dataset::Provenance::Home => (0u64, 0usize),
-                hamlet_ml::dataset::Provenance::ForeignKey { dim } => (1, dim),
-                hamlet_ml::dataset::Provenance::Foreign { dim } => (2, dim),
-            };
-            fp.write_u64(tag).write_u64(dim as u64);
-        }
-        fp.finish()
+    /// Expected input columns, in contract order.
+    pub fn features(&self) -> &[FeatureMeta] {
+        self.contract.features()
     }
 
-    /// Validates a batch of row-major codes against the input contract.
-    pub fn validate_rows(&self, rows: &[u32], n_rows: usize) -> Result<()> {
-        let d = self.features.len();
-        if n_rows == 0 {
+    /// Fingerprint of the *feature space* this model consumes (names,
+    /// cardinalities, provenance, dictionaries, in order). Computed, not
+    /// stored: it can never drift from the contract.
+    pub fn feature_fingerprint(&self) -> u64 {
+        self.contract.fingerprint()
+    }
+
+    fn batch_error(&self, e: BatchError) -> ServeError {
+        ServeError::BadRequest(format!("model `{}`: {e}", self.key()))
+    }
+
+    /// Validates a batch of pre-encoded code rows against the contract and
+    /// flattens it row-major for the batched predict hot path. Every
+    /// offending row is reported with its index and feature name.
+    pub fn validate_coded(&self, rows: &[Vec<u32>]) -> Result<Vec<u32>> {
+        if rows.is_empty() {
             return Err(ServeError::BadRequest("empty prediction batch".into()));
         }
-        if rows.len() != n_rows * d {
-            return Err(ServeError::BadRequest(format!(
-                "batch has {} codes for {} rows; model `{}` expects {} features per row",
-                rows.len(),
-                n_rows,
-                self.key(),
-                d
-            )));
+        self.contract
+            .validate_batch(rows)
+            .map_err(|e| self.batch_error(e))
+    }
+
+    /// Dictionary-encodes a batch of raw label rows server-side (the NoJoin
+    /// FK-as-feature rewrite at ingest). Unseen labels fall back to the
+    /// `Others` slot on open domains and are 4xx-worthy per-row errors on
+    /// closed ones; format-v1 artifacts (no dictionaries) reject raw rows
+    /// outright.
+    pub fn encode_raw(&self, rows: &[Vec<String>]) -> Result<Vec<u32>> {
+        if rows.is_empty() {
+            return Err(ServeError::BadRequest("empty prediction batch".into()));
         }
-        for (i, row) in rows.chunks_exact(d).enumerate() {
-            for (j, (&code, meta)) in row.iter().zip(&self.features).enumerate() {
-                if code >= meta.cardinality {
-                    return Err(ServeError::BadRequest(format!(
-                        "row {i} feature {j} (`{}`): code {code} out of domain (cardinality {})",
-                        meta.name, meta.cardinality
-                    )));
-                }
-            }
-        }
-        Ok(())
+        self.contract
+            .encode_batch(rows)
+            .map_err(|e| self.batch_error(e))
     }
 
     /// Canonical file path inside an artifact directory.
@@ -159,13 +167,16 @@ impl ModelArtifact {
             .unwrap_or(0)
     }
 
-    /// Loads and format-checks one artifact file.
+    /// Loads and format-checks one artifact file. Format-v1 payloads are
+    /// upgraded in memory (see [`upgrade_v1`]); anything newer than
+    /// [`FORMAT_VERSION`] or older than [`MIN_READ_FORMAT_VERSION`] is a
+    /// hard error.
     pub fn load(path: &Path) -> Result<ModelArtifact> {
         let text = std::fs::read_to_string(path)
             .map_err(|e| ServeError::io(format!("reading {}", path.display()), e))?;
         // Check the version gate before full deserialization so a layout
         // change yields a clear error.
-        let value = serde_json::from_str::<serde_json::Value>(&text)?;
+        let mut value = serde_json::from_str::<serde_json::Value>(&text)?;
         let found = match &value {
             serde_json::Value::Obj(entries) => entries
                 .iter()
@@ -178,6 +189,11 @@ impl ModelArtifact {
         };
         match found {
             Some(v) if v == u64::from(FORMAT_VERSION) => {}
+            Some(v)
+                if (u64::from(MIN_READ_FORMAT_VERSION)..u64::from(FORMAT_VERSION)).contains(&v) =>
+            {
+                upgrade_v1(&mut value)
+            }
             Some(v) => {
                 return Err(ServeError::Format {
                     found: v as u32,
@@ -196,12 +212,35 @@ impl ModelArtifact {
     }
 }
 
+/// Read-compat shim: rewrites a format-v1 payload into the v2 layout in
+/// memory. v1 stored the contract's feature array under a `features` key
+/// (and its entries carry no `domain`, which deserializes as `None`); v2
+/// renamed the key to `contract`. The version field is normalized to
+/// [`FORMAT_VERSION`] so a subsequent `save` writes a coherent v2 file.
+fn upgrade_v1(value: &mut serde_json::Value) {
+    if let serde_json::Value::Obj(entries) = value {
+        for (key, entry) in entries.iter_mut() {
+            match key.as_str() {
+                "features" => *key = "contract".to_string(),
+                "format_version" => {
+                    *entry =
+                        serde_json::Value::Num(serde_json::Number::UInt(u64::from(FORMAT_VERSION)));
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 pub(crate) mod tests {
     use super::*;
     use hamlet_ml::dataset::Provenance;
     use hamlet_ml::model::MajorityClass;
+    use hamlet_relation::domain::CatDomain;
 
+    /// A v2 artifact whose contract carries dictionaries: `xs0` is a closed
+    /// two-label domain, `fk` an open domain `v0..v3 + Others` (card 5).
     pub(crate) fn toy_artifact(name: &str, version: u32) -> ModelArtifact {
         ModelArtifact {
             format_version: FORMAT_VERSION,
@@ -209,18 +248,19 @@ pub(crate) mod tests {
             version,
             model: AnyClassifier::Majority(MajorityClass { positive: true }),
             feature_config: FeatureConfig::NoJoin,
-            features: vec![
-                FeatureMeta {
-                    name: "xs0".into(),
-                    cardinality: 2,
-                    provenance: Provenance::Home,
-                },
-                FeatureMeta {
-                    name: "fk".into(),
-                    cardinality: 5,
-                    provenance: Provenance::ForeignKey { dim: 0 },
-                },
-            ],
+            contract: FeatureContract::new(vec![
+                FeatureMeta::with_domain(
+                    "xs0",
+                    Provenance::Home,
+                    CatDomain::synthetic("xs0", 2).into_shared(),
+                ),
+                FeatureMeta::with_domain(
+                    "fk",
+                    Provenance::ForeignKey { dim: 0 },
+                    CatDomain::synthetic_with_others("fk", 4).into_shared(),
+                ),
+            ])
+            .unwrap(),
             schema_fingerprint: 0xDEADBEEF,
             metadata: TrainingMetadata {
                 dataset: "toy".into(),
@@ -248,8 +288,11 @@ pub(crate) mod tests {
         let back = ModelArtifact::load(&path).unwrap();
         assert_eq!(back.key(), "toy-model@3");
         assert_eq!(back.schema_fingerprint, 0xDEADBEEF);
-        assert_eq!(back.features.len(), 2);
+        assert_eq!(back.features().len(), 2);
         assert_eq!(back.feature_fingerprint(), art.feature_fingerprint());
+        // The dictionaries survive the roundtrip.
+        assert!(back.contract.has_domains());
+        assert!(back.contract.is_open(1));
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -290,16 +333,20 @@ pub(crate) mod tests {
     }
 
     #[test]
-    fn validate_rows_enforces_contract() {
+    fn validate_coded_enforces_contract() {
         let art = toy_artifact("v", 1);
-        // Happy path: 2 rows × 2 features, codes in domain.
-        art.validate_rows(&[0, 4, 1, 0], 2).unwrap();
+        // Happy path: 2 rows × 2 features, codes in domain, flattened
+        // row-major for the predict hot path.
+        assert_eq!(
+            art.validate_coded(&[vec![0, 4], vec![1, 0]]).unwrap(),
+            vec![0, 4, 1, 0]
+        );
         // Wrong width.
-        assert!(art.validate_rows(&[0, 1, 0], 2).is_err());
+        assert!(art.validate_coded(&[vec![0, 1, 0], vec![1, 1]]).is_err());
         // Out-of-domain code.
-        assert!(art.validate_rows(&[0, 5], 1).is_err());
+        assert!(art.validate_coded(&[vec![0, 5]]).is_err());
         // Empty batch.
-        assert!(art.validate_rows(&[], 0).is_err());
+        assert!(art.validate_coded(&[]).is_err());
     }
 
     #[test]
@@ -307,7 +354,59 @@ pub(crate) mod tests {
         let a = toy_artifact("a", 1);
         let mut b = toy_artifact("a", 1);
         assert_eq!(a.feature_fingerprint(), b.feature_fingerprint());
-        b.features[1].cardinality = 6;
+        b.contract = FeatureContract::new(vec![
+            FeatureMeta::with_domain(
+                "xs0",
+                Provenance::Home,
+                CatDomain::synthetic("xs0", 2).into_shared(),
+            ),
+            FeatureMeta::with_domain(
+                "fk",
+                Provenance::ForeignKey { dim: 0 },
+                CatDomain::synthetic_with_others("fk", 5).into_shared(),
+            ),
+        ])
+        .unwrap();
         assert_ne!(a.feature_fingerprint(), b.feature_fingerprint());
+    }
+
+    #[test]
+    fn v1_artifacts_load_through_the_shim() {
+        // A faithful pre-v2 payload: `features` key, no domains.
+        let v1 = r#"{
+            "format_version": 1,
+            "name": "legacy",
+            "version": 4,
+            "model": {"Majority": {"positive": true}},
+            "feature_config": "NoJoin",
+            "features": [
+                {"name": "xs0", "cardinality": 2, "provenance": "Home"},
+                {"name": "fk", "cardinality": 5,
+                 "provenance": {"ForeignKey": {"dim": 0}}}
+            ],
+            "schema_fingerprint": 12345,
+            "metadata": {
+                "dataset": "toy", "spec": "TreeGini", "train_rows": 10,
+                "metrics": {"model": "DT-Gini", "config": "NoJoin",
+                            "train_accuracy": 1.0, "val_accuracy": 0.9,
+                            "test_accuracy": 0.8, "seconds": 0.1,
+                            "winner": "minsplit=2"}
+            }
+        }"#;
+        let dir = std::env::temp_dir().join(format!("hamlet-art-v1-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("legacy@4.model.json");
+        std::fs::write(&path, v1).unwrap();
+        let art = ModelArtifact::load(&path).unwrap();
+        assert_eq!(art.key(), "legacy@4");
+        assert_eq!(art.format_version, FORMAT_VERSION, "normalized on load");
+        assert_eq!(art.features().len(), 2);
+        assert!(!art.contract.has_domains(), "v1 carries no dictionaries");
+        // Pre-encoded codes still validate; raw labels are rejected with a
+        // clear contract error.
+        art.validate_coded(&[vec![0, 4]]).unwrap();
+        let err = art.encode_raw(&[vec!["a".into(), "b".into()]]).unwrap_err();
+        assert!(err.to_string().contains("no dictionary"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -2,11 +2,18 @@
 //!
 //! No async runtime is available offline, and none is needed for the
 //! latency envelope this layer targets: a fixed pool of worker threads pulls
-//! accepted connections off an `mpsc` channel, parses one request
+//! accepted connections off an `mpsc` channel, parses requests
 //! (request-line + headers + `Content-Length` body), dispatches to the
-//! router, writes the response and closes (`Connection: close`). Malformed
-//! requests get a 400, oversized bodies a 413, and worker panics are
-//! confined to the connection that caused them.
+//! router and writes responses. A client that sends `Connection:
+//! keep-alive` keeps its socket open and is served up to
+//! [`MAX_KEEPALIVE_REQUESTS`] requests on it (one `BufReader` per
+//! connection, so pipelined bytes are never dropped between requests); all
+//! other clients get one request per connection (`Connection: close`), the
+//! pre-keep-alive behaviour. Malformed requests get a 400 and close the
+//! connection, oversized bodies a 413, and worker panics are confined to
+//! the connection that caused them. A keep-alive connection occupies its
+//! worker thread between requests, so the per-connection request cap plus
+//! the idle read timeout bound how long a slow client can hold a worker.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -22,6 +29,11 @@ pub const MAX_BODY_BYTES: u64 = 16 * 1024 * 1024;
 /// Per-connection socket timeout.
 const IO_TIMEOUT: Duration = Duration::from_secs(10);
 
+/// Upper bound on requests served over one keep-alive connection before the
+/// server closes it. Bounds how long one client can monopolize a worker
+/// thread from the fixed pool.
+pub const MAX_KEEPALIVE_REQUESTS: usize = 100;
+
 /// A parsed HTTP request.
 #[derive(Debug, Clone)]
 pub struct Request {
@@ -31,6 +43,9 @@ pub struct Request {
     pub path: String,
     /// Raw body bytes.
     pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open
+    /// (`Connection: keep-alive`).
+    pub keep_alive: bool,
 }
 
 /// An HTTP response under construction.
@@ -77,9 +92,11 @@ impl Response {
         }
     }
 
-    fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+    fn write_to(&self, stream: &mut TcpStream, keep_alive: bool) -> std::io::Result<()> {
+        let connection = if keep_alive { "keep-alive" } else { "close" };
         let head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n\
+             Connection: {connection}\r\n\r\n",
             self.status,
             self.reason(),
             self.content_type,
@@ -189,56 +206,75 @@ impl Server {
 }
 
 fn handle_connection(stream: TcpStream, handler: &Handler) {
-    let mut stream = stream;
-    let mut request_error = false;
-    let response = match read_request(&mut stream) {
-        Ok(request) => {
-            // Confine handler panics to this connection.
-            let result =
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler(&request)));
-            result.unwrap_or_else(|_| {
-                Response::json(
-                    500,
-                    "{\"error\":\"internal handler panic\"}".as_bytes().to_vec(),
-                )
-            })
+    // One BufReader for the connection's lifetime: bytes a pipelining
+    // client sent ahead stay buffered for the next request instead of
+    // being dropped with a per-request reader.
+    let mut reader = BufReader::new(stream);
+    for served in 1..=MAX_KEEPALIVE_REQUESTS {
+        let mut request_error = false;
+        let mut client_keep_alive = false;
+        let response = match read_request(&mut reader) {
+            Ok(request) => {
+                client_keep_alive = request.keep_alive;
+                // Confine handler panics to this connection.
+                let result =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler(&request)));
+                result.unwrap_or_else(|_| {
+                    Response::json(
+                        500,
+                        "{\"error\":\"internal handler panic\"}".as_bytes().to_vec(),
+                    )
+                })
+            }
+            Err(ReadError::TooLarge(what)) => {
+                request_error = true;
+                Response::json(413, format!("{{\"error\":\"{what}\"}}").into_bytes())
+            }
+            Err(ReadError::Malformed(msg)) => {
+                request_error = true;
+                Response::json(400, format!("{{\"error\":\"{msg}\"}}").into_bytes())
+            }
+            // Clean close or vanished client: nothing to write. (Eof is
+            // normalized inside read_request; kept here for exhaustiveness.)
+            Err(ReadError::Io | ReadError::Eof) => return,
+        };
+        if request_error {
+            // The client may still be mid-send; closing with unread input
+            // makes the kernel RST the connection and the client never sees
+            // the error response. Drain a bounded amount first (abusive
+            // streams beyond the cap still get dropped). The parse state is
+            // unknown afterwards, so the connection always closes.
+            drain_bounded(&mut reader);
         }
-        Err(ReadError::TooLarge(what)) => {
-            request_error = true;
-            Response::json(413, format!("{{\"error\":\"{what}\"}}").into_bytes())
+        let keep_alive = client_keep_alive && !request_error && served < MAX_KEEPALIVE_REQUESTS;
+        if response.write_to(reader.get_mut(), keep_alive).is_err() || !keep_alive {
+            return;
         }
-        Err(ReadError::Malformed(msg)) => {
-            request_error = true;
-            Response::json(400, format!("{{\"error\":\"{msg}\"}}").into_bytes())
-        }
-        Err(ReadError::Io) => return, // client went away; nothing to write
-    };
-    if request_error {
-        // The client may still be mid-send; closing with unread input makes
-        // the kernel RST the connection and the client never sees the error
-        // response. Drain a bounded amount first (abusive streams beyond the
-        // cap still get dropped).
-        drain_bounded(&mut stream);
     }
-    let _ = response.write_to(&mut stream);
 }
 
 /// Reads and discards up to 1 MiB of pending input with a short timeout.
-fn drain_bounded(stream: &mut TcpStream) {
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+fn drain_bounded(reader: &mut BufReader<TcpStream>) {
+    let _ = reader
+        .get_mut()
+        .set_read_timeout(Some(Duration::from_millis(200)));
     let mut buf = [0u8; 8192];
     let mut total = 0usize;
     while total < 1024 * 1024 {
-        match stream.read(&mut buf) {
+        match reader.read(&mut buf) {
             Ok(0) | Err(_) => break,
             Ok(n) => total += n,
         }
     }
-    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = reader.get_mut().set_read_timeout(Some(IO_TIMEOUT));
 }
 
 enum ReadError {
     Io,
+    /// The peer closed the connection at a line boundary. Clean close
+    /// *before* a request line (the normal end of a keep-alive
+    /// conversation) is not an error; mid-request it is truncation.
+    Eof,
     /// A size cap was exceeded; the payload names which limit.
     TooLarge(&'static str),
     Malformed(&'static str),
@@ -254,7 +290,7 @@ const MAX_HEADERS: usize = 100;
 /// `read_line` with a hard length cap. Returns the line without its
 /// terminator; errors when the cap is hit before a newline.
 fn read_line_bounded(
-    reader: &mut BufReader<&mut TcpStream>,
+    reader: &mut BufReader<TcpStream>,
     buf: &mut Vec<u8>,
 ) -> Result<(), ReadError> {
     buf.clear();
@@ -264,7 +300,7 @@ fn read_line_bounded(
         .read_until(b'\n', buf)
         .map_err(|_| ReadError::Io)?;
     if n == 0 {
-        return Err(ReadError::Malformed("truncated request"));
+        return Err(ReadError::Eof);
     }
     if buf.last() != Some(&b'\n') {
         // Either the peer closed mid-line or the line exceeds the cap.
@@ -280,10 +316,14 @@ fn read_line_bounded(
     Ok(())
 }
 
-fn read_request(stream: &mut TcpStream) -> Result<Request, ReadError> {
-    let mut reader = BufReader::new(stream);
+fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadError> {
     let mut line = Vec::new();
-    read_line_bounded(&mut reader, &mut line)?;
+    // EOF before any request bytes is a clean close (the normal end of a
+    // keep-alive conversation), not a protocol error.
+    read_line_bounded(reader, &mut line).map_err(|e| match e {
+        ReadError::Eof => ReadError::Io,
+        other => other,
+    })?;
     let line = String::from_utf8(line).map_err(|_| ReadError::Malformed("non-UTF-8 request"))?;
     let mut parts = line.split_whitespace();
     let method = parts
@@ -297,12 +337,16 @@ fn read_request(stream: &mut TcpStream) -> Result<Request, ReadError> {
     }
 
     let mut content_length: u64 = 0;
+    let mut keep_alive = false;
     let mut header = Vec::new();
     for n_headers in 0.. {
         if n_headers >= MAX_HEADERS {
             return Err(ReadError::TooLarge("more than 100 headers"));
         }
-        read_line_bounded(&mut reader, &mut header)?;
+        read_line_bounded(reader, &mut header).map_err(|e| match e {
+            ReadError::Eof => ReadError::Malformed("truncated request"),
+            other => other,
+        })?;
         if header.is_empty() {
             break;
         }
@@ -315,6 +359,11 @@ fn read_request(stream: &mut TcpStream) -> Result<Request, ReadError> {
                     .trim()
                     .parse()
                     .map_err(|_| ReadError::Malformed("bad content-length"))?;
+            } else if name.eq_ignore_ascii_case("connection") {
+                // Conservative: only an explicit keep-alive opts in; an
+                // absent Connection header keeps the historical
+                // one-request-per-connection behaviour.
+                keep_alive = value.trim().eq_ignore_ascii_case("keep-alive");
             }
         }
     }
@@ -323,7 +372,12 @@ fn read_request(stream: &mut TcpStream) -> Result<Request, ReadError> {
     }
     let mut body = vec![0u8; content_length as usize];
     reader.read_exact(&mut body).map_err(|_| ReadError::Io)?;
-    Ok(Request { method, path, body })
+    Ok(Request {
+        method,
+        path,
+        body,
+        keep_alive,
+    })
 }
 
 #[cfg(test)]
@@ -372,6 +426,55 @@ mod tests {
             assert!(h.join().unwrap().contains("GET /ping 0"));
         }
         server.shutdown();
+    }
+
+    #[test]
+    fn keep_alive_serves_many_requests_on_one_socket() {
+        let server = echo_server();
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        for i in 0..5 {
+            s.write_all(
+                format!("GET /req{i} HTTP/1.1\r\nHost: h\r\nConnection: keep-alive\r\n\r\n")
+                    .as_bytes(),
+            )
+            .unwrap();
+            let resp = read_one_response(&mut s);
+            assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+            assert!(resp.contains("Connection: keep-alive"), "{resp}");
+            assert!(resp.contains(&format!("GET /req{i} 0")), "{resp}");
+        }
+        // Dropping the keep-alive header closes the connection after the
+        // response.
+        s.write_all(b"GET /last HTTP/1.1\r\nHost: h\r\n\r\n")
+            .unwrap();
+        let resp = read_one_response(&mut s);
+        assert!(resp.contains("Connection: close"), "{resp}");
+        let mut rest = String::new();
+        s.read_to_string(&mut rest).unwrap();
+        assert!(rest.is_empty(), "server closed after Connection: close");
+        server.shutdown();
+    }
+
+    /// Reads exactly one HTTP response (headers + Content-Length body) so a
+    /// keep-alive socket can be reused for the next request.
+    fn read_one_response(s: &mut TcpStream) -> String {
+        let mut buf = Vec::new();
+        let mut byte = [0u8; 1];
+        while !buf.ends_with(b"\r\n\r\n") {
+            s.read_exact(&mut byte).unwrap();
+            buf.push(byte[0]);
+        }
+        let head = String::from_utf8(buf.clone()).unwrap();
+        let len: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        let mut body = vec![0u8; len];
+        s.read_exact(&mut body).unwrap();
+        head + &String::from_utf8(body).unwrap()
     }
 
     #[test]

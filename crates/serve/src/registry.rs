@@ -46,7 +46,7 @@ fn summarize(a: &ModelArtifact) -> ModelSummary {
         version: a.version,
         family: a.model.family().to_string(),
         config: a.feature_config.name(),
-        n_features: a.features.len(),
+        n_features: a.contract.width(),
         test_accuracy: a.metadata.metrics.test_accuracy,
         dataset: a.metadata.dataset.clone(),
     }

@@ -21,6 +21,14 @@ pub struct AppState {
     pub registry: ModelRegistry,
     /// Directory artifacts are persisted into (and warm-loaded from).
     pub artifact_dir: PathBuf,
+    /// Shard cap for batch-parallel prediction (defaults to the machine's
+    /// available parallelism). One request never fans out wider than this.
+    pub predict_threads: usize,
+    /// Machine-wide fan-out budget shared by every in-flight predict: the
+    /// sum of extra scoped threads across concurrent requests never exceeds
+    /// `predict_threads`, so N simultaneous large batches share the cores
+    /// instead of each spawning a full-width set on top of the worker pool.
+    shard_budget: ShardBudget,
     /// Admission gate for `/v1/train`: training runs for seconds to minutes
     /// on a worker thread, so at most one runs at a time — otherwise a
     /// handful of train requests would occupy every worker and starve the
@@ -28,6 +36,76 @@ pub struct AppState {
     /// inside a training run can never poison the gate shut: the RAII
     /// release in [`TrainPermit`] runs during unwinding.
     train_gate: std::sync::atomic::AtomicBool,
+}
+
+/// A machine-wide pool of predict fan-out slots. Requests reserve up to
+/// their per-request cap, run their shards, and return the slots on drop
+/// (including panics). When the pool is drained a request simply runs
+/// sequentially on its worker thread — prediction never blocks waiting for
+/// slots.
+struct ShardBudget {
+    available: std::sync::atomic::AtomicUsize,
+}
+
+impl ShardBudget {
+    fn new(total: usize) -> Self {
+        ShardBudget {
+            available: std::sync::atomic::AtomicUsize::new(total),
+        }
+    }
+
+    /// Reserves up to `want` slots (possibly zero when the pool is dry).
+    fn reserve(&self, want: usize) -> ShardPermit<'_> {
+        use std::sync::atomic::Ordering;
+        let mut cur = self.available.load(Ordering::Acquire);
+        loop {
+            let take = cur.min(want);
+            if take == 0 {
+                return ShardPermit {
+                    budget: self,
+                    reserved: 0,
+                };
+            }
+            match self.available.compare_exchange_weak(
+                cur,
+                cur - take,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    return ShardPermit {
+                        budget: self,
+                        reserved: take,
+                    }
+                }
+                Err(now) => cur = now,
+            }
+        }
+    }
+}
+
+/// Reserved fan-out slots; returned to the pool on drop.
+struct ShardPermit<'a> {
+    budget: &'a ShardBudget,
+    reserved: usize,
+}
+
+impl ShardPermit<'_> {
+    /// Threads this request may use: its reserved slots, or one (the worker
+    /// thread itself, which is never part of the budget's accounting).
+    fn threads(&self) -> usize {
+        self.reserved.max(1)
+    }
+}
+
+impl Drop for ShardPermit<'_> {
+    fn drop(&mut self) {
+        if self.reserved > 0 {
+            self.budget
+                .available
+                .fetch_add(self.reserved, std::sync::atomic::Ordering::AcqRel);
+        }
+    }
 }
 
 /// RAII permit for the training gate; releases on drop (including panics).
@@ -56,11 +134,20 @@ impl AppState {
             Arc::new(AppState {
                 registry,
                 artifact_dir,
+                predict_threads: default_predict_threads(),
+                shard_budget: ShardBudget::new(default_predict_threads()),
                 train_gate: std::sync::atomic::AtomicBool::new(false),
             }),
             loaded,
         ))
     }
+}
+
+/// Default shard cap for batch-parallel prediction.
+pub fn default_predict_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
 }
 
 fn error_response(e: &ServeError) -> Response {
@@ -88,30 +175,53 @@ fn parse_body<T: serde::Deserialize>(req: &Request) -> Result<T, ServeError> {
     serde_json::from_slice(&req.body).map_err(|e| ServeError::BadRequest(e.to_string()))
 }
 
-/// `POST /v1/predict`: resolve → validate → batched enum-dispatch predict.
+/// `POST /v1/predict`: resolve → validate/encode → batch-parallel
+/// enum-dispatch predict.
+///
+/// Two input shapes: `rows` (pre-encoded codes, validated per row with the
+/// offending row index and feature name on failure) and `rows_raw` (raw
+/// label strings, dictionary-encoded server-side against the artifact's
+/// contract — the NoJoin FK-as-feature rewrite at ingest). Validation and
+/// encoding both flatten into one row-major buffer; each row's width is
+/// checked before flattening, since compensating-length rows (e.g.
+/// [[0,1,0],[1]] against d=2) would otherwise splice across row boundaries
+/// and pass a total-length check with misaligned codes. Large batches are
+/// sharded across scoped threads (`AnyClassifier::predict_batch_parallel`),
+/// so a 10k-row batch uses every core instead of one worker thread.
 fn predict(state: &AppState, req: &Request) -> Result<PredictResponse, ServeError> {
     let body: PredictRequest = parse_body(req)?;
     let artifact = state.registry.get(&body.model)?;
     let start = Instant::now();
-    let d = artifact.features.len();
-    let n = body.rows.len();
-    // Flatten into one row-major buffer for the batched hot path. Each row's
-    // width is checked *before* flattening: compensating-length rows (e.g.
-    // [[0,1,0],[1]] against d=2) would otherwise splice across row
-    // boundaries and pass the total-length check with misaligned codes.
-    let mut rows = Vec::with_capacity(n * d);
-    for (i, row) in body.rows.iter().enumerate() {
-        if row.len() != d {
-            return Err(ServeError::BadRequest(format!(
-                "row {i} has {} codes; model `{}` expects {d} features per row",
-                row.len(),
-                artifact.key()
-            )));
+    let d = artifact.contract.width();
+    let rows = match (&body.rows, &body.rows_raw) {
+        (Some(_), Some(_)) => {
+            return Err(ServeError::BadRequest(
+                "provide exactly one of `rows` and `rows_raw`, not both".into(),
+            ))
         }
-        rows.extend_from_slice(row);
-    }
-    artifact.validate_rows(&rows, n)?;
-    let labels = artifact.model.predict_batch(&rows, d);
+        (None, None) => {
+            return Err(ServeError::BadRequest(
+                "provide `rows` (codes) or `rows_raw` (label strings)".into(),
+            ))
+        }
+        (Some(coded), None) => artifact.validate_coded(coded)?,
+        (None, Some(raw)) => artifact.encode_raw(raw)?,
+    };
+    // Reserve fan-out slots from the machine-wide budget: under concurrent
+    // load each request gets a fair share of the cores (or runs
+    // sequentially on its own worker when the pool is dry) instead of
+    // every request spawning a full-width set of threads. Only as many
+    // slots as this batch can actually shard into are requested — a small
+    // batch runs sequentially anyway and must not starve a concurrent
+    // large one.
+    let usable = rows.len() / d / hamlet_ml::any::MIN_ROWS_PER_SHARD;
+    let permit = state
+        .shard_budget
+        .reserve(usable.min(state.predict_threads));
+    let labels = artifact
+        .model
+        .predict_batch_parallel(&rows, d, permit.threads());
+    drop(permit);
     Ok(PredictResponse {
         model: artifact.key(),
         labels,
@@ -197,6 +307,8 @@ mod tests {
         Arc::new(AppState {
             registry: ModelRegistry::new(),
             artifact_dir: std::env::temp_dir().join("hamlet-serve-router-tests"),
+            predict_threads: 2,
+            shard_budget: ShardBudget::new(2),
             train_gate: std::sync::atomic::AtomicBool::new(false),
         })
     }
@@ -206,6 +318,7 @@ mod tests {
             method: method.into(),
             path: path.into(),
             body: body.as_bytes().to_vec(),
+            keep_alive: false,
         });
         (resp.status, String::from_utf8(resp.body).unwrap())
     }
@@ -261,6 +374,64 @@ mod tests {
             "{\"model\":\"ragged\",\"rows\":[[0,1],[1,0]]}",
         );
         assert_eq!(status, 200, "{body}");
+    }
+
+    #[test]
+    fn predict_raw_rows_encode_server_side() {
+        let app = state();
+        // toy_artifact: xs0 closed {v0,v1}; fk open {v0..v3, Others}.
+        app.registry
+            .insert(crate::artifact::tests::toy_artifact("raw", 1));
+        let handler = router(app);
+        // Known labels, plus an unseen label on the open fk → Others.
+        let (status, body) = call(
+            &handler,
+            "POST",
+            "/v1/predict",
+            "{\"model\":\"raw\",\"rows_raw\":[[\"v1\",\"v3\"],[\"v0\",\"mystery-fk\"]]}",
+        );
+        assert_eq!(status, 200, "{body}");
+        let resp: crate::api::PredictResponse = serde_json::from_str(&body).unwrap();
+        assert_eq!(resp.labels.len(), 2);
+        // Unseen label on the *closed* feature is a 400 naming row+feature.
+        let (status, body) = call(
+            &handler,
+            "POST",
+            "/v1/predict",
+            "{\"model\":\"raw\",\"rows_raw\":[[\"v1\",\"v0\"],[\"surprise\",\"v0\"]]}",
+        );
+        assert_eq!(status, 400, "{body}");
+        assert!(body.contains("row 1"), "{body}");
+        assert!(body.contains("xs0"), "{body}");
+        // Both or neither input shape is a 400.
+        let (status, _) = call(
+            &handler,
+            "POST",
+            "/v1/predict",
+            "{\"model\":\"raw\",\"rows\":[[0,0]],\"rows_raw\":[[\"v0\",\"v0\"]]}",
+        );
+        assert_eq!(status, 400);
+        let (status, _) = call(&handler, "POST", "/v1/predict", "{\"model\":\"raw\"}");
+        assert_eq!(status, 400);
+    }
+
+    #[test]
+    fn predict_errors_name_every_offending_row() {
+        let app = state();
+        app.registry
+            .insert(crate::artifact::tests::toy_artifact("multi", 1));
+        let handler = router(app);
+        // Row 0 fine; row 1 bad code on fk; row 2 wrong width.
+        let (status, body) = call(
+            &handler,
+            "POST",
+            "/v1/predict",
+            "{\"model\":\"multi\",\"rows\":[[0,0],[0,9],[1]]}",
+        );
+        assert_eq!(status, 400, "{body}");
+        assert!(body.contains("row 1"), "{body}");
+        assert!(body.contains("fk"), "{body}");
+        assert!(body.contains("row 2"), "{body}");
     }
 
     #[test]
@@ -326,6 +497,29 @@ mod tests {
         assert_eq!(status, 400);
         let (status, _) = call(&handler, "POST", "/v1/train", "{not json");
         assert_eq!(status, 400, "gate must be released after a failed run");
+    }
+
+    #[test]
+    fn shard_budget_splits_fairly_and_releases_on_drop() {
+        let budget = ShardBudget::new(4);
+        let a = budget.reserve(3);
+        assert_eq!(a.threads(), 3);
+        let b = budget.reserve(3);
+        assert_eq!(b.threads(), 1, "only one slot left");
+        let c = budget.reserve(3);
+        assert_eq!(c.threads(), 1, "dry pool still grants the worker thread");
+        assert_eq!(c.reserved, 0);
+        drop(a);
+        let d = budget.reserve(4);
+        assert_eq!(d.threads(), 3, "dropped permits return to the pool");
+        drop(b);
+        drop(c);
+        drop(d);
+        assert_eq!(
+            budget.reserve(usize::MAX).threads(),
+            4,
+            "everything released"
+        );
     }
 
     #[test]

@@ -89,7 +89,7 @@ pub fn train_and_register(
         version: 0,
         model: trained.model,
         feature_config: config,
-        features: trained.features,
+        contract: trained.contract,
         schema_fingerprint: fingerprint,
         metadata: TrainingMetadata {
             dataset: req.dataset.to_ascii_lowercase(),

@@ -4,7 +4,7 @@
 use std::path::PathBuf;
 
 use hamlet_core::experiment::run_experiment_with_model;
-use hamlet_core::feature_config::{build_dataset, build_splits, FeatureConfig};
+use hamlet_core::feature_config::{build_splits, FeatureConfig};
 use hamlet_core::model_zoo::{Budget, ModelSpec};
 use hamlet_datagen::prelude::*;
 use hamlet_ml::model::Classifier;
@@ -28,14 +28,13 @@ fn roundtrip_spec(spec: ModelSpec, tag: &str) {
     let budget = Budget::quick();
     let trained = run_experiment_with_model(&g, spec, &config, &budget).unwrap();
 
-    let features = build_dataset(&g.star, &config).unwrap().features().to_vec();
     let artifact = ModelArtifact {
         format_version: FORMAT_VERSION,
         name: format!("rt-{tag}"),
         version: 1,
         model: trained.model,
         feature_config: config.clone(),
-        features,
+        contract: trained.contract,
         schema_fingerprint: g.star.fingerprint(),
         metadata: TrainingMetadata {
             dataset: "onexr".into(),
@@ -64,6 +63,16 @@ fn roundtrip_spec(spec: ModelSpec, tag: &str) {
     assert_eq!(
         reloaded.feature_fingerprint(),
         artifact.feature_fingerprint()
+    );
+    // The v2 contract (with dictionaries) survives byte-for-byte: raw
+    // labels decoded from the test rows re-encode to the original codes.
+    assert_eq!(reloaded.contract, artifact.contract, "{}", spec.name());
+    assert!(reloaded.contract.has_domains(), "{}", spec.name());
+    let first = data.test.row(0);
+    let labels = reloaded.contract.decode_row(first).unwrap();
+    assert_eq!(
+        reloaded.contract.encode_batch(&[labels]).unwrap(),
+        first.to_vec()
     );
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -110,9 +119,10 @@ fn loaded_artifact_serves_full_domain_without_panicking() {
     let config = FeatureConfig::NoJoin;
     let trained =
         run_experiment_with_model(&g, ModelSpec::TreeGini, &config, &Budget::quick()).unwrap();
-    let features = build_dataset(&g.star, &config).unwrap().features().to_vec();
-    let d = features.len();
-    let fk_col = features
+    let contract = trained.contract.clone();
+    let d = contract.width();
+    let fk_col = contract
+        .features()
         .iter()
         .position(|f| {
             matches!(
@@ -127,7 +137,7 @@ fn loaded_artifact_serves_full_domain_without_panicking() {
         version: 1,
         model: trained.model,
         feature_config: config,
-        features,
+        contract,
         schema_fingerprint: g.star.fingerprint(),
         metadata: TrainingMetadata {
             dataset: "onexr".into(),
@@ -141,7 +151,7 @@ fn loaded_artifact_serves_full_domain_without_panicking() {
     for code in 0..10u32 {
         let mut row = vec![0u32; d];
         row[fk_col] = code;
-        artifact.validate_rows(&row, 1).unwrap();
+        artifact.validate_coded(&[row.clone()]).unwrap();
         let a = artifact.model.predict_row(&row);
         let b = reloaded.model.predict_row(&row);
         assert_eq!(a, b, "fk code {code}");

@@ -2,9 +2,11 @@
 //! port, train + persist an artifact, restart the server from disk, and
 //! check `/healthz`, `/v1/models`, `/v1/predict` and `/v1/advise` answer
 //! correctly — with `/v1/predict` matching in-process `Classifier::predict`
-//! and `/v1/advise` matching `hamlet_core::advisor::advise`.
+//! for both pre-encoded codes and raw label strings, and `/v1/advise`
+//! matching `hamlet_core::advisor::advise`. Also drives the keep-alive path:
+//! one socket, many requests.
 
-use std::io::{Read, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -43,6 +45,62 @@ fn http(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u1
         .map(|(_, b)| b.to_string())
         .unwrap_or_default();
     (status, body)
+}
+
+/// A persistent keep-alive client: every request rides the same socket.
+struct KeepAliveClient {
+    reader: BufReader<TcpStream>,
+}
+
+impl KeepAliveClient {
+    fn connect(addr: std::net::SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect");
+        KeepAliveClient {
+            reader: BufReader::new(stream),
+        }
+    }
+
+    /// Sends one request with `Connection: keep-alive` and reads exactly one
+    /// response (headers + Content-Length body), leaving the socket open.
+    fn request(&mut self, method: &str, path: &str, body: &str) -> (u16, String) {
+        let request = format!(
+            "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\nConnection: keep-alive\r\n\r\n{body}",
+            body.len()
+        );
+        self.reader
+            .get_mut()
+            .write_all(request.as_bytes())
+            .expect("send");
+        let mut status_line = String::new();
+        self.reader.read_line(&mut status_line).expect("status");
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .expect("status code")
+            .parse()
+            .expect("numeric status");
+        let mut content_length = 0usize;
+        let mut keep_alive = false;
+        loop {
+            let mut line = String::new();
+            self.reader.read_line(&mut line).expect("header");
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some(v) = line.strip_prefix("Content-Length: ") {
+                content_length = v.trim().parse().expect("length");
+            }
+            if line.eq_ignore_ascii_case("connection: keep-alive") {
+                keep_alive = true;
+            }
+        }
+        assert!(keep_alive, "server must honour Connection: keep-alive");
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body).expect("body");
+        (status, String::from_utf8(body).expect("utf-8 body"))
+    }
 }
 
 fn tmp_dir(tag: &str) -> PathBuf {
@@ -94,20 +152,22 @@ fn full_train_restart_predict_advise_cycle() {
     assert_eq!(models.models[0].config, "NoJoin");
 
     // /v1/predict over the full holdout split, compared against in-process
-    // Classifier::predict of the same artifact.
+    // Classifier::predict of the same artifact — all of it through one
+    // keep-alive connection.
     let artifact = state2.registry.get("movies-tree").unwrap();
     let data = build_splits(&g, &FeatureConfig::NoJoin).unwrap();
     let rows: Vec<Vec<u32>> = (0..data.test.n_rows())
         .map(|i| data.test.row(i).to_vec())
         .collect();
     let expected = artifact.model.predict(&data.test);
-    let (status, body) = http(
-        addr,
+    let mut client = KeepAliveClient::connect(addr);
+    let (status, body) = client.request(
         "POST",
         "/v1/predict",
         &serde_json::to_string(&PredictRequest {
             model: "movies-tree".into(),
-            rows,
+            rows: Some(rows.clone()),
+            rows_raw: None,
         })
         .unwrap(),
     );
@@ -119,6 +179,35 @@ fn full_train_restart_predict_advise_cycle() {
         "HTTP predictions must match in-process Classifier::predict"
     );
     assert!(predicted.latency_ms >= 0.0);
+
+    // Same batch as raw label strings (decoded through the artifact's own
+    // v2 contract) — the server-side dictionary encoding must produce
+    // bit-identical predictions, on the same keep-alive socket.
+    assert!(artifact.contract.has_domains(), "freshly trained = v2");
+    let rows_raw: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| artifact.contract.decode_row(r).unwrap())
+        .collect();
+    let (status, body) = client.request(
+        "POST",
+        "/v1/predict",
+        &serde_json::to_string(&PredictRequest {
+            model: "movies-tree".into(),
+            rows: None,
+            rows_raw: Some(rows_raw),
+        })
+        .unwrap(),
+    );
+    assert_eq!(status, 200, "{body}");
+    let raw_predicted: PredictResponse = serde_json::from_str(&body).unwrap();
+    assert_eq!(
+        raw_predicted.labels, expected,
+        "raw-string predictions must bit-match pre-encoded rows"
+    );
+
+    // The keep-alive socket keeps answering cheap requests too.
+    let (status, body) = client.request("GET", "/healthz", "");
+    assert_eq!(status, 200, "{body}");
 
     // /v1/advise with the generated star's true statistics, compared against
     // the in-process advisor on the star itself.
@@ -184,18 +273,19 @@ fn concurrent_batched_predictions_are_consistent() {
     let addr = server.addr();
 
     let artifact = state.registry.get("onexr-nb").unwrap();
-    let d = artifact.features.len();
+    let d = artifact.features().len();
     // One fixed batch; every thread must get the identical answer.
     let rows: Vec<Vec<u32>> = (0..32)
         .map(|i| {
             (0..d)
-                .map(|j| (i as u32 + j as u32) % artifact.features[j].cardinality)
+                .map(|j| (i as u32 + j as u32) % artifact.features()[j].cardinality)
                 .collect()
         })
         .collect();
     let body = serde_json::to_string(&PredictRequest {
         model: "onexr-nb".into(),
-        rows,
+        rows: Some(rows),
+        rows_raw: None,
     })
     .unwrap();
 
@@ -218,6 +308,36 @@ fn concurrent_batched_predictions_are_consistent() {
         let r: PredictResponse = serde_json::from_str(body).unwrap();
         assert_eq!(r.labels, first.labels);
     }
+
+    // A batch large enough to shard across the scoped-thread fan-out must
+    // still bit-match the in-process sequential predict.
+    let n_large = 4096;
+    let rows: Vec<Vec<u32>> = (0..n_large)
+        .map(|i| {
+            (0..d)
+                .map(|j| (i as u32 * 7 + j as u32) % artifact.features()[j].cardinality)
+                .collect()
+        })
+        .collect();
+    let flat: Vec<u32> = rows.iter().flatten().copied().collect();
+    let expected = artifact.model.predict_batch(&flat, d);
+    let (status, body) = http(
+        addr,
+        "POST",
+        "/v1/predict",
+        &serde_json::to_string(&PredictRequest {
+            model: "onexr-nb".into(),
+            rows: Some(rows),
+            rows_raw: None,
+        })
+        .unwrap(),
+    );
+    assert_eq!(status, 200);
+    let parallel: PredictResponse = serde_json::from_str(&body).unwrap();
+    assert_eq!(
+        parallel.labels, expected,
+        "batch-parallel fan-out must be bit-identical to sequential"
+    );
 
     server.shutdown();
     std::fs::remove_dir_all(&dir).ok();

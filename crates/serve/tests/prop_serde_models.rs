@@ -20,14 +20,16 @@ fn dataset_strategy() -> impl Strategy<Value = CatDataset> {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let features: Vec<FeatureMeta> = (0..d)
-            .map(|j| FeatureMeta {
-                name: format!("f{j}"),
-                cardinality: k,
-                provenance: if j == 0 && d > 1 {
-                    Provenance::ForeignKey { dim: 0 }
-                } else {
-                    Provenance::Home
-                },
+            .map(|j| {
+                FeatureMeta::new(
+                    format!("f{j}"),
+                    k,
+                    if j == 0 && d > 1 {
+                        Provenance::ForeignKey { dim: 0 }
+                    } else {
+                        Provenance::Home
+                    },
+                )
             })
             .collect();
         let rows: Vec<u32> = (0..n * d).map(|_| rng.gen_range(0..k)).collect();
