@@ -1,9 +1,16 @@
 //! Serving-layer microbenchmarks: the enum-dispatch predict hot path vs the
 //! boxed-trait-object path, batch throughput through `predict_batch`,
-//! saturation (large-batch scoped-thread fan-out vs single thread), raw
-//! label encoding, and artifact save/load costs.
+//! saturation (large-batch scoped-thread fan-out vs single thread), the
+//! reactor's idle-keep-alive headline (HTTP predict throughput with 0 vs
+//! 256 parked connections), raw label encoding, and artifact save/load
+//! costs.
 //!
 //! Run with `cargo bench -p hamlet-bench --bench serve_latency`.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
@@ -14,6 +21,8 @@ use hamlet_datagen::prelude::*;
 use hamlet_ml::any::AnyClassifier;
 use hamlet_ml::model::Classifier;
 use hamlet_serve::artifact::{ModelArtifact, TrainingMetadata, FORMAT_VERSION};
+use hamlet_serve::http::ServerOptions;
+use hamlet_serve::server::{serve_with, AppState};
 
 fn trained_tree() -> (AnyClassifier, Vec<u32>, usize, GeneratedStar) {
     let g = onexr::generate(OneXrParams {
@@ -83,6 +92,111 @@ fn predict_batch_saturation(c: &mut Criterion) {
     group.finish();
 }
 
+/// Reads one HTTP response off a keep-alive socket, returning its body.
+fn read_one_response(s: &mut TcpStream) -> Vec<u8> {
+    hamlet_serve::http::read_response(s)
+        .expect("one response")
+        .body
+}
+
+/// The reactor's headline: end-to-end HTTP predict throughput with 0 vs
+/// 256 *idle* keep-alive connections parked on the server. Before the
+/// epoll refactor every parked connection pinned a worker thread, so 256
+/// parked connections starved the pool outright; with the reactor they
+/// must cost (close to) nothing.
+fn idle_keepalive_throughput(c: &mut Criterion) {
+    let (model, rows, d, g) = trained_tree();
+    let dir = std::env::temp_dir().join(format!("hamlet-bench-idle-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let (state, _) = AppState::warm(dir.clone()).unwrap();
+    let contract = build_dataset(&g.star, &FeatureConfig::NoJoin)
+        .unwrap()
+        .contract();
+    state.registry.insert(ModelArtifact {
+        format_version: FORMAT_VERSION,
+        name: "bench-idle".into(),
+        version: 1,
+        model,
+        feature_config: FeatureConfig::NoJoin,
+        contract,
+        schema_fingerprint: g.star.fingerprint(),
+        metadata: TrainingMetadata {
+            dataset: "onexr".into(),
+            spec: ModelSpec::TreeGini,
+            train_rows: g.n_train,
+            metrics: hamlet_core::experiment::RunResult {
+                model: "DT-Gini".into(),
+                config: "NoJoin".into(),
+                train_accuracy: 0.0,
+                val_accuracy: 0.0,
+                test_accuracy: 0.0,
+                seconds: 0.0,
+                winner: String::new(),
+            },
+        },
+    });
+    let server = serve_with(
+        "127.0.0.1:0",
+        ServerOptions {
+            workers: 2,
+            max_conns: 2048,
+            // Parked connections must survive the whole measurement.
+            idle_timeout: Duration::from_secs(3600),
+            ..ServerOptions::default()
+        },
+        Arc::clone(&state),
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // A fixed 64-row predict request, sent over one keep-alive socket.
+    let coded: Vec<Vec<u32>> = rows.chunks_exact(d).take(64).map(<[u32]>::to_vec).collect();
+    let request_body = format!(
+        "{{\"model\":\"bench-idle\",\"rows\":{}}}",
+        serde_json::to_string(&coded).unwrap()
+    );
+    let request = format!(
+        "POST /v1/predict HTTP/1.1\r\nHost: bench\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\n\r\n{request_body}",
+        request_body.len()
+    );
+
+    let mut group = c.benchmark_group("idle_keepalive");
+    let mut parked: Vec<TcpStream> = Vec::new();
+    for n_parked in [0usize, 256] {
+        while parked.len() < n_parked {
+            let mut s = TcpStream::connect(addr).expect("park");
+            // One real request each, so every parked socket is a live
+            // keep-alive connection in the reactor, not an unused fd.
+            s.write_all(b"GET /healthz HTTP/1.1\r\nHost: bench\r\n\r\n")
+                .unwrap();
+            read_one_response(&mut s);
+            parked.push(s);
+        }
+        // The server closes keep-alive sockets after 100 requests (the
+        // per-connection cap), so the bench client reconnects shy of it.
+        let mut client = TcpStream::connect(addr).expect("bench client");
+        client.set_nodelay(true).unwrap();
+        let mut served = 0usize;
+        group.bench_function(format!("predict64/parked{n_parked}"), |b| {
+            b.iter(|| {
+                if served + 1 >= hamlet_serve::http::MAX_KEEPALIVE_REQUESTS {
+                    client = TcpStream::connect(addr).expect("bench reconnect");
+                    client.set_nodelay(true).unwrap();
+                    served = 0;
+                }
+                served += 1;
+                client.write_all(request.as_bytes()).unwrap();
+                black_box(read_one_response(&mut client));
+            })
+        });
+    }
+    group.finish();
+    drop(parked);
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// Cost of the server-side dictionary encoding that `rows_raw` adds on top
 /// of a pre-encoded predict.
 fn raw_encode_overhead(c: &mut Criterion) {
@@ -148,6 +262,7 @@ criterion_group!(
     predict_dispatch,
     predict_batch_throughput,
     predict_batch_saturation,
+    idle_keepalive_throughput,
     raw_encode_overhead,
     artifact_io
 );

@@ -36,6 +36,26 @@ pub struct PredictResponse {
     pub latency_ms: f64,
 }
 
+/// `POST /v1/explain` — decode coded rows back to raw label strings
+/// against the model's dictionaries (the inverse of `rows_raw` ingest).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ExplainRequest {
+    /// Registry name (`model-name`) or pinned key (`model-name@3`).
+    pub model: String,
+    /// Rows of categorical codes to decode; every code must be inside its
+    /// feature's domain.
+    pub rows: Vec<Vec<u32>>,
+}
+
+/// `POST /v1/explain` response.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ExplainResponse {
+    /// The exact artifact whose contract decoded the rows (`name@version`).
+    pub model: String,
+    /// One label string per input code, row-aligned with the request.
+    pub rows_raw: Vec<Vec<String>>,
+}
+
 /// `POST /v1/advise` — star-schema statistics for a sourcing decision.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct AdviseRequest {

@@ -3,17 +3,23 @@
 //! ```bash
 //! hamlet-serve train --name movies-tree --dataset movies --spec TreeGini \
 //!     [--config NoJoin|JoinAll|NoFK] [--scale 2000] [--seed 7] [--full] [--dir artifacts]
-//! hamlet-serve serve [--addr 127.0.0.1:8080] [--workers N] [--dir artifacts]
+//! hamlet-serve serve [--addr 127.0.0.1:8080] [--workers N] [--max-conns N] [--dir artifacts]
+//! hamlet-serve probe [--addr 127.0.0.1:8080] [--idle 64] [--path /healthz]
+//!                    [--body JSON] [--threshold-ms 2000]
 //! hamlet-serve datasets
 //! ```
 
 use std::collections::HashMap;
+use std::io::Write;
+use std::net::TcpStream;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use hamlet_core::feature_config::FeatureConfig;
 use hamlet_core::model_zoo::ModelSpec;
 use hamlet_serve::api::TrainRequest;
+use hamlet_serve::http::ServerOptions;
 use hamlet_serve::server::AppState;
 use hamlet_serve::train::{train_and_register, DATASETS};
 
@@ -23,15 +29,24 @@ USAGE:
     hamlet-serve train --name <NAME> --dataset <DATASET> --spec <SPEC>
                        [--config <CONFIG>] [--scale <N>] [--seed <N>]
                        [--full] [--dir <DIR>]
-    hamlet-serve serve [--addr <ADDR>] [--workers <N>] [--dir <DIR>]
+    hamlet-serve serve [--addr <ADDR>] [--workers <N>] [--max-conns <N>]
+                       [--dir <DIR>]
+    hamlet-serve probe [--addr <ADDR>] [--idle <N>] [--path <PATH>]
+                       [--body <JSON>] [--threshold-ms <MS>]
     hamlet-serve datasets
 
 SPECS:    TreeGini TreeInfoGain TreeGainRatio OneNN SvmLinear SvmQuadratic
           SvmRbf Ann NaiveBayesBfs LogRegL1
 CONFIGS:  NoJoin (default) | JoinAll | NoFK
 DATASETS: movies yelp walmart expedia lastfm books flights onexr
-DEFAULTS: --dir artifacts, --addr 127.0.0.1:8080, --workers = CPU count,
-          --scale 2000, --seed 7; --full uses the paper-fidelity grids
+DEFAULTS: --dir artifacts, --addr 127.0.0.1:8080, --scale 2000, --seed 7,
+          --workers = CPU count (request *executors*: idle connections no
+          longer occupy a worker), --max-conns 1024; --full uses the
+          paper-fidelity grids
+
+PROBE:    opens --idle parked keep-alive connections, then times one
+          request on a FRESH connection; fails if it errors or exceeds
+          --threshold-ms. Smoke-checks that idle connections are free.
 ";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -117,18 +132,111 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(4),
     };
+    let max_conns = match flags.get("max-conns") {
+        Some(m) => m.parse().map_err(|_| format!("bad --max-conns `{m}`"))?,
+        None => hamlet_serve::http::MAX_CONNS,
+    };
     let dir = PathBuf::from(flags.get("dir").map(String::as_str).unwrap_or("artifacts"));
 
-    let (state, loaded) = AppState::warm(dir.clone()).map_err(|e| e.to_string())?;
-    let server = hamlet_serve::server::serve(addr, workers, state).map_err(|e| e.to_string())?;
+    let (state, loaded) = AppState::warm_sized(dir.clone(), workers).map_err(|e| e.to_string())?;
+    let opts = ServerOptions {
+        workers,
+        max_conns,
+        ..ServerOptions::default()
+    };
+    let server = hamlet_serve::server::serve_with(addr, opts, state).map_err(|e| e.to_string())?;
     eprintln!(
-        "hamlet-serve listening on http://{} ({} worker(s), {} model(s) warm from {})",
+        "hamlet-serve listening on http://{} ({} executor(s), {} max conns, \
+         {} model(s) warm from {})",
         server.addr(),
         workers,
+        max_conns,
         loaded,
         dir.display()
     );
-    server.block_forever()
+    // Parked on a condvar (zero CPU) until a stop signal; process signals
+    // (Ctrl-C) terminate the process directly.
+    server.block_until_shutdown();
+    Ok(())
+}
+
+/// `probe`: open N idle keep-alive connections, then verify a fresh
+/// connection still answers promptly — the reactor's "idle connections are
+/// free" property as a CI-runnable smoke check.
+fn cmd_probe(flags: &HashMap<String, String>) -> Result<(), String> {
+    let addr = flags
+        .get("addr")
+        .map(String::as_str)
+        .unwrap_or("127.0.0.1:8080");
+    let idle: usize = match flags.get("idle") {
+        Some(n) => n.parse().map_err(|_| format!("bad --idle `{n}`"))?,
+        None => 64,
+    };
+    let path = flags.get("path").map(String::as_str).unwrap_or("/healthz");
+    let body = flags.get("body").map(String::as_str).unwrap_or("");
+    let threshold_ms: f64 = match flags.get("threshold-ms") {
+        Some(t) => t.parse().map_err(|_| format!("bad --threshold-ms `{t}`"))?,
+        None => 2000.0,
+    };
+    // Blocking reads must not outlive the failure budget: if the server
+    // wedges (the exact regression this probe exists to catch), the probe
+    // has to exit nonzero promptly, not hang the CI job.
+    let io_timeout = std::time::Duration::from_millis((threshold_ms.max(1000.0) * 2.0) as u64);
+
+    // Park idle keep-alive connections. Each does one tiny request first so
+    // it is a *bona fide* keep-alive connection, not just an unused socket.
+    let mut parked = Vec::with_capacity(idle);
+    for i in 0..idle {
+        let mut s = TcpStream::connect(addr)
+            .map_err(|e| format!("parking connection {i}: connect: {e}"))?;
+        s.set_read_timeout(Some(io_timeout))
+            .map_err(|e| format!("parking connection {i}: timeout: {e}"))?;
+        s.write_all(b"GET /healthz HTTP/1.1\r\nHost: probe\r\n\r\n")
+            .map_err(|e| format!("parking connection {i}: send: {e}"))?;
+        read_one_response(&mut s).map_err(|e| format!("parking connection {i}: {e}"))?;
+        parked.push(s);
+    }
+
+    // One timed request on a fresh connection.
+    let start = Instant::now();
+    let mut s = TcpStream::connect(addr).map_err(|e| format!("fresh connect: {e}"))?;
+    s.set_read_timeout(Some(io_timeout))
+        .map_err(|e| format!("fresh timeout: {e}"))?;
+    let request = if body.is_empty() {
+        format!("GET {path} HTTP/1.1\r\nHost: probe\r\nConnection: close\r\n\r\n")
+    } else {
+        format!(
+            "POST {path} HTTP/1.1\r\nHost: probe\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )
+    };
+    s.write_all(request.as_bytes())
+        .map_err(|e| format!("fresh send: {e}"))?;
+    let (status, resp_body) = read_one_response(&mut s).map_err(|e| format!("fresh recv: {e}"))?;
+    let latency_ms = start.elapsed().as_secs_f64() * 1e3;
+    drop(parked);
+
+    println!(
+        "{{\"idle_connections\":{idle},\"path\":\"{path}\",\"status\":{status},\
+         \"latency_ms\":{latency_ms:.3}}}"
+    );
+    if !(200..300).contains(&status) {
+        return Err(format!("probe got HTTP {status}: {resp_body}"));
+    }
+    if latency_ms > threshold_ms {
+        return Err(format!(
+            "probe latency {latency_ms:.1} ms exceeds threshold {threshold_ms} ms \
+             with {idle} idle connections parked"
+        ));
+    }
+    Ok(())
+}
+
+/// Reads one HTTP response, returning (status, body text).
+fn read_one_response(s: &mut TcpStream) -> Result<(u16, String), String> {
+    let resp = hamlet_serve::http::read_response(s).map_err(|e| format!("recv: {e}"))?;
+    Ok((resp.status, String::from_utf8_lossy(&resp.body).to_string()))
 }
 
 fn main() -> ExitCode {
@@ -151,6 +259,7 @@ fn main() -> ExitCode {
     let result = match cmd {
         "train" => cmd_train(&flags),
         "serve" => cmd_serve(&flags),
+        "probe" => cmd_probe(&flags),
         "datasets" => {
             for d in DATASETS {
                 println!("{d}");

@@ -1,38 +1,81 @@
-//! A deliberately small HTTP/1.1 server on `std::net`.
+//! A deliberately small HTTP/1.1 server on `std::net` — event-driven since
+//! the reactor refactor.
 //!
-//! No async runtime is available offline, and none is needed for the
-//! latency envelope this layer targets: a fixed pool of worker threads pulls
-//! accepted connections off an `mpsc` channel, parses requests
-//! (request-line + headers + `Content-Length` body), dispatches to the
-//! router and writes responses. A client that sends `Connection:
-//! keep-alive` keeps its socket open and is served up to
-//! [`MAX_KEEPALIVE_REQUESTS`] requests on it (one `BufReader` per
-//! connection, so pipelined bytes are never dropped between requests); all
-//! other clients get one request per connection (`Connection: close`), the
-//! pre-keep-alive behaviour. Malformed requests get a 400 and close the
-//! connection, oversized bodies a 413, and worker panics are confined to
-//! the connection that caused them. A keep-alive connection occupies its
-//! worker thread between requests, so the per-connection request cap plus
-//! the idle read timeout bound how long a slow client can hold a worker.
+//! No async runtime is available offline, and none is needed: a single
+//! **reactor thread** (see [`crate::reactor`]) multiplexes every connection
+//! over raw `epoll`, parsing requests incrementally through each
+//! connection's explicit state machine (see [`crate::conn`]). Parsed
+//! requests are handed to a fixed pool of **executor threads** over a
+//! channel; executors run the router/handler and hand finished responses
+//! back to the reactor, which writes them as the socket allows.
+//!
+//! Consequences of the split:
+//!
+//! - HTTP/1.1 connections are **keep-alive by default** (close on
+//!   `Connection: close`, HTTP/1.0 without an explicit keep-alive, parse
+//!   errors, or the per-connection request cap), and an *idle* keep-alive
+//!   connection costs zero threads — `--workers` now sizes request
+//!   execution, not connection concurrency.
+//! - Pipelined requests are parsed as they arrive, executed strictly in
+//!   order, and their responses batched into one write buffer.
+//! - Slow or dead peers are reaped by a coarse deadline wheel with
+//!   state-dependent timeouts (idle vs. mid-request vs. mid-write);
+//!   handlers themselves are never timed out (training runs for minutes).
+//! - Malformed requests get a 400 and close the connection, oversized
+//!   bodies a 413, connections over [`ServerOptions::max_conns`] a 503,
+//!   and handler panics are confined to the request that caused them.
 
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::TcpListener;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 /// Upper bound on request bodies (16 MiB) — predict batches are bounded by
 /// the client; this guards the server's memory.
 pub const MAX_BODY_BYTES: u64 = 16 * 1024 * 1024;
 
-/// Per-connection socket timeout.
-const IO_TIMEOUT: Duration = Duration::from_secs(10);
-
-/// Upper bound on requests served over one keep-alive connection before the
-/// server closes it. Bounds how long one client can monopolize a worker
-/// thread from the fixed pool.
+/// Default upper bound on requests served over one keep-alive connection
+/// before the server closes it (see [`ServerOptions::max_keepalive_requests`]).
 pub const MAX_KEEPALIVE_REQUESTS: usize = 100;
+
+/// Default cap on simultaneously open connections.
+pub const MAX_CONNS: usize = 1024;
+
+/// Tuning knobs for [`Server::bind_with`]. `Default` matches the CLI
+/// defaults.
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Executor threads running request handlers. This no longer bounds
+    /// connection concurrency — idle connections are parked in the
+    /// reactor, not on a thread.
+    pub workers: usize,
+    /// Cap on simultaneously open connections; excess connections are
+    /// answered with a 503 and closed.
+    pub max_conns: usize,
+    /// A request (head + body) must arrive completely within this long of
+    /// its first byte, and a queued response must make write progress at
+    /// this cadence — the slow-loris/dead-peer reaping deadline.
+    pub request_timeout: Duration,
+    /// How long a keep-alive connection may sit idle between requests.
+    pub idle_timeout: Duration,
+    /// Requests served over one keep-alive connection before close.
+    pub max_keepalive_requests: usize,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            workers: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4),
+            max_conns: MAX_CONNS,
+            request_timeout: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(30),
+            max_keepalive_requests: MAX_KEEPALIVE_REQUESTS,
+        }
+    }
+}
 
 /// A parsed HTTP request.
 #[derive(Debug, Clone)]
@@ -43,8 +86,9 @@ pub struct Request {
     pub path: String,
     /// Raw body bytes.
     pub body: Vec<u8>,
-    /// Whether the client asked to keep the connection open
-    /// (`Connection: keep-alive`).
+    /// Whether the connection should stay open after this request:
+    /// HTTP/1.1 defaults to `true`, HTTP/1.0 to `false`, and an explicit
+    /// `Connection: keep-alive` / `Connection: close` header always wins.
     pub keep_alive: bool,
 }
 
@@ -84,15 +128,20 @@ impl Response {
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            408 => "Request Timeout",
             413 => "Payload Too Large",
             422 => "Unprocessable Entity",
             429 => "Too Many Requests",
             500 => "Internal Server Error",
+            503 => "Service Unavailable",
             _ => "Unknown",
         }
     }
 
-    fn write_to(&self, stream: &mut TcpStream, keep_alive: bool) -> std::io::Result<()> {
+    /// Serializes status line + headers + body into `out` (the reactor's
+    /// per-connection write buffer — appending lets pipelined responses
+    /// batch into one flush).
+    pub(crate) fn encode_into(&self, keep_alive: bool, out: &mut Vec<u8>) {
         let connection = if keep_alive { "keep-alive" } else { "close" };
         let head = format!(
             "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n\
@@ -102,80 +151,182 @@ impl Response {
             self.content_type,
             self.body.len()
         );
-        stream.write_all(head.as_bytes())?;
-        stream.write_all(&self.body)?;
-        stream.flush()
+        out.reserve(head.len() + self.body.len());
+        out.extend_from_slice(head.as_bytes());
+        out.extend_from_slice(&self.body);
     }
+}
+
+/// One response as read off the wire by [`read_response`].
+#[derive(Debug, Clone)]
+pub struct RawResponse {
+    /// Parsed status code.
+    pub status: u16,
+    /// The raw status line + headers (terminator included).
+    pub head: String,
+    /// The `Content-Length`-framed body bytes.
+    pub body: Vec<u8>,
+}
+
+impl RawResponse {
+    /// Head + body as one string (lossy), for assertions and diagnostics.
+    pub fn text(&self) -> String {
+        format!("{}{}", self.head, String::from_utf8_lossy(&self.body))
+    }
+}
+
+/// Reads exactly one HTTP response (status line + headers +
+/// `Content-Length`-framed body) from `stream`, leaving any pipelined
+/// bytes behind it unread — so a keep-alive socket can be reused for the
+/// next request. A deliberately minimal *client-side* reader shared by the
+/// `probe` CLI, the benches and the test suites; not a general HTTP client
+/// (no chunked encoding, which this server never emits).
+pub fn read_response(stream: &mut impl std::io::Read) -> std::io::Result<RawResponse> {
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        stream.read_exact(&mut byte)?;
+        head.push(byte[0]);
+        if head.len() > 64 * 1024 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "unterminated response head",
+            ));
+        }
+    }
+    let head = String::from_utf8_lossy(&head).into_owned();
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed status line")
+        })?;
+    let len: usize = head
+        .lines()
+        .find_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            name.eq_ignore_ascii_case("content-length")
+                .then(|| value.trim().parse().ok())?
+        })
+        .unwrap_or(0);
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body)?;
+    Ok(RawResponse { status, head, body })
 }
 
 /// The application's request handler.
 pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
 
-/// A running server: acceptor thread + fixed worker pool.
+/// A parsed request travelling from the reactor to an executor.
+pub(crate) struct Job {
+    /// The owning connection's reactor token.
+    pub token: u64,
+    pub request: Request,
+}
+
+/// A finished response travelling from an executor back to the reactor.
+pub(crate) struct Completion {
+    pub token: u64,
+    pub response: Response,
+}
+
+/// A handle that can stop a running [`Server`] from another thread (the
+/// `Server` itself is typically parked in [`Server::block_until_shutdown`]).
+#[derive(Clone)]
+pub struct StopHandle {
+    shutdown: Arc<AtomicBool>,
+    stopped: Arc<(Mutex<bool>, Condvar)>,
+    waker: Arc<crate::reactor::Waker>,
+}
+
+impl StopHandle {
+    /// Signals shutdown: the reactor exits its next loop iteration and any
+    /// thread parked in [`Server::block_until_shutdown`] wakes immediately.
+    pub fn stop(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.waker.wake();
+        let (lock, cond) = &*self.stopped;
+        let mut stopped = lock.lock().expect("lifecycle poisoned");
+        *stopped = true;
+        cond.notify_all();
+    }
+}
+
+/// A running server: one reactor thread + a fixed executor pool.
 pub struct Server {
     addr: std::net::SocketAddr,
     shutdown: Arc<AtomicBool>,
-    acceptor: Option<std::thread::JoinHandle<()>>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    stopped: Arc<(Mutex<bool>, Condvar)>,
+    waker: Arc<crate::reactor::Waker>,
+    reactor: Option<std::thread::JoinHandle<()>>,
+    executors: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds `addr` (use port 0 for an ephemeral port) and starts accepting
-    /// with `n_workers` handler threads.
+    /// Binds `addr` (use port 0 for an ephemeral port) with `n_workers`
+    /// executor threads and default I/O options.
     pub fn bind(addr: &str, n_workers: usize, handler: Handler) -> std::io::Result<Server> {
-        let listener = TcpListener::bind(addr)?;
-        let local = listener.local_addr()?;
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = std::sync::mpsc::channel();
-        let rx = Arc::new(Mutex::new(rx));
+        Server::bind_with(
+            addr,
+            handler,
+            ServerOptions {
+                workers: n_workers,
+                ..ServerOptions::default()
+            },
+        )
+    }
 
-        let workers = (0..n_workers.max(1))
+    /// Binds `addr` and starts the reactor + executor pool with explicit
+    /// [`ServerOptions`].
+    pub fn bind_with(addr: &str, handler: Handler, opts: ServerOptions) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let opts = Arc::new(opts);
+        let waker = Arc::new(crate::reactor::Waker::new()?);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stopped = Arc::new((Mutex::new(false), Condvar::new()));
+
+        let (job_tx, job_rx): (Sender<Job>, Receiver<Job>) = std::sync::mpsc::channel();
+        let (done_tx, done_rx): (Sender<Completion>, Receiver<Completion>) =
+            std::sync::mpsc::channel();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+
+        let executors = (0..opts.workers.max(1))
             .map(|i| {
-                let rx = Arc::clone(&rx);
+                let job_rx = Arc::clone(&job_rx);
+                let done_tx = done_tx.clone();
                 let handler = Arc::clone(&handler);
+                let waker = Arc::clone(&waker);
                 std::thread::Builder::new()
-                    .name(format!("hamlet-serve-worker-{i}"))
-                    .spawn(move || loop {
-                        let conn = rx.lock().expect("worker queue poisoned").recv();
-                        match conn {
-                            Ok(stream) => handle_connection(stream, &handler),
-                            Err(_) => return, // acceptor gone: drain and exit
-                        }
-                    })
-                    .expect("spawning worker thread")
+                    .name(format!("hamlet-serve-exec-{i}"))
+                    .spawn(move || executor_loop(&job_rx, &done_tx, &handler, &waker))
+                    .expect("spawning executor thread")
             })
             .collect();
 
-        let acceptor = {
+        let reactor = {
+            let waker = Arc::clone(&waker);
             let shutdown = Arc::clone(&shutdown);
+            let opts = Arc::clone(&opts);
             std::thread::Builder::new()
-                .name("hamlet-serve-acceptor".into())
+                .name("hamlet-serve-reactor".into())
                 .spawn(move || {
-                    for conn in listener.incoming() {
-                        if shutdown.load(Ordering::SeqCst) {
-                            return; // drops tx → workers drain and exit
-                        }
-                        match conn {
-                            Ok(stream) => {
-                                let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
-                                let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
-                                let _ = stream.set_nodelay(true);
-                                if tx.send(stream).is_err() {
-                                    return;
-                                }
-                            }
-                            Err(_) => continue,
-                        }
-                    }
+                    // The reactor owns the only Sender<Job>; when it exits,
+                    // the executors' recv() fails and they drain and exit.
+                    crate::reactor::run(listener, job_tx, done_rx, waker, shutdown, opts)
                 })
-                .expect("spawning acceptor thread")
+                .expect("spawning reactor thread")
         };
 
         Ok(Server {
             addr: local,
             shutdown,
-            acceptor: Some(acceptor),
-            workers,
+            stopped,
+            waker,
+            reactor: Some(reactor),
+            executors,
         })
     }
 
@@ -184,205 +335,72 @@ impl Server {
         self.addr
     }
 
-    /// Signals shutdown and joins all threads. The acceptor is woken by a
-    /// loopback connection so `listener.incoming()` observes the flag.
-    pub fn shutdown(mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        let _ = TcpStream::connect(self.addr);
-        if let Some(a) = self.acceptor.take() {
-            let _ = a.join();
+    /// A clonable handle that can stop this server from another thread.
+    pub fn stop_handle(&self) -> StopHandle {
+        StopHandle {
+            shutdown: Arc::clone(&self.shutdown),
+            stopped: Arc::clone(&self.stopped),
+            waker: Arc::clone(&self.waker),
         }
-        for w in self.workers.drain(..) {
+    }
+
+    /// Signals shutdown and joins the reactor and every executor.
+    pub fn shutdown(mut self) {
+        self.stop_handle().stop();
+        if let Some(r) = self.reactor.take() {
+            let _ = r.join();
+        }
+        // The reactor dropped the job sender; executors drain and exit.
+        for w in self.executors.drain(..) {
             let _ = w.join();
         }
     }
 
-    /// Blocks the calling thread forever (CLI `serve` mode).
-    pub fn block_forever(&self) -> ! {
-        loop {
-            std::thread::sleep(Duration::from_secs(3600));
+    /// Parks the calling thread until [`StopHandle::stop`] (or
+    /// [`Server::shutdown`] from another thread via a handle) is called.
+    /// Zero CPU while parked — this replaced a 3600 s sleep/poll loop, so
+    /// stopping is now prompt instead of "within the hour".
+    pub fn block_until_shutdown(&self) {
+        let (lock, cond) = &*self.stopped;
+        let mut stopped = lock.lock().expect("lifecycle poisoned");
+        while !*stopped {
+            stopped = cond.wait(stopped).expect("lifecycle poisoned");
         }
     }
 }
 
-fn handle_connection(stream: TcpStream, handler: &Handler) {
-    // One BufReader for the connection's lifetime: bytes a pipelining
-    // client sent ahead stay buffered for the next request instead of
-    // being dropped with a per-request reader.
-    let mut reader = BufReader::new(stream);
-    for served in 1..=MAX_KEEPALIVE_REQUESTS {
-        let mut request_error = false;
-        let mut client_keep_alive = false;
-        let response = match read_request(&mut reader) {
-            Ok(request) => {
-                client_keep_alive = request.keep_alive;
-                // Confine handler panics to this connection.
-                let result =
-                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler(&request)));
-                result.unwrap_or_else(|_| {
-                    Response::json(
-                        500,
-                        "{\"error\":\"internal handler panic\"}".as_bytes().to_vec(),
-                    )
-                })
-            }
-            Err(ReadError::TooLarge(what)) => {
-                request_error = true;
-                Response::json(413, format!("{{\"error\":\"{what}\"}}").into_bytes())
-            }
-            Err(ReadError::Malformed(msg)) => {
-                request_error = true;
-                Response::json(400, format!("{{\"error\":\"{msg}\"}}").into_bytes())
-            }
-            // Clean close or vanished client: nothing to write. (Eof is
-            // normalized inside read_request; kept here for exhaustiveness.)
-            Err(ReadError::Io | ReadError::Eof) => return,
+/// One executor thread: pull parsed requests, run the handler (panics
+/// confined to the request), push completions, wake the reactor.
+fn executor_loop(
+    jobs: &Arc<Mutex<Receiver<Job>>>,
+    done: &Sender<Completion>,
+    handler: &Handler,
+    waker: &crate::reactor::Waker,
+) {
+    loop {
+        let job = jobs.lock().expect("executor queue poisoned").recv();
+        let Ok(Job { token, request }) = job else {
+            return; // reactor gone: drain and exit
         };
-        if request_error {
-            // The client may still be mid-send; closing with unread input
-            // makes the kernel RST the connection and the client never sees
-            // the error response. Drain a bounded amount first (abusive
-            // streams beyond the cap still get dropped). The parse state is
-            // unknown afterwards, so the connection always closes.
-            drain_bounded(&mut reader);
+        let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler(&request)))
+            .unwrap_or_else(|_| {
+                Response::json(
+                    500,
+                    "{\"error\":\"internal handler panic\"}".as_bytes().to_vec(),
+                )
+            });
+        if done.send(Completion { token, response }).is_err() {
+            return; // reactor gone
         }
-        let keep_alive = client_keep_alive && !request_error && served < MAX_KEEPALIVE_REQUESTS;
-        if response.write_to(reader.get_mut(), keep_alive).is_err() || !keep_alive {
-            return;
-        }
+        waker.wake();
     }
-}
-
-/// Reads and discards up to 1 MiB of pending input with a short timeout.
-fn drain_bounded(reader: &mut BufReader<TcpStream>) {
-    let _ = reader
-        .get_mut()
-        .set_read_timeout(Some(Duration::from_millis(200)));
-    let mut buf = [0u8; 8192];
-    let mut total = 0usize;
-    while total < 1024 * 1024 {
-        match reader.read(&mut buf) {
-            Ok(0) | Err(_) => break,
-            Ok(n) => total += n,
-        }
-    }
-    let _ = reader.get_mut().set_read_timeout(Some(IO_TIMEOUT));
-}
-
-enum ReadError {
-    Io,
-    /// The peer closed the connection at a line boundary. Clean close
-    /// *before* a request line (the normal end of a keep-alive
-    /// conversation) is not an error; mid-request it is truncation.
-    Eof,
-    /// A size cap was exceeded; the payload names which limit.
-    TooLarge(&'static str),
-    Malformed(&'static str),
-}
-
-/// Cap on the request line and each header line; a client streaming bytes
-/// with no newline must not grow server memory unboundedly.
-const MAX_LINE_BYTES: u64 = 16 * 1024;
-
-/// Cap on the number of headers per request.
-const MAX_HEADERS: usize = 100;
-
-/// `read_line` with a hard length cap. Returns the line without its
-/// terminator; errors when the cap is hit before a newline.
-fn read_line_bounded(
-    reader: &mut BufReader<TcpStream>,
-    buf: &mut Vec<u8>,
-) -> Result<(), ReadError> {
-    buf.clear();
-    let n = reader
-        .by_ref()
-        .take(MAX_LINE_BYTES)
-        .read_until(b'\n', buf)
-        .map_err(|_| ReadError::Io)?;
-    if n == 0 {
-        return Err(ReadError::Eof);
-    }
-    if buf.last() != Some(&b'\n') {
-        // Either the peer closed mid-line or the line exceeds the cap.
-        return Err(if n as u64 == MAX_LINE_BYTES {
-            ReadError::TooLarge("request/header line exceeds 16 KiB")
-        } else {
-            ReadError::Malformed("truncated request")
-        });
-    }
-    while matches!(buf.last(), Some(b'\n' | b'\r')) {
-        buf.pop();
-    }
-    Ok(())
-}
-
-fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadError> {
-    let mut line = Vec::new();
-    // EOF before any request bytes is a clean close (the normal end of a
-    // keep-alive conversation), not a protocol error.
-    read_line_bounded(reader, &mut line).map_err(|e| match e {
-        ReadError::Eof => ReadError::Io,
-        other => other,
-    })?;
-    let line = String::from_utf8(line).map_err(|_| ReadError::Malformed("non-UTF-8 request"))?;
-    let mut parts = line.split_whitespace();
-    let method = parts
-        .next()
-        .ok_or(ReadError::Malformed("missing method"))?
-        .to_ascii_uppercase();
-    let target = parts.next().ok_or(ReadError::Malformed("missing path"))?;
-    let path = target.split('?').next().unwrap_or(target).to_string();
-    if !path.starts_with('/') {
-        return Err(ReadError::Malformed("path must be absolute"));
-    }
-
-    let mut content_length: u64 = 0;
-    let mut keep_alive = false;
-    let mut header = Vec::new();
-    for n_headers in 0.. {
-        if n_headers >= MAX_HEADERS {
-            return Err(ReadError::TooLarge("more than 100 headers"));
-        }
-        read_line_bounded(reader, &mut header).map_err(|e| match e {
-            ReadError::Eof => ReadError::Malformed("truncated request"),
-            other => other,
-        })?;
-        if header.is_empty() {
-            break;
-        }
-        let Ok(text) = std::str::from_utf8(&header) else {
-            continue; // tolerate non-UTF-8 headers we don't care about
-        };
-        if let Some((name, value)) = text.split_once(':') {
-            if name.eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| ReadError::Malformed("bad content-length"))?;
-            } else if name.eq_ignore_ascii_case("connection") {
-                // Conservative: only an explicit keep-alive opts in; an
-                // absent Connection header keeps the historical
-                // one-request-per-connection behaviour.
-                keep_alive = value.trim().eq_ignore_ascii_case("keep-alive");
-            }
-        }
-    }
-    if content_length > MAX_BODY_BYTES {
-        return Err(ReadError::TooLarge("body exceeds 16 MiB"));
-    }
-    let mut body = vec![0u8; content_length as usize];
-    reader.read_exact(&mut body).map_err(|_| ReadError::Io)?;
-    Ok(Request {
-        method,
-        path,
-        body,
-        keep_alive,
-    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
 
     fn echo_server() -> Server {
         Server::bind(
@@ -398,6 +416,8 @@ mod tests {
         .unwrap()
     }
 
+    /// One request on a fresh connection; `Connection: close` so the
+    /// response can be read to EOF.
     fn roundtrip(addr: std::net::SocketAddr, raw: &str) -> String {
         let mut s = TcpStream::connect(addr).unwrap();
         s.write_all(raw.as_bytes()).unwrap();
@@ -412,14 +432,20 @@ mod tests {
         let addr = server.addr();
         let resp = roundtrip(
             addr,
-            "POST /v1/echo?x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 5\r\n\r\nhello",
+            "POST /v1/echo?x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 5\r\n\
+             Connection: close\r\n\r\nhello",
         );
         assert!(resp.starts_with("HTTP/1.1 200 OK\r\n"), "{resp}");
         assert!(resp.contains("POST /v1/echo 5"), "{resp}");
-        // Parallel requests across the pool.
+        // Parallel requests across the executor pool.
         let handles: Vec<_> = (0..8)
             .map(|_| {
-                std::thread::spawn(move || roundtrip(addr, "GET /ping HTTP/1.1\r\nHost: h\r\n\r\n"))
+                std::thread::spawn(move || {
+                    roundtrip(
+                        addr,
+                        "GET /ping HTTP/1.1\r\nHost: h\r\nConnection: close\r\n\r\n",
+                    )
+                })
             })
             .collect();
         for h in handles {
@@ -429,23 +455,20 @@ mod tests {
     }
 
     #[test]
-    fn keep_alive_serves_many_requests_on_one_socket() {
+    fn http11_is_keep_alive_by_default() {
         let server = echo_server();
         let mut s = TcpStream::connect(server.addr()).unwrap();
+        // No Connection header at all: HTTP/1.1 stays open.
         for i in 0..5 {
-            s.write_all(
-                format!("GET /req{i} HTTP/1.1\r\nHost: h\r\nConnection: keep-alive\r\n\r\n")
-                    .as_bytes(),
-            )
-            .unwrap();
+            s.write_all(format!("GET /req{i} HTTP/1.1\r\nHost: h\r\n\r\n").as_bytes())
+                .unwrap();
             let resp = read_one_response(&mut s);
             assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
             assert!(resp.contains("Connection: keep-alive"), "{resp}");
             assert!(resp.contains(&format!("GET /req{i} 0")), "{resp}");
         }
-        // Dropping the keep-alive header closes the connection after the
-        // response.
-        s.write_all(b"GET /last HTTP/1.1\r\nHost: h\r\n\r\n")
+        // An explicit close is honoured and the socket drains to EOF.
+        s.write_all(b"GET /last HTTP/1.1\r\nHost: h\r\nConnection: close\r\n\r\n")
             .unwrap();
         let resp = read_one_response(&mut s);
         assert!(resp.contains("Connection: close"), "{resp}");
@@ -455,26 +478,27 @@ mod tests {
         server.shutdown();
     }
 
-    /// Reads exactly one HTTP response (headers + Content-Length body) so a
-    /// keep-alive socket can be reused for the next request.
-    fn read_one_response(s: &mut TcpStream) -> String {
-        let mut buf = Vec::new();
-        let mut byte = [0u8; 1];
-        while !buf.ends_with(b"\r\n\r\n") {
-            s.read_exact(&mut byte).unwrap();
-            buf.push(byte[0]);
+    #[test]
+    fn http10_closes_by_default_but_honours_keep_alive() {
+        let server = echo_server();
+        // Bare HTTP/1.0: one response then EOF.
+        let resp = roundtrip(server.addr(), "GET /old HTTP/1.0\r\nHost: h\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        assert!(resp.contains("Connection: close"), "{resp}");
+        // HTTP/1.0 + explicit keep-alive stays open.
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        for _ in 0..2 {
+            s.write_all(b"GET /ka HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+                .unwrap();
+            let resp = read_one_response(&mut s);
+            assert!(resp.contains("Connection: keep-alive"), "{resp}");
         }
-        let head = String::from_utf8(buf.clone()).unwrap();
-        let len: usize = head
-            .lines()
-            .find_map(|l| l.strip_prefix("Content-Length: "))
-            .unwrap()
-            .trim()
-            .parse()
-            .unwrap();
-        let mut body = vec![0u8; len];
-        s.read_exact(&mut body).unwrap();
-        head + &String::from_utf8(body).unwrap()
+        server.shutdown();
+    }
+
+    /// One full response as text, leaving the keep-alive socket reusable.
+    fn read_one_response(s: &mut TcpStream) -> String {
+        read_response(s).expect("one response").text()
     }
 
     #[test]
@@ -510,7 +534,7 @@ mod tests {
         // A header line past the 16 KiB cap must get 413, not grow memory.
         let huge = format!(
             "GET /x HTTP/1.1\r\nX-Junk: {}\r\n\r\n",
-            "a".repeat(2 * MAX_LINE_BYTES as usize)
+            "a".repeat(2 * crate::conn::MAX_LINE_BYTES)
         );
         let resp = roundtrip(server.addr(), &huge);
         assert!(resp.starts_with("HTTP/1.1 413"), "{resp}");
@@ -538,10 +562,65 @@ mod tests {
             }),
         )
         .unwrap();
-        let resp = roundtrip(server.addr(), "GET /boom HTTP/1.1\r\n\r\n");
+        let resp = roundtrip(
+            server.addr(),
+            "GET /boom HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
         assert!(resp.starts_with("HTTP/1.1 500"), "{resp}");
-        // The worker survives the panic.
-        let resp = roundtrip(server.addr(), "GET /fine HTTP/1.1\r\n\r\n");
+        // The executor survives the panic.
+        let resp = roundtrip(
+            server.addr(),
+            "GET /fine HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn stop_handle_wakes_block_until_shutdown_promptly() {
+        let server = echo_server();
+        let handle = server.stop_handle();
+        let start = std::time::Instant::now();
+        let stopper = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(100));
+            handle.stop();
+        });
+        server.block_until_shutdown();
+        let waited = start.elapsed();
+        assert!(
+            waited < Duration::from_secs(5),
+            "parked thread woke in {waited:?}, not promptly"
+        );
+        stopper.join().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn max_conns_overflow_gets_503() {
+        let server = Server::bind_with(
+            "127.0.0.1:0",
+            Arc::new(|_req: &Request| Response::text(200, "ok")),
+            ServerOptions {
+                workers: 1,
+                max_conns: 2,
+                ..ServerOptions::default()
+            },
+        )
+        .unwrap();
+        let addr = server.addr();
+        // Two idle connections occupy the table...
+        let _a = TcpStream::connect(addr).unwrap();
+        let _b = TcpStream::connect(addr).unwrap();
+        std::thread::sleep(Duration::from_millis(200)); // let the reactor accept them
+                                                        // ...so the third is told 503 and closed.
+        let mut c = TcpStream::connect(addr).unwrap();
+        let mut out = String::new();
+        c.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 503"), "{out}");
+        // Dropping one frees a slot for a real request.
+        drop(_a);
+        std::thread::sleep(Duration::from_millis(200));
+        let resp = roundtrip(addr, "GET /x HTTP/1.1\r\nConnection: close\r\n\r\n");
         assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
         server.shutdown();
     }

@@ -12,13 +12,17 @@
 //!   star-schema fingerprint and training metrics;
 //! - [`registry`] — an `RwLock`-based concurrent [`ModelRegistry`] keyed by
 //!   `name@version`, warm-loaded from an artifact directory at boot;
-//! - [`http`] — a hand-rolled HTTP/1.1 server on `std::net::TcpListener`
-//!   with a fixed worker-thread pool;
+//! - [`http`] — a hand-rolled, event-driven HTTP/1.1 server on `std::net`:
+//!   one [`reactor`] thread multiplexes every connection over raw `epoll`
+//!   (direct syscall FFI — no async runtime, no external crates), each
+//!   connection an explicit state machine ([`conn`]) with keep-alive on by
+//!   default, and a fixed executor pool running the handlers;
 //! - [`server`] — the endpoints:
 //!
 //! | endpoint | purpose |
 //! |---|---|
 //! | `POST /v1/predict` | batch of categorical rows → labels (+ latency) |
+//! | `POST /v1/explain` | coded rows → their raw label strings (contract decode) |
 //! | `POST /v1/advise`  | star-schema stats → join-avoidance verdicts |
 //! | `POST /v1/train`   | train spec → runs the experiment pipeline, persists + registers |
 //! | `GET /v1/models`   | registry listing |
@@ -51,8 +55,10 @@
 
 pub mod api;
 pub mod artifact;
+mod conn;
 pub mod error;
 pub mod http;
+mod reactor;
 pub mod registry;
 pub mod server;
 pub mod train;
@@ -60,12 +66,13 @@ pub mod train;
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::api::{
-        AdviseRequest, AdviseResponse, Health, ModelsResponse, PredictRequest, PredictResponse,
-        TrainRequest, TrainResponse,
+        AdviseRequest, AdviseResponse, ExplainRequest, ExplainResponse, Health, ModelsResponse,
+        PredictRequest, PredictResponse, TrainRequest, TrainResponse,
     };
     pub use crate::artifact::{ModelArtifact, TrainingMetadata, FORMAT_VERSION};
     pub use crate::error::{Result as ServeResult, ServeError};
+    pub use crate::http::{Server, ServerOptions, StopHandle};
     pub use crate::registry::{ModelRegistry, ModelSummary};
-    pub use crate::server::{router, serve, AppState};
+    pub use crate::server::{router, serve, serve_with, AppState};
     pub use crate::train::{resolve_dataset, train_and_register, DATASETS};
 }

@@ -1,0 +1,560 @@
+//! Event-driven reactor: a single thread multiplexing every connection
+//! over raw `epoll`.
+//!
+//! No async runtime and no FFI crate are available offline, so the three
+//! epoll syscalls (`epoll_create1` / `epoll_ctl` / `epoll_wait`) plus
+//! `eventfd` are declared directly as `extern "C"` against the platform
+//! libc that every Rust binary on Linux already links. Everything above the
+//! syscall boundary is safe Rust:
+//!
+//! - [`Epoll`] — an owned epoll instance with add/modify/delete/wait;
+//! - [`Waker`] — an `eventfd` the executor pool writes to when a response
+//!   is ready, so the reactor wakes from `epoll_wait` without a timeout
+//!   race (the classic self-pipe trick, one fd instead of two);
+//! - [`TimerWheel`] — a coarse hashed wheel (512 ms slots) holding every
+//!   connection's next deadline. Entries are filed lazily and verified
+//!   against the connection's *current* deadline when their slot comes due,
+//!   so refreshing a deadline is O(1) and never has to find-and-remove;
+//! - [`run`] — the event loop: accept new connections (closing with a 503
+//!   once `max_conns` is reached), feed readable/writable events into each
+//!   connection's state machine ([`crate::conn::Conn`]), hand parsed
+//!   requests to the executor pool over a channel, queue finished responses
+//!   for write-readiness-driven flushing, and reap expired connections.
+//!
+//! The reactor thread never runs a handler and never blocks on a socket:
+//! slow clients cost a buffer, idle keep-alive clients cost a file
+//! descriptor, and all worker threads stay available for actual request
+//! execution.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::TcpListener;
+use std::os::raw::{c_int, c_uint};
+use std::os::unix::io::{AsRawFd, FromRawFd, RawFd};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::conn::{Conn, Verdict};
+use crate::http::{Completion, Job, ServerOptions};
+
+// ---- raw epoll / eventfd FFI (no external crates; offline build) ----
+
+pub(crate) const EPOLLIN: u32 = 0x001;
+pub(crate) const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+const EPOLL_CLOEXEC: c_int = 0x80000;
+const EFD_NONBLOCK: c_int = 0x800;
+const EFD_CLOEXEC: c_int = 0x80000;
+
+/// Mirror of `struct epoll_event`. The kernel ABI packs this to 12 bytes on
+/// x86-64 (and only there), hence the conditional `repr(packed)`.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+pub(crate) struct EpollEvent {
+    pub events: u32,
+    pub data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    fn close(fd: c_int) -> c_int;
+}
+
+/// An owned epoll instance.
+pub(crate) struct Epoll {
+    fd: c_int,
+}
+
+impl Epoll {
+    pub(crate) fn new() -> std::io::Result<Epoll> {
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(Epoll { fd })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, token: u64, events: u32) -> std::io::Result<()> {
+        let mut ev = EpollEvent {
+            events,
+            data: token,
+        };
+        let arg = if op == EPOLL_CTL_DEL {
+            std::ptr::null_mut()
+        } else {
+            &mut ev as *mut EpollEvent
+        };
+        if unsafe { epoll_ctl(self.fd, op, fd, arg) } < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    pub(crate) fn add(&self, fd: RawFd, token: u64, events: u32) -> std::io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, token, events)
+    }
+
+    pub(crate) fn modify(&self, fd: RawFd, token: u64, events: u32) -> std::io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, token, events)
+    }
+
+    pub(crate) fn delete(&self, fd: RawFd) -> std::io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Blocks up to `timeout_ms` for readiness events. Interrupted waits
+    /// report zero events rather than erroring.
+    pub(crate) fn wait(
+        &self,
+        events: &mut [EpollEvent],
+        timeout_ms: c_int,
+    ) -> std::io::Result<usize> {
+        let n = unsafe {
+            epoll_wait(
+                self.fd,
+                events.as_mut_ptr(),
+                events.len() as c_int,
+                timeout_ms,
+            )
+        };
+        if n < 0 {
+            let err = std::io::Error::last_os_error();
+            if err.kind() == std::io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        Ok(n as usize)
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        unsafe { close(self.fd) };
+    }
+}
+
+/// An `eventfd`-backed wakeup handle shared by the executor pool: writing
+/// bumps the counter and makes the reactor's `epoll_wait` return.
+pub(crate) struct Waker {
+    file: std::fs::File,
+}
+
+impl Waker {
+    pub(crate) fn new() -> std::io::Result<Waker> {
+        let fd = unsafe { eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC) };
+        if fd < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        // SAFETY: `fd` is a freshly created eventfd we exclusively own.
+        let file = unsafe { std::fs::File::from_raw_fd(fd) };
+        Ok(Waker { file })
+    }
+
+    fn fd(&self) -> RawFd {
+        self.file.as_raw_fd()
+    }
+
+    /// Signal the reactor. A full counter (EAGAIN) means a wake is already
+    /// pending, which is exactly what we want — ignore every error.
+    pub(crate) fn wake(&self) {
+        let _ = (&self.file).write(&1u64.to_ne_bytes());
+    }
+
+    /// Consume pending wake signals (nonblocking).
+    fn drain(&self) {
+        let mut buf = [0u8; 8];
+        let _ = (&self.file).read(&mut buf);
+    }
+}
+
+/// Wheel granularity; deadlines are only ever late by at most one slot
+/// plus one `epoll_wait` timeout, which is fine for second-scale timeouts.
+const WHEEL_SLOT: Duration = Duration::from_millis(512);
+
+/// Slots in the ring (≈131 s span). Deadlines beyond the span are clamped
+/// to the last slot and re-filed when they surface — correctness never
+/// depends on the span, only efficiency.
+const WHEEL_SLOTS: usize = 256;
+
+/// A coarse hashed timer wheel over connection tokens.
+///
+/// Insert-only: entries are *not* removed when a deadline moves or a
+/// connection closes. Instead, when a slot comes due the reactor checks
+/// each surfaced token against the connection's live deadline and either
+/// reaps it, re-files it, or drops the stale entry. That keeps deadline
+/// refreshes O(1) on the hot path at the cost of at most one spurious
+/// surfacing per refresh.
+pub(crate) struct TimerWheel {
+    slots: Vec<Vec<u64>>,
+    cursor: usize,
+    last_tick: Instant,
+}
+
+impl TimerWheel {
+    pub(crate) fn new(now: Instant) -> TimerWheel {
+        TimerWheel {
+            slots: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
+            cursor: 0,
+            last_tick: now,
+        }
+    }
+
+    /// File `token` to surface at (or shortly after) `deadline`.
+    pub(crate) fn insert(&mut self, token: u64, deadline: Instant, now: Instant) {
+        let remaining = deadline.saturating_duration_since(now);
+        let ticks = (remaining.as_millis() / WHEEL_SLOT.as_millis()) as usize + 1;
+        let slot = (self.cursor + ticks.min(WHEEL_SLOTS - 1)) % WHEEL_SLOTS;
+        self.slots[slot].push(token);
+    }
+
+    /// Advance to `now`, returning every token whose slot came due.
+    pub(crate) fn tick(&mut self, now: Instant) -> Vec<u64> {
+        let mut due = Vec::new();
+        while now.saturating_duration_since(self.last_tick) >= WHEEL_SLOT {
+            self.last_tick += WHEEL_SLOT;
+            self.cursor = (self.cursor + 1) % WHEEL_SLOTS;
+            due.append(&mut self.slots[self.cursor]);
+        }
+        due
+    }
+}
+
+const TOKEN_WAKER: u64 = 0;
+const TOKEN_LISTENER: u64 = 1;
+const FIRST_CONN_TOKEN: u64 = 2;
+
+/// Pre-rendered response for connections over the `max_conns` cap.
+const OVERLOADED: &[u8] = b"HTTP/1.1 503 Service Unavailable\r\n\
+    Content-Type: application/json\r\nContent-Length: 36\r\n\
+    Connection: close\r\n\r\n{\"error\":\"connection limit reached\"}";
+
+/// The reactor event loop. Owns the listener, every connection, the epoll
+/// instance and the timer wheel; runs until `shutdown` is set (the waker is
+/// poked by `Server::shutdown` so the flag is observed promptly).
+pub(crate) fn run(
+    listener: TcpListener,
+    jobs: Sender<Job>,
+    completions: Receiver<Completion>,
+    waker: Arc<Waker>,
+    shutdown: Arc<AtomicBool>,
+    opts: Arc<ServerOptions>,
+) {
+    let epoll = match Epoll::new() {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("hamlet-serve reactor: epoll_create1 failed: {e}");
+            return;
+        }
+    };
+    let now = Instant::now();
+    let mut wheel = TimerWheel::new(now);
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_token = FIRST_CONN_TOKEN;
+    if let Err(e) = epoll.add(waker.fd(), TOKEN_WAKER, EPOLLIN) {
+        eprintln!("hamlet-serve reactor: registering waker failed: {e}");
+        return;
+    }
+    if let Err(e) = epoll.add(listener.as_raw_fd(), TOKEN_LISTENER, EPOLLIN) {
+        eprintln!("hamlet-serve reactor: registering listener failed: {e}");
+        return;
+    }
+
+    let mut events = [EpollEvent { events: 0, data: 0 }; 256];
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return; // drops listener, conns, and the job sender → executors drain and exit
+        }
+        let n = match epoll.wait(&mut events, WHEEL_SLOT.as_millis() as c_int) {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("hamlet-serve reactor: epoll_wait failed: {e}");
+                return;
+            }
+        };
+        let now = Instant::now();
+
+        for ev in &events[..n] {
+            let token = ev.data;
+            let bits = ev.events;
+            match token {
+                TOKEN_WAKER => waker.drain(),
+                TOKEN_LISTENER => accept_ready(
+                    &listener,
+                    &epoll,
+                    &mut conns,
+                    &mut wheel,
+                    &mut next_token,
+                    now,
+                    &opts,
+                ),
+                _ => {
+                    let Some(conn) = conns.get_mut(&token) else {
+                        continue; // already closed this iteration
+                    };
+                    let mut verdict = Verdict::Open;
+                    if bits & (EPOLLERR | EPOLLHUP) != 0 {
+                        // Peer is gone in both directions; nothing we queue
+                        // can be delivered.
+                        verdict = Verdict::Close;
+                    } else {
+                        if bits & EPOLLIN != 0 {
+                            verdict = conn.on_readable(now);
+                        }
+                        if verdict == Verdict::Open && bits & EPOLLOUT != 0 {
+                            verdict = conn.on_writable(now);
+                        }
+                    }
+                    finish_step(&epoll, &mut conns, &mut wheel, token, verdict, &jobs, now);
+                }
+            }
+        }
+
+        // Executor completions (the waker event only interrupts the wait;
+        // the channel is the actual data path).
+        loop {
+            match completions.try_recv() {
+                Ok(done) => {
+                    let Some(conn) = conns.get_mut(&done.token) else {
+                        continue; // connection died while the handler ran
+                    };
+                    conn.complete(&done.response, now);
+                    // Opportunistic flush: most responses fit the socket
+                    // buffer and complete without waiting for EPOLLOUT.
+                    let verdict = if conn.wants_flush() {
+                        conn.on_writable(now)
+                    } else {
+                        Verdict::Open
+                    };
+                    finish_step(
+                        &epoll, &mut conns, &mut wheel, done.token, verdict, &jobs, now,
+                    );
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => return, // executor pool gone
+            }
+        }
+
+        // Deadline sweep: surfaced tokens are checked against their live
+        // deadline (lazy wheel semantics — see TimerWheel docs).
+        for token in wheel.tick(now) {
+            let Some(conn) = conns.get_mut(&token) else {
+                continue; // stale entry for a closed connection
+            };
+            if conn.expired(now) {
+                close_conn(&epoll, &mut conns, token);
+            } else if let Some(deadline) = conn.deadline {
+                wheel.insert(token, deadline, now);
+                conn.filed = Some(deadline);
+            } else {
+                conn.filed = None; // Dispatched: re-filed when a deadline returns
+            }
+        }
+    }
+}
+
+/// Accept every pending connection (level-triggered listener).
+fn accept_ready(
+    listener: &TcpListener,
+    epoll: &Epoll,
+    conns: &mut HashMap<u64, Conn>,
+    wheel: &mut TimerWheel,
+    next_token: &mut u64,
+    now: Instant,
+    opts: &Arc<ServerOptions>,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if conns.len() >= opts.max_conns {
+                    // Over capacity: answer 503 best-effort and drop. The
+                    // write is nonblocking; a client that cannot even take
+                    // 200 bytes gets a bare close.
+                    let _ = stream.set_nonblocking(true);
+                    let _ = (&stream).write(OVERLOADED);
+                    continue;
+                }
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                let token = *next_token;
+                *next_token += 1; // tokens are never reused: no ABA with late completions
+                let conn = Conn::new(stream, now, Arc::clone(opts));
+                if epoll
+                    .add(conn.stream().as_raw_fd(), token, conn.desired_events())
+                    .is_err()
+                {
+                    continue; // dropping the stream closes it
+                }
+                let registered = conn.desired_events();
+                let deadline = conn.deadline;
+                let mut conn = conn;
+                conn.registered = registered;
+                if let Some(d) = deadline {
+                    wheel.insert(token, d, now);
+                    conn.filed = Some(d);
+                }
+                conns.insert(token, conn);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                // Unexpected accept failure — most importantly EMFILE /
+                // ENFILE fd exhaustion. The level-triggered listener stays
+                // ready while the backlog is non-empty, so returning
+                // immediately would spin the reactor at 100% CPU doing
+                // failed accepts. Back off briefly instead: pending
+                // clients wait in the kernel backlog and existing
+                // connections resume right after.
+                std::thread::sleep(Duration::from_millis(50));
+                return;
+            }
+        }
+    }
+}
+
+/// Post-I/O bookkeeping shared by every path that touches a connection:
+/// dispatch newly parsed requests, sync epoll interest, file deadlines,
+/// or tear the connection down.
+fn finish_step(
+    epoll: &Epoll,
+    conns: &mut HashMap<u64, Conn>,
+    wheel: &mut TimerWheel,
+    token: u64,
+    verdict: Verdict,
+    jobs: &Sender<Job>,
+    now: Instant,
+) {
+    if verdict == Verdict::Close {
+        close_conn(epoll, conns, token);
+        return;
+    }
+    let Some(conn) = conns.get_mut(&token) else {
+        return;
+    };
+    // At most one request per connection is in flight (response ordering),
+    // so this hands over at most one job.
+    if let Some(request) = conn.next_job(now) {
+        if jobs.send(Job { token, request }).is_err() {
+            // Executor pool is gone (shutdown mid-flight).
+            close_conn(epoll, conns, token);
+            return;
+        }
+    }
+    let conn = conns.get_mut(&token).expect("still present");
+    let want = conn.desired_events();
+    if want != conn.registered
+        && epoll
+            .modify(conn.stream().as_raw_fd(), token, want)
+            .is_err()
+    {
+        close_conn(epoll, conns, token);
+        return;
+    }
+    conn.registered = want;
+    if let Some(deadline) = conn.deadline {
+        // Only re-file when the filed entry would fire too early or not at
+        // all; firing late is handled lazily by the sweep.
+        if conn.filed.is_none_or(|f| f > deadline) {
+            wheel.insert(token, deadline, now);
+            conn.filed = Some(deadline);
+        }
+    }
+}
+
+fn close_conn(epoll: &Epoll, conns: &mut HashMap<u64, Conn>, token: u64) {
+    if let Some(conn) = conns.remove(&token) {
+        let _ = epoll.delete(conn.stream().as_raw_fd());
+        // Dropping the Conn closes the socket.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoll_roundtrip_on_a_real_socket_pair() {
+        let epoll = Epoll::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = std::net::TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+        epoll.add(server.as_raw_fd(), 7, EPOLLIN).unwrap();
+
+        let mut events = [EpollEvent { events: 0, data: 0 }; 8];
+        // Nothing to read yet.
+        assert_eq!(epoll.wait(&mut events, 0).unwrap(), 0);
+        client.write_all(b"ping").unwrap();
+        let n = epoll.wait(&mut events, 2000).unwrap();
+        assert_eq!(n, 1);
+        let data = events[0].data;
+        assert_eq!(data, 7);
+        let bits = events[0].events;
+        assert!(bits & EPOLLIN != 0);
+
+        // MOD to write interest: a fresh socket is immediately writable.
+        epoll.modify(server.as_raw_fd(), 7, EPOLLOUT).unwrap();
+        let n = epoll.wait(&mut events, 2000).unwrap();
+        assert_eq!(n, 1);
+        let bits = events[0].events;
+        assert!(bits & EPOLLOUT != 0);
+        epoll.delete(server.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn waker_wakes_epoll_and_drains() {
+        let epoll = Epoll::new().unwrap();
+        let waker = Waker::new().unwrap();
+        epoll.add(waker.fd(), TOKEN_WAKER, EPOLLIN).unwrap();
+        let mut events = [EpollEvent { events: 0, data: 0 }; 4];
+        assert_eq!(epoll.wait(&mut events, 0).unwrap(), 0, "no wake yet");
+        waker.wake();
+        waker.wake(); // coalesces
+        assert_eq!(epoll.wait(&mut events, 2000).unwrap(), 1);
+        waker.drain();
+        assert_eq!(epoll.wait(&mut events, 0).unwrap(), 0, "drained");
+    }
+
+    #[test]
+    fn timer_wheel_surfaces_deadlines_coarsely() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(t0);
+        wheel.insert(1, t0 + Duration::from_millis(600), t0);
+        wheel.insert(2, t0 + Duration::from_secs(40), t0);
+        // Nothing due immediately.
+        assert!(wheel.tick(t0).is_empty());
+        // After ~1.6 s the 600 ms deadline has surfaced, the 40 s one not.
+        let due: Vec<u64> = wheel.tick(t0 + Duration::from_millis(1600));
+        assert!(due.contains(&1), "{due:?}");
+        assert!(!due.contains(&2), "{due:?}");
+        // Far future: everything surfaces (possibly via clamped re-file).
+        let due = wheel.tick(t0 + Duration::from_secs(200));
+        assert!(due.contains(&2), "{due:?}");
+    }
+
+    #[test]
+    fn timer_wheel_clamps_beyond_span_deadlines() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(t0);
+        // A deadline far past the wheel span must still surface eventually
+        // (the reactor re-files it on surfacing; here we just check it
+        // comes out at the clamped horizon rather than being lost).
+        wheel.insert(9, t0 + Duration::from_secs(10_000), t0);
+        let span = WHEEL_SLOT * (WHEEL_SLOTS as u32);
+        let due = wheel.tick(t0 + span + WHEEL_SLOT);
+        assert!(due.contains(&9), "{due:?}");
+    }
+}

@@ -7,11 +7,11 @@ use std::time::Instant;
 use hamlet_core::advisor::advise_dims;
 
 use crate::api::{
-    AdviseRequest, ApiError, Health, ModelsResponse, PredictRequest, PredictResponse, TrainRequest,
-    TrainResponse,
+    AdviseRequest, ApiError, ExplainRequest, ExplainResponse, Health, ModelsResponse,
+    PredictRequest, PredictResponse, TrainRequest, TrainResponse,
 };
 use crate::error::ServeError;
-use crate::http::{Handler, Request, Response, Server};
+use crate::http::{Handler, Request, Response, Server, ServerOptions};
 use crate::registry::ModelRegistry;
 use crate::train::train_and_register;
 
@@ -129,13 +129,32 @@ impl Drop for TrainPermit<'_> {
 impl AppState {
     /// State with a warm-loaded registry.
     pub fn warm(artifact_dir: PathBuf) -> crate::error::Result<(Arc<AppState>, usize)> {
+        AppState::warm_sized(artifact_dir, 0)
+    }
+
+    /// State with a warm-loaded registry, sized against an executor pool of
+    /// `executors` threads: the machine-wide predict fan-out budget is what
+    /// is left of the cores after the executors themselves (they each run a
+    /// request and count as one thread of predict work already), floored at
+    /// one extra slot so a lone large batch can always shard. Pass 0 when
+    /// no server is attached (library/test use) to budget every core.
+    pub fn warm_sized(
+        artifact_dir: PathBuf,
+        executors: usize,
+    ) -> crate::error::Result<(Arc<AppState>, usize)> {
         let (registry, loaded) = ModelRegistry::warm_load(&artifact_dir)?;
+        let cores = default_predict_threads();
+        let budget = if executors == 0 {
+            cores
+        } else {
+            cores.saturating_sub(executors).max(1)
+        };
         Ok((
             Arc::new(AppState {
                 registry,
                 artifact_dir,
-                predict_threads: default_predict_threads(),
-                shard_budget: ShardBudget::new(default_predict_threads()),
+                predict_threads: cores,
+                shard_budget: ShardBudget::new(budget),
                 train_gate: std::sync::atomic::AtomicBool::new(false),
             }),
             loaded,
@@ -229,6 +248,30 @@ fn predict(state: &AppState, req: &Request) -> Result<PredictResponse, ServeErro
     })
 }
 
+/// `POST /v1/explain`: decode coded rows back to their raw label strings
+/// via the artifact's contract — the inverse of the `rows_raw` ingest path,
+/// useful for auditing what a stored code vector actually *means* against
+/// the dictionaries the model was trained with. Requires a format-v2
+/// artifact (dictionaries embedded); v1 artifacts get a 400 naming the
+/// feature that has no dictionary.
+fn explain(state: &AppState, req: &Request) -> Result<ExplainResponse, ServeError> {
+    let body: ExplainRequest = parse_body(req)?;
+    let artifact = state.registry.get(&body.model)?;
+    if body.rows.is_empty() {
+        return Err(ServeError::BadRequest("empty explain batch".into()));
+    }
+    let mut rows_raw = Vec::with_capacity(body.rows.len());
+    for (i, row) in body.rows.iter().enumerate() {
+        rows_raw.push(artifact.contract.decode_row(row).map_err(|e| {
+            ServeError::BadRequest(format!("model `{}`: row {i}: {e}", artifact.key()))
+        })?);
+    }
+    Ok(ExplainResponse {
+        model: artifact.key(),
+        rows_raw,
+    })
+}
+
 /// `POST /v1/advise`: star-schema stats → per-dimension verdicts.
 fn advise(req: &Request) -> Result<crate::api::AdviseResponse, ServeError> {
     let body: AdviseRequest = parse_body(req)?;
@@ -276,6 +319,10 @@ pub fn router(state: Arc<AppState>) -> Handler {
                 Ok(resp) => ok_json(&resp),
                 Err(e) => error_response(&e),
             },
+            ("POST", "/v1/explain") => match explain(&state, req) {
+                Ok(resp) => ok_json(&resp),
+                Err(e) => error_response(&e),
+            },
             ("POST", "/v1/advise") => match advise(req) {
                 Ok(resp) => ok_json(&resp),
                 Err(e) => error_response(&e),
@@ -287,16 +334,26 @@ pub fn router(state: Arc<AppState>) -> Handler {
             ("GET" | "POST", _) => Response::json(
                 404,
                 "{\"error\":\"no such endpoint; see /healthz, /v1/models, /v1/predict, \
-                 /v1/advise, /v1/train\"}",
+                 /v1/explain, /v1/advise, /v1/train\"}",
             ),
             _ => Response::json(405, "{\"error\":\"method not allowed\"}"),
         }
     })
 }
 
-/// Binds and starts the full server.
+/// Binds and starts the full server with default I/O options.
 pub fn serve(addr: &str, workers: usize, state: Arc<AppState>) -> std::io::Result<Server> {
     Server::bind(addr, workers, router(state))
+}
+
+/// Binds and starts the full server with explicit [`ServerOptions`]
+/// (connection cap, timeouts, executor count).
+pub fn serve_with(
+    addr: &str,
+    opts: ServerOptions,
+    state: Arc<AppState>,
+) -> std::io::Result<Server> {
+    Server::bind_with(addr, router(state), opts)
 }
 
 #[cfg(test)]
@@ -413,6 +470,55 @@ mod tests {
         assert_eq!(status, 400);
         let (status, _) = call(&handler, "POST", "/v1/predict", "{\"model\":\"raw\"}");
         assert_eq!(status, 400);
+    }
+
+    #[test]
+    fn explain_decodes_rows_against_the_contract() {
+        let app = state();
+        // toy_artifact: xs0 closed {v0,v1}; fk open {v0..v3, Others}.
+        app.registry
+            .insert(crate::artifact::tests::toy_artifact("exp", 1));
+        let handler = router(app);
+        let (status, body) = call(
+            &handler,
+            "POST",
+            "/v1/explain",
+            "{\"model\":\"exp\",\"rows\":[[1,3],[0,4]]}",
+        );
+        assert_eq!(status, 200, "{body}");
+        let resp: crate::api::ExplainResponse = serde_json::from_str(&body).unwrap();
+        assert_eq!(resp.model, "exp@1");
+        assert_eq!(resp.rows_raw.len(), 2);
+        assert_eq!(resp.rows_raw[0][0], "v1");
+        assert_eq!(resp.rows_raw[0][1], "v3");
+        assert_eq!(
+            resp.rows_raw[1][1], "Others",
+            "the open-domain fallback slot decodes by name"
+        );
+        // Out-of-domain code: 400 naming the row.
+        let (status, body) = call(
+            &handler,
+            "POST",
+            "/v1/explain",
+            "{\"model\":\"exp\",\"rows\":[[0,0],[0,9]]}",
+        );
+        assert_eq!(status, 400, "{body}");
+        assert!(body.contains("row 1"), "{body}");
+        // Empty batch and unknown model.
+        let (status, _) = call(
+            &handler,
+            "POST",
+            "/v1/explain",
+            "{\"model\":\"exp\",\"rows\":[]}",
+        );
+        assert_eq!(status, 400);
+        let (status, _) = call(
+            &handler,
+            "POST",
+            "/v1/explain",
+            "{\"model\":\"ghost\",\"rows\":[[0,0]]}",
+        );
+        assert_eq!(status, 404);
     }
 
     #[test]

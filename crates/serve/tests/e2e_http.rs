@@ -12,14 +12,15 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use hamlet_core::advisor::{advise, DimStats};
-use hamlet_core::feature_config::{build_splits, FeatureConfig};
+use hamlet_core::feature_config::{build_dataset, build_splits, FeatureConfig};
 use hamlet_core::model_zoo::{ModelFamily, ModelSpec};
 use hamlet_datagen::prelude::*;
 use hamlet_ml::model::Classifier;
 use hamlet_serve::api::{
-    AdviseRequest, AdviseResponse, Health, ModelsResponse, PredictRequest, PredictResponse,
-    TrainRequest,
+    AdviseRequest, AdviseResponse, ExplainRequest, ExplainResponse, Health, ModelsResponse,
+    PredictRequest, PredictResponse, TrainRequest,
 };
+use hamlet_serve::artifact::{ModelArtifact, TrainingMetadata, FORMAT_VERSION};
 use hamlet_serve::server::{serve, AppState};
 use hamlet_serve::train::train_and_register;
 
@@ -250,6 +251,120 @@ fn full_train_restart_predict_advise_cycle() {
         "{\"model\":\"movies-tree\",\"rows\":[[0]]}",
     );
     assert_eq!(status, 400, "{body}");
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The reactor acceptance scenario: 4 executors serving 64 concurrent
+/// keep-alive connections. All 64 park idle after a first request; a fresh
+/// client's `/v1/predict` must be answered promptly (idle connections cost
+/// no worker threads), `/v1/explain` must decode the predicted rows back to
+/// label strings on a keep-alive socket, and every parked connection must
+/// still be answerable afterwards.
+#[test]
+fn sixty_four_idle_keepalive_connections_do_not_block_new_clients() {
+    let dir = tmp_dir("idle64");
+    let (state, _) = AppState::warm(dir.clone()).unwrap();
+    // A real (if quickly fit) model: NoJoin features over the 1:n scenario
+    // generator, so the contract carries true dictionaries for /v1/explain.
+    let g = onexr::generate(OneXrParams {
+        n_s: 400,
+        n_r: 20,
+        ..Default::default()
+    });
+    let ds = build_dataset(&g.star, &FeatureConfig::NoJoin).unwrap();
+    let model = hamlet_ml::naive_bayes::NaiveBayes::fit(&ds).unwrap();
+    state.registry.insert(ModelArtifact {
+        format_version: FORMAT_VERSION,
+        name: "idle-nb".into(),
+        version: 1,
+        model: model.into(),
+        feature_config: FeatureConfig::NoJoin,
+        contract: ds.contract(),
+        schema_fingerprint: g.star.fingerprint(),
+        metadata: TrainingMetadata {
+            dataset: "onexr".into(),
+            spec: ModelSpec::NaiveBayesBfs,
+            train_rows: ds.n_rows(),
+            metrics: hamlet_core::experiment::RunResult {
+                model: "NB".into(),
+                config: "NoJoin".into(),
+                train_accuracy: 0.0,
+                val_accuracy: 0.0,
+                test_accuracy: 0.0,
+                seconds: 0.0,
+                winner: String::new(),
+            },
+        },
+    });
+    let server = serve("127.0.0.1:0", 4, Arc::clone(&state)).unwrap();
+    let addr = server.addr();
+
+    // Park 64 keep-alive connections, each proven live with one request.
+    let mut parked: Vec<KeepAliveClient> = (0..64)
+        .map(|i| {
+            let mut client = KeepAliveClient::connect(addr);
+            let (status, body) = client.request("GET", "/healthz", "");
+            assert_eq!(status, 200, "parked connection {i}: {body}");
+            client
+        })
+        .collect();
+
+    // A fresh connection predicts promptly despite 64 open sockets on 4
+    // executors (16x oversubscription under the old thread-per-connection
+    // model).
+    let rows: Vec<Vec<u32>> = (0..4).map(|i| ds.row(i).to_vec()).collect();
+    let start = std::time::Instant::now();
+    let (status, body) = http(
+        addr,
+        "POST",
+        "/v1/predict",
+        &serde_json::to_string(&PredictRequest {
+            model: "idle-nb".into(),
+            rows: Some(rows.clone()),
+            rows_raw: None,
+        })
+        .unwrap(),
+    );
+    let latency = start.elapsed();
+    assert_eq!(status, 200, "{body}");
+    let predicted: PredictResponse = serde_json::from_str(&body).unwrap();
+    assert_eq!(predicted.labels.len(), 4);
+    assert!(
+        latency < std::time::Duration::from_secs(5),
+        "fresh predict took {latency:?} behind 64 idle connections"
+    );
+
+    // /v1/explain end-to-end on a keep-alive socket: codes decode to the
+    // exact labels the contract holds.
+    let mut ka = KeepAliveClient::connect(addr);
+    let (status, body) = ka.request(
+        "POST",
+        "/v1/explain",
+        &serde_json::to_string(&ExplainRequest {
+            model: "idle-nb".into(),
+            rows: rows.clone(),
+        })
+        .unwrap(),
+    );
+    assert_eq!(status, 200, "{body}");
+    let explained: ExplainResponse = serde_json::from_str(&body).unwrap();
+    assert_eq!(explained.model, "idle-nb@1");
+    let artifact = state.registry.get("idle-nb").unwrap();
+    for (row, labels) in rows.iter().zip(&explained.rows_raw) {
+        assert_eq!(
+            labels,
+            &artifact.contract.decode_row(row).unwrap(),
+            "HTTP explain must match in-process decode_row"
+        );
+    }
+
+    // Every parked connection is still live and answers again.
+    for (i, client) in parked.iter_mut().enumerate() {
+        let (status, _) = client.request("GET", "/healthz", "");
+        assert_eq!(status, 200, "parked connection {i} died while idle");
+    }
 
     server.shutdown();
     std::fs::remove_dir_all(&dir).ok();
