@@ -14,6 +14,7 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 use rand::SeedableRng;
 
+use crate::binenc::PodVec;
 use crate::dataset::CatDataset;
 use crate::error::{MlError, Result};
 use crate::model::Classifier;
@@ -78,19 +79,23 @@ impl AnnParams {
 }
 
 /// A trained MLP.
+///
+/// Weight arrays live behind [`PodVec`] so a format-v3 artifact loaded via
+/// mmap serves predictions straight out of the mapped file; training always
+/// produces (and mutates) owned storage.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Mlp {
-    offsets: Vec<u32>,
-    d_in: usize,
-    h1: usize,
-    h2: usize,
+    pub(crate) offsets: PodVec<u32>,
+    pub(crate) d_in: usize,
+    pub(crate) h1: usize,
+    pub(crate) h2: usize,
     // Row-major weights: w1 is h1 × d_in, w2 is h2 × h1, w3 is 1 × h2.
-    w1: Vec<f32>,
-    b1: Vec<f32>,
-    w2: Vec<f32>,
-    b2: Vec<f32>,
-    w3: Vec<f32>,
-    b3: f32,
+    pub(crate) w1: PodVec<f32>,
+    pub(crate) b1: PodVec<f32>,
+    pub(crate) w2: PodVec<f32>,
+    pub(crate) b2: PodVec<f32>,
+    pub(crate) w3: PodVec<f32>,
+    pub(crate) b3: f32,
 }
 
 impl Mlp {
@@ -117,15 +122,15 @@ impl Mlp {
                 .collect()
         };
         let mut net = Mlp {
-            offsets,
+            offsets: offsets.into(),
             d_in,
             h1,
             h2,
-            w1: init(ds.n_features().max(1), h1 * d_in),
-            b1: vec![0.0; h1],
-            w2: init(h1, h2 * h1),
-            b2: vec![0.0; h2],
-            w3: init(h2, h2),
+            w1: init(ds.n_features().max(1), h1 * d_in).into(),
+            b1: vec![0.0; h1].into(),
+            w2: init(h1, h2 * h1).into(),
+            b2: vec![0.0; h2].into(),
+            w3: init(h2, h2).into(),
             b3: 0.0,
         };
 

@@ -86,19 +86,39 @@ impl AnyClassifier {
     }
 
     /// Batched prediction fanned out over up to `max_threads` scoped
-    /// threads. Shards are contiguous row ranges and results are
-    /// concatenated in shard order, so the output is bit-identical to
-    /// [`AnyClassifier::predict_batch`] — parallelism is purely a
-    /// wall-clock optimization. Batches smaller than
-    /// [`MIN_ROWS_PER_SHARD`] rows per extra thread stay sequential (the
-    /// spawn overhead would dominate).
+    /// threads with the default [`MIN_ROWS_PER_SHARD`] shard floor. See
+    /// [`AnyClassifier::predict_batch_sharded`] for the tunable variant.
     pub fn predict_batch_parallel(&self, rows: &[u32], d: usize, max_threads: usize) -> Vec<bool> {
+        self.predict_batch_sharded(rows, d, max_threads, MIN_ROWS_PER_SHARD)
+    }
+
+    /// Batched prediction fanned out over up to `max_threads` scoped
+    /// threads, spawning one extra thread per `min_rows_per_shard` rows.
+    /// Shards are contiguous row ranges and results are concatenated in
+    /// shard order, so the output is bit-identical to
+    /// [`AnyClassifier::predict_batch`] *regardless of the shard size* —
+    /// parallelism is purely a wall-clock optimization. Batches smaller
+    /// than one shard floor per extra thread stay sequential (the spawn
+    /// overhead would dominate).
+    ///
+    /// The floor is a tuning knob: a serving layer that has *observed* this
+    /// model's per-row latency can pass a floor sized so each shard costs
+    /// roughly a fixed wall-clock budget (cheap models → bigger shards,
+    /// expensive ANN/SVM models → smaller ones), instead of the
+    /// one-size-fits-all default.
+    pub fn predict_batch_sharded(
+        &self,
+        rows: &[u32],
+        d: usize,
+        max_threads: usize,
+        min_rows_per_shard: usize,
+    ) -> Vec<bool> {
         assert!(
             d > 0 && rows.len().is_multiple_of(d),
             "rows must be n × d codes"
         );
         let n = rows.len() / d;
-        let shards = (n / MIN_ROWS_PER_SHARD).clamp(1, max_threads.max(1));
+        let shards = (n / min_rows_per_shard.max(1)).clamp(1, max_threads.max(1));
         if shards == 1 {
             return self.predict_batch(rows, d);
         }
@@ -284,6 +304,15 @@ mod tests {
             any.predict_batch_parallel(&rows[..d * 3], d, 8),
             sequential[..3]
         );
+        // Arbitrary shard floors (the adaptive-sizing knob) never change
+        // the output, only the fan-out.
+        for floor in [1, 32, 100, 1000, usize::MAX] {
+            assert_eq!(
+                any.predict_batch_sharded(&rows, d, 8, floor),
+                sequential,
+                "floor={floor}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,454 @@
+//! Per-family binary payload serializers for [`AnyClassifier`].
+//!
+//! Each family writes a one-byte variant tag followed by its payload:
+//! scalars inline, numeric arrays as aligned pod sections (zero-copy on the
+//! mmap read path). The tree payload lives next to its private node types
+//! in `crate::tree`; everything else is here. These codecs replace
+//! serde-JSON as the only model encoding — format-v3 artifacts embed this
+//! stream as their `MODL` section, while v1/v2 JSON artifacts keep using
+//! the serde path.
+
+use crate::ann::Mlp;
+use crate::any::{AnyClassifier, SubsetModel};
+use crate::binenc::{BinReader, BinWriter};
+use crate::error::{MlError, Result};
+use crate::knn::OneNearestNeighbor;
+use crate::logreg::LogRegL1;
+use crate::model::MajorityClass;
+use crate::naive_bayes::NaiveBayes;
+use crate::svm::{KernelKind, SvmModel};
+use crate::tree::DecisionTree;
+
+fn bad(what: impl std::fmt::Display) -> MlError {
+    MlError::Invalid(format!("corrupt model payload: {what}"))
+}
+
+fn encode_kernel(w: &mut BinWriter, k: KernelKind) {
+    match k {
+        KernelKind::Linear => w.put_u8(0),
+        KernelKind::Quadratic { gamma } => {
+            w.put_u8(1);
+            w.put_f64(gamma);
+        }
+        KernelKind::Rbf { gamma } => {
+            w.put_u8(2);
+            w.put_f64(gamma);
+        }
+    }
+}
+
+fn decode_kernel(r: &mut BinReader) -> Result<KernelKind> {
+    Ok(match r.read_u8()? {
+        0 => KernelKind::Linear,
+        1 => KernelKind::Quadratic {
+            gamma: r.read_f64()?,
+        },
+        2 => KernelKind::Rbf {
+            gamma: r.read_f64()?,
+        },
+        t => return Err(bad(format!("kernel tag {t}"))),
+    })
+}
+
+fn encode_bools_packed(w: &mut BinWriter, bits: &[bool]) {
+    w.put_usize(bits.len());
+    let mut byte = 0u8;
+    for (i, &b) in bits.iter().enumerate() {
+        byte |= u8::from(b) << (i % 8);
+        if i % 8 == 7 {
+            w.put_u8(byte);
+            byte = 0;
+        }
+    }
+    if !bits.len().is_multiple_of(8) {
+        w.put_u8(byte);
+    }
+}
+
+fn decode_bools_packed(r: &mut BinReader) -> Result<Vec<bool>> {
+    let len = r.read_usize()?;
+    if len > r.remaining().saturating_mul(8) {
+        return Err(bad(format!("packed bool list of {len} overruns section")));
+    }
+    let mut out = Vec::with_capacity(len);
+    let mut byte = 0u8;
+    for i in 0..len {
+        if i % 8 == 0 {
+            byte = r.read_u8()?;
+        }
+        out.push(byte >> (i % 8) & 1 == 1);
+    }
+    Ok(out)
+}
+
+fn encode_mlp(w: &mut BinWriter, m: &Mlp) {
+    w.put_usize(m.d_in);
+    w.put_usize(m.h1);
+    w.put_usize(m.h2);
+    w.put_f32(m.b3);
+    w.put_pod_slice(&m.offsets);
+    w.put_pod_slice(&m.w1);
+    w.put_pod_slice(&m.b1);
+    w.put_pod_slice(&m.w2);
+    w.put_pod_slice(&m.b2);
+    w.put_pod_slice(&m.w3);
+}
+
+fn decode_mlp(r: &mut BinReader) -> Result<Mlp> {
+    let d_in = r.read_usize()?;
+    let h1 = r.read_usize()?;
+    let h2 = r.read_usize()?;
+    let b3 = r.read_f32()?;
+    let offsets = r.read_pod_vec()?;
+    let w1 = r.read_pod_vec()?;
+    let b1 = r.read_pod_vec()?;
+    let w2 = r.read_pod_vec()?;
+    let b2 = r.read_pod_vec()?;
+    let w3 = r.read_pod_vec()?;
+    let m = Mlp {
+        offsets,
+        d_in,
+        h1,
+        h2,
+        w1,
+        b1,
+        w2,
+        b2,
+        w3,
+        b3,
+    };
+    // Dimensions come straight from the file: checked arithmetic so a
+    // corrupt header is a clean error, not an overflow panic.
+    let area = |a: usize, b: usize| a.checked_mul(b);
+    if Some(m.w1.len()) != area(m.h1, m.d_in)
+        || m.b1.len() != m.h1
+        || Some(m.w2.len()) != area(m.h2, m.h1)
+        || m.b2.len() != m.h2
+        || m.w3.len() != m.h2
+    {
+        return Err(bad("MLP layer shapes disagree"));
+    }
+    Ok(m)
+}
+
+fn encode_svm(w: &mut BinWriter, m: &SvmModel) {
+    encode_kernel(w, m.kernel);
+    w.put_usize(m.n_features);
+    w.put_f64(m.bias);
+    w.put_pod_slice(&m.sv_coef);
+    w.put_pod_slice(&m.sv_rows);
+}
+
+fn decode_svm(r: &mut BinReader) -> Result<SvmModel> {
+    let kernel = decode_kernel(r)?;
+    let n_features = r.read_usize()?;
+    let bias = r.read_f64()?;
+    let sv_coef = r.read_pod_vec()?;
+    let sv_rows = r.read_pod_vec()?;
+    let m = SvmModel {
+        kernel,
+        n_features,
+        sv_rows,
+        sv_coef,
+        bias,
+    };
+    if m.n_features == 0 || Some(m.sv_rows.len()) != m.sv_coef.len().checked_mul(m.n_features) {
+        return Err(bad("SVM support-vector shapes disagree"));
+    }
+    Ok(m)
+}
+
+fn encode_knn(w: &mut BinWriter, m: &OneNearestNeighbor) {
+    w.put_usize(m.d);
+    encode_bools_packed(w, &m.labels);
+    w.put_pod_slice(&m.rows);
+}
+
+fn decode_knn(r: &mut BinReader) -> Result<OneNearestNeighbor> {
+    let d = r.read_usize()?;
+    let labels = decode_bools_packed(r)?;
+    let rows = r.read_pod_vec()?;
+    let m = OneNearestNeighbor { d, rows, labels };
+    if m.d == 0 || Some(m.rows.len()) != m.labels.len().checked_mul(m.d) {
+        return Err(bad("1-NN row/label shapes disagree"));
+    }
+    Ok(m)
+}
+
+fn encode_nb(w: &mut BinWriter, m: &NaiveBayes) {
+    w.put_f64(m.log_prior[0]);
+    w.put_f64(m.log_prior[1]);
+    w.put_pod_slice(&m.cardinalities);
+    w.put_usize(m.tables.len());
+    for table in &m.tables {
+        w.put_pod_slice(table);
+    }
+}
+
+fn decode_nb(r: &mut BinReader) -> Result<NaiveBayes> {
+    let log_prior = [r.read_f64()?, r.read_f64()?];
+    let cardinalities = r.read_pod_vec::<u32>()?;
+    let n_tables = r.read_usize()?;
+    if n_tables != cardinalities.len() {
+        return Err(bad("NB table count does not match cardinalities"));
+    }
+    let mut tables = Vec::with_capacity(n_tables);
+    for j in 0..n_tables {
+        let table = r.read_pod_vec::<f64>()?;
+        if table.len() != 2 * cardinalities[j] as usize {
+            return Err(bad(format!("NB table {j} has wrong shape")));
+        }
+        tables.push(table);
+    }
+    Ok(NaiveBayes {
+        log_prior,
+        tables,
+        cardinalities,
+    })
+}
+
+fn encode_logreg(w: &mut BinWriter, m: &LogRegL1) {
+    w.put_f64(m.intercept);
+    w.put_f64(m.lambda);
+    w.put_pod_slice(&m.offsets);
+    w.put_pod_slice(&m.weights);
+}
+
+fn decode_logreg(r: &mut BinReader) -> Result<LogRegL1> {
+    let intercept = r.read_f64()?;
+    let lambda = r.read_f64()?;
+    let offsets = r.read_pod_vec::<u32>()?;
+    let weights = r.read_pod_vec::<f64>()?;
+    // `offsets` carries a trailing sentinel equal to the one-hot dimension;
+    // the weight vector must span exactly that, or `decision` would index
+    // out of bounds.
+    if offsets
+        .last()
+        .is_none_or(|&dim| weights.len() != dim as usize)
+    {
+        return Err(bad("logreg weights do not span the one-hot offsets"));
+    }
+    Ok(LogRegL1 {
+        offsets,
+        weights,
+        intercept,
+        lambda,
+    })
+}
+
+impl AnyClassifier {
+    /// Whether any of this model's weight arrays currently borrow a mapped
+    /// artifact file (true only after an mmap load; a heap load or a
+    /// freshly trained model is fully resident).
+    pub fn payload_mapped(&self) -> bool {
+        match self {
+            AnyClassifier::Majority(_) => false,
+            // Tree nodes are structural and always copied.
+            AnyClassifier::Tree(_) => false,
+            AnyClassifier::Knn(m) => m.rows.is_mapped(),
+            AnyClassifier::Svm(m) => m.sv_rows.is_mapped() || m.sv_coef.is_mapped(),
+            AnyClassifier::Mlp(m) => m.w1.is_mapped() || m.w2.is_mapped(),
+            AnyClassifier::NaiveBayes(m) => {
+                m.cardinalities.is_mapped() || m.tables.iter().any(|t| t.is_mapped())
+            }
+            AnyClassifier::LogReg(m) => m.offsets.is_mapped() || m.weights.is_mapped(),
+            AnyClassifier::Subset(s) => s.inner.payload_mapped(),
+        }
+    }
+
+    /// Serializes the model as the format-v3 binary payload.
+    pub fn encode_bin(&self, w: &mut BinWriter) {
+        match self {
+            AnyClassifier::Majority(m) => {
+                w.put_u8(0);
+                w.put_bool(m.positive);
+            }
+            AnyClassifier::Tree(m) => {
+                w.put_u8(1);
+                m.encode_bin(w);
+            }
+            AnyClassifier::Knn(m) => {
+                w.put_u8(2);
+                encode_knn(w, m);
+            }
+            AnyClassifier::Svm(m) => {
+                w.put_u8(3);
+                encode_svm(w, m);
+            }
+            AnyClassifier::Mlp(m) => {
+                w.put_u8(4);
+                encode_mlp(w, m);
+            }
+            AnyClassifier::NaiveBayes(m) => {
+                w.put_u8(5);
+                encode_nb(w, m);
+            }
+            AnyClassifier::LogReg(m) => {
+                w.put_u8(6);
+                encode_logreg(w, m);
+            }
+            AnyClassifier::Subset(s) => {
+                w.put_u8(7);
+                w.put_usize(s.keep.len());
+                for &j in &s.keep {
+                    w.put_usize(j);
+                }
+                s.inner.encode_bin(w);
+            }
+        }
+    }
+
+    /// Deserializes a model written by [`AnyClassifier::encode_bin`]. Over
+    /// a mapped source, weight arrays borrow the mapping zero-copy.
+    pub fn decode_bin(r: &mut BinReader) -> Result<AnyClassifier> {
+        Ok(match r.read_u8()? {
+            0 => AnyClassifier::Majority(MajorityClass {
+                positive: r.read_bool()?,
+            }),
+            1 => AnyClassifier::Tree(DecisionTree::decode_bin(r)?),
+            2 => AnyClassifier::Knn(decode_knn(r)?),
+            3 => AnyClassifier::Svm(decode_svm(r)?),
+            4 => AnyClassifier::Mlp(decode_mlp(r)?),
+            5 => AnyClassifier::NaiveBayes(decode_nb(r)?),
+            6 => AnyClassifier::LogReg(decode_logreg(r)?),
+            7 => {
+                let n = r.read_usize()?;
+                if n > r.remaining() / 8 {
+                    return Err(bad(format!("subset keep list of {n} overruns section")));
+                }
+                let keep = (0..n).map(|_| r.read_usize()).collect::<Result<_>>()?;
+                AnyClassifier::Subset(SubsetModel {
+                    keep,
+                    inner: Box::new(AnyClassifier::decode_bin(r)?),
+                })
+            }
+            t => return Err(bad(format!("unknown model family tag {t}"))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{CatDataset, FeatureMeta, Provenance};
+    use crate::model::Classifier;
+
+    fn ds(seed: u64) -> CatDataset {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let d = 3usize;
+        let k = 4u32;
+        let n = 40usize;
+        let features: Vec<FeatureMeta> = (0..d)
+            .map(|j| FeatureMeta::new(format!("f{j}"), k, Provenance::Home))
+            .collect();
+        let rows: Vec<u32> = (0..n * d).map(|_| rng.gen_range(0..k)).collect();
+        let labels: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+        CatDataset::new(features, rows, labels).unwrap()
+    }
+
+    fn all_families(data: &CatDataset) -> Vec<AnyClassifier> {
+        use crate::ann::AnnParams;
+        use crate::logreg::LogRegParams;
+        use crate::svm::SvmParams;
+        use crate::tree::{SplitCriterion, TreeParams};
+        let sub = data.select_features(&[1]).unwrap();
+        vec![
+            MajorityClass::fit(data).into(),
+            DecisionTree::fit(
+                data,
+                TreeParams::new(SplitCriterion::Gini)
+                    .with_minsplit(2)
+                    .with_cp(0.0),
+            )
+            .unwrap()
+            .into(),
+            OneNearestNeighbor::fit(data).unwrap().into(),
+            SvmModel::fit(data, SvmParams::new(KernelKind::Rbf { gamma: 0.5 }, 5.0))
+                .unwrap()
+                .into(),
+            Mlp::fit(
+                data,
+                AnnParams {
+                    epochs: 2,
+                    ..AnnParams::small(1e-4, 0.01)
+                },
+            )
+            .unwrap()
+            .into(),
+            NaiveBayes::fit(data).unwrap().into(),
+            LogRegL1::fit_single(
+                data,
+                1e-3,
+                LogRegParams {
+                    max_iter: 25,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+            .into(),
+            SubsetModel {
+                keep: vec![1],
+                inner: Box::new(NaiveBayes::fit(&sub).unwrap().into()),
+            }
+            .into(),
+        ]
+    }
+
+    #[test]
+    fn every_family_roundtrips_bit_identically() {
+        let data = ds(17);
+        for model in all_families(&data) {
+            let mut w = BinWriter::new();
+            model.encode_bin(&mut w);
+            let mut r = BinReader::over_heap(w.finish());
+            let back = AnyClassifier::decode_bin(&mut r).unwrap();
+            r.expect_end().unwrap();
+            assert_eq!(back, model, "family {}", model.family());
+            for i in 0..data.n_rows() {
+                assert_eq!(
+                    back.predict_row(data.row(i)),
+                    model.predict_row(data.row(i)),
+                    "family {} row {i}",
+                    model.family()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_payloads_error_for_every_family() {
+        let data = ds(29);
+        for model in all_families(&data) {
+            let mut w = BinWriter::new();
+            model.encode_bin(&mut w);
+            let bytes = w.finish();
+            // Cutting anywhere must error, never panic. Probe a spread of
+            // truncation points including the empty stream.
+            for cut in [0, 1, bytes.len() / 3, bytes.len() / 2, bytes.len() - 1] {
+                let mut r = BinReader::over_heap(bytes[..cut].to_vec());
+                let res = AnyClassifier::decode_bin(&mut r).and_then(|_| r.expect_end());
+                assert!(res.is_err(), "family {} cut {cut}", model.family());
+            }
+        }
+    }
+
+    #[test]
+    fn bad_tags_are_clean_errors() {
+        let mut r = BinReader::over_heap(vec![99]);
+        let err = AnyClassifier::decode_bin(&mut r).unwrap_err();
+        assert!(err.to_string().contains("family tag"), "{err}");
+    }
+
+    #[test]
+    fn packed_bools_roundtrip() {
+        for n in [0usize, 1, 7, 8, 9, 64, 100] {
+            let bits: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+            let mut w = BinWriter::new();
+            encode_bools_packed(&mut w, &bits);
+            let mut r = BinReader::over_heap(w.finish());
+            assert_eq!(decode_bools_packed(&mut r).unwrap(), bits);
+            r.expect_end().unwrap();
+        }
+    }
+}

@@ -12,9 +12,12 @@
 //! of pushing the encoding burden onto every client.
 
 use std::fmt;
+use std::sync::Arc;
 
+use hamlet_relation::domain::CatDomain;
 use hamlet_relation::fingerprint::Fingerprint;
 
+use crate::binenc::{BinReader, BinWriter};
 use crate::dataset::{FeatureMeta, Provenance};
 use crate::error::{MlError, Result};
 
@@ -317,6 +320,190 @@ impl FeatureContract {
     }
 }
 
+/// Deduplicating pool of dictionaries for by-reference contract encoding.
+///
+/// The star schema shares one `CatDomain` allocation between a fact table's
+/// FK column and the dimension's RID column, but v2 JSON artifacts inline
+/// the labels once per *feature* that references them. Format v3 restores
+/// the sharing on disk: every distinct domain is interned here exactly once
+/// (deduplicated first by allocation, then by content, so domains that were
+/// split by an earlier JSON load re-merge), features reference domains by
+/// index, and decoding rebuilds one shared `Arc` per distinct dictionary.
+#[derive(Debug, Default)]
+pub struct DomainInterner {
+    domains: Vec<Arc<CatDomain>>,
+}
+
+impl DomainInterner {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Index of `domain` in the pool, interning it on first sight.
+    pub fn intern(&mut self, domain: &Arc<CatDomain>) -> u32 {
+        for (i, existing) in self.domains.iter().enumerate() {
+            if Arc::ptr_eq(existing, domain) || **existing == **domain {
+                return i as u32;
+            }
+        }
+        self.domains.push(Arc::clone(domain));
+        (self.domains.len() - 1) as u32
+    }
+
+    /// Interned domains, in reference order.
+    pub fn domains(&self) -> &[Arc<CatDomain>] {
+        &self.domains
+    }
+
+    /// Number of distinct dictionaries interned.
+    pub fn len(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Whether no dictionary was interned.
+    pub fn is_empty(&self) -> bool {
+        self.domains.is_empty()
+    }
+
+    /// Writes the pool as the format-v3 `DICT` section: a count, then per
+    /// domain its name and labels as length-prefixed strings.
+    pub fn encode_bin(&self, w: &mut BinWriter) {
+        w.put_u32(self.domains.len() as u32);
+        for domain in &self.domains {
+            w.put_str(domain.name());
+            w.put_u32(domain.cardinality());
+            for label in domain.labels() {
+                w.put_str(label);
+            }
+        }
+    }
+
+    /// Reads a pool written by [`DomainInterner::encode_bin`]. Each domain
+    /// is rebuilt through `CatDomain::new`, so the code index and `Others`
+    /// slot are re-derived and duplicate labels in a corrupted file are
+    /// rejected.
+    pub fn decode_bin(r: &mut BinReader) -> Result<Vec<Arc<CatDomain>>> {
+        let count = r.read_u32()? as usize;
+        let mut domains = Vec::with_capacity(count.min(r.remaining()));
+        for _ in 0..count {
+            let name = r.read_str()?;
+            let n_labels = r.read_u32()? as usize;
+            if n_labels > r.remaining() / 4 {
+                return Err(MlError::Invalid(format!(
+                    "corrupt dictionary `{name}`: {n_labels} labels overrun section"
+                )));
+            }
+            let labels = (0..n_labels)
+                .map(|_| r.read_str())
+                .collect::<Result<Vec<_>>>()?;
+            domains.push(CatDomain::new(name, labels)?.into_shared());
+        }
+        Ok(domains)
+    }
+}
+
+impl FeatureContract {
+    /// Serializes the contract with dictionaries *by reference*: the JSON
+    /// form of each feature carries a `domain_ref` index into `pool`
+    /// instead of inline labels. Used by the format-v3 `META` section
+    /// alongside the pool's binary `DICT` section.
+    pub fn serialize_by_ref(&self, pool: &mut DomainInterner) -> serde::Value {
+        let features = self
+            .features
+            .iter()
+            .map(|f| {
+                serde::Value::Obj(vec![
+                    ("name".to_string(), serde::Value::Str(f.name.clone())),
+                    (
+                        "cardinality".to_string(),
+                        serde::Value::Num(serde::Number::UInt(u64::from(f.cardinality))),
+                    ),
+                    (
+                        "provenance".to_string(),
+                        serde::Serialize::serialize(&f.provenance),
+                    ),
+                    (
+                        "domain_ref".to_string(),
+                        match &f.domain {
+                            None => serde::Value::Null,
+                            Some(d) => {
+                                serde::Value::Num(serde::Number::UInt(u64::from(pool.intern(d))))
+                            }
+                        },
+                    ),
+                ])
+            })
+            .collect();
+        serde::Value::Arr(features)
+    }
+
+    /// Inverse of [`FeatureContract::serialize_by_ref`], resolving
+    /// `domain_ref` indices against a decoded dictionary pool. Referenced
+    /// domains are shared (`Arc`) between every feature that names them,
+    /// restoring the in-memory dedup that v2 JSON loads lose.
+    pub fn deserialize_by_ref(v: &serde::Value, pool: &[Arc<CatDomain>]) -> Result<Self> {
+        let invalid = |what: String| MlError::Invalid(format!("corrupt contract: {what}"));
+        let serde::Value::Arr(entries) = v else {
+            return Err(invalid(format!("expected array, got {}", v.kind())));
+        };
+        let mut features = Vec::with_capacity(entries.len());
+        for (j, entry) in entries.iter().enumerate() {
+            let obj = entry
+                .as_obj_view("contract feature")
+                .map_err(|e| invalid(format!("feature {j}: {e}")))?;
+            let name = match obj.field("name") {
+                serde::Value::Str(s) => s.clone(),
+                other => return Err(invalid(format!("feature {j}: name is {}", other.kind()))),
+            };
+            let cardinality = match obj.field("cardinality") {
+                serde::Value::Num(n) => n
+                    .as_u64()
+                    .and_then(|v| u32::try_from(v).ok())
+                    .ok_or_else(|| invalid(format!("feature `{name}`: bad cardinality")))?,
+                other => {
+                    return Err(invalid(format!(
+                        "feature `{name}`: cardinality is {}",
+                        other.kind()
+                    )))
+                }
+            };
+            let provenance =
+                <Provenance as serde::Deserialize>::deserialize(obj.field("provenance"))
+                    .map_err(|e| invalid(format!("feature `{name}`: {e}")))?;
+            let domain = match obj.field("domain_ref") {
+                serde::Value::Null => None,
+                serde::Value::Num(n) => {
+                    let idx = n
+                        .as_u64()
+                        .and_then(|v| usize::try_from(v).ok())
+                        .filter(|&i| i < pool.len())
+                        .ok_or_else(|| {
+                            invalid(format!(
+                                "feature `{name}`: domain_ref out of range (pool has {})",
+                                pool.len()
+                            ))
+                        })?;
+                    Some(Arc::clone(&pool[idx]))
+                }
+                other => {
+                    return Err(invalid(format!(
+                        "feature `{name}`: domain_ref is {}",
+                        other.kind()
+                    )))
+                }
+            };
+            features.push(FeatureMeta {
+                name,
+                cardinality,
+                provenance,
+                domain,
+            });
+        }
+        FeatureContract::new(features)
+    }
+}
+
 impl serde::Serialize for FeatureContract {
     fn serialize(&self) -> serde::Value {
         serde::Serialize::serialize(&self.features)
@@ -473,6 +660,67 @@ mod tests {
         let back = FeatureContract::deserialize(&v).unwrap();
         assert_eq!(back, c);
         assert_eq!(back.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn by_ref_roundtrip_dedups_shared_domains() {
+        use crate::binenc::{BinReader, BinWriter};
+        // Three features, two referencing the *same* Arc (FK + RID case)
+        // and one open domain; plus a dictionary-less feature.
+        let shared = CatDomain::synthetic("d0", 3).into_shared();
+        let c = FeatureContract::new(vec![
+            FeatureMeta::with_domain("fk", Provenance::ForeignKey { dim: 0 }, Arc::clone(&shared)),
+            FeatureMeta::with_domain("rid", Provenance::Foreign { dim: 0 }, Arc::clone(&shared)),
+            FeatureMeta::with_domain(
+                "open",
+                Provenance::Home,
+                CatDomain::synthetic_with_others("open", 2).into_shared(),
+            ),
+            FeatureMeta::new("bare", 4, Provenance::Home),
+        ])
+        .unwrap();
+
+        let mut pool = DomainInterner::new();
+        let v = c.serialize_by_ref(&mut pool);
+        assert_eq!(pool.len(), 2, "shared Arc interned once");
+        // A content-equal but separately allocated domain also dedups.
+        assert_eq!(pool.intern(&CatDomain::synthetic("d0", 3).into_shared()), 0);
+
+        let mut w = BinWriter::new();
+        pool.encode_bin(&mut w);
+        let mut r = BinReader::over_heap(w.finish());
+        let domains = DomainInterner::decode_bin(&mut r).unwrap();
+        r.expect_end().unwrap();
+        assert_eq!(domains.len(), 2);
+
+        let back = FeatureContract::deserialize_by_ref(&v, &domains).unwrap();
+        assert_eq!(back, c);
+        assert_eq!(back.fingerprint(), c.fingerprint());
+        // The decode restores *sharing*, not just equality.
+        assert!(Arc::ptr_eq(
+            back.feature(0).domain.as_ref().unwrap(),
+            back.feature(1).domain.as_ref().unwrap()
+        ));
+        assert!(back.feature(3).domain.is_none());
+        assert!(back.is_open(2));
+    }
+
+    #[test]
+    fn by_ref_decode_rejects_dangling_refs_and_bad_shapes() {
+        let c = contract_open_closed();
+        let mut pool = DomainInterner::new();
+        let v = c.serialize_by_ref(&mut pool);
+        // Dangling domain_ref: pool too small.
+        let err = FeatureContract::deserialize_by_ref(&v, &[]).unwrap_err();
+        assert!(err.to_string().contains("domain_ref"), "{err}");
+        // Non-array contract.
+        assert!(FeatureContract::deserialize_by_ref(&serde::Value::Null, &[]).is_err());
+        // Cardinality/domain mismatch is caught by FeatureContract::new.
+        let wrong_pool = vec![
+            CatDomain::synthetic("xs", 9).into_shared(),
+            CatDomain::synthetic("fk", 9).into_shared(),
+        ];
+        assert!(FeatureContract::deserialize_by_ref(&v, &wrong_pool).is_err());
     }
 
     #[test]

@@ -6,17 +6,22 @@
 //! under NoJoin (memorise FK, match on it) is the paper's §5.1 lens for
 //! explaining the RBF-SVM.
 
+use crate::binenc::PodVec;
 use crate::dataset::CatDataset;
 use crate::error::{MlError, Result};
 use crate::model::Classifier;
 use crate::svm::kernel::match_count;
 
 /// A fitted (i.e. memorised) 1-NN classifier.
+///
+/// The memorised training matrix lives behind [`PodVec`] so a format-v3
+/// artifact loaded via mmap scans neighbours straight out of the mapped
+/// file.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct OneNearestNeighbor {
-    d: usize,
-    rows: Vec<u32>,
-    labels: Vec<bool>,
+    pub(crate) d: usize,
+    pub(crate) rows: PodVec<u32>,
+    pub(crate) labels: Vec<bool>,
 }
 
 impl OneNearestNeighbor {
@@ -34,7 +39,7 @@ impl OneNearestNeighbor {
         }
         Ok(Self {
             d,
-            rows,
+            rows: rows.into(),
             labels: ds.labels().to_vec(),
         })
     }

@@ -6,6 +6,7 @@
 //! validation-set selection of the final lambda. The intercept is never
 //! penalised, matching glmnet.
 
+use crate::binenc::PodVec;
 use crate::dataset::CatDataset;
 use crate::error::{MlError, Result};
 use crate::model::Classifier;
@@ -51,12 +52,14 @@ impl LogRegParams {
     }
 }
 
-/// A fitted L1 logistic-regression model (weights live in one-hot space).
+/// A fitted L1 logistic-regression model (weights live in one-hot space,
+/// behind [`PodVec`] so mmap-loaded format-v3 artifacts score rows straight
+/// out of the mapped file).
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct LogRegL1 {
-    offsets: Vec<u32>,
-    weights: Vec<f64>,
-    intercept: f64,
+    pub(crate) offsets: PodVec<u32>,
+    pub(crate) weights: PodVec<f64>,
+    pub(crate) intercept: f64,
     /// The lambda selected on the validation split.
     pub lambda: f64,
 }
@@ -254,8 +257,8 @@ impl LogRegL1 {
         let mut b = (ybar / (1.0 - ybar)).ln();
         solve_lambda(&design, y, lambda.max(0.0), &mut w, &mut b, &params);
         Ok(Self {
-            offsets: train.onehot_offsets(),
-            weights: w,
+            offsets: train.onehot_offsets().into(),
+            weights: w.into(),
             intercept: b,
             lambda,
         })
@@ -312,8 +315,8 @@ impl LogRegL1 {
         for &lambda in &lambdas {
             solve_lambda(&design, y, lambda, &mut w, &mut b, &params);
             let model = LogRegL1 {
-                offsets: offsets.clone(),
-                weights: w.clone(),
+                offsets: offsets.clone().into(),
+                weights: w.clone().into(),
                 intercept: b,
                 lambda,
             };

@@ -6,18 +6,21 @@
 //! and, notably, makes NB one of the models that does *not* crash on FK
 //! codes unseen in training (§6.2 discusses trees crashing; NB smooths).
 
+use crate::binenc::PodVec;
 use crate::dataset::CatDataset;
 use crate::error::{MlError, Result};
 use crate::model::Classifier;
 
-/// A fitted categorical Naive Bayes model (log-space).
+/// A fitted categorical Naive Bayes model (log-space). Probability tables
+/// live behind [`PodVec`] so mmap-loaded format-v3 artifacts score rows
+/// straight out of the mapped file.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct NaiveBayes {
     /// Log prior for (negative, positive).
-    log_prior: [f64; 2],
+    pub(crate) log_prior: [f64; 2],
     /// Per feature: flattened `2 × cardinality` log-likelihood table.
-    tables: Vec<Vec<f64>>,
-    cardinalities: Vec<u32>,
+    pub(crate) tables: Vec<PodVec<f64>>,
+    pub(crate) cardinalities: PodVec<u32>,
 }
 
 /// Laplace pseudo-count used for all tables.
@@ -57,12 +60,12 @@ impl NaiveBayes {
                     table[y * k + c] = ((counts[y * k + c] + ALPHA) / denom).ln();
                 }
             }
-            tables.push(table);
+            tables.push(table.into());
         }
         Ok(Self {
             log_prior,
             tables,
-            cardinalities: ds.cardinalities(),
+            cardinalities: ds.cardinalities().into(),
         })
     }
 

@@ -13,6 +13,7 @@ use rand::SeedableRng;
 
 pub use kernel::{match_count, KernelKind, MatchMatrix};
 
+use crate::binenc::PodVec;
 use crate::dataset::CatDataset;
 use crate::error::{MlError, Result};
 use crate::model::Classifier;
@@ -80,15 +81,19 @@ impl SvmParams {
 }
 
 /// A trained SVM: support vectors with coefficients `αᵢ yᵢ` plus bias.
+///
+/// The support-vector matrix and coefficients live behind [`PodVec`] so a
+/// format-v3 artifact loaded via mmap evaluates kernels straight out of the
+/// mapped file.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct SvmModel {
-    kernel: KernelKind,
-    n_features: usize,
+    pub(crate) kernel: KernelKind,
+    pub(crate) n_features: usize,
     /// Support-vector rows, flattened `n_sv × d`.
-    sv_rows: Vec<u32>,
+    pub(crate) sv_rows: PodVec<u32>,
     /// `αᵢ yᵢ` per support vector.
-    sv_coef: Vec<f64>,
-    bias: f64,
+    pub(crate) sv_coef: PodVec<f64>,
+    pub(crate) bias: f64,
 }
 
 impl SvmModel {
@@ -125,8 +130,8 @@ impl SvmModel {
             return Ok(Self {
                 kernel: params.kernel,
                 n_features: d,
-                sv_rows: Vec::new(),
-                sv_coef: Vec::new(),
+                sv_rows: PodVec::new(),
+                sv_coef: PodVec::new(),
                 bias: if pos == n { 1.0 } else { -1.0 },
             });
         }
@@ -248,8 +253,8 @@ impl SvmModel {
         Ok(Self {
             kernel: params.kernel,
             n_features: d,
-            sv_rows,
-            sv_coef,
+            sv_rows: sv_rows.into(),
+            sv_coef: sv_coef.into(),
             bias,
         })
     }

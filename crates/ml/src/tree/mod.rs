@@ -10,6 +10,7 @@
 
 pub mod split;
 
+use crate::binenc::{BinReader, BinWriter};
 use crate::dataset::CatDataset;
 use crate::error::{MlError, Result};
 use crate::model::Classifier;
@@ -273,6 +274,138 @@ impl DecisionTree {
     /// Fitting parameters.
     pub fn params(&self) -> &TreeParams {
         &self.params
+    }
+
+    /// Binary payload for format-v3 artifacts (see `crate::binenc`). Nodes
+    /// are written in index order; the per-node code lists are inline
+    /// (copied on read — they are short by construction, split search is
+    /// O(observed levels)).
+    pub(crate) fn encode_bin(&self, w: &mut BinWriter) {
+        w.put_u8(match self.params.criterion {
+            SplitCriterion::Gini => 0,
+            SplitCriterion::InfoGain => 1,
+            SplitCriterion::GainRatio => 2,
+        });
+        w.put_usize(self.params.minsplit);
+        w.put_f64(self.params.cp);
+        w.put_usize(self.params.max_depth);
+        match self.params.min_bucket {
+            None => w.put_u8(0),
+            Some(m) => {
+                w.put_u8(1);
+                w.put_usize(m);
+            }
+        }
+        w.put_u8(match self.params.categorical {
+            CategoricalSplit::SubsetPartition => 0,
+            CategoricalSplit::OneVsRest => 1,
+        });
+        w.put_usize(self.n_features);
+        w.put_usize(self.nodes.len());
+        for node in &self.nodes {
+            w.put_bool(node.prediction);
+            w.put_u32(node.n);
+            w.put_u32(node.pos);
+            w.put_u16(node.depth);
+            match &node.split {
+                None => w.put_u8(0),
+                Some(s) => {
+                    w.put_u8(1);
+                    w.put_u32(s.feature);
+                    w.put_u32(s.left);
+                    w.put_u32(s.right);
+                    w.put_bool(s.majority_left);
+                    w.put_u32s_inline(&s.left_codes);
+                    w.put_u32s_inline(&s.right_codes);
+                }
+            }
+        }
+    }
+
+    /// Inverse of [`DecisionTree::encode_bin`].
+    pub(crate) fn decode_bin(r: &mut BinReader) -> Result<Self> {
+        let bad = |what: &str| MlError::Invalid(format!("corrupt tree payload: {what}"));
+        let criterion = match r.read_u8()? {
+            0 => SplitCriterion::Gini,
+            1 => SplitCriterion::InfoGain,
+            2 => SplitCriterion::GainRatio,
+            t => return Err(bad(&format!("criterion tag {t}"))),
+        };
+        let minsplit = r.read_usize()?;
+        let cp = r.read_f64()?;
+        let max_depth = r.read_usize()?;
+        let min_bucket = match r.read_u8()? {
+            0 => None,
+            1 => Some(r.read_usize()?),
+            t => return Err(bad(&format!("min_bucket tag {t}"))),
+        };
+        let categorical = match r.read_u8()? {
+            0 => CategoricalSplit::SubsetPartition,
+            1 => CategoricalSplit::OneVsRest,
+            t => return Err(bad(&format!("categorical tag {t}"))),
+        };
+        let n_features = r.read_usize()?;
+        let n_nodes = r.read_usize()?;
+        let mut nodes = Vec::with_capacity(n_nodes.min(r.remaining()));
+        for _ in 0..n_nodes {
+            let prediction = r.read_bool()?;
+            let n = r.read_u32()?;
+            let pos = r.read_u32()?;
+            let depth = r.read_u16()?;
+            let split = match r.read_u8()? {
+                0 => None,
+                1 => {
+                    let feature = r.read_u32()?;
+                    let left = r.read_u32()?;
+                    let right = r.read_u32()?;
+                    let majority_left = r.read_bool()?;
+                    let left_codes = r.read_u32s_inline()?;
+                    let right_codes = r.read_u32s_inline()?;
+                    Some(NodeSplit {
+                        feature,
+                        left_codes,
+                        right_codes,
+                        left,
+                        right,
+                        majority_left,
+                    })
+                }
+                t => return Err(bad(&format!("split tag {t}"))),
+            };
+            nodes.push(Node {
+                prediction,
+                n,
+                pos,
+                depth,
+                split,
+            });
+        }
+        // Child and feature indices must stay inside the node array and
+        // row width respectively, or prediction would panic on a corrupted
+        // file instead of failing the load.
+        let count = nodes.len() as u32;
+        for node in &nodes {
+            if let Some(s) = &node.split {
+                if s.left >= count || s.right >= count {
+                    return Err(bad("child index out of range"));
+                }
+                if s.feature as usize >= n_features {
+                    return Err(bad("split feature index out of range"));
+                }
+            }
+        }
+        Ok(DecisionTree {
+            params: TreeParams {
+                criterion,
+                minsplit,
+                cp,
+                max_depth,
+                min_bucket,
+                categorical,
+            },
+            nodes,
+            n_features,
+        })
     }
 
     /// How many internal nodes split on each feature — the paper's §5.1

@@ -4,39 +4,112 @@
 //! `hamlet_core::experiment`: the model itself (as a serializable
 //! [`AnyClassifier`]), the [`FeatureConfig`] it was trained under, the full
 //! input [`FeatureContract`] (per feature: name, cardinality, provenance
-//! and — since format v2 — the label↔code dictionary), a fingerprint of the
-//! source star schema, and training metadata (metrics, spec, wall-clock).
-//! Artifacts are JSON files (`<name>@<version>.model.json`) with an explicit
-//! [`FORMAT_VERSION`] gate, so a future layout change fails loudly instead
-//! of mis-deserializing.
+//! and the label↔code dictionary), a fingerprint of the source star schema,
+//! and training metadata (metrics, spec, wall-clock).
 //!
 //! ## Format history
 //!
-//! - **v1** — feature metadata under a `features` key, no dictionaries.
-//!   Still readable: [`ModelArtifact::load`] upgrades v1 payloads in memory
-//!   (the contract simply has no domains, so such models only accept
+//! - **v1** — JSON (`.model.json`); feature metadata under a `features`
+//!   key, no dictionaries. Still readable: loads upgrade v1 payloads in
+//!   memory (the contract simply has no domains, so such models only accept
 //!   pre-encoded code rows, never raw labels).
-//! - **v2** — the contract (with embedded domains) under a `contract` key.
+//! - **v2** — JSON (`.model.json`); the contract (with embedded domains)
+//!   under a `contract` key. Still readable, and still writable via
+//!   [`ModelArtifact::save_format`] for interchange/debugging.
+//! - **v3** — the current default: a sectioned binary container
+//!   (`.model.bin`, see [`crate::container`]) with a small JSON `META`
+//!   section, a deduplicated dictionary string table (`DICT` — each
+//!   distinct `CatDomain` stored exactly once, features referencing it by
+//!   index), and an aligned raw little-endian model payload (`MODL`).
+//!   Dense f32/f64 weight arrays shrink several-fold versus their JSON
+//!   text, and the payload can be **mmap-loaded** ([`LoadMode::Mmap`]):
+//!   weight slices borrow the mapped file zero-copy, making warm-load
+//!   page-fault-bounded instead of parse-bounded.
+//!
+//! Format is auto-detected on load (magic bytes → v3, otherwise JSON with
+//! an explicit `format_version` gate), so a directory may mix all three.
 
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use hamlet_core::experiment::RunResult;
 use hamlet_core::feature_config::FeatureConfig;
 use hamlet_core::model_zoo::ModelSpec;
 use hamlet_ml::any::AnyClassifier;
-use hamlet_ml::contract::{BatchError, FeatureContract};
+use hamlet_ml::binenc::{BinWriter, BytesSource, MmapFile};
+use hamlet_ml::contract::{BatchError, DomainInterner, FeatureContract};
 use hamlet_ml::dataset::FeatureMeta;
 
+use crate::container::{self, SEC_DICT, SEC_META, SEC_MODL};
 use crate::error::{Result, ServeError};
 
 /// Artifact layout version written by this build.
-pub const FORMAT_VERSION: u32 = 2;
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Oldest artifact layout this build can still read (upgraded on load).
 pub const MIN_READ_FORMAT_VERSION: u32 = 1;
 
-/// Filename suffix for artifacts in an artifact directory.
-pub const ARTIFACT_SUFFIX: &str = ".model.json";
+/// Filename suffix of binary (format-v3) artifacts.
+pub const ARTIFACT_SUFFIX_BIN: &str = ".model.bin";
+
+/// Filename suffix of legacy JSON (format v1/v2) artifacts.
+pub const ARTIFACT_SUFFIX_JSON: &str = ".model.json";
+
+/// Every suffix the registry treats as an artifact, preferred first.
+pub const ARTIFACT_SUFFIXES: [&str; 2] = [ARTIFACT_SUFFIX_BIN, ARTIFACT_SUFFIX_JSON];
+
+/// On-disk artifact layouts this build understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// JSON, `features` key, no dictionaries (read-only compat).
+    V1,
+    /// JSON, `contract` key with inline dictionaries.
+    V2,
+    /// Sectioned binary container with deduplicated dictionaries.
+    V3,
+}
+
+impl Format {
+    /// Numeric format version.
+    pub fn version(self) -> u32 {
+        match self {
+            Format::V1 => 1,
+            Format::V2 => 2,
+            Format::V3 => 3,
+        }
+    }
+
+    /// Filename suffix this format is written under.
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Format::V1 | Format::V2 => ARTIFACT_SUFFIX_JSON,
+            Format::V3 => ARTIFACT_SUFFIX_BIN,
+        }
+    }
+}
+
+impl std::fmt::Display for Format {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Format::V1 => write!(f, "v1 (json)"),
+            Format::V2 => write!(f, "v2 (json)"),
+            Format::V3 => write!(f, "v3 (binary)"),
+        }
+    }
+}
+
+/// How to materialize an artifact's payload on load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LoadMode {
+    /// Read and parse the whole file into owned memory.
+    #[default]
+    Heap,
+    /// Map the file and borrow weight slices from it zero-copy (format-v3
+    /// files only; JSON artifacts silently fall back to [`LoadMode::Heap`]).
+    /// Pages are faulted in on first prediction, and artifacts of the same
+    /// file share physical memory with the page cache.
+    Mmap,
+}
 
 /// Provenance and quality records captured at training time.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
@@ -49,6 +122,39 @@ pub struct TrainingMetadata {
     pub train_rows: usize,
     /// Full experiment metrics (accuracies, runtime, winning cell).
     pub metrics: RunResult,
+}
+
+/// The cheap-to-read identity of an artifact: everything `/v1/models`
+/// reports, parsed without materializing the model. For v3 files this reads
+/// only the container header and `META` section; for JSON it parses the
+/// text but skips model construction.
+#[derive(Debug, Clone)]
+pub struct ArtifactHead {
+    /// On-disk layout the artifact was found in.
+    pub format: Format,
+    /// Registry name.
+    pub name: String,
+    /// Version under the name.
+    pub version: u32,
+    /// Model family tag (`tree`, `svm`, ...).
+    pub family: String,
+    /// Feature-config name (`NoJoin`, `JoinAll`, ...).
+    pub config: String,
+    /// Expected input width (features per row).
+    pub n_features: usize,
+    /// Holdout accuracy recorded at training time.
+    pub test_accuracy: f64,
+    /// Source dataset recorded at training time.
+    pub dataset: String,
+    /// Fingerprint of the source star schema.
+    pub schema_fingerprint: u64,
+}
+
+impl ArtifactHead {
+    /// Registry key `name@version`.
+    pub fn key(&self) -> String {
+        format!("{}@{}", self.name, self.version)
+    }
 }
 
 /// A servable trained model with its input contract.
@@ -66,9 +172,9 @@ pub struct ModelArtifact {
     /// Feature configuration the model was trained under.
     pub feature_config: FeatureConfig,
     /// The input contract: expected columns in order (every prediction row
-    /// supplies one code per entry, each `< cardinality`), plus — on
-    /// format-v2 artifacts — the label↔code dictionary per feature, which
-    /// is what lets `/v1/predict` accept raw label strings.
+    /// supplies one code per entry, each `< cardinality`), plus the
+    /// label↔code dictionary per feature, which is what lets `/v1/predict`
+    /// accept raw label strings.
     pub contract: FeatureContract,
     /// Fingerprint of the star schema that produced the training data
     /// (`StarSchema::fingerprint`).
@@ -93,6 +199,27 @@ impl ModelArtifact {
     /// stored: it can never drift from the contract.
     pub fn feature_fingerprint(&self) -> u64 {
         self.contract.fingerprint()
+    }
+
+    /// The cheap identity of this (already loaded) artifact.
+    ///
+    /// `format` here is the layout the in-memory artifact corresponds to —
+    /// always [`Format::V3`], because loads normalize `format_version` and
+    /// a subsequent `save` writes v3. To learn the *on-disk* encoding of an
+    /// existing file, use [`ModelArtifact::load_head`], which reports what
+    /// it found.
+    pub fn head(&self) -> ArtifactHead {
+        ArtifactHead {
+            format: Format::V3,
+            name: self.name.clone(),
+            version: self.version,
+            family: self.model.family().to_string(),
+            config: self.feature_config.name(),
+            n_features: self.contract.width(),
+            test_accuracy: self.metadata.metrics.test_accuracy,
+            dataset: self.metadata.dataset.clone(),
+            schema_fingerprint: self.schema_fingerprint,
+        }
     }
 
     fn batch_error(&self, e: BatchError) -> ServeError {
@@ -125,31 +252,108 @@ impl ModelArtifact {
             .map_err(|e| self.batch_error(e))
     }
 
-    /// Canonical file path inside an artifact directory.
+    /// Canonical (format-v3) file path inside an artifact directory.
     pub fn path_in(&self, dir: &Path) -> PathBuf {
-        dir.join(format!("{}{ARTIFACT_SUFFIX}", self.key()))
+        self.path_in_format(dir, Format::V3)
     }
 
-    /// Persists the artifact, creating the directory if needed. The write
-    /// goes through a temp file + rename so readers never observe a torn
-    /// artifact.
+    /// File path for an explicit format.
+    pub fn path_in_format(&self, dir: &Path, format: Format) -> PathBuf {
+        dir.join(format!("{}{}", self.key(), format.suffix()))
+    }
+
+    /// Persists the artifact in the default (v3 binary) format, creating
+    /// the directory if needed. The write goes through a temp file + rename
+    /// so readers never observe a torn artifact.
     pub fn save(&self, dir: &Path) -> Result<PathBuf> {
+        self.save_format(dir, Format::V3)
+    }
+
+    /// Persists in an explicit format (v3 binary or v2 JSON; v1 is
+    /// read-only compat and cannot be written).
+    pub fn save_format(&self, dir: &Path, format: Format) -> Result<PathBuf> {
+        let bytes = match format {
+            Format::V1 => {
+                return Err(ServeError::BadRequest(
+                    "format v1 is read-only; write v2 (json) or v3 (binary)".into(),
+                ))
+            }
+            Format::V2 => {
+                let mut json_self = self.clone();
+                json_self.format_version = if self.format_version == FORMAT_VERSION {
+                    Format::V2.version()
+                } else {
+                    // Preserve an explicitly forced (e.g. future) version.
+                    self.format_version
+                };
+                serde_json::to_string(&json_self)?.into_bytes()
+            }
+            Format::V3 => self.to_v3_bytes()?,
+        };
         std::fs::create_dir_all(dir)
             .map_err(|e| ServeError::io(format!("creating {}", dir.display()), e))?;
-        let path = self.path_in(dir);
-        let tmp = dir.join(format!(".{}.tmp", self.key()));
-        let json = serde_json::to_string(self)?;
-        std::fs::write(&tmp, json)
+        let path = self.path_in_format(dir, format);
+        let tmp = dir.join(format!(".{}{}.tmp", self.key(), format.suffix()));
+        std::fs::write(&tmp, bytes)
             .map_err(|e| ServeError::io(format!("writing {}", tmp.display()), e))?;
         std::fs::rename(&tmp, &path)
             .map_err(|e| ServeError::io(format!("renaming into {}", path.display()), e))?;
         Ok(path)
     }
 
+    /// Serializes into the v3 container: `META` (JSON header with the
+    /// by-reference contract), `DICT` (each distinct dictionary once),
+    /// `MODL` (aligned binary model payload).
+    fn to_v3_bytes(&self) -> Result<Vec<u8>> {
+        let mut pool = DomainInterner::new();
+        let contract_value = self.contract.serialize_by_ref(&mut pool);
+        let meta = serde::Value::Obj(vec![
+            (
+                "format_version".into(),
+                serde::Value::Num(serde::Number::UInt(u64::from(self.format_version))),
+            ),
+            ("name".into(), serde::Value::Str(self.name.clone())),
+            (
+                "version".into(),
+                serde::Value::Num(serde::Number::UInt(u64::from(self.version))),
+            ),
+            (
+                "family".into(),
+                serde::Value::Str(self.model.family().to_string()),
+            ),
+            (
+                "feature_config".into(),
+                serde::Serialize::serialize(&self.feature_config),
+            ),
+            (
+                "schema_fingerprint".into(),
+                serde::Value::Num(serde::Number::UInt(self.schema_fingerprint)),
+            ),
+            (
+                "metadata".into(),
+                serde::Serialize::serialize(&self.metadata),
+            ),
+            ("contract".into(), contract_value),
+        ]);
+        let meta_bytes = serde_json::to_string(&meta)?.into_bytes();
+        let mut dict = BinWriter::new();
+        pool.encode_bin(&mut dict);
+        let mut modl = BinWriter::new();
+        self.model.encode_bin(&mut modl);
+        Ok(container::build_versioned(
+            self.format_version,
+            &[
+                (SEC_META, &meta_bytes),
+                (SEC_DICT, &dict.finish()),
+                (SEC_MODL, &modl.finish()),
+            ],
+        ))
+    }
+
     /// Highest version present in `dir` for `name`, parsed from artifact
-    /// *filenames* (`name@V.model.json`) — no deserialization, so version
-    /// allocation does not need to materialize every stored model. Returns
-    /// 0 when none exist.
+    /// *filenames* (`name@V.model.{bin,json}`) — no deserialization, so
+    /// version allocation does not need to materialize every stored model.
+    /// Returns 0 when none exist.
     pub fn max_version_on_disk(dir: &Path, name: &str) -> u32 {
         let Ok(entries) = std::fs::read_dir(dir) else {
             return 0;
@@ -158,75 +362,307 @@ impl ModelArtifact {
             .flatten()
             .filter_map(|e| {
                 let file = e.file_name();
-                let file = file.to_str()?;
-                let stem = file.strip_suffix(ARTIFACT_SUFFIX)?;
-                let (n, v) = stem.rsplit_once('@')?;
-                (n == name).then(|| v.parse().ok()).flatten()
+                let (n, v) = split_artifact_stem(file.to_str()?)?;
+                (n == name).then_some(v)
             })
             .max()
             .unwrap_or(0)
     }
 
-    /// Loads and format-checks one artifact file. Format-v1 payloads are
-    /// upgraded in memory (see [`upgrade_v1`]); anything newer than
-    /// [`FORMAT_VERSION`] or older than [`MIN_READ_FORMAT_VERSION`] is a
-    /// hard error.
+    /// Loads and format-checks one artifact file into owned memory.
     pub fn load(path: &Path) -> Result<ModelArtifact> {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| ServeError::io(format!("reading {}", path.display()), e))?;
-        // Check the version gate before full deserialization so a layout
-        // change yields a clear error.
-        let mut value = serde_json::from_str::<serde_json::Value>(&text)?;
-        let found = match &value {
-            serde_json::Value::Obj(entries) => entries
-                .iter()
-                .find(|(k, _)| k == "format_version")
-                .and_then(|(_, v)| match v {
-                    serde_json::Value::Num(n) => n.as_u64(),
-                    _ => None,
-                }),
-            _ => None,
-        };
-        match found {
-            Some(v) if v == u64::from(FORMAT_VERSION) => {}
-            Some(v)
-                if (u64::from(MIN_READ_FORMAT_VERSION)..u64::from(FORMAT_VERSION)).contains(&v) =>
-            {
-                upgrade_v1(&mut value)
+        Self::load_with(path, LoadMode::Heap)
+    }
+
+    /// Loads with an explicit [`LoadMode`]. Format is auto-detected:
+    /// container magic → v3; otherwise JSON with a `format_version` gate
+    /// (v1 payloads are upgraded in memory; anything newer than
+    /// [`FORMAT_VERSION`] is a hard error).
+    pub fn load_with(path: &Path, mode: LoadMode) -> Result<ModelArtifact> {
+        let ctx = |e| ServeError::io(format!("reading {}", path.display()), e);
+        match mode {
+            LoadMode::Mmap => {
+                // Sniff the prefix before mapping: JSON artifacts fall back
+                // to the heap path.
+                let mut prefix = [0u8; 4];
+                {
+                    use std::io::Read;
+                    let mut f = std::fs::File::open(path).map_err(ctx)?;
+                    let n = f.read(&mut prefix).map_err(ctx)?;
+                    if !container::sniff_magic(&prefix[..n]) {
+                        return Self::load_with(path, LoadMode::Heap);
+                    }
+                }
+                let map = MmapFile::open(path).map_err(ctx)?;
+                Self::from_v3(BytesSource::Mapped(map))
             }
-            Some(v) => {
+            LoadMode::Heap => {
+                let bytes = std::fs::read(path).map_err(ctx)?;
+                if container::sniff_magic(&bytes) {
+                    Self::from_v3(BytesSource::Heap(Arc::new(bytes)))
+                } else {
+                    Self::from_json(&bytes, path)
+                }
+            }
+        }
+    }
+
+    /// Decodes a v3 container from either source. Over a mapped source,
+    /// model weight arrays borrow the mapping zero-copy.
+    fn from_v3(src: BytesSource) -> Result<ModelArtifact> {
+        let entries = container::parse_sections(src.bytes())?;
+        let meta_entry = container::find(&entries, SEC_META)?;
+        let meta: serde::Value = serde_json::from_slice(
+            &src.bytes()[meta_entry.offset..meta_entry.offset + meta_entry.len],
+        )?;
+        let obj = meta
+            .as_obj_view("artifact META")
+            .map_err(|e| ServeError::Json(e.to_string()))?;
+        let de = |what: &str, e: String| ServeError::Json(format!("META `{what}`: {e}"));
+        let name = String::deserialize(obj.field("name")).map_err(|e| de("name", e.to_string()))?;
+        let version =
+            u32::deserialize(obj.field("version")).map_err(|e| de("version", e.to_string()))?;
+        let feature_config = FeatureConfig::deserialize(obj.field("feature_config"))
+            .map_err(|e| de("feature_config", e.to_string()))?;
+        let schema_fingerprint = u64::deserialize(obj.field("schema_fingerprint"))
+            .map_err(|e| de("schema_fingerprint", e.to_string()))?;
+        let metadata = TrainingMetadata::deserialize(obj.field("metadata"))
+            .map_err(|e| de("metadata", e.to_string()))?;
+
+        let dict_entry = container::find(&entries, SEC_DICT)?;
+        let mut dict_reader = container::section_reader(&src, dict_entry)?;
+        let domains = DomainInterner::decode_bin(&mut dict_reader)
+            .map_err(|e| ServeError::Json(e.to_string()))?;
+        dict_reader
+            .expect_end()
+            .map_err(|e| ServeError::Json(format!("DICT section: {e}")))?;
+        let contract = FeatureContract::deserialize_by_ref(obj.field("contract"), &domains)
+            .map_err(|e| ServeError::Json(e.to_string()))?;
+
+        let modl_entry = container::find(&entries, SEC_MODL)?;
+        let mut modl_reader = container::section_reader(&src, modl_entry)?;
+        let model = AnyClassifier::decode_bin(&mut modl_reader)
+            .map_err(|e| ServeError::Json(e.to_string()))?;
+        modl_reader
+            .expect_end()
+            .map_err(|e| ServeError::Json(format!("MODL section: {e}")))?;
+        model
+            .check_contract(&contract)
+            .map_err(|e| ServeError::Json(format!("model/contract mismatch: {e}")))?;
+        Ok(ModelArtifact {
+            format_version: FORMAT_VERSION,
+            name,
+            version,
+            model,
+            feature_config,
+            contract,
+            schema_fingerprint,
+            metadata,
+        })
+    }
+
+    /// Decodes a legacy JSON (v1/v2) artifact.
+    fn from_json(bytes: &[u8], path: &Path) -> Result<ModelArtifact> {
+        let mut value = serde_json::from_slice::<serde_json::Value>(bytes)?;
+        match json_format_version(&value, path)? {
+            1 => upgrade_v1(&mut value),
+            2 => normalize_version(&mut value),
+            v => {
+                // A *JSON* body claiming the binary format (or newer).
                 return Err(ServeError::Format {
-                    found: v as u32,
+                    found: v,
                     supported: FORMAT_VERSION,
-                })
-            }
-            None => {
-                return Err(ServeError::Json(format!(
-                    "{} has no format_version field",
-                    path.display()
-                )))
+                });
             }
         }
         let artifact: ModelArtifact = serde_json::from_value(&value)?;
         Ok(artifact)
     }
+
+    /// Reads only the artifact's identity (see [`ArtifactHead`]). For v3
+    /// this touches the container header and `META` section only; the
+    /// model payload stays on disk.
+    pub fn load_head(path: &Path) -> Result<ArtifactHead> {
+        let ctx = |e| ServeError::io(format!("reading {}", path.display()), e);
+        let mut prefix = [0u8; 4];
+        let is_v3 = {
+            use std::io::Read;
+            let mut f = std::fs::File::open(path).map_err(ctx)?;
+            let n = f.read(&mut prefix).map_err(ctx)?;
+            container::sniff_magic(&prefix[..n])
+        };
+        if is_v3 {
+            let meta_bytes = container::read_one_section(path, SEC_META)?;
+            let meta: serde_json::Value = serde_json::from_slice(&meta_bytes)?;
+            head_from_value(&meta, Format::V3)
+        } else {
+            let bytes = std::fs::read(path).map_err(ctx)?;
+            let mut value = serde_json::from_slice::<serde_json::Value>(&bytes)?;
+            let format = match json_format_version(&value, path)? {
+                1 => {
+                    upgrade_v1(&mut value);
+                    Format::V1
+                }
+                2 => Format::V2,
+                v => {
+                    return Err(ServeError::Format {
+                        found: v,
+                        supported: FORMAT_VERSION,
+                    })
+                }
+            };
+            head_from_value(&value, format)
+        }
+    }
 }
 
-/// Read-compat shim: rewrites a format-v1 payload into the v2 layout in
-/// memory. v1 stored the contract's feature array under a `features` key
+use serde::Deserialize;
+
+/// Extracts the `format_version` gate from a JSON artifact body.
+fn json_format_version(value: &serde_json::Value, path: &Path) -> Result<u32> {
+    let found = match value {
+        serde_json::Value::Obj(entries) => entries
+            .iter()
+            .find(|(k, _)| k == "format_version")
+            .and_then(|(_, v)| match v {
+                serde_json::Value::Num(n) => n.as_u64(),
+                _ => None,
+            }),
+        _ => None,
+    };
+    match found {
+        Some(v)
+            if (u64::from(MIN_READ_FORMAT_VERSION)..=u64::from(FORMAT_VERSION)).contains(&v) =>
+        {
+            Ok(v as u32)
+        }
+        Some(v) => Err(ServeError::Format {
+            found: v as u32,
+            supported: FORMAT_VERSION,
+        }),
+        None => Err(ServeError::Json(format!(
+            "{} has no format_version field",
+            path.display()
+        ))),
+    }
+}
+
+/// Builds an [`ArtifactHead`] from either a v3 `META` object or a (shimmed)
+/// v1/v2 full-artifact object — both carry the same identity keys, v3
+/// adding an explicit `family` so the model payload need not be decoded.
+fn head_from_value(value: &serde_json::Value, format: Format) -> Result<ArtifactHead> {
+    let obj = value
+        .as_obj_view("artifact head")
+        .map_err(|e| ServeError::Json(e.to_string()))?;
+    let de = |what: &str, e: String| ServeError::Json(format!("artifact `{what}`: {e}"));
+    let name = String::deserialize(obj.field("name")).map_err(|e| de("name", e.to_string()))?;
+    let version =
+        u32::deserialize(obj.field("version")).map_err(|e| de("version", e.to_string()))?;
+    let config = FeatureConfig::deserialize(obj.field("feature_config"))
+        .map_err(|e| de("feature_config", e.to_string()))?
+        .name();
+    let schema_fingerprint = u64::deserialize(obj.field("schema_fingerprint"))
+        .map_err(|e| de("schema_fingerprint", e.to_string()))?;
+    let metadata = TrainingMetadata::deserialize(obj.field("metadata"))
+        .map_err(|e| de("metadata", e.to_string()))?;
+    let n_features = match obj.field("contract") {
+        serde_json::Value::Arr(features) => features.len(),
+        other => {
+            return Err(ServeError::Json(format!(
+                "artifact `contract`: expected array, got {}",
+                other.kind()
+            )))
+        }
+    };
+    let family = match obj.field("family") {
+        // v3 META carries the family tag explicitly.
+        serde_json::Value::Str(s) => s.clone(),
+        // v1/v2 JSON: walk the externally tagged model enum instead of
+        // materializing it.
+        serde_json::Value::Null => json_model_family(obj.field("model"))?,
+        other => {
+            return Err(ServeError::Json(format!(
+                "artifact `family`: expected string, got {}",
+                other.kind()
+            )))
+        }
+    };
+    Ok(ArtifactHead {
+        format,
+        name,
+        version,
+        family,
+        config,
+        n_features,
+        test_accuracy: metadata.metrics.test_accuracy,
+        dataset: metadata.dataset,
+        schema_fingerprint,
+    })
+}
+
+/// Family tag from the externally tagged JSON form of [`AnyClassifier`],
+/// without deserializing the payload. `Subset` recurses into its inner
+/// model, mirroring `AnyClassifier::family`.
+fn json_model_family(value: &serde_json::Value) -> Result<String> {
+    let (tag, payload) = value
+        .as_enum_view("AnyClassifier")
+        .map_err(|e| ServeError::Json(e.to_string()))?;
+    Ok(match tag {
+        "Majority" => "majority".into(),
+        "Tree" => "tree".into(),
+        "Knn" => "knn".into(),
+        "Svm" => "svm".into(),
+        "Mlp" => "mlp".into(),
+        "NaiveBayes" => "naive-bayes".into(),
+        "LogReg" => "logreg".into(),
+        "Subset" => {
+            let inner = payload
+                .as_obj_view("SubsetModel")
+                .map_err(|e| ServeError::Json(e.to_string()))?
+                .field("inner");
+            json_model_family(inner)?
+        }
+        other => {
+            return Err(ServeError::Json(format!(
+                "unknown model family variant `{other}`"
+            )))
+        }
+    })
+}
+
+/// Splits an artifact filename into `(name, version)`, accepting any suffix
+/// in [`ARTIFACT_SUFFIXES`].
+pub(crate) fn split_artifact_stem(file: &str) -> Option<(&str, u32)> {
+    let stem = ARTIFACT_SUFFIXES
+        .iter()
+        .find_map(|s| file.strip_suffix(s))?;
+    let (n, v) = stem.rsplit_once('@')?;
+    Some((n, v.parse().ok()?))
+}
+
+/// Read-compat shim: rewrites a format-v1 payload into the v2+ JSON layout
+/// in memory. v1 stored the contract's feature array under a `features` key
 /// (and its entries carry no `domain`, which deserializes as `None`); v2
 /// renamed the key to `contract`. The version field is normalized to
-/// [`FORMAT_VERSION`] so a subsequent `save` writes a coherent v2 file.
+/// [`FORMAT_VERSION`] so a subsequent `save` writes a coherent artifact.
 fn upgrade_v1(value: &mut serde_json::Value) {
     if let serde_json::Value::Obj(entries) = value {
+        for (key, _) in entries.iter_mut() {
+            if key == "features" {
+                *key = "contract".to_string();
+            }
+        }
+    }
+    normalize_version(value);
+}
+
+/// Normalizes the in-memory `format_version` to [`FORMAT_VERSION`].
+fn normalize_version(value: &mut serde_json::Value) {
+    if let serde_json::Value::Obj(entries) = value {
         for (key, entry) in entries.iter_mut() {
-            match key.as_str() {
-                "features" => *key = "contract".to_string(),
-                "format_version" => {
-                    *entry =
-                        serde_json::Value::Num(serde_json::Number::UInt(u64::from(FORMAT_VERSION)));
-                }
-                _ => {}
+            if key == "format_version" {
+                *entry =
+                    serde_json::Value::Num(serde_json::Number::UInt(u64::from(FORMAT_VERSION)));
             }
         }
     }
@@ -239,7 +675,7 @@ pub(crate) mod tests {
     use hamlet_ml::model::MajorityClass;
     use hamlet_relation::domain::CatDomain;
 
-    /// A v2 artifact whose contract carries dictionaries: `xs0` is a closed
+    /// An artifact whose contract carries dictionaries: `xs0` is a closed
     /// two-label domain, `fk` an open domain `v0..v3 + Others` (card 5).
     pub(crate) fn toy_artifact(name: &str, version: u32) -> ModelArtifact {
         ModelArtifact {
@@ -280,19 +716,38 @@ pub(crate) mod tests {
     }
 
     #[test]
-    fn save_load_roundtrip() {
+    fn save_load_roundtrip_v3_default() {
         let dir = std::env::temp_dir().join(format!("hamlet-art-{}", std::process::id()));
         let art = toy_artifact("toy-model", 3);
         let path = art.save(&dir).unwrap();
-        assert!(path.ends_with("toy-model@3.model.json"));
+        assert!(path.ends_with("toy-model@3.model.bin"), "{path:?}");
+        for mode in [LoadMode::Heap, LoadMode::Mmap] {
+            let back = ModelArtifact::load_with(&path, mode).unwrap();
+            assert_eq!(back.key(), "toy-model@3");
+            assert_eq!(back.schema_fingerprint, 0xDEADBEEF);
+            assert_eq!(back.features().len(), 2);
+            assert_eq!(back.feature_fingerprint(), art.feature_fingerprint());
+            // The dictionaries survive the roundtrip.
+            assert!(back.contract.has_domains());
+            assert!(back.contract.is_open(1));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_format_v2_json_still_roundtrips() {
+        let dir = std::env::temp_dir().join(format!("hamlet-art-v2w-{}", std::process::id()));
+        let art = toy_artifact("json-model", 1);
+        let path = art.save_format(&dir, Format::V2).unwrap();
+        assert!(path.ends_with("json-model@1.model.json"), "{path:?}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"format_version\":2"), "writes v2 on disk");
         let back = ModelArtifact::load(&path).unwrap();
-        assert_eq!(back.key(), "toy-model@3");
-        assert_eq!(back.schema_fingerprint, 0xDEADBEEF);
-        assert_eq!(back.features().len(), 2);
-        assert_eq!(back.feature_fingerprint(), art.feature_fingerprint());
-        // The dictionaries survive the roundtrip.
+        assert_eq!(back.key(), "json-model@1");
+        assert_eq!(back.format_version, FORMAT_VERSION, "normalized on load");
         assert!(back.contract.has_domains());
-        assert!(back.contract.is_open(1));
+        // v1 is read-only.
+        assert!(art.save_format(&dir, Format::V1).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -301,10 +756,10 @@ pub(crate) mod tests {
         let dir = std::env::temp_dir().join(format!("hamlet-art-ver-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         toy_artifact("m", 2).save(&dir).unwrap();
-        toy_artifact("m", 9).save(&dir).unwrap();
+        toy_artifact("m", 9).save_format(&dir, Format::V2).unwrap();
         toy_artifact("other", 40).save(&dir).unwrap();
         // Corrupt content is irrelevant: only the filename is read.
-        std::fs::write(dir.join("m@11.model.json"), "garbage").unwrap();
+        std::fs::write(dir.join("m@11.model.bin"), "garbage").unwrap();
         std::fs::write(dir.join("nonsense.txt"), "x").unwrap();
         assert_eq!(ModelArtifact::max_version_on_disk(&dir, "m"), 11);
         assert_eq!(ModelArtifact::max_version_on_disk(&dir, "other"), 40);
@@ -327,6 +782,12 @@ pub(crate) mod tests {
                 assert_eq!(found, FORMAT_VERSION + 1);
                 assert_eq!(supported, FORMAT_VERSION);
             }
+            other => panic!("expected format error, got {other:?}"),
+        }
+        // Same gate on the JSON path.
+        let path = art.save_format(&dir, Format::V2).unwrap();
+        match ModelArtifact::load(&path) {
+            Err(ServeError::Format { found, .. }) => assert_eq!(found, FORMAT_VERSION + 1),
             other => panic!("expected format error, got {other:?}"),
         }
         std::fs::remove_dir_all(&dir).ok();
@@ -407,6 +868,116 @@ pub(crate) mod tests {
         art.validate_coded(&[vec![0, 4]]).unwrap();
         let err = art.encode_raw(&[vec!["a".into(), "b".into()]]).unwrap_err();
         assert!(err.to_string().contains("no dictionary"), "{err}");
+        // Head parsing reports the same identity without the model.
+        let head = ModelArtifact::load_head(&path).unwrap();
+        assert_eq!(head.format, Format::V1);
+        assert_eq!(head.key(), "legacy@4");
+        assert_eq!(head.family, "majority");
+        assert_eq!(head.n_features, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn head_matches_full_load_across_formats() {
+        let dir = std::env::temp_dir().join(format!("hamlet-art-head-{}", std::process::id()));
+        let art = toy_artifact("headed", 6);
+        for format in [Format::V3, Format::V2] {
+            let path = art.save_format(&dir, format).unwrap();
+            let head = ModelArtifact::load_head(&path).unwrap();
+            assert_eq!(head.format, format);
+            assert_eq!(head.key(), "headed@6");
+            assert_eq!(head.family, "majority");
+            assert_eq!(head.config, "NoJoin");
+            assert_eq!(head.n_features, 2);
+            assert_eq!(head.test_accuracy, 0.8);
+            assert_eq!(head.dataset, "toy");
+            assert_eq!(head.schema_fingerprint, 0xDEADBEEF);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_v3_files_fail_cleanly() {
+        let dir = std::env::temp_dir().join(format!("hamlet-art-corrupt-{}", std::process::id()));
+        let art = toy_artifact("c", 1);
+        let path = art.save(&dir).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+
+        // Truncations at every stratum: header, table, payload.
+        for cut in [2, 10, 30, bytes.len() / 2, bytes.len() - 1] {
+            let p = dir.join(format!("cut{cut}.model.bin"));
+            std::fs::write(&p, &bytes[..cut]).unwrap();
+            for mode in [LoadMode::Heap, LoadMode::Mmap] {
+                let err = ModelArtifact::load_with(&p, mode);
+                assert!(err.is_err(), "cut {cut} mode {mode:?} must fail");
+            }
+            if cut <= 30 {
+                // Header/table damage breaks head reads too; a payload-only
+                // truncation legitimately leaves the META head readable.
+                assert!(ModelArtifact::load_head(&p).is_err(), "head cut {cut}");
+            }
+        }
+        // Flipped magic falls through to the JSON parser and fails there.
+        let mut flipped = bytes.clone();
+        flipped[0] = b'X';
+        let p = dir.join("magic.model.bin");
+        std::fs::write(&p, &flipped).unwrap();
+        assert!(ModelArtifact::load(&p).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v3_dedups_shared_dictionaries_on_disk() {
+        use hamlet_ml::dataset::Provenance;
+        // Two features sharing one dictionary (the FK/RID case) must store
+        // its labels once; a third distinct domain stores separately.
+        let shared = CatDomain::synthetic("big", 64).into_shared();
+        let mut art = toy_artifact("dedup", 1);
+        art.contract = FeatureContract::new(vec![
+            FeatureMeta::with_domain("fk", Provenance::ForeignKey { dim: 0 }, shared.clone()),
+            FeatureMeta::with_domain("rid", Provenance::Foreign { dim: 0 }, shared),
+            FeatureMeta::with_domain(
+                "other",
+                Provenance::Home,
+                CatDomain::synthetic("other", 3).into_shared(),
+            ),
+        ])
+        .unwrap();
+        let dir = std::env::temp_dir().join(format!("hamlet-art-dedup-{}", std::process::id()));
+        let deduped_len = std::fs::metadata(art.save(&dir).unwrap()).unwrap().len();
+
+        // Same contract, domains duplicated per feature (what a v2 JSON
+        // load produces): the v3 writer re-merges them by content.
+        let mut dup = art.clone();
+        dup.contract = FeatureContract::new(
+            art.contract
+                .features()
+                .iter()
+                .map(|f| FeatureMeta {
+                    domain: f.domain.as_ref().map(|d| {
+                        CatDomain::new(d.name(), d.labels().to_vec())
+                            .unwrap()
+                            .into_shared()
+                    }),
+                    ..f.clone()
+                })
+                .collect(),
+        )
+        .unwrap();
+        dup.name = "dedup2".into();
+        let dup_len = std::fs::metadata(dup.save(&dir).unwrap()).unwrap().len();
+        assert_eq!(
+            deduped_len, dup_len,
+            "content-equal domains dedup to identical container sizes"
+        );
+        let back = ModelArtifact::load(&dir.join("dedup2@1.model.bin")).unwrap();
+        assert!(
+            std::sync::Arc::ptr_eq(
+                back.contract.feature(0).domain.as_ref().unwrap(),
+                back.contract.feature(1).domain.as_ref().unwrap()
+            ),
+            "load restores sharing"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 }

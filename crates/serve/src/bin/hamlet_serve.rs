@@ -4,21 +4,26 @@
 //! hamlet-serve train --name movies-tree --dataset movies --spec TreeGini \
 //!     [--config NoJoin|JoinAll|NoFK] [--scale 2000] [--seed 7] [--full] [--dir artifacts]
 //! hamlet-serve serve [--addr 127.0.0.1:8080] [--workers N] [--max-conns N] [--dir artifacts]
+//!                    [--load-mode heap|mmap]
 //! hamlet-serve probe [--addr 127.0.0.1:8080] [--idle 64] [--path /healthz]
 //!                    [--body JSON] [--threshold-ms 2000]
+//! hamlet-serve artifact inspect <path>
+//! hamlet-serve artifact convert <src> [--to v3|v2] [--dir DIR]
+//! hamlet-serve artifact diff <a> <b>
 //! hamlet-serve datasets
 //! ```
 
 use std::collections::HashMap;
 use std::io::Write;
 use std::net::TcpStream;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
 
 use hamlet_core::feature_config::FeatureConfig;
 use hamlet_core::model_zoo::ModelSpec;
 use hamlet_serve::api::TrainRequest;
+use hamlet_serve::artifact::{Format, LoadMode, ModelArtifact};
 use hamlet_serve::http::ServerOptions;
 use hamlet_serve::server::AppState;
 use hamlet_serve::train::{train_and_register, DATASETS};
@@ -30,9 +35,12 @@ USAGE:
                        [--config <CONFIG>] [--scale <N>] [--seed <N>]
                        [--full] [--dir <DIR>]
     hamlet-serve serve [--addr <ADDR>] [--workers <N>] [--max-conns <N>]
-                       [--dir <DIR>]
+                       [--dir <DIR>] [--load-mode heap|mmap]
     hamlet-serve probe [--addr <ADDR>] [--idle <N>] [--path <PATH>]
                        [--body <JSON>] [--threshold-ms <MS>]
+    hamlet-serve artifact inspect <PATH>
+    hamlet-serve artifact convert <SRC> [--to v3|v2] [--dir <DIR>]
+    hamlet-serve artifact diff <A> <B>
     hamlet-serve datasets
 
 SPECS:    TreeGini TreeInfoGain TreeGainRatio OneNN SvmLinear SvmQuadratic
@@ -42,20 +50,31 @@ DATASETS: movies yelp walmart expedia lastfm books flights onexr
 DEFAULTS: --dir artifacts, --addr 127.0.0.1:8080, --scale 2000, --seed 7,
           --workers = CPU count (request *executors*: idle connections no
           longer occupy a worker), --max-conns 1024; --full uses the
-          paper-fidelity grids
+          paper-fidelity grids; --load-mode heap (mmap borrows format-v3
+          weights zero-copy from the mapped files)
 
 PROBE:    opens --idle parked keep-alive connections, then times one
           request on a FRESH connection; fails if it errors or exceeds
           --threshold-ms. Smoke-checks that idle connections are free.
+
+ARTIFACT: inspect prints a file's format, sections and header without
+          loading the model; convert rewrites between v2 (json) and v3
+          (binary) reporting the size ratio; diff reports added/removed
+          features, cardinality changes and label-set deltas between two
+          artifact versions (either side may be v1/v2 json or v3 binary).
 ";
 
-fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+/// Splits CLI args into positional operands and `--flag value` pairs.
+fn parse_args(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>), String> {
+    let mut positional = Vec::new();
     let mut flags = HashMap::new();
     let mut i = 0;
     while i < args.len() {
         let a = &args[i];
         let Some(name) = a.strip_prefix("--") else {
-            return Err(format!("unexpected argument `{a}`"));
+            positional.push(a.clone());
+            i += 1;
+            continue;
         };
         if name == "full" {
             flags.insert("full".to_string(), "true".to_string());
@@ -68,7 +87,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             i += 2;
         }
     }
-    Ok(flags)
+    Ok((positional, flags))
 }
 
 /// Parses a serde-named enum value (e.g. `TreeGini`) via its JSON form.
@@ -121,6 +140,14 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+fn parse_load_mode(flags: &HashMap<String, String>) -> Result<LoadMode, String> {
+    match flags.get("load-mode").map(String::as_str) {
+        None | Some("heap") => Ok(LoadMode::Heap),
+        Some("mmap") => Ok(LoadMode::Mmap),
+        Some(other) => Err(format!("bad --load-mode `{other}` (heap|mmap)")),
+    }
+}
+
 fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     let addr = flags
         .get("addr")
@@ -137,8 +164,10 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         None => hamlet_serve::http::MAX_CONNS,
     };
     let dir = PathBuf::from(flags.get("dir").map(String::as_str).unwrap_or("artifacts"));
+    let load_mode = parse_load_mode(flags)?;
 
-    let (state, loaded) = AppState::warm_sized(dir.clone(), workers).map_err(|e| e.to_string())?;
+    let (state, loaded) =
+        AppState::warm_opts(dir.clone(), workers, load_mode).map_err(|e| e.to_string())?;
     let opts = ServerOptions {
         workers,
         max_conns,
@@ -147,7 +176,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     let server = hamlet_serve::server::serve_with(addr, opts, state).map_err(|e| e.to_string())?;
     eprintln!(
         "hamlet-serve listening on http://{} ({} executor(s), {} max conns, \
-         {} model(s) warm from {})",
+         {} model(s) warm from {}, {load_mode:?} load mode)",
         server.addr(),
         workers,
         max_conns,
@@ -233,6 +262,140 @@ fn cmd_probe(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// `artifact inspect|convert|diff`: offline artifact tooling.
+fn cmd_artifact(positional: &[String], flags: &HashMap<String, String>) -> Result<(), String> {
+    match positional.first().map(String::as_str) {
+        Some("inspect") => {
+            let [path] = &positional[1..] else {
+                return Err("usage: artifact inspect <PATH>".into());
+            };
+            artifact_inspect(Path::new(path))
+        }
+        Some("convert") => {
+            let [src] = &positional[1..] else {
+                return Err("usage: artifact convert <SRC> [--to v3|v2] [--dir <DIR>]".into());
+            };
+            artifact_convert(Path::new(src), flags)
+        }
+        Some("diff") => {
+            let [a, b] = &positional[1..] else {
+                return Err("usage: artifact diff <A> <B>".into());
+            };
+            let load = |p: &str| {
+                ModelArtifact::load(Path::new(p)).map_err(|e| format!("loading {p}: {e}"))
+            };
+            let d = hamlet_serve::diff::diff_artifacts(&load(a)?, &load(b)?);
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&d).map_err(|e| e.to_string())?
+            );
+            if !d.contract_compatible() {
+                eprintln!(
+                    "note: contracts are NOT request-compatible; clients of `{}` \
+                     cannot blindly switch to `{}`",
+                    d.a, d.b
+                );
+            }
+            Ok(())
+        }
+        _ => Err("usage: artifact <inspect|convert|diff> ...".into()),
+    }
+}
+
+/// Prints an artifact's identity and physical layout without loading the
+/// model payload (v3: container header + META section only).
+fn artifact_inspect(path: &Path) -> Result<(), String> {
+    use serde::{Number, Value};
+    let head = ModelArtifact::load_head(path).map_err(|e| e.to_string())?;
+    let file_len = std::fs::metadata(path).map_err(|e| e.to_string())?.len();
+    let mut out = vec![
+        ("path".into(), Value::Str(path.display().to_string())),
+        ("format".into(), Value::Str(head.format.to_string())),
+        ("file_bytes".into(), Value::Num(Number::UInt(file_len))),
+        ("key".into(), Value::Str(head.key())),
+        ("family".into(), Value::Str(head.family.clone())),
+        ("config".into(), Value::Str(head.config.clone())),
+        (
+            "n_features".into(),
+            Value::Num(Number::UInt(head.n_features as u64)),
+        ),
+        (
+            "test_accuracy".into(),
+            Value::Num(Number::Float(head.test_accuracy)),
+        ),
+        ("dataset".into(), Value::Str(head.dataset.clone())),
+        (
+            "schema_fingerprint".into(),
+            Value::Num(Number::UInt(head.schema_fingerprint)),
+        ),
+    ];
+    if head.format == Format::V3 {
+        // Physical layout: section table straight from the header.
+        let bytes = std::fs::read(path).map_err(|e| e.to_string())?;
+        let sections = hamlet_serve::container::parse_sections(&bytes)
+            .map_err(|e| e.to_string())?
+            .iter()
+            .map(|s| {
+                Value::Obj(vec![
+                    ("tag".into(), Value::Str(s.tag_str())),
+                    ("offset".into(), Value::Num(Number::UInt(s.offset as u64))),
+                    ("bytes".into(), Value::Num(Number::UInt(s.len as u64))),
+                ])
+            })
+            .collect();
+        out.push(("sections".into(), Value::Arr(sections)));
+    }
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&Value::Obj(out)).map_err(|e| e.to_string())?
+    );
+    Ok(())
+}
+
+/// Rewrites an artifact between formats, reporting both sizes.
+fn artifact_convert(src: &Path, flags: &HashMap<String, String>) -> Result<(), String> {
+    let to = match flags.get("to").map(String::as_str) {
+        None | Some("v3") => Format::V3,
+        Some("v2") => Format::V2,
+        Some(other) => return Err(format!("bad --to `{other}` (v3|v2)")),
+    };
+    let out_dir = flags
+        .get("dir")
+        .map(PathBuf::from)
+        .or_else(|| src.parent().map(Path::to_path_buf))
+        .unwrap_or_else(|| PathBuf::from("."));
+    let artifact =
+        ModelArtifact::load(src).map_err(|e| format!("loading {}: {e}", src.display()))?;
+    // Refuse in-place rewrites *before* touching the filesystem, comparing
+    // resolved paths so `./artifacts/x` and `artifacts/x` don't sneak past.
+    let planned = artifact.path_in_format(&out_dir, to);
+    let resolved_src = src.canonicalize().map_err(|e| e.to_string())?;
+    let same_file = match planned.canonicalize() {
+        Ok(resolved_dst) => resolved_dst == resolved_src,
+        // Destination doesn't exist yet — cannot be the source.
+        Err(_) => false,
+    };
+    if same_file {
+        return Err(format!(
+            "refusing to overwrite {} with itself; pass --dir or --to",
+            src.display()
+        ));
+    }
+    let dst = artifact
+        .save_format(&out_dir, to)
+        .map_err(|e| e.to_string())?;
+    let src_len = std::fs::metadata(src).map_err(|e| e.to_string())?.len();
+    let dst_len = std::fs::metadata(&dst).map_err(|e| e.to_string())?.len();
+    println!(
+        "{{\"src\":\"{}\",\"src_bytes\":{src_len},\"dst\":\"{}\",\"dst_bytes\":{dst_len},\
+         \"ratio\":{:.2}}}",
+        src.display(),
+        dst.display(),
+        src_len as f64 / dst_len.max(1) as f64
+    );
+    Ok(())
+}
+
 /// Reads one HTTP response, returning (status, body text).
 fn read_one_response(s: &mut TcpStream) -> Result<(u16, String), String> {
     let resp = hamlet_serve::http::read_response(s).map_err(|e| format!("recv: {e}"))?;
@@ -249,17 +412,22 @@ fn main() -> ExitCode {
         print!("{USAGE}");
         return ExitCode::SUCCESS;
     }
-    let flags = match parse_flags(&args[1..]) {
+    let (positional, flags) = match parse_args(&args[1..]) {
         Ok(parsed) => parsed,
         Err(msg) => {
             eprintln!("error: {msg}");
             return ExitCode::FAILURE;
         }
     };
+    if cmd != "artifact" && !positional.is_empty() {
+        eprintln!("error: unexpected argument `{}`", positional[0]);
+        return ExitCode::FAILURE;
+    }
     let result = match cmd {
         "train" => cmd_train(&flags),
         "serve" => cmd_serve(&flags),
         "probe" => cmd_probe(&flags),
+        "artifact" => cmd_artifact(&positional, &flags),
         "datasets" => {
             for d in DATASETS {
                 println!("{d}");

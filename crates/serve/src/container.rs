@@ -1,0 +1,349 @@
+//! The format-v3 sectioned binary container.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"HMLA"
+//! 4       4     u32    container version (3 for this build)
+//! 8       4     u32    section count
+//! 12      4     zero padding
+//! 16      24×N  section table: per section
+//!                 [u8; 8]  tag (ASCII, zero-padded)
+//!                 u64      absolute byte offset of the section
+//!                 u64      section length in bytes
+//! ...           section payloads, each starting on an 8-byte boundary
+//! ```
+//!
+//! Section *offsets are 8-aligned by construction* — that is what lets the
+//! payload streams inside (see `hamlet_ml::binenc`) guarantee absolute
+//! alignment for their raw pod arrays, and therefore zero-copy borrows
+//! from an mmap. The reader validates magic, version, table bounds and
+//! per-section bounds before handing out windows, so a truncated or
+//! corrupted file is a clean error, never a panic.
+
+use hamlet_ml::binenc::{BinReader, BytesSource};
+
+use crate::error::{Result, ServeError};
+
+/// Container magic bytes ("HaMLet Artifact").
+pub const MAGIC: [u8; 4] = *b"HMLA";
+
+/// Container layout version written by this build.
+pub const CONTAINER_VERSION: u32 = 3;
+
+/// Fixed header size before the section table.
+const HEADER_LEN: usize = 16;
+
+/// Bytes per section-table entry.
+const ENTRY_LEN: usize = 24;
+
+/// Section alignment (matches `hamlet_ml::binenc::POD_ALIGN`).
+const SECTION_ALIGN: usize = 8;
+
+/// Tag of the JSON metadata section (name, version, schema fingerprint,
+/// contract topology with by-reference dictionaries).
+pub const SEC_META: [u8; 8] = *b"META\0\0\0\0";
+
+/// Tag of the deduplicated dictionary (string table) section.
+pub const SEC_DICT: [u8; 8] = *b"DICT\0\0\0\0";
+
+/// Tag of the binary model payload section.
+pub const SEC_MODL: [u8; 8] = *b"MODL\0\0\0\0";
+
+/// One parsed section-table row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SectionEntry {
+    /// Section tag (ASCII, zero-padded).
+    pub tag: [u8; 8],
+    /// Absolute byte offset.
+    pub offset: usize,
+    /// Length in bytes.
+    pub len: usize,
+}
+
+impl SectionEntry {
+    /// Tag as printable ASCII (for `artifact inspect`).
+    pub fn tag_str(&self) -> String {
+        self.tag
+            .iter()
+            .take_while(|&&b| b != 0)
+            .map(|&b| char::from(b))
+            .collect()
+    }
+}
+
+fn corrupt(what: impl std::fmt::Display) -> ServeError {
+    ServeError::Json(format!("corrupt v3 artifact: {what}"))
+}
+
+/// Whether a byte prefix looks like a v3 container (magic match only; the
+/// version gate happens in [`parse_sections`]).
+pub fn sniff_magic(bytes: &[u8]) -> bool {
+    bytes.len() >= 4 && bytes[..4] == MAGIC
+}
+
+/// Assembles a container from `(tag, payload)` pairs, padding every section
+/// to start on an 8-byte boundary.
+pub fn build(sections: &[([u8; 8], &[u8])]) -> Vec<u8> {
+    build_versioned(CONTAINER_VERSION, sections)
+}
+
+/// [`build`] with an explicit container version (the artifact layer writes
+/// its `format_version` here, so a struct carrying a future version
+/// round-trips into a file this build then refuses to read).
+pub fn build_versioned(version: u32, sections: &[([u8; 8], &[u8])]) -> Vec<u8> {
+    let table_end = HEADER_LEN + sections.len() * ENTRY_LEN;
+    let mut out = Vec::with_capacity(
+        table_end
+            + sections
+                .iter()
+                .map(|(_, p)| p.len() + SECTION_ALIGN)
+                .sum::<usize>(),
+    );
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&version.to_le_bytes());
+    out.extend_from_slice(&(sections.len() as u32).to_le_bytes());
+    out.extend_from_slice(&[0u8; 4]);
+    // Reserve the table; fill offsets as payloads are placed.
+    out.resize(table_end, 0);
+    for (i, (tag, payload)) in sections.iter().enumerate() {
+        while out.len() % SECTION_ALIGN != 0 {
+            out.push(0);
+        }
+        let offset = out.len();
+        out.extend_from_slice(payload);
+        let entry = HEADER_LEN + i * ENTRY_LEN;
+        out[entry..entry + 8].copy_from_slice(tag);
+        out[entry + 8..entry + 16].copy_from_slice(&(offset as u64).to_le_bytes());
+        out[entry + 16..entry + 24].copy_from_slice(&(payload.len() as u64).to_le_bytes());
+    }
+    out
+}
+
+/// Validates the 16-byte fixed header (magic, version gate) and returns
+/// the declared section count plus the table's end offset. Shared by the
+/// whole-buffer and file-seeking readers so there is exactly one copy of
+/// the header grammar.
+fn parse_header(header: &[u8]) -> Result<(usize, usize)> {
+    if !sniff_magic(header) {
+        return Err(corrupt("bad magic"));
+    }
+    if header.len() < HEADER_LEN {
+        return Err(corrupt("truncated header"));
+    }
+    let version = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    if version != CONTAINER_VERSION {
+        return Err(ServeError::Format {
+            found: version,
+            supported: CONTAINER_VERSION,
+        });
+    }
+    let count = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes")) as usize;
+    let table_end = HEADER_LEN
+        .checked_add(
+            count
+                .checked_mul(ENTRY_LEN)
+                .ok_or_else(|| corrupt("section count"))?,
+        )
+        .ok_or_else(|| corrupt("section count"))?;
+    Ok((count, table_end))
+}
+
+/// Decodes and fully validates one 24-byte table entry. `table` holds the
+/// raw table bytes (starting right after the fixed header); bounds and
+/// alignment are checked against `table_end`/`file_len` so the seeking
+/// reader rejects exactly what the whole-buffer reader rejects.
+fn parse_entry(table: &[u8], i: usize, table_end: usize, file_len: usize) -> Result<SectionEntry> {
+    let at = i * ENTRY_LEN;
+    let mut tag = [0u8; 8];
+    tag.copy_from_slice(&table[at..at + 8]);
+    let offset = u64::from_le_bytes(table[at + 8..at + 16].try_into().expect("8 bytes"));
+    let len = u64::from_le_bytes(table[at + 16..at + 24].try_into().expect("8 bytes"));
+    let (offset, len) = (
+        usize::try_from(offset).map_err(|_| corrupt("section offset overflow"))?,
+        usize::try_from(len).map_err(|_| corrupt("section length overflow"))?,
+    );
+    let entry = SectionEntry { tag, offset, len };
+    let end = offset
+        .checked_add(len)
+        .ok_or_else(|| corrupt("section bounds overflow"))?;
+    if offset < table_end || end > file_len {
+        return Err(corrupt(format!(
+            "section `{}` [{offset}, {end}) out of file bounds (file is {file_len} bytes)",
+            entry.tag_str()
+        )));
+    }
+    if !offset.is_multiple_of(SECTION_ALIGN) {
+        return Err(corrupt(format!(
+            "section `{}` offset {offset} not {SECTION_ALIGN}-aligned",
+            entry.tag_str()
+        )));
+    }
+    Ok(entry)
+}
+
+/// Parses and validates the header plus section table of `bytes`.
+///
+/// A wrong container version is a [`ServeError::Format`] (so callers can
+/// surface "this build reads 3, found N"); everything else that disagrees
+/// with the layout is a corruption error.
+pub fn parse_sections(bytes: &[u8]) -> Result<Vec<SectionEntry>> {
+    let (count, table_end) = parse_header(bytes)?;
+    if table_end > bytes.len() {
+        return Err(corrupt(format!(
+            "section table of {count} entries overruns file"
+        )));
+    }
+    (0..count)
+        .map(|i| parse_entry(&bytes[HEADER_LEN..table_end], i, table_end, bytes.len()))
+        .collect()
+}
+
+/// Finds a section by tag.
+pub fn find(entries: &[SectionEntry], tag: [u8; 8]) -> Result<SectionEntry> {
+    entries
+        .iter()
+        .find(|e| e.tag == tag)
+        .copied()
+        .ok_or_else(|| {
+            corrupt(format!(
+                "missing `{}` section",
+                SectionEntry {
+                    tag,
+                    offset: 0,
+                    len: 0
+                }
+                .tag_str()
+            ))
+        })
+}
+
+/// A [`BinReader`] over one section of a shared source.
+pub fn section_reader(src: &BytesSource, entry: SectionEntry) -> Result<BinReader> {
+    BinReader::over(src.clone(), entry.offset, entry.len)
+        .map_err(|e| corrupt(format!("section `{}`: {e}", entry.tag_str())))
+}
+
+/// Reads just the header, section table, and one section's bytes from a
+/// file — without reading the rest. This is what makes header-only artifact
+/// inspection cheap on v3: a multi-megabyte ANN artifact yields its `META`
+/// section in two small reads.
+pub fn read_one_section(path: &std::path::Path, tag: [u8; 8]) -> Result<Vec<u8>> {
+    use std::io::{Read, Seek, SeekFrom};
+    let ctx = |e| ServeError::io(format!("reading {}", path.display()), e);
+    let mut file = std::fs::File::open(path).map_err(ctx)?;
+    let file_len = usize::try_from(file.metadata().map_err(ctx)?.len())
+        .map_err(|_| corrupt("file too large"))?;
+    let mut header = [0u8; HEADER_LEN];
+    file.read_exact(&mut header).map_err(ctx)?;
+    let (count, table_end) = parse_header(&header)?;
+    if table_end > file_len {
+        return Err(corrupt(format!(
+            "section table of {count} entries overruns file"
+        )));
+    }
+    let mut table = vec![0u8; table_end - HEADER_LEN];
+    file.read_exact(&mut table).map_err(ctx)?;
+    // Same entry decoding + validation as `parse_sections`, entry by entry
+    // against the real file length.
+    for i in 0..count {
+        let entry = parse_entry(&table, i, table_end, file_len)?;
+        if entry.tag != tag {
+            continue;
+        }
+        file.seek(SeekFrom::Start(entry.offset as u64))
+            .map_err(ctx)?;
+        let mut out = vec![0u8; entry.len];
+        file.read_exact(&mut out).map_err(ctx)?;
+        return Ok(out);
+    }
+    Err(corrupt(format!(
+        "missing `{}` section",
+        SectionEntry {
+            tag,
+            offset: 0,
+            len: 0
+        }
+        .tag_str()
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_parse_roundtrip_with_alignment() {
+        let bytes = build(&[
+            (SEC_META, b"{\"k\":1}".as_slice()),
+            (SEC_DICT, b"abc".as_slice()),
+            (SEC_MODL, &[1u8, 2, 3, 4, 5]),
+        ]);
+        let entries = parse_sections(&bytes).unwrap();
+        assert_eq!(entries.len(), 3);
+        for e in &entries {
+            assert_eq!(
+                e.offset % SECTION_ALIGN,
+                0,
+                "section {} misaligned",
+                e.tag_str()
+            );
+        }
+        let meta = find(&entries, SEC_META).unwrap();
+        assert_eq!(&bytes[meta.offset..meta.offset + meta.len], b"{\"k\":1}");
+        let modl = find(&entries, SEC_MODL).unwrap();
+        assert_eq!(
+            &bytes[modl.offset..modl.offset + modl.len],
+            &[1, 2, 3, 4, 5]
+        );
+        assert!(find(&entries, *b"NOPE\0\0\0\0").is_err());
+    }
+
+    #[test]
+    fn corrupt_headers_fail_cleanly() {
+        let good = build(&[(SEC_META, b"x".as_slice())]);
+        // Bad magic.
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(parse_sections(&bad).is_err());
+        // Future container version → Format error carrying the version.
+        let mut future = good.clone();
+        future[4..8].copy_from_slice(&9u32.to_le_bytes());
+        match parse_sections(&future) {
+            Err(ServeError::Format { found, supported }) => {
+                assert_eq!(found, 9);
+                assert_eq!(supported, CONTAINER_VERSION);
+            }
+            other => panic!("expected Format error, got {other:?}"),
+        }
+        // Truncated: section table claims more entries than the file holds.
+        let mut trunc = good.clone();
+        trunc.truncate(HEADER_LEN + 4);
+        assert!(parse_sections(&trunc).is_err());
+        // Section length pointing past EOF.
+        let mut overrun = good.clone();
+        let at = HEADER_LEN + 16;
+        overrun[at..at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(parse_sections(&overrun).is_err());
+        // Empty and sub-header files.
+        assert!(parse_sections(&[]).is_err());
+        assert!(parse_sections(&good[..7]).is_err());
+    }
+
+    #[test]
+    fn read_one_section_touches_only_headers() {
+        let dir = std::env::temp_dir().join(format!("hamlet-cont-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("c.bin");
+        let big = vec![7u8; 100_000];
+        std::fs::write(
+            &path,
+            build(&[(SEC_MODL, &big[..]), (SEC_META, b"meta!".as_slice())]),
+        )
+        .unwrap();
+        assert_eq!(read_one_section(&path, SEC_META).unwrap(), b"meta!");
+        assert!(read_one_section(&path, SEC_DICT).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

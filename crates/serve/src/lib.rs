@@ -56,6 +56,8 @@
 pub mod api;
 pub mod artifact;
 mod conn;
+pub mod container;
+pub mod diff;
 pub mod error;
 pub mod http;
 mod reactor;
@@ -69,7 +71,9 @@ pub mod prelude {
         AdviseRequest, AdviseResponse, ExplainRequest, ExplainResponse, Health, ModelsResponse,
         PredictRequest, PredictResponse, TrainRequest, TrainResponse,
     };
-    pub use crate::artifact::{ModelArtifact, TrainingMetadata, FORMAT_VERSION};
+    pub use crate::artifact::{
+        ArtifactHead, Format, LoadMode, ModelArtifact, TrainingMetadata, FORMAT_VERSION,
+    };
     pub use crate::error::{Result as ServeResult, ServeError};
     pub use crate::http::{Server, ServerOptions, StopHandle};
     pub use crate::registry::{ModelRegistry, ModelSummary};

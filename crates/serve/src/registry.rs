@@ -6,12 +6,25 @@
 //! readers and never copies a model. Artifacts are `Arc`-shared between the
 //! registry and in-flight requests, making hot-swap (`insert` of a newer
 //! version) safe: running requests keep the version they resolved.
+//!
+//! ## Lazy warm-load
+//!
+//! Only the *latest* version of each name serves bare-name traffic, so boot
+//! no longer materializes every artifact version: the latest per name is
+//! fully loaded (heap or mmap, see [`crate::artifact::LoadMode`]), while
+//! older versions are registered as **lazy slots** holding just their
+//! [`ArtifactHead`] — for v3 artifacts that is a container-header +
+//! `META`-section read, a few hundred bytes regardless of model size. A
+//! pinned `name@version` request against a lazy slot loads the payload on
+//! first use and caches it.
 
 use std::collections::HashMap;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, RwLock};
 
-use crate::artifact::{ModelArtifact, ARTIFACT_SUFFIX};
+use crate::artifact::{
+    split_artifact_stem, ArtifactHead, LoadMode, ModelArtifact, ARTIFACT_SUFFIX_BIN,
+};
 use crate::error::{Result, ServeError};
 
 /// One registry row, as reported by `GET /v1/models`.
@@ -33,31 +46,49 @@ pub struct ModelSummary {
     pub test_accuracy: f64,
     /// Source dataset recorded at training time.
     pub dataset: String,
+    /// Whether the model payload is resident in memory (`false` = lazy
+    /// slot, loaded on first use).
+    pub resident: bool,
 }
 
 fn next_version_in(index: &Index, name: &str) -> u32 {
     index.latest.get(name).map_or(1, |a| a.version + 1)
 }
 
-fn summarize(a: &ModelArtifact) -> ModelSummary {
+fn summarize_head(head: &ArtifactHead, resident: bool) -> ModelSummary {
     ModelSummary {
-        key: a.key(),
-        name: a.name.clone(),
-        version: a.version,
-        family: a.model.family().to_string(),
-        config: a.feature_config.name(),
-        n_features: a.contract.width(),
-        test_accuracy: a.metadata.metrics.test_accuracy,
-        dataset: a.metadata.dataset.clone(),
+        key: head.key(),
+        name: head.name.clone(),
+        version: head.version,
+        family: head.family.clone(),
+        config: head.config.clone(),
+        n_features: head.n_features,
+        test_accuracy: head.test_accuracy,
+        dataset: head.dataset.clone(),
+        resident,
     }
+}
+
+/// A registered artifact: resident, or a head + path to load on first use.
+#[derive(Debug, Clone)]
+enum Slot {
+    Ready(Arc<ModelArtifact>),
+    Lazy(Arc<LazySlot>),
+}
+
+#[derive(Debug)]
+struct LazySlot {
+    path: PathBuf,
+    head: ArtifactHead,
 }
 
 /// Index state behind the registry lock: artifacts by exact key plus a
 /// latest-version pointer per name, so bare-name resolution on the predict
-/// hot path is O(1) instead of a scan over every artifact.
+/// hot path is O(1) instead of a scan over every artifact. The latest
+/// pointer is always a fully loaded artifact.
 #[derive(Debug, Default)]
 struct Index {
-    by_key: HashMap<String, Arc<ModelArtifact>>,
+    by_key: HashMap<String, Slot>,
     latest: HashMap<String, Arc<ModelArtifact>>,
 }
 
@@ -71,32 +102,48 @@ impl Index {
             self.latest
                 .insert(artifact.name.clone(), Arc::clone(&artifact));
         }
-        self.by_key.insert(artifact.key(), artifact);
+        self.by_key.insert(artifact.key(), Slot::Ready(artifact));
+    }
+
+    /// Registers a non-latest version by head only; the payload loads on
+    /// first `get`. Never touches the latest pointer.
+    fn insert_lazy(&mut self, path: PathBuf, head: ArtifactHead) {
+        self.by_key
+            .insert(head.key(), Slot::Lazy(Arc::new(LazySlot { path, head })));
     }
 
     /// Removes one key, repairing the latest pointer for its name (rare —
-    /// only the persist-failure rollback path).
+    /// only the persist-failure rollback path, which always removes a
+    /// resident artifact).
     fn remove(&mut self, key: &str) {
         let Some(removed) = self.by_key.remove(key) else {
             return;
         };
+        let (name, version) = match &removed {
+            Slot::Ready(a) => (a.name.clone(), a.version),
+            Slot::Lazy(l) => (l.head.name.clone(), l.head.version),
+        };
         if self
             .latest
-            .get(&removed.name)
-            .is_some_and(|cur| cur.version == removed.version)
+            .get(&name)
+            .is_some_and(|cur| cur.version == version)
         {
+            // Only resident artifacts can serve the bare name.
             match self
                 .by_key
                 .values()
-                .filter(|a| a.name == removed.name)
+                .filter_map(|s| match s {
+                    Slot::Ready(a) if a.name == name => Some(a),
+                    _ => None,
+                })
                 .max_by_key(|a| a.version)
             {
                 Some(next) => {
                     let next = Arc::clone(next);
-                    self.latest.insert(removed.name.clone(), next);
+                    self.latest.insert(name, next);
                 }
                 None => {
-                    self.latest.remove(&removed.name);
+                    self.latest.remove(&name);
                 }
             }
         }
@@ -104,52 +151,121 @@ impl Index {
 }
 
 /// Thread-safe registry of loaded artifacts.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ModelRegistry {
     inner: RwLock<Index>,
+    /// How lazily registered payloads are materialized on first use.
+    load_mode: LoadMode,
+}
+
+impl Default for ModelRegistry {
+    fn default() -> Self {
+        Self::with_load_mode(LoadMode::Heap)
+    }
 }
 
 impl ModelRegistry {
-    /// Empty registry.
+    /// Empty registry (heap load mode).
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Registry warm-loaded from every `*.model.json` in `dir` (missing
-    /// directory = empty registry, so first boot needs no setup). Returns
-    /// the registry and the number of artifacts loaded. An unreadable or
-    /// wrong-format artifact is *skipped with a stderr warning* rather than
-    /// failing the boot — one bad file (e.g. written by a newer build
-    /// before a rollback) must not take every valid model offline.
+    /// Empty registry with an explicit load mode for lazy promotions.
+    pub fn with_load_mode(load_mode: LoadMode) -> Self {
+        ModelRegistry {
+            inner: RwLock::new(Index::default()),
+            load_mode,
+        }
+    }
+
+    /// The registry's artifact load mode.
+    pub fn load_mode(&self) -> LoadMode {
+        self.load_mode
+    }
+
+    /// Registry warm-loaded from every artifact in `dir` (heap mode; see
+    /// [`ModelRegistry::warm_load_with`]).
     pub fn warm_load(dir: &Path) -> Result<(Self, usize)> {
-        let registry = Self::new();
-        let mut loaded = 0;
+        Self::warm_load_with(dir, LoadMode::Heap)
+    }
+
+    /// Registry warm-loaded from every `*.model.{bin,json}` in `dir`
+    /// (missing directory = empty registry, so first boot needs no setup).
+    /// Returns the registry and the number of artifacts registered.
+    ///
+    /// Only the **latest version per name is fully loaded** (with `mode`);
+    /// older versions register lazily by header. When the same
+    /// `name@version` exists in both formats, the binary file wins. An
+    /// unreadable or wrong-format artifact is *skipped with a stderr
+    /// warning* rather than failing the boot — one bad file (e.g. written
+    /// by a newer build before a rollback) must not take every valid model
+    /// offline; if the newest version of a name is the bad one, the next
+    /// loadable version serves the bare name.
+    pub fn warm_load_with(dir: &Path, mode: LoadMode) -> Result<(Self, usize)> {
+        let registry = Self::with_load_mode(mode);
         let entries = match std::fs::read_dir(dir) {
             Ok(entries) => entries,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((registry, 0)),
             Err(e) => return Err(ServeError::io(format!("listing {}", dir.display()), e)),
         };
+        // Collect candidate files keyed by (name, version), binary first.
+        let mut candidates: HashMap<(String, u32), PathBuf> = HashMap::new();
         for entry in entries {
             let entry =
                 entry.map_err(|e| ServeError::io(format!("listing {}", dir.display()), e))?;
-            let path = entry.path();
-            if !path
-                .file_name()
-                .and_then(|n| n.to_str())
-                .is_some_and(|n| n.ends_with(ARTIFACT_SUFFIX))
-            {
+            let file = entry.file_name();
+            let Some(file) = file.to_str() else { continue };
+            let Some((name, version)) = split_artifact_stem(file) else {
                 continue;
-            }
-            match ModelArtifact::load(&path) {
-                Ok(artifact) => {
-                    registry.insert(artifact);
-                    loaded += 1;
-                }
-                Err(e) => {
-                    eprintln!("warm-load: skipping {}: {e}", path.display());
+            };
+            let path = entry.path();
+            candidates
+                .entry((name.to_string(), version))
+                .and_modify(|existing| {
+                    if file.ends_with(ARTIFACT_SUFFIX_BIN) {
+                        *existing = path.clone();
+                    }
+                })
+                .or_insert(path);
+        }
+        // Group versions per name, newest first.
+        let mut by_name: HashMap<String, Vec<(u32, PathBuf)>> = HashMap::new();
+        for ((name, version), path) in candidates {
+            by_name.entry(name).or_default().push((version, path));
+        }
+        let mut loaded = 0;
+        let mut index = registry.inner.write().expect("registry lock poisoned");
+        for (_, mut versions) in by_name {
+            versions.sort_by_key(|(version, _)| std::cmp::Reverse(*version));
+            let mut have_latest = false;
+            for (_, path) in versions {
+                if !have_latest {
+                    // Newest loadable version: materialize fully.
+                    match ModelArtifact::load_with(&path, mode) {
+                        Ok(artifact) => {
+                            index.insert(Arc::new(artifact));
+                            loaded += 1;
+                            have_latest = true;
+                        }
+                        Err(e) => {
+                            eprintln!("warm-load: skipping {}: {e}", path.display());
+                        }
+                    }
+                } else {
+                    // Older version: header only, payload on first use.
+                    match ModelArtifact::load_head(&path) {
+                        Ok(head) => {
+                            index.insert_lazy(path, head);
+                            loaded += 1;
+                        }
+                        Err(e) => {
+                            eprintln!("warm-load: skipping {}: {e}", path.display());
+                        }
+                    }
                 }
             }
         }
+        drop(index);
         Ok((registry, loaded))
     }
 
@@ -165,15 +281,42 @@ impl ModelRegistry {
     }
 
     /// Resolves `name@version` exactly, or a bare `name` to its latest
-    /// version.
+    /// version. A lazy slot is loaded (with the registry's
+    /// [`LoadMode`]) and cached on first resolution.
     pub fn get(&self, key_or_name: &str) -> Result<Arc<ModelArtifact>> {
-        let index = self.inner.read().expect("registry lock poisoned");
-        index
-            .by_key
-            .get(key_or_name)
-            .or_else(|| index.latest.get(key_or_name))
-            .map(Arc::clone)
-            .ok_or_else(|| ServeError::ModelNotFound(key_or_name.to_string()))
+        let lazy = {
+            let index = self.inner.read().expect("registry lock poisoned");
+            match index.by_key.get(key_or_name) {
+                Some(Slot::Ready(a)) => return Ok(Arc::clone(a)),
+                Some(Slot::Lazy(slot)) => Arc::clone(slot),
+                None => {
+                    return index
+                        .latest
+                        .get(key_or_name)
+                        .map(Arc::clone)
+                        .ok_or_else(|| ServeError::ModelNotFound(key_or_name.to_string()));
+                }
+            }
+        };
+        self.promote(key_or_name, &lazy)
+    }
+
+    /// Loads a lazy slot's payload and swaps it in. Runs outside the lock;
+    /// a concurrent promotion of the same key is harmless (one result
+    /// wins the map, both are valid).
+    fn promote(&self, key: &str, slot: &LazySlot) -> Result<Arc<ModelArtifact>> {
+        let artifact = Arc::new(ModelArtifact::load_with(&slot.path, self.load_mode)?);
+        let mut index = self.inner.write().expect("registry lock poisoned");
+        match index.by_key.get(key) {
+            // Raced with another promotion: keep the incumbent.
+            Some(Slot::Ready(a)) => Ok(Arc::clone(a)),
+            _ => {
+                index
+                    .by_key
+                    .insert(key.to_string(), Slot::Ready(Arc::clone(&artifact)));
+                Ok(artifact)
+            }
+        }
     }
 
     /// Next free version for a name (1 when unused). Advisory only: for a
@@ -221,21 +364,40 @@ impl ModelRegistry {
         }
     }
 
-    /// All registered models, sorted by key for stable output.
+    /// All registered models, sorted by key for stable output. Lazy slots
+    /// report from their header without loading payloads.
     pub fn list(&self) -> Vec<ModelSummary> {
         let index = self.inner.read().expect("registry lock poisoned");
-        let mut out: Vec<ModelSummary> = index.by_key.values().map(|a| summarize(a)).collect();
+        let mut out: Vec<ModelSummary> = index
+            .by_key
+            .values()
+            .map(|slot| match slot {
+                Slot::Ready(a) => summarize_head(&a.head(), true),
+                Slot::Lazy(l) => summarize_head(&l.head, false),
+            })
+            .collect();
         out.sort_by(|a, b| a.key.cmp(&b.key));
         out
     }
 
-    /// Number of registered artifacts.
+    /// Number of registered artifacts (resident + lazy).
     pub fn len(&self) -> usize {
         self.inner
             .read()
             .expect("registry lock poisoned")
             .by_key
             .len()
+    }
+
+    /// Number of artifacts whose payload is resident in memory.
+    pub fn resident_count(&self) -> usize {
+        self.inner
+            .read()
+            .expect("registry lock poisoned")
+            .by_key
+            .values()
+            .filter(|s| matches!(s, Slot::Ready(_)))
+            .count()
     }
 
     /// Whether the registry is empty.
@@ -248,6 +410,7 @@ impl ModelRegistry {
 mod tests {
     use super::*;
     use crate::artifact::tests::toy_artifact;
+    use crate::artifact::Format;
 
     #[test]
     fn name_resolves_to_latest_version() {
@@ -275,6 +438,7 @@ mod tests {
         assert_eq!(rows[0].family, "majority");
         assert_eq!(rows[0].config, "NoJoin");
         assert_eq!(rows[0].n_features, 2);
+        assert!(rows[0].resident);
     }
 
     #[test]
@@ -293,6 +457,46 @@ mod tests {
     }
 
     #[test]
+    fn warm_load_lazily_registers_non_latest_versions() {
+        let dir = std::env::temp_dir().join(format!("hamlet-reg-lazy-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        toy_artifact("l", 1).save(&dir).unwrap();
+        toy_artifact("l", 2).save_format(&dir, Format::V2).unwrap();
+        toy_artifact("l", 3).save(&dir).unwrap();
+        let (reg, loaded) = ModelRegistry::warm_load(&dir).unwrap();
+        assert_eq!(loaded, 3);
+        assert_eq!(
+            reg.resident_count(),
+            1,
+            "only the latest version is resident after boot"
+        );
+        // The listing still reports every version, marking residency.
+        let rows = reg.list();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows.iter().filter(|r| r.resident).count(), 1, "{rows:?}");
+        // Bare name → resident latest; pinned old version loads on demand
+        // (across formats: l@2 is a JSON artifact).
+        assert_eq!(reg.get("l").unwrap().version, 3);
+        assert_eq!(reg.get("l@2").unwrap().version, 2);
+        assert_eq!(reg.get("l@1").unwrap().version, 1);
+        assert_eq!(reg.resident_count(), 3, "promotions cache");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn warm_load_prefers_binary_over_json_for_same_version() {
+        let dir = std::env::temp_dir().join(format!("hamlet-reg-pref-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let art = toy_artifact("p", 1);
+        art.save(&dir).unwrap();
+        art.save_format(&dir, Format::V2).unwrap();
+        let (reg, loaded) = ModelRegistry::warm_load(&dir).unwrap();
+        assert_eq!(loaded, 1, "one artifact, two encodings");
+        assert_eq!(reg.get("p").unwrap().version, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn warm_load_skips_bad_artifacts_instead_of_failing_boot() {
         let dir = std::env::temp_dir().join(format!("hamlet-reg-bad-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
@@ -306,6 +510,22 @@ mod tests {
         assert_eq!(loaded, 1, "only the valid artifact loads");
         assert!(reg.get("good").is_ok());
         assert!(reg.get("future").is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn warm_load_falls_back_when_newest_version_is_corrupt() {
+        let dir = std::env::temp_dir().join(format!("hamlet-reg-fb-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        toy_artifact("f", 1).save(&dir).unwrap();
+        std::fs::write(dir.join("f@2.model.bin"), "HMLAgarbage").unwrap();
+        let (reg, loaded) = ModelRegistry::warm_load(&dir).unwrap();
+        assert_eq!(loaded, 1);
+        assert_eq!(
+            reg.get("f").unwrap().version,
+            1,
+            "bare name served by the next loadable version"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -415,5 +635,27 @@ mod tests {
             r.join().unwrap();
         }
         assert_eq!(reg.get("hot").unwrap().version, 9);
+    }
+
+    #[test]
+    fn concurrent_lazy_promotions_converge() {
+        let dir = std::env::temp_dir().join(format!("hamlet-reg-promo-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        toy_artifact("pr", 1).save(&dir).unwrap();
+        toy_artifact("pr", 2).save(&dir).unwrap();
+        let (reg, _) = ModelRegistry::warm_load(&dir).unwrap();
+        let reg = Arc::new(reg);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let reg = Arc::clone(&reg);
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        assert_eq!(reg.get("pr@1").unwrap().version, 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.resident_count(), 2);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -10,6 +10,7 @@ use crate::api::{
     AdviseRequest, ApiError, ExplainRequest, ExplainResponse, Health, ModelsResponse,
     PredictRequest, PredictResponse, TrainRequest, TrainResponse,
 };
+use crate::artifact::LoadMode;
 use crate::error::ServeError;
 use crate::http::{Handler, Request, Response, Server, ServerOptions};
 use crate::registry::ModelRegistry;
@@ -24,6 +25,10 @@ pub struct AppState {
     /// Shard cap for batch-parallel prediction (defaults to the machine's
     /// available parallelism). One request never fans out wider than this.
     pub predict_threads: usize,
+    /// Observed per-row predict latency per model (EWMA), feeding adaptive
+    /// shard sizing: each shard of a batch is cut to cost roughly
+    /// [`TARGET_SHARD_NANOS`] wall-clock instead of a fixed row count.
+    pub latency: LatencyTracker,
     /// Machine-wide fan-out budget shared by every in-flight predict: the
     /// sum of extra scoped threads across concurrent requests never exceeds
     /// `predict_threads`, so N simultaneous large batches share the cores
@@ -36,6 +41,123 @@ pub struct AppState {
     /// inside a training run can never poison the gate shut: the RAII
     /// release in [`TrainPermit`] runs during unwinding.
     train_gate: std::sync::atomic::AtomicBool,
+}
+
+/// Wall-clock budget per predict shard (250 µs). The adaptive shard size
+/// for a model is `TARGET_SHARD_NANOS / observed-ns-per-row`: cheap models
+/// (a tree at tens of ns/row) get huge shards so spawn overhead stays
+/// negligible, expensive ones (an RBF-SVM at tens of µs/row) get small
+/// shards so even mid-size batches use every core.
+pub const TARGET_SHARD_NANOS: f64 = 250_000.0;
+
+/// Clamp range for adaptive shard sizes: never shard finer than this many
+/// rows (spawn overhead dominates below it)...
+pub const MIN_ADAPTIVE_SHARD_ROWS: usize = 32;
+
+/// ...and never coarser than this (one shard must not starve the pool).
+pub const MAX_ADAPTIVE_SHARD_ROWS: usize = 65_536;
+
+/// EWMA smoothing factor for per-row latency observations.
+const LATENCY_EWMA_ALPHA: f64 = 0.2;
+
+/// Per-model EWMA of observed per-row predict latency.
+///
+/// Observations are recorded lock-free per model (an `AtomicU64` holding
+/// f64 bits, CAS-updated); the outer map takes a write lock only the first
+/// time a model is seen. The recorded value approximates *sequential*
+/// per-row cost: wall-clock × shards-used ÷ rows, so the estimate stays
+/// comparable whether a batch ran on one thread or sixteen.
+#[derive(Debug, Default)]
+pub struct LatencyTracker {
+    cells: std::sync::RwLock<std::collections::HashMap<String, Arc<std::sync::atomic::AtomicU64>>>,
+}
+
+/// One model's latency cell, resolved once per request: reading the shard
+/// size and folding the observation back in are plain atomic ops on it —
+/// no further map lookups or lock acquisitions on the predict hot path.
+#[derive(Debug, Clone)]
+pub struct LatencyCell(Arc<std::sync::atomic::AtomicU64>);
+
+impl LatencyCell {
+    /// Current EWMA (estimated sequential ns/row), if any observation was
+    /// recorded.
+    pub fn ns_per_row(&self) -> Option<f64> {
+        let bits = self.0.load(std::sync::atomic::Ordering::Relaxed);
+        (bits != 0).then(|| f64::from_bits(bits))
+    }
+
+    /// Folds one observation (estimated sequential ns/row) into the EWMA.
+    pub fn observe(&self, ns_per_row: f64) {
+        use std::sync::atomic::Ordering;
+        if !ns_per_row.is_finite() || ns_per_row <= 0.0 {
+            return;
+        }
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let old = f64::from_bits(cur);
+            let next = if old == 0.0 {
+                ns_per_row
+            } else {
+                LATENCY_EWMA_ALPHA * ns_per_row + (1.0 - LATENCY_EWMA_ALPHA) * old
+            };
+            match self.0.compare_exchange_weak(
+                cur,
+                next.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Shard size (rows per extra thread) for this model: sized so one
+    /// shard costs ~[`TARGET_SHARD_NANOS`], clamped to
+    /// [[`MIN_ADAPTIVE_SHARD_ROWS`], [`MAX_ADAPTIVE_SHARD_ROWS`]]. Models
+    /// never observed yet use the library's fixed
+    /// [`hamlet_ml::any::MIN_ROWS_PER_SHARD`] floor.
+    pub fn shard_rows(&self) -> usize {
+        match self.ns_per_row() {
+            None => hamlet_ml::any::MIN_ROWS_PER_SHARD,
+            Some(ns) => ((TARGET_SHARD_NANOS / ns) as usize)
+                .clamp(MIN_ADAPTIVE_SHARD_ROWS, MAX_ADAPTIVE_SHARD_ROWS),
+        }
+    }
+}
+
+impl LatencyTracker {
+    /// Empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The cell for a model key (read-lock lookup in steady state; a write
+    /// lock only the first time a model is seen).
+    pub fn cell(&self, key: &str) -> LatencyCell {
+        if let Some(cell) = self.cells.read().expect("latency lock poisoned").get(key) {
+            return LatencyCell(Arc::clone(cell));
+        }
+        let mut cells = self.cells.write().expect("latency lock poisoned");
+        LatencyCell(Arc::clone(cells.entry(key.to_string()).or_default()))
+    }
+
+    /// Current EWMA for a model, if any observation was recorded.
+    pub fn ns_per_row(&self, key: &str) -> Option<f64> {
+        let cells = self.cells.read().expect("latency lock poisoned");
+        let bits = cells.get(key)?.load(std::sync::atomic::Ordering::Relaxed);
+        (bits != 0).then(|| f64::from_bits(bits))
+    }
+
+    /// Convenience: [`LatencyCell::observe`] by key.
+    pub fn observe(&self, key: &str, ns_per_row: f64) {
+        self.cell(key).observe(ns_per_row);
+    }
+
+    /// Convenience: [`LatencyCell::shard_rows`] by key.
+    pub fn shard_rows(&self, key: &str) -> usize {
+        self.cell(key).shard_rows()
+    }
 }
 
 /// A machine-wide pool of predict fan-out slots. Requests reserve up to
@@ -142,7 +264,18 @@ impl AppState {
         artifact_dir: PathBuf,
         executors: usize,
     ) -> crate::error::Result<(Arc<AppState>, usize)> {
-        let (registry, loaded) = ModelRegistry::warm_load(&artifact_dir)?;
+        AppState::warm_opts(artifact_dir, executors, LoadMode::Heap)
+    }
+
+    /// [`AppState::warm_sized`] with an explicit artifact [`LoadMode`]
+    /// (`Mmap` = zero-copy weight borrows from format-v3 files, both at
+    /// warm-load and for lazy version promotions).
+    pub fn warm_opts(
+        artifact_dir: PathBuf,
+        executors: usize,
+        load_mode: LoadMode,
+    ) -> crate::error::Result<(Arc<AppState>, usize)> {
+        let (registry, loaded) = ModelRegistry::warm_load_with(&artifact_dir, load_mode)?;
         let cores = default_predict_threads();
         let budget = if executors == 0 {
             cores
@@ -154,6 +287,7 @@ impl AppState {
                 registry,
                 artifact_dir,
                 predict_threads: cores,
+                latency: LatencyTracker::new(),
                 shard_budget: ShardBudget::new(budget),
                 train_gate: std::sync::atomic::AtomicBool::new(false),
             }),
@@ -226,6 +360,14 @@ fn predict(state: &AppState, req: &Request) -> Result<PredictResponse, ServeErro
         (Some(coded), None) => artifact.validate_coded(coded)?,
         (None, Some(raw)) => artifact.encode_raw(raw)?,
     };
+    // Shard size comes from this model's observed per-row latency (EWMA),
+    // so a shard costs ~TARGET_SHARD_NANOS wall-clock: the fixed 256-row
+    // floor over-sharded cheap trees and under-sharded expensive SVMs.
+    // The cell is resolved once; reading and updating it are plain atomics.
+    let key = artifact.key();
+    let cell = state.latency.cell(&key);
+    let shard_rows = cell.shard_rows();
+    let n = rows.len() / d;
     // Reserve fan-out slots from the machine-wide budget: under concurrent
     // load each request gets a fair share of the cores (or runs
     // sequentially on its own worker when the pool is dry) instead of
@@ -233,16 +375,23 @@ fn predict(state: &AppState, req: &Request) -> Result<PredictResponse, ServeErro
     // slots as this batch can actually shard into are requested — a small
     // batch runs sequentially anyway and must not starve a concurrent
     // large one.
-    let usable = rows.len() / d / hamlet_ml::any::MIN_ROWS_PER_SHARD;
+    let usable = n / shard_rows.max(1);
     let permit = state
         .shard_budget
         .reserve(usable.min(state.predict_threads));
+    let predict_start = Instant::now();
     let labels = artifact
         .model
-        .predict_batch_parallel(&rows, d, permit.threads());
+        .predict_batch_sharded(&rows, d, permit.threads(), shard_rows);
+    // Fold the observation back in as an estimated *sequential* per-row
+    // cost (wall-clock × shards actually used ÷ rows), so the EWMA is
+    // comparable across fan-out widths.
+    let shards_used = (n / shard_rows.max(1)).clamp(1, permit.threads());
     drop(permit);
+    let predict_ns = predict_start.elapsed().as_nanos() as f64;
+    cell.observe(predict_ns * shards_used as f64 / n as f64);
     Ok(PredictResponse {
-        model: artifact.key(),
+        model: key,
         labels,
         latency_ms: start.elapsed().as_secs_f64() * 1e3,
     })
@@ -365,6 +514,7 @@ mod tests {
             registry: ModelRegistry::new(),
             artifact_dir: std::env::temp_dir().join("hamlet-serve-router-tests"),
             predict_threads: 2,
+            latency: LatencyTracker::new(),
             shard_budget: ShardBudget::new(2),
             train_gate: std::sync::atomic::AtomicBool::new(false),
         })
@@ -626,6 +776,59 @@ mod tests {
             4,
             "everything released"
         );
+    }
+
+    #[test]
+    fn latency_tracker_adapts_shard_size() {
+        let t = LatencyTracker::new();
+        // Unobserved models use the library's fixed floor.
+        assert_eq!(t.shard_rows("fresh@1"), hamlet_ml::any::MIN_ROWS_PER_SHARD);
+        // A cheap model (100 ns/row) gets coarse shards near the target
+        // budget; an expensive one (50 µs/row) gets the minimum.
+        t.observe("tree@1", 100.0);
+        assert_eq!(t.shard_rows("tree@1"), 2500);
+        t.observe("svm@1", 50_000.0);
+        assert_eq!(t.shard_rows("svm@1"), MIN_ADAPTIVE_SHARD_ROWS);
+        // Extremes clamp rather than explode.
+        t.observe("instant@1", 1e-3);
+        assert_eq!(t.shard_rows("instant@1"), MAX_ADAPTIVE_SHARD_ROWS);
+        // The EWMA tracks drift: after many fast observations a formerly
+        // slow model's shards grow.
+        for _ in 0..200 {
+            t.observe("svm@1", 1_000.0);
+        }
+        assert!(t.shard_rows("svm@1") > 200, "{}", t.shard_rows("svm@1"));
+        // Garbage observations are ignored.
+        t.observe("svm@1", f64::NAN);
+        t.observe("svm@1", -5.0);
+        assert!(t.ns_per_row("svm@1").unwrap().is_finite());
+    }
+
+    #[test]
+    fn predict_records_latency_observations() {
+        let app = state();
+        app.registry
+            .insert(crate::artifact::tests::toy_artifact("obs", 1));
+        let handler = router(Arc::clone(&app));
+        assert!(app.latency.ns_per_row("obs@1").is_none());
+        let (status, _) = call(
+            &handler,
+            "POST",
+            "/v1/predict",
+            "{\"model\":\"obs\",\"rows\":[[0,0],[1,1]]}",
+        );
+        assert_eq!(status, 200);
+        let first = app.latency.ns_per_row("obs@1").expect("observed");
+        assert!(first > 0.0);
+        // More traffic keeps folding in (the EWMA moves or stays finite).
+        let (status, _) = call(
+            &handler,
+            "POST",
+            "/v1/predict",
+            "{\"model\":\"obs\",\"rows\":[[0,0]]}",
+        );
+        assert_eq!(status, 200);
+        assert!(app.latency.ns_per_row("obs@1").unwrap().is_finite());
     }
 
     #[test]

@@ -1,0 +1,365 @@
+//! Format-v3 acceptance: the round-trip parity matrix (every model family
+//! × heap/mmap load), the ANN size-ratio target, corruption handling, and
+//! legacy (handcrafted v1 + v2 JSON) warm-loads through the registry.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use hamlet_core::experiment::RunResult;
+use hamlet_core::feature_config::FeatureConfig;
+use hamlet_core::model_zoo::ModelSpec;
+use hamlet_ml::ann::{AnnParams, Mlp};
+use hamlet_ml::any::{AnyClassifier, SubsetModel};
+use hamlet_ml::dataset::{CatDataset, FeatureMeta, Provenance};
+use hamlet_ml::knn::OneNearestNeighbor;
+use hamlet_ml::logreg::{LogRegL1, LogRegParams};
+use hamlet_ml::model::{Classifier, MajorityClass};
+use hamlet_ml::naive_bayes::NaiveBayes;
+use hamlet_ml::svm::{KernelKind, SvmModel, SvmParams};
+use hamlet_ml::tree::{DecisionTree, SplitCriterion, TreeParams};
+use hamlet_relation::domain::CatDomain;
+use hamlet_serve::artifact::{Format, LoadMode, ModelArtifact, TrainingMetadata, FORMAT_VERSION};
+use hamlet_serve::registry::ModelRegistry;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hamlet-v3-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// A dataset whose features carry real dictionaries (one shared between
+/// two features, the FK/RID pattern) so artifacts exercise dedup.
+fn dict_dataset(seed: u64, n: usize) -> CatDataset {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let shared = CatDomain::synthetic("shared", 6).into_shared();
+    let features = vec![
+        FeatureMeta::with_domain("fk", Provenance::ForeignKey { dim: 0 }, Arc::clone(&shared)),
+        FeatureMeta::with_domain("rid", Provenance::Foreign { dim: 0 }, shared),
+        FeatureMeta::with_domain(
+            "xs",
+            Provenance::Home,
+            CatDomain::synthetic_with_others("xs", 3).into_shared(),
+        ),
+    ];
+    let cards: Vec<u32> = features.iter().map(|f| f.cardinality).collect();
+    let rows: Vec<u32> = (0..n)
+        .flat_map(|_| {
+            cards
+                .iter()
+                .map(|&k| rng.gen_range(0..k))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let labels: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+    CatDataset::new(features, rows, labels).unwrap()
+}
+
+fn artifact_for(model: AnyClassifier, ds: &CatDataset, name: &str) -> ModelArtifact {
+    ModelArtifact {
+        format_version: FORMAT_VERSION,
+        name: name.into(),
+        version: 1,
+        model,
+        feature_config: FeatureConfig::NoJoin,
+        contract: ds.contract(),
+        schema_fingerprint: 0xF00D,
+        metadata: TrainingMetadata {
+            dataset: "synthetic".into(),
+            spec: ModelSpec::TreeGini,
+            train_rows: ds.n_rows(),
+            metrics: RunResult {
+                model: "matrix".into(),
+                config: "NoJoin".into(),
+                train_accuracy: 1.0,
+                val_accuracy: 1.0,
+                test_accuracy: 1.0,
+                seconds: 0.0,
+                winner: "-".into(),
+            },
+        },
+    }
+}
+
+fn all_families(ds: &CatDataset) -> Vec<(&'static str, AnyClassifier)> {
+    let sub = ds.select_features(&[2]).unwrap();
+    vec![
+        ("majority", MajorityClass::fit(ds).into()),
+        (
+            "tree",
+            DecisionTree::fit(
+                ds,
+                TreeParams::new(SplitCriterion::Gini)
+                    .with_minsplit(2)
+                    .with_cp(0.0),
+            )
+            .unwrap()
+            .into(),
+        ),
+        ("knn", OneNearestNeighbor::fit(ds).unwrap().into()),
+        (
+            "svm",
+            SvmModel::fit(ds, SvmParams::new(KernelKind::Rbf { gamma: 0.4 }, 4.0))
+                .unwrap()
+                .into(),
+        ),
+        (
+            "mlp",
+            Mlp::fit(
+                ds,
+                AnnParams {
+                    epochs: 2,
+                    ..AnnParams::small(1e-4, 0.01)
+                },
+            )
+            .unwrap()
+            .into(),
+        ),
+        ("naive-bayes", NaiveBayes::fit(ds).unwrap().into()),
+        (
+            "logreg",
+            LogRegL1::fit_single(
+                ds,
+                1e-3,
+                LogRegParams {
+                    max_iter: 30,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+            .into(),
+        ),
+        (
+            "subset",
+            SubsetModel {
+                keep: vec![2],
+                inner: Box::new(NaiveBayes::fit(&sub).unwrap().into()),
+            }
+            .into(),
+        ),
+    ]
+}
+
+/// Every family: save as v3, reload via heap and mmap, predictions
+/// bit-identical to the in-memory model on every in-domain probe row.
+#[test]
+fn parity_matrix_every_family_heap_and_mmap() {
+    use rand::{Rng, SeedableRng};
+    let ds = dict_dataset(11, 60);
+    let dir = tmp_dir("matrix");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+    let cards: Vec<u32> = ds.cardinalities();
+    let probes: Vec<Vec<u32>> = (0..64)
+        .map(|_| cards.iter().map(|&k| rng.gen_range(0..k)).collect())
+        .collect();
+
+    for (tag, model) in all_families(&ds) {
+        let art = artifact_for(model, &ds, &format!("mx-{tag}"));
+        let path = art.save(&dir).unwrap();
+        for mode in [LoadMode::Heap, LoadMode::Mmap] {
+            let back = ModelArtifact::load_with(&path, mode).unwrap();
+            assert_eq!(back.model, art.model, "{tag} {mode:?} value drift");
+            for probe in &probes {
+                assert_eq!(
+                    back.model.predict_row(probe),
+                    art.model.predict_row(probe),
+                    "{tag} {mode:?} probe {probe:?}"
+                );
+            }
+            // Batched path too (what /v1/predict runs).
+            let flat: Vec<u32> = probes.iter().flatten().copied().collect();
+            assert_eq!(
+                back.model.predict_batch(&flat, cards.len()),
+                art.model.predict_batch(&flat, cards.len()),
+                "{tag} {mode:?} batch"
+            );
+            // mmap loads borrow weight payloads for the array-backed
+            // families; heap loads never do.
+            let expect_mapped = mode == LoadMode::Mmap && !matches!(tag, "majority" | "tree");
+            assert_eq!(
+                back.model.payload_mapped(),
+                expect_mapped,
+                "{tag} {mode:?} residency"
+            );
+            // Dictionaries arrive shared: fk and rid point at one Arc.
+            assert!(Arc::ptr_eq(
+                back.contract.feature(0).domain.as_ref().unwrap(),
+                back.contract.feature(1).domain.as_ref().unwrap()
+            ));
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The tentpole's size target: a (weight-dominated) ANN artifact stored as
+/// v3 is at least 4× smaller than the same artifact as v2 JSON.
+#[test]
+fn ann_v3_artifact_is_4x_smaller_than_v2_json() {
+    let ds = dict_dataset(23, 120);
+    let mlp = Mlp::fit(
+        &ds,
+        AnnParams {
+            hidden1: 64,
+            hidden2: 32,
+            epochs: 1,
+            ..AnnParams::small(1e-4, 0.01)
+        },
+    )
+    .unwrap();
+    let art = artifact_for(mlp.into(), &ds, "size-ann");
+    let dir = tmp_dir("size");
+    let v3 = std::fs::metadata(art.save(&dir).unwrap()).unwrap().len();
+    let v2 = std::fs::metadata(art.save_format(&dir, Format::V2).unwrap())
+        .unwrap()
+        .len();
+    assert!(
+        v2 >= 4 * v3,
+        "v2 json is {v2} bytes, v3 binary is {v3} bytes — ratio {:.2} < 4",
+        v2 as f64 / v3 as f64
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Registry boot over a directory containing corrupted v3 files: clean
+/// skips, no panics, healthy artifacts still serve.
+#[test]
+fn warm_load_survives_corrupted_and_truncated_v3_artifacts() {
+    let ds = dict_dataset(31, 40);
+    let dir = tmp_dir("corrupt");
+    let good = artifact_for(NaiveBayes::fit(&ds).unwrap().into(), &ds, "good");
+    let path = good.save(&dir).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    // A truncated copy, a bit-flipped section table, and junk with magic.
+    std::fs::write(dir.join("trunc@1.model.bin"), &bytes[..bytes.len() / 2]).unwrap();
+    let mut flipped = bytes.clone();
+    flipped[20] ^= 0xFF;
+    std::fs::write(dir.join("flipped@1.model.bin"), &flipped).unwrap();
+    std::fs::write(dir.join("junk@1.model.bin"), b"HMLAjunkjunkjunk").unwrap();
+    for mode in [LoadMode::Heap, LoadMode::Mmap] {
+        let (reg, loaded) = ModelRegistry::warm_load_with(&dir, mode).unwrap();
+        assert_eq!(loaded, 1, "{mode:?}: only the healthy artifact registers");
+        let art = reg.get("good").unwrap();
+        assert_eq!(art.model, good.model);
+        assert!(reg.get("trunc").is_err());
+        assert!(reg.get("junk").is_err());
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Handcrafted v1 and v2 JSON files — byte layouts frozen from the earlier
+/// releases — still warm-load and serve next to v3 artifacts.
+#[test]
+fn handcrafted_v1_and_v2_artifacts_warm_load_alongside_v3() {
+    let dir = tmp_dir("legacy");
+    std::fs::create_dir_all(&dir).unwrap();
+    // v1: `features` key, no dictionaries.
+    std::fs::write(
+        dir.join("legacy-v1@1.model.json"),
+        r#"{
+            "format_version": 1,
+            "name": "legacy-v1", "version": 1,
+            "model": {"Majority": {"positive": false}},
+            "feature_config": "NoJoin",
+            "features": [
+                {"name": "a", "cardinality": 3, "provenance": "Home"}
+            ],
+            "schema_fingerprint": 1,
+            "metadata": {
+                "dataset": "toy", "spec": "TreeGini", "train_rows": 4,
+                "metrics": {"model": "m", "config": "NoJoin",
+                            "train_accuracy": 1.0, "val_accuracy": 1.0,
+                            "test_accuracy": 0.5, "seconds": 0.0,
+                            "winner": "-"}
+            }
+        }"#,
+    )
+    .unwrap();
+    // v2: `contract` key with embedded dictionaries.
+    std::fs::write(
+        dir.join("legacy-v2@1.model.json"),
+        r#"{
+            "format_version": 2,
+            "name": "legacy-v2", "version": 1,
+            "model": {"Majority": {"positive": true}},
+            "feature_config": "NoJoin",
+            "contract": [
+                {"name": "a", "cardinality": 3,
+                 "provenance": {"ForeignKey": {"dim": 0}},
+                 "domain": {"name": "a", "labels": ["x", "y", "Others"]}}
+            ],
+            "schema_fingerprint": 2,
+            "metadata": {
+                "dataset": "toy", "spec": "TreeGini", "train_rows": 4,
+                "metrics": {"model": "m", "config": "NoJoin",
+                            "train_accuracy": 1.0, "val_accuracy": 1.0,
+                            "test_accuracy": 0.5, "seconds": 0.0,
+                            "winner": "-"}
+            }
+        }"#,
+    )
+    .unwrap();
+    // A v3 artifact beside them.
+    let ds = dict_dataset(41, 30);
+    artifact_for(MajorityClass { positive: true }.into(), &ds, "modern")
+        .save(&dir)
+        .unwrap();
+
+    let (reg, loaded) = ModelRegistry::warm_load(&dir).unwrap();
+    assert_eq!(loaded, 3);
+    let v1 = reg.get("legacy-v1").unwrap();
+    assert!(!v1.contract.has_domains());
+    assert!(!v1.model.predict_row(&[0]));
+    let v2 = reg.get("legacy-v2").unwrap();
+    assert!(v2.contract.has_domains());
+    // The v2 dictionary still encodes raw labels, Others fallback intact.
+    assert_eq!(v2.encode_raw(&[vec!["unseen".into()]]).unwrap(), vec![2]);
+    assert!(reg.get("modern").is_ok());
+
+    // Converting a legacy artifact to v3 preserves predictions and the
+    // contract (the full v2→v3 upgrade path).
+    let upgraded_path = v2.save(&dir).unwrap();
+    let upgraded = ModelArtifact::load_with(&upgraded_path, LoadMode::Mmap).unwrap();
+    assert_eq!(upgraded.model, v2.model);
+    assert_eq!(upgraded.contract, v2.contract);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Lazy warm-load end to end: old versions are non-resident until first
+/// pinned request, and the promoted model predicts identically.
+#[test]
+fn lazy_old_versions_promote_on_demand_with_identical_predictions() {
+    let ds = dict_dataset(53, 50);
+    let dir = tmp_dir("lazy");
+    let families = all_families(&ds);
+    // Three versions of one name: tree, then svm, then mlp (latest).
+    let mut originals = Vec::new();
+    for (i, idx) in [1usize, 3, 4].iter().enumerate() {
+        let mut art = artifact_for(families[*idx].1.clone(), &ds, "ladder");
+        art.version = (i + 1) as u32;
+        art.save(&dir).unwrap();
+        originals.push(art);
+    }
+    let (reg, loaded) = ModelRegistry::warm_load_with(&dir, LoadMode::Mmap).unwrap();
+    assert_eq!(loaded, 3);
+    assert_eq!(reg.resident_count(), 1, "only ladder@3 resident at boot");
+    let listed = reg.list();
+    assert_eq!(listed.len(), 3);
+    assert_eq!(
+        listed.iter().map(|m| &m.family).collect::<Vec<_>>(),
+        vec!["tree", "svm", "mlp"],
+        "lazy heads still report the correct family"
+    );
+    // Pinned request against a lazy slot: loads, caches, bit-matches.
+    let cards = ds.cardinalities();
+    let probe: Vec<u32> = cards.iter().map(|&k| k - 1).collect();
+    for (i, original) in originals.iter().enumerate() {
+        let got = reg.get(&format!("ladder@{}", i + 1)).unwrap();
+        assert_eq!(got.model, original.model);
+        assert_eq!(
+            got.model.predict_row(&probe),
+            original.model.predict_row(&probe)
+        );
+    }
+    assert_eq!(reg.resident_count(), 3);
+    std::fs::remove_dir_all(&dir).ok();
+}
