@@ -113,26 +113,111 @@ impl AnyClassifier {
         max_threads: usize,
         min_rows_per_shard: usize,
     ) -> Vec<bool> {
-        assert!(
-            d > 0 && rows.len().is_multiple_of(d),
-            "rows must be n × d codes"
-        );
-        let n = rows.len() / d;
-        let shards = (n / min_rows_per_shard.max(1)).clamp(1, max_threads.max(1));
-        if shards == 1 {
-            return self.predict_batch(rows, d);
+        // One buffer is the single-segment case of the segment-merging
+        // fan-out — one sharding implementation, one set of invariants.
+        self.predict_segments_sharded(&[rows], d, max_threads, min_rows_per_shard)
+            .pop()
+            .expect("one segment in, one label vector out")
+    }
+
+    /// Batched prediction over **many row buffers at once** — the
+    /// cross-request coalescing primitive. The segments are treated as one
+    /// logical concatenated batch for sharding purposes (so many tiny
+    /// buffers still fan out across threads), but are *never copied into a
+    /// single buffer*: each shard walks the segment slices that intersect
+    /// its global row range. Results come back split per segment, and each
+    /// segment's labels are bit-identical to predicting that segment alone
+    /// with [`AnyClassifier::predict_batch`] — per-row prediction is
+    /// stateless, so merge/split is purely a scheduling optimization.
+    pub fn predict_segments_sharded(
+        &self,
+        segments: &[&[u32]],
+        d: usize,
+        max_threads: usize,
+        min_rows_per_shard: usize,
+    ) -> Vec<Vec<bool>> {
+        assert!(d > 0, "d must be positive");
+        for seg in segments {
+            assert!(
+                seg.len().is_multiple_of(d),
+                "every segment must be n × d codes"
+            );
         }
-        let rows_per_shard = n.div_ceil(shards);
-        let mut out = Vec::with_capacity(n);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = rows
-                .chunks(rows_per_shard * d)
-                .map(|chunk| scope.spawn(move || self.predict_batch(chunk, d)))
-                .collect();
-            for h in handles {
-                out.extend(h.join().expect("predict shard panicked"));
+        // Cumulative row bounds: bounds[i] = first global row of segment i.
+        let mut bounds = Vec::with_capacity(segments.len() + 1);
+        let mut total = 0usize;
+        for seg in segments {
+            bounds.push(total);
+            total += seg.len() / d;
+        }
+        bounds.push(total);
+        let shards = (total / min_rows_per_shard.max(1)).clamp(1, max_threads.max(1));
+        let flat: Vec<bool> = if shards == 1 {
+            // Sequential: one scratch buffer across every segment.
+            let mut out = Vec::with_capacity(total);
+            let mut scratch = Vec::new();
+            for seg in segments {
+                for row in seg.chunks_exact(d) {
+                    out.push(self.predict_row_scratch(row, &mut scratch));
+                }
             }
-        });
+            out
+        } else {
+            let rows_per_shard = total.div_ceil(shards);
+            let mut out = Vec::with_capacity(total);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..shards)
+                    .map(|s| {
+                        let start = s * rows_per_shard;
+                        let end = ((s + 1) * rows_per_shard).min(total);
+                        let bounds = &bounds;
+                        scope.spawn(move || self.predict_row_range(segments, bounds, d, start, end))
+                    })
+                    .collect();
+                for h in handles {
+                    out.extend(h.join().expect("predict shard panicked"));
+                }
+            });
+            out
+        };
+        // Split the concatenated labels back per segment.
+        let mut split = Vec::with_capacity(segments.len());
+        let mut at = 0usize;
+        for w in bounds.windows(2) {
+            let n = w[1] - w[0];
+            split.push(flat[at..at + n].to_vec());
+            at += n;
+        }
+        split
+    }
+
+    /// Predicts global rows `[start, end)` of the logical concatenation of
+    /// `segments` (with `bounds` the cumulative row offsets), walking only
+    /// the slices that intersect the range.
+    fn predict_row_range(
+        &self,
+        segments: &[&[u32]],
+        bounds: &[usize],
+        d: usize,
+        start: usize,
+        end: usize,
+    ) -> Vec<bool> {
+        let mut out = Vec::with_capacity(end.saturating_sub(start));
+        let mut scratch = Vec::new();
+        // First segment whose end is past `start`.
+        let mut seg = bounds.partition_point(|&b| b <= start).saturating_sub(1);
+        let mut row = start;
+        while row < end && seg < segments.len() {
+            let seg_start = bounds[seg];
+            let seg_end = bounds[seg + 1];
+            let lo = row - seg_start;
+            let hi = end.min(seg_end) - seg_start;
+            for r in segments[seg][lo * d..hi * d].chunks_exact(d) {
+                out.push(self.predict_row_scratch(r, &mut scratch));
+            }
+            row += hi - lo;
+            seg += 1;
+        }
         out
     }
 
@@ -313,6 +398,41 @@ mod tests {
                 "floor={floor}"
             );
         }
+    }
+
+    #[test]
+    fn predict_segments_bitmatches_per_segment_predicts() {
+        use rand::{Rng, SeedableRng};
+        let data = ds();
+        let tree = DecisionTree::fit(
+            &data,
+            TreeParams::new(SplitCriterion::Gini)
+                .with_minsplit(2)
+                .with_cp(0.0),
+        )
+        .unwrap();
+        let any: AnyClassifier = tree.into();
+        let d = data.n_features();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        // Ragged segment sizes, including empties, 1-row and multi-shard.
+        let sizes = [1usize, 0, 8, 3, 700, 1, 17, 0, 256, 5];
+        let segments: Vec<Vec<u32>> = sizes
+            .iter()
+            .map(|&n| (0..n * d).map(|_| rng.gen_range(0..3)).collect())
+            .collect();
+        let refs: Vec<&[u32]> = segments.iter().map(Vec::as_slice).collect();
+        let expect: Vec<Vec<bool>> = refs.iter().map(|s| any.predict_batch(s, d)).collect();
+        for threads in [1, 2, 7] {
+            for floor in [1, 32, 256, usize::MAX] {
+                assert_eq!(
+                    any.predict_segments_sharded(&refs, d, threads, floor),
+                    expect,
+                    "threads={threads} floor={floor}"
+                );
+            }
+        }
+        // No segments at all is an empty answer, not a panic.
+        assert!(any.predict_segments_sharded(&[], d, 4, 1).is_empty());
     }
 
     #[test]

@@ -25,7 +25,7 @@
 pub mod codec;
 pub mod pod;
 
-pub use pod::{MmapFile, Pod, PodVec};
+pub use pod::{MapAdvice, MmapFile, Pod, PodVec};
 
 use std::sync::Arc;
 

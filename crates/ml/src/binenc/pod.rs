@@ -92,6 +92,8 @@ mod sys {
 
     pub const PROT_READ: c_int = 0x1;
     pub const MAP_PRIVATE: c_int = 0x2;
+    pub const MADV_WILLNEED: c_int = 3;
+    pub const MADV_DONTNEED: c_int = 4;
 
     extern "C" {
         pub fn mmap(
@@ -103,7 +105,21 @@ mod sys {
             offset: i64,
         ) -> *mut c_void;
         pub fn munmap(addr: *mut c_void, length: usize) -> c_int;
+        pub fn madvise(addr: *mut c_void, length: usize, advice: c_int) -> c_int;
     }
+}
+
+/// Paging advice a mapped artifact can hand the kernel (see
+/// [`MmapFile::advise`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapAdvice {
+    /// Pages will be needed soon: prefetch asynchronously. Issued when a
+    /// model version is promoted to serve traffic.
+    WillNeed,
+    /// Pages are not expected to be needed: the kernel may drop them (a
+    /// read-only file-backed mapping simply refaults from disk if touched
+    /// again). Issued when a version is demoted back to a lazy slot.
+    DontNeed,
 }
 
 /// A whole file mapped read-only into the address space.
@@ -182,6 +198,28 @@ impl MmapFile {
     /// Whether the mapping is empty (never true: open rejects empty files).
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// Hands the kernel paging advice for the whole mapping (`madvise`).
+    /// Purely a hint: failure (or a non-unix target) is reported as `false`
+    /// and never affects correctness — the pages refault from the backing
+    /// file on demand either way.
+    pub fn advise(&self, advice: MapAdvice) -> bool {
+        #[cfg(unix)]
+        {
+            let flag = match advice {
+                MapAdvice::WillNeed => sys::MADV_WILLNEED,
+                MapAdvice::DontNeed => sys::MADV_DONTNEED,
+            };
+            // Safety: ptr/len describe a live mapping owned by self; both
+            // advice values are valid for read-only file-backed mappings.
+            unsafe { sys::madvise(self.ptr as *mut std::os::raw::c_void, self.len, flag) == 0 }
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = advice;
+            false
+        }
     }
 }
 
@@ -429,6 +467,28 @@ mod tests {
         // Out-of-bounds and misaligned views are rejected.
         assert!(PodVec::<u32>::from_mapped(Arc::clone(&map), 0, 65).is_none());
         assert!(PodVec::<u32>::from_mapped(Arc::clone(&map), 2, 4).is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn madvise_hints_never_corrupt_the_mapping() {
+        let dir = std::env::temp_dir().join(format!("hamlet-pod-adv-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("advised.bin");
+        let vals: Vec<u32> = (0..1024).collect();
+        let mut f = std::fs::File::create(&path).unwrap();
+        for v in &vals {
+            f.write_all(&v.to_le_bytes()).unwrap();
+        }
+        drop(f);
+        let map = MmapFile::open(&path).unwrap();
+        let pv = PodVec::<u32>::from_mapped(Arc::clone(&map), 0, 1024).unwrap();
+        assert!(map.advise(MapAdvice::WillNeed), "madvise WILLNEED");
+        assert_eq!(pv.as_slice(), &vals[..]);
+        // DONTNEED may drop the pages; reads refault from the file and see
+        // the same bytes.
+        assert!(map.advise(MapAdvice::DontNeed), "madvise DONTNEED");
+        assert_eq!(pv.as_slice(), &vals[..]);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -112,6 +112,16 @@ pub struct ModelsResponse {
     pub models: Vec<ModelSummary>,
 }
 
+/// `POST /v1/models/demote` — return a promoted non-latest version to its
+/// lazy (header-only) slot, releasing its payload memory. Responds with
+/// the updated [`ModelSummary`] (`resident: false` on success); the latest
+/// version of a name refuses with a 400.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct DemoteRequest {
+    /// Exact pinned key `name@version` to demote.
+    pub key: String,
+}
+
 /// `GET /healthz` response.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct Health {
@@ -119,6 +129,8 @@ pub struct Health {
     pub status: String,
     /// Registered model count.
     pub models: usize,
+    /// Cross-request predict coalescer counters.
+    pub coalesce: crate::coalesce::CoalesceSnapshot,
 }
 
 /// Error envelope used by every non-2xx response.

@@ -379,6 +379,17 @@ impl ModelArtifact {
     /// (v1 payloads are upgraded in memory; anything newer than
     /// [`FORMAT_VERSION`] is a hard error).
     pub fn load_with(path: &Path, mode: LoadMode) -> Result<ModelArtifact> {
+        Ok(Self::load_with_source(path, mode)?.0)
+    }
+
+    /// [`ModelArtifact::load_with`], additionally returning the memory
+    /// mapping the artifact's weights borrow (mmap loads of v3 files only;
+    /// `None` otherwise). The registry keeps the handle so it can issue
+    /// `madvise` residency hints when a version is promoted or demoted.
+    pub fn load_with_source(
+        path: &Path,
+        mode: LoadMode,
+    ) -> Result<(ModelArtifact, Option<Arc<MmapFile>>)> {
         let ctx = |e| ServeError::io(format!("reading {}", path.display()), e);
         match mode {
             LoadMode::Mmap => {
@@ -390,27 +401,42 @@ impl ModelArtifact {
                     let mut f = std::fs::File::open(path).map_err(ctx)?;
                     let n = f.read(&mut prefix).map_err(ctx)?;
                     if !container::sniff_magic(&prefix[..n]) {
-                        return Self::load_with(path, LoadMode::Heap);
+                        return Self::load_with_source(path, LoadMode::Heap);
                     }
                 }
                 let map = MmapFile::open(path).map_err(ctx)?;
-                Self::from_v3(BytesSource::Mapped(map))
+                let artifact = Self::from_v3(BytesSource::Mapped(Arc::clone(&map)))?;
+                Ok((artifact, Some(map)))
             }
             LoadMode::Heap => {
                 let bytes = std::fs::read(path).map_err(ctx)?;
-                if container::sniff_magic(&bytes) {
-                    Self::from_v3(BytesSource::Heap(Arc::new(bytes)))
+                let artifact = if container::sniff_magic(&bytes) {
+                    Self::from_v3(BytesSource::Heap(Arc::new(bytes)))?
                 } else {
-                    Self::from_json(&bytes, path)
-                }
+                    Self::from_json(&bytes, path)?
+                };
+                Ok((artifact, None))
             }
         }
     }
 
     /// Decodes a v3 container from either source. Over a mapped source,
-    /// model weight arrays borrow the mapping zero-copy.
+    /// model weight arrays borrow the mapping zero-copy. Sections covered
+    /// by the container's checksum table are verified first, so silent
+    /// disk corruption fails the load instead of skewing predictions —
+    /// with one deliberate exception: **mmap loads skip the `MODL`
+    /// checksum**, because scanning it would fault in the whole weight
+    /// payload and turn the page-fault-bounded load the format exists for
+    /// back into an O(file) read (heap loads, the default, verify every
+    /// section).
     fn from_v3(src: BytesSource) -> Result<ModelArtifact> {
         let entries = container::parse_sections(src.bytes())?;
+        let skip: &[[u8; 8]] = if matches!(src, BytesSource::Mapped(_)) {
+            &[SEC_MODL]
+        } else {
+            &[]
+        };
+        container::verify_checksums(src.bytes(), &entries, skip)?;
         let meta_entry = container::find(&entries, SEC_META)?;
         let meta: serde::Value = serde_json::from_slice(
             &src.bytes()[meta_entry.offset..meta_entry.offset + meta_entry.len],
@@ -923,6 +949,51 @@ pub(crate) mod tests {
         let p = dir.join("magic.model.bin");
         std::fs::write(&p, &flipped).unwrap();
         assert!(ModelArtifact::load(&p).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flipped_payload_bits_fail_the_checksum_not_the_parse() {
+        let dir = std::env::temp_dir().join(format!("hamlet-art-crc-{}", std::process::id()));
+        let art = toy_artifact("crc", 1);
+        let path = art.save(&dir).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let entries = crate::container::parse_sections(&bytes).unwrap();
+
+        // A flipped bit in the MODL payload: the heap (default) load path
+        // verifies every section and fails with a named checksum error.
+        let modl = crate::container::find(&entries, crate::container::SEC_MODL).unwrap();
+        let mut flipped = bytes.clone();
+        flipped[modl.offset + modl.len - 1] ^= 0x01;
+        let p = dir.join("crcflip@1.model.bin");
+        std::fs::write(&p, &flipped).unwrap();
+        let err = ModelArtifact::load_with(&p, LoadMode::Heap)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("checksum"), "{err}");
+        assert!(err.contains("MODL"), "{err}");
+        // The mmap path deliberately defers MODL verification (scanning it
+        // would fault in the whole payload): the load itself succeeds.
+        assert!(ModelArtifact::load_with(&p, LoadMode::Mmap).is_ok());
+
+        // A flipped bit in a structural section (DICT) fails BOTH paths.
+        let dict = crate::container::find(&entries, crate::container::SEC_DICT).unwrap();
+        let mut bad_dict = bytes.clone();
+        bad_dict[dict.offset] ^= 0x01;
+        let p2 = dir.join("dictflip@1.model.bin");
+        std::fs::write(&p2, &bad_dict).unwrap();
+        for mode in [LoadMode::Heap, LoadMode::Mmap] {
+            let err = ModelArtifact::load_with(&p2, mode).unwrap_err().to_string();
+            assert!(err.contains("checksum"), "{mode:?}: {err}");
+            assert!(err.contains("DICT"), "{mode:?}: {err}");
+        }
+
+        // The pristine file still loads and reports its mapping source.
+        let (back, map) = ModelArtifact::load_with_source(&path, LoadMode::Mmap).unwrap();
+        assert_eq!(back.key(), "crc@1");
+        assert!(map.is_some(), "mmap loads surface their mapping");
+        let (_, none) = ModelArtifact::load_with_source(&path, LoadMode::Heap).unwrap();
+        assert!(none.is_none(), "heap loads have no mapping");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -4,9 +4,11 @@
 //! hamlet-serve train --name movies-tree --dataset movies --spec TreeGini \
 //!     [--config NoJoin|JoinAll|NoFK] [--scale 2000] [--seed 7] [--full] [--dir artifacts]
 //! hamlet-serve serve [--addr 127.0.0.1:8080] [--workers N] [--max-conns N] [--dir artifacts]
-//!                    [--load-mode heap|mmap]
+//!                    [--load-mode heap|mmap] [--coalesce-window MICROS] [--coalesce-max-rows N]
 //! hamlet-serve probe [--addr 127.0.0.1:8080] [--idle 64] [--path /healthz]
 //!                    [--body JSON] [--threshold-ms 2000]
+//! hamlet-serve blast [--addr 127.0.0.1:8080] [--path /v1/predict] [--requests 64]
+//!                    [--concurrency 16] --body-template JSON-with-{i}
 //! hamlet-serve artifact inspect <path>
 //! hamlet-serve artifact convert <src> [--to v3|v2] [--dir DIR]
 //! hamlet-serve artifact diff <a> <b>
@@ -36,8 +38,11 @@ USAGE:
                        [--full] [--dir <DIR>]
     hamlet-serve serve [--addr <ADDR>] [--workers <N>] [--max-conns <N>]
                        [--dir <DIR>] [--load-mode heap|mmap]
+                       [--coalesce-window <MICROS>] [--coalesce-max-rows <N>]
     hamlet-serve probe [--addr <ADDR>] [--idle <N>] [--path <PATH>]
                        [--body <JSON>] [--threshold-ms <MS>]
+    hamlet-serve blast [--addr <ADDR>] [--path <PATH>] [--requests <N>]
+                       [--concurrency <N>] --body-template <JSON>
     hamlet-serve artifact inspect <PATH>
     hamlet-serve artifact convert <SRC> [--to v3|v2] [--dir <DIR>]
     hamlet-serve artifact diff <A> <B>
@@ -51,11 +56,20 @@ DEFAULTS: --dir artifacts, --addr 127.0.0.1:8080, --scale 2000, --seed 7,
           --workers = CPU count (request *executors*: idle connections no
           longer occupy a worker), --max-conns 1024; --full uses the
           paper-fidelity grids; --load-mode heap (mmap borrows format-v3
-          weights zero-copy from the mapped files)
+          weights zero-copy from the mapped files); --coalesce-window 200
+          microseconds (0 disables cross-request predict coalescing),
+          --coalesce-max-rows 512 (a merged batch flushes at this size)
 
 PROBE:    opens --idle parked keep-alive connections, then times one
           request on a FRESH connection; fails if it errors or exceeds
           --threshold-ms. Smoke-checks that idle connections are free.
+
+BLAST:    fires --requests POSTs at --path from --concurrency parallel
+          connections. --body-template substitutes {n} with the request
+          index and {i} with index mod 2 (in-domain 0/1 codes). Prints one
+          `index<TAB>labels` line per request to stdout (sorted, stable
+          across runs) so outputs can be diffed between server configs —
+          e.g. coalescing on vs. off must be byte-identical.
 
 ARTIFACT: inspect prints a file's format, sections and header without
           loading the model; convert rewrites between v2 (json) and v3
@@ -165,9 +179,28 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     };
     let dir = PathBuf::from(flags.get("dir").map(String::as_str).unwrap_or("artifacts"));
     let load_mode = parse_load_mode(flags)?;
+    let mut coalesce = hamlet_serve::coalesce::CoalesceConfig::default();
+    if let Some(w) = flags.get("coalesce-window") {
+        let micros: u64 = w
+            .parse()
+            .map_err(|_| format!("bad --coalesce-window `{w}` (microseconds)"))?;
+        coalesce.window = std::time::Duration::from_micros(micros);
+    }
+    if let Some(m) = flags.get("coalesce-max-rows") {
+        coalesce.max_rows = m
+            .parse()
+            .map_err(|_| format!("bad --coalesce-max-rows `{m}`"))?;
+    }
 
-    let (state, loaded) =
-        AppState::warm_opts(dir.clone(), workers, load_mode).map_err(|e| e.to_string())?;
+    let (state, loaded) = AppState::warm_full(
+        dir.clone(),
+        hamlet_serve::server::WarmOptions {
+            executors: workers,
+            load_mode,
+            coalesce,
+        },
+    )
+    .map_err(|e| e.to_string())?;
     let opts = ServerOptions {
         workers,
         max_conns,
@@ -176,12 +209,14 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     let server = hamlet_serve::server::serve_with(addr, opts, state).map_err(|e| e.to_string())?;
     eprintln!(
         "hamlet-serve listening on http://{} ({} executor(s), {} max conns, \
-         {} model(s) warm from {}, {load_mode:?} load mode)",
+         {} model(s) warm from {}, {load_mode:?} load mode, coalesce window {:?} / {} rows)",
         server.addr(),
         workers,
         max_conns,
         loaded,
-        dir.display()
+        dir.display(),
+        coalesce.window,
+        coalesce.max_rows,
     );
     // Parked on a condvar (zero CPU) until a stop signal; process signals
     // (Ctrl-C) terminate the process directly.
@@ -259,6 +294,124 @@ fn cmd_probe(flags: &HashMap<String, String>) -> Result<(), String> {
              with {idle} idle connections parked"
         ));
     }
+    Ok(())
+}
+
+/// `blast`: fire N POSTs from C parallel connections and print each
+/// response's `labels` keyed by request index — deterministic output for
+/// diffing server configurations (the CI coalescing probe runs this twice,
+/// with coalescing on and off, and requires identical files).
+fn cmd_blast(flags: &HashMap<String, String>) -> Result<(), String> {
+    let addr = flags
+        .get("addr")
+        .map(String::as_str)
+        .unwrap_or("127.0.0.1:8080")
+        .to_string();
+    let path = flags
+        .get("path")
+        .map(String::as_str)
+        .unwrap_or("/v1/predict")
+        .to_string();
+    let template = flags
+        .get("body-template")
+        .ok_or("--body-template is required (use {n} for the request index, {i} for index mod 2)")?
+        .clone();
+    let requests: usize = match flags.get("requests") {
+        Some(n) => n.parse().map_err(|_| format!("bad --requests `{n}`"))?,
+        None => 64,
+    };
+    let concurrency: usize = match flags.get("concurrency") {
+        Some(c) => c.parse().map_err(|_| format!("bad --concurrency `{c}`"))?,
+        None => 16,
+    }
+    .clamp(1, requests.max(1));
+
+    let started = Instant::now();
+    let mut results: Vec<(usize, String)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..concurrency)
+            .map(|tid| {
+                let addr = addr.clone();
+                let path = path.clone();
+                let template = template.clone();
+                scope.spawn(move || -> Result<Vec<(usize, String)>, String> {
+                    let mut stream = TcpStream::connect(&addr)
+                        .map_err(|e| format!("worker {tid}: connect: {e}"))?;
+                    stream
+                        .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+                        .map_err(|e| format!("worker {tid}: timeout: {e}"))?;
+                    let mut out = Vec::new();
+                    let mut served = 0usize;
+                    for n in (tid..requests).step_by(concurrency) {
+                        // Stay under the server's keep-alive request cap.
+                        if served + 1 >= hamlet_serve::http::MAX_KEEPALIVE_REQUESTS {
+                            stream = TcpStream::connect(&addr)
+                                .map_err(|e| format!("worker {tid}: reconnect: {e}"))?;
+                            stream
+                                .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+                                .map_err(|e| format!("worker {tid}: reconnect timeout: {e}"))?;
+                            served = 0;
+                        }
+                        served += 1;
+                        let body = template
+                            .replace("{n}", &n.to_string())
+                            .replace("{i}", &(n % 2).to_string());
+                        let request = format!(
+                            "POST {path} HTTP/1.1\r\nHost: blast\r\n\
+                             Content-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+                            body.len()
+                        );
+                        stream
+                            .write_all(request.as_bytes())
+                            .map_err(|e| format!("worker {tid} req {n}: send: {e}"))?;
+                        let resp = hamlet_serve::http::read_response(&mut stream)
+                            .map_err(|e| format!("worker {tid} req {n}: recv: {e}"))?;
+                        if resp.status != 200 {
+                            return Err(format!(
+                                "worker {tid} req {n}: HTTP {}: {}",
+                                resp.status,
+                                String::from_utf8_lossy(&resp.body)
+                            ));
+                        }
+                        let body_text = String::from_utf8_lossy(&resp.body);
+                        // Strip the latency field: only the labels must be
+                        // comparable across configurations.
+                        let labels = body_text
+                            .split("\"labels\":")
+                            .nth(1)
+                            .and_then(|rest| rest.split(']').next())
+                            .map(|l| format!("{l}]"))
+                            .ok_or_else(|| {
+                                format!("worker {tid} req {n}: no labels in {body_text}")
+                            })?;
+                        out.push((n, labels));
+                    }
+                    Ok(out)
+                })
+            })
+            .collect();
+        let mut all = Vec::with_capacity(requests);
+        let mut errors = Vec::new();
+        for h in handles {
+            match h.join().expect("blast worker panicked") {
+                Ok(mut chunk) => all.append(&mut chunk),
+                Err(e) => errors.push(e),
+            }
+        }
+        if let Some(e) = errors.into_iter().next() {
+            return Err(e);
+        }
+        Ok(all)
+    })?;
+    let elapsed = started.elapsed();
+    results.sort_by_key(|(n, _)| *n);
+    for (n, labels) in &results {
+        println!("{n}\t{labels}");
+    }
+    eprintln!(
+        "blast: {requests} requests over {concurrency} connections in {elapsed:?} \
+         ({:.0} req/s)",
+        requests as f64 / elapsed.as_secs_f64().max(1e-9)
+    );
     Ok(())
 }
 
@@ -427,6 +580,7 @@ fn main() -> ExitCode {
         "train" => cmd_train(&flags),
         "serve" => cmd_serve(&flags),
         "probe" => cmd_probe(&flags),
+        "blast" => cmd_blast(&flags),
         "artifact" => cmd_artifact(&positional, &flags),
         "datasets" => {
             for d in DATASETS {

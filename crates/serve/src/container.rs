@@ -21,6 +21,17 @@
 //! from an mmap. The reader validates magic, version, table bounds and
 //! per-section bounds before handing out windows, so a truncated or
 //! corrupted file is a clean error, never a panic.
+//!
+//! ## Checksums
+//!
+//! The builder appends a `CRCS` section — one `(tag, crc32)` record per
+//! payload section — so *silent* disk corruption (a flipped bit inside a
+//! weight array that still parses) is caught at load time instead of
+//! surfacing as wrong predictions. The section is self-describing and
+//! optional: files written before checksums existed simply have no `CRCS`
+//! entry and load as before ([`verify_checksums`] reports `false`), and
+//! readers that predate it ignore the unknown tag. The CRC is the standard
+//! reflected CRC-32 (IEEE 802.3), table-driven.
 
 use hamlet_ml::binenc::{BinReader, BytesSource};
 
@@ -50,6 +61,43 @@ pub const SEC_DICT: [u8; 8] = *b"DICT\0\0\0\0";
 
 /// Tag of the binary model payload section.
 pub const SEC_MODL: [u8; 8] = *b"MODL\0\0\0\0";
+
+/// Tag of the per-section checksum table (one 16-byte record per payload
+/// section: 8-byte tag, 4-byte CRC-32, 4 bytes zero padding).
+pub const SEC_CRCS: [u8; 8] = *b"CRCS\0\0\0\0";
+
+/// Bytes per `CRCS` record.
+const CRC_ENTRY_LEN: usize = 16;
+
+/// Reflected CRC-32 (IEEE) lookup table, built at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// Standard CRC-32 (IEEE 802.3, reflected) over `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
 
 /// One parsed section-table row.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,8 +139,25 @@ pub fn build(sections: &[([u8; 8], &[u8])]) -> Vec<u8> {
 
 /// [`build`] with an explicit container version (the artifact layer writes
 /// its `format_version` here, so a struct carrying a future version
-/// round-trips into a file this build then refuses to read).
+/// round-trips into a file this build then refuses to read). A `CRCS`
+/// checksum section covering every payload section is appended
+/// automatically.
 pub fn build_versioned(version: u32, sections: &[([u8; 8], &[u8])]) -> Vec<u8> {
+    let mut crcs = Vec::with_capacity(sections.len() * CRC_ENTRY_LEN);
+    for (tag, payload) in sections {
+        crcs.extend_from_slice(tag);
+        crcs.extend_from_slice(&crc32(payload).to_le_bytes());
+        crcs.extend_from_slice(&[0u8; 4]);
+    }
+    let mut all: Vec<([u8; 8], &[u8])> = sections.to_vec();
+    all.push((SEC_CRCS, &crcs));
+    build_raw(version, &all)
+}
+
+/// Lays out a container exactly as given (no implicit checksum section) —
+/// the shared back end of [`build_versioned`], and what tests use to craft
+/// legacy checksum-less files.
+pub(crate) fn build_raw(version: u32, sections: &[([u8; 8], &[u8])]) -> Vec<u8> {
     let table_end = HEADER_LEN + sections.len() * ENTRY_LEN;
     let mut out = Vec::with_capacity(
         table_end
@@ -200,6 +265,48 @@ pub fn parse_sections(bytes: &[u8]) -> Result<Vec<SectionEntry>> {
         .collect()
 }
 
+/// Verifies every section covered by the `CRCS` table (if present) against
+/// its stored CRC-32, except sections whose tag is listed in `skip`.
+/// Returns `Ok(true)` when checksums were present and all checked sections
+/// matched, `Ok(false)` for a legacy container without a `CRCS` section,
+/// and a corruption error naming the damaged section otherwise.
+///
+/// `skip` exists for the mmap load path: checksumming a section reads
+/// every one of its bytes, and faulting in a multi-hundred-MB weight
+/// payload at load time would undo exactly the page-fault-bounded loading
+/// mmap exists for — so mmap loads verify the small structural sections
+/// and leave `MODL` to be faulted lazily (heap loads, the default, verify
+/// everything).
+pub fn verify_checksums(bytes: &[u8], entries: &[SectionEntry], skip: &[[u8; 8]]) -> Result<bool> {
+    let Some(table) = entries.iter().find(|e| e.tag == SEC_CRCS) else {
+        return Ok(false);
+    };
+    let records = &bytes[table.offset..table.offset + table.len];
+    if !records.len().is_multiple_of(CRC_ENTRY_LEN) {
+        return Err(corrupt(format!(
+            "CRCS section length {} is not a multiple of {CRC_ENTRY_LEN}",
+            records.len()
+        )));
+    }
+    for record in records.chunks_exact(CRC_ENTRY_LEN) {
+        let mut tag = [0u8; 8];
+        tag.copy_from_slice(&record[..8]);
+        if skip.contains(&tag) {
+            continue;
+        }
+        let stored = u32::from_le_bytes(record[8..12].try_into().expect("4 bytes"));
+        let entry = find(entries, tag)?;
+        let computed = crc32(&bytes[entry.offset..entry.offset + entry.len]);
+        if computed != stored {
+            return Err(corrupt(format!(
+                "section `{}` checksum mismatch (stored {stored:#010x}, computed {computed:#010x})",
+                entry.tag_str()
+            )));
+        }
+    }
+    Ok(true)
+}
+
 /// Finds a section by tag.
 pub fn find(entries: &[SectionEntry], tag: [u8; 8]) -> Result<SectionEntry> {
     entries
@@ -281,7 +388,7 @@ mod tests {
             (SEC_MODL, &[1u8, 2, 3, 4, 5]),
         ]);
         let entries = parse_sections(&bytes).unwrap();
-        assert_eq!(entries.len(), 3);
+        assert_eq!(entries.len(), 4, "three payload sections + CRCS");
         for e in &entries {
             assert_eq!(
                 e.offset % SECTION_ALIGN,
@@ -329,6 +436,53 @@ mod tests {
         // Empty and sub-header files.
         assert!(parse_sections(&[]).is_err());
         assert!(parse_sections(&good[..7]).is_err());
+    }
+
+    #[test]
+    fn checksums_catch_single_bit_payload_corruption() {
+        let bytes = build(&[
+            (SEC_META, b"{\"k\":1}".as_slice()),
+            (SEC_MODL, &[9u8; 4096]),
+        ]);
+        let entries = parse_sections(&bytes).unwrap();
+        assert!(
+            verify_checksums(&bytes, &entries, &[]).unwrap(),
+            "all crcs match"
+        );
+
+        // Flip one bit inside the MODL payload: parsing still succeeds
+        // (the table is intact) but verification names the section.
+        let modl = find(&entries, SEC_MODL).unwrap();
+        let mut flipped = bytes.clone();
+        flipped[modl.offset + modl.len / 2] ^= 0x01;
+        let entries = parse_sections(&flipped).unwrap();
+        let err = verify_checksums(&flipped, &entries, &[])
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("MODL"), "{err}");
+        assert!(err.contains("checksum"), "{err}");
+
+        // Corrupting the CRCS table itself is also caught.
+        let crcs = find(&entries, SEC_CRCS).unwrap();
+        let mut bad_table = bytes.clone();
+        bad_table[crcs.offset + 9] ^= 0xFF; // a stored crc byte
+        let entries = parse_sections(&bad_table).unwrap();
+        assert!(verify_checksums(&bad_table, &entries, &[]).is_err());
+    }
+
+    #[test]
+    fn legacy_containers_without_crcs_still_verify_as_absent() {
+        let legacy = build_raw(CONTAINER_VERSION, &[(SEC_META, b"old".as_slice())]);
+        let entries = parse_sections(&legacy).unwrap();
+        assert_eq!(entries.len(), 1, "no implicit CRCS in the raw layout");
+        assert!(!verify_checksums(&legacy, &entries, &[]).unwrap());
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The canonical IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
     }
 
     #[test]

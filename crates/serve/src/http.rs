@@ -18,6 +18,13 @@
 //!   execution, not connection concurrency.
 //! - Pipelined requests are parsed as they arrive, executed strictly in
 //!   order, and their responses batched into one write buffer.
+//! - Handlers receive a [`Responder`] instead of returning a value, so a
+//!   handler may **defer**: hand its responder to another thread (e.g. the
+//!   predict coalescer merging many in-flight requests into one batch) and
+//!   return immediately, freeing the executor for the next request. The
+//!   response is delivered whenever `Responder::send` runs; a responder
+//!   dropped without sending (handler bug or panic) delivers a 500, so no
+//!   request is ever silently abandoned.
 //! - Slow or dead peers are reaped by a coarse deadline wheel with
 //!   state-dependent timeouts (idle vs. mid-request vs. mid-write);
 //!   handlers themselves are never timed out (training runs for minutes).
@@ -26,7 +33,7 @@
 //!   and handler panics are confined to the request that caused them.
 
 use std::net::TcpListener;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
@@ -61,6 +68,18 @@ pub struct ServerOptions {
     pub idle_timeout: Duration,
     /// Requests served over one keep-alive connection before close.
     pub max_keepalive_requests: usize,
+    /// Which dispatched requests the queue-depth gauge counts (what
+    /// [`Responder::queue_depth`] reports). The gauge exists for the
+    /// predict coalescer's "are merge partners pending?" question, so the
+    /// default counts only `POST /v1/predict` — counting every endpoint
+    /// would let an unrelated parked job (a `/v1/train` runs for minutes)
+    /// impersonate a merge partner for its whole duration.
+    pub queue_gauge: fn(&Request) -> bool,
+}
+
+/// Default [`ServerOptions::queue_gauge`]: coalescable predict requests.
+fn gauge_predicts(request: &Request) -> bool {
+    request.method == "POST" && request.path == "/v1/predict"
 }
 
 impl Default for ServerOptions {
@@ -73,6 +92,7 @@ impl Default for ServerOptions {
             request_timeout: Duration::from_secs(10),
             idle_timeout: Duration::from_secs(30),
             max_keepalive_requests: MAX_KEEPALIVE_REQUESTS,
+            queue_gauge: gauge_predicts,
         }
     }
 }
@@ -215,14 +235,138 @@ pub fn read_response(stream: &mut impl std::io::Read) -> std::io::Result<RawResp
     Ok(RawResponse { status, head, body })
 }
 
-/// The application's request handler.
-pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
+/// The application's request handler. Receives the parsed request and a
+/// one-shot [`Responder`]; it must (eventually) call `Responder::send`
+/// exactly once — synchronously before returning, or later from another
+/// thread after stashing the responder (deferred dispatch).
+pub type Handler = Arc<dyn Fn(&Request, Responder) + Send + Sync>;
+
+/// Where a finished [`Response`] goes.
+enum ResponseSink {
+    /// Back to the reactor: completion channel + waker, keyed by the
+    /// owning connection's token.
+    Reactor {
+        token: u64,
+        done: Sender<Completion>,
+        waker: Arc<crate::reactor::Waker>,
+    },
+    /// Straight to a channel — the direct-call path used by tests and any
+    /// in-process caller of a [`Handler`].
+    Direct(Sender<Response>),
+}
+
+/// A one-shot reply handle for exactly one request.
+///
+/// `send` consumes the responder; dropping one without sending delivers a
+/// 500 (this is what turns a handler panic mid-defer into an error
+/// response instead of a hung connection). The responder also exposes the
+/// server's **executor queue depth** — how many gauge-eligible requests
+/// (by default `POST /v1/predict`, see [`ServerOptions::queue_gauge`]) are
+/// currently queued for or running on the executor pool — which is what
+/// lets the predict coalescer wait for merge partners only when some are
+/// actually in flight.
+pub struct Responder {
+    sink: Option<ResponseSink>,
+    depth: Arc<AtomicUsize>,
+}
+
+impl Responder {
+    fn for_reactor(
+        token: u64,
+        done: Sender<Completion>,
+        waker: Arc<crate::reactor::Waker>,
+        depth: Arc<AtomicUsize>,
+    ) -> Responder {
+        Responder {
+            sink: Some(ResponseSink::Reactor { token, done, waker }),
+            depth,
+        }
+    }
+
+    /// A responder delivering into a plain channel, for driving a
+    /// [`Handler`] without a server. Reports a queue depth of 1 (only this
+    /// request in flight).
+    pub fn direct() -> (Responder, Receiver<Response>) {
+        Responder::direct_with_depth(1)
+    }
+
+    /// [`Responder::direct`] with a fixed queue depth — lets tests steer
+    /// depth-sensitive handlers (e.g. force the coalescer to hold a batch
+    /// open as if other requests were pending).
+    pub fn direct_with_depth(depth: usize) -> (Responder, Receiver<Response>) {
+        let (tx, rx) = std::sync::mpsc::channel();
+        (
+            Responder {
+                sink: Some(ResponseSink::Direct(tx)),
+                depth: Arc::new(AtomicUsize::new(depth)),
+            },
+            rx,
+        )
+    }
+
+    /// Gauge-eligible requests currently queued for or executing on the
+    /// executor pool, including the one this responder answers (so ≥ 1
+    /// while its handler runs).
+    pub fn queue_depth(&self) -> usize {
+        self.depth.load(Ordering::Relaxed).max(1)
+    }
+
+    /// Delivers the response. Infallible from the caller's view: if the
+    /// server is shutting down (reactor gone) the response has nowhere to
+    /// go and is dropped.
+    pub fn send(mut self, response: Response) {
+        self.deliver(response);
+    }
+
+    fn deliver(&mut self, response: Response) {
+        let Some(sink) = self.sink.take() else {
+            return;
+        };
+        match sink {
+            ResponseSink::Reactor { token, done, waker } => {
+                // A failed send means the reactor is gone (shutdown
+                // mid-flight): the response has nowhere to go.
+                if done.send(Completion { token, response }).is_ok() {
+                    waker.wake();
+                }
+            }
+            ResponseSink::Direct(tx) => {
+                let _ = tx.send(response);
+            }
+        }
+    }
+}
+
+impl Drop for Responder {
+    fn drop(&mut self) {
+        if self.sink.is_some() {
+            // The handler (or whoever it deferred to) died without
+            // answering — typically a panic mid-request. The peer gets a
+            // 500 instead of a connection wedged in `Dispatched` forever.
+            self.deliver(Response::json(
+                500,
+                "{\"error\":\"internal error: request dropped without a response\"}",
+            ));
+        }
+    }
+}
+
+impl std::fmt::Debug for Responder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Responder")
+            .field("pending", &self.sink.is_some())
+            .finish()
+    }
+}
 
 /// A parsed request travelling from the reactor to an executor.
 pub(crate) struct Job {
     /// The owning connection's reactor token.
     pub token: u64,
     pub request: Request,
+    /// Whether this job was counted into the queue-depth gauge (see
+    /// [`ServerOptions::queue_gauge`]); the executor decrements iff set.
+    pub counted: bool,
 }
 
 /// A finished response travelling from an executor back to the reactor.
@@ -292,6 +436,9 @@ impl Server {
         let (done_tx, done_rx): (Sender<Completion>, Receiver<Completion>) =
             std::sync::mpsc::channel();
         let job_rx = Arc::new(Mutex::new(job_rx));
+        // Requests queued for / running on the pool: the reactor increments
+        // per dispatched job, executors decrement when the handler returns.
+        let queue_depth = Arc::new(AtomicUsize::new(0));
 
         let executors = (0..opts.workers.max(1))
             .map(|i| {
@@ -299,9 +446,10 @@ impl Server {
                 let done_tx = done_tx.clone();
                 let handler = Arc::clone(&handler);
                 let waker = Arc::clone(&waker);
+                let queue_depth = Arc::clone(&queue_depth);
                 std::thread::Builder::new()
                     .name(format!("hamlet-serve-exec-{i}"))
-                    .spawn(move || executor_loop(&job_rx, &done_tx, &handler, &waker))
+                    .spawn(move || executor_loop(&job_rx, &done_tx, &handler, &waker, &queue_depth))
                     .expect("spawning executor thread")
             })
             .collect();
@@ -310,12 +458,21 @@ impl Server {
             let waker = Arc::clone(&waker);
             let shutdown = Arc::clone(&shutdown);
             let opts = Arc::clone(&opts);
+            let queue_depth = Arc::clone(&queue_depth);
             std::thread::Builder::new()
                 .name("hamlet-serve-reactor".into())
                 .spawn(move || {
                     // The reactor owns the only Sender<Job>; when it exits,
                     // the executors' recv() fails and they drain and exit.
-                    crate::reactor::run(listener, job_tx, done_rx, waker, shutdown, opts)
+                    crate::reactor::run(
+                        listener,
+                        job_tx,
+                        done_rx,
+                        waker,
+                        shutdown,
+                        opts,
+                        queue_depth,
+                    )
                 })
                 .expect("spawning reactor thread")
         };
@@ -370,29 +527,40 @@ impl Server {
 }
 
 /// One executor thread: pull parsed requests, run the handler (panics
-/// confined to the request), push completions, wake the reactor.
+/// confined to the request — an unwound handler's [`Responder`] delivers a
+/// 500 from its destructor), track the shared queue depth.
 fn executor_loop(
     jobs: &Arc<Mutex<Receiver<Job>>>,
     done: &Sender<Completion>,
     handler: &Handler,
-    waker: &crate::reactor::Waker,
+    waker: &Arc<crate::reactor::Waker>,
+    queue_depth: &Arc<AtomicUsize>,
 ) {
     loop {
         let job = jobs.lock().expect("executor queue poisoned").recv();
-        let Ok(Job { token, request }) = job else {
+        let Ok(Job {
+            token,
+            request,
+            counted,
+        }) = job
+        else {
             return; // reactor gone: drain and exit
         };
-        let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler(&request)))
-            .unwrap_or_else(|_| {
-                Response::json(
-                    500,
-                    "{\"error\":\"internal handler panic\"}".as_bytes().to_vec(),
-                )
-            });
-        if done.send(Completion { token, response }).is_err() {
-            return; // reactor gone
+        let responder = Responder::for_reactor(
+            token,
+            done.clone(),
+            Arc::clone(waker),
+            Arc::clone(queue_depth),
+        );
+        // The responder moves into the handler; on a panic it is dropped
+        // during unwinding and answers 500, on a deferral it outlives this
+        // call and answers from wherever the work finishes.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handler(&request, responder)
+        }));
+        if counted {
+            queue_depth.fetch_sub(1, Ordering::SeqCst);
         }
-        waker.wake();
     }
 }
 
@@ -406,11 +574,11 @@ mod tests {
         Server::bind(
             "127.0.0.1:0",
             2,
-            Arc::new(|req: &Request| {
-                Response::text(
+            Arc::new(|req: &Request, responder: Responder| {
+                responder.send(Response::text(
                     200,
                     format!("{} {} {}", req.method, req.path, req.body.len()),
-                )
+                ))
             }),
         )
         .unwrap()
@@ -554,11 +722,11 @@ mod tests {
         let server = Server::bind(
             "127.0.0.1:0",
             1,
-            Arc::new(|req: &Request| {
+            Arc::new(|req: &Request, responder: Responder| {
                 if req.path == "/boom" {
                     panic!("handler exploded");
                 }
-                Response::text(200, "ok")
+                responder.send(Response::text(200, "ok"))
             }),
         )
         .unwrap();
@@ -574,6 +742,75 @@ mod tests {
         );
         assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
         server.shutdown();
+    }
+
+    #[test]
+    fn deferred_responses_free_the_executor_and_still_arrive() {
+        // One executor; /defer parks its responder on a side thread for
+        // 150 ms. A /fast request issued meanwhile must complete *before*
+        // the deferred one answers — proving deferral releases the worker.
+        let server = Server::bind(
+            "127.0.0.1:0",
+            1,
+            Arc::new(|req: &Request, responder: Responder| {
+                if req.path == "/defer" {
+                    std::thread::spawn(move || {
+                        std::thread::sleep(Duration::from_millis(150));
+                        responder.send(Response::text(200, "late"));
+                    });
+                } else {
+                    responder.send(Response::text(200, "fast"));
+                }
+            }),
+        )
+        .unwrap();
+        let addr = server.addr();
+        let mut slow = TcpStream::connect(addr).unwrap();
+        slow.write_all(b"GET /defer HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(30)); // let /defer dispatch
+        let start = std::time::Instant::now();
+        let fast = roundtrip(addr, "GET /fast HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(fast.contains("fast"), "{fast}");
+        assert!(
+            start.elapsed() < Duration::from_millis(120),
+            "the lone executor was blocked by a deferred request"
+        );
+        let mut out = String::new();
+        slow.read_to_string(&mut out).unwrap();
+        assert!(out.contains("late"), "{out}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn dropped_responder_answers_500() {
+        // A handler that "forgets" to respond: the responder's destructor
+        // must deliver a 500 rather than wedge the connection.
+        let server = Server::bind(
+            "127.0.0.1:0",
+            1,
+            Arc::new(|_req: &Request, responder: Responder| drop(responder)),
+        )
+        .unwrap();
+        let resp = roundtrip(
+            server.addr(),
+            "GET /lost HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        assert!(resp.starts_with("HTTP/1.1 500"), "{resp}");
+        assert!(resp.contains("without a response"), "{resp}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn direct_responders_collect_and_report_depth() {
+        let (responder, rx) = Responder::direct();
+        assert_eq!(responder.queue_depth(), 1);
+        responder.send(Response::text(200, "hi"));
+        assert_eq!(rx.recv().unwrap().status, 200);
+        let (responder, rx) = Responder::direct_with_depth(5);
+        assert_eq!(responder.queue_depth(), 5);
+        drop(responder);
+        assert_eq!(rx.recv().unwrap().status, 500, "drop = 500");
     }
 
     #[test]
@@ -599,7 +836,9 @@ mod tests {
     fn max_conns_overflow_gets_503() {
         let server = Server::bind_with(
             "127.0.0.1:0",
-            Arc::new(|_req: &Request| Response::text(200, "ok")),
+            Arc::new(|_req: &Request, responder: Responder| {
+                responder.send(Response::text(200, "ok"))
+            }),
             ServerOptions {
                 workers: 1,
                 max_conns: 2,

@@ -10,8 +10,15 @@
 //!   [`hamlet_ml::any::AnyClassifier`] plus its
 //!   [`hamlet_core::feature_config::FeatureConfig`], input feature contract,
 //!   star-schema fingerprint and training metrics;
-//! - [`registry`] — an `RwLock`-based concurrent [`ModelRegistry`] keyed by
-//!   `name@version`, warm-loaded from an artifact directory at boot;
+//! - [`registry`] — a concurrent [`ModelRegistry`] keyed by
+//!   `name@version`, warm-loaded from an artifact directory at boot.
+//!   Bare-name (latest-version) resolution is **lock-free** — an
+//!   [`swap::ArcSwapCell`] snapshot republished on registration — so the
+//!   predict hot path never contends with writers; pinned versions and
+//!   mutations use the `RwLock` index;
+//! - [`coalesce`] — cross-request predict coalescing: concurrent small
+//!   `/v1/predict` requests against one model merge into a single sharded
+//!   fan-out at the executor boundary, with bit-identical responses;
 //! - [`http`] — a hand-rolled, event-driven HTTP/1.1 server on `std::net`:
 //!   one [`reactor`] thread multiplexes every connection over raw `epoll`
 //!   (direct syscall FFI — no async runtime, no external crates), each
@@ -26,7 +33,8 @@
 //! | `POST /v1/advise`  | star-schema stats → join-avoidance verdicts |
 //! | `POST /v1/train`   | train spec → runs the experiment pipeline, persists + registers |
 //! | `GET /v1/models`   | registry listing |
-//! | `GET /healthz`     | liveness + model count |
+//! | `POST /v1/models/demote` | return a promoted old version to its lazy slot |
+//! | `GET /healthz`     | liveness + model count + coalescer counters |
 //!
 //! - [`train`] — the train-to-artifact pipeline shared by `/v1/train` and
 //!   the `hamlet-serve` CLI (`train` / `serve` subcommands).
@@ -55,6 +63,7 @@
 
 pub mod api;
 pub mod artifact;
+pub mod coalesce;
 mod conn;
 pub mod container;
 pub mod diff;
@@ -63,20 +72,22 @@ pub mod http;
 mod reactor;
 pub mod registry;
 pub mod server;
+pub mod swap;
 pub mod train;
 
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::api::{
-        AdviseRequest, AdviseResponse, ExplainRequest, ExplainResponse, Health, ModelsResponse,
-        PredictRequest, PredictResponse, TrainRequest, TrainResponse,
+        AdviseRequest, AdviseResponse, DemoteRequest, ExplainRequest, ExplainResponse, Health,
+        ModelsResponse, PredictRequest, PredictResponse, TrainRequest, TrainResponse,
     };
     pub use crate::artifact::{
         ArtifactHead, Format, LoadMode, ModelArtifact, TrainingMetadata, FORMAT_VERSION,
     };
+    pub use crate::coalesce::{CoalesceConfig, CoalesceSnapshot, Coalescer};
     pub use crate::error::{Result as ServeResult, ServeError};
-    pub use crate::http::{Server, ServerOptions, StopHandle};
+    pub use crate::http::{Responder, Server, ServerOptions, StopHandle};
     pub use crate::registry::{ModelRegistry, ModelSummary};
-    pub use crate::server::{router, serve, serve_with, AppState};
+    pub use crate::server::{router, serve, serve_with, AppState, WarmOptions};
     pub use crate::train::{resolve_dataset, train_and_register, DATASETS};
 }

@@ -31,7 +31,7 @@ use std::io::{Read, Write};
 use std::net::TcpListener;
 use std::os::raw::{c_int, c_uint};
 use std::os::unix::io::{AsRawFd, FromRawFd, RawFd};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -250,6 +250,7 @@ pub(crate) fn run(
     waker: Arc<Waker>,
     shutdown: Arc<AtomicBool>,
     opts: Arc<ServerOptions>,
+    queue_depth: Arc<AtomicUsize>,
 ) {
     let epoll = match Epoll::new() {
         Ok(e) => e,
@@ -316,7 +317,17 @@ pub(crate) fn run(
                             verdict = conn.on_writable(now);
                         }
                     }
-                    finish_step(&epoll, &mut conns, &mut wheel, token, verdict, &jobs, now);
+                    finish_step(
+                        &epoll,
+                        &mut conns,
+                        &mut wheel,
+                        token,
+                        verdict,
+                        &jobs,
+                        &queue_depth,
+                        &opts,
+                        now,
+                    );
                 }
             }
         }
@@ -338,7 +349,15 @@ pub(crate) fn run(
                         Verdict::Open
                     };
                     finish_step(
-                        &epoll, &mut conns, &mut wheel, done.token, verdict, &jobs, now,
+                        &epoll,
+                        &mut conns,
+                        &mut wheel,
+                        done.token,
+                        verdict,
+                        &jobs,
+                        &queue_depth,
+                        &opts,
+                        now,
                     );
                 }
                 Err(TryRecvError::Empty) => break,
@@ -428,6 +447,7 @@ fn accept_ready(
 /// Post-I/O bookkeeping shared by every path that touches a connection:
 /// dispatch newly parsed requests, sync epoll interest, file deadlines,
 /// or tear the connection down.
+#[allow(clippy::too_many_arguments)] // internal plumbing shared by three call sites
 fn finish_step(
     epoll: &Epoll,
     conns: &mut HashMap<u64, Conn>,
@@ -435,6 +455,8 @@ fn finish_step(
     token: u64,
     verdict: Verdict,
     jobs: &Sender<Job>,
+    queue_depth: &AtomicUsize,
+    opts: &ServerOptions,
     now: Instant,
 ) {
     if verdict == Verdict::Close {
@@ -447,8 +469,26 @@ fn finish_step(
     // At most one request per connection is in flight (response ordering),
     // so this hands over at most one job.
     if let Some(request) = conn.next_job(now) {
-        if jobs.send(Job { token, request }).is_err() {
+        // Gauge-eligible jobs (see ServerOptions::queue_gauge) are counted
+        // before the send so an executor (or a coalescing handler reading
+        // the gauge) never observes its own job as "nothing else pending"
+        // while more dispatches race in.
+        let counted = (opts.queue_gauge)(&request);
+        if counted {
+            queue_depth.fetch_add(1, Ordering::SeqCst);
+        }
+        if jobs
+            .send(Job {
+                token,
+                request,
+                counted,
+            })
+            .is_err()
+        {
             // Executor pool is gone (shutdown mid-flight).
+            if counted {
+                queue_depth.fetch_sub(1, Ordering::SeqCst);
+            }
             close_conn(epoll, conns, token);
             return;
         }

@@ -1,13 +1,24 @@
 //! A concurrent, versioned model registry.
 //!
 //! Prediction threads resolve models by `name` (latest version) or
-//! `name@version` (pinned) through an `RwLock`ed map — reads are lock-shared
-//! and clone one `Arc`, so the predict hot path never blocks on other
-//! readers and never copies a model. Artifacts are `Arc`-shared between the
-//! registry and in-flight requests, making hot-swap (`insert` of a newer
-//! version) safe: running requests keep the version they resolved.
+//! `name@version` (pinned). The two paths are deliberately different:
 //!
-//! ## Lazy warm-load
+//! - **Bare names** — the many-small-requests hot path — go through a
+//!   **lock-free snapshot**: an [`ArcSwapCell`] holding an immutable
+//!   `name → latest artifact` map. A lookup is two atomic pins, a hash
+//!   probe and an `Arc` clone; it never touches the registry's `RwLock`,
+//!   so a training request holding the write lock (or a thundering herd of
+//!   readers) can never stall the predict path. The snapshot is republished
+//!   (an O(#names) map of `Arc` clones) under the write lock whenever a
+//!   latest pointer changes — once per train, effectively never.
+//! - **Pinned versions** and registry mutations use the existing
+//!   `RwLock`ed index, which remains the source of truth.
+//!
+//! Artifacts are `Arc`-shared between the registry and in-flight requests,
+//! making hot-swap (`insert` of a newer version) safe: running requests
+//! keep the version they resolved.
+//!
+//! ## Lazy warm-load, promotion and demotion
 //!
 //! Only the *latest* version of each name serves bare-name traffic, so boot
 //! no longer materializes every artifact version: the latest per name is
@@ -16,16 +27,25 @@
 //! [`ArtifactHead`] — for v3 artifacts that is a container-header +
 //! `META`-section read, a few hundred bytes regardless of model size. A
 //! pinned `name@version` request against a lazy slot loads the payload on
-//! first use and caches it.
+//! first use and caches it; [`ModelRegistry::demote`] is the inverse,
+//! returning a promoted non-latest version to its lazy slot so a burst of
+//! pinned traffic does not keep old models resident forever.
+//!
+//! Mmap-loaded payloads get `madvise` residency hints at both transitions:
+//! `WILLNEED` when a version is loaded to serve (warm-load latest or lazy
+//! promotion), `DONTNEED` when it is demoted.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, RwLock};
 
+use hamlet_ml::binenc::{MapAdvice, MmapFile};
+
 use crate::artifact::{
     split_artifact_stem, ArtifactHead, LoadMode, ModelArtifact, ARTIFACT_SUFFIX_BIN,
 };
 use crate::error::{Result, ServeError};
+use crate::swap::ArcSwapCell;
 
 /// One registry row, as reported by `GET /v1/models`.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
@@ -69,10 +89,23 @@ fn summarize_head(head: &ArtifactHead, resident: bool) -> ModelSummary {
     }
 }
 
+/// A fully materialized artifact plus what the registry needs to manage
+/// its residency: the backing file (for demotion back to a lazy slot) and
+/// the memory mapping (for `madvise` hints), when known.
+#[derive(Debug, Clone)]
+struct ReadySlot {
+    artifact: Arc<ModelArtifact>,
+    /// Backing artifact file, when the slot came from (or was persisted
+    /// to) disk. Required for demotion.
+    origin: Option<PathBuf>,
+    /// The mapping mmap-loaded weights borrow, kept for residency hints.
+    map: Option<Arc<MmapFile>>,
+}
+
 /// A registered artifact: resident, or a head + path to load on first use.
 #[derive(Debug, Clone)]
 enum Slot {
-    Ready(Arc<ModelArtifact>),
+    Ready(ReadySlot),
     Lazy(Arc<LazySlot>),
 }
 
@@ -83,9 +116,10 @@ struct LazySlot {
 }
 
 /// Index state behind the registry lock: artifacts by exact key plus a
-/// latest-version pointer per name, so bare-name resolution on the predict
-/// hot path is O(1) instead of a scan over every artifact. The latest
-/// pointer is always a fully loaded artifact.
+/// latest-version pointer per name, so bare-name resolution is O(1)
+/// instead of a scan over every artifact. The latest pointer is always a
+/// fully loaded artifact; its lock-free mirror is the snapshot in
+/// [`ModelRegistry::latest_cache`].
 #[derive(Debug, Default)]
 struct Index {
     by_key: HashMap<String, Slot>,
@@ -93,16 +127,20 @@ struct Index {
 }
 
 impl Index {
-    fn insert(&mut self, artifact: Arc<ModelArtifact>) {
+    /// Inserts a resident artifact. Returns whether a latest pointer
+    /// changed (the caller must republish the snapshot).
+    fn insert(&mut self, ready: ReadySlot) -> bool {
+        let artifact = &ready.artifact;
         let replaces_latest = self
             .latest
             .get(&artifact.name)
             .is_none_or(|cur| artifact.version >= cur.version);
         if replaces_latest {
             self.latest
-                .insert(artifact.name.clone(), Arc::clone(&artifact));
+                .insert(artifact.name.clone(), Arc::clone(artifact));
         }
-        self.by_key.insert(artifact.key(), Slot::Ready(artifact));
+        self.by_key.insert(artifact.key(), Slot::Ready(ready));
+        replaces_latest
     }
 
     /// Registers a non-latest version by head only; the payload loads on
@@ -114,13 +152,13 @@ impl Index {
 
     /// Removes one key, repairing the latest pointer for its name (rare —
     /// only the persist-failure rollback path, which always removes a
-    /// resident artifact).
-    fn remove(&mut self, key: &str) {
+    /// resident artifact). Returns whether a latest pointer changed.
+    fn remove(&mut self, key: &str) -> bool {
         let Some(removed) = self.by_key.remove(key) else {
-            return;
+            return false;
         };
         let (name, version) = match &removed {
-            Slot::Ready(a) => (a.name.clone(), a.version),
+            Slot::Ready(r) => (r.artifact.name.clone(), r.artifact.version),
             Slot::Lazy(l) => (l.head.name.clone(), l.head.version),
         };
         if self
@@ -133,7 +171,7 @@ impl Index {
                 .by_key
                 .values()
                 .filter_map(|s| match s {
-                    Slot::Ready(a) if a.name == name => Some(a),
+                    Slot::Ready(r) if r.artifact.name == name => Some(&r.artifact),
                     _ => None,
                 })
                 .max_by_key(|a| a.version)
@@ -146,7 +184,9 @@ impl Index {
                     self.latest.remove(&name);
                 }
             }
+            return true;
         }
+        false
     }
 }
 
@@ -154,6 +194,10 @@ impl Index {
 #[derive(Debug)]
 pub struct ModelRegistry {
     inner: RwLock<Index>,
+    /// Lock-free mirror of `Index::latest`, republished under the write
+    /// lock on every latest-pointer change. The bare-name predict hot path
+    /// reads only this.
+    latest_cache: ArcSwapCell<HashMap<String, Arc<ModelArtifact>>>,
     /// How lazily registered payloads are materialized on first use.
     load_mode: LoadMode,
 }
@@ -174,6 +218,7 @@ impl ModelRegistry {
     pub fn with_load_mode(load_mode: LoadMode) -> Self {
         ModelRegistry {
             inner: RwLock::new(Index::default()),
+            latest_cache: ArcSwapCell::new(Some(Arc::new(HashMap::new()))),
             load_mode,
         }
     }
@@ -181,6 +226,13 @@ impl ModelRegistry {
     /// The registry's artifact load mode.
     pub fn load_mode(&self) -> LoadMode {
         self.load_mode
+    }
+
+    /// Republishes the lock-free latest snapshot from the index. Must be
+    /// called with the write lock held (so publishes are ordered).
+    fn publish_latest(&self, index: &Index) {
+        self.latest_cache
+            .store(Some(Arc::new(index.latest.clone())));
     }
 
     /// Registry warm-loaded from every artifact in `dir` (heap mode; see
@@ -241,9 +293,16 @@ impl ModelRegistry {
             for (_, path) in versions {
                 if !have_latest {
                     // Newest loadable version: materialize fully.
-                    match ModelArtifact::load_with(&path, mode) {
-                        Ok(artifact) => {
-                            index.insert(Arc::new(artifact));
+                    match ModelArtifact::load_with_source(&path, mode) {
+                        Ok((artifact, map)) => {
+                            if let Some(map) = &map {
+                                map.advise(MapAdvice::WillNeed);
+                            }
+                            index.insert(ReadySlot {
+                                artifact: Arc::new(artifact),
+                                origin: Some(path),
+                                map,
+                            });
                             loaded += 1;
                             have_latest = true;
                         }
@@ -265,6 +324,7 @@ impl ModelRegistry {
                 }
             }
         }
+        registry.publish_latest(&index);
         drop(index);
         Ok((registry, loaded))
     }
@@ -273,23 +333,52 @@ impl ModelRegistry {
     /// previous artifact at the same key. Returns the key.
     pub fn insert(&self, artifact: ModelArtifact) -> String {
         let key = artifact.key();
-        self.inner
-            .write()
-            .expect("registry lock poisoned")
-            .insert(Arc::new(artifact));
+        let mut index = self.inner.write().expect("registry lock poisoned");
+        let latest_changed = index.insert(ReadySlot {
+            artifact: Arc::new(artifact),
+            origin: None,
+            map: None,
+        });
+        if latest_changed {
+            self.publish_latest(&index);
+        }
         key
     }
 
+    /// Records the on-disk file backing an already registered key, making
+    /// the slot demotable. Called after a successful persist.
+    pub fn record_origin(&self, key: &str, path: &Path) {
+        let mut index = self.inner.write().expect("registry lock poisoned");
+        if let Some(Slot::Ready(ready)) = index.by_key.get_mut(key) {
+            ready.origin = Some(path.to_path_buf());
+        }
+    }
+
     /// Resolves `name@version` exactly, or a bare `name` to its latest
-    /// version. A lazy slot is loaded (with the registry's
-    /// [`LoadMode`]) and cached on first resolution.
+    /// version — the latter entirely lock-free (see module docs). A lazy
+    /// slot is loaded (with the registry's [`LoadMode`]) and cached on
+    /// first resolution.
     pub fn get(&self, key_or_name: &str) -> Result<Arc<ModelArtifact>> {
+        // Bare names never contain '@' (keys are always `name@version`), so
+        // this is the hot path taken by every unpinned predict.
+        if !key_or_name.contains('@') {
+            return self
+                .latest_cache
+                .load()
+                .expect("latest snapshot always published")
+                .get(key_or_name)
+                .map(Arc::clone)
+                .ok_or_else(|| ServeError::ModelNotFound(key_or_name.to_string()));
+        }
         let lazy = {
             let index = self.inner.read().expect("registry lock poisoned");
             match index.by_key.get(key_or_name) {
-                Some(Slot::Ready(a)) => return Ok(Arc::clone(a)),
+                Some(Slot::Ready(r)) => return Ok(Arc::clone(&r.artifact)),
                 Some(Slot::Lazy(slot)) => Arc::clone(slot),
                 None => {
+                    // Not a pinned key: a *name* that itself contains '@'
+                    // (never produced by the train path, but `insert`
+                    // accepts anything) still resolves to its latest.
                     return index
                         .latest
                         .get(key_or_name)
@@ -303,20 +392,79 @@ impl ModelRegistry {
 
     /// Loads a lazy slot's payload and swaps it in. Runs outside the lock;
     /// a concurrent promotion of the same key is harmless (one result
-    /// wins the map, both are valid).
+    /// wins the map, both are valid). The freshly promoted mapping gets a
+    /// `WILLNEED` hint: a pinned request is about to touch its weights.
     fn promote(&self, key: &str, slot: &LazySlot) -> Result<Arc<ModelArtifact>> {
-        let artifact = Arc::new(ModelArtifact::load_with(&slot.path, self.load_mode)?);
+        let (artifact, map) = ModelArtifact::load_with_source(&slot.path, self.load_mode)?;
+        if let Some(map) = &map {
+            map.advise(MapAdvice::WillNeed);
+        }
+        let artifact = Arc::new(artifact);
         let mut index = self.inner.write().expect("registry lock poisoned");
         match index.by_key.get(key) {
             // Raced with another promotion: keep the incumbent.
-            Some(Slot::Ready(a)) => Ok(Arc::clone(a)),
+            Some(Slot::Ready(r)) => Ok(Arc::clone(&r.artifact)),
             _ => {
-                index
-                    .by_key
-                    .insert(key.to_string(), Slot::Ready(Arc::clone(&artifact)));
+                index.by_key.insert(
+                    key.to_string(),
+                    Slot::Ready(ReadySlot {
+                        artifact: Arc::clone(&artifact),
+                        origin: Some(slot.path.clone()),
+                        map,
+                    }),
+                );
                 Ok(artifact)
             }
         }
+    }
+
+    /// Returns a promoted (resident) **non-latest** version to its lazy
+    /// header-only slot, releasing the model payload. The inverse of the
+    /// on-demand promotion in [`ModelRegistry::get`]: a burst of pinned
+    /// traffic against an old version must not keep it resident forever.
+    ///
+    /// The latest version of a name cannot be demoted (it serves bare-name
+    /// traffic), and a slot that was never persisted has nothing to reload
+    /// from. Demoting an already lazy slot is a no-op. In-flight requests
+    /// holding the artifact's `Arc` are unaffected; the payload memory is
+    /// freed when the last of them finishes, and mmap-backed pages get a
+    /// `DONTNEED` hint immediately.
+    pub fn demote(&self, key: &str) -> Result<ModelSummary> {
+        let mut index = self.inner.write().expect("registry lock poisoned");
+        let slot = index
+            .by_key
+            .get(key)
+            .ok_or_else(|| ServeError::ModelNotFound(key.to_string()))?;
+        let ready = match slot {
+            Slot::Lazy(l) => return Ok(summarize_head(&l.head, false)),
+            Slot::Ready(r) => r.clone(),
+        };
+        if index
+            .latest
+            .get(&ready.artifact.name)
+            .is_some_and(|latest| latest.version == ready.artifact.version)
+        {
+            return Err(ServeError::BadRequest(format!(
+                "cannot demote `{key}`: it is the latest version of `{}` and serves bare-name \
+                 traffic",
+                ready.artifact.name
+            )));
+        }
+        let Some(path) = ready.origin else {
+            return Err(ServeError::BadRequest(format!(
+                "cannot demote `{key}`: no backing artifact file recorded for it"
+            )));
+        };
+        if let Some(map) = &ready.map {
+            map.advise(MapAdvice::DontNeed);
+        }
+        let head = ready.artifact.head();
+        let summary = summarize_head(&head, false);
+        index.by_key.insert(
+            key.to_string(),
+            Slot::Lazy(Arc::new(LazySlot { path, head })),
+        );
+        Ok(summary)
     }
 
     /// Next free version for a name (1 when unused). Advisory only: for a
@@ -348,17 +496,24 @@ impl ModelRegistry {
             let mut index = self.inner.write().expect("registry lock poisoned");
             artifact.version = next_version_in(&index, &artifact.name).max(min_version.max(1));
             let key = artifact.key();
-            index.insert(Arc::new(artifact));
+            let latest_changed = index.insert(ReadySlot {
+                artifact: Arc::new(artifact),
+                origin: None,
+                map: None,
+            });
+            if latest_changed {
+                self.publish_latest(&index);
+            }
             key
         };
         let registered = self.get(&key).expect("just inserted");
         match persist(&registered) {
             Ok(persisted) => Ok((key, persisted)),
             Err(e) => {
-                self.inner
-                    .write()
-                    .expect("registry lock poisoned")
-                    .remove(&key);
+                let mut index = self.inner.write().expect("registry lock poisoned");
+                if index.remove(&key) {
+                    self.publish_latest(&index);
+                }
                 Err(e)
             }
         }
@@ -372,7 +527,7 @@ impl ModelRegistry {
             .by_key
             .values()
             .map(|slot| match slot {
-                Slot::Ready(a) => summarize_head(&a.head(), true),
+                Slot::Ready(r) => summarize_head(&r.artifact.head(), true),
                 Slot::Lazy(l) => summarize_head(&l.head, false),
             })
             .collect();
@@ -425,6 +580,61 @@ mod tests {
         assert!(reg.get("ghost").is_err());
         assert_eq!(reg.next_version("m"), 4);
         assert_eq!(reg.next_version("fresh"), 1);
+    }
+
+    /// The tentpole property: a bare-name lookup never touches the
+    /// registry lock. Holding the *write* lock (which would block any
+    /// locked read path forever) must not stop `get("name")`.
+    #[test]
+    fn bare_name_lookup_succeeds_while_write_lock_is_held() {
+        let reg = Arc::new(ModelRegistry::new());
+        reg.insert(toy_artifact("hot", 2));
+        let guard = reg.inner.write().expect("write lock");
+        let (tx, rx) = std::sync::mpsc::channel();
+        let reader = {
+            let reg = Arc::clone(&reg);
+            std::thread::spawn(move || {
+                let got = reg.get("hot").map(|a| a.version);
+                let missing = reg.get("ghost").is_err();
+                tx.send((got, missing)).unwrap();
+            })
+        };
+        let (got, missing) = rx
+            .recv_timeout(std::time::Duration::from_secs(5))
+            .expect("bare-name get must not block on the registry lock");
+        assert_eq!(got.unwrap(), 2);
+        assert!(missing, "unknown names resolve lock-free too");
+        drop(guard);
+        reader.join().unwrap();
+    }
+
+    /// Readers hammer the lock-free path while versions are hot-swapped:
+    /// every resolved version is valid and per-thread monotone (the
+    /// snapshot never goes backwards).
+    #[test]
+    fn contended_bare_name_reads_are_monotone_under_hot_swap() {
+        let reg = Arc::new(ModelRegistry::new());
+        reg.insert(toy_artifact("hot", 1));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let reg = Arc::clone(&reg);
+                scope.spawn(move || {
+                    let mut last = 0;
+                    for _ in 0..2000 {
+                        let v = reg.get("hot").unwrap().version;
+                        assert!(v >= last, "latest went backwards: {v} < {last}");
+                        last = v;
+                    }
+                });
+            }
+            let reg = Arc::clone(&reg);
+            scope.spawn(move || {
+                for v in 2..60 {
+                    reg.insert(toy_artifact("hot", v));
+                }
+            });
+        });
+        assert_eq!(reg.get("hot").unwrap().version, 59);
     }
 
     #[test]
@@ -480,6 +690,66 @@ mod tests {
         assert_eq!(reg.get("l@2").unwrap().version, 2);
         assert_eq!(reg.get("l@1").unwrap().version, 1);
         assert_eq!(reg.resident_count(), 3, "promotions cache");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The demotion round-trip: promote a lazy old version by pinned get,
+    /// demote it back, promote again — identical artifacts at every stage,
+    /// and residency counts track the transitions.
+    #[test]
+    fn demote_returns_promoted_versions_to_lazy_and_roundtrips() {
+        let dir = std::env::temp_dir().join(format!("hamlet-reg-dem-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        toy_artifact("d", 1).save(&dir).unwrap();
+        toy_artifact("d", 2).save(&dir).unwrap();
+        for mode in [LoadMode::Heap, LoadMode::Mmap] {
+            let (reg, _) = ModelRegistry::warm_load_with(&dir, mode).unwrap();
+            assert_eq!(reg.resident_count(), 1);
+            // Promote d@1 via pinned get.
+            let first = reg.get("d@1").unwrap();
+            assert_eq!(reg.resident_count(), 2, "{mode:?}");
+            // Demote it back to lazy.
+            let summary = reg.demote("d@1").unwrap();
+            assert!(!summary.resident);
+            assert_eq!(summary.key, "d@1");
+            assert_eq!(reg.resident_count(), 1, "{mode:?}: payload released");
+            assert!(
+                !reg.list().iter().find(|m| m.key == "d@1").unwrap().resident,
+                "{mode:?}"
+            );
+            // The Arc held by an in-flight request is unaffected.
+            assert_eq!(first.version, 1);
+            // Demoting again is an idempotent no-op.
+            assert!(!reg.demote("d@1").unwrap().resident);
+            // And a pinned get promotes it right back, bit-identical.
+            let again = reg.get("d@1").unwrap();
+            assert_eq!(again.model, first.model);
+            assert_eq!(reg.resident_count(), 2, "{mode:?}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn demote_refuses_latest_unknown_and_unpersisted() {
+        let dir = std::env::temp_dir().join(format!("hamlet-reg-demref-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        toy_artifact("d", 1).save(&dir).unwrap();
+        toy_artifact("d", 2).save(&dir).unwrap();
+        let (reg, _) = ModelRegistry::warm_load(&dir).unwrap();
+        // The latest serves bare names and cannot be demoted.
+        let err = reg.demote("d@2").unwrap_err().to_string();
+        assert!(err.contains("latest"), "{err}");
+        assert!(reg.demote("ghost@1").is_err());
+        // An insert that never touched disk has nothing to reload from.
+        reg.insert(toy_artifact("mem", 1));
+        reg.insert(toy_artifact("mem", 2));
+        let err = reg.demote("mem@1").unwrap_err().to_string();
+        assert!(err.contains("no backing artifact file"), "{err}");
+        // Unless an origin is recorded (what train_and_register does).
+        let path = toy_artifact("mem", 1).save(&dir).unwrap();
+        reg.record_origin("mem@1", &path);
+        assert!(!reg.demote("mem@1").unwrap().resident);
+        assert_eq!(reg.get("mem@1").unwrap().version, 1, "promotes back");
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -591,6 +861,7 @@ mod tests {
         });
         assert!(err.is_err());
         assert!(reg.is_empty());
+        assert!(reg.get("failing").is_err(), "snapshot rolled back too");
     }
 
     #[test]

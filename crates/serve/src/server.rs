@@ -7,12 +7,13 @@ use std::time::Instant;
 use hamlet_core::advisor::advise_dims;
 
 use crate::api::{
-    AdviseRequest, ApiError, ExplainRequest, ExplainResponse, Health, ModelsResponse,
-    PredictRequest, PredictResponse, TrainRequest, TrainResponse,
+    AdviseRequest, ApiError, DemoteRequest, ExplainRequest, ExplainResponse, Health,
+    ModelsResponse, PredictRequest, PredictResponse, TrainRequest, TrainResponse,
 };
-use crate::artifact::LoadMode;
+use crate::artifact::{LoadMode, ModelArtifact};
+use crate::coalesce::{Batch, CoalesceConfig, Coalescer, PendingPredict, Submitted};
 use crate::error::ServeError;
-use crate::http::{Handler, Request, Response, Server, ServerOptions};
+use crate::http::{Handler, Request, Responder, Response, Server, ServerOptions};
 use crate::registry::ModelRegistry;
 use crate::train::train_and_register;
 
@@ -29,6 +30,10 @@ pub struct AppState {
     /// shard sizing: each shard of a batch is cut to cost roughly
     /// [`TARGET_SHARD_NANOS`] wall-clock instead of a fixed row count.
     pub latency: LatencyTracker,
+    /// Cross-request predict coalescer: concurrent small `/v1/predict`
+    /// requests against the same resident model merge into one sharded
+    /// fan-out at the executor boundary (see [`crate::coalesce`]).
+    pub coalescer: Coalescer,
     /// Machine-wide fan-out budget shared by every in-flight predict: the
     /// sum of extra scoped threads across concurrent requests never exceeds
     /// `predict_threads`, so N simultaneous large batches share the cores
@@ -59,6 +64,11 @@ pub const MAX_ADAPTIVE_SHARD_ROWS: usize = 65_536;
 
 /// EWMA smoothing factor for per-row latency observations.
 const LATENCY_EWMA_ALPHA: f64 = 0.2;
+
+/// When a new-key insert finds this many latency cells, cells no request
+/// currently holds are pruned (superseded model versions otherwise
+/// accumulate one cell each for the process lifetime).
+const LATENCY_CELLS_GC_THRESHOLD: usize = 256;
 
 /// Per-model EWMA of observed per-row predict latency.
 ///
@@ -139,6 +149,13 @@ impl LatencyTracker {
             return LatencyCell(Arc::clone(cell));
         }
         let mut cells = self.cells.write().expect("latency lock poisoned");
+        if cells.len() >= LATENCY_CELLS_GC_THRESHOLD && !cells.contains_key(key) {
+            // Keys are `name@version`, so periodic retraining would grow
+            // the map by one superseded version forever. Cells held by an
+            // in-flight request (strong count > 1) survive; a pruned
+            // model's EWMA simply re-learns within a few requests.
+            cells.retain(|_, c| Arc::strong_count(c) > 1);
+        }
         LatencyCell(Arc::clone(cells.entry(key.to_string()).or_default()))
     }
 
@@ -248,6 +265,28 @@ impl Drop for TrainPermit<'_> {
     }
 }
 
+/// Everything [`AppState::warm_full`] needs to build a serving state.
+#[derive(Debug, Clone, Copy)]
+pub struct WarmOptions {
+    /// Executor threads the attached server will run (0 = no server:
+    /// library/test use, budget every core for predict fan-out).
+    pub executors: usize,
+    /// Artifact load mode (heap vs zero-copy mmap).
+    pub load_mode: LoadMode,
+    /// Cross-request predict coalescing tuning.
+    pub coalesce: CoalesceConfig,
+}
+
+impl Default for WarmOptions {
+    fn default() -> Self {
+        WarmOptions {
+            executors: 0,
+            load_mode: LoadMode::Heap,
+            coalesce: CoalesceConfig::default(),
+        }
+    }
+}
+
 impl AppState {
     /// State with a warm-loaded registry.
     pub fn warm(artifact_dir: PathBuf) -> crate::error::Result<(Arc<AppState>, usize)> {
@@ -264,7 +303,13 @@ impl AppState {
         artifact_dir: PathBuf,
         executors: usize,
     ) -> crate::error::Result<(Arc<AppState>, usize)> {
-        AppState::warm_opts(artifact_dir, executors, LoadMode::Heap)
+        AppState::warm_full(
+            artifact_dir,
+            WarmOptions {
+                executors,
+                ..WarmOptions::default()
+            },
+        )
     }
 
     /// [`AppState::warm_sized`] with an explicit artifact [`LoadMode`]
@@ -275,12 +320,28 @@ impl AppState {
         executors: usize,
         load_mode: LoadMode,
     ) -> crate::error::Result<(Arc<AppState>, usize)> {
-        let (registry, loaded) = ModelRegistry::warm_load_with(&artifact_dir, load_mode)?;
+        AppState::warm_full(
+            artifact_dir,
+            WarmOptions {
+                executors,
+                load_mode,
+                ..WarmOptions::default()
+            },
+        )
+    }
+
+    /// Fully configurable warm boot: registry load mode, executor sizing
+    /// and coalescer tuning in one place.
+    pub fn warm_full(
+        artifact_dir: PathBuf,
+        opts: WarmOptions,
+    ) -> crate::error::Result<(Arc<AppState>, usize)> {
+        let (registry, loaded) = ModelRegistry::warm_load_with(&artifact_dir, opts.load_mode)?;
         let cores = default_predict_threads();
-        let budget = if executors == 0 {
+        let budget = if opts.executors == 0 {
             cores
         } else {
-            cores.saturating_sub(executors).max(1)
+            cores.saturating_sub(opts.executors).max(1)
         };
         Ok((
             Arc::new(AppState {
@@ -288,6 +349,7 @@ impl AppState {
                 artifact_dir,
                 predict_threads: cores,
                 latency: LatencyTracker::new(),
+                coalescer: Coalescer::new(opts.coalesce),
                 shard_budget: ShardBudget::new(budget),
                 train_gate: std::sync::atomic::AtomicBool::new(false),
             }),
@@ -328,23 +390,15 @@ fn parse_body<T: serde::Deserialize>(req: &Request) -> Result<T, ServeError> {
     serde_json::from_slice(&req.body).map_err(|e| ServeError::BadRequest(e.to_string()))
 }
 
-/// `POST /v1/predict`: resolve → validate/encode → batch-parallel
-/// enum-dispatch predict.
-///
-/// Two input shapes: `rows` (pre-encoded codes, validated per row with the
-/// offending row index and feature name on failure) and `rows_raw` (raw
-/// label strings, dictionary-encoded server-side against the artifact's
-/// contract — the NoJoin FK-as-feature rewrite at ingest). Validation and
-/// encoding both flatten into one row-major buffer; each row's width is
-/// checked before flattening, since compensating-length rows (e.g.
-/// [[0,1,0],[1]] against d=2) would otherwise splice across row boundaries
-/// and pass a total-length check with misaligned codes. Large batches are
-/// sharded across scoped threads (`AnyClassifier::predict_batch_parallel`),
-/// so a 10k-row batch uses every core instead of one worker thread.
-fn predict(state: &AppState, req: &Request) -> Result<PredictResponse, ServeError> {
+/// Resolves and validates one predict request down to a flattened
+/// row-major code buffer. Runs *before* any coalescing, so a bad row can
+/// only ever fail its own request.
+fn parse_predict(
+    state: &AppState,
+    req: &Request,
+) -> Result<(Arc<ModelArtifact>, Vec<u32>, usize), ServeError> {
     let body: PredictRequest = parse_body(req)?;
     let artifact = state.registry.get(&body.model)?;
-    let start = Instant::now();
     let d = artifact.contract.width();
     let rows = match (&body.rows, &body.rows_raw) {
         (Some(_), Some(_)) => {
@@ -360,12 +414,37 @@ fn predict(state: &AppState, req: &Request) -> Result<PredictResponse, ServeErro
         (Some(coded), None) => artifact.validate_coded(coded)?,
         (None, Some(raw)) => artifact.encode_raw(raw)?,
     };
+    Ok((artifact, rows, d))
+}
+
+/// Executes one request's rows with adaptive shard sizing and the
+/// machine-wide fan-out budget, folding the latency observation back into
+/// the model's EWMA. The uncoalesced (solo) hot path; public so the bench
+/// suite can weigh it directly against [`execute_batch`].
+pub fn execute_predict(
+    state: &AppState,
+    artifact: &ModelArtifact,
+    rows: &[u32],
+    d: usize,
+) -> Vec<bool> {
+    let cell = state.latency.cell(&artifact.key());
+    execute_predict_cell(state, &cell, artifact, rows, d)
+}
+
+/// [`execute_predict`] with the model's [`LatencyCell`] already resolved —
+/// the handler resolves key and cell exactly once per request and passes
+/// them down, so the hot path pays the map probe a single time.
+fn execute_predict_cell(
+    state: &AppState,
+    cell: &LatencyCell,
+    artifact: &ModelArtifact,
+    rows: &[u32],
+    d: usize,
+) -> Vec<bool> {
     // Shard size comes from this model's observed per-row latency (EWMA),
     // so a shard costs ~TARGET_SHARD_NANOS wall-clock: the fixed 256-row
     // floor over-sharded cheap trees and under-sharded expensive SVMs.
-    // The cell is resolved once; reading and updating it are plain atomics.
-    let key = artifact.key();
-    let cell = state.latency.cell(&key);
+    // Reading and updating the resolved cell are plain atomics.
     let shard_rows = cell.shard_rows();
     let n = rows.len() / d;
     // Reserve fan-out slots from the machine-wide budget: under concurrent
@@ -382,7 +461,7 @@ fn predict(state: &AppState, req: &Request) -> Result<PredictResponse, ServeErro
     let predict_start = Instant::now();
     let labels = artifact
         .model
-        .predict_batch_sharded(&rows, d, permit.threads(), shard_rows);
+        .predict_batch_sharded(rows, d, permit.threads(), shard_rows);
     // Fold the observation back in as an estimated *sequential* per-row
     // cost (wall-clock × shards actually used ÷ rows), so the EWMA is
     // comparable across fan-out widths.
@@ -390,11 +469,122 @@ fn predict(state: &AppState, req: &Request) -> Result<PredictResponse, ServeErro
     drop(permit);
     let predict_ns = predict_start.elapsed().as_nanos() as f64;
     cell.observe(predict_ns * shards_used as f64 / n as f64);
-    Ok(PredictResponse {
-        model: key,
-        labels,
-        latency_ms: start.elapsed().as_secs_f64() * 1e3,
-    })
+    labels
+}
+
+/// Executes a merged batch — many requests' row buffers against one model
+/// — as a single sharded fan-out, paying the latency cell, fan-out budget
+/// and EWMA bookkeeping **once for the whole batch** instead of once per
+/// request. Per-segment results are bit-identical to solo execution.
+pub fn execute_batch(
+    state: &AppState,
+    artifact: &ModelArtifact,
+    segments: &[&[u32]],
+    d: usize,
+) -> Vec<Vec<bool>> {
+    let cell = state.latency.cell(&artifact.key());
+    execute_batch_cell(state, &cell, artifact, segments, d)
+}
+
+/// [`execute_batch`] with the model's [`LatencyCell`] already resolved.
+fn execute_batch_cell(
+    state: &AppState,
+    cell: &LatencyCell,
+    artifact: &ModelArtifact,
+    segments: &[&[u32]],
+    d: usize,
+) -> Vec<Vec<bool>> {
+    let shard_rows = cell.shard_rows();
+    let n: usize = segments.iter().map(|s| s.len() / d).sum();
+    if n == 0 {
+        return segments.iter().map(|_| Vec::new()).collect();
+    }
+    let usable = n / shard_rows.max(1);
+    let permit = state
+        .shard_budget
+        .reserve(usable.min(state.predict_threads));
+    let predict_start = Instant::now();
+    let labels = artifact
+        .model
+        .predict_segments_sharded(segments, d, permit.threads(), shard_rows);
+    let shards_used = (n / shard_rows.max(1)).clamp(1, permit.threads());
+    drop(permit);
+    cell.observe(predict_start.elapsed().as_nanos() as f64 * shards_used as f64 / n as f64);
+    labels
+}
+
+/// Runs a flushed coalescer batch and answers every participant. A panic
+/// in the model unwinds through here dropping the batch, whose responders
+/// then answer 500 from their destructors — per-request isolation holds
+/// even for execution failures.
+fn run_batch(state: &AppState, key: String, cell: &LatencyCell, batch: Batch, d: usize) {
+    let per_part = {
+        let segments: Vec<&[u32]> = batch.parts.iter().map(|p| p.rows.as_slice()).collect();
+        execute_batch_cell(state, cell, &batch.artifact, &segments, d)
+    };
+    for (part, labels) in batch.parts.into_iter().zip(per_part) {
+        let response = ok_json(&PredictResponse {
+            model: key.clone(),
+            labels,
+            latency_ms: part.start.elapsed().as_secs_f64() * 1e3,
+        });
+        part.responder.send(response);
+    }
+}
+
+/// `POST /v1/predict`: resolve → validate/encode → coalesce → batch-
+/// parallel enum-dispatch predict.
+///
+/// Two input shapes: `rows` (pre-encoded codes, validated per row with the
+/// offending row index and feature name on failure) and `rows_raw` (raw
+/// label strings, dictionary-encoded server-side against the artifact's
+/// contract — the NoJoin FK-as-feature rewrite at ingest). Validation and
+/// encoding both flatten into one row-major buffer; each row's width is
+/// checked before flattening, since compensating-length rows (e.g.
+/// [[0,1,0],[1]] against d=2) would otherwise splice across row boundaries
+/// and pass a total-length check with misaligned codes.
+///
+/// Execution is then routed through the [`Coalescer`]: small requests
+/// merge with concurrent requests for the same model into one sharded
+/// fan-out (responses bit-identical to solo execution); large or lone
+/// requests run solo, sharded across scoped threads
+/// (`AnyClassifier::predict_batch_sharded`) so a 10k-row batch uses every
+/// core instead of one worker thread.
+fn predict(state: &AppState, req: &Request, responder: Responder) {
+    let start = Instant::now();
+    let (artifact, rows, d) = match parse_predict(state, req) {
+        Ok(parsed) => parsed,
+        Err(e) => return responder.send(error_response(&e)),
+    };
+    // Resolve the model's identity and latency cell exactly once; every
+    // downstream step (coalescer lane, shard sizing, EWMA fold-back,
+    // response body) reuses them.
+    let key = artifact.key();
+    let cell = state.latency.cell(&key);
+    let part = PendingPredict {
+        rows,
+        start,
+        responder,
+    };
+    match state
+        .coalescer
+        .submit(&key, &artifact, d, part, cell.ns_per_row())
+    {
+        // Merged into an open batch: its leader answers; this executor is
+        // already free for the next request.
+        Submitted::Joined => {}
+        Submitted::Solo(part) => {
+            let labels = execute_predict_cell(state, &cell, &artifact, &part.rows, d);
+            part.responder.send(ok_json(&PredictResponse {
+                model: key,
+                labels,
+                latency_ms: part.start.elapsed().as_secs_f64() * 1e3,
+            }));
+        }
+        // Leading a batch means every participant resolved this same
+        // artifact, so the key and cell resolved above serve the batch.
+        Submitted::Flush(batch) => run_batch(state, key, &cell, batch, d),
+    }
 }
 
 /// `POST /v1/explain`: decode coded rows back to their raw label strings
@@ -438,6 +628,14 @@ fn advise(req: &Request) -> Result<crate::api::AdviseResponse, ServeError> {
     Ok(advise_dims(&body.dims, body.n_train, body.family))
 }
 
+/// `POST /v1/models/demote`: return a promoted non-latest version to its
+/// lazy header-only slot, releasing its payload memory (admin surface for
+/// the registry's residency management).
+fn demote(state: &AppState, req: &Request) -> Result<crate::registry::ModelSummary, ServeError> {
+    let body: DemoteRequest = parse_body(req)?;
+    state.registry.demote(&body.key)
+}
+
 /// `POST /v1/train`: run the experiment pipeline, persist, register. At
 /// most one training runs at a time (see `AppState::train_gate`); a second
 /// concurrent request gets a 429 instead of tying up another worker.
@@ -455,17 +653,23 @@ fn train(state: &AppState, req: &Request) -> Result<Response, ServeError> {
 
 /// Builds the router over shared state.
 pub fn router(state: Arc<AppState>) -> Handler {
-    Arc::new(move |req: &Request| -> Response {
-        match (req.method.as_str(), req.path.as_str()) {
+    Arc::new(move |req: &Request, responder: Responder| {
+        // `/v1/predict` owns its responder (it may defer into the
+        // coalescer); every other endpoint answers synchronously.
+        if (req.method.as_str(), req.path.as_str()) == ("POST", "/v1/predict") {
+            return predict(&state, req, responder);
+        }
+        let response = match (req.method.as_str(), req.path.as_str()) {
             ("GET", "/healthz") => ok_json(&Health {
                 status: "ok".into(),
                 models: state.registry.len(),
+                coalesce: state.coalescer.stats.snapshot(),
             }),
             ("GET", "/v1/models") => ok_json(&ModelsResponse {
                 models: state.registry.list(),
             }),
-            ("POST", "/v1/predict") => match predict(&state, req) {
-                Ok(resp) => ok_json(&resp),
+            ("POST", "/v1/models/demote") => match demote(&state, req) {
+                Ok(summary) => ok_json(&summary),
                 Err(e) => error_response(&e),
             },
             ("POST", "/v1/explain") => match explain(&state, req) {
@@ -482,11 +686,12 @@ pub fn router(state: Arc<AppState>) -> Handler {
             },
             ("GET" | "POST", _) => Response::json(
                 404,
-                "{\"error\":\"no such endpoint; see /healthz, /v1/models, /v1/predict, \
-                 /v1/explain, /v1/advise, /v1/train\"}",
+                "{\"error\":\"no such endpoint; see /healthz, /v1/models, \
+                 /v1/models/demote, /v1/predict, /v1/explain, /v1/advise, /v1/train\"}",
             ),
             _ => Response::json(405, "{\"error\":\"method not allowed\"}"),
-        }
+        };
+        responder.send(response);
     })
 }
 
@@ -510,23 +715,33 @@ mod tests {
     use super::*;
 
     fn state() -> Arc<AppState> {
+        state_with_coalesce(CoalesceConfig::default())
+    }
+
+    fn state_with_coalesce(coalesce: CoalesceConfig) -> Arc<AppState> {
         Arc::new(AppState {
             registry: ModelRegistry::new(),
             artifact_dir: std::env::temp_dir().join("hamlet-serve-router-tests"),
             predict_threads: 2,
             latency: LatencyTracker::new(),
+            coalescer: Coalescer::new(coalesce),
             shard_budget: ShardBudget::new(2),
             train_gate: std::sync::atomic::AtomicBool::new(false),
         })
     }
 
     fn call(handler: &Handler, method: &str, path: &str, body: &str) -> (u16, String) {
-        let resp = handler(&Request {
-            method: method.into(),
-            path: path.into(),
-            body: body.as_bytes().to_vec(),
-            keep_alive: false,
-        });
+        let (responder, rx) = Responder::direct();
+        handler(
+            &Request {
+                method: method.into(),
+                path: path.into(),
+                body: body.as_bytes().to_vec(),
+                keep_alive: false,
+            },
+            responder,
+        );
+        let resp = rx.recv().expect("handler answered");
         (resp.status, String::from_utf8(resp.body).unwrap())
     }
 
@@ -536,6 +751,7 @@ mod tests {
         let (status, body) = call(&handler, "GET", "/healthz", "");
         assert_eq!(status, 200);
         assert!(body.contains("\"ok\""));
+        assert!(body.contains("coalesce"), "{body}");
         let (status, _) = call(&handler, "GET", "/nope", "");
         assert_eq!(status, 404);
         let (status, _) = call(&handler, "DELETE", "/healthz", "");
@@ -620,6 +836,56 @@ mod tests {
         assert_eq!(status, 400);
         let (status, _) = call(&handler, "POST", "/v1/predict", "{\"model\":\"raw\"}");
         assert_eq!(status, 400);
+    }
+
+    #[test]
+    fn demote_endpoint_round_trips_residency() {
+        let dir = std::env::temp_dir().join(format!("hamlet-srv-demote-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        crate::artifact::tests::toy_artifact("dm", 1)
+            .save(&dir)
+            .unwrap();
+        crate::artifact::tests::toy_artifact("dm", 2)
+            .save(&dir)
+            .unwrap();
+        let (app, loaded) = AppState::warm(dir.clone()).unwrap();
+        assert_eq!(loaded, 2);
+        let handler = router(Arc::clone(&app));
+        // Promote dm@1 by predicting against it, pinned.
+        let (status, _) = call(
+            &handler,
+            "POST",
+            "/v1/predict",
+            "{\"model\":\"dm@1\",\"rows\":[[0,0]]}",
+        );
+        assert_eq!(status, 200);
+        assert_eq!(app.registry.resident_count(), 2);
+        // Demote it over HTTP.
+        let (status, body) = call(&handler, "POST", "/v1/models/demote", "{\"key\":\"dm@1\"}");
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"resident\":false"), "{body}");
+        assert_eq!(app.registry.resident_count(), 1);
+        // The latest version refuses with a clear 400.
+        let (status, body) = call(&handler, "POST", "/v1/models/demote", "{\"key\":\"dm@2\"}");
+        assert_eq!(status, 400, "{body}");
+        assert!(body.contains("latest"), "{body}");
+        // Unknown keys 404.
+        let (status, _) = call(
+            &handler,
+            "POST",
+            "/v1/models/demote",
+            "{\"key\":\"ghost@1\"}",
+        );
+        assert_eq!(status, 404);
+        // And the demoted version still serves (re-promotes on demand).
+        let (status, _) = call(
+            &handler,
+            "POST",
+            "/v1/predict",
+            "{\"model\":\"dm@1\",\"rows\":[[0,0]]}",
+        );
+        assert_eq!(status, 200);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -103,6 +103,9 @@ pub fn train_and_register(
     // stored model gets deserialized just to allocate a number.
     let disk_floor = ModelArtifact::max_version_on_disk(dir, &req.name) + 1;
     let (key, path) = registry.register_next_version(artifact, disk_floor, |a| a.save(dir))?;
+    // The slot now has a backing file, which is what makes it demotable
+    // once a newer version supersedes it.
+    registry.record_origin(&key, &path);
     Ok(TrainResponse {
         key,
         path: path.display().to_string(),

@@ -117,12 +117,17 @@ fn artifact_for(name: &str, model: AnyClassifier, ds: &CatDataset) -> ModelArtif
 }
 
 fn post_predict(handler: &hamlet_serve::http::Handler, body: &str) -> (u16, String) {
-    let resp: Response = handler(&Request {
-        method: "POST".into(),
-        path: "/v1/predict".into(),
-        body: body.as_bytes().to_vec(),
-        keep_alive: false,
-    });
+    let (responder, rx) = hamlet_serve::http::Responder::direct();
+    handler(
+        &Request {
+            method: "POST".into(),
+            path: "/v1/predict".into(),
+            body: body.as_bytes().to_vec(),
+            keep_alive: false,
+        },
+        responder,
+    );
+    let resp: Response = rx.recv().expect("handler answered");
     (resp.status, String::from_utf8(resp.body).unwrap())
 }
 

@@ -10,14 +10,14 @@ use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use hamlet_serve::http::{Request, Response, Server, ServerOptions};
+use hamlet_serve::http::{Request, Responder, Response, Server, ServerOptions};
 
 fn echo_handler() -> hamlet_serve::http::Handler {
-    Arc::new(|req: &Request| {
-        Response::text(
+    Arc::new(|req: &Request, responder: Responder| {
+        responder.send(Response::text(
             200,
             format!("{} {} {}", req.method, req.path, req.body.len()),
-        )
+        ))
     })
 }
 
@@ -139,14 +139,14 @@ fn peer_disconnect_mid_request_and_mid_response_is_harmless() {
     let server = Server::bind(
         "127.0.0.1:0",
         1,
-        Arc::new(|req: &Request| {
+        Arc::new(|req: &Request, responder: Responder| {
             if req.path == "/slow" {
                 // Give the client time to vanish while dispatched.
                 std::thread::sleep(Duration::from_millis(300));
             }
             // A response big enough to overflow socket buffers if the
             // peer never reads.
-            Response::text(200, vec![b'x'; 256 * 1024])
+            responder.send(Response::text(200, vec![b'x'; 256 * 1024]))
         }),
     )
     .unwrap();

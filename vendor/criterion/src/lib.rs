@@ -5,7 +5,18 @@
 //! benchmark groups, `bench_with_input`, `black_box`) so the workspace's
 //! benches compile and produce useful numbers offline. Statistics are
 //! simple — fixed warm-up plus `sample_size` timed batches reporting
-//! mean/min — with none of upstream's outlier analysis or HTML reports.
+//! mean/median/min — with none of upstream's outlier analysis or HTML
+//! reports.
+//!
+//! ## Machine-readable results
+//!
+//! Every bench binary also **persists its medians as JSON** so the perf
+//! trajectory of the repo can be tracked across commits: on exit,
+//! `criterion_main!` merges `{"bench/label": median_ns, ...}` into the file
+//! named by the `HAMLET_BENCH_JSON` environment variable (default
+//! `BENCH_serve.json` in the workspace root, resolved from
+//! `CARGO_MANIFEST_DIR`). Existing entries for other benches are preserved,
+//! so `cargo bench` runs accumulate into one snapshot.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -68,15 +79,25 @@ impl Bencher {
 /// The benchmark driver (subset of `criterion::Criterion`).
 pub struct Criterion {
     sample_size: usize,
+    /// `(label, median ns)` for every benchmark run so far, in run order.
+    results: Vec<(String, u64)>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 10 }
+        Criterion {
+            sample_size: 10,
+            results: Vec::new(),
+        }
     }
 }
 
-fn run_one(label: &str, sample_size: usize, f: impl FnOnce(&mut Bencher)) {
+fn run_one(
+    label: &str,
+    sample_size: usize,
+    results: &mut Vec<(String, u64)>,
+    f: impl FnOnce(&mut Bencher),
+) {
     let mut bencher = Bencher {
         samples: Vec::new(),
         sample_size,
@@ -89,7 +110,14 @@ fn run_one(label: &str, sample_size: usize, f: impl FnOnce(&mut Bencher)) {
     let min = bencher.samples.iter().min().unwrap();
     let total: Duration = bencher.samples.iter().sum();
     let mean = total / bencher.samples.len() as u32;
-    println!("{label:<50} mean {mean:>12.2?}   min {min:>12.2?}");
+    let mut sorted = bencher.samples.clone();
+    sorted.sort();
+    let median = sorted[sorted.len() / 2];
+    println!("{label:<50} mean {mean:>12.2?}   median {median:>12.2?}   min {min:>12.2?}");
+    results.push((
+        label.to_string(),
+        median.as_nanos().min(u128::from(u64::MAX)) as u64,
+    ));
 }
 
 impl Criterion {
@@ -101,7 +129,7 @@ impl Criterion {
 
     /// Defines a standalone benchmark.
     pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
-        run_one(name, self.sample_size, f);
+        run_one(name, self.sample_size, &mut self.results, f);
         self
     }
 
@@ -110,16 +138,97 @@ impl Criterion {
         BenchmarkGroup {
             name: name.into(),
             sample_size: self.sample_size,
-            _parent: self,
+            parent: self,
         }
     }
+
+    /// `(label, median ns)` pairs recorded so far.
+    pub fn results(&self) -> &[(String, u64)] {
+        &self.results
+    }
+
+    /// Merges this run's medians into the snapshot JSON (see module docs).
+    /// Called by `criterion_main!`; failures are reported but non-fatal —
+    /// a read-only checkout must not fail the bench run itself.
+    pub fn persist_results(&self) {
+        if self.results.is_empty() {
+            return;
+        }
+        let path = snapshot_path();
+        let mut merged = read_snapshot(&path);
+        for (label, median) in &self.results {
+            merged.retain(|(l, _)| l != label);
+            merged.push((label.clone(), *median));
+        }
+        merged.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut out = String::from("{\n");
+        for (i, (label, median)) in merged.iter().enumerate() {
+            let comma = if i + 1 == merged.len() { "" } else { "," };
+            out.push_str(&format!("  \"{}\": {median}{comma}\n", escape(label)));
+        }
+        out.push_str("}\n");
+        match std::fs::write(&path, out) {
+            Ok(()) => println!("bench medians merged into {}", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+    }
+}
+
+/// Where the snapshot lives: `HAMLET_BENCH_JSON` wins; otherwise
+/// `BENCH_serve.json` at the workspace root (two levels above the bench
+/// crate's manifest), falling back to the current directory.
+fn snapshot_path() -> std::path::PathBuf {
+    if let Ok(p) = std::env::var("HAMLET_BENCH_JSON") {
+        return std::path::PathBuf::from(p);
+    }
+    let root = std::env::var("CARGO_MANIFEST_DIR")
+        .map(|m| {
+            let mut p = std::path::PathBuf::from(m);
+            p.pop();
+            p.pop();
+            p
+        })
+        .unwrap_or_default();
+    root.join("BENCH_serve.json")
+}
+
+/// Reads an existing snapshot written by `persist_results` (one
+/// `"label": ns` pair per line). Tolerates a missing or foreign file by
+/// starting empty — the format is ours, so no general JSON parser is
+/// needed offline.
+fn read_snapshot(path: &std::path::Path) -> Vec<(String, u64)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some(rest) = line.strip_prefix('"') else {
+            continue;
+        };
+        let Some((label, value)) = rest.rsplit_once("\": ") else {
+            continue;
+        };
+        if let Ok(ns) = value.trim().parse::<u64>() {
+            out.push((unescape(label), ns));
+        }
+    }
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn unescape(s: &str) -> String {
+    s.replace("\\\"", "\"").replace("\\\\", "\\")
 }
 
 /// A group of related benchmarks sharing a name prefix.
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
-    _parent: &'a mut Criterion,
+    parent: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
@@ -135,7 +244,12 @@ impl BenchmarkGroup<'_> {
         name: impl Display,
         f: impl FnOnce(&mut Bencher),
     ) -> &mut Self {
-        run_one(&format!("{}/{name}", self.name), self.sample_size, f);
+        run_one(
+            &format!("{}/{name}", self.name),
+            self.sample_size,
+            &mut self.parent.results,
+            f,
+        );
         self
     }
 
@@ -149,6 +263,7 @@ impl BenchmarkGroup<'_> {
         run_one(
             &format!("{}/{}", self.name, id.label),
             self.sample_size,
+            &mut self.parent.results,
             |b| f(b, input),
         );
         self
@@ -175,6 +290,7 @@ macro_rules! criterion_main {
         fn main() {
             let mut c = $crate::Criterion::default();
             $($group(&mut c);)+
+            c.persist_results();
         }
     };
 }
@@ -195,5 +311,24 @@ mod tests {
             b.iter(|| x + 1)
         });
         group.finish();
+        assert_eq!(c.results().len(), 3);
+        assert!(c.results().iter().all(|(_, ns)| *ns > 0));
+    }
+
+    #[test]
+    fn snapshot_merge_roundtrips() {
+        let dir = std::env::temp_dir().join(format!("criterion-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_test.json");
+        std::fs::write(&path, "{\n  \"old/keep\": 7,\n  \"old/replace\": 100\n}\n").unwrap();
+        let existing = read_snapshot(&path);
+        assert_eq!(existing.len(), 2);
+        // Merge semantics: replaced keys update, others survive.
+        let mut merged = existing;
+        merged.retain(|(l, _)| l != "old/replace");
+        merged.push(("old/replace".into(), 42));
+        assert!(merged.iter().any(|(l, n)| l == "old/keep" && *n == 7));
+        assert!(merged.iter().any(|(l, n)| l == "old/replace" && *n == 42));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }
