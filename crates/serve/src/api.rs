@@ -133,6 +133,59 @@ pub struct Health {
     pub coalesce: crate::coalesce::CoalesceSnapshot,
 }
 
+/// `GET /v1/stats` response: the telemetry snapshot.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct StatsResponse {
+    /// Seconds since the server booted.
+    pub uptime_secs: f64,
+    /// Registered model versions (resident or lazy).
+    pub models_registered: usize,
+    /// Versions currently resident in memory.
+    pub models_resident: usize,
+    /// One row per endpoint dimension, fixed order.
+    pub endpoints: Vec<EndpointStatsRow>,
+    /// One row per model key that has seen predict traffic, sorted by key.
+    pub models: Vec<ModelStatsRow>,
+    /// Cross-request predict coalescer counters (same source `/healthz`
+    /// reports).
+    pub coalesce: crate::coalesce::CoalesceSnapshot,
+    /// Tail of recent audit events (the durable log keeps full history).
+    pub events: Vec<crate::telemetry::Event>,
+}
+
+/// Per-endpoint stats row in [`StatsResponse`].
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct EndpointStatsRow {
+    pub endpoint: String,
+    pub requests: u64,
+    pub errors: u64,
+    /// Latency percentiles in milliseconds; absent until the endpoint has
+    /// seen traffic.
+    pub p50_ms: Option<f64>,
+    pub p99_ms: Option<f64>,
+    pub p999_ms: Option<f64>,
+}
+
+/// Per-model stats row in [`StatsResponse`].
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ModelStatsRow {
+    /// Pinned key `name@version`.
+    pub model: String,
+    /// Predict requests answered by this version.
+    pub requests: u64,
+    /// Of those, requests that rode a merged (≥ 2 participant) batch.
+    pub merged_requests: u64,
+    /// Data rows classified.
+    pub rows: u64,
+    /// Latency stats in milliseconds; absent until the model has traffic.
+    pub mean_ms: Option<f64>,
+    pub p50_ms: Option<f64>,
+    pub p99_ms: Option<f64>,
+    pub p999_ms: Option<f64>,
+    /// Seconds since the last predict hit; absent when never hit.
+    pub idle_secs: Option<f64>,
+}
+
 /// Error envelope used by every non-2xx response.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct ApiError {

@@ -39,10 +39,12 @@ USAGE:
     hamlet-serve serve [--addr <ADDR>] [--workers <N>] [--max-conns <N>]
                        [--dir <DIR>] [--load-mode heap|mmap]
                        [--coalesce-window <MICROS>] [--coalesce-max-rows <N>]
+                       [--demote-idle-secs <N>]
     hamlet-serve probe [--addr <ADDR>] [--idle <N>] [--path <PATH>]
                        [--body <JSON>] [--threshold-ms <MS>]
     hamlet-serve blast [--addr <ADDR>] [--path <PATH>] [--requests <N>]
                        [--concurrency <N>] --body-template <JSON>
+                       [--summary-json <PATH|->]
     hamlet-serve artifact inspect <PATH>
     hamlet-serve artifact convert <SRC> [--to v3|v2] [--dir <DIR>]
     hamlet-serve artifact diff <A> <B>
@@ -58,7 +60,11 @@ DEFAULTS: --dir artifacts, --addr 127.0.0.1:8080, --scale 2000, --seed 7,
           paper-fidelity grids; --load-mode heap (mmap borrows format-v3
           weights zero-copy from the mapped files); --coalesce-window 200
           microseconds (0 disables cross-request predict coalescing),
-          --coalesce-max-rows 512 (a merged batch flushes at this size)
+          --coalesce-max-rows 512 (a merged batch flushes at this size);
+          --demote-idle-secs 0 (off): when set, promoted non-latest
+          versions untouched for that long are auto-demoted back to lazy
+          slots (telemetry last-hit driven; the latest version is never
+          touched). /v1/stats and /metrics expose the telemetry.
 
 PROBE:    opens --idle parked keep-alive connections, then times one
           request on a FRESH connection; fails if it errors or exceeds
@@ -69,7 +75,9 @@ BLAST:    fires --requests POSTs at --path from --concurrency parallel
           index and {i} with index mod 2 (in-domain 0/1 codes). Prints one
           `index<TAB>labels` line per request to stdout (sorted, stable
           across runs) so outputs can be diffed between server configs —
-          e.g. coalescing on vs. off must be byte-identical.
+          e.g. coalescing on vs. off must be byte-identical. A latency
+          p50/p90/p99 summary goes to stderr; --summary-json writes the
+          same numbers as JSON to a file (`-` appends them to stdout).
 
 ARTIFACT: inspect prints a file's format, sections and header without
           loading the model; convert rewrites between v2 (json) and v3
@@ -192,6 +200,13 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
             .map_err(|_| format!("bad --coalesce-max-rows `{m}`"))?;
     }
 
+    let demote_idle_secs: u64 = match flags.get("demote-idle-secs") {
+        Some(s) => s
+            .parse()
+            .map_err(|_| format!("bad --demote-idle-secs `{s}` (seconds, 0 disables)"))?,
+        None => 0,
+    };
+
     let (state, loaded) = AppState::warm_full(
         dir.clone(),
         hamlet_serve::server::WarmOptions {
@@ -201,15 +216,30 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         },
     )
     .map_err(|e| e.to_string())?;
-    let opts = ServerOptions {
+    let mut opts = ServerOptions {
         workers,
         max_conns,
         ..ServerOptions::default()
     };
+    if demote_idle_secs > 0 {
+        let idle = std::time::Duration::from_secs(demote_idle_secs);
+        let tick_state = std::sync::Arc::clone(&state);
+        opts.on_tick = Some(hamlet_serve::http::AppTick {
+            // Check at least once a second so short idle windows stay
+            // responsive; the wheel quantizes to ~half-second slots anyway.
+            every: idle.min(std::time::Duration::from_secs(1)),
+            run: std::sync::Arc::new(move || {
+                for key in hamlet_serve::server::demote_idle(&tick_state, idle) {
+                    eprintln!("auto-demoted idle version {key}");
+                }
+            }),
+        });
+    }
     let server = hamlet_serve::server::serve_with(addr, opts, state).map_err(|e| e.to_string())?;
     eprintln!(
         "hamlet-serve listening on http://{} ({} executor(s), {} max conns, \
-         {} model(s) warm from {}, {load_mode:?} load mode, coalesce window {:?} / {} rows)",
+         {} model(s) warm from {}, {load_mode:?} load mode, coalesce window {:?} / {} rows, \
+         auto-demote {})",
         server.addr(),
         workers,
         max_conns,
@@ -217,6 +247,11 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         dir.display(),
         coalesce.window,
         coalesce.max_rows,
+        if demote_idle_secs > 0 {
+            format!("after {demote_idle_secs}s idle")
+        } else {
+            "off".into()
+        },
     );
     // Parked on a condvar (zero CPU) until a stop signal; process signals
     // (Ctrl-C) terminate the process directly.
@@ -327,91 +362,127 @@ fn cmd_blast(flags: &HashMap<String, String>) -> Result<(), String> {
     .clamp(1, requests.max(1));
 
     let started = Instant::now();
-    let mut results: Vec<(usize, String)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..concurrency)
-            .map(|tid| {
-                let addr = addr.clone();
-                let path = path.clone();
-                let template = template.clone();
-                scope.spawn(move || -> Result<Vec<(usize, String)>, String> {
-                    let mut stream = TcpStream::connect(&addr)
-                        .map_err(|e| format!("worker {tid}: connect: {e}"))?;
-                    stream
-                        .set_read_timeout(Some(std::time::Duration::from_secs(30)))
-                        .map_err(|e| format!("worker {tid}: timeout: {e}"))?;
-                    let mut out = Vec::new();
-                    let mut served = 0usize;
-                    for n in (tid..requests).step_by(concurrency) {
-                        // Stay under the server's keep-alive request cap.
-                        if served + 1 >= hamlet_serve::http::MAX_KEEPALIVE_REQUESTS {
-                            stream = TcpStream::connect(&addr)
-                                .map_err(|e| format!("worker {tid}: reconnect: {e}"))?;
-                            stream
-                                .set_read_timeout(Some(std::time::Duration::from_secs(30)))
-                                .map_err(|e| format!("worker {tid}: reconnect timeout: {e}"))?;
-                            served = 0;
-                        }
-                        served += 1;
-                        let body = template
-                            .replace("{n}", &n.to_string())
-                            .replace("{i}", &(n % 2).to_string());
-                        let request = format!(
-                            "POST {path} HTTP/1.1\r\nHost: blast\r\n\
-                             Content-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
-                            body.len()
-                        );
+    type WorkerOut = (Vec<(usize, String)>, Vec<f64>);
+    let (mut results, mut latencies): (Vec<(usize, String)>, Vec<f64>) =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..concurrency)
+                .map(|tid| {
+                    let addr = addr.clone();
+                    let path = path.clone();
+                    let template = template.clone();
+                    scope.spawn(move || -> Result<WorkerOut, String> {
+                        let mut stream = TcpStream::connect(&addr)
+                            .map_err(|e| format!("worker {tid}: connect: {e}"))?;
                         stream
-                            .write_all(request.as_bytes())
-                            .map_err(|e| format!("worker {tid} req {n}: send: {e}"))?;
-                        let resp = hamlet_serve::http::read_response(&mut stream)
-                            .map_err(|e| format!("worker {tid} req {n}: recv: {e}"))?;
-                        if resp.status != 200 {
-                            return Err(format!(
-                                "worker {tid} req {n}: HTTP {}: {}",
-                                resp.status,
-                                String::from_utf8_lossy(&resp.body)
-                            ));
+                            .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+                            .map_err(|e| format!("worker {tid}: timeout: {e}"))?;
+                        let mut out = Vec::new();
+                        let mut lats = Vec::new();
+                        let mut served = 0usize;
+                        for n in (tid..requests).step_by(concurrency) {
+                            // Stay under the server's keep-alive request cap.
+                            if served + 1 >= hamlet_serve::http::MAX_KEEPALIVE_REQUESTS {
+                                stream = TcpStream::connect(&addr)
+                                    .map_err(|e| format!("worker {tid}: reconnect: {e}"))?;
+                                stream
+                                    .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+                                    .map_err(|e| format!("worker {tid}: reconnect timeout: {e}"))?;
+                                served = 0;
+                            }
+                            served += 1;
+                            let body = template
+                                .replace("{n}", &n.to_string())
+                                .replace("{i}", &(n % 2).to_string());
+                            let request = format!(
+                                "POST {path} HTTP/1.1\r\nHost: blast\r\n\
+                                 Content-Type: application/json\r\nContent-Length: {}\r\n\r\n\
+                                 {body}",
+                                body.len()
+                            );
+                            let sent = Instant::now();
+                            stream
+                                .write_all(request.as_bytes())
+                                .map_err(|e| format!("worker {tid} req {n}: send: {e}"))?;
+                            let resp = hamlet_serve::http::read_response(&mut stream)
+                                .map_err(|e| format!("worker {tid} req {n}: recv: {e}"))?;
+                            lats.push(sent.elapsed().as_secs_f64() * 1e3);
+                            if resp.status != 200 {
+                                return Err(format!(
+                                    "worker {tid} req {n}: HTTP {}: {}",
+                                    resp.status,
+                                    String::from_utf8_lossy(&resp.body)
+                                ));
+                            }
+                            let body_text = String::from_utf8_lossy(&resp.body);
+                            // Strip the latency field: only the labels must be
+                            // comparable across configurations.
+                            let labels = body_text
+                                .split("\"labels\":")
+                                .nth(1)
+                                .and_then(|rest| rest.split(']').next())
+                                .map(|l| format!("{l}]"))
+                                .ok_or_else(|| {
+                                    format!("worker {tid} req {n}: no labels in {body_text}")
+                                })?;
+                            out.push((n, labels));
                         }
-                        let body_text = String::from_utf8_lossy(&resp.body);
-                        // Strip the latency field: only the labels must be
-                        // comparable across configurations.
-                        let labels = body_text
-                            .split("\"labels\":")
-                            .nth(1)
-                            .and_then(|rest| rest.split(']').next())
-                            .map(|l| format!("{l}]"))
-                            .ok_or_else(|| {
-                                format!("worker {tid} req {n}: no labels in {body_text}")
-                            })?;
-                        out.push((n, labels));
-                    }
-                    Ok(out)
+                        Ok((out, lats))
+                    })
                 })
-            })
-            .collect();
-        let mut all = Vec::with_capacity(requests);
-        let mut errors = Vec::new();
-        for h in handles {
-            match h.join().expect("blast worker panicked") {
-                Ok(mut chunk) => all.append(&mut chunk),
-                Err(e) => errors.push(e),
+                .collect();
+            let mut all = Vec::with_capacity(requests);
+            let mut lats = Vec::with_capacity(requests);
+            let mut errors = Vec::new();
+            for h in handles {
+                match h.join().expect("blast worker panicked") {
+                    Ok((mut chunk, mut chunk_lats)) => {
+                        all.append(&mut chunk);
+                        lats.append(&mut chunk_lats);
+                    }
+                    Err(e) => errors.push(e),
+                }
             }
-        }
-        if let Some(e) = errors.into_iter().next() {
-            return Err(e);
-        }
-        Ok(all)
-    })?;
+            if let Some(e) = errors.into_iter().next() {
+                return Err(e);
+            }
+            Ok((all, lats))
+        })?;
     let elapsed = started.elapsed();
     results.sort_by_key(|(n, _)| *n);
     for (n, labels) in &results {
         println!("{n}\t{labels}");
     }
+    // Client-observed per-request latency percentiles (nearest rank).
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let pct = |q: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let rank = ((q * latencies.len() as f64).ceil() as usize).clamp(1, latencies.len());
+        latencies[rank - 1]
+    };
+    let (p50, p90, p99) = (pct(0.5), pct(0.9), pct(0.99));
+    let req_per_s = requests as f64 / elapsed.as_secs_f64().max(1e-9);
     eprintln!(
         "blast: {requests} requests over {concurrency} connections in {elapsed:?} \
-         ({:.0} req/s)",
-        requests as f64 / elapsed.as_secs_f64().max(1e-9)
+         ({req_per_s:.0} req/s), latency p50 {p50:.3} ms / p90 {p90:.3} ms / p99 {p99:.3} ms"
     );
+    if let Some(dest) = flags.get("summary-json") {
+        let summary = format!(
+            "{{\"requests\":{requests},\"concurrency\":{concurrency},\
+             \"elapsed_ms\":{:.3},\"req_per_s\":{req_per_s:.1},\
+             \"p50_ms\":{p50:.3},\"p90_ms\":{p90:.3},\"p99_ms\":{p99:.3}}}",
+            elapsed.as_secs_f64() * 1e3
+        );
+        if dest == "-" {
+            // After the label lines, so diff-oriented consumers of stdout
+            // can still strip it with `head -n -1`.
+            println!("{summary}");
+        } else {
+            std::fs::write(dest, summary + "\n")
+                .map_err(|e| format!("writing --summary-json {dest}: {e}"))?;
+        }
+    }
     Ok(())
 }
 

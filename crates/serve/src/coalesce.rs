@@ -204,8 +204,10 @@ struct OpenBatch {
 #[derive(Debug)]
 pub struct Coalescer {
     config: CoalesceConfig,
-    /// Behaviour counters.
-    pub stats: CoalesceStats,
+    /// Behaviour counters. Shared: the server hands in the block owned by
+    /// its `Telemetry` handle so `/healthz`, `/v1/stats` and `/metrics`
+    /// all read the same accounting.
+    pub stats: Arc<CoalesceStats>,
     /// One lane per resolved model key, resolved through the same
     /// lock-free snapshot technique as the registry's latest index — the
     /// hot path must not reintroduce a global mutex just to clone a lane
@@ -237,11 +239,17 @@ const LONELY_RETRY_EVERY: u32 = 16;
 const LANES_GC_THRESHOLD: usize = 256;
 
 impl Coalescer {
-    /// A coalescer with the given tuning.
+    /// A coalescer with the given tuning and its own counter block.
     pub fn new(config: CoalesceConfig) -> Self {
+        Coalescer::with_stats(config, Arc::new(CoalesceStats::default()))
+    }
+
+    /// A coalescer recording into an externally owned counter block
+    /// (telemetry's, in the server).
+    pub fn with_stats(config: CoalesceConfig, stats: Arc<CoalesceStats>) -> Self {
         Coalescer {
             config,
-            stats: CoalesceStats::default(),
+            stats,
             lanes: crate::swap::ArcSwapCell::new(Some(Arc::new(HashMap::new()))),
             lanes_mut: Mutex::new(()),
         }

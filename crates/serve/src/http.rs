@@ -75,6 +75,28 @@ pub struct ServerOptions {
     /// would let an unrelated parked job (a `/v1/train` runs for minutes)
     /// impersonate a merge partner for its whole duration.
     pub queue_gauge: fn(&Request) -> bool,
+    /// Optional periodic application callback driven by the reactor's
+    /// timer wheel (the auto-demoter rides this). Runs on the reactor
+    /// thread, so it must be brief and non-blocking; cadence is quantized
+    /// to the wheel's slot width (~half a second).
+    pub on_tick: Option<AppTick>,
+}
+
+/// A periodic callback the reactor fires from its timer wheel.
+#[derive(Clone)]
+pub struct AppTick {
+    /// Requested period (effective cadence is at least one wheel slot).
+    pub every: Duration,
+    /// The callback itself.
+    pub run: Arc<dyn Fn() + Send + Sync>,
+}
+
+impl std::fmt::Debug for AppTick {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AppTick")
+            .field("every", &self.every)
+            .finish()
+    }
 }
 
 /// Default [`ServerOptions::queue_gauge`]: coalescable predict requests.
@@ -93,6 +115,7 @@ impl Default for ServerOptions {
             idle_timeout: Duration::from_secs(30),
             max_keepalive_requests: MAX_KEEPALIVE_REQUESTS,
             queue_gauge: gauge_predicts,
+            on_tick: None,
         }
     }
 }

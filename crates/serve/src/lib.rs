@@ -35,6 +35,8 @@
 //! | `GET /v1/models`   | registry listing |
 //! | `POST /v1/models/demote` | return a promoted old version to its lazy slot |
 //! | `GET /healthz`     | liveness + model count + coalescer counters |
+//! | `GET /v1/stats`    | per-model/per-endpoint latency percentiles, counters, event tail |
+//! | `GET /metrics`     | Prometheus text exposition of the same telemetry |
 //!
 //! - [`train`] — the train-to-artifact pipeline shared by `/v1/train` and
 //!   the `hamlet-serve` CLI (`train` / `serve` subcommands).
@@ -73,6 +75,7 @@ mod reactor;
 pub mod registry;
 pub mod server;
 pub mod swap;
+pub mod telemetry;
 pub mod train;
 
 /// Convenient glob-import surface.
@@ -89,5 +92,6 @@ pub mod prelude {
     pub use crate::http::{Responder, Server, ServerOptions, StopHandle};
     pub use crate::registry::{ModelRegistry, ModelSummary};
     pub use crate::server::{router, serve, serve_with, AppState, WarmOptions};
+    pub use crate::telemetry::{Endpoint, Event, EventKind, EventLog, Telemetry};
     pub use crate::train::{resolve_dataset, train_and_register, DATASETS};
 }

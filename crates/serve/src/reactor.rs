@@ -233,7 +233,10 @@ impl TimerWheel {
 
 const TOKEN_WAKER: u64 = 0;
 const TOKEN_LISTENER: u64 = 1;
-const FIRST_CONN_TOKEN: u64 = 2;
+/// Wheel-only token for [`ServerOptions::on_tick`]: never registered with
+/// epoll, it just rides the timer wheel and is re-filed after each firing.
+const TOKEN_TICK: u64 = 2;
+const FIRST_CONN_TOKEN: u64 = 3;
 
 /// Pre-rendered response for connections over the `max_conns` cap.
 const OVERLOADED: &[u8] = b"HTTP/1.1 503 Service Unavailable\r\n\
@@ -270,6 +273,9 @@ pub(crate) fn run(
     if let Err(e) = epoll.add(listener.as_raw_fd(), TOKEN_LISTENER, EPOLLIN) {
         eprintln!("hamlet-serve reactor: registering listener failed: {e}");
         return;
+    }
+    if let Some(tick) = &opts.on_tick {
+        wheel.insert(TOKEN_TICK, now + tick.every, now);
     }
 
     let mut events = [EpollEvent { events: 0, data: 0 }; 256];
@@ -368,6 +374,13 @@ pub(crate) fn run(
         // Deadline sweep: surfaced tokens are checked against their live
         // deadline (lazy wheel semantics — see TimerWheel docs).
         for token in wheel.tick(now) {
+            if token == TOKEN_TICK {
+                if let Some(tick) = &opts.on_tick {
+                    (tick.run)();
+                    wheel.insert(TOKEN_TICK, now + tick.every, now);
+                }
+                continue;
+            }
             let Some(conn) = conns.get_mut(&token) else {
                 continue; // stale entry for a closed connection
             };

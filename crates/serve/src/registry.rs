@@ -190,6 +190,45 @@ impl Index {
     }
 }
 
+/// A residency transition worth auditing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegistryNote {
+    /// A lazy slot's payload was loaded and swapped in.
+    Promoted,
+    /// A resident non-latest version was returned to its lazy slot.
+    Demoted,
+}
+
+/// Callback invoked on residency transitions (the server wires this to
+/// telemetry's audit log). Called *after* the registry released its locks,
+/// so observers may freely call back into the registry.
+pub type RegistryObserver = Arc<dyn Fn(RegistryNote, &str) + Send + Sync>;
+
+/// Settable-once-or-more observer cell; `None` until the server installs
+/// one, which keeps the registry usable standalone (tests, CLI).
+#[derive(Default)]
+struct ObserverCell(RwLock<Option<RegistryObserver>>);
+
+impl ObserverCell {
+    fn notify(&self, note: RegistryNote, key: &str) {
+        let guard = self.0.read().expect("observer lock poisoned");
+        if let Some(observer) = guard.as_ref() {
+            observer(note, key);
+        }
+    }
+}
+
+impl std::fmt::Debug for ObserverCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = match self.0.read() {
+            Ok(guard) if guard.is_some() => "set",
+            Ok(_) => "unset",
+            Err(_) => "poisoned",
+        };
+        f.write_str(state)
+    }
+}
+
 /// Thread-safe registry of loaded artifacts.
 #[derive(Debug)]
 pub struct ModelRegistry {
@@ -200,6 +239,8 @@ pub struct ModelRegistry {
     latest_cache: ArcSwapCell<HashMap<String, Arc<ModelArtifact>>>,
     /// How lazily registered payloads are materialized on first use.
     load_mode: LoadMode,
+    /// Residency-transition observer, when installed.
+    observer: ObserverCell,
 }
 
 impl Default for ModelRegistry {
@@ -220,7 +261,14 @@ impl ModelRegistry {
             inner: RwLock::new(Index::default()),
             latest_cache: ArcSwapCell::new(Some(Arc::new(HashMap::new()))),
             load_mode,
+            observer: ObserverCell::default(),
         }
+    }
+
+    /// Installs the residency-transition observer (replacing any previous
+    /// one). Fired outside registry locks, after the transition landed.
+    pub fn set_observer(&self, observer: RegistryObserver) {
+        *self.observer.0.write().expect("observer lock poisoned") = Some(observer);
     }
 
     /// The registry's artifact load mode.
@@ -400,22 +448,28 @@ impl ModelRegistry {
             map.advise(MapAdvice::WillNeed);
         }
         let artifact = Arc::new(artifact);
-        let mut index = self.inner.write().expect("registry lock poisoned");
-        match index.by_key.get(key) {
-            // Raced with another promotion: keep the incumbent.
-            Some(Slot::Ready(r)) => Ok(Arc::clone(&r.artifact)),
-            _ => {
-                index.by_key.insert(
-                    key.to_string(),
-                    Slot::Ready(ReadySlot {
-                        artifact: Arc::clone(&artifact),
-                        origin: Some(slot.path.clone()),
-                        map,
-                    }),
-                );
-                Ok(artifact)
+        let fresh = {
+            let mut index = self.inner.write().expect("registry lock poisoned");
+            match index.by_key.get(key) {
+                // Raced with another promotion: keep the incumbent.
+                Some(Slot::Ready(r)) => return Ok(Arc::clone(&r.artifact)),
+                _ => {
+                    index.by_key.insert(
+                        key.to_string(),
+                        Slot::Ready(ReadySlot {
+                            artifact: Arc::clone(&artifact),
+                            origin: Some(slot.path.clone()),
+                            map,
+                        }),
+                    );
+                    artifact
+                }
             }
-        }
+        };
+        // Only the promotion that actually landed is audited, and only
+        // after the write lock dropped (the observer may re-enter).
+        self.observer.notify(RegistryNote::Promoted, key);
+        Ok(fresh)
     }
 
     /// Returns a promoted (resident) **non-latest** version to its lazy
@@ -430,40 +484,46 @@ impl ModelRegistry {
     /// freed when the last of them finishes, and mmap-backed pages get a
     /// `DONTNEED` hint immediately.
     pub fn demote(&self, key: &str) -> Result<ModelSummary> {
-        let mut index = self.inner.write().expect("registry lock poisoned");
-        let slot = index
-            .by_key
-            .get(key)
-            .ok_or_else(|| ServeError::ModelNotFound(key.to_string()))?;
-        let ready = match slot {
-            Slot::Lazy(l) => return Ok(summarize_head(&l.head, false)),
-            Slot::Ready(r) => r.clone(),
+        let summary = {
+            let mut index = self.inner.write().expect("registry lock poisoned");
+            let slot = index
+                .by_key
+                .get(key)
+                .ok_or_else(|| ServeError::ModelNotFound(key.to_string()))?;
+            let ready = match slot {
+                // Already lazy: idempotent no-op, nothing to audit.
+                Slot::Lazy(l) => return Ok(summarize_head(&l.head, false)),
+                Slot::Ready(r) => r.clone(),
+            };
+            if index
+                .latest
+                .get(&ready.artifact.name)
+                .is_some_and(|latest| latest.version == ready.artifact.version)
+            {
+                return Err(ServeError::BadRequest(format!(
+                    "cannot demote `{key}`: it is the latest version of `{}` and serves \
+                     bare-name traffic",
+                    ready.artifact.name
+                )));
+            }
+            let Some(path) = ready.origin else {
+                return Err(ServeError::BadRequest(format!(
+                    "cannot demote `{key}`: no backing artifact file recorded for it"
+                )));
+            };
+            if let Some(map) = &ready.map {
+                map.advise(MapAdvice::DontNeed);
+            }
+            let head = ready.artifact.head();
+            let summary = summarize_head(&head, false);
+            index.by_key.insert(
+                key.to_string(),
+                Slot::Lazy(Arc::new(LazySlot { path, head })),
+            );
+            summary
         };
-        if index
-            .latest
-            .get(&ready.artifact.name)
-            .is_some_and(|latest| latest.version == ready.artifact.version)
-        {
-            return Err(ServeError::BadRequest(format!(
-                "cannot demote `{key}`: it is the latest version of `{}` and serves bare-name \
-                 traffic",
-                ready.artifact.name
-            )));
-        }
-        let Some(path) = ready.origin else {
-            return Err(ServeError::BadRequest(format!(
-                "cannot demote `{key}`: no backing artifact file recorded for it"
-            )));
-        };
-        if let Some(map) = &ready.map {
-            map.advise(MapAdvice::DontNeed);
-        }
-        let head = ready.artifact.head();
-        let summary = summarize_head(&head, false);
-        index.by_key.insert(
-            key.to_string(),
-            Slot::Lazy(Arc::new(LazySlot { path, head })),
-        );
+        // Real Ready → Lazy transition: audit it with the lock released.
+        self.observer.notify(RegistryNote::Demoted, key);
         Ok(summary)
     }
 

@@ -14,7 +14,8 @@ use crate::artifact::{LoadMode, ModelArtifact};
 use crate::coalesce::{Batch, CoalesceConfig, Coalescer, PendingPredict, Submitted};
 use crate::error::ServeError;
 use crate::http::{Handler, Request, Responder, Response, Server, ServerOptions};
-use crate::registry::ModelRegistry;
+use crate::registry::{ModelRegistry, RegistryNote};
+use crate::telemetry::{Endpoint, EventKind, OpsGauges, Telemetry};
 use crate::train::train_and_register;
 
 /// Shared state behind every worker thread.
@@ -34,6 +35,11 @@ pub struct AppState {
     /// requests against the same resident model merge into one sharded
     /// fan-out at the executor boundary (see [`crate::coalesce`]).
     pub coalescer: Coalescer,
+    /// The ops plane: per-model/per-endpoint latency histograms and
+    /// counters, the audit-event trail, and the last-hit timestamps the
+    /// idle auto-demoter reads. The coalescer's counter block is shared
+    /// with this handle, so every surface reports one accounting.
+    pub telemetry: Telemetry,
     /// Machine-wide fan-out budget shared by every in-flight predict: the
     /// sum of extra scoped threads across concurrent requests never exceeds
     /// `predict_threads`, so N simultaneous large batches share the cores
@@ -337,6 +343,29 @@ impl AppState {
         opts: WarmOptions,
     ) -> crate::error::Result<(Arc<AppState>, usize)> {
         let (registry, loaded) = ModelRegistry::warm_load_with(&artifact_dir, opts.load_mode)?;
+        let telemetry = Telemetry::with_event_log(&artifact_dir.join("events"))?;
+        // Residency transitions are audited wherever they originate — the
+        // HTTP demote endpoint, a pinned predict promoting a lazy slot, or
+        // the idle auto-demoter — by observing the registry itself.
+        registry.set_observer({
+            let telemetry = telemetry.clone();
+            Arc::new(move |note, key| {
+                let (kind, detail) = match note {
+                    RegistryNote::Promoted => {
+                        (EventKind::Promote, "lazy slot promoted to resident")
+                    }
+                    RegistryNote::Demoted => {
+                        (EventKind::Demote, "resident payload released to lazy slot")
+                    }
+                };
+                telemetry.record_event(kind, key, detail);
+            })
+        });
+        telemetry.record_event(
+            EventKind::Startup,
+            "",
+            &format!("{loaded} artifact(s) warm-loaded"),
+        );
         let cores = default_predict_threads();
         let budget = if opts.executors == 0 {
             cores
@@ -349,7 +378,8 @@ impl AppState {
                 artifact_dir,
                 predict_threads: cores,
                 latency: LatencyTracker::new(),
-                coalescer: Coalescer::new(opts.coalesce),
+                coalescer: Coalescer::with_stats(opts.coalesce, telemetry.coalesce_stats()),
+                telemetry,
                 shard_budget: ShardBudget::new(budget),
                 train_gate: std::sync::atomic::AtomicBool::new(false),
             }),
@@ -517,16 +547,34 @@ fn execute_batch_cell(
 /// in the model unwinds through here dropping the batch, whose responders
 /// then answer 500 from their destructors — per-request isolation holds
 /// even for execution failures.
-fn run_batch(state: &AppState, key: String, cell: &LatencyCell, batch: Batch, d: usize) {
+fn run_batch(
+    state: &AppState,
+    key: String,
+    cell: &LatencyCell,
+    tstats: &Arc<crate::telemetry::ModelStats>,
+    batch: Batch,
+    d: usize,
+) {
     let per_part = {
         let segments: Vec<&[u32]> = batch.parts.iter().map(|p| p.rows.as_slice()).collect();
         execute_batch_cell(state, cell, &batch.artifact, &segments, d)
     };
+    // A single-participant batch (window expired partnerless) did not
+    // actually merge; per-model accounting mirrors the coalescer's
+    // merged/solo distinction.
+    let merged = batch.parts.len() > 1;
+    let now_ms = state.telemetry.now_ms();
     for (part, labels) in batch.parts.into_iter().zip(per_part) {
+        let spent = part.start.elapsed();
+        tstats.record(spent, (part.rows.len() / d.max(1)) as u64, merged, now_ms);
+        state
+            .telemetry
+            .endpoint(Endpoint::Predict)
+            .observe(spent, false);
         let response = ok_json(&PredictResponse {
             model: key.clone(),
             labels,
-            latency_ms: part.start.elapsed().as_secs_f64() * 1e3,
+            latency_ms: spent.as_secs_f64() * 1e3,
         });
         part.responder.send(response);
     }
@@ -554,13 +602,20 @@ fn predict(state: &AppState, req: &Request, responder: Responder) {
     let start = Instant::now();
     let (artifact, rows, d) = match parse_predict(state, req) {
         Ok(parsed) => parsed,
-        Err(e) => return responder.send(error_response(&e)),
+        Err(e) => {
+            state
+                .telemetry
+                .endpoint(Endpoint::Predict)
+                .observe(start.elapsed(), true);
+            return responder.send(error_response(&e));
+        }
     };
-    // Resolve the model's identity and latency cell exactly once; every
-    // downstream step (coalescer lane, shard sizing, EWMA fold-back,
-    // response body) reuses them.
+    // Resolve the model's identity, latency cell and telemetry cell
+    // exactly once; every downstream step (coalescer lane, shard sizing,
+    // EWMA fold-back, response body, per-model accounting) reuses them.
     let key = artifact.key();
     let cell = state.latency.cell(&key);
+    let tstats = state.telemetry.model(&key);
     let part = PendingPredict {
         rows,
         start,
@@ -575,15 +630,26 @@ fn predict(state: &AppState, req: &Request, responder: Responder) {
         Submitted::Joined => {}
         Submitted::Solo(part) => {
             let labels = execute_predict_cell(state, &cell, &artifact, &part.rows, d);
+            let spent = part.start.elapsed();
+            tstats.record(
+                spent,
+                (part.rows.len() / d.max(1)) as u64,
+                false,
+                state.telemetry.now_ms(),
+            );
+            state
+                .telemetry
+                .endpoint(Endpoint::Predict)
+                .observe(spent, false);
             part.responder.send(ok_json(&PredictResponse {
                 model: key,
                 labels,
-                latency_ms: part.start.elapsed().as_secs_f64() * 1e3,
+                latency_ms: spent.as_secs_f64() * 1e3,
             }));
         }
         // Leading a batch means every participant resolved this same
         // artifact, so the key and cell resolved above serve the batch.
-        Submitted::Flush(batch) => run_batch(state, key, &cell, batch, d),
+        Submitted::Flush(batch) => run_batch(state, key, &cell, &tstats, batch, d),
     }
 }
 
@@ -648,7 +714,59 @@ fn train(state: &AppState, req: &Request) -> Result<Response, ServeError> {
     };
     let body: TrainRequest = parse_body(req)?;
     let resp: TrainResponse = train_and_register(&state.registry, &state.artifact_dir, &body)?;
+    state.telemetry.record_event(
+        EventKind::Train,
+        &resp.key,
+        &format!(
+            "dataset={} spec={} test_accuracy={:.3}",
+            body.dataset,
+            body.spec.name(),
+            resp.metrics.test_accuracy
+        ),
+    );
     Ok(ok_json(&resp))
+}
+
+/// Registry gauges the exporters report next to telemetry.
+fn ops_gauges(state: &AppState) -> OpsGauges {
+    OpsGauges {
+        models_registered: state.registry.len(),
+        models_resident: state.registry.resident_count(),
+    }
+}
+
+/// Demotes every promoted **non-latest** version whose telemetry last-hit
+/// timestamp is at least `idle` old (never-hit versions count as idle
+/// since boot). The latest version of each name is never touched — it
+/// serves bare-name traffic. Returns the demoted keys.
+///
+/// This is the telemetry-driven ops loop: the reactor's timer wheel calls
+/// it via [`ServerOptions::on_tick`] when `--demote-idle-secs` is set, so
+/// a burst of pinned traffic against an old version stops costing payload
+/// memory once the burst is over. Racing a concurrent predict is benign:
+/// the predict either holds the artifact `Arc` already (it finishes
+/// normally) or re-promotes the lazy slot on its next request.
+pub fn demote_idle(state: &AppState, idle: std::time::Duration) -> Vec<String> {
+    let summaries = state.registry.list();
+    let mut demoted = Vec::new();
+    for s in &summaries {
+        if !s.resident {
+            continue;
+        }
+        let latest = summaries
+            .iter()
+            .filter(|o| o.name == s.name)
+            .map(|o| o.version)
+            .max()
+            .unwrap_or(s.version);
+        if s.version == latest {
+            continue;
+        }
+        if state.telemetry.idle_for(&s.key) >= idle && state.registry.demote(&s.key).is_ok() {
+            demoted.push(s.key.clone());
+        }
+    }
+    demoted
 }
 
 /// Builds the router over shared state.
@@ -659,12 +777,24 @@ pub fn router(state: Arc<AppState>) -> Handler {
         if (req.method.as_str(), req.path.as_str()) == ("POST", "/v1/predict") {
             return predict(&state, req, responder);
         }
+        let sync_start = Instant::now();
+        let endpoint = Endpoint::of(&req.path);
         let response = match (req.method.as_str(), req.path.as_str()) {
             ("GET", "/healthz") => ok_json(&Health {
                 status: "ok".into(),
                 models: state.registry.len(),
-                coalesce: state.coalescer.stats.snapshot(),
+                // Same counter block the coalescer records into (shared
+                // through telemetry): one accounting source of truth.
+                coalesce: state.telemetry.coalesce_stats().snapshot(),
             }),
+            ("GET", "/v1/stats") => ok_json(&crate::telemetry::stats_response(
+                &state.telemetry,
+                ops_gauges(&state),
+            )),
+            ("GET", "/metrics") => Response::text(
+                200,
+                crate::telemetry::prometheus(&state.telemetry, ops_gauges(&state)),
+            ),
             ("GET", "/v1/models") => ok_json(&ModelsResponse {
                 models: state.registry.list(),
             }),
@@ -686,11 +816,16 @@ pub fn router(state: Arc<AppState>) -> Handler {
             },
             ("GET" | "POST", _) => Response::json(
                 404,
-                "{\"error\":\"no such endpoint; see /healthz, /v1/models, \
-                 /v1/models/demote, /v1/predict, /v1/explain, /v1/advise, /v1/train\"}",
+                "{\"error\":\"no such endpoint; see /healthz, /metrics, /v1/stats, \
+                 /v1/models, /v1/models/demote, /v1/predict, /v1/explain, /v1/advise, \
+                 /v1/train\"}",
             ),
             _ => Response::json(405, "{\"error\":\"method not allowed\"}"),
         };
+        state
+            .telemetry
+            .endpoint(endpoint)
+            .observe(sync_start.elapsed(), response.status >= 400);
         responder.send(response);
     })
 }
@@ -719,12 +854,14 @@ mod tests {
     }
 
     fn state_with_coalesce(coalesce: CoalesceConfig) -> Arc<AppState> {
+        let telemetry = Telemetry::in_memory();
         Arc::new(AppState {
             registry: ModelRegistry::new(),
             artifact_dir: std::env::temp_dir().join("hamlet-serve-router-tests"),
             predict_threads: 2,
             latency: LatencyTracker::new(),
-            coalescer: Coalescer::new(coalesce),
+            coalescer: Coalescer::with_stats(coalesce, telemetry.coalesce_stats()),
+            telemetry,
             shard_budget: ShardBudget::new(2),
             train_gate: std::sync::atomic::AtomicBool::new(false),
         })

@@ -1,0 +1,302 @@
+//! Rendering telemetry for the ops surface: hand-rolled Prometheus text
+//! exposition for `GET /metrics` and the JSON body for `GET /v1/stats`.
+//!
+//! The Prometheus writer emits each metric family as a `# TYPE` line
+//! followed immediately by all of its samples — the ordering scrapers
+//! require — and escapes label values per the exposition format. No
+//! client library, no deps: the format is a dozen lines of `write!`.
+
+use std::fmt::Write;
+
+use crate::api::{EndpointStatsRow, ModelStatsRow, StatsResponse};
+
+use super::stats::Telemetry;
+
+/// Point-in-time registry gauges the exporter cannot read from telemetry
+/// itself (they belong to the registry, not the request path).
+#[derive(Debug, Clone, Copy)]
+pub struct OpsGauges {
+    /// Registered model versions (resident or lazy).
+    pub models_registered: usize,
+    /// Versions currently resident in memory.
+    pub models_resident: usize,
+}
+
+/// Escapes a Prometheus label value: backslash, double quote, newline.
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Renders the full `/metrics` payload.
+pub fn prometheus(t: &Telemetry, gauges: OpsGauges) -> String {
+    let mut out = String::with_capacity(4096);
+    let endpoints = t.endpoints_snapshot();
+    let models = t.models_snapshot();
+    let coalesce = t.coalesce_stats().snapshot();
+
+    out.push_str("# HELP hamlet_uptime_seconds Seconds since the server booted.\n");
+    out.push_str("# TYPE hamlet_uptime_seconds gauge\n");
+    let _ = writeln!(out, "hamlet_uptime_seconds {}", t.uptime().as_secs_f64());
+
+    out.push_str("# TYPE hamlet_models_registered gauge\n");
+    let _ = writeln!(out, "hamlet_models_registered {}", gauges.models_registered);
+    out.push_str("# TYPE hamlet_models_resident gauge\n");
+    let _ = writeln!(out, "hamlet_models_resident {}", gauges.models_resident);
+
+    out.push_str("# HELP hamlet_requests_total Requests answered, by endpoint.\n");
+    out.push_str("# TYPE hamlet_requests_total counter\n");
+    for (e, snap) in &endpoints {
+        let _ = writeln!(
+            out,
+            "hamlet_requests_total{{endpoint=\"{}\"}} {}",
+            e.name(),
+            snap.requests
+        );
+    }
+    out.push_str("# TYPE hamlet_request_errors_total counter\n");
+    for (e, snap) in &endpoints {
+        let _ = writeln!(
+            out,
+            "hamlet_request_errors_total{{endpoint=\"{}\"}} {}",
+            e.name(),
+            snap.errors
+        );
+    }
+
+    out.push_str("# HELP hamlet_coalesce_total Predict coalescer counters.\n");
+    out.push_str("# TYPE hamlet_coalesce_total counter\n");
+    for (kind, value) in [
+        ("batches", coalesce.batches),
+        ("merged_requests", coalesce.merged_requests),
+        ("solo_requests", coalesce.solo_requests),
+        ("flush_full", coalesce.flush_full),
+        ("flush_timeout", coalesce.flush_timeout),
+        ("flush_drained", coalesce.flush_drained),
+    ] {
+        let _ = writeln!(out, "hamlet_coalesce_total{{kind=\"{kind}\"}} {value}");
+    }
+
+    out.push_str("# HELP hamlet_model_requests_total Predict requests answered, by model.\n");
+    out.push_str("# TYPE hamlet_model_requests_total counter\n");
+    for (key, snap) in &models {
+        let _ = writeln!(
+            out,
+            "hamlet_model_requests_total{{model=\"{}\"}} {}",
+            escape_label(key),
+            snap.requests
+        );
+    }
+    out.push_str("# TYPE hamlet_model_merged_requests_total counter\n");
+    for (key, snap) in &models {
+        let _ = writeln!(
+            out,
+            "hamlet_model_merged_requests_total{{model=\"{}\"}} {}",
+            escape_label(key),
+            snap.merged_requests
+        );
+    }
+    out.push_str("# TYPE hamlet_model_rows_total counter\n");
+    for (key, snap) in &models {
+        let _ = writeln!(
+            out,
+            "hamlet_model_rows_total{{model=\"{}\"}} {}",
+            escape_label(key),
+            snap.rows
+        );
+    }
+
+    out.push_str("# HELP hamlet_request_latency_seconds Request latency, by endpoint.\n");
+    out.push_str("# TYPE hamlet_request_latency_seconds summary\n");
+    for (e, snap) in &endpoints {
+        write_summary(
+            &mut out,
+            "hamlet_request_latency_seconds",
+            &format!("endpoint=\"{}\"", e.name()),
+            &snap.hist,
+        );
+    }
+    out.push_str("# HELP hamlet_model_latency_seconds Predict latency, by model.\n");
+    out.push_str("# TYPE hamlet_model_latency_seconds summary\n");
+    for (key, snap) in &models {
+        write_summary(
+            &mut out,
+            "hamlet_model_latency_seconds",
+            &format!("model=\"{}\"", escape_label(key)),
+            &snap.hist,
+        );
+    }
+    out
+}
+
+/// One summary family member: quantile samples plus `_sum`/`_count`.
+/// Dimensions with no observations emit only the (zero) `_sum`/`_count`
+/// pair, since their quantiles are undefined.
+fn write_summary(
+    out: &mut String,
+    family: &str,
+    label: &str,
+    hist: &super::hist::HistogramSnapshot,
+) {
+    for (q, label_q) in [(0.5, "0.5"), (0.99, "0.99"), (0.999, "0.999")] {
+        if let Some(ns) = hist.percentile_ns(q) {
+            let _ = writeln!(
+                out,
+                "{family}{{{label},quantile=\"{label_q}\"}} {}",
+                ns / 1e9
+            );
+        }
+    }
+    let _ = writeln!(out, "{family}_sum{{{label}}} {}", hist.sum_ns as f64 / 1e9);
+    let _ = writeln!(out, "{family}_count{{{label}}} {}", hist.count());
+}
+
+/// Assembles the `GET /v1/stats` JSON body.
+pub fn stats_response(t: &Telemetry, gauges: OpsGauges) -> StatsResponse {
+    let now_ms = t.now_ms();
+    let endpoints = t
+        .endpoints_snapshot()
+        .into_iter()
+        .map(|(e, snap)| EndpointStatsRow {
+            endpoint: e.name().to_string(),
+            requests: snap.requests,
+            errors: snap.errors,
+            p50_ms: snap.hist.percentile_ms(0.5),
+            p99_ms: snap.hist.percentile_ms(0.99),
+            p999_ms: snap.hist.percentile_ms(0.999),
+        })
+        .collect();
+    let models = t
+        .models_snapshot()
+        .into_iter()
+        .map(|(key, snap)| ModelStatsRow {
+            model: key,
+            requests: snap.requests,
+            merged_requests: snap.merged_requests,
+            rows: snap.rows,
+            mean_ms: snap.hist.mean_ns().map(|ns| ns / 1e6),
+            p50_ms: snap.hist.percentile_ms(0.5),
+            p99_ms: snap.hist.percentile_ms(0.99),
+            p999_ms: snap.hist.percentile_ms(0.999),
+            idle_secs: snap
+                .last_hit_ms
+                .map(|last| now_ms.saturating_sub(last) as f64 / 1e3),
+        })
+        .collect();
+    StatsResponse {
+        uptime_secs: t.uptime().as_secs_f64(),
+        models_registered: gauges.models_registered,
+        models_resident: gauges.models_resident,
+        endpoints,
+        models,
+        coalesce: t.coalesce_stats().snapshot(),
+        events: t.recent_events(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+    use std::time::Duration;
+
+    use super::super::eventlog::EventKind;
+    use super::super::stats::Endpoint;
+    use super::*;
+
+    fn seeded_telemetry() -> Telemetry {
+        let t = Telemetry::in_memory();
+        for i in 1..=40u64 {
+            t.endpoint(Endpoint::Predict)
+                .observe(Duration::from_micros(100 * i), false);
+            t.model("alpha@1")
+                .record(Duration::from_micros(90 * i), 2, i % 2 == 0, t.now_ms());
+        }
+        t.endpoint(Endpoint::Other)
+            .observe(Duration::from_micros(10), true);
+        t.record_event(EventKind::Startup, "", "2 artifact(s) warm-loaded");
+        t
+    }
+
+    /// Mirrors the CI exposition check: every sample's family (modulo the
+    /// `_sum`/`_count` suffixes) must have been declared by a preceding
+    /// `# TYPE` line.
+    #[test]
+    fn every_sample_follows_its_type_line() {
+        let t = seeded_telemetry();
+        let text = prometheus(
+            &t,
+            OpsGauges {
+                models_registered: 3,
+                models_resident: 2,
+            },
+        );
+        let mut declared: HashSet<&str> = HashSet::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                declared.insert(rest.split_whitespace().next().unwrap());
+                continue;
+            }
+            if line.starts_with('#') || line.is_empty() {
+                continue;
+            }
+            let metric = line.split(['{', ' ']).next().expect("metric name");
+            let base = metric
+                .strip_suffix("_sum")
+                .or_else(|| metric.strip_suffix("_count"))
+                .unwrap_or(metric);
+            assert!(
+                declared.contains(metric) || declared.contains(base),
+                "sample `{metric}` has no preceding # TYPE line"
+            );
+        }
+        assert!(text.contains("hamlet_model_requests_total{model=\"alpha@1\"} 40"));
+        assert!(text.contains("hamlet_requests_total{endpoint=\"predict\"} 40"));
+        assert!(text.contains("hamlet_request_errors_total{endpoint=\"other\"} 1"));
+        assert!(text.contains("quantile=\"0.999\""));
+    }
+
+    #[test]
+    fn stats_response_reports_percentiles_and_events() {
+        let t = seeded_telemetry();
+        let resp = stats_response(
+            &t,
+            OpsGauges {
+                models_registered: 3,
+                models_resident: 2,
+            },
+        );
+        assert_eq!(resp.models_registered, 3);
+        let predict = resp
+            .endpoints
+            .iter()
+            .find(|r| r.endpoint == "predict")
+            .unwrap();
+        assert_eq!(predict.requests, 40);
+        assert!(predict.p50_ms.unwrap() > 0.0);
+        assert!(predict.p99_ms.unwrap() >= predict.p50_ms.unwrap());
+        let alpha = resp.models.iter().find(|r| r.model == "alpha@1").unwrap();
+        assert_eq!(alpha.rows, 80);
+        assert_eq!(alpha.merged_requests, 20);
+        assert!(alpha.p999_ms.is_some());
+        assert!(alpha.idle_secs.is_some());
+        assert_eq!(resp.events.len(), 1);
+        // The JSON wire shape carries the event kind as a string.
+        let json = serde_json::to_string(&resp).unwrap();
+        assert!(json.contains("\"kind\":\"Startup\""), "{json}");
+        assert!(json.contains("\"p99_ms\":"), "{json}");
+    }
+
+    #[test]
+    fn label_escaping_covers_the_specials() {
+        assert_eq!(escape_label(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(escape_label("x\ny"), "x\\ny");
+    }
+}

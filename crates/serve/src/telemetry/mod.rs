@@ -1,0 +1,30 @@
+//! Embedded telemetry and ops plane.
+//!
+//! Three pillars, one handle:
+//!
+//! - [`stats`] — the cloneable [`Telemetry`] handle threaded through
+//!   `AppState`: per-endpoint and per-model request/error/row counters and
+//!   log-scale latency histograms ([`hist`]), recorded at the dispatch
+//!   boundary so solo and coalesced predicts are both attributed to their
+//!   model. Lock-free on the hot path.
+//! - [`eventlog`] — a segmented append-only binary audit log of
+//!   train/promote/demote/startup events with CRC-framed records, segment
+//!   rotation, and crash-tolerant torn-tail recovery. `/v1/stats` serves
+//!   the in-memory tail; the segments under `<artifact-dir>/events/` are
+//!   the durable history.
+//! - [`export`] — rendering: hand-rolled Prometheus text exposition for
+//!   `GET /metrics` and the JSON body for `GET /v1/stats`.
+//!
+//! The ops loop closes in `server::demote_idle`, which the reactor's timer
+//! wheel drives to demote promoted non-latest versions whose telemetry
+//! last-hit timestamp has gone stale (`--demote-idle-secs`).
+
+pub mod eventlog;
+pub mod export;
+pub mod hist;
+pub mod stats;
+
+pub use eventlog::{Event, EventKind, EventLog};
+pub use export::{prometheus, stats_response, OpsGauges};
+pub use hist::{HistogramSnapshot, LatencyHistogram};
+pub use stats::{Endpoint, EndpointStats, ModelStats, Telemetry};

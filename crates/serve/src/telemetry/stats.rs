@@ -1,0 +1,411 @@
+//! The `Telemetry` handle: per-endpoint and per-model counters and latency
+//! histograms, the recent-event ring, and the optional durable event log.
+//!
+//! Cloning `Telemetry` is an `Arc` bump; every recording path is lock-free
+//! or read-lock-only in steady state. Per-model cells follow the same
+//! pattern as `LatencyTracker`: a `RwLock<HashMap>` taken for read on
+//! every hit, with an occasional write-locked insert for first contact and
+//! a garbage-collection sweep once the map grows past a threshold.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+use crate::coalesce::CoalesceStats;
+use crate::error::Result;
+
+use super::eventlog::{Event, EventKind, EventLog};
+use super::hist::{HistogramSnapshot, LatencyHistogram};
+
+/// Recent events kept in memory for `/v1/stats` regardless of whether a
+/// durable log is attached.
+const EVENT_RING: usize = 64;
+/// Per-model cell map GC threshold (mirrors `LATENCY_CELLS_GC_THRESHOLD`).
+const MODEL_CELLS_GC_THRESHOLD: usize = 256;
+/// `last_hit_ms` sentinel: never hit since boot.
+const NEVER: u64 = u64::MAX;
+
+/// The served API surface, as fixed telemetry dimensions: one histogram
+/// and counter pair per endpoint, no allocation to attribute a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    Predict,
+    Explain,
+    Advise,
+    Train,
+    Models,
+    Demote,
+    Healthz,
+    Stats,
+    Metrics,
+    /// Anything unrouted (404s, typos, probes).
+    Other,
+}
+
+impl Endpoint {
+    pub const COUNT: usize = 10;
+    pub const ALL: [Endpoint; Endpoint::COUNT] = [
+        Endpoint::Predict,
+        Endpoint::Explain,
+        Endpoint::Advise,
+        Endpoint::Train,
+        Endpoint::Models,
+        Endpoint::Demote,
+        Endpoint::Healthz,
+        Endpoint::Stats,
+        Endpoint::Metrics,
+        Endpoint::Other,
+    ];
+
+    /// Classifies a request path (method-agnostic: a GET to `/v1/predict`
+    /// still counts against the predict dimension, as a 405).
+    pub fn of(path: &str) -> Endpoint {
+        match path {
+            "/v1/predict" => Endpoint::Predict,
+            "/v1/explain" => Endpoint::Explain,
+            "/v1/advise" => Endpoint::Advise,
+            "/v1/train" => Endpoint::Train,
+            "/v1/models" => Endpoint::Models,
+            "/v1/models/demote" => Endpoint::Demote,
+            "/healthz" => Endpoint::Healthz,
+            "/v1/stats" => Endpoint::Stats,
+            "/metrics" => Endpoint::Metrics,
+            _ => Endpoint::Other,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Endpoint::Predict => "predict",
+            Endpoint::Explain => "explain",
+            Endpoint::Advise => "advise",
+            Endpoint::Train => "train",
+            Endpoint::Models => "models",
+            Endpoint::Demote => "demote",
+            Endpoint::Healthz => "healthz",
+            Endpoint::Stats => "stats",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Other => "other",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Counters and latency for one endpoint.
+#[derive(Debug, Default)]
+pub struct EndpointStats {
+    hist: LatencyHistogram,
+    requests: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl EndpointStats {
+    /// Records one completed request.
+    #[inline]
+    pub fn observe(&self, spent: Duration, error: bool) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if error {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.hist.record(spent);
+    }
+
+    pub fn snapshot(&self) -> EndpointSnapshot {
+        EndpointSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            hist: self.hist.snapshot(),
+        }
+    }
+}
+
+/// Point-in-time copy of one endpoint's stats.
+#[derive(Debug, Clone)]
+pub struct EndpointSnapshot {
+    pub requests: u64,
+    pub errors: u64,
+    pub hist: HistogramSnapshot,
+}
+
+/// Counters and latency for one model key, including the last-hit
+/// timestamp the auto-demoter reads.
+#[derive(Debug)]
+pub struct ModelStats {
+    hist: LatencyHistogram,
+    requests: AtomicU64,
+    merged_requests: AtomicU64,
+    rows: AtomicU64,
+    /// Milliseconds since the telemetry epoch at the last hit; [`NEVER`]
+    /// until the first one.
+    last_hit_ms: AtomicU64,
+}
+
+impl Default for ModelStats {
+    fn default() -> Self {
+        ModelStats {
+            hist: LatencyHistogram::new(),
+            requests: AtomicU64::new(0),
+            merged_requests: AtomicU64::new(0),
+            rows: AtomicU64::new(0),
+            last_hit_ms: AtomicU64::new(NEVER),
+        }
+    }
+}
+
+impl ModelStats {
+    /// Records one answered predict request against this model.
+    #[inline]
+    pub fn record(&self, spent: Duration, rows: u64, merged: bool, now_ms: u64) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if merged {
+            self.merged_requests.fetch_add(1, Ordering::Relaxed);
+        }
+        self.rows.fetch_add(rows, Ordering::Relaxed);
+        self.last_hit_ms.store(now_ms, Ordering::Relaxed);
+        self.hist.record(spent);
+    }
+
+    pub fn snapshot(&self) -> ModelSnapshot {
+        let last = self.last_hit_ms.load(Ordering::Relaxed);
+        ModelSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            merged_requests: self.merged_requests.load(Ordering::Relaxed),
+            rows: self.rows.load(Ordering::Relaxed),
+            last_hit_ms: (last != NEVER).then_some(last),
+            hist: self.hist.snapshot(),
+        }
+    }
+}
+
+/// Point-in-time copy of one model's stats.
+#[derive(Debug, Clone)]
+pub struct ModelSnapshot {
+    pub requests: u64,
+    pub merged_requests: u64,
+    pub rows: u64,
+    pub last_hit_ms: Option<u64>,
+    pub hist: HistogramSnapshot,
+}
+
+#[derive(Debug)]
+struct TelemetryInner {
+    epoch: Instant,
+    coalesce: Arc<CoalesceStats>,
+    endpoints: [EndpointStats; Endpoint::COUNT],
+    models: RwLock<HashMap<String, Arc<ModelStats>>>,
+    recent: Mutex<VecDeque<Event>>,
+    log: Option<EventLog>,
+}
+
+/// The process-wide telemetry handle. Clone freely; all clones share one
+/// set of counters.
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    inner: Arc<TelemetryInner>,
+}
+
+impl Telemetry {
+    fn build(log: Option<EventLog>) -> Telemetry {
+        Telemetry {
+            inner: Arc::new(TelemetryInner {
+                epoch: Instant::now(),
+                coalesce: Arc::new(CoalesceStats::default()),
+                endpoints: std::array::from_fn(|_| EndpointStats::default()),
+                models: RwLock::new(HashMap::new()),
+                recent: Mutex::new(VecDeque::with_capacity(EVENT_RING)),
+                log,
+            }),
+        }
+    }
+
+    /// Metrics only — events stay in the in-memory ring. What tests and
+    /// embedded uses want.
+    pub fn in_memory() -> Telemetry {
+        Telemetry::build(None)
+    }
+
+    /// Metrics plus a durable event log under `dir` (created on demand,
+    /// torn tail recovered).
+    pub fn with_event_log(dir: &std::path::Path) -> Result<Telemetry> {
+        Ok(Telemetry::build(Some(EventLog::open(dir)?)))
+    }
+
+    /// The coalescer counter block this telemetry owns. Hand the same
+    /// `Arc` to [`Coalescer::with_stats`](crate::coalesce::Coalescer::with_stats)
+    /// so `/healthz`, `/v1/stats` and `/metrics` all read one source of
+    /// truth.
+    pub fn coalesce_stats(&self) -> Arc<CoalesceStats> {
+        Arc::clone(&self.inner.coalesce)
+    }
+
+    /// The stats cell for one endpoint dimension.
+    #[inline]
+    pub fn endpoint(&self, e: Endpoint) -> &EndpointStats {
+        &self.inner.endpoints[e.index()]
+    }
+
+    /// The stats cell for a model key, created on first contact. Callers
+    /// on the hot path resolve this once per request (or batch) and reuse
+    /// the `Arc`.
+    pub fn model(&self, key: &str) -> Arc<ModelStats> {
+        if let Some(cell) = self.inner.models.read().expect("model stats lock").get(key) {
+            return Arc::clone(cell);
+        }
+        let mut map = self.inner.models.write().expect("model stats lock");
+        if map.len() >= MODEL_CELLS_GC_THRESHOLD {
+            // Drop cells nobody else holds *and* that recorded nothing:
+            // stats for keys that were only probed. Cells with traffic are
+            // kept so restarting clients cannot wipe history mid-scrape.
+            map.retain(|_, cell| {
+                Arc::strong_count(cell) > 1 || cell.requests.load(Ordering::Relaxed) > 0
+            });
+        }
+        Arc::clone(map.entry(key.to_string()).or_default())
+    }
+
+    /// Milliseconds since this telemetry was created (the monotonic clock
+    /// behind `last_hit_ms`).
+    #[inline]
+    pub fn now_ms(&self) -> u64 {
+        self.inner.epoch.elapsed().as_millis().min(u64::MAX as u128) as u64
+    }
+
+    pub fn uptime(&self) -> Duration {
+        self.inner.epoch.elapsed()
+    }
+
+    /// How long since `key` last served a predict — time since boot when it
+    /// never has. This is what the auto-demoter compares against its idle
+    /// threshold.
+    pub fn idle_for(&self, key: &str) -> Duration {
+        let now = self.now_ms();
+        let last = self
+            .inner
+            .models
+            .read()
+            .expect("model stats lock")
+            .get(key)
+            .map(|cell| cell.last_hit_ms.load(Ordering::Relaxed));
+        match last {
+            Some(ms) if ms != NEVER => Duration::from_millis(now.saturating_sub(ms)),
+            _ => Duration::from_millis(now),
+        }
+    }
+
+    /// Appends an audit event: always into the in-memory ring, and onto
+    /// the durable log when one is attached. Disk trouble is reported on
+    /// stderr rather than propagated — telemetry must never fail the
+    /// operation it is describing.
+    pub fn record_event(&self, kind: EventKind, model: &str, detail: &str) {
+        let event = Event::now(kind, model, detail);
+        if let Some(log) = &self.inner.log {
+            if let Err(e) = log.append(&event) {
+                eprintln!("event log append failed: {e}");
+            }
+        }
+        let mut ring = self.inner.recent.lock().expect("event ring lock");
+        if ring.len() >= EVENT_RING {
+            ring.pop_front();
+        }
+        ring.push_back(event);
+    }
+
+    /// The in-memory event tail, oldest first.
+    pub fn recent_events(&self) -> Vec<Event> {
+        self.inner
+            .recent
+            .lock()
+            .expect("event ring lock")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// The durable log, when attached.
+    pub fn event_log(&self) -> Option<&EventLog> {
+        self.inner.log.as_ref()
+    }
+
+    /// Snapshots every endpoint dimension, in [`Endpoint::ALL`] order.
+    pub fn endpoints_snapshot(&self) -> Vec<(Endpoint, EndpointSnapshot)> {
+        Endpoint::ALL
+            .iter()
+            .map(|&e| (e, self.endpoint(e).snapshot()))
+            .collect()
+    }
+
+    /// Snapshots every model cell, sorted by key for stable output.
+    pub fn models_snapshot(&self) -> Vec<(String, ModelSnapshot)> {
+        let mut rows: Vec<(String, ModelSnapshot)> = self
+            .inner
+            .models
+            .read()
+            .expect("model stats lock")
+            .iter()
+            .map(|(k, cell)| (k.clone(), cell.snapshot()))
+            .collect();
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_classification_covers_the_api() {
+        assert_eq!(Endpoint::of("/v1/predict"), Endpoint::Predict);
+        assert_eq!(Endpoint::of("/metrics"), Endpoint::Metrics);
+        assert_eq!(Endpoint::of("/nope"), Endpoint::Other);
+        for (i, e) in Endpoint::ALL.iter().enumerate() {
+            assert_eq!(e.index(), i);
+        }
+    }
+
+    #[test]
+    fn model_cells_accumulate_and_survive_gc() {
+        let t = Telemetry::in_memory();
+        let cell = t.model("m@1");
+        cell.record(Duration::from_millis(2), 3, true, t.now_ms());
+        cell.record(Duration::from_millis(4), 1, false, t.now_ms());
+        drop(cell);
+        // Flood with probed-but-idle keys to trigger the GC sweep.
+        for i in 0..(MODEL_CELLS_GC_THRESHOLD + 8) {
+            t.model(&format!("ghost-{i}"));
+        }
+        let rows = t.models_snapshot();
+        let (_, snap) = rows.iter().find(|(k, _)| k == "m@1").expect("traffic kept");
+        assert_eq!(snap.requests, 2);
+        assert_eq!(snap.merged_requests, 1);
+        assert_eq!(snap.rows, 4);
+        assert!(snap.last_hit_ms.is_some());
+    }
+
+    #[test]
+    fn idle_for_tracks_last_hit() {
+        let t = Telemetry::in_memory();
+        // Untouched key: idle since boot.
+        let idle_unknown = t.idle_for("never@1");
+        assert!(idle_unknown <= t.uptime() + Duration::from_millis(1));
+        t.model("hot@1")
+            .record(Duration::from_micros(50), 1, false, t.now_ms());
+        assert!(t.idle_for("hot@1") < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn event_ring_is_bounded() {
+        let t = Telemetry::in_memory();
+        for i in 0..(EVENT_RING + 10) {
+            t.record_event(EventKind::Drift, "m@1", &format!("e{i}"));
+        }
+        let tail = t.recent_events();
+        assert_eq!(tail.len(), EVENT_RING);
+        assert_eq!(tail.last().unwrap().detail, format!("e{}", EVENT_RING + 9));
+        assert_eq!(tail.first().unwrap().detail, "e10");
+    }
+}

@@ -1,0 +1,325 @@
+//! End-to-end telemetry & ops-plane tests over real HTTP: audit events for
+//! train/promote/demote land in `/v1/stats` and survive restart on the
+//! durable event log, `/metrics` exposes well-formed per-model counters,
+//! and the idle auto-demoter (driven by the reactor's timer wheel) demotes
+//! an untouched promoted non-latest version without touching the latest.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hamlet_core::experiment::RunResult;
+use hamlet_core::feature_config::FeatureConfig;
+use hamlet_core::model_zoo::ModelSpec;
+use hamlet_ml::any::AnyClassifier;
+use hamlet_ml::dataset::{CatDataset, FeatureMeta, Provenance};
+use hamlet_ml::tree::{DecisionTree, SplitCriterion, TreeParams};
+use hamlet_relation::domain::CatDomain;
+use hamlet_serve::api::{ModelsResponse, StatsResponse};
+use hamlet_serve::artifact::{ModelArtifact, TrainingMetadata, FORMAT_VERSION};
+use hamlet_serve::http::{AppTick, ServerOptions};
+use hamlet_serve::server::{demote_idle, serve, serve_with, AppState};
+use hamlet_serve::telemetry::{EventKind, EventLog};
+
+/// Minimal HTTP client: one request on a fresh connection.
+fn http(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("send");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("recv");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("numeric status");
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hamlet-telemetry-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// A tiny deterministic tree artifact (no training pipeline involved), as
+/// `name@version`. Two features, two-value closed domains.
+fn tiny_artifact(name: &str, version: u32) -> ModelArtifact {
+    let d = 2usize;
+    let features: Vec<FeatureMeta> = (0..d)
+        .map(|j| {
+            FeatureMeta::with_domain(
+                format!("f{j}"),
+                Provenance::Home,
+                CatDomain::synthetic(format!("f{j}"), 2).into_shared(),
+            )
+        })
+        .collect();
+    let rows: Vec<u32> = vec![0, 0, 0, 1, 1, 0, 1, 1];
+    let labels: Vec<bool> = vec![false, true, true, false];
+    let ds = CatDataset::new(features, rows, labels).unwrap();
+    let model: AnyClassifier = DecisionTree::fit(
+        &ds,
+        TreeParams::new(SplitCriterion::Gini)
+            .with_minsplit(2)
+            .with_cp(0.0),
+    )
+    .unwrap()
+    .into();
+    ModelArtifact {
+        format_version: FORMAT_VERSION,
+        name: name.into(),
+        version,
+        model,
+        feature_config: FeatureConfig::NoJoin,
+        contract: ds.contract(),
+        schema_fingerprint: 0xD0D0,
+        metadata: TrainingMetadata {
+            dataset: "synthetic".into(),
+            spec: ModelSpec::TreeGini,
+            train_rows: ds.n_rows(),
+            metrics: RunResult {
+                model: "telemetry-test".into(),
+                config: "NoJoin".into(),
+                train_accuracy: 1.0,
+                val_accuracy: 1.0,
+                test_accuracy: 1.0,
+                seconds: 0.0,
+                winner: String::new(),
+            },
+        },
+    }
+}
+
+fn count_kind(stats: &StatsResponse, kind: EventKind) -> usize {
+    stats.events.iter().filter(|e| e.kind == kind).count()
+}
+
+/// Train, promote and demote each append an audit event observable over
+/// HTTP; `/metrics` is well-formed with non-zero per-model counters; the
+/// durable log replays everything after both servers exit.
+#[test]
+fn audit_events_and_ops_surface_over_http() {
+    let dir = tmp_dir("audit");
+
+    // ---- Server 1: train two versions over HTTP. ----
+    let (state, loaded) = AppState::warm(dir.clone()).unwrap();
+    assert_eq!(loaded, 0);
+    let server = serve("127.0.0.1:0", 2, Arc::clone(&state)).unwrap();
+    let addr = server.addr();
+    let train_body = "{\"name\":\"tm\",\"dataset\":\"movies\",\"spec\":\"TreeGini\",\
+                      \"scale\":300,\"seed\":7}";
+    for expect_key in ["tm@1", "tm@2"] {
+        let (status, body) = http(addr, "POST", "/v1/train", train_body);
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains(expect_key), "{body}");
+    }
+    let (status, body) = http(addr, "GET", "/v1/stats", "");
+    assert_eq!(status, 200, "{body}");
+    let stats: StatsResponse = serde_json::from_str(&body).unwrap();
+    assert_eq!(count_kind(&stats, EventKind::Startup), 1);
+    assert_eq!(count_kind(&stats, EventKind::Train), 2, "{body}");
+    assert_eq!(stats.models_registered, 2);
+    server.shutdown();
+    drop(state);
+
+    // ---- Server 2: boots warm; tm@1 is lazy until pinned traffic. ----
+    let (state, loaded) = AppState::warm(dir.clone()).unwrap();
+    assert_eq!(loaded, 2);
+    let server = serve("127.0.0.1:0", 2, Arc::clone(&state)).unwrap();
+    let addr = server.addr();
+
+    // A pinned predict promotes the lazy tm@1 slot → Promote event. The
+    // row width comes from the artifact's own contract (it depends on the
+    // dataset scale), all-zero codes are always in-domain.
+    let width = state.registry.get("tm@2").unwrap().contract.width();
+    let predict_body = format!(
+        "{{\"model\":\"tm@1\",\"rows\":[[{}]]}}",
+        vec!["0"; width].join(",")
+    );
+    for _ in 0..5 {
+        let (status, body) = http(addr, "POST", "/v1/predict", &predict_body);
+        assert_eq!(status, 200, "{body}");
+    }
+    // An HTTP demote returns it to its lazy slot → Demote event.
+    let (status, body) = http(addr, "POST", "/v1/models/demote", "{\"key\":\"tm@1\"}");
+    assert_eq!(status, 200, "{body}");
+
+    let (status, body) = http(addr, "GET", "/v1/stats", "");
+    assert_eq!(status, 200, "{body}");
+    let stats: StatsResponse = serde_json::from_str(&body).unwrap();
+    assert_eq!(count_kind(&stats, EventKind::Startup), 1, "{body}");
+    assert_eq!(count_kind(&stats, EventKind::Promote), 1, "{body}");
+    assert_eq!(count_kind(&stats, EventKind::Demote), 1, "{body}");
+    let tm1 = stats
+        .models
+        .iter()
+        .find(|m| m.model == "tm@1")
+        .expect("tm@1 stats row");
+    assert_eq!(tm1.requests, 5);
+    assert!(tm1.p50_ms.is_some() && tm1.p99_ms.is_some() && tm1.p999_ms.is_some());
+    assert!(tm1.idle_secs.is_some());
+
+    // /metrics: per-model counter present and non-zero, every sample's
+    // family declared by a preceding # TYPE line.
+    let (status, text) = http(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(
+        text.contains("hamlet_model_requests_total{model=\"tm@1\"} 5"),
+        "{text}"
+    );
+    let mut declared = std::collections::HashSet::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            declared.insert(rest.split_whitespace().next().unwrap().to_string());
+            continue;
+        }
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let metric = line.split(['{', ' ']).next().unwrap();
+        let base = metric
+            .strip_suffix("_sum")
+            .or_else(|| metric.strip_suffix("_count"))
+            .unwrap_or(metric);
+        assert!(
+            declared.contains(metric) || declared.contains(base),
+            "sample `{metric}` precedes its # TYPE line:\n{text}"
+        );
+    }
+    server.shutdown();
+    drop(state);
+
+    // ---- The durable log has the full history across both lifetimes. ----
+    let log = EventLog::open(&dir.join("events")).unwrap();
+    let events = log.scan_range(0, u64::MAX).unwrap();
+    let kinds: Vec<EventKind> = events.iter().map(|e| e.kind).collect();
+    assert_eq!(
+        kinds
+            .iter()
+            .filter(|k| matches!(k, EventKind::Startup))
+            .count(),
+        2
+    );
+    assert_eq!(
+        kinds
+            .iter()
+            .filter(|k| matches!(k, EventKind::Train))
+            .count(),
+        2
+    );
+    assert_eq!(
+        kinds
+            .iter()
+            .filter(|k| matches!(k, EventKind::Promote))
+            .count(),
+        1
+    );
+    assert_eq!(
+        kinds
+            .iter()
+            .filter(|k| matches!(k, EventKind::Demote))
+            .count(),
+        1
+    );
+    // Events carry their model keys.
+    assert!(events
+        .iter()
+        .any(|e| e.kind == EventKind::Train && e.model == "tm@2"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The telemetry-driven auto-demoter: a promoted non-latest version left
+/// untouched past the idle threshold is demoted by the reactor tick; the
+/// latest version stays resident throughout.
+#[test]
+fn auto_demoter_demotes_idle_promoted_version() {
+    let dir = tmp_dir("autodemote");
+    tiny_artifact("ad", 1).save(&dir).unwrap();
+    tiny_artifact("ad", 2).save(&dir).unwrap();
+
+    let (state, loaded) = AppState::warm(dir.clone()).unwrap();
+    assert_eq!(loaded, 2);
+    let idle = Duration::from_millis(1500);
+    let tick_state = Arc::clone(&state);
+    let opts = ServerOptions {
+        workers: 2,
+        on_tick: Some(AppTick {
+            every: Duration::from_millis(300),
+            run: Arc::new(move || {
+                demote_idle(&tick_state, idle);
+            }),
+        }),
+        ..ServerOptions::default()
+    };
+    let server = serve_with("127.0.0.1:0", opts, Arc::clone(&state)).unwrap();
+    let addr = server.addr();
+
+    // Promote ad@1 with a pinned predict; both versions now resident.
+    let (status, body) = http(
+        addr,
+        "POST",
+        "/v1/predict",
+        "{\"model\":\"ad@1\",\"rows\":[[0,1]]}",
+    );
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(state.registry.resident_count(), 2);
+
+    // Leave ad@1 untouched; the wheel tick must demote it. Poll rather
+    // than sleep a fixed time — CI machines are slow and the wheel is
+    // half-second-granular.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let demoted = loop {
+        let (status, body) = http(addr, "GET", "/v1/models", "");
+        assert_eq!(status, 200);
+        let models: ModelsResponse = serde_json::from_str(&body).unwrap();
+        let ad1 = models.models.iter().find(|m| m.key == "ad@1").unwrap();
+        let ad2 = models.models.iter().find(|m| m.key == "ad@2").unwrap();
+        assert!(ad2.resident, "latest version must never be auto-demoted");
+        if !ad1.resident {
+            break true;
+        }
+        if Instant::now() > deadline {
+            break false;
+        }
+        std::thread::sleep(Duration::from_millis(250));
+    };
+    assert!(
+        demoted,
+        "idle ad@1 was not auto-demoted within the deadline"
+    );
+
+    // The demotion was audited, attributed to the auto-demoter's path.
+    let (status, body) = http(addr, "GET", "/v1/stats", "");
+    assert_eq!(status, 200);
+    let stats: StatsResponse = serde_json::from_str(&body).unwrap();
+    assert!(
+        stats
+            .events
+            .iter()
+            .any(|e| e.kind == EventKind::Demote && e.model == "ad@1"),
+        "{body}"
+    );
+
+    // And the demoted version still answers (re-promotes on demand).
+    let (status, body) = http(
+        addr,
+        "POST",
+        "/v1/predict",
+        "{\"model\":\"ad@1\",\"rows\":[[1,0]]}",
+    );
+    assert_eq!(status, 200, "{body}");
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
