@@ -17,6 +17,7 @@ use rand::SeedableRng;
 use crate::binenc::PodVec;
 use crate::dataset::CatDataset;
 use crate::error::{MlError, Result};
+use crate::kernels;
 use crate::model::Classifier;
 use adam::Adam;
 
@@ -254,6 +255,13 @@ impl Mlp {
     }
 
     /// Forward pass, filling the work buffers; returns the output logit.
+    ///
+    /// The sparse one-hot gather into layer 1 stays scalar (`active` holds
+    /// one index per categorical feature — a handful of adds); the dense
+    /// hidden→hidden and hidden→output products run on the dispatched
+    /// [`kernels`], so a 256×64 paper-shaped network rides AVX2 when the
+    /// host has it. Under `HAMLET_FORCE_SCALAR` the kernel reference path
+    /// reproduces the historical accumulation order bit-for-bit.
     fn forward(
         &self,
         active: &[usize],
@@ -263,46 +271,63 @@ impl Mlp {
         a2: &mut [f32],
     ) -> f32 {
         let d_in = self.d_in;
-        for u in 0..self.h1 {
+        for (u, z_out) in z1.iter_mut().enumerate().take(self.h1) {
             let row = &self.w1[u * d_in..(u + 1) * d_in];
             let mut z = self.b1[u];
             for &idx in active {
                 z += row[idx];
             }
-            z1[u] = z;
-            a1[u] = z.max(0.0);
+            *z_out = z;
         }
-        for u in 0..self.h2 {
+        kernels::relu_f32(z1, a1);
+        for (u, z_out) in z2.iter_mut().enumerate().take(self.h2) {
             let row = &self.w2[u * self.h1..(u + 1) * self.h1];
-            let mut z = self.b2[u];
-            for (w, a) in row.iter().zip(a1.iter()) {
-                z += w * a;
-            }
-            z2[u] = z;
-            a2[u] = z.max(0.0);
+            *z_out = kernels::dot_f32(self.b2[u], row, a1);
         }
-        let mut z3 = self.b3;
-        for (w, a) in self.w3.iter().zip(a2.iter()) {
-            z3 += w * a;
+        kernels::relu_f32(z2, a2);
+        kernels::dot_f32(self.b3, &self.w3, a2)
+    }
+
+    /// Reusable per-thread forward-pass buffers: one allocation for an
+    /// entire batch instead of five per row.
+    pub fn scratch(&self) -> MlpScratch {
+        MlpScratch {
+            active: Vec::new(),
+            z1: vec![0.0f32; self.h1],
+            a1: vec![0.0f32; self.h1],
+            z2: vec![0.0f32; self.h2],
+            a2: vec![0.0f32; self.h2],
         }
-        z3
+    }
+
+    /// Output logit for one categorical row, reusing caller buffers. The
+    /// scratch must come from [`Mlp::scratch`] on a same-shaped network.
+    pub fn logit_scratch(&self, row: &[u32], s: &mut MlpScratch) -> f32 {
+        s.active.resize(row.len(), 0);
+        self.active_indices(row, &mut s.active);
+        self.forward(&s.active, &mut s.z1, &mut s.a1, &mut s.z2, &mut s.a2)
     }
 
     /// Output logit for one categorical row.
     pub fn logit(&self, row: &[u32]) -> f32 {
-        let mut active = vec![0usize; row.len()];
-        self.active_indices(row, &mut active);
-        let mut z1 = vec![0.0f32; self.h1];
-        let mut a1 = vec![0.0f32; self.h1];
-        let mut z2 = vec![0.0f32; self.h2];
-        let mut a2 = vec![0.0f32; self.h2];
-        self.forward(&active, &mut z1, &mut a1, &mut z2, &mut a2)
+        let mut s = self.scratch();
+        self.logit_scratch(row, &mut s)
     }
 
     /// Predicted probability of the positive class.
     pub fn probability(&self, row: &[u32]) -> f64 {
         f64::from(sigmoid(self.logit(row)))
     }
+}
+
+/// Work buffers for [`Mlp::logit_scratch`]; create via [`Mlp::scratch`].
+#[derive(Debug, Clone)]
+pub struct MlpScratch {
+    active: Vec<usize>,
+    z1: Vec<f32>,
+    a1: Vec<f32>,
+    z2: Vec<f32>,
+    a2: Vec<f32>,
 }
 
 fn scale_and_decay(grad: &mut [f32], weights: &[f32], inv: f32, l2: f32) {

@@ -15,6 +15,7 @@ use crate::knn::OneNearestNeighbor;
 use crate::logreg::LogRegL1;
 use crate::model::{Classifier, MajorityClass};
 use crate::naive_bayes::NaiveBayes;
+use crate::quant::{QuantEncoding, QuantModel};
 use crate::svm::SvmModel;
 use crate::tree::DecisionTree;
 
@@ -52,10 +53,14 @@ pub enum AnyClassifier {
     LogReg(LogRegL1),
     /// Any of the above behind a feature-subset projection.
     Subset(SubsetModel),
+    /// A quantized (i8/f16) MLP, SVM or logreg model.
+    Quantized(QuantModel),
 }
 
 impl AnyClassifier {
-    /// Short family tag for registry listings and logs.
+    /// Short family tag for registry listings and logs. Quantized models
+    /// report their *base* family — the encoding is a storage property,
+    /// surfaced separately by [`AnyClassifier::encoding`].
     pub fn family(&self) -> &'static str {
         match self {
             AnyClassifier::Majority(_) => "majority",
@@ -66,6 +71,61 @@ impl AnyClassifier {
             AnyClassifier::NaiveBayes(_) => "naive-bayes",
             AnyClassifier::LogReg(_) => "logreg",
             AnyClassifier::Subset(s) => s.inner.family(),
+            AnyClassifier::Quantized(q) => q.family(),
+        }
+    }
+
+    /// Weight-storage encoding tag: `"f32"` for full-precision models,
+    /// `"i8"`/`"f16"` for quantized ones.
+    pub fn encoding(&self) -> &'static str {
+        match self {
+            AnyClassifier::Quantized(q) => q.encoding.name(),
+            AnyClassifier::Subset(s) => s.inner.encoding(),
+            _ => "f32",
+        }
+    }
+
+    /// Approximate bytes of dense numeric payload (weight tensors, support
+    /// vectors, probability tables) this model keeps resident. Structural
+    /// models (majority, tree) report 0 — their nodes are not weight
+    /// arrays. This is what `/v1/models` surfaces per version, making
+    /// quantization savings directly visible.
+    pub fn weight_bytes(&self) -> usize {
+        match self {
+            AnyClassifier::Majority(_) | AnyClassifier::Tree(_) => 0,
+            AnyClassifier::Knn(m) => m.rows.len() * 4,
+            AnyClassifier::Svm(m) => m.sv_rows.len() * 4 + m.sv_coef.len() * 8,
+            AnyClassifier::Mlp(m) => {
+                (m.offsets.len() + m.b1.len() + m.b2.len()) * 4
+                    + (m.w1.len() + m.w2.len() + m.w3.len()) * 4
+            }
+            AnyClassifier::NaiveBayes(m) => {
+                m.cardinalities.len() * 4 + m.tables.iter().map(|t| t.len() * 8).sum::<usize>()
+            }
+            AnyClassifier::LogReg(m) => m.offsets.len() * 4 + m.weights.len() * 8,
+            AnyClassifier::Subset(s) => s.inner.weight_bytes(),
+            AnyClassifier::Quantized(q) => q.weight_bytes(),
+        }
+    }
+
+    /// Quantizes the dense weight tensors to `encoding`. Supported for the
+    /// high-capacity families (MLP, SVM, logreg) and subset projections
+    /// over them; structural models (trees, kNN, NB, majority) have no
+    /// weight tensors and error, as does re-quantizing a quantized model.
+    pub fn quantize(&self, encoding: QuantEncoding) -> Result<AnyClassifier> {
+        match self {
+            AnyClassifier::Mlp(m) => Ok(QuantModel::from_mlp(m, encoding).into()),
+            AnyClassifier::Svm(m) => Ok(QuantModel::from_svm(m, encoding).into()),
+            AnyClassifier::LogReg(m) => Ok(QuantModel::from_logreg(m, encoding).into()),
+            AnyClassifier::Subset(s) => Ok(AnyClassifier::Subset(SubsetModel {
+                keep: s.keep.clone(),
+                inner: Box::new(s.inner.quantize(encoding)?),
+            })),
+            AnyClassifier::Quantized(q) => Err(MlError::Invalid(format!(
+                "model is already quantized ({})",
+                q.encoding.name()
+            ))),
+            other => Err(crate::quant::unsupported(other.family())),
         }
     }
 
@@ -78,11 +138,39 @@ impl AnyClassifier {
             "rows must be n × d codes"
         );
         let mut out = Vec::with_capacity(rows.len() / d);
-        let mut scratch = Vec::new();
-        for row in rows.chunks_exact(d) {
-            out.push(self.predict_row_scratch(row, &mut scratch));
-        }
+        self.predict_chunk(rows, d, &mut out);
         out
+    }
+
+    /// Predicts a contiguous row-major chunk into `out`, with family-
+    /// specialized batch paths: MLP and quantized models allocate their
+    /// forward-pass scratch **once per chunk** and stream rows through the
+    /// SIMD kernels — this is the shape merged coalescer batches arrive in,
+    /// so a 64-row batch costs one scratch setup instead of 64×5 Vec
+    /// allocations. All other families fall back to the per-row path with
+    /// a shared subset-projection buffer. Output is bit-identical to
+    /// calling `predict_row` per row in every case.
+    fn predict_chunk(&self, rows: &[u32], d: usize, out: &mut Vec<bool>) {
+        match self {
+            AnyClassifier::Mlp(m) => {
+                let mut s = m.scratch();
+                for row in rows.chunks_exact(d) {
+                    out.push(m.logit_scratch(row, &mut s) >= 0.0);
+                }
+            }
+            AnyClassifier::Quantized(q) => {
+                let mut s = q.scratch();
+                for row in rows.chunks_exact(d) {
+                    out.push(q.predict_row_scratch(row, &mut s));
+                }
+            }
+            _ => {
+                let mut scratch = Vec::new();
+                for row in rows.chunks_exact(d) {
+                    out.push(self.predict_row_scratch(row, &mut scratch));
+                }
+            }
+        }
     }
 
     /// Batched prediction fanned out over up to `max_threads` scoped
@@ -153,13 +241,10 @@ impl AnyClassifier {
         bounds.push(total);
         let shards = (total / min_rows_per_shard.max(1)).clamp(1, max_threads.max(1));
         let flat: Vec<bool> = if shards == 1 {
-            // Sequential: one scratch buffer across every segment.
+            // Sequential: one batch-specialized pass per segment.
             let mut out = Vec::with_capacity(total);
-            let mut scratch = Vec::new();
             for seg in segments {
-                for row in seg.chunks_exact(d) {
-                    out.push(self.predict_row_scratch(row, &mut scratch));
-                }
+                self.predict_chunk(seg, d, &mut out);
             }
             out
         } else {
@@ -203,7 +288,6 @@ impl AnyClassifier {
         end: usize,
     ) -> Vec<bool> {
         let mut out = Vec::with_capacity(end.saturating_sub(start));
-        let mut scratch = Vec::new();
         // First segment whose end is past `start`.
         let mut seg = bounds.partition_point(|&b| b <= start).saturating_sub(1);
         let mut row = start;
@@ -212,9 +296,7 @@ impl AnyClassifier {
             let seg_end = bounds[seg + 1];
             let lo = row - seg_start;
             let hi = end.min(seg_end) - seg_start;
-            for r in segments[seg][lo * d..hi * d].chunks_exact(d) {
-                out.push(self.predict_row_scratch(r, &mut scratch));
-            }
+            self.predict_chunk(&segments[seg][lo * d..hi * d], d, &mut out);
             row += hi - lo;
             seg += 1;
         }
@@ -253,6 +335,7 @@ impl AnyClassifier {
             AnyClassifier::Mlp(m) => m.predict_row(row),
             AnyClassifier::NaiveBayes(m) => m.predict_row(row),
             AnyClassifier::LogReg(m) => m.predict_row(row),
+            AnyClassifier::Quantized(q) => q.predict_row(row),
             AnyClassifier::Subset(s) => {
                 scratch.clear();
                 scratch.extend(s.keep.iter().map(|&j| row[j]));
@@ -303,6 +386,7 @@ impl_from! {
     NaiveBayes <- NaiveBayes,
     LogReg <- LogRegL1,
     Subset <- SubsetModel,
+    Quantized <- QuantModel,
 }
 
 #[cfg(test)]

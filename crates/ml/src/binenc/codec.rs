@@ -16,6 +16,9 @@ use crate::knn::OneNearestNeighbor;
 use crate::logreg::LogRegL1;
 use crate::model::MajorityClass;
 use crate::naive_bayes::NaiveBayes;
+use crate::quant::{
+    QTensor, QTensor64, QuantEncoding, QuantLogReg, QuantMlp, QuantModel, QuantPayload, QuantSvm,
+};
 use crate::svm::{KernelKind, SvmModel};
 use crate::tree::DecisionTree;
 
@@ -236,6 +239,170 @@ fn decode_logreg(r: &mut BinReader) -> Result<LogRegL1> {
     })
 }
 
+fn encode_qtensor(w: &mut BinWriter, t: &QTensor) {
+    match t {
+        QTensor::I8 { data, scale } => {
+            w.put_f32(*scale);
+            w.put_pod_slice(data);
+        }
+        QTensor::F16 { data } => w.put_pod_slice(data),
+    }
+}
+
+fn decode_qtensor(r: &mut BinReader, enc: QuantEncoding) -> Result<QTensor> {
+    Ok(match enc {
+        QuantEncoding::I8 => QTensor::I8 {
+            scale: r.read_f32()?,
+            data: r.read_pod_vec()?,
+        },
+        QuantEncoding::F16 => QTensor::F16 {
+            data: r.read_pod_vec()?,
+        },
+    })
+}
+
+fn encode_qtensor64(w: &mut BinWriter, t: &QTensor64) {
+    match t {
+        QTensor64::I8 { data, scale } => {
+            w.put_f64(*scale);
+            w.put_pod_slice(data);
+        }
+        QTensor64::F16 { data } => w.put_pod_slice(data),
+    }
+}
+
+fn decode_qtensor64(r: &mut BinReader, enc: QuantEncoding) -> Result<QTensor64> {
+    Ok(match enc {
+        QuantEncoding::I8 => QTensor64::I8 {
+            scale: r.read_f64()?,
+            data: r.read_pod_vec()?,
+        },
+        QuantEncoding::F16 => QTensor64::F16 {
+            data: r.read_pod_vec()?,
+        },
+    })
+}
+
+fn encode_quant(w: &mut BinWriter, q: &QuantModel) {
+    w.put_u8(match q.encoding {
+        QuantEncoding::I8 => 0,
+        QuantEncoding::F16 => 1,
+    });
+    match &q.payload {
+        QuantPayload::Mlp(m) => {
+            w.put_u8(0);
+            w.put_usize(m.d_in);
+            w.put_usize(m.h1);
+            w.put_usize(m.h2);
+            w.put_f32(m.b3);
+            w.put_pod_slice(&m.offsets);
+            encode_qtensor(w, &m.w1);
+            w.put_pod_slice(&m.b1);
+            encode_qtensor(w, &m.w2);
+            w.put_pod_slice(&m.b2);
+            encode_qtensor(w, &m.w3);
+        }
+        QuantPayload::Svm(m) => {
+            w.put_u8(1);
+            encode_kernel(w, m.kernel);
+            w.put_usize(m.n_features);
+            w.put_f64(m.bias);
+            encode_qtensor64(w, &m.sv_coef);
+            w.put_pod_slice(&m.sv_rows);
+        }
+        QuantPayload::LogReg(m) => {
+            w.put_u8(2);
+            w.put_f64(m.intercept);
+            w.put_pod_slice(&m.offsets);
+            encode_qtensor64(w, &m.weights);
+        }
+    }
+}
+
+fn decode_quant(r: &mut BinReader) -> Result<QuantModel> {
+    let encoding = match r.read_u8()? {
+        0 => QuantEncoding::I8,
+        1 => QuantEncoding::F16,
+        t => return Err(bad(format!("quantized encoding tag {t}"))),
+    };
+    let payload = match r.read_u8()? {
+        0 => {
+            let d_in = r.read_usize()?;
+            let h1 = r.read_usize()?;
+            let h2 = r.read_usize()?;
+            let b3 = r.read_f32()?;
+            let offsets = r.read_pod_vec()?;
+            let w1 = decode_qtensor(r, encoding)?;
+            let b1 = r.read_pod_vec()?;
+            let w2 = decode_qtensor(r, encoding)?;
+            let b2 = r.read_pod_vec()?;
+            let w3 = decode_qtensor(r, encoding)?;
+            let m = QuantMlp {
+                offsets,
+                d_in,
+                h1,
+                h2,
+                w1,
+                b1,
+                w2,
+                b2,
+                w3,
+                b3,
+            };
+            let area = |a: usize, b: usize| a.checked_mul(b);
+            if Some(m.w1.len()) != area(m.h1, m.d_in)
+                || m.b1.len() != m.h1
+                || Some(m.w2.len()) != area(m.h2, m.h1)
+                || m.b2.len() != m.h2
+                || m.w3.len() != m.h2
+            {
+                return Err(bad("quantized MLP layer shapes disagree"));
+            }
+            QuantPayload::Mlp(m)
+        }
+        1 => {
+            let kernel = decode_kernel(r)?;
+            let n_features = r.read_usize()?;
+            let bias = r.read_f64()?;
+            let sv_coef = decode_qtensor64(r, encoding)?;
+            let sv_rows = r.read_pod_vec::<u32>()?;
+            let m = QuantSvm {
+                kernel,
+                n_features,
+                sv_rows,
+                sv_coef,
+                bias,
+            };
+            if m.n_features == 0
+                || Some(m.sv_rows.len()) != m.sv_coef.len().checked_mul(m.n_features)
+            {
+                return Err(bad("quantized SVM support-vector shapes disagree"));
+            }
+            QuantPayload::Svm(m)
+        }
+        2 => {
+            let intercept = r.read_f64()?;
+            let offsets = r.read_pod_vec::<u32>()?;
+            let weights = decode_qtensor64(r, encoding)?;
+            if offsets
+                .last()
+                .is_none_or(|&dim| weights.len() != dim as usize)
+            {
+                return Err(bad(
+                    "quantized logreg weights do not span the one-hot offsets",
+                ));
+            }
+            QuantPayload::LogReg(QuantLogReg {
+                offsets,
+                weights,
+                intercept,
+            })
+        }
+        t => return Err(bad(format!("quantized payload tag {t}"))),
+    };
+    Ok(QuantModel { encoding, payload })
+}
+
 impl AnyClassifier {
     /// Whether any of this model's weight arrays currently borrow a mapped
     /// artifact file (true only after an mmap load; a heap load or a
@@ -253,6 +420,7 @@ impl AnyClassifier {
             }
             AnyClassifier::LogReg(m) => m.offsets.is_mapped() || m.weights.is_mapped(),
             AnyClassifier::Subset(s) => s.inner.payload_mapped(),
+            AnyClassifier::Quantized(q) => q.is_mapped(),
         }
     }
 
@@ -295,6 +463,10 @@ impl AnyClassifier {
                 }
                 s.inner.encode_bin(w);
             }
+            AnyClassifier::Quantized(q) => {
+                w.put_u8(8);
+                encode_quant(w, q);
+            }
         }
     }
 
@@ -322,6 +494,7 @@ impl AnyClassifier {
                     inner: Box::new(AnyClassifier::decode_bin(r)?),
                 })
             }
+            8 => AnyClassifier::Quantized(decode_quant(r)?),
             t => return Err(bad(format!("unknown model family tag {t}"))),
         })
     }
@@ -353,7 +526,7 @@ mod tests {
         use crate::svm::SvmParams;
         use crate::tree::{SplitCriterion, TreeParams};
         let sub = data.select_features(&[1]).unwrap();
-        vec![
+        let mut models: Vec<AnyClassifier> = vec![
             MajorityClass::fit(data).into(),
             DecisionTree::fit(
                 data,
@@ -392,7 +565,21 @@ mod tests {
                 inner: Box::new(NaiveBayes::fit(&sub).unwrap().into()),
             }
             .into(),
-        ]
+        ];
+        // Quantized variants of every family that supports them, in both
+        // encodings — the roundtrip/truncation tests then cover family
+        // tag 8 with each encoding × payload combination.
+        let quantized: Vec<AnyClassifier> = models
+            .iter()
+            .flat_map(|m| {
+                [QuantEncoding::I8, QuantEncoding::F16]
+                    .into_iter()
+                    .filter_map(|enc| m.quantize(enc).ok())
+            })
+            .collect();
+        assert_eq!(quantized.len(), 6, "mlp/svm/logreg × i8/f16");
+        models.extend(quantized);
+        models
     }
 
     #[test]

@@ -24,8 +24,9 @@
 
 pub mod codec;
 pub mod pod;
+pub mod quantize;
 
-pub use pod::{MapAdvice, MmapFile, Pod, PodVec};
+pub use pod::{MapAdvice, MmapFile, Pod, PodVec, F16};
 
 use std::sync::Arc;
 

@@ -29,11 +29,13 @@ pub mod contract;
 pub mod dataset;
 pub mod error;
 pub mod feature_selection;
+pub mod kernels;
 pub mod knn;
 pub mod logreg;
 pub mod metrics;
 pub mod model;
 pub mod naive_bayes;
+pub mod quant;
 pub mod svm;
 pub mod tree;
 pub mod tuning;
@@ -49,11 +51,13 @@ pub mod prelude {
     };
     pub use crate::error::{MlError, Result as MlResult};
     pub use crate::feature_selection::{backward_selection, forward_selection, SelectionOutcome};
+    pub use crate::kernels::Backend;
     pub use crate::knn::OneNearestNeighbor;
     pub use crate::logreg::{LogRegL1, LogRegParams};
     pub use crate::metrics::{accuracy, error_rate, Confusion};
     pub use crate::model::{Classifier, MajorityClass};
     pub use crate::naive_bayes::NaiveBayes;
+    pub use crate::quant::{QuantEncoding, QuantModel};
     pub use crate::svm::{KernelKind, MatchMatrix, SvmModel, SvmParams};
     pub use crate::tree::{DecisionTree, SplitCriterion, TreeParams};
     pub use crate::tuning::{grid_search, GridSearchOutcome};

@@ -328,13 +328,18 @@ impl LogRegL1 {
         Ok(best.expect("path has at least one lambda").1)
     }
 
-    /// Decision value (logit).
+    /// Decision value (logit). The one-hot gather-sum runs on the
+    /// dispatched kernels: AVX2 hosts use a vector gather for wide rows,
+    /// everything else (and `HAMLET_FORCE_SCALAR`) takes the scalar
+    /// reference path, which reproduces the historical accumulation order
+    /// bit-for-bit.
     pub fn decision(&self, row: &[u32]) -> f64 {
-        let mut z = self.intercept;
-        for (j, &code) in row.iter().enumerate() {
-            z += self.weights[(self.offsets[j] + code) as usize];
-        }
-        z
+        crate::kernels::onehot_dot_f64(
+            self.intercept,
+            &self.weights,
+            &self.offsets[..row.len()],
+            row,
+        )
     }
 
     /// Number of non-zero one-hot weights (model sparsity readout).

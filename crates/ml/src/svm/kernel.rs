@@ -50,11 +50,14 @@ impl KernelKind {
     }
 }
 
-/// Number of positions where two rows agree.
+/// Number of positions where two rows agree. Routed through the
+/// runtime-dispatched SIMD kernels (exact in every backend — this is an
+/// integer comparison count, so SVM decisions and the training match
+/// matrix never depend on the instruction set).
 #[inline]
 pub fn match_count(a: &[u32], b: &[u32]) -> u32 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).filter(|(x, z)| x == z).count() as u32
+    crate::kernels::match_count_u32(a, b)
 }
 
 /// Precomputed pairwise match counts for a training set. Shared across a

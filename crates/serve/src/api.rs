@@ -142,6 +142,9 @@ pub struct StatsResponse {
     pub models_registered: usize,
     /// Versions currently resident in memory.
     pub models_resident: usize,
+    /// SIMD kernel dispatch tier selected at startup (`avx2`, `sse2`, or
+    /// `scalar`; `scalar` also when forced via `HAMLET_FORCE_SCALAR`).
+    pub kernel_backend: String,
     /// One row per endpoint dimension, fixed order.
     pub endpoints: Vec<EndpointStatsRow>,
     /// One row per model key that has seen predict traffic, sorted by key.
@@ -171,6 +174,9 @@ pub struct EndpointStatsRow {
 pub struct ModelStatsRow {
     /// Pinned key `name@version`.
     pub model: String,
+    /// Weight-tensor storage encoding (`f32`/`i8`/`f16`); absent when the
+    /// version has since been deleted from the registry.
+    pub encoding: Option<String>,
     /// Predict requests answered by this version.
     pub requests: u64,
     /// Of those, requests that rode a merged (≥ 2 participant) batch.

@@ -40,7 +40,7 @@ use hamlet_ml::binenc::{BinWriter, BytesSource, MmapFile};
 use hamlet_ml::contract::{BatchError, DomainInterner, FeatureContract};
 use hamlet_ml::dataset::FeatureMeta;
 
-use crate::container::{self, SEC_DICT, SEC_META, SEC_MODL};
+use crate::container::{self, SEC_DICT, SEC_META, SEC_MODL, SEC_QNTS};
 use crate::error::{Result, ServeError};
 
 /// Artifact layout version written by this build.
@@ -138,6 +138,9 @@ pub struct ArtifactHead {
     pub version: u32,
     /// Model family tag (`tree`, `svm`, ...).
     pub family: String,
+    /// Weight-tensor storage encoding (`f32` for full precision, `i8`/`f16`
+    /// for quantized payloads).
+    pub encoding: String,
     /// Feature-config name (`NoJoin`, `JoinAll`, ...).
     pub config: String,
     /// Expected input width (features per row).
@@ -214,6 +217,7 @@ impl ModelArtifact {
             name: self.name.clone(),
             version: self.version,
             family: self.model.family().to_string(),
+            encoding: self.model.encoding().to_string(),
             config: self.feature_config.name(),
             n_features: self.contract.width(),
             test_accuracy: self.metadata.metrics.test_accuracy,
@@ -322,6 +326,10 @@ impl ModelArtifact {
                 serde::Value::Str(self.model.family().to_string()),
             ),
             (
+                "encoding".into(),
+                serde::Value::Str(self.model.encoding().to_string()),
+            ),
+            (
                 "feature_config".into(),
                 serde::Serialize::serialize(&self.feature_config),
             ),
@@ -340,14 +348,21 @@ impl ModelArtifact {
         pool.encode_bin(&mut dict);
         let mut modl = BinWriter::new();
         self.model.encode_bin(&mut modl);
-        Ok(container::build_versioned(
-            self.format_version,
-            &[
-                (SEC_META, &meta_bytes),
-                (SEC_DICT, &dict.finish()),
-                (SEC_MODL, &modl.finish()),
-            ],
-        ))
+        let dict_bytes = dict.finish();
+        let modl_bytes = modl.finish();
+        let mut sections: Vec<([u8; 8], &[u8])> = vec![
+            (SEC_META, &meta_bytes),
+            (SEC_DICT, &dict_bytes),
+            (SEC_MODL, &modl_bytes),
+        ];
+        // Quantized payloads additionally carry a small JSON descriptor
+        // section so `artifact inspect` can report tensor encodings and
+        // dequantization scales without decoding the model.
+        let qnts_bytes = quant_section_json(&self.model).map(String::into_bytes);
+        if let Some(q) = &qnts_bytes {
+            sections.push((SEC_QNTS, q));
+        }
+        Ok(container::build_versioned(self.format_version, &sections))
     }
 
     /// Highest version present in `dir` for `name`, parsed from artifact
@@ -544,6 +559,47 @@ impl ModelArtifact {
 
 use serde::Deserialize;
 
+/// JSON body of the `QNTS` descriptor section for a quantized model
+/// (`None` for full-precision payloads). `Subset` wrappers recurse into
+/// their inner model.
+fn quant_section_json(model: &AnyClassifier) -> Option<String> {
+    match model {
+        AnyClassifier::Quantized(q) => {
+            let tensors = q
+                .tensor_info()
+                .iter()
+                .map(|(name, len, bytes, scale)| {
+                    let mut fields = vec![
+                        ("name".into(), serde::Value::Str((*name).into())),
+                        (
+                            "len".into(),
+                            serde::Value::Num(serde::Number::UInt(*len as u64)),
+                        ),
+                        (
+                            "bytes".into(),
+                            serde::Value::Num(serde::Number::UInt(*bytes as u64)),
+                        ),
+                    ];
+                    if let Some(s) = scale {
+                        fields.push(("scale".into(), serde::Value::Num(serde::Number::Float(*s))));
+                    }
+                    serde::Value::Obj(fields)
+                })
+                .collect();
+            let value = serde::Value::Obj(vec![
+                (
+                    "encoding".into(),
+                    serde::Value::Str(q.encoding.name().into()),
+                ),
+                ("tensors".into(), serde::Value::Arr(tensors)),
+            ]);
+            serde_json::to_string(&value).ok()
+        }
+        AnyClassifier::Subset(s) => quant_section_json(&s.inner),
+        _ => None,
+    }
+}
+
 /// Extracts the `format_version` gate from a JSON artifact body.
 fn json_format_version(value: &serde_json::Value, path: &Path) -> Result<u32> {
     let found = match value {
@@ -613,11 +669,28 @@ fn head_from_value(value: &serde_json::Value, format: Format) -> Result<Artifact
             )))
         }
     };
+    let encoding = match obj.field("encoding") {
+        // Current v3 META carries the encoding tag explicitly.
+        serde_json::Value::Str(s) => s.clone(),
+        serde_json::Value::Null => match obj.field("model") {
+            // Pre-quantization v3 META: no model body either, and only
+            // full-precision payloads existed.
+            serde_json::Value::Null => "f32".into(),
+            model => json_model_encoding(model)?,
+        },
+        other => {
+            return Err(ServeError::Json(format!(
+                "artifact `encoding`: expected string, got {}",
+                other.kind()
+            )))
+        }
+    };
     Ok(ArtifactHead {
         format,
         name,
         version,
         family,
+        encoding,
         config,
         n_features,
         test_accuracy: metadata.metrics.test_accuracy,
@@ -648,11 +721,64 @@ fn json_model_family(value: &serde_json::Value) -> Result<String> {
                 .field("inner");
             json_model_family(inner)?
         }
+        "Quantized" => {
+            let inner = payload
+                .as_obj_view("QuantModel")
+                .map_err(|e| ServeError::Json(e.to_string()))?
+                .field("payload");
+            let (ptag, _) = inner
+                .as_enum_view("QuantPayload")
+                .map_err(|e| ServeError::Json(e.to_string()))?;
+            match ptag {
+                "Mlp" => "mlp".into(),
+                "Svm" => "svm".into(),
+                "LogReg" => "logreg".into(),
+                other => {
+                    return Err(ServeError::Json(format!(
+                        "unknown quantized payload variant `{other}`"
+                    )))
+                }
+            }
+        }
         other => {
             return Err(ServeError::Json(format!(
                 "unknown model family variant `{other}`"
             )))
         }
+    })
+}
+
+/// Weight-storage encoding from the externally tagged JSON form of
+/// [`AnyClassifier`] (`f32` unless the model is quantized), without
+/// deserializing the payload.
+fn json_model_encoding(value: &serde_json::Value) -> Result<String> {
+    let (tag, payload) = value
+        .as_enum_view("AnyClassifier")
+        .map_err(|e| ServeError::Json(e.to_string()))?;
+    Ok(match tag {
+        "Quantized" => {
+            let enc = payload
+                .as_obj_view("QuantModel")
+                .map_err(|e| ServeError::Json(e.to_string()))?
+                .field("encoding");
+            match enc {
+                serde_json::Value::Str(s) => s.to_lowercase(),
+                other => {
+                    return Err(ServeError::Json(format!(
+                        "quantized `encoding`: expected string, got {}",
+                        other.kind()
+                    )))
+                }
+            }
+        }
+        "Subset" => {
+            let inner = payload
+                .as_obj_view("SubsetModel")
+                .map_err(|e| ServeError::Json(e.to_string()))?
+                .field("inner");
+            json_model_encoding(inner)?
+        }
+        _ => "f32".into(),
     })
 }
 

@@ -47,6 +47,7 @@ USAGE:
                        [--summary-json <PATH|->]
     hamlet-serve artifact inspect <PATH>
     hamlet-serve artifact convert <SRC> [--to v3|v2] [--dir <DIR>]
+                                  [--quantize i8|f16] [--sample-rows <N>]
     hamlet-serve artifact diff <A> <B>
     hamlet-serve datasets
 
@@ -79,11 +80,22 @@ BLAST:    fires --requests POSTs at --path from --concurrency parallel
           p50/p90/p99 summary goes to stderr; --summary-json writes the
           same numbers as JSON to a file (`-` appends them to stdout).
 
-ARTIFACT: inspect prints a file's format, sections and header without
-          loading the model; convert rewrites between v2 (json) and v3
-          (binary) reporting the size ratio; diff reports added/removed
-          features, cardinality changes and label-set deltas between two
-          artifact versions (either side may be v1/v2 json or v3 binary).
+ARTIFACT: inspect prints a file's format, sections, weight encoding and
+          header without loading the model (quantized artifacts also list
+          per-tensor encodings, byte sizes and scales); convert rewrites
+          between v2 (json) and v3 (binary) reporting the size ratio.
+          convert --quantize i8|f16 additionally rewrites the weight
+          tensors (per-tensor symmetric i8, or IEEE half precision) into a
+          NEW artifact named `<name>-<enc>` and reports the size ratio
+          plus a prediction-agreement estimate against the source model on
+          --sample-rows (default 512) deterministic in-domain rows; diff
+          reports added/removed features, cardinality changes and
+          label-set deltas between two artifact versions (either side may
+          be v1/v2 json or v3 binary).
+
+KERNELS:  inference uses runtime-dispatched SIMD kernels (AVX2, then
+          SSE2, else scalar; `/v1/stats` reports the chosen tier). Set
+          HAMLET_FORCE_SCALAR=1 to pin the bit-exact scalar reference.
 ";
 
 /// Splits CLI args into positional operands and `--flag value` pairs.
@@ -538,6 +550,7 @@ fn artifact_inspect(path: &Path) -> Result<(), String> {
         ("file_bytes".into(), Value::Num(Number::UInt(file_len))),
         ("key".into(), Value::Str(head.key())),
         ("family".into(), Value::Str(head.family.clone())),
+        ("encoding".into(), Value::Str(head.encoding.clone())),
         ("config".into(), Value::Str(head.config.clone())),
         (
             "n_features".into(),
@@ -556,8 +569,8 @@ fn artifact_inspect(path: &Path) -> Result<(), String> {
     if head.format == Format::V3 {
         // Physical layout: section table straight from the header.
         let bytes = std::fs::read(path).map_err(|e| e.to_string())?;
-        let sections = hamlet_serve::container::parse_sections(&bytes)
-            .map_err(|e| e.to_string())?
+        let entries = hamlet_serve::container::parse_sections(&bytes).map_err(|e| e.to_string())?;
+        let sections = entries
             .iter()
             .map(|s| {
                 Value::Obj(vec![
@@ -568,6 +581,16 @@ fn artifact_inspect(path: &Path) -> Result<(), String> {
             })
             .collect();
         out.push(("sections".into(), Value::Arr(sections)));
+        // Quantized payloads carry a JSON descriptor section: per-tensor
+        // encoding, byte size, and (for i8) the symmetric scale.
+        if let Ok(entry) =
+            hamlet_serve::container::find(&entries, hamlet_serve::container::SEC_QNTS)
+        {
+            let qnts = &bytes[entry.offset..entry.offset + entry.len];
+            let desc: Value = serde_json::from_slice(qnts)
+                .map_err(|e| format!("QNTS section is not valid JSON: {e}"))?;
+            out.push(("quantization".into(), desc));
+        }
     }
     println!(
         "{}",
@@ -590,6 +613,14 @@ fn artifact_convert(src: &Path, flags: &HashMap<String, String>) -> Result<(), S
         .unwrap_or_else(|| PathBuf::from("."));
     let artifact =
         ModelArtifact::load(src).map_err(|e| format!("loading {}: {e}", src.display()))?;
+    if let Some(spec) = flags.get("quantize") {
+        if flags.get("to").map(String::as_str) == Some("v2") {
+            return Err("--quantize writes v3 binary artifacts; drop --to v2".into());
+        }
+        let enc = hamlet_ml::quant::QuantEncoding::parse(spec)
+            .ok_or_else(|| format!("bad --quantize `{spec}` (i8|f16)"))?;
+        return artifact_quantize(src, &artifact, enc, &out_dir, flags);
+    }
     // Refuse in-place rewrites *before* touching the filesystem, comparing
     // resolved paths so `./artifacts/x` and `artifacts/x` don't sneak past.
     let planned = artifact.path_in_format(&out_dir, to);
@@ -616,6 +647,69 @@ fn artifact_convert(src: &Path, flags: &HashMap<String, String>) -> Result<(), S
         src.display(),
         dst.display(),
         src_len as f64 / dst_len.max(1) as f64
+    );
+    Ok(())
+}
+
+/// `convert --quantize i8|f16`: rewrite the weight tensors into a NEW v3
+/// artifact named `<name>-<enc>` (same version) and report the size ratio
+/// plus a prediction-agreement estimate on deterministic in-domain rows.
+fn artifact_quantize(
+    src: &Path,
+    artifact: &ModelArtifact,
+    enc: hamlet_ml::quant::QuantEncoding,
+    out_dir: &Path,
+    flags: &HashMap<String, String>,
+) -> Result<(), String> {
+    let sample_rows: usize = match flags.get("sample-rows") {
+        Some(n) => n.parse().map_err(|_| format!("bad --sample-rows `{n}`"))?,
+        None => 512,
+    };
+    let mut quantized = artifact.clone();
+    quantized.model = artifact
+        .model
+        .quantize(enc)
+        .map_err(|e| format!("quantizing {}: {e}", artifact.key()))?;
+    // A distinct name, never an in-place downgrade: the f32 original stays
+    // servable next to its quantized sibling.
+    quantized.name = format!("{}-{}", artifact.name, enc.name());
+
+    // Agreement estimate: a fixed-seed LCG draws in-domain codes from the
+    // contract cardinalities, so the report is reproducible run to run.
+    let cards: Vec<u32> = artifact.features().iter().map(|f| f.cardinality).collect();
+    let d = cards.len();
+    let agreement = if d == 0 || sample_rows == 0 {
+        1.0
+    } else {
+        let mut state = 0x243F6A88_85A308D3u64;
+        let mut rows = Vec::with_capacity(sample_rows * d);
+        for _ in 0..sample_rows {
+            for &card in &cards {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                rows.push(((state >> 33) % u64::from(card.max(1))) as u32);
+            }
+        }
+        let base = artifact.model.predict_batch(&rows, d);
+        let quant = quantized.model.predict_batch(&rows, d);
+        let same = base.iter().zip(&quant).filter(|(a, b)| a == b).count();
+        same as f64 / base.len() as f64
+    };
+
+    let dst = quantized
+        .save_format(out_dir, Format::V3)
+        .map_err(|e| e.to_string())?;
+    let src_len = std::fs::metadata(src).map_err(|e| e.to_string())?.len();
+    let dst_len = std::fs::metadata(&dst).map_err(|e| e.to_string())?.len();
+    println!(
+        "{{\"src\":\"{}\",\"src_bytes\":{src_len},\"dst\":\"{}\",\"dst_bytes\":{dst_len},\
+         \"ratio\":{:.2},\"encoding\":\"{}\",\"sample_rows\":{sample_rows},\
+         \"agreement\":{agreement:.4}}}",
+        src.display(),
+        dst.display(),
+        src_len as f64 / dst_len.max(1) as f64,
+        enc.name()
     );
     Ok(())
 }

@@ -62,6 +62,12 @@ pub const SEC_DICT: [u8; 8] = *b"DICT\0\0\0\0";
 /// Tag of the binary model payload section.
 pub const SEC_MODL: [u8; 8] = *b"MODL\0\0\0\0";
 
+/// Tag of the quantization descriptor section (small JSON: tensor storage
+/// encoding plus per-tensor element counts, byte sizes and dequantization
+/// scales). Present only in artifacts whose model payload is quantized;
+/// readers that predate it ignore the unknown tag.
+pub const SEC_QNTS: [u8; 8] = *b"QNTS\0\0\0\0";
+
 /// Tag of the per-section checksum table (one 16-byte record per payload
 /// section: 8-byte tag, 4-byte CRC-32, 4 bytes zero padding).
 pub const SEC_CRCS: [u8; 8] = *b"CRCS\0\0\0\0";

@@ -58,6 +58,9 @@ pub struct ModelSummary {
     pub version: u32,
     /// Model family tag (`tree`, `svm`, ...).
     pub family: String,
+    /// Weight-tensor storage encoding (`f32`, or `i8`/`f16` when
+    /// quantized).
+    pub encoding: String,
     /// Feature-config name (`NoJoin`, `JoinAll`, ...).
     pub config: String,
     /// Expected input width (features per row).
@@ -69,23 +72,29 @@ pub struct ModelSummary {
     /// Whether the model payload is resident in memory (`false` = lazy
     /// slot, loaded on first use).
     pub resident: bool,
+    /// Bytes of dense numeric payload (weights, support vectors, tables)
+    /// the model keeps resident — 0 for lazy slots, whose payload is still
+    /// on disk.
+    pub resident_bytes: usize,
 }
 
 fn next_version_in(index: &Index, name: &str) -> u32 {
     index.latest.get(name).map_or(1, |a| a.version + 1)
 }
 
-fn summarize_head(head: &ArtifactHead, resident: bool) -> ModelSummary {
+fn summarize_head(head: &ArtifactHead, resident: bool, resident_bytes: usize) -> ModelSummary {
     ModelSummary {
         key: head.key(),
         name: head.name.clone(),
         version: head.version,
         family: head.family.clone(),
+        encoding: head.encoding.clone(),
         config: head.config.clone(),
         n_features: head.n_features,
         test_accuracy: head.test_accuracy,
         dataset: head.dataset.clone(),
         resident,
+        resident_bytes,
     }
 }
 
@@ -492,7 +501,7 @@ impl ModelRegistry {
                 .ok_or_else(|| ServeError::ModelNotFound(key.to_string()))?;
             let ready = match slot {
                 // Already lazy: idempotent no-op, nothing to audit.
-                Slot::Lazy(l) => return Ok(summarize_head(&l.head, false)),
+                Slot::Lazy(l) => return Ok(summarize_head(&l.head, false, 0)),
                 Slot::Ready(r) => r.clone(),
             };
             if index
@@ -515,7 +524,7 @@ impl ModelRegistry {
                 map.advise(MapAdvice::DontNeed);
             }
             let head = ready.artifact.head();
-            let summary = summarize_head(&head, false);
+            let summary = summarize_head(&head, false, 0);
             index.by_key.insert(
                 key.to_string(),
                 Slot::Lazy(Arc::new(LazySlot { path, head })),
@@ -587,8 +596,10 @@ impl ModelRegistry {
             .by_key
             .values()
             .map(|slot| match slot {
-                Slot::Ready(r) => summarize_head(&r.artifact.head(), true),
-                Slot::Lazy(l) => summarize_head(&l.head, false),
+                Slot::Ready(r) => {
+                    summarize_head(&r.artifact.head(), true, r.artifact.model.weight_bytes())
+                }
+                Slot::Lazy(l) => summarize_head(&l.head, false, 0),
             })
             .collect();
         out.sort_by(|a, b| a.key.cmp(&b.key));
@@ -706,9 +717,11 @@ mod tests {
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].key, "a@1");
         assert_eq!(rows[0].family, "majority");
+        assert_eq!(rows[0].encoding, "f32");
         assert_eq!(rows[0].config, "NoJoin");
         assert_eq!(rows[0].n_features, 2);
         assert!(rows[0].resident);
+        assert_eq!(rows[0].resident_bytes, 0, "majority has no weight arrays");
     }
 
     #[test]

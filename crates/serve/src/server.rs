@@ -364,7 +364,10 @@ impl AppState {
         telemetry.record_event(
             EventKind::Startup,
             "",
-            &format!("{loaded} artifact(s) warm-loaded"),
+            &format!(
+                "{loaded} artifact(s) warm-loaded, {} kernels",
+                hamlet_ml::kernels::backend().name()
+            ),
         );
         let cores = default_predict_threads();
         let budget = if opts.executors == 0 {
@@ -732,6 +735,7 @@ fn ops_gauges(state: &AppState) -> OpsGauges {
     OpsGauges {
         models_registered: state.registry.len(),
         models_resident: state.registry.resident_count(),
+        kernel_backend: hamlet_ml::kernels::backend().name(),
     }
 }
 
@@ -790,10 +794,15 @@ pub fn router(state: Arc<AppState>) -> Handler {
             ("GET", "/v1/stats") => ok_json(&crate::telemetry::stats_response(
                 &state.telemetry,
                 ops_gauges(&state),
+                &state.registry.list(),
             )),
             ("GET", "/metrics") => Response::text(
                 200,
-                crate::telemetry::prometheus(&state.telemetry, ops_gauges(&state)),
+                crate::telemetry::prometheus(
+                    &state.telemetry,
+                    ops_gauges(&state),
+                    &state.registry.list(),
+                ),
             ),
             ("GET", "/v1/models") => ok_json(&ModelsResponse {
                 models: state.registry.list(),

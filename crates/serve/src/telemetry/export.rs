@@ -9,6 +9,7 @@
 use std::fmt::Write;
 
 use crate::api::{EndpointStatsRow, ModelStatsRow, StatsResponse};
+use crate::registry::ModelSummary;
 
 use super::stats::Telemetry;
 
@@ -20,6 +21,8 @@ pub struct OpsGauges {
     pub models_registered: usize,
     /// Versions currently resident in memory.
     pub models_resident: usize,
+    /// SIMD kernel backend chosen at startup (`avx2`/`sse2`/`scalar`).
+    pub kernel_backend: &'static str,
 }
 
 /// Escapes a Prometheus label value: backslash, double quote, newline.
@@ -36,8 +39,9 @@ fn escape_label(value: &str) -> String {
     out
 }
 
-/// Renders the full `/metrics` payload.
-pub fn prometheus(t: &Telemetry, gauges: OpsGauges) -> String {
+/// Renders the full `/metrics` payload. `registry_rows` is the registry
+/// listing (one row per version) behind the per-artifact info gauges.
+pub fn prometheus(t: &Telemetry, gauges: OpsGauges, registry_rows: &[ModelSummary]) -> String {
     let mut out = String::with_capacity(4096);
     let endpoints = t.endpoints_snapshot();
     let models = t.models_snapshot();
@@ -51,6 +55,42 @@ pub fn prometheus(t: &Telemetry, gauges: OpsGauges) -> String {
     let _ = writeln!(out, "hamlet_models_registered {}", gauges.models_registered);
     out.push_str("# TYPE hamlet_models_resident gauge\n");
     let _ = writeln!(out, "hamlet_models_resident {}", gauges.models_resident);
+
+    out.push_str(
+        "# HELP hamlet_kernel_backend_info SIMD dispatch tier chosen at startup (constant 1).\n",
+    );
+    out.push_str("# TYPE hamlet_kernel_backend_info gauge\n");
+    let _ = writeln!(
+        out,
+        "hamlet_kernel_backend_info{{backend=\"{}\"}} 1",
+        escape_label(gauges.kernel_backend)
+    );
+
+    out.push_str(
+        "# HELP hamlet_model_info Registered artifact metadata (family, weight encoding).\n",
+    );
+    out.push_str("# TYPE hamlet_model_info gauge\n");
+    for row in registry_rows {
+        let _ = writeln!(
+            out,
+            "hamlet_model_info{{model=\"{}\",family=\"{}\",encoding=\"{}\"}} 1",
+            escape_label(&row.key),
+            escape_label(&row.family),
+            escape_label(&row.encoding)
+        );
+    }
+    out.push_str(
+        "# HELP hamlet_model_resident_bytes Dense weight bytes resident in memory (0 = lazy).\n",
+    );
+    out.push_str("# TYPE hamlet_model_resident_bytes gauge\n");
+    for row in registry_rows {
+        let _ = writeln!(
+            out,
+            "hamlet_model_resident_bytes{{model=\"{}\"}} {}",
+            escape_label(&row.key),
+            row.resident_bytes
+        );
+    }
 
     out.push_str("# HELP hamlet_requests_total Requests answered, by endpoint.\n");
     out.push_str("# TYPE hamlet_requests_total counter\n");
@@ -159,8 +199,13 @@ fn write_summary(
     let _ = writeln!(out, "{family}_count{{{label}}} {}", hist.count());
 }
 
-/// Assembles the `GET /v1/stats` JSON body.
-pub fn stats_response(t: &Telemetry, gauges: OpsGauges) -> StatsResponse {
+/// Assembles the `GET /v1/stats` JSON body. `registry_rows` supplies the
+/// per-model weight encoding for versions that have seen traffic.
+pub fn stats_response(
+    t: &Telemetry,
+    gauges: OpsGauges,
+    registry_rows: &[ModelSummary],
+) -> StatsResponse {
     let now_ms = t.now_ms();
     let endpoints = t
         .endpoints_snapshot()
@@ -178,6 +223,10 @@ pub fn stats_response(t: &Telemetry, gauges: OpsGauges) -> StatsResponse {
         .models_snapshot()
         .into_iter()
         .map(|(key, snap)| ModelStatsRow {
+            encoding: registry_rows
+                .iter()
+                .find(|r| r.key == key)
+                .map(|r| r.encoding.clone()),
             model: key,
             requests: snap.requests,
             merged_requests: snap.merged_requests,
@@ -195,6 +244,7 @@ pub fn stats_response(t: &Telemetry, gauges: OpsGauges) -> StatsResponse {
         uptime_secs: t.uptime().as_secs_f64(),
         models_registered: gauges.models_registered,
         models_resident: gauges.models_resident,
+        kernel_backend: gauges.kernel_backend.to_string(),
         endpoints,
         models,
         coalesce: t.coalesce_stats().snapshot(),
@@ -210,6 +260,30 @@ mod tests {
     use super::super::eventlog::EventKind;
     use super::super::stats::Endpoint;
     use super::*;
+
+    fn seeded_gauges() -> OpsGauges {
+        OpsGauges {
+            models_registered: 3,
+            models_resident: 2,
+            kernel_backend: "avx2",
+        }
+    }
+
+    fn seeded_rows() -> Vec<ModelSummary> {
+        vec![ModelSummary {
+            key: "alpha@1".into(),
+            name: "alpha".into(),
+            version: 1,
+            family: "mlp".into(),
+            encoding: "i8".into(),
+            config: "NoJoin".into(),
+            n_features: 4,
+            test_accuracy: 0.9,
+            dataset: "movies".into(),
+            resident: true,
+            resident_bytes: 1024,
+        }]
+    }
 
     fn seeded_telemetry() -> Telemetry {
         let t = Telemetry::in_memory();
@@ -231,13 +305,7 @@ mod tests {
     #[test]
     fn every_sample_follows_its_type_line() {
         let t = seeded_telemetry();
-        let text = prometheus(
-            &t,
-            OpsGauges {
-                models_registered: 3,
-                models_resident: 2,
-            },
-        );
+        let text = prometheus(&t, seeded_gauges(), &seeded_rows());
         let mut declared: HashSet<&str> = HashSet::new();
         for line in text.lines() {
             if let Some(rest) = line.strip_prefix("# TYPE ") {
@@ -261,19 +329,19 @@ mod tests {
         assert!(text.contains("hamlet_requests_total{endpoint=\"predict\"} 40"));
         assert!(text.contains("hamlet_request_errors_total{endpoint=\"other\"} 1"));
         assert!(text.contains("quantile=\"0.999\""));
+        assert!(text.contains("hamlet_kernel_backend_info{backend=\"avx2\"} 1"));
+        assert!(
+            text.contains("hamlet_model_info{model=\"alpha@1\",family=\"mlp\",encoding=\"i8\"} 1")
+        );
+        assert!(text.contains("hamlet_model_resident_bytes{model=\"alpha@1\"} 1024"));
     }
 
     #[test]
     fn stats_response_reports_percentiles_and_events() {
         let t = seeded_telemetry();
-        let resp = stats_response(
-            &t,
-            OpsGauges {
-                models_registered: 3,
-                models_resident: 2,
-            },
-        );
+        let resp = stats_response(&t, seeded_gauges(), &seeded_rows());
         assert_eq!(resp.models_registered, 3);
+        assert_eq!(resp.kernel_backend, "avx2");
         let predict = resp
             .endpoints
             .iter()
@@ -283,6 +351,7 @@ mod tests {
         assert!(predict.p50_ms.unwrap() > 0.0);
         assert!(predict.p99_ms.unwrap() >= predict.p50_ms.unwrap());
         let alpha = resp.models.iter().find(|r| r.model == "alpha@1").unwrap();
+        assert_eq!(alpha.encoding.as_deref(), Some("i8"));
         assert_eq!(alpha.rows, 80);
         assert_eq!(alpha.merged_requests, 20);
         assert!(alpha.p999_ms.is_some());

@@ -324,6 +324,101 @@ fn handcrafted_v1_and_v2_artifacts_warm_load_alongside_v3() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Quantized artifacts end to end (the `convert --quantize` path): an MLP
+/// and an SVM quantized to i8 and f16, saved as v3 and reloaded via heap
+/// AND mmap, must agree with the f32 original on ≥ 99% of in-domain rows,
+/// predict identically across load modes, and (i8, weight-dominated MLP)
+/// shrink the artifact at least 2×.
+#[test]
+fn quantized_artifacts_reload_with_high_agreement_and_i8_shrinks_2x() {
+    use hamlet_ml::quant::QuantEncoding;
+    use rand::{Rng, SeedableRng};
+    // A dataset with real signal (noisy parity of two features): models
+    // with random labels sit on a near-zero decision boundary everywhere,
+    // which says nothing about quantization quality.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(67);
+    let base = dict_dataset(67, 10);
+    let cards = base.cardinalities();
+    let d = cards.len();
+    let n = 400;
+    let flat: Vec<u32> = (0..n * d).map(|i| rng.gen_range(0..cards[i % d])).collect();
+    let labels: Vec<bool> = flat
+        .chunks(d)
+        .map(|r| {
+            let clean = (r[0] + r[2]) % 2 == 0;
+            if rng.gen_bool(0.85) {
+                clean
+            } else {
+                !clean
+            }
+        })
+        .collect();
+    let ds = CatDataset::new(base.contract().features().to_vec(), flat.clone(), labels).unwrap();
+    // Agreement is measured on the (in-distribution) training rows: far
+    // out-of-distribution probes all sit on the near-zero decision
+    // boundary, where agreement says nothing about quantization quality.
+    let dir = tmp_dir("quant");
+
+    let mlp: AnyClassifier = Mlp::fit(
+        &ds,
+        AnnParams {
+            hidden1: 64,
+            hidden2: 32,
+            epochs: 2,
+            ..AnnParams::small(1e-4, 0.01)
+        },
+    )
+    .unwrap()
+    .into();
+    let svm: AnyClassifier =
+        SvmModel::fit(&ds, SvmParams::new(KernelKind::Rbf { gamma: 0.4 }, 4.0))
+            .unwrap()
+            .into();
+
+    for (tag, model) in [("mlp", mlp), ("svm", svm)] {
+        let art = artifact_for(model, &ds, &format!("q-{tag}"));
+        let f32_len = std::fs::metadata(art.save(&dir).unwrap()).unwrap().len();
+        let base = art.model.predict_batch(&flat, d);
+        for enc in [QuantEncoding::I8, QuantEncoding::F16] {
+            let qart = artifact_for(
+                art.model.quantize(enc).unwrap(),
+                &ds,
+                &format!("q-{tag}-{}", enc.name()),
+            );
+            let qpath = qart.save(&dir).unwrap();
+            let mut per_mode = Vec::new();
+            for mode in [LoadMode::Heap, LoadMode::Mmap] {
+                let back = ModelArtifact::load_with(&qpath, mode).unwrap();
+                assert_eq!(back.model.encoding(), enc.name(), "{tag} {mode:?}");
+                let preds = back.model.predict_batch(&flat, d);
+                let agree = preds.iter().zip(&base).filter(|(a, b)| a == b).count() as f64
+                    / base.len() as f64;
+                assert!(
+                    agree >= 0.99,
+                    "{tag} {} {mode:?}: agreement {agree:.4} < 0.99",
+                    enc.name()
+                );
+                per_mode.push(preds);
+            }
+            assert_eq!(
+                per_mode[0],
+                per_mode[1],
+                "{tag} {}: heap and mmap predictions must match",
+                enc.name()
+            );
+            if tag == "mlp" && enc == QuantEncoding::I8 {
+                let q_len = std::fs::metadata(&qpath).unwrap().len();
+                assert!(
+                    f32_len >= 2 * q_len,
+                    "i8 MLP artifact is {q_len} bytes vs f32 {f32_len} — ratio {:.2} < 2",
+                    f32_len as f64 / q_len as f64
+                );
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// Lazy warm-load end to end: old versions are non-resident until first
 /// pinned request, and the promoted model predicts identically.
 #[test]
