@@ -69,9 +69,13 @@ pub fn dequant_i8(q: i8, scale: f32) -> f32 {
     f32::from(q) * scale
 }
 
-/// Converts an f32 tensor to f16 (round-to-nearest-even per element).
+/// Converts an f32 tensor to f16 (round-to-nearest-even per element,
+/// F16C-accelerated when the CPU has it — bit-identical to the software
+/// path for every non-NaN weight).
 pub fn quantize_f16(values: &[f32]) -> Vec<F16> {
-    values.iter().map(|&v| F16::from_f32(v)).collect()
+    let mut out = vec![F16(0); values.len()];
+    kernels::f32_to_f16_slice(values, &mut out);
+    out
 }
 
 /// Converts an f64 tensor to f16 via f32 (two correctly-rounded steps; the
@@ -81,9 +85,12 @@ pub fn quantize_f16_f64(values: &[f64]) -> Vec<F16> {
     values.iter().map(|&v| F16::from_f32(v as f32)).collect()
 }
 
-/// Widens an f16 tensor back to f32 (lossless).
+/// Widens an f16 tensor back to f32 (lossless, F16C-accelerated when the
+/// CPU has it — every tier is bit-identical).
 pub fn dequantize_f16(values: &[F16]) -> Vec<f32> {
-    values.iter().map(|h| h.to_f32()).collect()
+    let mut out = vec![0f32; values.len()];
+    kernels::f16_to_f32_slice(values, &mut out);
+    out
 }
 
 /// Quantizes a runtime f32 activation vector to i8 in place of `out`,

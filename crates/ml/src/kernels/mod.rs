@@ -183,6 +183,38 @@ pub fn dot_f16_f32(init: f32, a: &[F16], b: &[f32]) -> f32 {
     scalar::dot_f16_f32(init, a, b)
 }
 
+/// Widens a whole f16 slice to f32 (`dst[i] = f32(src[i])`), hardware
+/// F16C (`vcvtph2ps`) when available. Every binary16 value is exactly
+/// representable in f32, so the conversion is lossless and every tier
+/// agrees bit-for-bit — batch-dequantized weights are backend-independent.
+#[inline]
+pub fn f16_to_f32_slice(src: &[F16], dst: &mut [f32]) {
+    debug_assert_eq!(src.len(), dst.len());
+    #[cfg(target_arch = "x86_64")]
+    if has_f16c() {
+        // Safety: guarded by the AVX2 + F16C runtime check above.
+        return unsafe { x86::f16_to_f32_slice_f16c(src, dst) };
+    }
+    scalar::f16_to_f32_slice(src, dst);
+}
+
+/// Narrows a whole f32 slice to f16, round-to-nearest-even, hardware F16C
+/// (`vcvtps2ph`) when available. Hardware and software agree bit-for-bit
+/// on every non-NaN input (both are correctly-rounded RNE with saturation
+/// to ±∞ and gradual underflow); NaN inputs produce a NaN in every tier
+/// but the payload bits may differ (hardware keeps the top mantissa bits,
+/// the software path collapses to a canonical quiet NaN).
+#[inline]
+pub fn f32_to_f16_slice(src: &[f32], dst: &mut [F16]) {
+    debug_assert_eq!(src.len(), dst.len());
+    #[cfg(target_arch = "x86_64")]
+    if has_f16c() {
+        // Safety: guarded by the AVX2 + F16C runtime check above.
+        return unsafe { x86::f32_to_f16_slice_f16c(src, dst) };
+    }
+    scalar::f32_to_f16_slice(src, dst);
+}
+
 /// One-hot gather-sum `init + Σ weights[offsets[j] + codes[j]]` — the
 /// entire logreg decision function. The gather is latency-bound, so SIMD
 /// only engages past a width floor; below it the scalar reference runs (and
@@ -255,6 +287,22 @@ pub mod scalar {
             z += x.to_f32() * y;
         }
         z
+    }
+
+    /// See [`super::f16_to_f32_slice`]. Software per-element widening.
+    #[inline]
+    pub fn f16_to_f32_slice(src: &[F16], dst: &mut [f32]) {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d = s.to_f32();
+        }
+    }
+
+    /// See [`super::f32_to_f16_slice`]. Software per-element narrowing.
+    #[inline]
+    pub fn f32_to_f16_slice(src: &[f32], dst: &mut [F16]) {
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d = F16::from_f32(s);
+        }
     }
 
     /// See [`super::onehot_dot_f64`].
@@ -659,6 +707,53 @@ pub mod x86 {
         init + sum
     }
 
+    /// F16C [`super::f16_to_f32_slice`]: `vcvtph2ps` widens 8 halves per
+    /// step. Lossless, so bit-identical to the software path.
+    ///
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX2 **and** F16C.
+    #[target_feature(enable = "avx2", enable = "f16c")]
+    pub unsafe fn f16_to_f32_slice_f16c(src: &[F16], dst: &mut [f32]) {
+        let n = src.len().min(dst.len());
+        let ps = src.as_ptr() as *const u16;
+        let pd = dst.as_mut_ptr();
+        let mut i = 0;
+        while i + 8 <= n {
+            _mm256_storeu_ps(
+                pd.add(i),
+                _mm256_cvtph_ps(_mm_loadu_si128(ps.add(i) as *const __m128i)),
+            );
+            i += 8;
+        }
+        while i < n {
+            dst[i] = src[i].to_f32();
+            i += 1;
+        }
+    }
+
+    /// F16C [`super::f32_to_f16_slice`]: `vcvtps2ph` (round-to-nearest-
+    /// even) narrows 8 singles per step. Matches the software path
+    /// bit-for-bit on every non-NaN input.
+    ///
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX2 **and** F16C.
+    #[target_feature(enable = "avx2", enable = "f16c")]
+    pub unsafe fn f32_to_f16_slice_f16c(src: &[f32], dst: &mut [F16]) {
+        let n = src.len().min(dst.len());
+        let ps = src.as_ptr();
+        let pd = dst.as_mut_ptr() as *mut u16;
+        let mut i = 0;
+        while i + 8 <= n {
+            let h = _mm256_cvtps_ph::<_MM_FROUND_TO_NEAREST_INT>(_mm256_loadu_ps(ps.add(i)));
+            _mm_storeu_si128(pd.add(i) as *mut __m128i, h);
+            i += 8;
+        }
+        while i < n {
+            dst[i] = F16::from_f32(src[i]);
+            i += 1;
+        }
+    }
+
     /// AVX2 [`super::onehot_dot_f64`]: a SIMD max-reduction proves every
     /// gathered index in range, then `vgatherdpd` pulls 4 doubles per step.
     /// Returns `None` when any index would be out of bounds (or the weight
@@ -892,6 +987,100 @@ mod tests {
             // And f16 quantization itself stays close to the f32 original.
             let full = scalar::dot_f32(0.25, &w, &a);
             assert!(rel_close(full, got, 2e-3), "n={n}: {full} vs {got}");
+        }
+    }
+
+    /// Finite / infinite values exercising every f32→f16 rounding regime:
+    /// normals, RNE ties, subnormal outputs, the overflow boundary, ±∞.
+    fn f16_edge_values() -> Vec<f32> {
+        vec![
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            1.0 + 2f32.powi(-11),       // tie → even
+            1.0 + 3.0 * 2f32.powi(-11), // above tie → up
+            2f32.powi(-24),             // smallest f16 subnormal
+            2f32.powi(-25),             // tie with zero → zero
+            1.5 * 2f32.powi(-25),       // above tie → smallest subnormal
+            2f32.powi(-30),             // underflows to zero
+            65504.0,                    // f16 max normal
+            65520.0,                    // tie with ∞ → ∞
+            1e6,                        // saturates
+            -65504.0,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+        ]
+    }
+
+    #[test]
+    fn f16_slice_conversions_match_scalar_bitwise() {
+        for n in [0usize, 1, 7, 8, 9, 16, 64, 257] {
+            let mut src = f32s(n, 90 + n as u64);
+            // Cycle the edge values through the head so the SIMD lanes see
+            // them, not just the scalar tail.
+            for (i, v) in f16_edge_values().into_iter().enumerate() {
+                if i < n {
+                    src[i] = v;
+                }
+            }
+            let mut want = vec![F16(0); n];
+            scalar::f32_to_f16_slice(&src, &mut want);
+            let mut got = vec![F16(0); n];
+            f32_to_f16_slice(&src, &mut got);
+            assert_eq!(got, want, "f32→f16 n={n}");
+            // And widening back is lossless in every tier.
+            let mut wf = vec![0f32; n];
+            scalar::f16_to_f32_slice(&want, &mut wf);
+            let mut gf = vec![0f32; n];
+            f16_to_f32_slice(&want, &mut gf);
+            let wb: Vec<u32> = wf.iter().map(|v| v.to_bits()).collect();
+            let gb: Vec<u32> = gf.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(gb, wb, "f16→f32 n={n}");
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn f16c_slice_tier_matches_scalar() {
+        if !(is_x86_feature_detected!("avx2") && is_x86_feature_detected!("f16c")) {
+            return; // No F16C: the dispatch test already covers this host.
+        }
+        // Direct-tier parity regardless of what process dispatch picked
+        // (e.g. under HAMLET_FORCE_SCALAR the dispatched path is scalar).
+        let mut src = f16_edge_values();
+        src.extend(f32s(100, 91));
+        let n = src.len();
+        let mut want = vec![F16(0); n];
+        scalar::f32_to_f16_slice(&src, &mut want);
+        let mut got = vec![F16(0); n];
+        // Safety: AVX2 + F16C verified above.
+        unsafe { x86::f32_to_f16_slice_f16c(&src, &mut got) };
+        assert_eq!(got, want);
+        let mut wf = vec![0f32; n];
+        scalar::f16_to_f32_slice(&want, &mut wf);
+        let mut gf = vec![0f32; n];
+        // Safety: AVX2 + F16C verified above.
+        unsafe { x86::f16_to_f32_slice_f16c(&want, &mut gf) };
+        let wb: Vec<u32> = wf.iter().map(|v| v.to_bits()).collect();
+        let gb: Vec<u32> = gf.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(gb, wb);
+        // NaN: payloads may differ between tiers, but NaN stays NaN.
+        let nans = [
+            f32::NAN,
+            -f32::NAN,
+            f32::NAN,
+            f32::NAN,
+            f32::NAN,
+            f32::NAN,
+            f32::NAN,
+            f32::NAN,
+        ];
+        let mut hw = [F16(0); 8];
+        // Safety: AVX2 + F16C verified above.
+        unsafe { x86::f32_to_f16_slice_f16c(&nans, &mut hw) };
+        for h in hw {
+            assert!(f16_bits_to_f32(h.0).is_nan());
         }
     }
 

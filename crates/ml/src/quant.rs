@@ -259,6 +259,10 @@ pub struct QuantModel {
 }
 
 /// Reusable buffers for [`QuantModel::predict_row_scratch`].
+///
+/// Shaped for one specific model by [`QuantModel::scratch`] — buffers are
+/// sized to that model's topology and, for f16 MLPs, cache its weight
+/// tensors widened to f32, so a scratch must not be shared across models.
 #[derive(Debug, Clone, Default)]
 pub struct QuantScratch {
     active: Vec<usize>,
@@ -266,6 +270,12 @@ pub struct QuantScratch {
     a: Vec<f32>,
     a2: Vec<f32>,
     qa: Vec<i8>,
+    // f16 MLP weight tensors widened to f32 on the first row, then reused
+    // for the rest of the batch (empty for i8 and non-MLP payloads).
+    w1f: Vec<f32>,
+    w2f: Vec<f32>,
+    w3f: Vec<f32>,
+    dequantized: bool,
 }
 
 impl QuantModel {
@@ -333,6 +343,7 @@ impl QuantModel {
                 a: vec![0.0f32; m.h1],
                 a2: vec![0.0f32; m.h2],
                 qa: Vec::with_capacity(m.h1),
+                ..QuantScratch::default()
             },
             _ => QuantScratch::default(),
         }
@@ -419,9 +430,29 @@ impl QuantMlp {
     /// and activation scales. Every float step is a fixed scalar sequence,
     /// so i8 logits are backend- and load-mode-independent bit-for-bit.
     ///
-    /// f16: weights widen on the fly (F16C-accelerated dense products).
+    /// f16: the weight tensors are widened to f32 **once per scratch** (the
+    /// serving path reuses one scratch per batch) with the F16C-accelerated
+    /// slice kernel, and the dense layers then run the plain f32 kernels.
+    /// Widening is lossless, so under the forced-scalar tier this produces
+    /// bit-identical logits to per-element dequantize-on-the-fly — while
+    /// dropping the per-dot conversion cost from the hot path entirely.
     fn logit(&self, row: &[u32], s: &mut QuantScratch) -> f32 {
         let (d_in, h1, h2) = (self.d_in, self.h1, self.h2);
+        if !s.dequantized {
+            if let QTensor::F16 { data } = &self.w1 {
+                s.w1f.resize(data.len(), 0.0);
+                kernels::f16_to_f32_slice(data, &mut s.w1f);
+            }
+            if let QTensor::F16 { data } = &self.w2 {
+                s.w2f.resize(data.len(), 0.0);
+                kernels::f16_to_f32_slice(data, &mut s.w2f);
+            }
+            if let QTensor::F16 { data } = &self.w3 {
+                s.w3f.resize(data.len(), 0.0);
+                kernels::f16_to_f32_slice(data, &mut s.w3f);
+            }
+            s.dequantized = true;
+        }
         s.active.resize(row.len(), 0);
         for (j, (&code, o)) in row.iter().zip(s.active.iter_mut()).enumerate() {
             *o = self.offsets[j] as usize + code as usize;
@@ -439,12 +470,12 @@ impl QuantMlp {
                     s.z[u] = self.b1[u] + acc as f32 * scale;
                 }
             }
-            QTensor::F16 { data } => {
+            QTensor::F16 { .. } => {
                 for u in 0..h1 {
                     let base = u * d_in;
                     let mut z = self.b1[u];
                     for &idx in &s.active {
-                        z += data[base + idx].to_f32();
+                        z += s.w1f[base + idx];
                     }
                     s.z[u] = z;
                 }
@@ -462,10 +493,9 @@ impl QuantMlp {
                     s.z[u] = self.b2[u] + rescale * kernels::dot_i8(row_q, &s.qa) as f32;
                 }
             }
-            QTensor::F16 { data } => {
+            QTensor::F16 { .. } => {
                 for u in 0..h2 {
-                    let row_h = &data[u * h1..(u + 1) * h1];
-                    s.z[u] = kernels::dot_f16_f32(self.b2[u], row_h, &s.a);
+                    s.z[u] = kernels::dot_f32(self.b2[u], &s.w2f[u * h1..(u + 1) * h1], &s.a);
                 }
             }
         }
@@ -477,7 +507,7 @@ impl QuantMlp {
                 let a_scale = quantize_activations_i8(&s.a2, &mut s.qa);
                 self.b3 + scale * a_scale * kernels::dot_i8(data, &s.qa) as f32
             }
-            QTensor::F16 { data } => kernels::dot_f16_f32(self.b3, data, &s.a2),
+            QTensor::F16 { .. } => kernels::dot_f32(self.b3, &s.w3f, &s.a2),
         }
     }
 }
@@ -628,6 +658,23 @@ mod tests {
         let ds = emulator_ds(100, 14);
         let m = Mlp::fit(&ds, AnnParams::small(1e-4, 0.01)).unwrap();
         let q = QuantModel::from_mlp(&m, QuantEncoding::I8);
+        let mut s = q.scratch();
+        for i in 0..ds.n_rows() {
+            let fast = q.decision_scratch(ds.row(i), &mut s);
+            let slow = q.decision_scratch(ds.row(i), &mut q.scratch());
+            assert_eq!(fast.to_bits(), slow.to_bits(), "row {i}");
+        }
+    }
+
+    #[test]
+    fn f16_batch_dequant_matches_fresh_scratch() {
+        // The batched serving path reuses one scratch (weights widened
+        // once); a fresh scratch per row re-widens every time. Widening is
+        // lossless and the kernels see identical f32 inputs either way, so
+        // the logits must agree bit-for-bit.
+        let ds = emulator_ds(100, 16);
+        let m = Mlp::fit(&ds, AnnParams::small(1e-4, 0.01)).unwrap();
+        let q = QuantModel::from_mlp(&m, QuantEncoding::F16);
         let mut s = q.scratch();
         for i in 0..ds.n_rows() {
             let fast = q.decision_scratch(ds.row(i), &mut s);

@@ -3,12 +3,14 @@
 //! ```bash
 //! hamlet-serve train --name movies-tree --dataset movies --spec TreeGini \
 //!     [--config NoJoin|JoinAll|NoFK] [--scale 2000] [--seed 7] [--full] [--dir artifacts]
-//! hamlet-serve serve [--addr 127.0.0.1:8080] [--workers N] [--max-conns N] [--dir artifacts]
-//!                    [--load-mode heap|mmap] [--coalesce-window MICROS] [--coalesce-max-rows N]
+//! hamlet-serve serve [--addr 127.0.0.1:8080] [--workers N] [--reactors N] [--max-conns N]
+//!                    [--dir artifacts] [--load-mode heap|mmap]
+//!                    [--coalesce-window MICROS] [--coalesce-max-rows N]
 //! hamlet-serve probe [--addr 127.0.0.1:8080] [--idle 64] [--path /healthz]
 //!                    [--body JSON] [--threshold-ms 2000]
 //! hamlet-serve blast [--addr 127.0.0.1:8080] [--path /v1/predict] [--requests 64]
 //!                    [--concurrency 16] --body-template JSON-with-{i}
+//! hamlet-serve blast --conns 256 --duration 5 [--active 16] --body-template JSON
 //! hamlet-serve artifact inspect <path>
 //! hamlet-serve artifact convert <src> [--to v3|v2] [--dir DIR]
 //! hamlet-serve artifact diff <a> <b>
@@ -36,14 +38,17 @@ USAGE:
     hamlet-serve train --name <NAME> --dataset <DATASET> --spec <SPEC>
                        [--config <CONFIG>] [--scale <N>] [--seed <N>]
                        [--full] [--dir <DIR>]
-    hamlet-serve serve [--addr <ADDR>] [--workers <N>] [--max-conns <N>]
-                       [--dir <DIR>] [--load-mode heap|mmap]
+    hamlet-serve serve [--addr <ADDR>] [--workers <N>] [--reactors <N>]
+                       [--max-conns <N>] [--dir <DIR>] [--load-mode heap|mmap]
                        [--coalesce-window <MICROS>] [--coalesce-max-rows <N>]
                        [--demote-idle-secs <N>]
     hamlet-serve probe [--addr <ADDR>] [--idle <N>] [--path <PATH>]
                        [--body <JSON>] [--threshold-ms <MS>]
     hamlet-serve blast [--addr <ADDR>] [--path <PATH>] [--requests <N>]
                        [--concurrency <N>] --body-template <JSON>
+                       [--summary-json <PATH|->]
+    hamlet-serve blast --conns <N> --duration <SECS> [--active <N>]
+                       [--addr <ADDR>] [--path <PATH>] --body-template <JSON>
                        [--summary-json <PATH|->]
     hamlet-serve artifact inspect <PATH>
     hamlet-serve artifact convert <SRC> [--to v3|v2] [--dir <DIR>]
@@ -57,7 +62,9 @@ CONFIGS:  NoJoin (default) | JoinAll | NoFK
 DATASETS: movies yelp walmart expedia lastfm books flights onexr
 DEFAULTS: --dir artifacts, --addr 127.0.0.1:8080, --scale 2000, --seed 7,
           --workers = CPU count (request *executors*: idle connections no
-          longer occupy a worker), --max-conns 1024; --full uses the
+          longer occupy a worker), --reactors = min(4, CPUs/4) event-loop
+          shards (each with its own SO_REUSEPORT listener and epoll;
+          HAMLET_REACTORS overrides), --max-conns 1024; --full uses the
           paper-fidelity grids; --load-mode heap (mmap borrows format-v3
           weights zero-copy from the mapped files); --coalesce-window 200
           microseconds (0 disables cross-request predict coalescing),
@@ -79,6 +86,15 @@ BLAST:    fires --requests POSTs at --path from --concurrency parallel
           e.g. coalescing on vs. off must be byte-identical. A latency
           p50/p90/p99 summary goes to stderr; --summary-json writes the
           same numbers as JSON to a file (`-` appends them to stdout).
+
+          With --conns/--duration blast instead runs SUSTAINED: it opens
+          --conns keep-alive connections one by one, timing how long the
+          server takes to adopt and answer a first trivial request on each
+          (the accept-latency proxy), then drives requests from --active
+          of them (default min(16, conns)) for --duration seconds while
+          the rest sit parked. Reports accept p50/p99 alongside request
+          p50/p90/p99 and req/s; --summary-json gains accept_p50_ms /
+          accept_p99_ms. No per-request stdout lines in this mode.
 
 ARTIFACT: inspect prints a file's format, sections, weight encoding and
           header without loading the model (quantized artifacts also list
@@ -197,6 +213,13 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         Some(m) => m.parse().map_err(|_| format!("bad --max-conns `{m}`"))?,
         None => hamlet_serve::http::MAX_CONNS,
     };
+    let reactors = match flags.get("reactors") {
+        Some(r) => {
+            let n: usize = r.parse().map_err(|_| format!("bad --reactors `{r}`"))?;
+            n.max(1)
+        }
+        None => ServerOptions::default().reactors,
+    };
     let dir = PathBuf::from(flags.get("dir").map(String::as_str).unwrap_or("artifacts"));
     let load_mode = parse_load_mode(flags)?;
     let mut coalesce = hamlet_serve::coalesce::CoalesceConfig::default();
@@ -231,6 +254,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     let mut opts = ServerOptions {
         workers,
         max_conns,
+        reactors,
         ..ServerOptions::default()
     };
     if demote_idle_secs > 0 {
@@ -249,11 +273,12 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     }
     let server = hamlet_serve::server::serve_with(addr, opts, state).map_err(|e| e.to_string())?;
     eprintln!(
-        "hamlet-serve listening on http://{} ({} executor(s), {} max conns, \
+        "hamlet-serve listening on http://{} ({} executor(s), {} reactor(s), {} max conns, \
          {} model(s) warm from {}, {load_mode:?} load mode, coalesce window {:?} / {} rows, \
          auto-demote {})",
         server.addr(),
         workers,
+        reactors,
         max_conns,
         loaded,
         dir.display(),
@@ -363,6 +388,9 @@ fn cmd_blast(flags: &HashMap<String, String>) -> Result<(), String> {
         .get("body-template")
         .ok_or("--body-template is required (use {n} for the request index, {i} for index mod 2)")?
         .clone();
+    if flags.contains_key("conns") || flags.contains_key("duration") {
+        return cmd_blast_sustained(&addr, &path, &template, flags);
+    }
     let requests: usize = match flags.get("requests") {
         Some(n) => n.parse().map_err(|_| format!("bad --requests `{n}`"))?,
         None => 64,
@@ -489,6 +517,170 @@ fn cmd_blast(flags: &HashMap<String, String>) -> Result<(), String> {
         if dest == "-" {
             // After the label lines, so diff-oriented consumers of stdout
             // can still strip it with `head -n -1`.
+            println!("{summary}");
+        } else {
+            std::fs::write(dest, summary + "\n")
+                .map_err(|e| format!("writing --summary-json {dest}: {e}"))?;
+        }
+    }
+    Ok(())
+}
+
+/// Nearest-rank percentile over an already-sorted latency vector.
+fn pct_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// `blast --conns/--duration`: sustained open-loop mode. Opens `--conns`
+/// keep-alive connections serially, timing connect plus one /healthz round
+/// trip per connection — how long the network plane takes to accept, adopt
+/// and first service each socket (the accept-latency proxy; raw `connect`
+/// completes from the kernel backlog before the reactor ever sees the fd,
+/// so it alone measures nothing). Then drives requests from `--active` of
+/// them for `--duration` seconds while the remainder sit parked as idle
+/// keep-alive load on the reactors.
+fn cmd_blast_sustained(
+    addr: &str,
+    path: &str,
+    template: &str,
+    flags: &HashMap<String, String>,
+) -> Result<(), String> {
+    let conns: usize = match flags.get("conns") {
+        Some(n) => n.parse().map_err(|_| format!("bad --conns `{n}`"))?,
+        None => 256,
+    }
+    .max(1);
+    let duration_s: f64 = match flags.get("duration") {
+        Some(d) => d
+            .parse()
+            .map_err(|_| format!("bad --duration `{d}` (seconds)"))?,
+        None => 5.0,
+    };
+    if duration_s <= 0.0 {
+        return Err(format!("--duration must be positive, got {duration_s}"));
+    }
+    let active: usize = match flags.get("active") {
+        Some(a) => a.parse().map_err(|_| format!("bad --active `{a}`"))?,
+        None => 16,
+    }
+    .clamp(1, conns);
+    let io_timeout = std::time::Duration::from_secs(30);
+
+    // Phase 1: open every connection, timing until its first (trivial)
+    // response arrives.
+    let mut accept_ms = Vec::with_capacity(conns);
+    let mut sockets = Vec::with_capacity(conns);
+    for i in 0..conns {
+        let t = Instant::now();
+        let mut s = TcpStream::connect(addr).map_err(|e| format!("conn {i}: connect: {e}"))?;
+        s.set_read_timeout(Some(io_timeout))
+            .map_err(|e| format!("conn {i}: timeout: {e}"))?;
+        s.write_all(b"GET /healthz HTTP/1.1\r\nHost: blast\r\n\r\n")
+            .map_err(|e| format!("conn {i}: send: {e}"))?;
+        read_one_response(&mut s).map_err(|e| format!("conn {i}: {e}"))?;
+        accept_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        sockets.push(s);
+    }
+
+    // Phase 2: the active subset drives requests until the deadline; the
+    // parked majority stays open, exercising "idle connections are free".
+    let deadline = Instant::now() + std::time::Duration::from_secs_f64(duration_s);
+    let started = Instant::now();
+    let drivers: Vec<TcpStream> = sockets.drain(..active).collect();
+    let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = drivers
+            .into_iter()
+            .enumerate()
+            .map(|(tid, mut stream)| {
+                scope.spawn(move || -> Result<Vec<f64>, String> {
+                    let mut lats = Vec::new();
+                    // The accept-phase /healthz already used one request.
+                    let mut served = 1usize;
+                    let mut n = tid;
+                    while Instant::now() < deadline {
+                        if served + 1 >= hamlet_serve::http::MAX_KEEPALIVE_REQUESTS {
+                            stream = TcpStream::connect(addr)
+                                .map_err(|e| format!("driver {tid}: reconnect: {e}"))?;
+                            stream
+                                .set_read_timeout(Some(io_timeout))
+                                .map_err(|e| format!("driver {tid}: reconnect timeout: {e}"))?;
+                            served = 0;
+                        }
+                        served += 1;
+                        let body = template
+                            .replace("{n}", &n.to_string())
+                            .replace("{i}", &(n % 2).to_string());
+                        let request = format!(
+                            "POST {path} HTTP/1.1\r\nHost: blast\r\n\
+                             Content-Type: application/json\r\nContent-Length: {}\r\n\r\n\
+                             {body}",
+                            body.len()
+                        );
+                        let sent = Instant::now();
+                        stream
+                            .write_all(request.as_bytes())
+                            .map_err(|e| format!("driver {tid} req {n}: send: {e}"))?;
+                        let resp = hamlet_serve::http::read_response(&mut stream)
+                            .map_err(|e| format!("driver {tid} req {n}: recv: {e}"))?;
+                        if resp.status != 200 {
+                            return Err(format!(
+                                "driver {tid} req {n}: HTTP {}: {}",
+                                resp.status,
+                                String::from_utf8_lossy(&resp.body)
+                            ));
+                        }
+                        lats.push(sent.elapsed().as_secs_f64() * 1e3);
+                        n += active;
+                    }
+                    Ok(lats)
+                })
+            })
+            .collect();
+        let mut all = Vec::new();
+        let mut errors = Vec::new();
+        for h in handles {
+            match h.join().expect("blast driver panicked") {
+                Ok(mut chunk) => all.append(&mut chunk),
+                Err(e) => errors.push(e),
+            }
+        }
+        if let Some(e) = errors.into_iter().next() {
+            return Err(e);
+        }
+        Ok(all)
+    })?;
+    let elapsed = started.elapsed();
+    drop(sockets);
+
+    accept_ms.sort_by(|a, b| a.total_cmp(b));
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let requests = latencies.len();
+    let req_per_s = requests as f64 / elapsed.as_secs_f64().max(1e-9);
+    let (ap50, ap99) = (pct_sorted(&accept_ms, 0.5), pct_sorted(&accept_ms, 0.99));
+    let (p50, p90, p99) = (
+        pct_sorted(&latencies, 0.5),
+        pct_sorted(&latencies, 0.9),
+        pct_sorted(&latencies, 0.99),
+    );
+    eprintln!(
+        "blast sustained: {conns} conns ({active} active) for {:.1}s: {requests} requests \
+         ({req_per_s:.0} req/s), accept p50 {ap50:.3} ms / p99 {ap99:.3} ms, \
+         latency p50 {p50:.3} ms / p90 {p90:.3} ms / p99 {p99:.3} ms",
+        elapsed.as_secs_f64()
+    );
+    if let Some(dest) = flags.get("summary-json") {
+        let summary = format!(
+            "{{\"mode\":\"sustained\",\"conns\":{conns},\"active\":{active},\
+             \"duration_s\":{:.3},\"requests\":{requests},\"req_per_s\":{req_per_s:.1},\
+             \"accept_p50_ms\":{ap50:.3},\"accept_p99_ms\":{ap99:.3},\
+             \"p50_ms\":{p50:.3},\"p90_ms\":{p90:.3},\"p99_ms\":{p99:.3}}}",
+            elapsed.as_secs_f64()
+        );
+        if dest == "-" {
             println!("{summary}");
         } else {
             std::fs::write(dest, summary + "\n")

@@ -16,9 +16,10 @@
 //! incremental (a request line trickled one byte at a time just leaves the
 //! connection in `ReadingHead` with the bytes buffered), pipelined requests
 //! that arrive back-to-back in one packet are parsed into a bounded queue
-//! and answered strictly in order, and responses accumulate in one write
-//! buffer so a pipelined burst is flushed with batched writes instead of
-//! one syscall per response.
+//! and answered strictly in order, and responses accumulate as a queue of
+//! header/body segments flushed with **vectored writes**: one `writev`
+//! carries many responses' iovecs in a single syscall, with partial-write
+//! resumption picking up mid-segment wherever the kernel stopped.
 //!
 //! HTTP/1.1 connections are **keep-alive by default**: only an explicit
 //! `Connection: close`, an HTTP/1.0 request without `Connection:
@@ -38,10 +39,12 @@
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::TcpStream;
+use std::os::unix::io::AsRawFd;
 use std::sync::Arc;
 use std::time::Instant;
 
 use crate::http::{Request, Response, ServerOptions};
+use crate::reactor::IoVec;
 
 /// Cap on the request line and each header line (matches the pre-reactor
 /// server: a client streaming bytes with no newline must not grow server
@@ -64,10 +67,15 @@ const PIPELINE_BUF_CAP: usize = 64 * 1024;
 /// the backstop for many maximal legal lines.
 const HEAD_BUF_CAP: usize = 2 * 1024 * 1024;
 
-/// Responses accumulate in the write buffer while earlier pipelined
-/// requests are still executing; once the buffer crosses this threshold it
+/// Responses accumulate in the write queue while earlier pipelined
+/// requests are still executing; once the queue crosses this threshold it
 /// is flushed even mid-pipeline.
 const WRITE_BATCH_BYTES: usize = 64 * 1024;
+
+/// Most segments one `writev` carries (well under the kernel's `IOV_MAX`
+/// of 1024); a pipeline deeper than 32 responses simply takes another
+/// syscall.
+const MAX_IOVECS: usize = 64;
 
 /// After a parse error the connection drains (and discards) up to this many
 /// bytes of pending input before closing, so the kernel does not RST the
@@ -165,8 +173,16 @@ pub(crate) struct Conn {
     served: usize,
 
     // ---- write side ----
-    write_buf: Vec<u8>,
-    write_pos: usize,
+    /// Queued response segments (header bytes and body bytes alternate;
+    /// empty bodies queue no segment). Kept as discrete segments so a flush
+    /// can hand the kernel one `writev` of iovecs instead of memcpy-ing
+    /// everything into a flat buffer first.
+    out: VecDeque<Vec<u8>>,
+    /// Bytes of the *front* segment already written (partial-write resume
+    /// point).
+    out_pos: usize,
+    /// Total unwritten bytes across all queued segments.
+    out_len: usize,
     close_after_flush: bool,
     /// A parse-error response that must be written *after* every response
     /// already owed for earlier pipelined requests.
@@ -178,8 +194,13 @@ pub(crate) struct Conn {
     /// The deadline currently filed in the reactor's timer wheel (lazy
     /// bookkeeping; see `reactor::TimerWheel`).
     pub(crate) filed: Option<Instant>,
-    /// epoll interest mask currently registered for this connection.
+    /// epoll interest mask currently registered for this connection
+    /// (`EPOLLONESHOT` excluded — every registration carries it).
     pub(crate) registered: u32,
+    /// Whether the one-shot registration is still armed: the kernel
+    /// disarms on event delivery, so the reactor clears this when an event
+    /// fires and re-arms (EPOLL_CTL_MOD) after processing it.
+    pub(crate) armed: bool,
 }
 
 impl Conn {
@@ -201,13 +222,15 @@ impl Conn {
             pending: VecDeque::new(),
             inflight: None,
             served: 0,
-            write_buf: Vec::new(),
-            write_pos: 0,
+            out: VecDeque::new(),
+            out_pos: 0,
+            out_len: 0,
             close_after_flush: false,
             error_resp: None,
             deadline,
             filed: None,
             registered: 0,
+            armed: false,
         }
     }
 
@@ -474,7 +497,7 @@ impl Conn {
     /// The executor finished the in-flight request: queue its response.
     pub(crate) fn complete(&mut self, response: &Response, now: Instant) {
         let keep_alive = self.inflight.take().unwrap_or(false);
-        response.encode_into(keep_alive, &mut self.write_buf);
+        self.queue_response(response, keep_alive);
         if !keep_alive {
             self.close_after_flush = true;
             self.pending.clear();
@@ -483,39 +506,102 @@ impl Conn {
         self.recompute(now);
     }
 
+    /// Append one response to the segment queue: a head segment plus (for
+    /// non-empty bodies) a body segment. Segments stay discrete so the
+    /// flush path can hand them to `writev` without a coalescing memcpy.
+    fn queue_response(&mut self, response: &Response, keep_alive: bool) {
+        let head = response.head_bytes(keep_alive);
+        self.out_len += head.len();
+        self.out.push_back(head);
+        if !response.body.is_empty() {
+            self.out_len += response.body.len();
+            self.out.push_back(response.body.clone());
+        }
+    }
+
     /// Append the deferred parse-error response once every response owed
     /// for earlier (well-formed) pipelined requests has been queued.
     fn flush_error_if_due(&mut self) {
         if self.inflight.is_none() && self.pending.is_empty() {
             if let Some(resp) = self.error_resp.take() {
-                resp.encode_into(false, &mut self.write_buf);
+                self.queue_response(&resp, false);
                 self.close_after_flush = true;
             }
         }
     }
 
     pub(crate) fn has_unwritten(&self) -> bool {
-        self.write_pos < self.write_buf.len()
+        self.out_len > 0
     }
 
     /// Whether buffered response bytes should be flushed *now*. Mid-
-    /// pipeline the flush is deferred (batching) until the buffer crosses
+    /// pipeline the flush is deferred (batching) until the queue crosses
     /// the batch threshold, the pipeline drains, or the connection is
     /// closing.
     pub(crate) fn wants_flush(&self) -> bool {
         self.has_unwritten()
             && (self.inflight.is_none()
                 || self.close_after_flush
-                || self.write_buf.len() - self.write_pos >= WRITE_BATCH_BYTES)
+                || self.out_len >= WRITE_BATCH_BYTES)
+    }
+
+    /// Account `n` bytes written against the segment queue: pop segments
+    /// that are now fully on the wire, leave `out_pos` mid-segment where
+    /// the kernel stopped (partial-write resumption).
+    fn consume_out(&mut self, mut n: usize) {
+        self.out_len -= n;
+        while n > 0 {
+            let front_left = self.out.front().expect("bytes owed ⇒ segment").len() - self.out_pos;
+            if n < front_left {
+                self.out_pos += n;
+                break;
+            }
+            n -= front_left;
+            self.out.pop_front();
+            self.out_pos = 0;
+        }
+    }
+
+    /// One vectored write covering up to [`MAX_IOVECS`] queued segments
+    /// (the front one offset by the partial-write resume point).
+    fn writev_step(&mut self) -> std::io::Result<usize> {
+        let mut iov = [IoVec {
+            base: std::ptr::null(),
+            len: 0,
+        }; MAX_IOVECS];
+        let mut n = 0;
+        for seg in self.out.iter().take(MAX_IOVECS) {
+            let skip = if n == 0 { self.out_pos } else { 0 };
+            iov[n] = IoVec {
+                base: seg[skip..].as_ptr(),
+                len: seg.len() - skip,
+            };
+            n += 1;
+        }
+        // SAFETY: each iovec points into a segment owned by `self.out`,
+        // alive and unmoved for the duration of the call.
+        let rc = unsafe { crate::reactor::writev(self.stream.as_raw_fd(), iov.as_ptr(), n as i32) };
+        if rc < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(rc as usize)
     }
 
     /// Socket is writable (or a flush is being attempted opportunistically).
     pub(crate) fn on_writable(&mut self, now: Instant) -> Verdict {
         while self.wants_flush() {
-            match self.stream.write(&self.write_buf[self.write_pos..]) {
+            let wrote = if self.opts.vectored_writes {
+                self.writev_step()
+            } else {
+                // Comparison path (`--no-writev` / benches): one plain
+                // write per segment, resuming mid-segment like writev.
+                let front = self.out.front().expect("wants_flush ⇒ segment");
+                self.stream.write(&front[self.out_pos..])
+            };
+            match wrote {
                 Ok(0) => return Verdict::Close,
                 Ok(n) => {
-                    self.write_pos += n;
+                    self.consume_out(n);
                     if self.state == ConnState::Writing {
                         // Progress extends the write deadline: reap dead
                         // peers, not slow-but-live ones.
@@ -528,8 +614,8 @@ impl Conn {
             }
         }
         if !self.has_unwritten() {
-            self.write_buf.clear();
-            self.write_pos = 0;
+            self.out.clear();
+            self.out_pos = 0;
             if self.close_after_flush {
                 return Verdict::Close;
             }
@@ -539,6 +625,18 @@ impl Conn {
         }
         self.recompute(now);
         Verdict::Open
+    }
+
+    /// All queued-but-unwritten response bytes, flattened (tests and
+    /// diagnostics only — the hot path never materialises this).
+    #[cfg(test)]
+    fn queued_bytes(&self) -> Vec<u8> {
+        let mut flat = Vec::with_capacity(self.out_len);
+        for (i, seg) in self.out.iter().enumerate() {
+            let skip = if i == 0 { self.out_pos } else { 0 };
+            flat.extend_from_slice(&seg[skip..]);
+        }
+        flat
     }
 
     /// Recompute the state label and its deadline after any transition.
@@ -769,7 +867,7 @@ mod tests {
             .as_bytes(),
         );
         assert!(c2.has_unwritten(), "413 queued");
-        let buf = String::from_utf8_lossy(&c2.write_buf);
+        let buf = String::from_utf8_lossy(&c2.queued_bytes()).into_owned();
         assert!(buf.starts_with("HTTP/1.1 413"), "{buf}");
     }
 
@@ -789,7 +887,7 @@ mod tests {
         drop(client2);
         std::thread::sleep(Duration::from_millis(10));
         assert_eq!(c2.on_readable(Instant::now()), Verdict::Open);
-        let buf = String::from_utf8_lossy(&c2.write_buf);
+        let buf = String::from_utf8_lossy(&c2.queued_bytes()).into_owned();
         assert!(buf.starts_with("HTTP/1.1 400"), "{buf}");
         assert!(c2.close_after_flush);
     }

@@ -32,10 +32,11 @@
 //!   bodies a 413, connections over [`ServerOptions::max_conns`] a 503,
 //!   and handler panics are confined to the request that caused them.
 
+use std::collections::{HashMap, VecDeque};
 use std::net::TcpListener;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::Duration;
 
 /// Upper bound on request bodies (16 MiB) — predict batches are bounded by
@@ -76,10 +77,41 @@ pub struct ServerOptions {
     /// impersonate a merge partner for its whole duration.
     pub queue_gauge: fn(&Request) -> bool,
     /// Optional periodic application callback driven by the reactor's
-    /// timer wheel (the auto-demoter rides this). Runs on the reactor
+    /// timer wheel (the auto-demoter rides this). Runs on reactor 0's
     /// thread, so it must be brief and non-blocking; cadence is quantized
     /// to the wheel's slot width (~half a second).
     pub on_tick: Option<AppTick>,
+    /// Reactor (event-loop) threads sharing the accept load. With more
+    /// than one, each reactor gets its own `SO_REUSEPORT` listening socket
+    /// (falling back to an accept-and-deal topology where that bind
+    /// fails), its own epoll instance, and its own timer wheel. Default:
+    /// `min(4, cores/4).max(1)`, overridable with `HAMLET_REACTORS`.
+    pub reactors: usize,
+    /// Flush response segments with one `writev` of header+body iovecs
+    /// per syscall (default). Off, each segment takes its own `write` —
+    /// kept as a bench/debug comparison knob, byte-identical output.
+    pub vectored_writes: bool,
+    /// Shared sink for per-reactor connection gauges and per-model fair
+    /// queue depths; the server installs its reactors/dispatcher into it
+    /// at bind, and telemetry exporters read it. `None` works fine — the
+    /// server then keeps stats nobody exports.
+    pub net_stats: Option<Arc<NetStats>>,
+}
+
+/// Default [`ServerOptions::reactors`]: scale with the machine but stay
+/// modest (executors and inference shards want cores too), overridable
+/// with the `HAMLET_REACTORS` environment variable (which is how CI runs
+/// the whole existing suite multi-reactor).
+fn default_reactors() -> usize {
+    if let Ok(v) = std::env::var("HAMLET_REACTORS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4);
+    (cores / 4).clamp(1, 4)
 }
 
 /// A periodic callback the reactor fires from its timer wheel.
@@ -116,6 +148,9 @@ impl Default for ServerOptions {
             max_keepalive_requests: MAX_KEEPALIVE_REQUESTS,
             queue_gauge: gauge_predicts,
             on_tick: None,
+            reactors: default_reactors(),
+            vectored_writes: true,
+            net_stats: None,
         }
     }
 }
@@ -181,22 +216,20 @@ impl Response {
         }
     }
 
-    /// Serializes status line + headers + body into `out` (the reactor's
-    /// per-connection write buffer — appending lets pipelined responses
-    /// batch into one flush).
-    pub(crate) fn encode_into(&self, keep_alive: bool, out: &mut Vec<u8>) {
+    /// Serialized status line + headers (the head segment of the
+    /// connection's vectored write queue; the body rides as its own iovec
+    /// without being copied into the head).
+    pub(crate) fn head_bytes(&self, keep_alive: bool) -> Vec<u8> {
         let connection = if keep_alive { "keep-alive" } else { "close" };
-        let head = format!(
+        format!(
             "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n\
              Connection: {connection}\r\n\r\n",
             self.status,
             self.reason(),
             self.content_type,
             self.body.len()
-        );
-        out.reserve(head.len() + self.body.len());
-        out.extend_from_slice(head.as_bytes());
-        out.extend_from_slice(&self.body);
+        )
+        .into_bytes()
     }
 }
 
@@ -382,9 +415,12 @@ impl std::fmt::Debug for Responder {
     }
 }
 
-/// A parsed request travelling from the reactor to an executor.
+/// A parsed request travelling from a reactor to an executor.
 pub(crate) struct Job {
-    /// The owning connection's reactor token.
+    /// Index of the reactor that owns the connection — routes the
+    /// completion back to the right completion channel + waker.
+    pub reactor: usize,
+    /// The owning connection's token on that reactor.
     pub token: u64,
     pub request: Request,
     /// Whether this job was counted into the queue-depth gauge (see
@@ -398,21 +434,270 @@ pub(crate) struct Completion {
     pub response: Response,
 }
 
+/// The fair-queue key for a request: the path, refined to
+/// `/v1/predict:<model>` for predict requests so one hot model queues
+/// separately from the rest.
+pub(crate) fn fair_key(request: &Request) -> String {
+    if request.method == "POST" && request.path == "/v1/predict" {
+        if let Some(model) = scan_model(&request.body) {
+            return format!("{}:{model}", request.path);
+        }
+    }
+    request.path.clone()
+}
+
+/// Cheap scan for `"model": "<name>"` in a JSON body — no full parse on
+/// the reactor thread. Bails (→ path-keyed) on anything exotic: escapes
+/// in the name, missing quotes, non-UTF-8.
+fn scan_model(body: &[u8]) -> Option<String> {
+    const NEEDLE: &[u8] = b"\"model\"";
+    let at = body.windows(NEEDLE.len()).position(|w| w == NEEDLE)?;
+    let mut i = at + NEEDLE.len();
+    while body.get(i).is_some_and(u8::is_ascii_whitespace) {
+        i += 1;
+    }
+    if body.get(i) != Some(&b':') {
+        return None;
+    }
+    i += 1;
+    while body.get(i).is_some_and(u8::is_ascii_whitespace) {
+        i += 1;
+    }
+    if body.get(i) != Some(&b'"') {
+        return None;
+    }
+    let rest = &body[i + 1..];
+    let end = rest.iter().position(|&b| b == b'"' || b == b'\\')?;
+    if rest[end] == b'\\' {
+        return None;
+    }
+    std::str::from_utf8(&rest[..end]).ok().map(str::to_string)
+}
+
+/// Per-model fair queues GC'd down to this many retained depth gauges;
+/// past the cap, drained models stop being exported rather than growing
+/// the map unboundedly under path-cardinality abuse.
+const FAIR_KEY_GAUGE_CAP: usize = 512;
+
+/// Deficit-round-robin (quantum = 1 job) fair dispatch queue between the
+/// reactors and the executor pool.
+///
+/// Jobs are queued per [`fair_key`] (≈ per model); executors pop one job
+/// from the front key then rotate it to the back, so a model flooding
+/// thousands of requests still only gets one executor slot per round and
+/// cannot starve a cheap model queued behind it. Replaces the former
+/// global FIFO channel.
+///
+/// Lifecycle: each reactor holds a [`DispatchGuard`]; when the last one
+/// drops (shutdown), [`Dispatcher::pop`] drains what's queued and then
+/// returns `None`, which is the executors' exit signal.
+pub(crate) struct Dispatcher {
+    inner: Mutex<DispatchInner>,
+    ready: Condvar,
+}
+
+struct DispatchInner {
+    /// Non-empty per-key FIFO queues.
+    queues: HashMap<String, VecDeque<Job>>,
+    /// Round-robin order over the keys of `queues`.
+    ring: VecDeque<String>,
+    /// Total queued jobs across all keys.
+    len: usize,
+    /// Live reactors (producers); 0 = closed.
+    open_reactors: usize,
+    /// Exported queue depths. Keys are *retained* at depth 0 (so a model
+    /// that was ever queued keeps its gauge) up to [`FAIR_KEY_GAUGE_CAP`].
+    depths: HashMap<String, usize>,
+}
+
+impl Dispatcher {
+    pub(crate) fn new(reactors: usize) -> Dispatcher {
+        Dispatcher {
+            inner: Mutex::new(DispatchInner {
+                queues: HashMap::new(),
+                ring: VecDeque::new(),
+                len: 0,
+                open_reactors: reactors,
+                depths: HashMap::new(),
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Queue one job under its fair key and wake an executor.
+    pub(crate) fn push(&self, key: String, job: Job) {
+        let mut guard = self.inner.lock().expect("dispatcher poisoned");
+        let inner = &mut *guard;
+        *inner.depths.entry(key.clone()).or_insert(0) += 1;
+        let queue = inner.queues.entry(key.clone()).or_default();
+        if queue.is_empty() {
+            inner.ring.push_back(key);
+        }
+        queue.push_back(job);
+        inner.len += 1;
+        drop(guard);
+        self.ready.notify_one();
+    }
+
+    /// Block for the next job, round-robin across keys. `None` = every
+    /// reactor exited and the queues are drained: executor exit signal.
+    pub(crate) fn pop(&self) -> Option<Job> {
+        let mut guard = self.inner.lock().expect("dispatcher poisoned");
+        loop {
+            if guard.len > 0 {
+                let inner = &mut *guard;
+                let key = inner.ring.pop_front().expect("len > 0 ⇒ ring non-empty");
+                let queue = inner.queues.get_mut(&key).expect("ring key has a queue");
+                let job = queue.pop_front().expect("ring key queue non-empty");
+                inner.len -= 1;
+                if let Some(depth) = inner.depths.get_mut(&key) {
+                    *depth = depth.saturating_sub(1);
+                }
+                if queue.is_empty() {
+                    inner.queues.remove(&key);
+                    if inner.depths.len() > FAIR_KEY_GAUGE_CAP {
+                        inner.depths.remove(&key);
+                    }
+                } else {
+                    inner.ring.push_back(key);
+                }
+                return Some(job);
+            }
+            if guard.open_reactors == 0 {
+                return None;
+            }
+            guard = self.ready.wait(guard).expect("dispatcher poisoned");
+        }
+    }
+
+    /// Register one live reactor-producer; its drop is the close signal.
+    pub(crate) fn reactor_guard(self: &Arc<Self>) -> DispatchGuard {
+        DispatchGuard(Arc::clone(self))
+    }
+
+    /// Current per-key queue depths, sorted by key (telemetry export).
+    pub(crate) fn depth_snapshot(&self) -> Vec<(String, usize)> {
+        let inner = self.inner.lock().expect("dispatcher poisoned");
+        let mut out: Vec<(String, usize)> =
+            inner.depths.iter().map(|(k, &d)| (k.clone(), d)).collect();
+        out.sort();
+        out
+    }
+}
+
+/// Counts a reactor as a live producer; dropping the last one closes the
+/// dispatcher (created with the count pre-set by [`Dispatcher::new`], so
+/// the guard only ever decrements).
+pub(crate) struct DispatchGuard(Arc<Dispatcher>);
+
+impl Drop for DispatchGuard {
+    fn drop(&mut self) {
+        let mut inner = self.0.inner.lock().expect("dispatcher poisoned");
+        inner.open_reactors = inner.open_reactors.saturating_sub(1);
+        let closed = inner.open_reactors == 0;
+        drop(inner);
+        if closed {
+            self.0.ready.notify_all();
+        }
+    }
+}
+
+/// Per-reactor gauges, updated by the owning reactor thread and read by
+/// telemetry exporters.
+#[derive(Debug, Default)]
+pub struct ReactorStats {
+    /// Currently open connections on this reactor.
+    pub connections: AtomicUsize,
+    /// Connections this reactor has adopted since start.
+    pub accepted_total: AtomicU64,
+}
+
+/// One reactor's gauges at a point in time.
+#[derive(Debug, Clone)]
+pub struct ReactorSnapshot {
+    pub index: usize,
+    pub connections: usize,
+    pub accepted_total: u64,
+}
+
+/// Shared network-plane observability: per-reactor connection gauges and
+/// the fair dispatcher's per-model queue depths. Created by the
+/// application (so `/metrics` can read it), installed by the server at
+/// bind.
+pub struct NetStats {
+    reactors: RwLock<Vec<Arc<ReactorStats>>>,
+    dispatcher: RwLock<Option<Arc<Dispatcher>>>,
+}
+
+impl Default for NetStats {
+    fn default() -> Self {
+        NetStats {
+            reactors: RwLock::new(Vec::new()),
+            dispatcher: RwLock::new(None),
+        }
+    }
+}
+
+impl NetStats {
+    pub fn new() -> NetStats {
+        NetStats::default()
+    }
+
+    pub(crate) fn install(&self, reactors: Vec<Arc<ReactorStats>>, dispatcher: Arc<Dispatcher>) {
+        *self.reactors.write().expect("net stats poisoned") = reactors;
+        *self.dispatcher.write().expect("net stats poisoned") = Some(dispatcher);
+    }
+
+    /// Per-reactor gauges (empty until a server installs itself).
+    pub fn reactor_snapshots(&self) -> Vec<ReactorSnapshot> {
+        self.reactors
+            .read()
+            .expect("net stats poisoned")
+            .iter()
+            .enumerate()
+            .map(|(index, s)| ReactorSnapshot {
+                index,
+                connections: s.connections.load(Ordering::Relaxed),
+                accepted_total: s.accepted_total.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Fair-queue depth per model key, sorted (empty until installed).
+    pub fn queue_depths(&self) -> Vec<(String, usize)> {
+        match &*self.dispatcher.read().expect("net stats poisoned") {
+            Some(d) => d.depth_snapshot(),
+            None => Vec::new(),
+        }
+    }
+}
+
+impl std::fmt::Debug for NetStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetStats")
+            .field("reactors", &self.reactor_snapshots().len())
+            .finish()
+    }
+}
+
 /// A handle that can stop a running [`Server`] from another thread (the
 /// `Server` itself is typically parked in [`Server::block_until_shutdown`]).
 #[derive(Clone)]
 pub struct StopHandle {
     shutdown: Arc<AtomicBool>,
     stopped: Arc<(Mutex<bool>, Condvar)>,
-    waker: Arc<crate::reactor::Waker>,
+    wakers: Vec<Arc<crate::reactor::Waker>>,
 }
 
 impl StopHandle {
-    /// Signals shutdown: the reactor exits its next loop iteration and any
-    /// thread parked in [`Server::block_until_shutdown`] wakes immediately.
+    /// Signals shutdown: every reactor exits its next loop iteration and
+    /// any thread parked in [`Server::block_until_shutdown`] wakes
+    /// immediately.
     pub fn stop(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        self.waker.wake();
+        for waker in &self.wakers {
+            waker.wake();
+        }
         let (lock, cond) = &*self.stopped;
         let mut stopped = lock.lock().expect("lifecycle poisoned");
         *stopped = true;
@@ -420,13 +705,19 @@ impl StopHandle {
     }
 }
 
-/// A running server: one reactor thread + a fixed executor pool.
+/// An executor's route back to one reactor: completion channel + waker.
+struct ReactorHandle {
+    done: Sender<Completion>,
+    waker: Arc<crate::reactor::Waker>,
+}
+
+/// A running server: N reactor threads + a fixed executor pool.
 pub struct Server {
     addr: std::net::SocketAddr,
     shutdown: Arc<AtomicBool>,
     stopped: Arc<(Mutex<bool>, Condvar)>,
-    waker: Arc<crate::reactor::Waker>,
-    reactor: Option<std::thread::JoinHandle<()>>,
+    wakers: Vec<Arc<crate::reactor::Waker>>,
+    reactors: Vec<std::thread::JoinHandle<()>>,
     executors: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -444,68 +735,118 @@ impl Server {
         )
     }
 
-    /// Binds `addr` and starts the reactor + executor pool with explicit
-    /// [`ServerOptions`].
+    /// Binds `addr` and starts the reactor fleet + executor pool with
+    /// explicit [`ServerOptions`].
     pub fn bind_with(addr: &str, handler: Handler, opts: ServerOptions) -> std::io::Result<Server> {
-        let listener = TcpListener::bind(addr)?;
-        listener.set_nonblocking(true)?;
-        let local = listener.local_addr()?;
+        use crate::reactor::{AcceptRole, ReactorConfig, Waker};
+        let n = opts.reactors.max(1);
         let opts = Arc::new(opts);
-        let waker = Arc::new(crate::reactor::Waker::new()?);
         let shutdown = Arc::new(AtomicBool::new(false));
         let stopped = Arc::new((Mutex::new(false), Condvar::new()));
+        let wakers: Vec<Arc<Waker>> = (0..n)
+            .map(|_| Waker::new().map(Arc::new))
+            .collect::<std::io::Result<_>>()?;
 
-        let (job_tx, job_rx): (Sender<Job>, Receiver<Job>) = std::sync::mpsc::channel();
-        let (done_tx, done_rx): (Sender<Completion>, Receiver<Completion>) =
-            std::sync::mpsc::channel();
-        let job_rx = Arc::new(Mutex::new(job_rx));
-        // Requests queued for / running on the pool: the reactor increments
+        // Listening topology: single listener when single-reactor; one
+        // SO_REUSEPORT shard per reactor otherwise, falling back to
+        // accept-and-deal (reactor 0 owns the listener) if that bind fails.
+        let mut roles: Vec<AcceptRole> = Vec::with_capacity(n);
+        let local;
+        if n == 1 {
+            let listener = TcpListener::bind(addr)?;
+            listener.set_nonblocking(true)?;
+            local = listener.local_addr()?;
+            roles.push(AcceptRole::Shard(listener));
+        } else {
+            match crate::reactor::reuseport_listeners(addr, n) {
+                Ok(listeners) => {
+                    local = listeners[0].local_addr()?;
+                    roles.extend(listeners.into_iter().map(AcceptRole::Shard));
+                }
+                Err(_) => {
+                    let listener = TcpListener::bind(addr)?;
+                    listener.set_nonblocking(true)?;
+                    local = listener.local_addr()?;
+                    let mut siblings = Vec::with_capacity(n - 1);
+                    let mut members = Vec::with_capacity(n - 1);
+                    for waker in wakers.iter().skip(1) {
+                        let (tx, rx) = std::sync::mpsc::channel();
+                        siblings.push((tx, Arc::clone(waker)));
+                        members.push(AcceptRole::Member(rx));
+                    }
+                    roles.push(AcceptRole::Owner { listener, siblings });
+                    roles.extend(members);
+                }
+            }
+        }
+
+        let dispatcher = Arc::new(Dispatcher::new(n));
+        let stats: Vec<Arc<ReactorStats>> =
+            (0..n).map(|_| Arc::new(ReactorStats::default())).collect();
+        let total_conns = Arc::new(AtomicUsize::new(0));
+        if let Some(net) = &opts.net_stats {
+            net.install(stats.clone(), Arc::clone(&dispatcher));
+        }
+        // Requests queued for / running on the pool: reactors increment
         // per dispatched job, executors decrement when the handler returns.
         let queue_depth = Arc::new(AtomicUsize::new(0));
 
+        let mut handles = Vec::with_capacity(n);
+        let mut completion_rxs = Vec::with_capacity(n);
+        for waker in &wakers {
+            let (done_tx, done_rx): (Sender<Completion>, Receiver<Completion>) =
+                std::sync::mpsc::channel();
+            handles.push(ReactorHandle {
+                done: done_tx,
+                waker: Arc::clone(waker),
+            });
+            completion_rxs.push(done_rx);
+        }
+        let handles = Arc::new(handles);
+
         let executors = (0..opts.workers.max(1))
             .map(|i| {
-                let job_rx = Arc::clone(&job_rx);
-                let done_tx = done_tx.clone();
+                let dispatcher = Arc::clone(&dispatcher);
+                let handles = Arc::clone(&handles);
                 let handler = Arc::clone(&handler);
-                let waker = Arc::clone(&waker);
                 let queue_depth = Arc::clone(&queue_depth);
                 std::thread::Builder::new()
                     .name(format!("hamlet-serve-exec-{i}"))
-                    .spawn(move || executor_loop(&job_rx, &done_tx, &handler, &waker, &queue_depth))
+                    .spawn(move || executor_loop(&dispatcher, &handles, &handler, &queue_depth))
                     .expect("spawning executor thread")
             })
             .collect();
 
-        let reactor = {
-            let waker = Arc::clone(&waker);
-            let shutdown = Arc::clone(&shutdown);
-            let opts = Arc::clone(&opts);
-            let queue_depth = Arc::clone(&queue_depth);
-            std::thread::Builder::new()
-                .name("hamlet-serve-reactor".into())
-                .spawn(move || {
-                    // The reactor owns the only Sender<Job>; when it exits,
-                    // the executors' recv() fails and they drain and exit.
-                    crate::reactor::run(
-                        listener,
-                        job_tx,
-                        done_rx,
-                        waker,
-                        shutdown,
-                        opts,
-                        queue_depth,
-                    )
-                })
-                .expect("spawning reactor thread")
-        };
+        let reactors = roles
+            .into_iter()
+            .zip(completion_rxs)
+            .enumerate()
+            .map(|(index, (role, completions))| {
+                let cfg = ReactorConfig {
+                    index,
+                    role,
+                    dispatcher: Arc::clone(&dispatcher),
+                    completions,
+                    waker: Arc::clone(&wakers[index]),
+                    shutdown: Arc::clone(&shutdown),
+                    opts: Arc::clone(&opts),
+                    queue_depth: Arc::clone(&queue_depth),
+                    stats: Arc::clone(&stats[index]),
+                    total_conns: Arc::clone(&total_conns),
+                };
+                std::thread::Builder::new()
+                    .name(format!("hamlet-serve-reactor-{index}"))
+                    .spawn(move || crate::reactor::run(cfg))
+                    .expect("spawning reactor thread")
+            })
+            .collect();
 
         Ok(Server {
             addr: local,
             shutdown,
             stopped,
-            waker,
-            reactor: Some(reactor),
+            wakers,
+            reactors,
             executors,
         })
     }
@@ -520,17 +861,18 @@ impl Server {
         StopHandle {
             shutdown: Arc::clone(&self.shutdown),
             stopped: Arc::clone(&self.stopped),
-            waker: Arc::clone(&self.waker),
+            wakers: self.wakers.clone(),
         }
     }
 
-    /// Signals shutdown and joins the reactor and every executor.
+    /// Signals shutdown and joins every reactor and executor.
     pub fn shutdown(mut self) {
         self.stop_handle().stop();
-        if let Some(r) = self.reactor.take() {
+        for r in self.reactors.drain(..) {
             let _ = r.join();
         }
-        // The reactor dropped the job sender; executors drain and exit.
+        // The last reactor's dispatch guard closed the dispatcher;
+        // executors drain the queues and exit.
         for w in self.executors.drain(..) {
             let _ = w.join();
         }
@@ -549,30 +891,28 @@ impl Server {
     }
 }
 
-/// One executor thread: pull parsed requests, run the handler (panics
-/// confined to the request — an unwound handler's [`Responder`] delivers a
-/// 500 from its destructor), track the shared queue depth.
+/// One executor thread: pull fair-queued requests, run the handler
+/// (panics confined to the request — an unwound handler's [`Responder`]
+/// delivers a 500 from its destructor), route the completion back to the
+/// owning reactor, track the shared queue depth.
 fn executor_loop(
-    jobs: &Arc<Mutex<Receiver<Job>>>,
-    done: &Sender<Completion>,
+    dispatcher: &Dispatcher,
+    handles: &[ReactorHandle],
     handler: &Handler,
-    waker: &Arc<crate::reactor::Waker>,
     queue_depth: &Arc<AtomicUsize>,
 ) {
-    loop {
-        let job = jobs.lock().expect("executor queue poisoned").recv();
-        let Ok(Job {
-            token,
-            request,
-            counted,
-        }) = job
-        else {
-            return; // reactor gone: drain and exit
-        };
+    while let Some(Job {
+        reactor,
+        token,
+        request,
+        counted,
+    }) = dispatcher.pop()
+    {
+        let home = &handles[reactor];
         let responder = Responder::for_reactor(
             token,
-            done.clone(),
-            Arc::clone(waker),
+            home.done.clone(),
+            Arc::clone(&home.waker),
             Arc::clone(queue_depth),
         );
         // The responder moves into the handler; on a panic it is dropped

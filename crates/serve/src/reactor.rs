@@ -1,34 +1,54 @@
-//! Event-driven reactor: a single thread multiplexing every connection
-//! over raw `epoll`.
+//! Event-driven reactors: N threads, each multiplexing a shard of the
+//! connections over its own raw `epoll` instance.
 //!
-//! No async runtime and no FFI crate are available offline, so the three
-//! epoll syscalls (`epoll_create1` / `epoll_ctl` / `epoll_wait`) plus
-//! `eventfd` are declared directly as `extern "C"` against the platform
-//! libc that every Rust binary on Linux already links. Everything above the
-//! syscall boundary is safe Rust:
+//! No async runtime and no FFI crate are available offline, so the handful
+//! of syscalls we need (`epoll_create1` / `epoll_ctl` / `epoll_wait`,
+//! `eventfd`, `writev`, and the socket calls behind `SO_REUSEPORT`) are
+//! declared directly as `extern "C"` against the platform libc that every
+//! Rust binary on Linux already links. Everything above the syscall
+//! boundary is safe Rust:
 //!
 //! - [`Epoll`] — an owned epoll instance with add/modify/delete/wait;
 //! - [`Waker`] — an `eventfd` the executor pool writes to when a response
-//!   is ready, so the reactor wakes from `epoll_wait` without a timeout
+//!   is ready, so a reactor wakes from `epoll_wait` without a timeout
 //!   race (the classic self-pipe trick, one fd instead of two);
 //! - [`TimerWheel`] — a coarse hashed wheel (512 ms slots) holding every
 //!   connection's next deadline. Entries are filed lazily and verified
 //!   against the connection's *current* deadline when their slot comes due,
 //!   so refreshing a deadline is O(1) and never has to find-and-remove;
-//! - [`run`] — the event loop: accept new connections (closing with a 503
-//!   once `max_conns` is reached), feed readable/writable events into each
-//!   connection's state machine ([`crate::conn::Conn`]), hand parsed
-//!   requests to the executor pool over a channel, queue finished responses
-//!   for write-readiness-driven flushing, and reap expired connections.
+//! - [`run`] — one reactor's event loop: accept new connections (closing
+//!   with a 503 once `max_conns` is reached fleet-wide), feed
+//!   readable/writable events into each connection's state machine
+//!   ([`crate::conn::Conn`]), hand parsed requests to the executor pool
+//!   through the fair [`Dispatcher`](crate::http::Dispatcher), queue
+//!   finished responses for write-readiness-driven flushing, and reap
+//!   expired connections.
 //!
-//! The reactor thread never runs a handler and never blocks on a socket:
+//! **Sharded accept.** With `--reactors N > 1` each reactor gets its own
+//! listening socket bound with `SO_REUSEPORT`, so the kernel load-balances
+//! accepts across reactors with zero cross-thread coordination
+//! ([`AcceptRole::Shard`]). Where that bind fails (non-Linux-y kernels,
+//! IPv6 targets), reactor 0 falls back to owning the single listener and
+//! dealing accepted streams round-robin to its siblings over per-reactor
+//! channels, waking each over its eventfd ([`AcceptRole::Owner`] /
+//! [`AcceptRole::Member`]).
+//!
+//! **`EPOLLONESHOT` everywhere.** Every connection fd is registered
+//! one-shot: the kernel disarms it on delivery, and the owning reactor
+//! re-arms (`EPOLL_CTL_MOD`) only after the connection's state step
+//! completes. That makes each readiness cycle race-free by construction —
+//! no second event can arrive while one is being processed — which is what
+//! keeps connection state transitions safe no matter which path (I/O
+//! event, executor completion, handoff adoption) touched the `Conn` last.
+//!
+//! A reactor thread never runs a handler and never blocks on a socket:
 //! slow clients cost a buffer, idle keep-alive clients cost a file
 //! descriptor, and all worker threads stay available for actual request
 //! execution.
 
 use std::collections::HashMap;
 use std::io::{Read, Write};
-use std::net::TcpListener;
+use std::net::{TcpListener, TcpStream};
 use std::os::raw::{c_int, c_uint};
 use std::os::unix::io::{AsRawFd, FromRawFd, RawFd};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -37,14 +57,16 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::conn::{Conn, Verdict};
-use crate::http::{Completion, Job, ServerOptions};
+use crate::http::{Completion, Dispatcher, Job, ReactorStats, ServerOptions};
 
-// ---- raw epoll / eventfd FFI (no external crates; offline build) ----
+// ---- raw epoll / eventfd / socket FFI (no external crates; offline build) ----
 
 pub(crate) const EPOLLIN: u32 = 0x001;
 pub(crate) const EPOLLOUT: u32 = 0x004;
 const EPOLLERR: u32 = 0x008;
 const EPOLLHUP: u32 = 0x010;
+/// Disarm the fd after one event delivery; re-armed via `EPOLL_CTL_MOD`.
+const EPOLLONESHOT: u32 = 0x4000_0000;
 
 const EPOLL_CTL_ADD: c_int = 1;
 const EPOLL_CTL_DEL: c_int = 2;
@@ -52,6 +74,32 @@ const EPOLL_CTL_MOD: c_int = 3;
 const EPOLL_CLOEXEC: c_int = 0x80000;
 const EFD_NONBLOCK: c_int = 0x800;
 const EFD_CLOEXEC: c_int = 0x80000;
+
+const AF_INET: c_int = 2;
+const SOCK_STREAM: c_int = 1;
+const SOCK_NONBLOCK: c_int = 0x800;
+const SOCK_CLOEXEC: c_int = 0x80000;
+const SOL_SOCKET: c_int = 1;
+const SO_REUSEADDR: c_int = 2;
+const SO_REUSEPORT: c_int = 15;
+
+/// Mirror of `struct iovec` for [`writev`].
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub(crate) struct IoVec {
+    pub base: *const u8,
+    pub len: usize,
+}
+
+/// Mirror of `struct sockaddr_in` (16 bytes); port and address are
+/// big-endian on the wire.
+#[repr(C)]
+struct SockAddrIn {
+    sin_family: u16,
+    sin_port: u16,
+    sin_addr: u32,
+    sin_zero: [u8; 8],
+}
 
 /// Mirror of `struct epoll_event`. The kernel ABI packs this to 12 bytes on
 /// x86-64 (and only there), hence the conditional `repr(packed)`.
@@ -69,6 +117,76 @@ extern "C" {
     fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
     fn eventfd(initval: c_uint, flags: c_int) -> c_int;
     fn close(fd: c_int) -> c_int;
+    pub(crate) fn writev(fd: c_int, iov: *const IoVec, iovcnt: c_int) -> isize;
+    fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+    fn bind(fd: c_int, addr: *const SockAddrIn, len: c_uint) -> c_int;
+    fn listen(fd: c_int, backlog: c_int) -> c_int;
+    fn setsockopt(fd: c_int, level: c_int, name: c_int, value: *const c_int, len: c_uint) -> c_int;
+}
+
+/// Bind `n` listening sockets to the same IPv4 address with
+/// `SO_REUSEPORT`, so the kernel shards incoming connections across them.
+/// Port 0 is resolved once (first socket) and reused for the rest, so all
+/// shards share the ephemeral port. Any failure — including a non-IPv4
+/// target — reports an error and the caller falls back to the
+/// accept-and-deal topology.
+pub(crate) fn reuseport_listeners(addr: &str, n: usize) -> std::io::Result<Vec<TcpListener>> {
+    use std::net::{SocketAddr, ToSocketAddrs};
+    let sa = addr
+        .to_socket_addrs()?
+        .find_map(|a| match a {
+            SocketAddr::V4(v4) => Some(v4),
+            SocketAddr::V6(_) => None,
+        })
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "SO_REUSEPORT sharding requires an IPv4 address",
+            )
+        })?;
+    let mut port = sa.port();
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let fd = unsafe { socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0) };
+        if fd < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        // SAFETY: freshly created socket fd we exclusively own; wrapping
+        // first makes every error path below close it on drop.
+        let listener = unsafe { TcpListener::from_raw_fd(fd) };
+        let one: c_int = 1;
+        for opt in [SO_REUSEADDR, SO_REUSEPORT] {
+            let rc = unsafe {
+                setsockopt(
+                    fd,
+                    SOL_SOCKET,
+                    opt,
+                    &one,
+                    std::mem::size_of::<c_int>() as c_uint,
+                )
+            };
+            if rc < 0 {
+                return Err(std::io::Error::last_os_error());
+            }
+        }
+        let sin = SockAddrIn {
+            sin_family: AF_INET as u16,
+            sin_port: port.to_be(),
+            sin_addr: u32::from(*sa.ip()).to_be(),
+            sin_zero: [0; 8],
+        };
+        if unsafe { bind(fd, &sin, std::mem::size_of::<SockAddrIn>() as c_uint) } < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        if unsafe { listen(fd, 1024) } < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        if port == 0 {
+            port = listener.local_addr()?.port();
+        }
+        out.push(listener);
+    }
+    Ok(out)
 }
 
 /// An owned epoll instance.
@@ -243,50 +361,127 @@ const OVERLOADED: &[u8] = b"HTTP/1.1 503 Service Unavailable\r\n\
     Content-Type: application/json\r\nContent-Length: 36\r\n\
     Connection: close\r\n\r\n{\"error\":\"connection limit reached\"}";
 
-/// The reactor event loop. Owns the listener, every connection, the epoll
-/// instance and the timer wheel; runs until `shutdown` is set (the waker is
-/// poked by `Server::shutdown` so the flag is observed promptly).
-pub(crate) fn run(
-    listener: TcpListener,
-    jobs: Sender<Job>,
-    completions: Receiver<Completion>,
-    waker: Arc<Waker>,
-    shutdown: Arc<AtomicBool>,
+/// How one reactor gets its connections (see module docs).
+pub(crate) enum AcceptRole {
+    /// Own `SO_REUSEPORT` listening socket (or the only listener when
+    /// running single-reactor): the kernel shards accepts.
+    Shard(TcpListener),
+    /// Fallback topology: this reactor owns the single listener and deals
+    /// accepted streams round-robin to itself and every sibling, waking
+    /// each sibling over its eventfd.
+    Owner {
+        listener: TcpListener,
+        siblings: Vec<(Sender<TcpStream>, Arc<Waker>)>,
+    },
+    /// Fallback topology: no listener; adopts streams dealt by the owner.
+    Member(Receiver<TcpStream>),
+}
+
+/// Everything one reactor thread needs, bundled so [`run`] stays a
+/// single-argument spawn target.
+pub(crate) struct ReactorConfig {
+    /// This reactor's index (0-based); index 0 drives `on_tick`.
+    pub index: usize,
+    pub role: AcceptRole,
+    pub dispatcher: Arc<Dispatcher>,
+    pub completions: Receiver<Completion>,
+    pub waker: Arc<Waker>,
+    pub shutdown: Arc<AtomicBool>,
+    pub opts: Arc<ServerOptions>,
+    pub queue_depth: Arc<AtomicUsize>,
+    /// Per-reactor gauges exported at `/metrics`.
+    pub stats: Arc<ReactorStats>,
+    /// Fleet-wide open-connection count backing the `max_conns` cap.
+    pub total_conns: Arc<AtomicUsize>,
+}
+
+/// One reactor's mutable state plus the shared handles its helpers need.
+struct Reactor {
+    index: usize,
+    epoll: Epoll,
     opts: Arc<ServerOptions>,
+    dispatcher: Arc<Dispatcher>,
     queue_depth: Arc<AtomicUsize>,
-) {
+    stats: Arc<ReactorStats>,
+    total_conns: Arc<AtomicUsize>,
+    conns: HashMap<u64, Conn>,
+    wheel: TimerWheel,
+    next_token: u64,
+    /// Round-robin cursor for the `Owner` deal.
+    rr: usize,
+}
+
+/// One reactor's event loop. Owns a shard of the connections, its own
+/// epoll instance and timer wheel; runs until `shutdown` is set (the waker
+/// is poked by `Server::shutdown` so the flag is observed promptly).
+pub(crate) fn run(cfg: ReactorConfig) {
+    let ReactorConfig {
+        index,
+        role,
+        dispatcher,
+        completions,
+        waker,
+        shutdown,
+        opts,
+        queue_depth,
+        stats,
+        total_conns,
+    } = cfg;
+    // Dropped on every exit path: when the last reactor leaves, the
+    // dispatcher closes and the executor pool drains and exits.
+    let _open = dispatcher.reactor_guard();
     let epoll = match Epoll::new() {
         Ok(e) => e,
         Err(e) => {
-            eprintln!("hamlet-serve reactor: epoll_create1 failed: {e}");
+            eprintln!("hamlet-serve reactor {index}: epoll_create1 failed: {e}");
             return;
         }
     };
     let now = Instant::now();
-    let mut wheel = TimerWheel::new(now);
-    let mut conns: HashMap<u64, Conn> = HashMap::new();
-    let mut next_token = FIRST_CONN_TOKEN;
     if let Err(e) = epoll.add(waker.fd(), TOKEN_WAKER, EPOLLIN) {
-        eprintln!("hamlet-serve reactor: registering waker failed: {e}");
+        eprintln!("hamlet-serve reactor {index}: registering waker failed: {e}");
         return;
     }
-    if let Err(e) = epoll.add(listener.as_raw_fd(), TOKEN_LISTENER, EPOLLIN) {
-        eprintln!("hamlet-serve reactor: registering listener failed: {e}");
-        return;
+    let listener_fd = match &role {
+        AcceptRole::Shard(l) | AcceptRole::Owner { listener: l, .. } => Some(l.as_raw_fd()),
+        AcceptRole::Member(_) => None,
+    };
+    if let Some(fd) = listener_fd {
+        if let Err(e) = epoll.add(fd, TOKEN_LISTENER, EPOLLIN) {
+            eprintln!("hamlet-serve reactor {index}: registering listener failed: {e}");
+            return;
+        }
     }
-    if let Some(tick) = &opts.on_tick {
-        wheel.insert(TOKEN_TICK, now + tick.every, now);
+    let mut r = Reactor {
+        index,
+        epoll,
+        opts,
+        dispatcher,
+        queue_depth,
+        stats,
+        total_conns,
+        conns: HashMap::new(),
+        wheel: TimerWheel::new(now),
+        next_token: FIRST_CONN_TOKEN,
+        rr: 0,
+    };
+    // Application ticks fire on exactly one reactor (the auto-demoter must
+    // not run N× faster because the network plane got wider).
+    if r.index == 0 {
+        if let Some(tick) = &r.opts.on_tick {
+            r.wheel.insert(TOKEN_TICK, now + tick.every, now);
+        }
     }
 
     let mut events = [EpollEvent { events: 0, data: 0 }; 256];
     loop {
         if shutdown.load(Ordering::SeqCst) {
-            return; // drops listener, conns, and the job sender → executors drain and exit
+            return; // drops the conns; the guard drop closes the dispatcher
         }
-        let n = match epoll.wait(&mut events, WHEEL_SLOT.as_millis() as c_int) {
+        let n = match r.epoll.wait(&mut events, WHEEL_SLOT.as_millis() as c_int) {
             Ok(n) => n,
             Err(e) => {
-                eprintln!("hamlet-serve reactor: epoll_wait failed: {e}");
+                eprintln!("hamlet-serve reactor {}: epoll_wait failed: {e}", r.index);
                 return;
             }
         };
@@ -297,19 +492,20 @@ pub(crate) fn run(
             let bits = ev.events;
             match token {
                 TOKEN_WAKER => waker.drain(),
-                TOKEN_LISTENER => accept_ready(
-                    &listener,
-                    &epoll,
-                    &mut conns,
-                    &mut wheel,
-                    &mut next_token,
-                    now,
-                    &opts,
-                ),
+                TOKEN_LISTENER => match &role {
+                    AcceptRole::Shard(listener) => r.accept_ready(listener, &[], now),
+                    AcceptRole::Owner { listener, siblings } => {
+                        r.accept_ready(listener, siblings, now)
+                    }
+                    AcceptRole::Member(_) => {}
+                },
                 _ => {
-                    let Some(conn) = conns.get_mut(&token) else {
+                    let Some(conn) = r.conns.get_mut(&token) else {
                         continue; // already closed this iteration
                     };
+                    // EPOLLONESHOT: delivery disarmed the fd; finish_step
+                    // re-arms once the state step is done.
+                    conn.armed = false;
                     let mut verdict = Verdict::Open;
                     if bits & (EPOLLERR | EPOLLHUP) != 0 {
                         // Peer is gone in both directions; nothing we queue
@@ -323,18 +519,16 @@ pub(crate) fn run(
                             verdict = conn.on_writable(now);
                         }
                     }
-                    finish_step(
-                        &epoll,
-                        &mut conns,
-                        &mut wheel,
-                        token,
-                        verdict,
-                        &jobs,
-                        &queue_depth,
-                        &opts,
-                        now,
-                    );
+                    r.finish_step(token, verdict, now);
                 }
+            }
+        }
+
+        // Streams dealt by the owner reactor (fallback topology only); the
+        // owner wakes this reactor's eventfd after each send.
+        if let AcceptRole::Member(handoff) = &role {
+            while let Ok(stream) = handoff.try_recv() {
+                r.adopt(stream, now);
             }
         }
 
@@ -343,7 +537,7 @@ pub(crate) fn run(
         loop {
             match completions.try_recv() {
                 Ok(done) => {
-                    let Some(conn) = conns.get_mut(&done.token) else {
+                    let Some(conn) = r.conns.get_mut(&done.token) else {
                         continue; // connection died while the handler ran
                     };
                     conn.complete(&done.response, now);
@@ -354,40 +548,30 @@ pub(crate) fn run(
                     } else {
                         Verdict::Open
                     };
-                    finish_step(
-                        &epoll,
-                        &mut conns,
-                        &mut wheel,
-                        done.token,
-                        verdict,
-                        &jobs,
-                        &queue_depth,
-                        &opts,
-                        now,
-                    );
+                    r.finish_step(done.token, verdict, now);
                 }
                 Err(TryRecvError::Empty) => break,
-                Err(TryRecvError::Disconnected) => return, // executor pool gone
+                Err(TryRecvError::Disconnected) => return, // server handle gone
             }
         }
 
         // Deadline sweep: surfaced tokens are checked against their live
         // deadline (lazy wheel semantics — see TimerWheel docs).
-        for token in wheel.tick(now) {
+        for token in r.wheel.tick(now) {
             if token == TOKEN_TICK {
-                if let Some(tick) = &opts.on_tick {
+                if let Some(tick) = &r.opts.on_tick {
                     (tick.run)();
-                    wheel.insert(TOKEN_TICK, now + tick.every, now);
+                    r.wheel.insert(TOKEN_TICK, now + tick.every, now);
                 }
                 continue;
             }
-            let Some(conn) = conns.get_mut(&token) else {
+            let Some(conn) = r.conns.get_mut(&token) else {
                 continue; // stale entry for a closed connection
             };
             if conn.expired(now) {
-                close_conn(&epoll, &mut conns, token);
+                r.close_conn(token);
             } else if let Some(deadline) = conn.deadline {
-                wheel.insert(token, deadline, now);
+                r.wheel.insert(token, deadline, now);
                 conn.filed = Some(deadline);
             } else {
                 conn.filed = None; // Dispatched: re-filed when a deadline returns
@@ -396,141 +580,167 @@ pub(crate) fn run(
     }
 }
 
-/// Accept every pending connection (level-triggered listener).
-fn accept_ready(
-    listener: &TcpListener,
-    epoll: &Epoll,
-    conns: &mut HashMap<u64, Conn>,
-    wheel: &mut TimerWheel,
-    next_token: &mut u64,
-    now: Instant,
-    opts: &Arc<ServerOptions>,
-) {
-    loop {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                if conns.len() >= opts.max_conns {
-                    // Over capacity: answer 503 best-effort and drop. The
-                    // write is nonblocking; a client that cannot even take
-                    // 200 bytes gets a bare close.
-                    let _ = stream.set_nonblocking(true);
-                    let _ = (&stream).write(OVERLOADED);
-                    continue;
+impl Reactor {
+    /// Accept every pending connection (level-triggered listener). With
+    /// siblings (the `Owner` fallback role), deal streams round-robin
+    /// across the whole fleet including this reactor.
+    fn accept_ready(
+        &mut self,
+        listener: &TcpListener,
+        siblings: &[(Sender<TcpStream>, Arc<Waker>)],
+        now: Instant,
+    ) {
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    if siblings.is_empty() {
+                        self.adopt(stream, now);
+                        continue;
+                    }
+                    let target = self.rr % (siblings.len() + 1);
+                    self.rr = self.rr.wrapping_add(1);
+                    if target == 0 {
+                        self.adopt(stream, now);
+                        continue;
+                    }
+                    let (tx, waker) = &siblings[target - 1];
+                    match tx.send(stream) {
+                        Ok(()) => waker.wake(),
+                        // Sibling exited (shutdown mid-flight): keep the
+                        // stream local rather than dropping it.
+                        Err(back) => self.adopt(back.0, now),
+                    }
                 }
-                if stream.set_nonblocking(true).is_err() {
-                    continue;
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    // Unexpected accept failure — most importantly EMFILE /
+                    // ENFILE fd exhaustion. The level-triggered listener stays
+                    // ready while the backlog is non-empty, so returning
+                    // immediately would spin the reactor at 100% CPU doing
+                    // failed accepts. Back off briefly instead: pending
+                    // clients wait in the kernel backlog and existing
+                    // connections resume right after.
+                    std::thread::sleep(Duration::from_millis(50));
+                    return;
                 }
-                let _ = stream.set_nodelay(true);
-                let token = *next_token;
-                *next_token += 1; // tokens are never reused: no ABA with late completions
-                let conn = Conn::new(stream, now, Arc::clone(opts));
-                if epoll
-                    .add(conn.stream().as_raw_fd(), token, conn.desired_events())
-                    .is_err()
-                {
-                    continue; // dropping the stream closes it
-                }
-                let registered = conn.desired_events();
-                let deadline = conn.deadline;
-                let mut conn = conn;
-                conn.registered = registered;
-                if let Some(d) = deadline {
-                    wheel.insert(token, d, now);
-                    conn.filed = Some(d);
-                }
-                conns.insert(token, conn);
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-            Err(_) => {
-                // Unexpected accept failure — most importantly EMFILE /
-                // ENFILE fd exhaustion. The level-triggered listener stays
-                // ready while the backlog is non-empty, so returning
-                // immediately would spin the reactor at 100% CPU doing
-                // failed accepts. Back off briefly instead: pending
-                // clients wait in the kernel backlog and existing
-                // connections resume right after.
-                std::thread::sleep(Duration::from_millis(50));
-                return;
             }
         }
     }
-}
 
-/// Post-I/O bookkeeping shared by every path that touches a connection:
-/// dispatch newly parsed requests, sync epoll interest, file deadlines,
-/// or tear the connection down.
-#[allow(clippy::too_many_arguments)] // internal plumbing shared by three call sites
-fn finish_step(
-    epoll: &Epoll,
-    conns: &mut HashMap<u64, Conn>,
-    wheel: &mut TimerWheel,
-    token: u64,
-    verdict: Verdict,
-    jobs: &Sender<Job>,
-    queue_depth: &AtomicUsize,
-    opts: &ServerOptions,
-    now: Instant,
-) {
-    if verdict == Verdict::Close {
-        close_conn(epoll, conns, token);
-        return;
-    }
-    let Some(conn) = conns.get_mut(&token) else {
-        return;
-    };
-    // At most one request per connection is in flight (response ordering),
-    // so this hands over at most one job.
-    if let Some(request) = conn.next_job(now) {
-        // Gauge-eligible jobs (see ServerOptions::queue_gauge) are counted
-        // before the send so an executor (or a coalescing handler reading
-        // the gauge) never observes its own job as "nothing else pending"
-        // while more dispatches race in.
-        let counted = (opts.queue_gauge)(&request);
-        if counted {
-            queue_depth.fetch_add(1, Ordering::SeqCst);
-        }
-        if jobs
-            .send(Job {
-                token,
-                request,
-                counted,
-            })
-            .is_err()
-        {
-            // Executor pool is gone (shutdown mid-flight).
-            if counted {
-                queue_depth.fetch_sub(1, Ordering::SeqCst);
-            }
-            close_conn(epoll, conns, token);
+    /// Take ownership of an accepted stream: admission-check against the
+    /// fleet-wide cap, register one-shot with epoll, file the idle
+    /// deadline.
+    fn adopt(&mut self, stream: TcpStream, now: Instant) {
+        if self.total_conns.load(Ordering::SeqCst) >= self.opts.max_conns {
+            // Over capacity: answer 503 best-effort and drop. The write is
+            // nonblocking; a client that cannot even take 200 bytes gets a
+            // bare close.
+            let _ = stream.set_nonblocking(true);
+            let _ = (&stream).write(OVERLOADED);
             return;
         }
-    }
-    let conn = conns.get_mut(&token).expect("still present");
-    let want = conn.desired_events();
-    if want != conn.registered
-        && epoll
-            .modify(conn.stream().as_raw_fd(), token, want)
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let token = self.next_token;
+        self.next_token += 1; // tokens are never reused: no ABA with late completions
+        let mut conn = Conn::new(stream, now, Arc::clone(&self.opts));
+        let want = conn.desired_events();
+        if self
+            .epoll
+            .add(conn.stream().as_raw_fd(), token, want | EPOLLONESHOT)
             .is_err()
-    {
-        close_conn(epoll, conns, token);
-        return;
+        {
+            return; // dropping the stream closes it
+        }
+        conn.registered = want;
+        conn.armed = true;
+        if let Some(d) = conn.deadline {
+            self.wheel.insert(token, d, now);
+            conn.filed = Some(d);
+        }
+        self.conns.insert(token, conn);
+        self.total_conns.fetch_add(1, Ordering::SeqCst);
+        self.stats.connections.fetch_add(1, Ordering::Relaxed);
+        self.stats.accepted_total.fetch_add(1, Ordering::Relaxed);
     }
-    conn.registered = want;
-    if let Some(deadline) = conn.deadline {
-        // Only re-file when the filed entry would fire too early or not at
-        // all; firing late is handled lazily by the sweep.
-        if conn.filed.is_none_or(|f| f > deadline) {
-            wheel.insert(token, deadline, now);
-            conn.filed = Some(deadline);
+
+    /// Post-I/O bookkeeping shared by every path that touches a
+    /// connection: dispatch newly parsed requests through the fair queue,
+    /// re-arm the one-shot epoll registration, file deadlines, or tear the
+    /// connection down.
+    fn finish_step(&mut self, token: u64, verdict: Verdict, now: Instant) {
+        if verdict == Verdict::Close {
+            self.close_conn(token);
+            return;
+        }
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        // At most one request per connection is in flight (response
+        // ordering), so this hands over at most one job.
+        let next = conn.next_job(now);
+        if let Some(request) = next {
+            // Gauge-eligible jobs (see ServerOptions::queue_gauge) are
+            // counted before the push so an executor (or a coalescing
+            // handler reading the gauge) never observes its own job as
+            // "nothing else pending" while more dispatches race in.
+            let counted = (self.opts.queue_gauge)(&request);
+            if counted {
+                self.queue_depth.fetch_add(1, Ordering::SeqCst);
+            }
+            let key = crate::http::fair_key(&request);
+            self.dispatcher.push(
+                key,
+                Job {
+                    reactor: self.index,
+                    token,
+                    request,
+                    counted,
+                },
+            );
+        }
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let want = conn.desired_events();
+        // One-shot protocol: a MOD both updates interest and re-arms, so
+        // it is needed whenever the kernel side is disarmed *or* the
+        // interest set changed (a MOD on a still-armed fd is a harmless
+        // re-arm; level-triggered, so buffered readiness fires again
+        // immediately).
+        if !conn.armed || want != conn.registered {
+            let fd = conn.stream().as_raw_fd();
+            if self.epoll.modify(fd, token, want | EPOLLONESHOT).is_err() {
+                self.close_conn(token);
+                return;
+            }
+            let conn = self.conns.get_mut(&token).expect("still present");
+            conn.registered = want;
+            conn.armed = true;
+        }
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if let Some(deadline) = conn.deadline {
+            // Only re-file when the filed entry would fire too early or
+            // not at all; firing late is handled lazily by the sweep.
+            if conn.filed.is_none_or(|f| f > deadline) {
+                self.wheel.insert(token, deadline, now);
+                conn.filed = Some(deadline);
+            }
         }
     }
-}
 
-fn close_conn(epoll: &Epoll, conns: &mut HashMap<u64, Conn>, token: u64) {
-    if let Some(conn) = conns.remove(&token) {
-        let _ = epoll.delete(conn.stream().as_raw_fd());
-        // Dropping the Conn closes the socket.
+    fn close_conn(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            let _ = self.epoll.delete(conn.stream().as_raw_fd());
+            self.total_conns.fetch_sub(1, Ordering::SeqCst);
+            self.stats.connections.fetch_sub(1, Ordering::Relaxed);
+            // Dropping the Conn closes the socket.
+        }
     }
 }
 

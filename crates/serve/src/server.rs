@@ -40,6 +40,11 @@ pub struct AppState {
     /// idle auto-demoter reads. The coalescer's counter block is shared
     /// with this handle, so every surface reports one accounting.
     pub telemetry: Telemetry,
+    /// Network-plane gauges (per-reactor connections, per-model fair queue
+    /// depths). [`serve_with`] installs it into the server's options so
+    /// `/metrics` can read the live reactors; outside a running server it
+    /// just reports empty.
+    pub net: Arc<crate::http::NetStats>,
     /// Machine-wide fan-out budget shared by every in-flight predict: the
     /// sum of extra scoped threads across concurrent requests never exceeds
     /// `predict_threads`, so N simultaneous large batches share the cores
@@ -383,6 +388,7 @@ impl AppState {
                 latency: LatencyTracker::new(),
                 coalescer: Coalescer::with_stats(opts.coalesce, telemetry.coalesce_stats()),
                 telemetry,
+                net: Arc::new(crate::http::NetStats::new()),
                 shard_budget: ShardBudget::new(budget),
                 train_gate: std::sync::atomic::AtomicBool::new(false),
             }),
@@ -802,6 +808,7 @@ pub fn router(state: Arc<AppState>) -> Handler {
                     &state.telemetry,
                     ops_gauges(&state),
                     &state.registry.list(),
+                    Some(&state.net),
                 ),
             ),
             ("GET", "/v1/models") => ok_json(&ModelsResponse {
@@ -841,17 +848,27 @@ pub fn router(state: Arc<AppState>) -> Handler {
 
 /// Binds and starts the full server with default I/O options.
 pub fn serve(addr: &str, workers: usize, state: Arc<AppState>) -> std::io::Result<Server> {
-    Server::bind(addr, workers, router(state))
+    serve_with(
+        addr,
+        ServerOptions {
+            workers,
+            ..ServerOptions::default()
+        },
+        state,
+    )
 }
 
 /// Binds and starts the full server with explicit [`ServerOptions`]
-/// (connection cap, timeouts, executor count).
+/// (connection cap, timeouts, executor count, reactor count). The app
+/// state's [`NetStats`](crate::http::NetStats) is wired into the server so
+/// `/metrics` reports the live reactors and fair-queue depths.
 pub fn serve_with(
     addr: &str,
-    opts: ServerOptions,
+    mut opts: ServerOptions,
     state: Arc<AppState>,
 ) -> std::io::Result<Server> {
-    Server::bind_with(addr, router(state), opts)
+    opts.net_stats = Some(Arc::clone(&state.net));
+    Server::bind_with(addr, router(Arc::clone(&state)), opts)
 }
 
 #[cfg(test)]
@@ -871,6 +888,7 @@ mod tests {
             latency: LatencyTracker::new(),
             coalescer: Coalescer::with_stats(coalesce, telemetry.coalesce_stats()),
             telemetry,
+            net: Arc::new(crate::http::NetStats::new()),
             shard_budget: ShardBudget::new(2),
             train_gate: std::sync::atomic::AtomicBool::new(false),
         })

@@ -40,8 +40,15 @@ fn escape_label(value: &str) -> String {
 }
 
 /// Renders the full `/metrics` payload. `registry_rows` is the registry
-/// listing (one row per version) behind the per-artifact info gauges.
-pub fn prometheus(t: &Telemetry, gauges: OpsGauges, registry_rows: &[ModelSummary]) -> String {
+/// listing (one row per version) behind the per-artifact info gauges;
+/// `net` carries the network-plane gauges (per-reactor connections and
+/// per-model fair-queue depths), omitted entirely when `None`.
+pub fn prometheus(
+    t: &Telemetry,
+    gauges: OpsGauges,
+    registry_rows: &[ModelSummary],
+    net: Option<&crate::http::NetStats>,
+) -> String {
     let mut out = String::with_capacity(4096);
     let endpoints = t.endpoints_snapshot();
     let models = t.models_snapshot();
@@ -110,6 +117,39 @@ pub fn prometheus(t: &Telemetry, gauges: OpsGauges, registry_rows: &[ModelSummar
             e.name(),
             snap.errors
         );
+    }
+
+    if let Some(net) = net {
+        let reactors = net.reactor_snapshots();
+        out.push_str("# HELP hamlet_reactor_connections Open connections, by reactor.\n");
+        out.push_str("# TYPE hamlet_reactor_connections gauge\n");
+        for r in &reactors {
+            let _ = writeln!(
+                out,
+                "hamlet_reactor_connections{{reactor=\"{}\"}} {}",
+                r.index, r.connections
+            );
+        }
+        out.push_str("# HELP hamlet_reactor_accepted_total Connections adopted, by reactor.\n");
+        out.push_str("# TYPE hamlet_reactor_accepted_total counter\n");
+        for r in &reactors {
+            let _ = writeln!(
+                out,
+                "hamlet_reactor_accepted_total{{reactor=\"{}\"}} {}",
+                r.index, r.accepted_total
+            );
+        }
+        out.push_str(
+            "# HELP hamlet_fair_queue_depth Jobs queued for the executor pool, by fair-dispatch key.\n",
+        );
+        out.push_str("# TYPE hamlet_fair_queue_depth gauge\n");
+        for (key, depth) in net.queue_depths() {
+            let _ = writeln!(
+                out,
+                "hamlet_fair_queue_depth{{model=\"{}\"}} {depth}",
+                escape_label(&key)
+            );
+        }
     }
 
     out.push_str("# HELP hamlet_coalesce_total Predict coalescer counters.\n");
@@ -305,7 +345,8 @@ mod tests {
     #[test]
     fn every_sample_follows_its_type_line() {
         let t = seeded_telemetry();
-        let text = prometheus(&t, seeded_gauges(), &seeded_rows());
+        let net = crate::http::NetStats::new();
+        let text = prometheus(&t, seeded_gauges(), &seeded_rows(), Some(&net));
         let mut declared: HashSet<&str> = HashSet::new();
         for line in text.lines() {
             if let Some(rest) = line.strip_prefix("# TYPE ") {
