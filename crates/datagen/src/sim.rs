@@ -69,6 +69,10 @@ pub struct FactColumns {
 ///
 /// The FK and RID columns of each dimension share one `CatDomain` of size
 /// `n_r`, so joins are direct code lookups; RIDs are sequential `0..n_r`.
+/// Open-domain dimensions instead share a domain of size `n_r + 1` whose
+/// trailing slot is the paper's `Others` placeholder: a real code with NO
+/// dimension row behind it, so serving-time encode of an unseen key lands
+/// on it while generated fact FKs stay within `0..n_r`.
 pub fn assemble_star(name: &str, fact: FactColumns, dims: Vec<DimColumns>) -> StarSchema {
     let n = fact.y.len();
     let bin = CatDomain::synthetic("label", 2).into_shared();
@@ -94,7 +98,13 @@ pub fn assemble_star(name: &str, fact: FactColumns, dims: Vec<DimColumns>) -> St
             .first()
             .map(|(_, _, codes)| codes.len())
             .expect("dimensions have at least one feature column");
-        let key_dom = CatDomain::synthetic(format!("{}_rid", dim.name), n_r as u32).into_shared();
+        let key_name = format!("{}_rid", dim.name);
+        let key_dom = if dim.open_domain {
+            CatDomain::synthetic_with_others(key_name, n_r as u32)
+        } else {
+            CatDomain::synthetic(key_name, n_r as u32)
+        }
+        .into_shared();
 
         // FK column in the fact table.
         let fk_name = format!("fk_{}", dim.name);
@@ -167,6 +177,42 @@ mod tests {
         assert_eq!(star.q(), 1);
         let joined = star.materialize_all().unwrap();
         assert_eq!(joined.column("xr0").unwrap().codes(), &[1, 0, 1, 1]);
+    }
+
+    #[test]
+    fn open_domain_fk_gets_real_others_slot() {
+        let fact = FactColumns {
+            y: vec![true, false, true, false],
+            xs: vec![("xs0".into(), 2, vec![0, 1, 0, 1])],
+            fks: vec![vec![0, 1, 2, 0], vec![0, 1, 0, 1]],
+        };
+        let dims = vec![
+            DimColumns {
+                name: "op".into(),
+                columns: vec![("xr0".into(), 2, vec![1, 0, 1])],
+                open_domain: true,
+            },
+            DimColumns {
+                name: "cl".into(),
+                columns: vec![("xr1".into(), 2, vec![1, 0])],
+                open_domain: false,
+            },
+        ];
+        let star = assemble_star("sim", fact, dims);
+        // Open dimension: the shared FK/RID domain carries a trailing
+        // `Others` code (n_r = 3 rows, cardinality 4) with no dimension
+        // row behind it, and unseen keys encode onto it.
+        let open_dom = Arc::clone(star.fact().column("fk_op").unwrap().domain());
+        assert_eq!(open_dom.cardinality(), 4);
+        assert_eq!(open_dom.others_code(), Some(3));
+        assert_eq!(open_dom.encode("never-seen-key"), Some(3));
+        assert_eq!(star.dims()[0].n_rows(), 3);
+        // Closed dimension: no slot, unseen keys refused.
+        let closed_dom = star.fact().column("fk_cl").unwrap().domain();
+        assert_eq!(closed_dom.cardinality(), 2);
+        assert_eq!(closed_dom.encode("never-seen-key"), None);
+        // Generated FKs stay within `0..n_r`, so joins are unaffected.
+        star.materialize_all().unwrap();
     }
 
     #[test]

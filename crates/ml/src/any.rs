@@ -8,6 +8,7 @@
 //! — no vtable indirection and no allocation on the base-model hot path.
 
 use crate::ann::Mlp;
+use crate::cascade::CascadeModel;
 use crate::contract::FeatureContract;
 use crate::dataset::CatDataset;
 use crate::error::{MlError, Result};
@@ -55,6 +56,9 @@ pub enum AnyClassifier {
     Subset(SubsetModel),
     /// A quantized (i8/f16) MLP, SVM or logreg model.
     Quantized(QuantModel),
+    /// A tiered cascade: calibrated cheap front-tiers with a
+    /// high-confidence short-circuit over a shared contract.
+    Cascade(CascadeModel),
 }
 
 impl AnyClassifier {
@@ -72,6 +76,7 @@ impl AnyClassifier {
             AnyClassifier::LogReg(_) => "logreg",
             AnyClassifier::Subset(s) => s.inner.family(),
             AnyClassifier::Quantized(q) => q.family(),
+            AnyClassifier::Cascade(_) => "cascade",
         }
     }
 
@@ -81,6 +86,9 @@ impl AnyClassifier {
         match self {
             AnyClassifier::Quantized(q) => q.encoding.name(),
             AnyClassifier::Subset(s) => s.inner.encoding(),
+            // A cascade mixes per-tier encodings; report the top (most
+            // expensive) tier's, which dominates resident weight bytes.
+            AnyClassifier::Cascade(c) => c.tiers.last().map_or("f32", |t| t.model.encoding()),
             _ => "f32",
         }
     }
@@ -105,6 +113,7 @@ impl AnyClassifier {
             AnyClassifier::LogReg(m) => m.offsets.len() * 4 + m.weights.len() * 8,
             AnyClassifier::Subset(s) => s.inner.weight_bytes(),
             AnyClassifier::Quantized(q) => q.weight_bytes(),
+            AnyClassifier::Cascade(c) => c.tiers.iter().map(|t| t.model.weight_bytes()).sum(),
         }
     }
 
@@ -125,6 +134,9 @@ impl AnyClassifier {
                 "model is already quantized ({})",
                 q.encoding.name()
             ))),
+            AnyClassifier::Cascade(_) => Err(MlError::Invalid(
+                "cascades bundle per-tier encodings; quantize each tier before building".into(),
+            )),
             other => Err(crate::quant::unsupported(other.family())),
         }
     }
@@ -313,15 +325,21 @@ impl AnyClassifier {
     }
 
     fn check_width(&self, width: usize) -> Result<()> {
-        if let AnyClassifier::Subset(s) = self {
-            if let Some(&bad) = s.keep.iter().find(|&&j| j >= width) {
-                return Err(MlError::Invalid(format!(
-                    "subset model projects feature {bad} but its input has only {width} features"
-                )));
+        match self {
+            AnyClassifier::Subset(s) => {
+                if let Some(&bad) = s.keep.iter().find(|&&j| j >= width) {
+                    return Err(MlError::Invalid(format!(
+                        "subset model projects feature {bad} but its input has only {width} features"
+                    )));
+                }
+                s.inner.check_width(s.keep.len())
             }
-            return s.inner.check_width(s.keep.len());
+            // Every tier consumes the same full-width rows.
+            AnyClassifier::Cascade(c) => {
+                c.tiers.iter().try_for_each(|t| t.model.check_width(width))
+            }
+            _ => Ok(()),
         }
-        Ok(())
     }
 
     /// `predict_row` with an external scratch buffer for subset projection.
@@ -345,7 +363,173 @@ impl AnyClassifier {
                 let mut inner_scratch = Vec::new();
                 s.inner.predict_row_scratch(scratch, &mut inner_scratch)
             }
+            AnyClassifier::Cascade(c) => c.decide_row_scratch(row, scratch).0 >= 0.0,
         }
+    }
+
+    /// This model's raw decision margin for one row, sign-consistent with
+    /// [`AnyClassifier::predict_row_scratch`] for **every** family
+    /// (`decision_value(row) ≥ 0 ⟺ predict_row(row)`, ties included):
+    /// logreg/SVM decision functions and MLP logits directly, NB class
+    /// log-odds, the tree's Laplace-smoothed leaf log-odds, and a synthetic
+    /// ±1 for the margin-free families (majority, 1-NN). This is what
+    /// cascade calibrators consume.
+    pub fn decision_value(&self, row: &[u32]) -> f64 {
+        self.decision_value_scratch(row, &mut Vec::new())
+    }
+
+    /// [`AnyClassifier::decision_value`] with an external scratch buffer for
+    /// subset projection.
+    pub fn decision_value_scratch(&self, row: &[u32], scratch: &mut Vec<u32>) -> f64 {
+        match self {
+            AnyClassifier::Majority(m) => {
+                if m.positive {
+                    1.0
+                } else {
+                    -1.0
+                }
+            }
+            AnyClassifier::Tree(m) => m.leaf_log_odds(row),
+            AnyClassifier::Knn(m) => {
+                if m.labels[m.nearest(row)] {
+                    1.0
+                } else {
+                    -1.0
+                }
+            }
+            AnyClassifier::Svm(m) => m.decision(row),
+            AnyClassifier::Mlp(m) => f64::from(m.logit(row)),
+            AnyClassifier::NaiveBayes(m) => m.log_odds(row),
+            AnyClassifier::LogReg(m) => m.decision(row),
+            AnyClassifier::Quantized(q) => q.decision_scratch(row, &mut q.scratch()),
+            AnyClassifier::Subset(s) => {
+                scratch.clear();
+                scratch.extend(s.keep.iter().map(|&j| row[j]));
+                let mut inner_scratch = Vec::new();
+                s.inner.decision_value_scratch(scratch, &mut inner_scratch)
+            }
+            // A cascade's margin is its answering tier's margin; sign
+            // consistency holds because every tier's label *is* that sign.
+            AnyClassifier::Cascade(c) => c.decide_row_scratch(row, scratch).0,
+        }
+    }
+
+    /// Scores a contiguous row-major chunk into `out`, mirroring
+    /// [`AnyClassifier::predict_chunk`]'s family specializations: MLP and
+    /// quantized models allocate forward-pass scratch once per chunk.
+    /// Values are bit-identical to [`AnyClassifier::decision_value`] per
+    /// row.
+    fn score_chunk(&self, rows: &[u32], d: usize, out: &mut Vec<f64>) {
+        match self {
+            AnyClassifier::Mlp(m) => {
+                let mut s = m.scratch();
+                for row in rows.chunks_exact(d) {
+                    out.push(f64::from(m.logit_scratch(row, &mut s)));
+                }
+            }
+            AnyClassifier::Quantized(q) => {
+                let mut s = q.scratch();
+                for row in rows.chunks_exact(d) {
+                    out.push(q.decision_scratch(row, &mut s));
+                }
+            }
+            _ => {
+                let mut scratch = Vec::new();
+                for row in rows.chunks_exact(d) {
+                    out.push(self.decision_value_scratch(row, &mut scratch));
+                }
+            }
+        }
+    }
+
+    /// Batched decision margins over one row buffer (sequential).
+    pub fn score_batch(&self, rows: &[u32], d: usize) -> Vec<f64> {
+        assert!(
+            d > 0 && rows.len().is_multiple_of(d),
+            "rows must be n × d codes"
+        );
+        let mut out = Vec::with_capacity(rows.len() / d);
+        self.score_chunk(rows, d, &mut out);
+        out
+    }
+
+    /// Decision margins over **many row buffers at once**, sharded exactly
+    /// like [`AnyClassifier::predict_segments_sharded`] (segments form one
+    /// logical batch, never copied; shards walk intersecting slices).
+    /// Returns one flat vector in global row order — the cascade tier-0
+    /// scoring primitive, which wants global indices anyway. Values are
+    /// bit-identical to [`AnyClassifier::decision_value`] per row
+    /// regardless of sharding.
+    pub fn score_segments_sharded(
+        &self,
+        segments: &[&[u32]],
+        d: usize,
+        max_threads: usize,
+        min_rows_per_shard: usize,
+    ) -> Vec<f64> {
+        assert!(d > 0, "d must be positive");
+        for seg in segments {
+            assert!(
+                seg.len().is_multiple_of(d),
+                "every segment must be n × d codes"
+            );
+        }
+        let mut bounds = Vec::with_capacity(segments.len() + 1);
+        let mut total = 0usize;
+        for seg in segments {
+            bounds.push(total);
+            total += seg.len() / d;
+        }
+        bounds.push(total);
+        let shards = (total / min_rows_per_shard.max(1)).clamp(1, max_threads.max(1));
+        if shards == 1 {
+            let mut out = Vec::with_capacity(total);
+            for seg in segments {
+                self.score_chunk(seg, d, &mut out);
+            }
+            return out;
+        }
+        let rows_per_shard = total.div_ceil(shards);
+        let mut out = Vec::with_capacity(total);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..shards)
+                .map(|s| {
+                    let start = s * rows_per_shard;
+                    let end = ((s + 1) * rows_per_shard).min(total);
+                    let bounds = &bounds;
+                    scope.spawn(move || self.score_row_range(segments, bounds, d, start, end))
+                })
+                .collect();
+            for h in handles {
+                out.extend(h.join().expect("score shard panicked"));
+            }
+        });
+        out
+    }
+
+    /// Scores global rows `[start, end)` of the logical concatenation of
+    /// `segments` — the scoring twin of [`AnyClassifier::predict_row_range`].
+    fn score_row_range(
+        &self,
+        segments: &[&[u32]],
+        bounds: &[usize],
+        d: usize,
+        start: usize,
+        end: usize,
+    ) -> Vec<f64> {
+        let mut out = Vec::with_capacity(end.saturating_sub(start));
+        let mut seg = bounds.partition_point(|&b| b <= start).saturating_sub(1);
+        let mut row = start;
+        while row < end && seg < segments.len() {
+            let seg_start = bounds[seg];
+            let seg_end = bounds[seg + 1];
+            let lo = row - seg_start;
+            let hi = end.min(seg_end) - seg_start;
+            self.score_chunk(&segments[seg][lo * d..hi * d], d, &mut out);
+            row += hi - lo;
+            seg += 1;
+        }
+        out
     }
 }
 
@@ -387,6 +571,7 @@ impl_from! {
     LogReg <- LogRegL1,
     Subset <- SubsetModel,
     Quantized <- QuantModel,
+    Cascade <- CascadeModel,
 }
 
 #[cfg(test)]

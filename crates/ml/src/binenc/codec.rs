@@ -11,6 +11,7 @@
 use crate::ann::Mlp;
 use crate::any::{AnyClassifier, SubsetModel};
 use crate::binenc::{BinReader, BinWriter};
+use crate::cascade::{Calibrator, CascadeModel, CascadeTier, MAX_TIERS};
 use crate::error::{MlError, Result};
 use crate::knn::OneNearestNeighbor;
 use crate::logreg::LogRegL1;
@@ -403,6 +404,76 @@ fn decode_quant(r: &mut BinReader) -> Result<QuantModel> {
     Ok(QuantModel { encoding, payload })
 }
 
+fn encode_calibrator(w: &mut BinWriter, c: &Calibrator) {
+    match c {
+        Calibrator::Platt { a, b } => {
+            w.put_u8(0);
+            w.put_f64(*a);
+            w.put_f64(*b);
+        }
+        Calibrator::Isotonic { xs, ps } => {
+            w.put_u8(1);
+            w.put_usize(xs.len());
+            for &x in xs {
+                w.put_f64(x);
+            }
+            for &p in ps {
+                w.put_f64(p);
+            }
+        }
+    }
+}
+
+fn decode_calibrator(r: &mut BinReader) -> Result<Calibrator> {
+    let c = match r.read_u8()? {
+        0 => Calibrator::Platt {
+            a: r.read_f64()?,
+            b: r.read_f64()?,
+        },
+        1 => {
+            let n = r.read_usize()?;
+            if n > r.remaining() / 16 {
+                return Err(bad(format!("isotonic calibrator of {n} overruns section")));
+            }
+            let xs = (0..n).map(|_| r.read_f64()).collect::<Result<_>>()?;
+            let ps = (0..n).map(|_| r.read_f64()).collect::<Result<_>>()?;
+            Calibrator::Isotonic { xs, ps }
+        }
+        t => return Err(bad(format!("calibrator tag {t}"))),
+    };
+    c.validate()?;
+    Ok(c)
+}
+
+fn encode_cascade(w: &mut BinWriter, c: &CascadeModel) {
+    w.put_usize(c.tiers.len());
+    for tier in &c.tiers {
+        encode_calibrator(w, &tier.calibrator);
+        w.put_f64(tier.threshold);
+        tier.model.encode_bin(w);
+    }
+}
+
+fn decode_cascade(r: &mut BinReader) -> Result<CascadeModel> {
+    let n = r.read_usize()?;
+    if n == 0 || n > MAX_TIERS {
+        return Err(bad(format!("cascade tier count {n}")));
+    }
+    let mut tiers = Vec::with_capacity(n);
+    for _ in 0..n {
+        let calibrator = decode_calibrator(r)?;
+        let threshold = r.read_f64()?;
+        let model = AnyClassifier::decode_bin(r)?;
+        tiers.push(CascadeTier {
+            model,
+            calibrator,
+            threshold,
+        });
+    }
+    // `new` re-runs full validation (threshold ranges, no nesting).
+    CascadeModel::new(tiers)
+}
+
 impl AnyClassifier {
     /// Whether any of this model's weight arrays currently borrow a mapped
     /// artifact file (true only after an mmap load; a heap load or a
@@ -421,6 +492,7 @@ impl AnyClassifier {
             AnyClassifier::LogReg(m) => m.offsets.is_mapped() || m.weights.is_mapped(),
             AnyClassifier::Subset(s) => s.inner.payload_mapped(),
             AnyClassifier::Quantized(q) => q.is_mapped(),
+            AnyClassifier::Cascade(c) => c.tiers.iter().any(|t| t.model.payload_mapped()),
         }
     }
 
@@ -467,6 +539,10 @@ impl AnyClassifier {
                 w.put_u8(8);
                 encode_quant(w, q);
             }
+            AnyClassifier::Cascade(c) => {
+                w.put_u8(9);
+                encode_cascade(w, c);
+            }
         }
     }
 
@@ -495,9 +571,95 @@ impl AnyClassifier {
                 })
             }
             8 => AnyClassifier::Quantized(decode_quant(r)?),
+            9 => AnyClassifier::Cascade(decode_cascade(r)?),
             t => return Err(bad(format!("unknown model family tag {t}"))),
         })
     }
+}
+
+/// Every model family (including quantized variants and a cascade) fit on
+/// one dataset — shared by the codec roundtrip/truncation tests here and
+/// the sign-consistency sweep in `crate::cascade`.
+#[cfg(test)]
+pub(crate) fn tests_all_families(data: &crate::dataset::CatDataset) -> Vec<AnyClassifier> {
+    use crate::ann::AnnParams;
+    use crate::logreg::LogRegParams;
+    use crate::svm::SvmParams;
+    use crate::tree::{SplitCriterion, TreeParams};
+    let sub = data.select_features(&[1]).unwrap();
+    let mut models: Vec<AnyClassifier> = vec![
+        MajorityClass::fit(data).into(),
+        DecisionTree::fit(
+            data,
+            TreeParams::new(SplitCriterion::Gini)
+                .with_minsplit(2)
+                .with_cp(0.0),
+        )
+        .unwrap()
+        .into(),
+        OneNearestNeighbor::fit(data).unwrap().into(),
+        SvmModel::fit(data, SvmParams::new(KernelKind::Rbf { gamma: 0.5 }, 5.0))
+            .unwrap()
+            .into(),
+        Mlp::fit(
+            data,
+            AnnParams {
+                epochs: 2,
+                ..AnnParams::small(1e-4, 0.01)
+            },
+        )
+        .unwrap()
+        .into(),
+        NaiveBayes::fit(data).unwrap().into(),
+        LogRegL1::fit_single(
+            data,
+            1e-3,
+            LogRegParams {
+                max_iter: 25,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .into(),
+        SubsetModel {
+            keep: vec![1],
+            inner: Box::new(NaiveBayes::fit(&sub).unwrap().into()),
+        }
+        .into(),
+    ];
+    // Quantized variants of every family that supports them, in both
+    // encodings — the roundtrip/truncation tests then cover family
+    // tag 8 with each encoding × payload combination.
+    let quantized: Vec<AnyClassifier> = models
+        .iter()
+        .flat_map(|m| {
+            [QuantEncoding::I8, QuantEncoding::F16]
+                .into_iter()
+                .filter_map(|enc| m.quantize(enc).ok())
+        })
+        .collect();
+    assert_eq!(quantized.len(), 6, "mlp/svm/logreg × i8/f16");
+    models.extend(quantized);
+    // A two-tier cascade (tree → MLP) covering family tag 9 with both
+    // calibrator codecs.
+    let cascade = CascadeModel::new(vec![
+        CascadeTier {
+            model: models[1].clone(),
+            calibrator: Calibrator::Isotonic {
+                xs: vec![-1.0, 0.0, 2.0],
+                ps: vec![0.2, 0.5, 0.9],
+            },
+            threshold: 0.8,
+        },
+        CascadeTier {
+            model: models[4].clone(),
+            calibrator: Calibrator::Platt { a: 1.5, b: -0.25 },
+            threshold: 1.0,
+        },
+    ])
+    .unwrap();
+    models.push(cascade.into());
+    models
 }
 
 #[cfg(test)]
@@ -520,67 +682,7 @@ mod tests {
         CatDataset::new(features, rows, labels).unwrap()
     }
 
-    fn all_families(data: &CatDataset) -> Vec<AnyClassifier> {
-        use crate::ann::AnnParams;
-        use crate::logreg::LogRegParams;
-        use crate::svm::SvmParams;
-        use crate::tree::{SplitCriterion, TreeParams};
-        let sub = data.select_features(&[1]).unwrap();
-        let mut models: Vec<AnyClassifier> = vec![
-            MajorityClass::fit(data).into(),
-            DecisionTree::fit(
-                data,
-                TreeParams::new(SplitCriterion::Gini)
-                    .with_minsplit(2)
-                    .with_cp(0.0),
-            )
-            .unwrap()
-            .into(),
-            OneNearestNeighbor::fit(data).unwrap().into(),
-            SvmModel::fit(data, SvmParams::new(KernelKind::Rbf { gamma: 0.5 }, 5.0))
-                .unwrap()
-                .into(),
-            Mlp::fit(
-                data,
-                AnnParams {
-                    epochs: 2,
-                    ..AnnParams::small(1e-4, 0.01)
-                },
-            )
-            .unwrap()
-            .into(),
-            NaiveBayes::fit(data).unwrap().into(),
-            LogRegL1::fit_single(
-                data,
-                1e-3,
-                LogRegParams {
-                    max_iter: 25,
-                    ..Default::default()
-                },
-            )
-            .unwrap()
-            .into(),
-            SubsetModel {
-                keep: vec![1],
-                inner: Box::new(NaiveBayes::fit(&sub).unwrap().into()),
-            }
-            .into(),
-        ];
-        // Quantized variants of every family that supports them, in both
-        // encodings — the roundtrip/truncation tests then cover family
-        // tag 8 with each encoding × payload combination.
-        let quantized: Vec<AnyClassifier> = models
-            .iter()
-            .flat_map(|m| {
-                [QuantEncoding::I8, QuantEncoding::F16]
-                    .into_iter()
-                    .filter_map(|enc| m.quantize(enc).ok())
-            })
-            .collect();
-        assert_eq!(quantized.len(), 6, "mlp/svm/logreg × i8/f16");
-        models.extend(quantized);
-        models
-    }
+    use super::tests_all_families as all_families;
 
     #[test]
     fn every_family_roundtrips_bit_identically() {

@@ -25,6 +25,7 @@
 pub mod ann;
 pub mod any;
 pub mod binenc;
+pub mod cascade;
 pub mod contract;
 pub mod dataset;
 pub mod error;
@@ -45,6 +46,7 @@ pub mod prelude {
     pub use crate::ann::{AnnParams, Mlp};
     pub use crate::any::{AnyClassifier, SubsetModel};
     pub use crate::binenc::{BinReader, BinWriter, MmapFile, PodVec};
+    pub use crate::cascade::{Calibrator, CascadeModel, CascadeTier, TieredPrediction};
     pub use crate::contract::{BatchError, FeatureContract, RowIssue};
     pub use crate::dataset::{
         split_50_25_25, split_fractions, CatDataset, FeatureMeta, Provenance, TrainValTest,

@@ -79,6 +79,13 @@ impl NaiveBayes {
         s
     }
 
+    /// Class log-odds `score(y=1) − score(y=0)`. Sign-consistent with
+    /// `predict_row` (positive ⟺ the positive class wins, ties included) —
+    /// the NB family's margin for cascade calibration.
+    pub fn log_odds(&self, row: &[u32]) -> f64 {
+        self.score(row, 1) - self.score(row, 0)
+    }
+
     /// Posterior probability of the positive class.
     pub fn posterior_pos(&self, row: &[u32]) -> f64 {
         let s0 = self.score(row, 0);

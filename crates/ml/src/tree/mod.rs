@@ -276,6 +276,42 @@ impl DecisionTree {
         &self.params
     }
 
+    /// The leaf a row routes to, following the same unseen-code policy as
+    /// prediction (majority child).
+    fn leaf_for(&self, row: &[u32]) -> &Node {
+        debug_assert_eq!(row.len(), self.n_features);
+        let mut id = 0u32;
+        loop {
+            let node = &self.nodes[id as usize];
+            match &node.split {
+                None => return node,
+                Some(s) => {
+                    let code = row[s.feature as usize];
+                    id = if s.left_codes.binary_search(&code).is_ok() {
+                        s.left
+                    } else if s.right_codes.binary_search(&code).is_ok() {
+                        s.right
+                    } else if s.majority_left {
+                        s.left
+                    } else {
+                        s.right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Laplace-smoothed log-odds of the leaf this row routes to:
+    /// `ln((pos+1)/(neg+1))` over the leaf's training rows. Sign-consistent
+    /// with `predict_row` (`2*pos >= n` ⟺ log-odds ≥ 0, ties included), so
+    /// it serves as the tree family's margin for cascade calibration.
+    pub fn leaf_log_odds(&self, row: &[u32]) -> f64 {
+        let node = self.leaf_for(row);
+        let pos = f64::from(node.pos);
+        let neg = f64::from(node.n - node.pos);
+        ((pos + 1.0) / (neg + 1.0)).ln()
+    }
+
     /// Binary payload for format-v3 artifacts (see `crate::binenc`). Nodes
     /// are written in index order; the per-node code lists are inline
     /// (copied on read — they are short by construction, split search is
@@ -466,26 +502,7 @@ impl DecisionTree {
 
 impl Classifier for DecisionTree {
     fn predict_row(&self, row: &[u32]) -> bool {
-        debug_assert_eq!(row.len(), self.n_features);
-        let mut id = 0u32;
-        loop {
-            let node = &self.nodes[id as usize];
-            match &node.split {
-                None => return node.prediction,
-                Some(s) => {
-                    let code = row[s.feature as usize];
-                    id = if s.left_codes.binary_search(&code).is_ok() {
-                        s.left
-                    } else if s.right_codes.binary_search(&code).is_ok() {
-                        s.right
-                    } else if s.majority_left {
-                        s.left
-                    } else {
-                        s.right
-                    };
-                }
-            }
-        }
+        self.leaf_for(row).prediction
     }
 }
 

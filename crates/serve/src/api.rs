@@ -32,6 +32,12 @@ pub struct PredictResponse {
     pub model: String,
     /// One label per input row.
     pub labels: Vec<bool>,
+    /// Cascade artifacts only: the tier that answered each row (0 = the
+    /// cheap front tier). Absent (`null`) for single-model artifacts.
+    pub tiers: Option<Vec<u8>>,
+    /// With `?explain_tiers=1` on a cascade artifact: the calibrated
+    /// confidence of the answering tier, per row. Absent otherwise.
+    pub tier_confidence: Option<Vec<f64>>,
     /// Server-side latency of validation + prediction, in milliseconds.
     pub latency_ms: f64,
 }
@@ -190,6 +196,13 @@ pub struct ModelStatsRow {
     pub p999_ms: Option<f64>,
     /// Seconds since the last predict hit; absent when never hit.
     pub idle_secs: Option<f64>,
+    /// Cascade artifacts only: rows answered per tier (index = tier,
+    /// trimmed after the deepest tier that saw traffic). Absent for
+    /// single-model artifacts and cascades with no traffic yet.
+    pub cascade_tier_rows: Option<Vec<u64>>,
+    /// Cascade artifacts only: fraction of served rows that escalated past
+    /// tier 0 (lower = the cheap tier short-circuits more).
+    pub cascade_escalation_ratio: Option<f64>,
 }
 
 /// Error envelope used by every non-2xx response.

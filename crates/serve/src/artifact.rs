@@ -40,7 +40,7 @@ use hamlet_ml::binenc::{BinWriter, BytesSource, MmapFile};
 use hamlet_ml::contract::{BatchError, DomainInterner, FeatureContract};
 use hamlet_ml::dataset::FeatureMeta;
 
-use crate::container::{self, SEC_DICT, SEC_META, SEC_MODL, SEC_QNTS};
+use crate::container::{self, SEC_CASC, SEC_DICT, SEC_META, SEC_MODL, SEC_QNTS};
 use crate::error::{Result, ServeError};
 
 /// Artifact layout version written by this build.
@@ -362,6 +362,13 @@ impl ModelArtifact {
         if let Some(q) = &qnts_bytes {
             sections.push((SEC_QNTS, q));
         }
+        // Cascade payloads carry a JSON tier-table descriptor so `artifact
+        // inspect` can report tier structure, thresholds and calibrators
+        // without decoding the model. Old readers ignore the unknown tag.
+        let casc_bytes = cascade_section_json(&self.model).map(String::into_bytes);
+        if let Some(c) = &casc_bytes {
+            sections.push((SEC_CASC, c));
+        }
         Ok(container::build_versioned(self.format_version, &sections))
     }
 
@@ -600,6 +607,58 @@ fn quant_section_json(model: &AnyClassifier) -> Option<String> {
     }
 }
 
+/// JSON body of the `CASC` descriptor section for a cascade model (`None`
+/// for everything else): the tier table with per-tier family, encoding,
+/// weight bytes, threshold and calibrator parameters.
+fn cascade_section_json(model: &AnyClassifier) -> Option<String> {
+    let AnyClassifier::Cascade(c) = model else {
+        return None;
+    };
+    let num = |v: f64| serde::Value::Num(serde::Number::Float(v));
+    let tiers = c
+        .tiers
+        .iter()
+        .map(|tier| {
+            let calibrator = match &tier.calibrator {
+                hamlet_ml::cascade::Calibrator::Platt { a, b } => serde::Value::Obj(vec![
+                    ("kind".into(), serde::Value::Str("platt".into())),
+                    ("a".into(), num(*a)),
+                    ("b".into(), num(*b)),
+                ]),
+                hamlet_ml::cascade::Calibrator::Isotonic { xs, ps } => serde::Value::Obj(vec![
+                    ("kind".into(), serde::Value::Str("isotonic".into())),
+                    (
+                        "xs".into(),
+                        serde::Value::Arr(xs.iter().map(|&x| num(x)).collect()),
+                    ),
+                    (
+                        "ps".into(),
+                        serde::Value::Arr(ps.iter().map(|&p| num(p)).collect()),
+                    ),
+                ]),
+            };
+            serde::Value::Obj(vec![
+                (
+                    "family".into(),
+                    serde::Value::Str(tier.model.family().into()),
+                ),
+                (
+                    "encoding".into(),
+                    serde::Value::Str(tier.model.encoding().into()),
+                ),
+                (
+                    "weight_bytes".into(),
+                    serde::Value::Num(serde::Number::UInt(tier.model.weight_bytes() as u64)),
+                ),
+                ("threshold".into(), num(tier.threshold)),
+                ("calibrator".into(), calibrator),
+            ])
+        })
+        .collect();
+    let value = serde::Value::Obj(vec![("tiers".into(), serde::Value::Arr(tiers))]);
+    serde_json::to_string(&value).ok()
+}
+
 /// Extracts the `format_version` gate from a JSON artifact body.
 fn json_format_version(value: &serde_json::Value, path: &Path) -> Result<u32> {
     let found = match value {
@@ -714,6 +773,7 @@ fn json_model_family(value: &serde_json::Value) -> Result<String> {
         "Mlp" => "mlp".into(),
         "NaiveBayes" => "naive-bayes".into(),
         "LogReg" => "logreg".into(),
+        "Cascade" => "cascade".into(),
         "Subset" => {
             let inner = payload
                 .as_obj_view("SubsetModel")
@@ -777,6 +837,32 @@ fn json_model_encoding(value: &serde_json::Value) -> Result<String> {
                 .map_err(|e| ServeError::Json(e.to_string()))?
                 .field("inner");
             json_model_encoding(inner)?
+        }
+        // A cascade reports its top tier's encoding (mirrors
+        // `AnyClassifier::encoding`).
+        "Cascade" => {
+            let tiers = payload
+                .as_obj_view("CascadeModel")
+                .map_err(|e| ServeError::Json(e.to_string()))?
+                .field("tiers");
+            match tiers {
+                serde_json::Value::Arr(tiers) => match tiers.last() {
+                    Some(tier) => {
+                        let model = tier
+                            .as_obj_view("CascadeTier")
+                            .map_err(|e| ServeError::Json(e.to_string()))?
+                            .field("model");
+                        json_model_encoding(model)?
+                    }
+                    None => "f32".into(),
+                },
+                other => {
+                    return Err(ServeError::Json(format!(
+                        "cascade `tiers`: expected array, got {}",
+                        other.kind()
+                    )))
+                }
+            }
         }
         _ => "f32".into(),
     })
@@ -865,6 +951,83 @@ pub(crate) mod tests {
                 },
             },
         }
+    }
+
+    /// An artifact whose model is a two-tier majority→majority cascade —
+    /// structurally trivial but exercising the full `CASC` write/read path.
+    pub(crate) fn toy_cascade_artifact(name: &str, version: u32) -> ModelArtifact {
+        use hamlet_ml::cascade::{Calibrator, CascadeModel, CascadeTier};
+        let mut art = toy_artifact(name, version);
+        art.model = AnyClassifier::Cascade(
+            CascadeModel::new(vec![
+                CascadeTier {
+                    model: AnyClassifier::Majority(MajorityClass { positive: true }),
+                    calibrator: Calibrator::Isotonic {
+                        xs: vec![-1.0, 1.0],
+                        ps: vec![0.25, 0.75],
+                    },
+                    threshold: 0.6,
+                },
+                CascadeTier {
+                    model: AnyClassifier::Majority(MajorityClass { positive: false }),
+                    calibrator: Calibrator::Platt { a: 2.0, b: 0.5 },
+                    threshold: 1.0,
+                },
+            ])
+            .unwrap(),
+        );
+        art
+    }
+
+    #[test]
+    fn cascade_artifacts_roundtrip_with_casc_descriptor() {
+        let dir = std::env::temp_dir().join(format!("hamlet-art-casc-{}", std::process::id()));
+        let art = toy_cascade_artifact("casc", 2);
+        let path = art.save(&dir).unwrap();
+        // The descriptor section is present and names both tiers.
+        let bytes = std::fs::read(&path).unwrap();
+        let entries = crate::container::parse_sections(&bytes).unwrap();
+        let casc = crate::container::find(&entries, crate::container::SEC_CASC).unwrap();
+        let body = std::str::from_utf8(&bytes[casc.offset..casc.offset + casc.len]).unwrap();
+        assert!(body.contains("\"tiers\""), "{body}");
+        assert!(body.contains("platt"), "{body}");
+        assert!(body.contains("isotonic"), "{body}");
+        // Heap and mmap loads agree bit-exactly with the saved model.
+        for mode in [LoadMode::Heap, LoadMode::Mmap] {
+            let back = ModelArtifact::load_with(&path, mode).unwrap();
+            assert_eq!(back.model, art.model, "{mode:?}");
+            assert_eq!(back.head().family, "cascade");
+        }
+        // Head reads report the cascade family without decoding the model.
+        let head = ModelArtifact::load_head(&path).unwrap();
+        assert_eq!(head.family, "cascade");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_sections_are_ignored_by_this_reader() {
+        // A future writer may append sections this build has never heard of
+        // (exactly how `CASC` itself was introduced): rebuilding a valid
+        // artifact with an extra unknown section must not break loads.
+        let dir = std::env::temp_dir().join(format!("hamlet-art-unk-{}", std::process::id()));
+        let art = toy_artifact("unk", 1);
+        let path = art.save(&dir).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let entries = crate::container::parse_sections(&bytes).unwrap();
+        let mut sections: Vec<([u8; 8], &[u8])> = entries
+            .iter()
+            .filter(|e| e.tag != crate::container::SEC_CRCS)
+            .map(|e| (e.tag, &bytes[e.offset..e.offset + e.len]))
+            .collect();
+        sections.push((*b"XTRA\0\0\0\0", b"future stuff".as_slice()));
+        let rebuilt = crate::container::build_versioned(FORMAT_VERSION, &sections);
+        let p = dir.join("unk2@1.model.bin");
+        std::fs::write(&p, rebuilt).unwrap();
+        for mode in [LoadMode::Heap, LoadMode::Mmap] {
+            let back = ModelArtifact::load_with(&p, mode).unwrap();
+            assert_eq!(back.model, art.model, "{mode:?}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

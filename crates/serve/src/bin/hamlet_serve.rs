@@ -14,6 +14,7 @@
 //! hamlet-serve artifact inspect <path>
 //! hamlet-serve artifact convert <src> [--to v3|v2] [--dir DIR]
 //! hamlet-serve artifact diff <a> <b>
+//! hamlet-serve cascade build --tiers <cheap.bin,top.bin> [--target-p 0.95]
 //! hamlet-serve datasets
 //! ```
 
@@ -54,6 +55,9 @@ USAGE:
     hamlet-serve artifact convert <SRC> [--to v3|v2] [--dir <DIR>]
                                   [--quantize i8|f16] [--sample-rows <N>]
     hamlet-serve artifact diff <A> <B>
+    hamlet-serve cascade build --tiers <PATH,PATH[,PATH...]>
+                               [--target-p <P>] [--calibrator platt|isotonic]
+                               [--sample-rows <N>] [--name <NAME>] [--dir <DIR>]
     hamlet-serve datasets
 
 SPECS:    TreeGini TreeInfoGain TreeGainRatio OneNN SvmLinear SvmQuadratic
@@ -86,6 +90,10 @@ BLAST:    fires --requests POSTs at --path from --concurrency parallel
           e.g. coalescing on vs. off must be byte-identical. A latency
           p50/p90/p99 summary goes to stderr; --summary-json writes the
           same numbers as JSON to a file (`-` appends them to stdout).
+          When responses carry cascade tier provenance, the summary gains
+          `tier_rows` (rows answered per tier) and --expect-tiers N fails
+          the run unless at least N distinct tiers actually answered —
+          the CI probe's proof that short-circuiting really happened.
 
           With --conns/--duration blast instead runs SUSTAINED: it opens
           --conns keep-alive connections one by one, timing how long the
@@ -108,6 +116,20 @@ ARTIFACT: inspect prints a file's format, sections, weight encoding and
           reports added/removed features, cardinality changes and
           label-set deltas between two artifact versions (either side may
           be v1/v2 json or v3 binary).
+
+CASCADE:  build bundles existing artifacts (comma-separated, cheapest
+          first, authoritative top tier last; all must share one feature
+          contract) into a single tiered-cascade artifact. Each front
+          tier's raw margin is calibrated (--calibrator platt|isotonic,
+          default platt) against *agreement with the top tier* on
+          --sample-rows (default 2048) deterministic in-domain rows — no
+          ground-truth labels needed — and its short-circuit threshold is
+          picked as the loosest cut whose kept rows still agree with the
+          top tier at rate ≥ --target-p (default 0.95). Writes a v3
+          artifact named --name (default `<top>-casc`) and prints a JSON
+          report: per-tier thresholds, whole-cascade agreement with the
+          top tier, escalation ratio, rows answered per tier, and a
+          single-threaded speedup estimate over the top tier alone.
 
 KERNELS:  inference uses runtime-dispatched SIMD kernels (AVX2, then
           SSE2, else scalar; `/v1/stats` reports the chosen tier). Set
@@ -401,9 +423,14 @@ fn cmd_blast(flags: &HashMap<String, String>) -> Result<(), String> {
     }
     .clamp(1, requests.max(1));
 
+    let expect_tiers: usize = match flags.get("expect-tiers") {
+        Some(n) => n.parse().map_err(|_| format!("bad --expect-tiers `{n}`"))?,
+        None => 0,
+    };
+
     let started = Instant::now();
-    type WorkerOut = (Vec<(usize, String)>, Vec<f64>);
-    let (mut results, mut latencies): (Vec<(usize, String)>, Vec<f64>) =
+    type WorkerOut = (Vec<(usize, String)>, Vec<f64>, Vec<u64>);
+    let (mut results, mut latencies, tier_rows): (Vec<(usize, String)>, Vec<f64>, Vec<u64>) =
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..concurrency)
                 .map(|tid| {
@@ -418,6 +445,7 @@ fn cmd_blast(flags: &HashMap<String, String>) -> Result<(), String> {
                             .map_err(|e| format!("worker {tid}: timeout: {e}"))?;
                         let mut out = Vec::new();
                         let mut lats = Vec::new();
+                        let mut tiers: Vec<u64> = Vec::new();
                         let mut served = 0usize;
                         for n in (tid..requests).step_by(concurrency) {
                             // Stay under the server's keep-alive request cap.
@@ -465,19 +493,43 @@ fn cmd_blast(flags: &HashMap<String, String>) -> Result<(), String> {
                                     format!("worker {tid} req {n}: no labels in {body_text}")
                                 })?;
                             out.push((n, labels));
+                            // Cascade responses carry per-row tier
+                            // provenance (`"tiers":[0,1,...]`; `null` on
+                            // single-model artifacts) — tally rows per
+                            // tier for the summary.
+                            if let Some(list) = body_text
+                                .split("\"tiers\":[")
+                                .nth(1)
+                                .and_then(|rest| rest.split(']').next())
+                            {
+                                for t in list.split(',').filter_map(|t| t.trim().parse().ok()) {
+                                    let t: usize = t;
+                                    if tiers.len() <= t {
+                                        tiers.resize(t + 1, 0);
+                                    }
+                                    tiers[t] += 1;
+                                }
+                            }
                         }
-                        Ok((out, lats))
+                        Ok((out, lats, tiers))
                     })
                 })
                 .collect();
             let mut all = Vec::with_capacity(requests);
             let mut lats = Vec::with_capacity(requests);
+            let mut tiers: Vec<u64> = Vec::new();
             let mut errors = Vec::new();
             for h in handles {
                 match h.join().expect("blast worker panicked") {
-                    Ok((mut chunk, mut chunk_lats)) => {
+                    Ok((mut chunk, mut chunk_lats, chunk_tiers)) => {
                         all.append(&mut chunk);
                         lats.append(&mut chunk_lats);
+                        if tiers.len() < chunk_tiers.len() {
+                            tiers.resize(chunk_tiers.len(), 0);
+                        }
+                        for (acc, n) in tiers.iter_mut().zip(chunk_tiers) {
+                            *acc += n;
+                        }
                     }
                     Err(e) => errors.push(e),
                 }
@@ -485,7 +537,7 @@ fn cmd_blast(flags: &HashMap<String, String>) -> Result<(), String> {
             if let Some(e) = errors.into_iter().next() {
                 return Err(e);
             }
-            Ok((all, lats))
+            Ok((all, lats, tiers))
         })?;
     let elapsed = started.elapsed();
     results.sort_by_key(|(n, _)| *n);
@@ -507,11 +559,32 @@ fn cmd_blast(flags: &HashMap<String, String>) -> Result<(), String> {
         "blast: {requests} requests over {concurrency} connections in {elapsed:?} \
          ({req_per_s:.0} req/s), latency p50 {p50:.3} ms / p90 {p90:.3} ms / p99 {p99:.3} ms"
     );
+    if !tier_rows.is_empty() {
+        eprintln!(
+            "blast: cascade tier rows {tier_rows:?} ({} escalated past tier 0)",
+            tier_rows.iter().skip(1).sum::<u64>()
+        );
+    }
+    if expect_tiers > 0 {
+        let distinct = tier_rows.iter().filter(|&&n| n > 0).count();
+        if distinct < expect_tiers {
+            return Err(format!(
+                "--expect-tiers {expect_tiers}: only {distinct} tier(s) answered rows \
+                 (histogram {tier_rows:?}); the cascade never split the workload"
+            ));
+        }
+    }
     if let Some(dest) = flags.get("summary-json") {
+        let tier_field = if tier_rows.is_empty() {
+            String::new()
+        } else {
+            let counts: Vec<String> = tier_rows.iter().map(u64::to_string).collect();
+            format!(",\"tier_rows\":[{}]", counts.join(","))
+        };
         let summary = format!(
             "{{\"requests\":{requests},\"concurrency\":{concurrency},\
              \"elapsed_ms\":{:.3},\"req_per_s\":{req_per_s:.1},\
-             \"p50_ms\":{p50:.3},\"p90_ms\":{p90:.3},\"p99_ms\":{p99:.3}}}",
+             \"p50_ms\":{p50:.3},\"p90_ms\":{p90:.3},\"p99_ms\":{p99:.3}{tier_field}}}",
             elapsed.as_secs_f64() * 1e3
         );
         if dest == "-" {
@@ -906,6 +979,224 @@ fn artifact_quantize(
     Ok(())
 }
 
+/// `cascade build`: bundle existing artifacts into a tiered cascade.
+fn cmd_cascade(positional: &[String], flags: &HashMap<String, String>) -> Result<(), String> {
+    match positional.first().map(String::as_str) {
+        Some("build") => cascade_build(flags),
+        _ => Err(
+            "usage: cascade build --tiers <PATH,PATH[,...]> [--target-p <P>] \
+             [--calibrator platt|isotonic] [--sample-rows <N>] [--name <NAME>] [--dir <DIR>]"
+                .into(),
+        ),
+    }
+}
+
+/// Deterministic in-domain sample rows: a fixed-seed LCG drawing codes
+/// from the contract cardinalities, identical run to run (the same
+/// generator the quantization agreement estimate uses).
+fn sample_in_domain_rows(cards: &[u32], n: usize) -> Vec<u32> {
+    let mut state = 0x243F6A88_85A308D3u64;
+    let mut rows = Vec::with_capacity(n * cards.len());
+    for _ in 0..n {
+        for &card in cards {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            rows.push(((state >> 33) % u64::from(card.max(1))) as u32);
+        }
+    }
+    rows
+}
+
+fn cascade_build(flags: &HashMap<String, String>) -> Result<(), String> {
+    use hamlet_ml::any::AnyClassifier;
+    use hamlet_ml::cascade::{pick_threshold, Calibrator, CascadeModel, CascadeTier};
+
+    let tier_paths: Vec<PathBuf> = flags
+        .get("tiers")
+        .ok_or("--tiers is required (comma-separated artifact paths, cheapest first, top last)")?
+        .split(',')
+        .filter(|p| !p.is_empty())
+        .map(PathBuf::from)
+        .collect();
+    if tier_paths.len() < 2 {
+        return Err(
+            "--tiers needs at least two artifact paths (cheap front tier, top tier)".into(),
+        );
+    }
+    let target_p: f64 = match flags.get("target-p") {
+        Some(p) => p.parse().map_err(|_| format!("bad --target-p `{p}`"))?,
+        None => 0.95,
+    };
+    if !(0.0..=1.0).contains(&target_p) {
+        return Err(format!("--target-p must be in [0, 1], got {target_p}"));
+    }
+    let sample_rows: usize = match flags.get("sample-rows") {
+        Some(n) => n.parse().map_err(|_| format!("bad --sample-rows `{n}`"))?,
+        None => 2048,
+    };
+    if sample_rows == 0 {
+        return Err("--sample-rows must be positive: calibration needs data".into());
+    }
+    let isotonic = match flags.get("calibrator").map(String::as_str) {
+        None | Some("platt") => false,
+        Some("isotonic") => true,
+        Some(other) => return Err(format!("bad --calibrator `{other}` (platt|isotonic)")),
+    };
+
+    let artifacts: Vec<ModelArtifact> = tier_paths
+        .iter()
+        .map(|p| ModelArtifact::load(p).map_err(|e| format!("loading {}: {e}", p.display())))
+        .collect::<Result<_, _>>()?;
+    // Every tier consumes the same rows, verbatim — enforce contract
+    // identity up front rather than letting a mismatched tier misread
+    // another tier's codes at serve time.
+    let fp0 = artifacts[0].contract.fingerprint();
+    for (path, art) in tier_paths.iter().zip(&artifacts).skip(1) {
+        let fp = art.contract.fingerprint();
+        if fp != fp0 {
+            return Err(format!(
+                "tier `{}` has contract fingerprint {fp:#018x} but `{}` has {fp0:#018x}; \
+                 cascade tiers must share one feature contract (same features, \
+                 cardinalities and dictionaries)",
+                path.display(),
+                tier_paths[0].display()
+            ));
+        }
+    }
+
+    let cards: Vec<u32> = artifacts[0]
+        .features()
+        .iter()
+        .map(|f| f.cardinality)
+        .collect();
+    let d = cards.len();
+    if d == 0 {
+        return Err("tier artifacts have an empty feature contract".into());
+    }
+    let rows = sample_in_domain_rows(&cards, sample_rows);
+
+    // Distillation targets: the authoritative top tier's own predictions.
+    // Calibration asks "when does the cheap tier agree with the model it
+    // fronts for?" — no ground-truth labels required.
+    let top_artifact = artifacts.last().expect("len >= 2");
+    let top_predictions = top_artifact.model.predict_batch(&rows, d);
+
+    let mut tiers = Vec::with_capacity(artifacts.len());
+    let mut thresholds = Vec::with_capacity(artifacts.len());
+    for art in &artifacts[..artifacts.len() - 1] {
+        let scores = art.model.score_batch(&rows, d);
+        let agree: Vec<bool> = art
+            .model
+            .predict_batch(&rows, d)
+            .iter()
+            .zip(&top_predictions)
+            .map(|(mine, top)| mine == top)
+            .collect();
+        let calibrator = if isotonic {
+            Calibrator::fit_isotonic(&scores, &agree)
+        } else {
+            Calibrator::fit_platt(&scores, &agree)
+        }
+        .map_err(|e| format!("calibrating {}: {e}", art.key()))?;
+        let conf_agree: Vec<(f64, bool)> = scores
+            .iter()
+            .map(|&s| calibrator.confidence(s))
+            .zip(agree)
+            .collect();
+        let threshold = pick_threshold(&conf_agree, target_p);
+        thresholds.push(threshold);
+        tiers.push(CascadeTier {
+            model: art.model.clone(),
+            calibrator,
+            threshold,
+        });
+    }
+    // The top tier always answers whatever reaches it.
+    thresholds.push(1.0);
+    tiers.push(CascadeTier {
+        model: top_artifact.model.clone(),
+        calibrator: Calibrator::Platt { a: 0.0, b: 0.0 },
+        threshold: 1.0,
+    });
+    let cascade = CascadeModel::new(tiers).map_err(|e| e.to_string())?;
+
+    // Report numbers on the same sample: agreement with the top tier,
+    // rows answered per tier, and a single-threaded latency comparison
+    // (best of a few repetitions, so one cold pass can't skew it).
+    let reps = 3;
+    let top_ns = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(top_artifact.model.predict_batch(&rows, d));
+            t.elapsed().as_nanos()
+        })
+        .min()
+        .unwrap_or(0);
+    let tiered = cascade.predict_batch_tiered(&rows, d, 1, sample_rows.max(1));
+    let cascade_ns = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(cascade.predict_batch_tiered(&rows, d, 1, sample_rows.max(1)));
+            t.elapsed().as_nanos()
+        })
+        .min()
+        .unwrap_or(0);
+    let agreement = tiered
+        .labels
+        .iter()
+        .zip(&top_predictions)
+        .filter(|(a, b)| a == b)
+        .count() as f64
+        / top_predictions.len().max(1) as f64;
+    let hist = tiered.tier_histogram();
+    let deepest = hist.iter().rposition(|&n| n > 0).unwrap_or(0);
+    let tier_rows = &hist[..=deepest];
+    let escalated: u64 = tier_rows.iter().skip(1).sum();
+    let escalation_ratio = escalated as f64 / tiered.labels.len().max(1) as f64;
+
+    let out_dir = flags
+        .get("dir")
+        .map(PathBuf::from)
+        .or_else(|| tier_paths[0].parent().map(Path::to_path_buf))
+        .unwrap_or_else(|| PathBuf::from("."));
+    let mut out = top_artifact.clone();
+    out.model = AnyClassifier::Cascade(cascade);
+    out.name = flags
+        .get("name")
+        .cloned()
+        .unwrap_or_else(|| format!("{}-casc", top_artifact.name));
+    // Cascades need the v3 CASC descriptor section.
+    let dst = out
+        .save_format(&out_dir, Format::V3)
+        .map_err(|e| e.to_string())?;
+    let dst_len = std::fs::metadata(&dst).map_err(|e| e.to_string())?.len();
+
+    let join_json = |xs: &[String]| xs.join(",");
+    let tier_names: Vec<String> = tier_paths
+        .iter()
+        .map(|p| format!("\"{}\"", p.display()))
+        .collect();
+    let threshold_strs: Vec<String> = thresholds.iter().map(|t| format!("{t:.6}")).collect();
+    let tier_row_strs: Vec<String> = tier_rows.iter().map(u64::to_string).collect();
+    println!(
+        "{{\"tiers\":[{}],\"dst\":\"{}\",\"dst_bytes\":{dst_len},\
+         \"calibrator\":\"{}\",\"target_p\":{target_p},\"sample_rows\":{sample_rows},\
+         \"thresholds\":[{}],\"agreement\":{agreement:.4},\
+         \"escalation_ratio\":{escalation_ratio:.4},\"tier_rows\":[{}],\
+         \"top_ms\":{:.3},\"cascade_ms\":{:.3},\"speedup\":{:.2}}}",
+        join_json(&tier_names),
+        dst.display(),
+        if isotonic { "isotonic" } else { "platt" },
+        join_json(&threshold_strs),
+        join_json(&tier_row_strs),
+        top_ns as f64 / 1e6,
+        cascade_ns as f64 / 1e6,
+        top_ns as f64 / cascade_ns.max(1) as f64,
+    );
+    Ok(())
+}
+
 /// Reads one HTTP response, returning (status, body text).
 fn read_one_response(s: &mut TcpStream) -> Result<(u16, String), String> {
     let resp = hamlet_serve::http::read_response(s).map_err(|e| format!("recv: {e}"))?;
@@ -929,7 +1220,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if cmd != "artifact" && !positional.is_empty() {
+    if !matches!(cmd, "artifact" | "cascade") && !positional.is_empty() {
         eprintln!("error: unexpected argument `{}`", positional[0]);
         return ExitCode::FAILURE;
     }
@@ -939,6 +1230,7 @@ fn main() -> ExitCode {
         "probe" => cmd_probe(&flags),
         "blast" => cmd_blast(&flags),
         "artifact" => cmd_artifact(&positional, &flags),
+        "cascade" => cmd_cascade(&positional, &flags),
         "datasets" => {
             for d in DATASETS {
                 println!("{d}");

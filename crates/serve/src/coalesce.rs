@@ -133,6 +133,10 @@ pub struct PendingPredict {
     pub rows: Vec<u32>,
     /// When the request entered the handler.
     pub start: Instant,
+    /// Whether this request asked for per-row tier confidence
+    /// (`?explain_tiers=1`); carried per participant so coalesced partners
+    /// with different flags each get the response shape they asked for.
+    pub explain_tiers: bool,
     /// Where its response goes.
     pub responder: Responder,
 }
@@ -471,6 +475,7 @@ mod tests {
             PendingPredict {
                 rows,
                 start: Instant::now(),
+                explain_tiers: false,
                 responder,
             },
             rx,

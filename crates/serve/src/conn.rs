@@ -133,6 +133,7 @@ impl ParseError {
 struct BodyNeed {
     method: String,
     path: String,
+    query: String,
     keep_alive: bool,
     /// Total body bytes required in `read_buf` before the request is
     /// complete.
@@ -370,6 +371,7 @@ impl Conn {
             return Ok(Some(Request {
                 method: need.method,
                 path: need.path,
+                query: need.query,
                 body,
                 keep_alive: need.keep_alive,
             }));
@@ -410,6 +412,7 @@ impl Conn {
                 return Ok(Some(Request {
                     method: head.method,
                     path: head.path,
+                    query: head.query,
                     body: Vec::new(),
                     keep_alive: head.keep_alive,
                 }));
@@ -436,7 +439,10 @@ impl Conn {
             .ok_or(ParseError::Malformed("missing method"))?
             .to_ascii_uppercase();
         let target = parts.next().ok_or(ParseError::Malformed("missing path"))?;
-        let path = target.split('?').next().unwrap_or(target).to_string();
+        let (path, query) = match target.split_once('?') {
+            Some((p, q)) => (p.to_string(), q.to_string()),
+            None => (target.to_string(), String::new()),
+        };
         if !path.starts_with('/') {
             return Err(ParseError::Malformed("path must be absolute"));
         }
@@ -474,6 +480,7 @@ impl Conn {
         Ok(BodyNeed {
             method,
             path,
+            query,
             keep_alive: connection.unwrap_or(http11),
             total: content_length as usize,
         })

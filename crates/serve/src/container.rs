@@ -68,6 +68,13 @@ pub const SEC_MODL: [u8; 8] = *b"MODL\0\0\0\0";
 /// readers that predate it ignore the unknown tag.
 pub const SEC_QNTS: [u8; 8] = *b"QNTS\0\0\0\0";
 
+/// Tag of the cascade descriptor section (small JSON: the tier table —
+/// per-tier family, encoding, weight bytes, threshold and calibrator
+/// params). Present only in artifacts whose model payload is a tiered
+/// cascade, so `artifact inspect` can report the tier structure without
+/// decoding the model; readers that predate it ignore the unknown tag.
+pub const SEC_CASC: [u8; 8] = *b"CASC\0\0\0\0";
+
 /// Tag of the per-section checksum table (one 16-byte record per payload
 /// section: 8-byte tag, 4-byte CRC-32, 4 bytes zero padding).
 pub const SEC_CRCS: [u8; 8] = *b"CRCS\0\0\0\0";

@@ -162,12 +162,27 @@ pub struct Request {
     pub method: String,
     /// Request path without query string.
     pub path: String,
+    /// Raw query string (the part after `?`), empty when absent. Routing
+    /// ignores it; handlers opt into specific flags via [`Request::flag`].
+    pub query: String,
     /// Raw body bytes.
     pub body: Vec<u8>,
     /// Whether the connection should stay open after this request:
     /// HTTP/1.1 defaults to `true`, HTTP/1.0 to `false`, and an explicit
     /// `Connection: keep-alive` / `Connection: close` header always wins.
     pub keep_alive: bool,
+}
+
+impl Request {
+    /// Whether the query string carries a truthy flag: `?name=1` or
+    /// `?name=true` (in any `&`-separated position).
+    pub fn flag(&self, name: &str) -> bool {
+        self.query.split('&').any(|kv| {
+            kv.strip_prefix(name)
+                .and_then(|rest| rest.strip_prefix('='))
+                .is_some_and(|v| v == "1" || v == "true")
+        })
+    }
 }
 
 /// An HTTP response under construction.

@@ -470,22 +470,49 @@ pub fn execute_predict(
     execute_predict_cell(state, &cell, artifact, rows, d)
 }
 
-/// [`execute_predict`] with the model's [`LatencyCell`] already resolved —
-/// the handler resolves key and cell exactly once per request and passes
-/// them down, so the hot path pays the map probe a single time.
-fn execute_predict_cell(
+/// Per-segment results of one executed batch. Single-model artifacts fill
+/// only `labels`; cascade artifacts also report which tier answered each
+/// row, the answering tier's calibrated confidence, and the batch-wide
+/// per-tier row histogram telemetry folds in.
+struct ExecOutcome {
+    /// One label vector per input segment, in segment order.
+    labels: Vec<Vec<bool>>,
+    /// Per segment: the tier (0 = cheapest) that answered each row.
+    tiers: Option<Vec<Vec<u8>>>,
+    /// Per segment: calibrated confidence of the answering tier.
+    confidence: Option<Vec<Vec<f64>>>,
+    /// Rows answered per tier across the whole batch.
+    tier_hist: Option<[u64; hamlet_ml::cascade::MAX_TIERS]>,
+}
+
+/// The shared execution core: adaptive shard sizing, the machine-wide
+/// fan-out budget, and the EWMA fold-back, for any number of request
+/// segments against one artifact. Cascade artifacts route through the
+/// tiered executor — tier 0 scores the whole (possibly coalesced) batch
+/// through the same sharded kernels, then only low-confidence rows are
+/// re-packed contiguously for the next tier — and per-segment results are
+/// bit-identical to solo per-row execution either way.
+fn execute_segments_cell(
     state: &AppState,
     cell: &LatencyCell,
     artifact: &ModelArtifact,
-    rows: &[u32],
+    segments: &[&[u32]],
     d: usize,
-) -> Vec<bool> {
+) -> ExecOutcome {
     // Shard size comes from this model's observed per-row latency (EWMA),
     // so a shard costs ~TARGET_SHARD_NANOS wall-clock: the fixed 256-row
     // floor over-sharded cheap trees and under-sharded expensive SVMs.
     // Reading and updating the resolved cell are plain atomics.
     let shard_rows = cell.shard_rows();
-    let n = rows.len() / d;
+    let n: usize = segments.iter().map(|s| s.len() / d).sum();
+    if n == 0 {
+        return ExecOutcome {
+            labels: segments.iter().map(|_| Vec::new()).collect(),
+            tiers: None,
+            confidence: None,
+            tier_hist: None,
+        };
+    }
     // Reserve fan-out slots from the machine-wide budget: under concurrent
     // load each request gets a fair share of the cores (or runs
     // sequentially on its own worker when the pool is dry) instead of
@@ -498,17 +525,60 @@ fn execute_predict_cell(
         .shard_budget
         .reserve(usable.min(state.predict_threads));
     let predict_start = Instant::now();
-    let labels = artifact
-        .model
-        .predict_batch_sharded(rows, d, permit.threads(), shard_rows);
+    let outcome = match &artifact.model {
+        hamlet_ml::any::AnyClassifier::Cascade(c) => {
+            let pred = c.predict_segments_tiered(segments, d, permit.threads(), shard_rows);
+            let hist = pred.tier_histogram();
+            // The tiered result is flat in global row order; cut it back
+            // at the segment boundaries.
+            let mut labels = Vec::with_capacity(segments.len());
+            let mut tiers = Vec::with_capacity(segments.len());
+            let mut confidence = Vec::with_capacity(segments.len());
+            let mut off = 0;
+            for seg in segments {
+                let len = seg.len() / d;
+                labels.push(pred.labels[off..off + len].to_vec());
+                tiers.push(pred.tiers[off..off + len].to_vec());
+                confidence.push(pred.confidence[off..off + len].to_vec());
+                off += len;
+            }
+            ExecOutcome {
+                labels,
+                tiers: Some(tiers),
+                confidence: Some(confidence),
+                tier_hist: Some(hist),
+            }
+        }
+        model => ExecOutcome {
+            labels: model.predict_segments_sharded(segments, d, permit.threads(), shard_rows),
+            tiers: None,
+            confidence: None,
+            tier_hist: None,
+        },
+    };
     // Fold the observation back in as an estimated *sequential* per-row
     // cost (wall-clock × shards actually used ÷ rows), so the EWMA is
     // comparable across fan-out widths.
     let shards_used = (n / shard_rows.max(1)).clamp(1, permit.threads());
     drop(permit);
-    let predict_ns = predict_start.elapsed().as_nanos() as f64;
-    cell.observe(predict_ns * shards_used as f64 / n as f64);
-    labels
+    cell.observe(predict_start.elapsed().as_nanos() as f64 * shards_used as f64 / n as f64);
+    outcome
+}
+
+/// [`execute_predict`] with the model's [`LatencyCell`] already resolved —
+/// the handler resolves key and cell exactly once per request and passes
+/// them down, so the hot path pays the map probe a single time.
+fn execute_predict_cell(
+    state: &AppState,
+    cell: &LatencyCell,
+    artifact: &ModelArtifact,
+    rows: &[u32],
+    d: usize,
+) -> Vec<bool> {
+    execute_segments_cell(state, cell, artifact, &[rows], d)
+        .labels
+        .pop()
+        .unwrap_or_default()
 }
 
 /// Executes a merged batch — many requests' row buffers against one model
@@ -533,23 +603,7 @@ fn execute_batch_cell(
     segments: &[&[u32]],
     d: usize,
 ) -> Vec<Vec<bool>> {
-    let shard_rows = cell.shard_rows();
-    let n: usize = segments.iter().map(|s| s.len() / d).sum();
-    if n == 0 {
-        return segments.iter().map(|_| Vec::new()).collect();
-    }
-    let usable = n / shard_rows.max(1);
-    let permit = state
-        .shard_budget
-        .reserve(usable.min(state.predict_threads));
-    let predict_start = Instant::now();
-    let labels = artifact
-        .model
-        .predict_segments_sharded(segments, d, permit.threads(), shard_rows);
-    let shards_used = (n / shard_rows.max(1)).clamp(1, permit.threads());
-    drop(permit);
-    cell.observe(predict_start.elapsed().as_nanos() as f64 * shards_used as f64 / n as f64);
-    labels
+    execute_segments_cell(state, cell, artifact, segments, d).labels
 }
 
 /// Runs a flushed coalescer batch and answers every participant. A panic
@@ -564,16 +618,29 @@ fn run_batch(
     batch: Batch,
     d: usize,
 ) {
-    let per_part = {
+    let out = {
         let segments: Vec<&[u32]> = batch.parts.iter().map(|p| p.rows.as_slice()).collect();
-        execute_batch_cell(state, cell, &batch.artifact, &segments, d)
+        execute_segments_cell(state, cell, &batch.artifact, &segments, d)
     };
+    if let Some(hist) = &out.tier_hist {
+        tstats.record_tiers(hist);
+    }
+    // Per-segment provenance travels with each participant's response;
+    // `None` (single-model artifact) fans out as `None` per part.
+    let n_parts = batch.parts.len();
+    let per_part_tiers = unzip_parts(out.tiers, n_parts);
+    let per_part_conf = unzip_parts(out.confidence, n_parts);
     // A single-participant batch (window expired partnerless) did not
     // actually merge; per-model accounting mirrors the coalescer's
     // merged/solo distinction.
-    let merged = batch.parts.len() > 1;
+    let merged = n_parts > 1;
     let now_ms = state.telemetry.now_ms();
-    for (part, labels) in batch.parts.into_iter().zip(per_part) {
+    for ((part, labels), (tiers, confidence)) in batch
+        .parts
+        .into_iter()
+        .zip(out.labels)
+        .zip(per_part_tiers.into_iter().zip(per_part_conf))
+    {
         let spent = part.start.elapsed();
         tstats.record(spent, (part.rows.len() / d.max(1)) as u64, merged, now_ms);
         state
@@ -583,9 +650,19 @@ fn run_batch(
         let response = ok_json(&PredictResponse {
             model: key.clone(),
             labels,
+            tiers,
+            tier_confidence: if part.explain_tiers { confidence } else { None },
             latency_ms: spent.as_secs_f64() * 1e3,
         });
         part.responder.send(response);
+    }
+}
+
+/// Spreads an optional per-segment result across `n` per-part options.
+fn unzip_parts<T>(parts: Option<Vec<Vec<T>>>, n: usize) -> Vec<Option<Vec<T>>> {
+    match parts {
+        Some(vs) => vs.into_iter().map(Some).collect(),
+        None => (0..n).map(|_| None).collect(),
     }
 }
 
@@ -628,6 +705,7 @@ fn predict(state: &AppState, req: &Request, responder: Responder) {
     let part = PendingPredict {
         rows,
         start,
+        explain_tiers: req.flag("explain_tiers"),
         responder,
     };
     match state
@@ -638,7 +716,10 @@ fn predict(state: &AppState, req: &Request, responder: Responder) {
         // already free for the next request.
         Submitted::Joined => {}
         Submitted::Solo(part) => {
-            let labels = execute_predict_cell(state, &cell, &artifact, &part.rows, d);
+            let mut out = execute_segments_cell(state, &cell, &artifact, &[&part.rows], d);
+            if let Some(hist) = &out.tier_hist {
+                tstats.record_tiers(hist);
+            }
             let spent = part.start.elapsed();
             tstats.record(
                 spent,
@@ -652,7 +733,13 @@ fn predict(state: &AppState, req: &Request, responder: Responder) {
                 .observe(spent, false);
             part.responder.send(ok_json(&PredictResponse {
                 model: key,
-                labels,
+                labels: out.labels.pop().unwrap_or_default(),
+                tiers: out.tiers.and_then(|mut t| t.pop()),
+                tier_confidence: if part.explain_tiers {
+                    out.confidence.and_then(|mut c| c.pop())
+                } else {
+                    None
+                },
                 latency_ms: spent.as_secs_f64() * 1e3,
             }));
         }
@@ -895,11 +982,15 @@ mod tests {
     }
 
     fn call(handler: &Handler, method: &str, path: &str, body: &str) -> (u16, String) {
+        // Mirror the connection parser: split the query off the target so
+        // tests can pass "/v1/predict?explain_tiers=1" naturally.
+        let (path, query) = path.split_once('?').unwrap_or((path, ""));
         let (responder, rx) = Responder::direct();
         handler(
             &Request {
                 method: method.into(),
                 path: path.into(),
+                query: query.into(),
                 body: body.as_bytes().to_vec(),
                 keep_alive: false,
             },
@@ -1259,6 +1350,66 @@ mod tests {
         );
         assert_eq!(status, 200);
         assert!(app.latency.ns_per_row("obs@1").unwrap().is_finite());
+    }
+
+    #[test]
+    fn cascade_predicts_report_tiers_and_telemetry() {
+        let app = state();
+        app.registry
+            .insert(crate::artifact::tests::toy_cascade_artifact("casc", 1));
+        let handler = router(Arc::clone(&app));
+        // Plain predict: labels plus per-row tier provenance, no
+        // confidence unless asked for.
+        let (status, body) = call(
+            &handler,
+            "POST",
+            "/v1/predict",
+            "{\"model\":\"casc\",\"rows\":[[0,0],[1,1],[0,2]]}",
+        );
+        assert_eq!(status, 200, "{body}");
+        let resp: crate::api::PredictResponse = serde_json::from_str(&body).unwrap();
+        assert_eq!(resp.labels.len(), 3);
+        let tiers = resp.tiers.expect("cascade responses carry tier provenance");
+        assert_eq!(tiers.len(), 3);
+        assert!(tiers.iter().all(|&t| t < 2), "{tiers:?}");
+        assert!(resp.tier_confidence.is_none());
+        // ?explain_tiers=1 adds calibrated per-row confidence.
+        let (status, body) = call(
+            &handler,
+            "POST",
+            "/v1/predict?explain_tiers=1",
+            "{\"model\":\"casc\",\"rows\":[[0,0],[1,1]]}",
+        );
+        assert_eq!(status, 200, "{body}");
+        let resp: crate::api::PredictResponse = serde_json::from_str(&body).unwrap();
+        let conf = resp.tier_confidence.expect("explain_tiers adds confidence");
+        assert_eq!(conf.len(), 2);
+        assert!(conf.iter().all(|c| (0.5..1.0).contains(c)), "{conf:?}");
+        // Tier telemetry shows up on /v1/stats and /metrics.
+        let (status, body) = call(&handler, "GET", "/v1/stats", "");
+        assert_eq!(status, 200);
+        let stats: crate::api::StatsResponse = serde_json::from_str(&body).unwrap();
+        let row = stats.models.iter().find(|m| m.model == "casc@1").unwrap();
+        let tier_rows = row.cascade_tier_rows.as_ref().expect("tier rows recorded");
+        assert_eq!(tier_rows.iter().sum::<u64>(), 5, "{tier_rows:?}");
+        let ratio = row.cascade_escalation_ratio.unwrap();
+        assert!((0.0..=1.0).contains(&ratio));
+        let (status, text) = call(&handler, "GET", "/metrics", "");
+        assert_eq!(status, 200);
+        assert!(
+            text.contains("hamlet_cascade_tier_rows_total{model=\"casc@1\",tier=\"0\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("hamlet_cascade_escalation_ratio{model=\"casc@1\"}"),
+            "{text}"
+        );
+        // Non-cascade models stay silent on the cascade families.
+        let row_free = stats.models.iter().all(|m| {
+            m.model == "casc@1"
+                || (m.cascade_tier_rows.is_none() && m.cascade_escalation_ratio.is_none())
+        });
+        assert!(row_free);
     }
 
     #[test]

@@ -194,6 +194,45 @@ pub fn prometheus(
         );
     }
 
+    // Cascade tier accounting: only models whose traffic ran through a
+    // tiered artifact have nonzero slots; everything else stays silent so
+    // the exposition does not grow a zero sample per model per tier.
+    let cascades: Vec<_> = models
+        .iter()
+        .filter(|(_, snap)| snap.tier_rows.iter().any(|&n| n > 0))
+        .collect();
+    if !cascades.is_empty() {
+        out.push_str(
+            "# HELP hamlet_cascade_tier_rows_total Rows answered per cascade tier, by model.\n",
+        );
+        out.push_str("# TYPE hamlet_cascade_tier_rows_total counter\n");
+        for (key, snap) in &cascades {
+            let deepest = snap.tier_rows.iter().rposition(|&n| n > 0).unwrap_or(0);
+            for (tier, &n) in snap.tier_rows[..=deepest].iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "hamlet_cascade_tier_rows_total{{model=\"{}\",tier=\"{tier}\"}} {n}",
+                    escape_label(key)
+                );
+            }
+        }
+        out.push_str(
+            "# HELP hamlet_cascade_escalation_ratio Fraction of cascade-served rows that \
+             escalated past tier 0.\n",
+        );
+        out.push_str("# TYPE hamlet_cascade_escalation_ratio gauge\n");
+        for (key, snap) in &cascades {
+            let total: u64 = snap.tier_rows.iter().sum();
+            let escalated: u64 = snap.tier_rows[1..].iter().sum();
+            let _ = writeln!(
+                out,
+                "hamlet_cascade_escalation_ratio{{model=\"{}\"}} {}",
+                escape_label(key),
+                escalated as f64 / total as f64
+            );
+        }
+    }
+
     out.push_str("# HELP hamlet_request_latency_seconds Request latency, by endpoint.\n");
     out.push_str("# TYPE hamlet_request_latency_seconds summary\n");
     for (e, snap) in &endpoints {
@@ -262,22 +301,29 @@ pub fn stats_response(
     let models = t
         .models_snapshot()
         .into_iter()
-        .map(|(key, snap)| ModelStatsRow {
-            encoding: registry_rows
-                .iter()
-                .find(|r| r.key == key)
-                .map(|r| r.encoding.clone()),
-            model: key,
-            requests: snap.requests,
-            merged_requests: snap.merged_requests,
-            rows: snap.rows,
-            mean_ms: snap.hist.mean_ns().map(|ns| ns / 1e6),
-            p50_ms: snap.hist.percentile_ms(0.5),
-            p99_ms: snap.hist.percentile_ms(0.99),
-            p999_ms: snap.hist.percentile_ms(0.999),
-            idle_secs: snap
-                .last_hit_ms
-                .map(|last| now_ms.saturating_sub(last) as f64 / 1e3),
+        .map(|(key, snap)| {
+            let deepest = snap.tier_rows.iter().rposition(|&n| n > 0);
+            let tier_total: u64 = snap.tier_rows.iter().sum();
+            ModelStatsRow {
+                encoding: registry_rows
+                    .iter()
+                    .find(|r| r.key == key)
+                    .map(|r| r.encoding.clone()),
+                model: key,
+                requests: snap.requests,
+                merged_requests: snap.merged_requests,
+                rows: snap.rows,
+                mean_ms: snap.hist.mean_ns().map(|ns| ns / 1e6),
+                p50_ms: snap.hist.percentile_ms(0.5),
+                p99_ms: snap.hist.percentile_ms(0.99),
+                p999_ms: snap.hist.percentile_ms(0.999),
+                idle_secs: snap
+                    .last_hit_ms
+                    .map(|last| now_ms.saturating_sub(last) as f64 / 1e3),
+                cascade_tier_rows: deepest.map(|d| snap.tier_rows[..=d].to_vec()),
+                cascade_escalation_ratio: (tier_total > 0)
+                    .then(|| snap.tier_rows[1..].iter().sum::<u64>() as f64 / tier_total as f64),
+            }
         })
         .collect();
     StatsResponse {

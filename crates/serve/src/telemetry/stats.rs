@@ -12,6 +12,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
+use hamlet_ml::cascade::MAX_TIERS;
+
 use crate::coalesce::CoalesceStats;
 use crate::error::Result;
 
@@ -142,6 +144,10 @@ pub struct ModelStats {
     /// Milliseconds since the telemetry epoch at the last hit; [`NEVER`]
     /// until the first one.
     last_hit_ms: AtomicU64,
+    /// Rows answered per cascade tier (fixed slots so recording is a few
+    /// unconditional atomics, no allocation). All zero for single-model
+    /// artifacts.
+    tier_rows: [AtomicU64; MAX_TIERS],
 }
 
 impl Default for ModelStats {
@@ -152,6 +158,7 @@ impl Default for ModelStats {
             merged_requests: AtomicU64::new(0),
             rows: AtomicU64::new(0),
             last_hit_ms: AtomicU64::new(NEVER),
+            tier_rows: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 }
@@ -169,6 +176,16 @@ impl ModelStats {
         self.hist.record(spent);
     }
 
+    /// Folds one tiered (cascade) execution's per-tier row histogram in.
+    #[inline]
+    pub fn record_tiers(&self, hist: &[u64; MAX_TIERS]) {
+        for (cell, &n) in self.tier_rows.iter().zip(hist) {
+            if n > 0 {
+                cell.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+    }
+
     pub fn snapshot(&self) -> ModelSnapshot {
         let last = self.last_hit_ms.load(Ordering::Relaxed);
         ModelSnapshot {
@@ -176,6 +193,7 @@ impl ModelStats {
             merged_requests: self.merged_requests.load(Ordering::Relaxed),
             rows: self.rows.load(Ordering::Relaxed),
             last_hit_ms: (last != NEVER).then_some(last),
+            tier_rows: std::array::from_fn(|i| self.tier_rows[i].load(Ordering::Relaxed)),
             hist: self.hist.snapshot(),
         }
     }
@@ -188,6 +206,8 @@ pub struct ModelSnapshot {
     pub merged_requests: u64,
     pub rows: u64,
     pub last_hit_ms: Option<u64>,
+    /// Rows answered per cascade tier; all zero for single-model artifacts.
+    pub tier_rows: [u64; MAX_TIERS],
     pub hist: HistogramSnapshot,
 }
 

@@ -167,6 +167,7 @@ fn predict_request(model: &str, rows: &[Vec<u32>]) -> Request {
     Request {
         method: "POST".into(),
         path: "/v1/predict".into(),
+        query: String::new(),
         body: body.into_bytes(),
         keep_alive: false,
     }

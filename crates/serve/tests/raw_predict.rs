@@ -122,6 +122,7 @@ fn post_predict(handler: &hamlet_serve::http::Handler, body: &str) -> (u16, Stri
         &Request {
             method: "POST".into(),
             path: "/v1/predict".into(),
+            query: String::new(),
             body: body.as_bytes().to_vec(),
             keep_alive: false,
         },
