@@ -160,6 +160,9 @@ pub struct StatsResponse {
     pub coalesce: crate::coalesce::CoalesceSnapshot,
     /// Tail of recent audit events (the durable log keeps full history).
     pub events: Vec<crate::telemetry::Event>,
+    /// Rollout-plane state machine counters (same body as
+    /// `GET /v1/rollout/status`).
+    pub rollout: RolloutStatusResponse,
 }
 
 /// Per-endpoint stats row in [`StatsResponse`].
@@ -173,6 +176,9 @@ pub struct EndpointStatsRow {
     pub p50_ms: Option<f64>,
     pub p99_ms: Option<f64>,
     pub p999_ms: Option<f64>,
+    /// Of the errors, 500s caused by a contained executor panic (tracked
+    /// distinctly so a panicking model is tellable from bad requests).
+    pub panics: u64,
 }
 
 /// Per-model stats row in [`StatsResponse`].
@@ -203,7 +209,59 @@ pub struct ModelStatsRow {
     /// Cascade artifacts only: fraction of served rows that escalated past
     /// tier 0 (lower = the cheap tier short-circuits more).
     pub cascade_escalation_ratio: Option<f64>,
+    /// Shadow-scored mirrored rows (rollout candidates only).
+    pub shadow_rows: Option<u64>,
+    /// Fraction of shadow-scored rows agreeing with the incumbent; absent
+    /// until mirrored traffic arrives.
+    pub shadow_agreement: Option<f64>,
+    /// Mirrored rows skipped because their execution panicked.
+    pub shadow_skipped_rows: Option<u64>,
 }
+
+/// `POST /v1/observe` — stream labeled production rows into the rollout
+/// plane's observe buffer. They feed the drift advisor (the paper's
+/// avoid-join decision rule re-run on live FK cardinalities) and
+/// warm-start incremental refreshes.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ObserveRequest {
+    /// Registry name (`model-name`) or pinned key (`model-name@3`); rows
+    /// are buffered under the bare name either way.
+    pub model: String,
+    /// Rows of categorical codes, validated against the model's contract
+    /// exactly like `/v1/predict` input.
+    pub rows: Vec<Vec<u32>>,
+    /// Observed ground-truth label per row, row-aligned with `rows`.
+    pub labels: Vec<bool>,
+}
+
+/// `POST /v1/observe` response.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ObserveResponse {
+    /// Bare name the rows were buffered under.
+    pub model: String,
+    /// Rows accepted by this request.
+    pub accepted: usize,
+    /// Rows currently buffered for the name (bounded ring).
+    pub buffered: usize,
+}
+
+/// `POST /v1/rollout/start` — put a candidate version into shadow.
+/// Exactly one of `candidate` and `refresh` must be supplied.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct RolloutStartRequest {
+    /// Existing registered key (`name@version`) to roll out.
+    pub candidate: Option<String>,
+    /// Instead: a bare model name — warm-start refresh it on the observe
+    /// buffer (`train_incremental`, SGD-family models only) and roll out
+    /// the resulting candidate.
+    pub refresh: Option<String>,
+    /// Canary traffic slice percent (defaults to the server's
+    /// `--canary-slice`).
+    pub slice: Option<u8>,
+}
+
+/// `GET /v1/rollout/status`, `POST /v1/rollout/{start,abort}` response.
+pub type RolloutStatusResponse = crate::rollout::RolloutSnapshot;
 
 /// Error envelope used by every non-2xx response.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]

@@ -298,10 +298,40 @@ impl ModelArtifact {
             .map_err(|e| ServeError::io(format!("creating {}", dir.display()), e))?;
         let path = self.path_in_format(dir, format);
         let tmp = dir.join(format!(".{}{}.tmp", self.key(), format.suffix()));
-        std::fs::write(&tmp, bytes)
-            .map_err(|e| ServeError::io(format!("writing {}", tmp.display()), e))?;
+        {
+            use std::io::Write;
+            let mut file = std::fs::File::create(&tmp)
+                .map_err(|e| ServeError::io(format!("creating {}", tmp.display()), e))?;
+            // Fault injection for the CI crash-safety probe: write only a
+            // truncated prefix, skip the fsync+rename, and die — the
+            // half-written temp file is exactly what a real crash leaves.
+            if std::env::var_os("HAMLET_FAULT_PERSIST_CRASH").is_some_and(|v| v != "0") {
+                let cut = bytes.len() / 2;
+                let _ = file.write_all(&bytes[..cut]);
+                return Err(ServeError::io(
+                    format!(
+                        "HAMLET_FAULT_PERSIST_CRASH: simulated crash after {cut} of {} bytes of {}",
+                        bytes.len(),
+                        tmp.display()
+                    ),
+                    std::io::Error::other("injected persist crash"),
+                ));
+            }
+            file.write_all(&bytes)
+                .map_err(|e| ServeError::io(format!("writing {}", tmp.display()), e))?;
+            // Flush file data to stable storage *before* the rename makes it
+            // visible; otherwise a power cut can leave a fully-renamed file
+            // with empty or partial content.
+            file.sync_all()
+                .map_err(|e| ServeError::io(format!("syncing {}", tmp.display()), e))?;
+        }
         std::fs::rename(&tmp, &path)
             .map_err(|e| ServeError::io(format!("renaming into {}", path.display()), e))?;
+        // And persist the rename itself: fsync the directory entry so the
+        // new name survives a crash immediately after save() returns.
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
         Ok(path)
     }
 

@@ -42,7 +42,10 @@ USAGE:
     hamlet-serve serve [--addr <ADDR>] [--workers <N>] [--reactors <N>]
                        [--max-conns <N>] [--dir <DIR>] [--load-mode heap|mmap]
                        [--coalesce-window <MICROS>] [--coalesce-max-rows <N>]
-                       [--demote-idle-secs <N>]
+                       [--demote-idle-secs <N>] [--canary-slice <PCT>]
+                       [--guardrail-min-samples <N>] [--guardrail-agreement <P>]
+                       [--guardrail-error-ratio <P>] [--guardrail-p99-ratio <X>]
+                       [--drift-check-secs <N>] [--no-drift-freeze]
     hamlet-serve probe [--addr <ADDR>] [--idle <N>] [--path <PATH>]
                        [--body <JSON>] [--threshold-ms <MS>]
     hamlet-serve blast [--addr <ADDR>] [--path <PATH>] [--requests <N>]
@@ -51,6 +54,10 @@ USAGE:
     hamlet-serve blast --conns <N> --duration <SECS> [--active <N>]
                        [--addr <ADDR>] [--path <PATH>] --body-template <JSON>
                        [--summary-json <PATH|->]
+    hamlet-serve blast --observe [--requests <N>] [--rate <REQ_PER_S>]
+                       [--addr <ADDR>] --body-template <OBSERVE-JSON>
+    hamlet-serve rollout <status|start|abort> [--addr <ADDR>]
+                         [--candidate <KEY> | --refresh <NAME>] [--slice <PCT>]
     hamlet-serve artifact inspect <PATH>
     hamlet-serve artifact convert <SRC> [--to v3|v2] [--dir <DIR>]
                                   [--quantize i8|f16] [--sample-rows <N>]
@@ -77,6 +84,24 @@ DEFAULTS: --dir artifacts, --addr 127.0.0.1:8080, --scale 2000, --seed 7,
           versions untouched for that long are auto-demoted back to lazy
           slots (telemetry last-hit driven; the latest version is never
           touched). /v1/stats and /metrics expose the telemetry.
+
+ROLLOUT:  serve runs the safe-rollout plane: `rollout start` puts a held
+          candidate into SHADOW (bare-name predict traffic is mirrored to
+          it, responses discarded, agreement/latency scored against the
+          incumbent), it graduates to CANARY (--canary-slice percent of
+          bare-name traffic served for real, default 10), and it is
+          auto-PROMOTED only once agreement ≥ --guardrail-agreement
+          (default 0.98), canary panic-500 ratio ≤ --guardrail-error-ratio
+          (default 0.02) and candidate p99 ≤ --guardrail-p99-ratio × the
+          incumbent's (default 3.0) over --guardrail-min-samples mirrored
+          rows and canary requests (default 200/50). Any tripped guardrail
+          rolls the candidate back instantly (demote + audit trail).
+          /v1/observe streams labeled production rows into a crash-safe
+          buffer; every --drift-check-secs (default 5, 0 disables) the
+          paper's avoid-join decision rule re-runs over it and freezes
+          auto-promotion while the live data sits outside the safety
+          envelope (--no-drift-freeze keeps promotion unfrozen). State
+          survives restarts via the rollout journal next to the artifacts.
 
 PROBE:    opens --idle parked keep-alive connections, then times one
           request on a FRESH connection; fails if it errors or exceeds
@@ -148,8 +173,8 @@ fn parse_args(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>),
             i += 1;
             continue;
         };
-        if name == "full" {
-            flags.insert("full".to_string(), "true".to_string());
+        if matches!(name, "full" | "observe" | "no-drift-freeze") {
+            flags.insert(name.to_string(), "true".to_string());
             i += 1;
         } else {
             let value = args
@@ -264,12 +289,53 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         None => 0,
     };
 
+    let mut guardrails = hamlet_serve::rollout::GuardrailConfig::default();
+    if let Some(s) = flags.get("canary-slice") {
+        let slice: u8 = s.parse().map_err(|_| format!("bad --canary-slice `{s}`"))?;
+        if slice == 0 || slice > 100 {
+            return Err(format!("--canary-slice must be in 1..=100, got {slice}"));
+        }
+        guardrails.canary_slice = slice;
+    }
+    if let Some(s) = flags.get("guardrail-min-samples") {
+        let n: u64 = s
+            .parse()
+            .map_err(|_| format!("bad --guardrail-min-samples `{s}`"))?;
+        guardrails.min_shadow_rows = n;
+        guardrails.min_canary_requests = n;
+    }
+    if let Some(s) = flags.get("guardrail-agreement") {
+        guardrails.min_agreement = s
+            .parse()
+            .map_err(|_| format!("bad --guardrail-agreement `{s}`"))?;
+    }
+    if let Some(s) = flags.get("guardrail-error-ratio") {
+        guardrails.max_error_ratio = s
+            .parse()
+            .map_err(|_| format!("bad --guardrail-error-ratio `{s}`"))?;
+    }
+    if let Some(s) = flags.get("guardrail-p99-ratio") {
+        guardrails.max_p99_ratio = s
+            .parse()
+            .map_err(|_| format!("bad --guardrail-p99-ratio `{s}`"))?;
+    }
+    if flags.contains_key("no-drift-freeze") {
+        guardrails.drift_freeze = false;
+    }
+    let drift_check_secs: u64 = match flags.get("drift-check-secs") {
+        Some(s) => s
+            .parse()
+            .map_err(|_| format!("bad --drift-check-secs `{s}` (seconds, 0 disables)"))?,
+        None => 5,
+    };
+
     let (state, loaded) = AppState::warm_full(
         dir.clone(),
         hamlet_serve::server::WarmOptions {
             executors: workers,
             load_mode,
             coalesce,
+            guardrails,
         },
     )
     .map_err(|e| e.to_string())?;
@@ -279,16 +345,29 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         reactors,
         ..ServerOptions::default()
     };
-    if demote_idle_secs > 0 {
+    {
+        // One ~1 Hz ops tick drives all three background loops: rollout
+        // guardrail evaluation every pass, the drift advisor at its own
+        // cadence, and idle-version demotion when enabled.
         let idle = std::time::Duration::from_secs(demote_idle_secs);
         let tick_state = std::sync::Arc::clone(&state);
+        let passes = std::sync::atomic::AtomicU64::new(0);
         opts.on_tick = Some(hamlet_serve::http::AppTick {
-            // Check at least once a second so short idle windows stay
-            // responsive; the wheel quantizes to ~half-second slots anyway.
-            every: idle.min(std::time::Duration::from_secs(1)),
+            every: std::time::Duration::from_secs(1),
             run: std::sync::Arc::new(move || {
-                for key in hamlet_serve::server::demote_idle(&tick_state, idle) {
-                    eprintln!("auto-demoted idle version {key}");
+                let n = passes.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+                tick_state
+                    .rollout
+                    .tick(&tick_state.registry, &tick_state.telemetry);
+                if drift_check_secs > 0 && n.is_multiple_of(drift_check_secs) {
+                    tick_state
+                        .rollout
+                        .drift_check(&tick_state.registry, &tick_state.telemetry);
+                }
+                if demote_idle_secs > 0 {
+                    for key in hamlet_serve::server::demote_idle(&tick_state, idle) {
+                        eprintln!("auto-demoted idle version {key}");
+                    }
                 }
             }),
         });
@@ -410,6 +489,14 @@ fn cmd_blast(flags: &HashMap<String, String>) -> Result<(), String> {
         .get("body-template")
         .ok_or("--body-template is required (use {n} for the request index, {i} for index mod 2)")?
         .clone();
+    if flags.contains_key("observe") {
+        let path = if flags.contains_key("path") {
+            path.as_str()
+        } else {
+            "/v1/observe"
+        };
+        return cmd_blast_observe(&addr, path, &template, flags);
+    }
     if flags.contains_key("conns") || flags.contains_key("duration") {
         return cmd_blast_sustained(&addr, &path, &template, flags);
     }
@@ -595,6 +682,170 @@ fn cmd_blast(flags: &HashMap<String, String>) -> Result<(), String> {
             std::fs::write(dest, summary + "\n")
                 .map_err(|e| format!("writing --summary-json {dest}: {e}"))?;
         }
+    }
+    Ok(())
+}
+
+/// Pulls the first unsigned-integer value of a `"name":N` JSON field out
+/// of a response body (the same split-based extraction blast uses for
+/// labels; good enough for the flat bodies this CLI consumes).
+fn json_u64_field(text: &str, name: &str) -> Option<u64> {
+    let rest = text.split(&format!("\"{name}\":")).nth(1)?;
+    let digits: String = rest
+        .trim_start()
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// `blast --observe`: stream labeled rows into `/v1/observe` at a target
+/// request rate from one keep-alive connection. The body template is an
+/// [`ObserveRequest`](hamlet_serve::api::ObserveRequest) JSON with the
+/// usual `{n}`/`{i}` substitutions, so CI and local runs can fabricate
+/// deterministic in-domain labeled traffic.
+fn cmd_blast_observe(
+    addr: &str,
+    path: &str,
+    template: &str,
+    flags: &HashMap<String, String>,
+) -> Result<(), String> {
+    let requests: usize = match flags.get("requests") {
+        Some(n) => n.parse().map_err(|_| format!("bad --requests `{n}`"))?,
+        None => 64,
+    };
+    let rate: f64 = match flags.get("rate") {
+        Some(r) => r
+            .parse()
+            .map_err(|_| format!("bad --rate `{r}` (requests per second, 0 = unpaced)"))?,
+        None => 0.0,
+    };
+    let io_timeout = std::time::Duration::from_secs(30);
+    let connect = || -> Result<TcpStream, String> {
+        let s = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        s.set_read_timeout(Some(io_timeout))
+            .map_err(|e| format!("timeout: {e}"))?;
+        Ok(s)
+    };
+    let started = Instant::now();
+    let mut stream = connect()?;
+    let mut served = 0usize;
+    let mut accepted_total = 0u64;
+    let mut buffered_last = 0u64;
+    for n in 0..requests {
+        if rate > 0.0 {
+            let due = started + std::time::Duration::from_secs_f64(n as f64 / rate);
+            let now = Instant::now();
+            if due > now {
+                std::thread::sleep(due - now);
+            }
+        }
+        if served + 1 >= hamlet_serve::http::MAX_KEEPALIVE_REQUESTS {
+            stream = connect()?;
+            served = 0;
+        }
+        served += 1;
+        let body = template
+            .replace("{n}", &n.to_string())
+            .replace("{i}", &(n % 2).to_string());
+        let request = format!(
+            "POST {path} HTTP/1.1\r\nHost: blast\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        stream
+            .write_all(request.as_bytes())
+            .map_err(|e| format!("req {n}: send: {e}"))?;
+        let resp = hamlet_serve::http::read_response(&mut stream)
+            .map_err(|e| format!("req {n}: recv: {e}"))?;
+        let body_text = String::from_utf8_lossy(&resp.body);
+        if resp.status != 200 {
+            return Err(format!("req {n}: HTTP {}: {body_text}", resp.status));
+        }
+        accepted_total += json_u64_field(&body_text, "accepted")
+            .ok_or_else(|| format!("req {n}: no `accepted` in {body_text}"))?;
+        buffered_last = json_u64_field(&body_text, "buffered").unwrap_or(buffered_last);
+    }
+    let elapsed = started.elapsed();
+    let req_per_s = requests as f64 / elapsed.as_secs_f64().max(1e-9);
+    eprintln!(
+        "blast observe: {requests} requests ({accepted_total} labeled rows) in {elapsed:?} \
+         ({req_per_s:.0} req/s), {buffered_last} rows buffered server-side"
+    );
+    if let Some(dest) = flags.get("summary-json") {
+        let summary = format!(
+            "{{\"mode\":\"observe\",\"requests\":{requests},\"rows_accepted\":{accepted_total},\
+             \"buffered\":{buffered_last},\"elapsed_ms\":{:.3},\"req_per_s\":{req_per_s:.1}}}",
+            elapsed.as_secs_f64() * 1e3
+        );
+        if dest == "-" {
+            println!("{summary}");
+        } else {
+            std::fs::write(dest, summary + "\n")
+                .map_err(|e| format!("writing --summary-json {dest}: {e}"))?;
+        }
+    }
+    Ok(())
+}
+
+/// `rollout status|start|abort`: thin HTTP client over the rollout plane's
+/// admin endpoints, printing the server's JSON verbatim.
+fn cmd_rollout(positional: &[String], flags: &HashMap<String, String>) -> Result<(), String> {
+    let addr = flags
+        .get("addr")
+        .map(String::as_str)
+        .unwrap_or("127.0.0.1:8080");
+    let slice_field = || -> Result<String, String> {
+        match flags.get("slice") {
+            Some(s) => {
+                let slice: u8 = s.parse().map_err(|_| format!("bad --slice `{s}`"))?;
+                Ok(format!(",\"slice\":{slice}"))
+            }
+            None => Ok(String::new()),
+        }
+    };
+    let (method, path, body) = match positional.first().map(String::as_str) {
+        Some("status") => ("GET", "/v1/rollout/status", String::new()),
+        Some("start") => {
+            let body = match (flags.get("candidate"), flags.get("refresh")) {
+                (Some(key), None) => format!("{{\"candidate\":\"{key}\"{}}}", slice_field()?),
+                (None, Some(name)) => format!("{{\"refresh\":\"{name}\"{}}}", slice_field()?),
+                _ => {
+                    return Err(
+                        "rollout start needs exactly one of --candidate <KEY> (an already-\
+                         registered version) or --refresh <NAME> (warm-start refit on the \
+                         observe buffer)"
+                            .into(),
+                    )
+                }
+            };
+            ("POST", "/v1/rollout/start", body)
+        }
+        Some("abort") => ("POST", "/v1/rollout/abort", String::new()),
+        _ => {
+            return Err("usage: rollout <status|start|abort> [--addr <ADDR>] \
+                 [--candidate <KEY> | --refresh <NAME>] [--slice <PCT>]"
+                .into())
+        }
+    };
+    let mut s = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    s.set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .map_err(|e| format!("timeout: {e}"))?;
+    let request = if body.is_empty() {
+        format!("{method} {path} HTTP/1.1\r\nHost: cli\r\nConnection: close\r\n\r\n")
+    } else {
+        format!(
+            "{method} {path} HTTP/1.1\r\nHost: cli\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )
+    };
+    s.write_all(request.as_bytes())
+        .map_err(|e| format!("send: {e}"))?;
+    let (status, resp_body) = read_one_response(&mut s)?;
+    println!("{resp_body}");
+    if !(200..300).contains(&status) {
+        return Err(format!("HTTP {status}"));
     }
     Ok(())
 }
@@ -1220,7 +1471,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if !matches!(cmd, "artifact" | "cascade") && !positional.is_empty() {
+    if !matches!(cmd, "artifact" | "cascade" | "rollout") && !positional.is_empty() {
         eprintln!("error: unexpected argument `{}`", positional[0]);
         return ExitCode::FAILURE;
     }
@@ -1231,6 +1482,7 @@ fn main() -> ExitCode {
         "blast" => cmd_blast(&flags),
         "artifact" => cmd_artifact(&positional, &flags),
         "cascade" => cmd_cascade(&positional, &flags),
+        "rollout" => cmd_rollout(&positional, &flags),
         "datasets" => {
             for d in DATASETS {
                 println!("{d}");

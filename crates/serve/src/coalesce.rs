@@ -139,6 +139,12 @@ pub struct PendingPredict {
     pub explain_tiers: bool,
     /// Where its response goes.
     pub responder: Responder,
+    /// `Some` marks a **mirrored** part from the rollout plane's shadow
+    /// lane: the rows are a copy of live traffic already answered by the
+    /// incumbent, the responder is detached (its receiver dropped), and
+    /// after execution the labels are scored against `expected` instead of
+    /// being sent anywhere. Real requests carry `None`.
+    pub shadow: Option<crate::rollout::ShadowCtx>,
 }
 
 /// A flushed batch the leader must execute: every participant resolved
@@ -451,6 +457,18 @@ impl Coalescer {
 }
 
 impl Batch {
+    /// Wraps a single pending part as a one-participant batch, so solo and
+    /// mirrored executions flow through the same `run_batch` path as real
+    /// coalesced flushes (one spot owns panic containment, latency
+    /// accounting and shadow scoring).
+    pub fn solo(artifact: Arc<ModelArtifact>, part: PendingPredict) -> Batch {
+        Batch {
+            artifact,
+            parts: vec![part],
+            why: FlushCause::Drained,
+        }
+    }
+
     /// Why the leader flushed (exposed for tests and logging).
     pub fn flushed_by_timeout(&self) -> bool {
         self.why == FlushCause::Timeout
@@ -477,6 +495,7 @@ mod tests {
                 start: Instant::now(),
                 explain_tiers: false,
                 responder,
+                shadow: None,
             },
             rx,
         )

@@ -34,12 +34,22 @@
 //! | `POST /v1/train`   | train spec → runs the experiment pipeline, persists + registers |
 //! | `GET /v1/models`   | registry listing |
 //! | `POST /v1/models/demote` | return a promoted old version to its lazy slot |
+//! | `POST /v1/observe` | labeled production rows → crash-safe observe buffer |
+//! | `POST /v1/rollout/start` | put a candidate version into shadow (or warm-start refresh one) |
+//! | `GET /v1/rollout/status` | rollout state machine + drift counters |
+//! | `POST /v1/rollout/abort` | abandon the in-flight rollout |
 //! | `GET /healthz`     | liveness + model count + coalescer counters |
 //! | `GET /v1/stats`    | per-model/per-endpoint latency percentiles, counters, event tail |
 //! | `GET /metrics`     | Prometheus text exposition of the same telemetry |
 //!
 //! - [`train`] — the train-to-artifact pipeline shared by `/v1/train` and
-//!   the `hamlet-serve` CLI (`train` / `serve` subcommands).
+//!   the `hamlet-serve` CLI (`train` / `serve` subcommands), plus the
+//!   warm-start incremental refresh feeding rollouts from observed rows;
+//! - [`rollout`] — the safe-rollout plane: shadow/canary state machine
+//!   with guardrailed auto-promote and auto-rollback, a journaled state
+//!   log that survives restarts, the bounded crash-safe observe buffer,
+//!   and the drift advisor that re-runs the paper's avoid-join decision
+//!   rule over live labeled traffic.
 //!
 //! ## Quickstart
 //!
@@ -73,6 +83,7 @@ pub mod error;
 pub mod http;
 mod reactor;
 pub mod registry;
+pub mod rollout;
 pub mod server;
 pub mod swap;
 pub mod telemetry;
@@ -82,7 +93,8 @@ pub mod train;
 pub mod prelude {
     pub use crate::api::{
         AdviseRequest, AdviseResponse, DemoteRequest, ExplainRequest, ExplainResponse, Health,
-        ModelsResponse, PredictRequest, PredictResponse, TrainRequest, TrainResponse,
+        ModelsResponse, ObserveRequest, ObserveResponse, PredictRequest, PredictResponse,
+        RolloutStartRequest, RolloutStatusResponse, TrainRequest, TrainResponse,
     };
     pub use crate::artifact::{
         ArtifactHead, Format, LoadMode, ModelArtifact, TrainingMetadata, FORMAT_VERSION,
@@ -91,7 +103,10 @@ pub mod prelude {
     pub use crate::error::{Result as ServeResult, ServeError};
     pub use crate::http::{Responder, Server, ServerOptions, StopHandle};
     pub use crate::registry::{ModelRegistry, ModelSummary};
+    pub use crate::rollout::{
+        GuardrailConfig, ObserveStore, ObservedRow, Phase, RolloutPlane, RolloutSnapshot,
+    };
     pub use crate::server::{router, serve, serve_with, AppState, WarmOptions};
     pub use crate::telemetry::{Endpoint, Event, EventKind, EventLog, Telemetry};
-    pub use crate::train::{resolve_dataset, train_and_register, DATASETS};
+    pub use crate::train::{resolve_dataset, train_and_register, train_incremental, DATASETS};
 }

@@ -206,6 +206,9 @@ pub enum RegistryNote {
     Promoted,
     /// A resident non-latest version was returned to its lazy slot.
     Demoted,
+    /// A held candidate version became the latest for its name (rollout
+    /// auto-promote cleared its guardrails).
+    Adopted,
 }
 
 /// Callback invoked on residency transitions (the server wires this to
@@ -588,6 +591,143 @@ impl ModelRegistry {
         }
     }
 
+    /// Atomically assigns the next free version under `artifact.name` and
+    /// registers it as a **held candidate**: resolvable by its pinned
+    /// `name@version` key (the rollout plane's shadow and canary lanes pin
+    /// it) but invisible to bare-name traffic — the latest pointer and its
+    /// lock-free snapshot are not touched. [`ModelRegistry::adopt`] cuts
+    /// the name over once live guardrails clear. `persist` runs outside
+    /// the lock exactly as in [`ModelRegistry::register_next_version`],
+    /// with the same rollback when it fails.
+    pub fn register_candidate<T>(
+        &self,
+        mut artifact: ModelArtifact,
+        min_version: u32,
+        persist: impl FnOnce(&ModelArtifact) -> Result<T>,
+    ) -> Result<(String, T)> {
+        let key = {
+            let mut index = self.inner.write().expect("registry lock poisoned");
+            let mut version = next_version_in(&index, &artifact.name).max(min_version.max(1));
+            // Held candidates are invisible to the latest pointer that
+            // `next_version_in` consults, so probe `by_key` until the slot
+            // is genuinely free (two candidates must not collide).
+            while index
+                .by_key
+                .contains_key(&format!("{}@{}", artifact.name, version))
+            {
+                version += 1;
+            }
+            artifact.version = version;
+            let key = artifact.key();
+            index.by_key.insert(
+                key.clone(),
+                Slot::Ready(ReadySlot {
+                    artifact: Arc::new(artifact),
+                    origin: None,
+                    map: None,
+                }),
+            );
+            key
+        };
+        let registered = self.get(&key).expect("just inserted");
+        match persist(&registered) {
+            Ok(persisted) => Ok((key, persisted)),
+            Err(e) => {
+                let mut index = self.inner.write().expect("registry lock poisoned");
+                if index.remove(&key) {
+                    self.publish_latest(&index);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Makes a held candidate (see [`ModelRegistry::register_candidate`])
+    /// the latest version for its name, cutting bare-name traffic over to
+    /// it. The candidate must be resident. Fires [`RegistryNote::Adopted`]
+    /// after the locks drop.
+    pub fn adopt(&self, key: &str) -> Result<ModelSummary> {
+        let summary = {
+            let mut index = self.inner.write().expect("registry lock poisoned");
+            let artifact = match index.by_key.get(key) {
+                Some(Slot::Ready(r)) => Arc::clone(&r.artifact),
+                Some(Slot::Lazy(_)) => {
+                    return Err(ServeError::BadRequest(format!(
+                        "cannot adopt `{key}`: candidate is not resident"
+                    )))
+                }
+                None => return Err(ServeError::ModelNotFound(key.to_string())),
+            };
+            let summary = summarize_head(&artifact.head(), true, artifact.model.weight_bytes());
+            index.latest.insert(artifact.name.clone(), artifact);
+            self.publish_latest(&index);
+            summary
+        };
+        self.observer.notify(RegistryNote::Adopted, key);
+        Ok(summary)
+    }
+
+    /// The inverse repair: if `key` is currently the latest for its name —
+    /// e.g. a candidate artifact that warm-load materialized as newest
+    /// after a restart mid-rollout — repoint the bare name at the highest
+    /// *other* registered version, materializing it first when it is a
+    /// lazy slot. Afterwards `key` serves only pinned traffic again. A key
+    /// that is not latest is left untouched.
+    pub fn hold(&self, key: &str) -> Result<()> {
+        let (name, version, fallback) = {
+            let index = self.inner.read().expect("registry lock poisoned");
+            let (name, version) = match index.by_key.get(key) {
+                Some(Slot::Ready(r)) => (r.artifact.name.clone(), r.artifact.version),
+                Some(Slot::Lazy(l)) => (l.head.name.clone(), l.head.version),
+                None => return Err(ServeError::ModelNotFound(key.to_string())),
+            };
+            if index
+                .latest
+                .get(&name)
+                .is_none_or(|cur| cur.version != version)
+            {
+                return Ok(()); // already held
+            }
+            let fallback = index
+                .by_key
+                .values()
+                .filter_map(|s| match s {
+                    Slot::Ready(r) if r.artifact.name == name => Some(r.artifact.version),
+                    Slot::Lazy(l) if l.head.name == name => Some(l.head.version),
+                    _ => None,
+                })
+                .filter(|v| *v != version)
+                .max();
+            (name, version, fallback)
+        };
+        // Materialize the replacement outside the lock (it may be lazy and
+        // need a disk load).
+        let replacement = match fallback {
+            Some(v) => Some(self.get(&format!("{name}@{v}"))?),
+            None => None,
+        };
+        let mut index = self.inner.write().expect("registry lock poisoned");
+        // Re-check under the write lock: a concurrent registration may
+        // have moved the latest pointer while the replacement loaded.
+        if index
+            .latest
+            .get(&name)
+            .is_none_or(|cur| cur.version != version)
+        {
+            return Ok(());
+        }
+        match replacement {
+            Some(artifact) => {
+                index.latest.insert(name, artifact);
+            }
+            None => {
+                index.latest.remove(&name);
+            }
+        }
+        self.publish_latest(&index);
+        Ok(())
+    }
+
     /// All registered models, sorted by key for stable output. Lazy slots
     /// report from their header without loading payloads.
     pub fn list(&self) -> Vec<ModelSummary> {
@@ -856,6 +996,30 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
     }
 
+    /// A crash mid-save leaves at most a partial `.tmp` (never a torn
+    /// final file — data is fsynced before the rename). Boot must ignore
+    /// the leftover temp, and even a truncated *final* file (pre-fsync
+    /// artifact, or bit rot) only costs that one version.
+    #[test]
+    fn warm_load_survives_truncated_partial_writes() {
+        let dir = std::env::temp_dir().join(format!("hamlet-reg-torn-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        toy_artifact("torn", 1).save(&dir).unwrap();
+        let v2_path = toy_artifact("torn", 2).save(&dir).unwrap();
+        let bytes = std::fs::read(&v2_path).unwrap();
+        std::fs::write(&v2_path, &bytes[..bytes.len() / 2]).unwrap();
+        std::fs::write(dir.join(".torn@3.model.bin.tmp"), &bytes[..bytes.len() / 3]).unwrap();
+        let (reg, loaded) = ModelRegistry::warm_load(&dir).unwrap();
+        assert_eq!(loaded, 1, "the truncated v2 is skipped, not fatal");
+        assert_eq!(
+            reg.get("torn").unwrap().version,
+            1,
+            "bare name falls back to the intact prior version"
+        );
+        assert!(reg.get("torn@3").is_err(), "temp files never register");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
     #[test]
     fn warm_load_falls_back_when_newest_version_is_corrupt() {
         let dir = std::env::temp_dir().join(format!("hamlet-reg-fb-{}", std::process::id()));
@@ -1000,6 +1164,70 @@ mod tests {
             }
         });
         assert_eq!(reg.resident_count(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn candidates_are_invisible_until_adopted() {
+        let reg = ModelRegistry::new();
+        reg.insert(toy_artifact("c", 1));
+        let (key, ()) = reg
+            .register_candidate(toy_artifact("c", 0), 0, |_| Ok(()))
+            .unwrap();
+        assert_eq!(key, "c@2", "candidate gets the next free version");
+        assert_eq!(reg.get("c").unwrap().version, 1, "bare name stays on v1");
+        assert_eq!(reg.get("c@2").unwrap().version, 2, "pinned key resolves");
+        // A second candidate does not collide with the held one.
+        let (key2, ()) = reg
+            .register_candidate(toy_artifact("c", 0), 0, |_| Ok(()))
+            .unwrap();
+        assert_eq!(key2, "c@3");
+        // Adoption cuts the bare name over.
+        let summary = reg.adopt(&key).unwrap();
+        assert_eq!(summary.key, "c@2");
+        assert_eq!(reg.get("c").unwrap().version, 2);
+        assert!(reg.adopt("ghost@9").is_err());
+    }
+
+    #[test]
+    fn candidate_persist_failure_rolls_back() {
+        let reg = ModelRegistry::new();
+        reg.insert(toy_artifact("c", 1));
+        let err = reg.register_candidate(toy_artifact("c", 0), 0, |_| {
+            Err::<(), _>(crate::error::ServeError::Json("disk exploded".into()))
+        });
+        assert!(err.is_err());
+        assert_eq!(reg.len(), 1);
+        assert!(reg.get("c@2").is_err(), "failed candidate removed");
+        assert_eq!(reg.get("c").unwrap().version, 1);
+    }
+
+    #[test]
+    fn hold_repoints_bare_name_at_prior_version() {
+        let dir = std::env::temp_dir().join(format!("hamlet-reg-hold-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        toy_artifact("h", 1).save(&dir).unwrap();
+        toy_artifact("h", 2).save(&dir).unwrap();
+        // Warm load makes h@2 the resident latest and h@1 lazy — the state
+        // a restart mid-rollout leaves when the candidate file is newest.
+        let (reg, _) = ModelRegistry::warm_load(&dir).unwrap();
+        assert_eq!(reg.get("h").unwrap().version, 2);
+        reg.hold("h@2").unwrap();
+        assert_eq!(
+            reg.get("h").unwrap().version,
+            1,
+            "bare name restored to the incumbent (lazy slot materialized)"
+        );
+        assert_eq!(reg.get("h@2").unwrap().version, 2, "candidate still pinned");
+        // Holding a non-latest key is a no-op.
+        reg.hold("h@2").unwrap();
+        assert_eq!(reg.get("h").unwrap().version, 1);
+        // Holding the only version removes the bare name entirely.
+        let solo = ModelRegistry::new();
+        solo.insert(toy_artifact("only", 1));
+        solo.hold("only@1").unwrap();
+        assert!(solo.get("only").is_err());
+        assert_eq!(solo.get("only@1").unwrap().version, 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -8,15 +8,19 @@ use hamlet_core::advisor::advise_dims;
 
 use crate::api::{
     AdviseRequest, ApiError, DemoteRequest, ExplainRequest, ExplainResponse, Health,
-    ModelsResponse, PredictRequest, PredictResponse, TrainRequest, TrainResponse,
+    ModelsResponse, ObserveRequest, ObserveResponse, PredictRequest, PredictResponse,
+    RolloutStartRequest, TrainRequest, TrainResponse,
 };
 use crate::artifact::{LoadMode, ModelArtifact};
 use crate::coalesce::{Batch, CoalesceConfig, Coalescer, PendingPredict, Submitted};
 use crate::error::ServeError;
 use crate::http::{Handler, Request, Responder, Response, Server, ServerOptions};
 use crate::registry::{ModelRegistry, RegistryNote};
+use crate::rollout::{
+    ActiveRollout, Faults, GuardrailConfig, ObservedRow, RolloutPlane, ShadowCtx,
+};
 use crate::telemetry::{Endpoint, EventKind, OpsGauges, Telemetry};
-use crate::train::train_and_register;
+use crate::train::{train_and_register, train_incremental};
 
 /// Shared state behind every worker thread.
 pub struct AppState {
@@ -45,6 +49,12 @@ pub struct AppState {
     /// `/metrics` can read the live reactors; outside a running server it
     /// just reports empty.
     pub net: Arc<crate::http::NetStats>,
+    /// The safe rollout plane: shadow/canary state machine, observe buffer
+    /// and drift advisor (see [`crate::rollout`]).
+    pub rollout: Arc<RolloutPlane>,
+    /// Fault-injection knobs, seeded from the environment once at warm
+    /// boot so parallel tests never race on `set_var`.
+    pub faults: Faults,
     /// Machine-wide fan-out budget shared by every in-flight predict: the
     /// sum of extra scoped threads across concurrent requests never exceeds
     /// `predict_threads`, so N simultaneous large batches share the cores
@@ -286,6 +296,8 @@ pub struct WarmOptions {
     pub load_mode: LoadMode,
     /// Cross-request predict coalescing tuning.
     pub coalesce: CoalesceConfig,
+    /// Rollout guardrails and drift-advisor knobs.
+    pub guardrails: GuardrailConfig,
 }
 
 impl Default for WarmOptions {
@@ -294,6 +306,7 @@ impl Default for WarmOptions {
             executors: 0,
             load_mode: LoadMode::Heap,
             coalesce: CoalesceConfig::default(),
+            guardrails: GuardrailConfig::default(),
         }
     }
 }
@@ -362,6 +375,9 @@ impl AppState {
                     RegistryNote::Demoted => {
                         (EventKind::Demote, "resident payload released to lazy slot")
                     }
+                    RegistryNote::Adopted => {
+                        (EventKind::Promote, "held candidate adopted as latest")
+                    }
                 };
                 telemetry.record_event(kind, key, detail);
             })
@@ -380,6 +396,12 @@ impl AppState {
         } else {
             cores.saturating_sub(opts.executors).max(1)
         };
+        // The rollout journal replays before any traffic: a process that
+        // died mid-rollout puts its candidate back on hold (warm-load just
+        // made the highest on-disk version latest, which mid-canary is
+        // exactly wrong) and resumes the phase it was in.
+        let rollout = Arc::new(RolloutPlane::open(&artifact_dir, opts.guardrails)?);
+        rollout.resume(&registry, &telemetry);
         Ok((
             Arc::new(AppState {
                 registry,
@@ -389,6 +411,8 @@ impl AppState {
                 coalescer: Coalescer::with_stats(opts.coalesce, telemetry.coalesce_stats()),
                 telemetry,
                 net: Arc::new(crate::http::NetStats::new()),
+                rollout,
+                faults: Faults::from_env(),
                 shard_budget: ShardBudget::new(budget),
                 train_gate: std::sync::atomic::AtomicBool::new(false),
             }),
@@ -435,8 +459,11 @@ fn parse_body<T: serde::Deserialize>(req: &Request) -> Result<T, ServeError> {
 fn parse_predict(
     state: &AppState,
     req: &Request,
-) -> Result<(Arc<ModelArtifact>, Vec<u32>, usize), ServeError> {
+) -> Result<(Arc<ModelArtifact>, Vec<u32>, usize, bool), ServeError> {
     let body: PredictRequest = parse_body(req)?;
+    // Bare-name requests are eligible for canary routing; a client that
+    // pinned an exact `name@version` asked for that artifact and gets it.
+    let pinned = body.model.contains('@');
     let artifact = state.registry.get(&body.model)?;
     let d = artifact.contract.width();
     let rows = match (&body.rows, &body.rows_raw) {
@@ -453,7 +480,7 @@ fn parse_predict(
         (Some(coded), None) => artifact.validate_coded(coded)?,
         (None, Some(raw)) => artifact.encode_raw(raw)?,
     };
-    Ok((artifact, rows, d))
+    Ok((artifact, rows, d, pinned))
 }
 
 /// Executes one request's rows with adaptive shard sizing and the
@@ -606,10 +633,18 @@ fn execute_batch_cell(
     execute_segments_cell(state, cell, artifact, segments, d).labels
 }
 
-/// Runs a flushed coalescer batch and answers every participant. A panic
-/// in the model unwinds through here dropping the batch, whose responders
-/// then answer 500 from their destructors — per-request isolation holds
-/// even for execution failures.
+/// Runs a flushed coalescer batch and answers every participant — the one
+/// spot every predict execution flows through (coalesced flushes, solo
+/// requests, and the rollout plane's mirrored shadow parts alike), so
+/// panic containment, latency accounting and shadow scoring each live
+/// here exactly once.
+///
+/// A panic inside the model (or the injected `HAMLET_FAULT_PREDICT_PANIC`)
+/// is **contained**: real participants get an explicit 500 tagged as a
+/// panic in [`crate::telemetry::EndpointStats`] (distinguishable from bad
+/// requests), shadow participants are skipped without polluting the
+/// candidate's agreement stats, and canary-served requests count toward
+/// the canary error-ratio guardrail.
 fn run_batch(
     state: &AppState,
     key: String,
@@ -618,10 +653,51 @@ fn run_batch(
     batch: Batch,
     d: usize,
 ) {
-    let out = {
+    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        state.faults.maybe_panic(&key);
         let segments: Vec<&[u32]> = batch.parts.iter().map(|p| p.rows.as_slice()).collect();
         execute_segments_cell(state, cell, &batch.artifact, &segments, d)
+    }));
+    let mut out = match out {
+        Ok(out) => out,
+        Err(_) => {
+            let active = state.rollout.active();
+            let canary_candidate = active
+                .as_ref()
+                .is_some_and(|a| a.candidate == key && a.phase() == crate::rollout::Phase::Canary);
+            for part in batch.parts {
+                let n_rows = (part.rows.len() / d.max(1)) as u64;
+                if let Some(shadow) = part.shadow {
+                    // A panicking candidate must not count mirrored rows
+                    // as disagreement — skipped is its own signal.
+                    shadow.stats.record_shadow_skipped(n_rows);
+                    continue;
+                }
+                let spent = part.start.elapsed();
+                state
+                    .telemetry
+                    .endpoint(Endpoint::Predict)
+                    .observe_panic(spent);
+                if canary_candidate {
+                    if let Some(a) = &active {
+                        a.count_canary_error();
+                    }
+                }
+                part.responder.send(Response::json(
+                    500,
+                    "{\"error\":\"internal error: prediction panicked; the request was isolated\"}",
+                ));
+            }
+            return;
+        }
     };
+    // Injected label flipping (a deliberately degraded candidate for
+    // rollback tests) applies post-execution, pre-scoring.
+    if state.faults.flip_labels.is_some() {
+        for labels in &mut out.labels {
+            state.faults.maybe_flip(&key, labels);
+        }
+    }
     if let Some(hist) = &out.tier_hist {
         tstats.record_tiers(hist);
     }
@@ -635,13 +711,35 @@ fn run_batch(
     // merged/solo distinction.
     let merged = n_parts > 1;
     let now_ms = state.telemetry.now_ms();
-    for ((part, labels), (tiers, confidence)) in batch
+    // When this batch was served by the incumbent of an active rollout,
+    // mirror each real participant's rows (and the labels just computed)
+    // into the candidate's coalescer lane after responding. The clone is
+    // paid only while a rollout is active.
+    let mirror = state.rollout.mirror_target(&batch.artifact);
+    let mut mirrored: Vec<(Vec<u32>, Vec<bool>)> = Vec::new();
+    for ((mut part, labels), (tiers, confidence)) in batch
         .parts
         .into_iter()
         .zip(out.labels)
         .zip(per_part_tiers.into_iter().zip(per_part_conf))
     {
         let spent = part.start.elapsed();
+        if let Some(shadow) = part.shadow.take() {
+            // Mirrored part: score agreement against the incumbent's
+            // labels and fold candidate latency into its own histogram
+            // (the p99 guardrail reads it); no response goes anywhere.
+            let agree = labels
+                .iter()
+                .zip(shadow.expected.iter())
+                .filter(|(a, b)| a == b)
+                .count() as u64;
+            shadow.stats.record_shadow(labels.len() as u64, agree);
+            tstats.record(spent, (part.rows.len() / d.max(1)) as u64, merged, now_ms);
+            continue;
+        }
+        if mirror.is_some() {
+            mirrored.push((part.rows.clone(), labels.clone()));
+        }
         tstats.record(spent, (part.rows.len() / d.max(1)) as u64, merged, now_ms);
         state
             .telemetry
@@ -655,6 +753,65 @@ fn run_batch(
             latency_ms: spent.as_secs_f64() * 1e3,
         });
         part.responder.send(response);
+    }
+    if let Some(active) = mirror {
+        if !mirrored.is_empty() {
+            mirror_into_shadow(state, &active, mirrored, d);
+        }
+    }
+}
+
+/// Submits mirrored incumbent traffic into the candidate's coalescer lane:
+/// one detached (receiver-dropped) [`PendingPredict`] per real
+/// participant, carrying the incumbent's labels as the expected answers.
+/// Executed inline on this worker *after* the real responses went out, so
+/// shadow scoring adds no client-visible latency. Mirrored parts carry
+/// `shadow: Some(..)`, which both short-circuits the response path and
+/// (because the candidate is never a mirror target itself) terminates any
+/// possible mirror recursion.
+fn mirror_into_shadow(
+    state: &AppState,
+    active: &ActiveRollout,
+    mirrored: Vec<(Vec<u32>, Vec<bool>)>,
+    d: usize,
+) {
+    let Ok(candidate) = state.registry.get(&active.candidate) else {
+        return; // candidate vanished; the next tick rolls the rollout back
+    };
+    if candidate.contract.width() != d {
+        return;
+    }
+    let cand_key = candidate.key();
+    let cell = state.latency.cell(&cand_key);
+    let tstats = state.telemetry.model(&cand_key);
+    for (rows, expected) in mirrored {
+        let (responder, rx) = Responder::direct();
+        drop(rx); // discard the mirrored response entirely
+        let part = PendingPredict {
+            rows,
+            start: Instant::now(),
+            explain_tiers: false,
+            responder,
+            shadow: Some(ShadowCtx {
+                expected,
+                stats: Arc::clone(&tstats),
+            }),
+        };
+        match state
+            .coalescer
+            .submit(&cand_key, &candidate, d, part, cell.ns_per_row())
+        {
+            Submitted::Joined => {}
+            Submitted::Solo(part) => run_batch(
+                state,
+                cand_key.clone(),
+                &cell,
+                &tstats,
+                Batch::solo(Arc::clone(&candidate), part),
+                d,
+            ),
+            Submitted::Flush(batch) => run_batch(state, cand_key.clone(), &cell, &tstats, batch, d),
+        }
     }
 }
 
@@ -686,7 +843,7 @@ fn unzip_parts<T>(parts: Option<Vec<Vec<T>>>, n: usize) -> Vec<Option<Vec<T>>> {
 /// core instead of one worker thread.
 fn predict(state: &AppState, req: &Request, responder: Responder) {
     let start = Instant::now();
-    let (artifact, rows, d) = match parse_predict(state, req) {
+    let (mut artifact, rows, d, pinned) = match parse_predict(state, req) {
         Ok(parsed) => parsed,
         Err(e) => {
             state
@@ -696,6 +853,20 @@ fn predict(state: &AppState, req: &Request, responder: Responder) {
             return responder.send(error_response(&e));
         }
     };
+    // Canary routing: when this bare name is mid-canary, a deterministic
+    // hash of the request routes the configured slice to the candidate,
+    // which serves it for real (and its panics count toward the canary
+    // error-ratio guardrail). Pinned requests are never re-routed.
+    if !pinned {
+        if let Some((active, candidate)) =
+            state
+                .rollout
+                .canary_route(&state.registry, &artifact, &rows)
+        {
+            active.count_canary_request();
+            artifact = candidate;
+        }
+    }
     // Resolve the model's identity, latency cell and telemetry cell
     // exactly once; every downstream step (coalescer lane, shard sizing,
     // EWMA fold-back, response body, per-model accounting) reuses them.
@@ -707,6 +878,7 @@ fn predict(state: &AppState, req: &Request, responder: Responder) {
         start,
         explain_tiers: req.flag("explain_tiers"),
         responder,
+        shadow: None,
     };
     match state
         .coalescer
@@ -715,33 +887,10 @@ fn predict(state: &AppState, req: &Request, responder: Responder) {
         // Merged into an open batch: its leader answers; this executor is
         // already free for the next request.
         Submitted::Joined => {}
+        // Solo and flushed batches share one execution path (`run_batch`):
+        // panic containment, accounting and shadow mirroring live there.
         Submitted::Solo(part) => {
-            let mut out = execute_segments_cell(state, &cell, &artifact, &[&part.rows], d);
-            if let Some(hist) = &out.tier_hist {
-                tstats.record_tiers(hist);
-            }
-            let spent = part.start.elapsed();
-            tstats.record(
-                spent,
-                (part.rows.len() / d.max(1)) as u64,
-                false,
-                state.telemetry.now_ms(),
-            );
-            state
-                .telemetry
-                .endpoint(Endpoint::Predict)
-                .observe(spent, false);
-            part.responder.send(ok_json(&PredictResponse {
-                model: key,
-                labels: out.labels.pop().unwrap_or_default(),
-                tiers: out.tiers.and_then(|mut t| t.pop()),
-                tier_confidence: if part.explain_tiers {
-                    out.confidence.and_then(|mut c| c.pop())
-                } else {
-                    None
-                },
-                latency_ms: spent.as_secs_f64() * 1e3,
-            }));
+            run_batch(state, key, &cell, &tstats, Batch::solo(artifact, part), d)
         }
         // Leading a batch means every participant resolved this same
         // artifact, so the key and cell resolved above serve the batch.
@@ -823,6 +972,76 @@ fn train(state: &AppState, req: &Request) -> Result<Response, ServeError> {
     Ok(ok_json(&resp))
 }
 
+/// `POST /v1/observe`: stream labeled rows into the bounded observe
+/// buffer. Rows are validated against the model's contract exactly like
+/// `/v1/predict` coded rows, then appended to the per-name ring (memory)
+/// and CRC-framed on-disk buffer (crash-safe). The buffer feeds two
+/// consumers: warm-start incremental refresh (`/v1/rollout/start` with
+/// `refresh`) and the periodic drift check.
+fn observe(state: &AppState, req: &Request) -> Result<ObserveResponse, ServeError> {
+    let body: ObserveRequest = parse_body(req)?;
+    let artifact = state.registry.get(&body.model)?;
+    if body.rows.is_empty() {
+        return Err(ServeError::BadRequest("empty observe batch".into()));
+    }
+    if body.rows.len() != body.labels.len() {
+        return Err(ServeError::BadRequest(format!(
+            "rows/labels length mismatch: {} rows vs {} labels",
+            body.rows.len(),
+            body.labels.len()
+        )));
+    }
+    let d = artifact.contract.width();
+    let flat = artifact.validate_coded(&body.rows)?;
+    let observed: Vec<ObservedRow> = flat
+        .chunks(d)
+        .zip(body.labels.iter())
+        .map(|(codes, &label)| ObservedRow {
+            codes: codes.to_vec(),
+            label,
+        })
+        .collect();
+    let accepted = observed.len();
+    let buffered = state.rollout.observe.append(&artifact.name, &observed)?;
+    Ok(ObserveResponse {
+        model: artifact.name.clone(),
+        accepted,
+        buffered,
+    })
+}
+
+/// `POST /v1/rollout/start`: begin a shadow rollout. Exactly one of
+/// `candidate` (an already-registered key, e.g. from `/v1/train`) or
+/// `refresh` (a bare model name — warm-start refit on the observe buffer,
+/// registering the result as a held candidate) must be given.
+fn rollout_start(
+    state: &AppState,
+    req: &Request,
+) -> Result<crate::rollout::RolloutSnapshot, ServeError> {
+    let body: RolloutStartRequest = parse_body(req)?;
+    let key = match (&body.candidate, &body.refresh) {
+        (Some(key), None) => key.clone(),
+        (None, Some(name)) => {
+            let rows = state.rollout.observe.snapshot(name);
+            let resp = train_incremental(&state.registry, &state.artifact_dir, name, &rows)?;
+            state.telemetry.record_event(
+                EventKind::Train,
+                &resp.key,
+                &format!("warm-start refresh on {} observed rows", rows.len()),
+            );
+            resp.key
+        }
+        _ => {
+            return Err(ServeError::BadRequest(
+                "exactly one of \"candidate\" or \"refresh\" is required".into(),
+            ))
+        }
+    };
+    state
+        .rollout
+        .start(&state.registry, &state.telemetry, &key, body.slice)
+}
+
 /// Registry gauges the exporters report next to telemetry.
 fn ops_gauges(state: &AppState) -> OpsGauges {
     OpsGauges {
@@ -888,6 +1107,7 @@ pub fn router(state: Arc<AppState>) -> Handler {
                 &state.telemetry,
                 ops_gauges(&state),
                 &state.registry.list(),
+                state.rollout.snapshot(),
             )),
             ("GET", "/metrics") => Response::text(
                 200,
@@ -896,6 +1116,7 @@ pub fn router(state: Arc<AppState>) -> Handler {
                     ops_gauges(&state),
                     &state.registry.list(),
                     Some(&state.net),
+                    &state.rollout.snapshot(),
                 ),
             ),
             ("GET", "/v1/models") => ok_json(&ModelsResponse {
@@ -917,11 +1138,25 @@ pub fn router(state: Arc<AppState>) -> Handler {
                 Ok(resp) => resp,
                 Err(e) => error_response(&e),
             },
+            ("POST", "/v1/observe") => match observe(&state, req) {
+                Ok(resp) => ok_json(&resp),
+                Err(e) => error_response(&e),
+            },
+            ("GET", "/v1/rollout/status") => ok_json(&state.rollout.snapshot()),
+            ("POST", "/v1/rollout/start") => match rollout_start(&state, req) {
+                Ok(snapshot) => ok_json(&snapshot),
+                Err(e) => error_response(&e),
+            },
+            ("POST", "/v1/rollout/abort") => match state.rollout.abort(&state.telemetry) {
+                Ok(snapshot) => ok_json(&snapshot),
+                Err(e) => error_response(&e),
+            },
             ("GET" | "POST", _) => Response::json(
                 404,
                 "{\"error\":\"no such endpoint; see /healthz, /metrics, /v1/stats, \
                  /v1/models, /v1/models/demote, /v1/predict, /v1/explain, /v1/advise, \
-                 /v1/train\"}",
+                 /v1/train, /v1/observe, /v1/rollout/status, /v1/rollout/start, \
+                 /v1/rollout/abort\"}",
             ),
             _ => Response::json(405, "{\"error\":\"method not allowed\"}"),
         };
@@ -976,6 +1211,8 @@ mod tests {
             coalescer: Coalescer::with_stats(coalesce, telemetry.coalesce_stats()),
             telemetry,
             net: Arc::new(crate::http::NetStats::new()),
+            rollout: Arc::new(RolloutPlane::in_memory(GuardrailConfig::default())),
+            faults: Faults::default(),
             shard_budget: ShardBudget::new(2),
             train_gate: std::sync::atomic::AtomicBool::new(false),
         })
@@ -1422,5 +1659,198 @@ mod tests {
             "{\"family\":\"Linear\",\"n_train\":10,\"dims\":[]}",
         );
         assert_eq!(status, 400);
+    }
+
+    #[test]
+    fn observe_endpoint_buffers_labeled_rows() {
+        let app = state();
+        app.registry
+            .insert(crate::artifact::tests::toy_artifact("obs", 1));
+        let handler = router(Arc::clone(&app));
+        let (status, body) = call(
+            &handler,
+            "POST",
+            "/v1/observe",
+            "{\"model\":\"obs\",\"rows\":[[0,1],[1,0]],\"labels\":[true,false]}",
+        );
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"accepted\":2"), "{body}");
+        assert!(body.contains("\"buffered\":2"), "{body}");
+        // Rows and labels must pair up.
+        let (status, body) = call(
+            &handler,
+            "POST",
+            "/v1/observe",
+            "{\"model\":\"obs\",\"rows\":[[0,1]],\"labels\":[true,false]}",
+        );
+        assert_eq!(status, 400, "{body}");
+        assert!(body.contains("mismatch"), "{body}");
+        // Rows are validated against the contract like /v1/predict codes.
+        let (status, body) = call(
+            &handler,
+            "POST",
+            "/v1/observe",
+            "{\"model\":\"obs\",\"rows\":[[9,0]],\"labels\":[true]}",
+        );
+        assert_eq!(status, 400, "{body}");
+        let (status, _) = call(
+            &handler,
+            "POST",
+            "/v1/observe",
+            "{\"model\":\"ghost\",\"rows\":[[0]],\"labels\":[true]}",
+        );
+        assert_eq!(status, 404);
+        assert_eq!(app.rollout.observe.snapshot("obs").len(), 2);
+    }
+
+    #[test]
+    fn rollout_endpoints_drive_shadow_then_canary() {
+        let app = state();
+        app.registry
+            .insert(crate::artifact::tests::toy_artifact("m", 1));
+        let (cand_key, _) = app
+            .registry
+            .register_candidate(crate::artifact::tests::toy_artifact("m", 2), 0, |_| Ok(()))
+            .unwrap();
+        assert_eq!(cand_key, "m@2");
+        let handler = router(Arc::clone(&app));
+        let (status, body) = call(&handler, "GET", "/v1/rollout/status", "");
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"active\":false"), "{body}");
+        // Start with a full canary slice so routing is deterministic below.
+        let (status, body) = call(
+            &handler,
+            "POST",
+            "/v1/rollout/start",
+            "{\"candidate\":\"m@2\",\"slice\":100}",
+        );
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"phase\":\"shadow\""), "{body}");
+        let (status, _) = call(
+            &handler,
+            "POST",
+            "/v1/rollout/start",
+            "{\"candidate\":\"m@2\"}",
+        );
+        assert_eq!(status, 400, "one rollout at a time");
+        // Shadow: bare-name traffic is served by the incumbent, mirrored to
+        // the candidate, and scored against the incumbent's labels.
+        let (status, body) = call(
+            &handler,
+            "POST",
+            "/v1/predict",
+            "{\"model\":\"m\",\"rows\":[[0,0],[1,1]]}",
+        );
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"model\":\"m@1\""), "{body}");
+        let snap = app.telemetry.model("m@2").snapshot();
+        assert_eq!(snap.shadow_rows, 2, "mirrored rows scored");
+        assert_eq!(
+            snap.shadow_agreement(),
+            Some(1.0),
+            "identical toy models agree"
+        );
+        // Clear the graduation bar and tick: shadow → canary.
+        app.telemetry.model("m@2").record_shadow(200, 200);
+        app.rollout.tick(&app.registry, &app.telemetry);
+        let (_, body) = call(&handler, "GET", "/v1/rollout/status", "");
+        assert!(body.contains("\"phase\":\"canary\""), "{body}");
+        // Canary at slice 100: every bare-name request routes to m@2...
+        let (status, body) = call(
+            &handler,
+            "POST",
+            "/v1/predict",
+            "{\"model\":\"m\",\"rows\":[[0,0]]}",
+        );
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"model\":\"m@2\""), "{body}");
+        // ...but pinned requests are never re-routed.
+        let (_, body) = call(
+            &handler,
+            "POST",
+            "/v1/predict",
+            "{\"model\":\"m@1\",\"rows\":[[0,0]]}",
+        );
+        assert!(body.contains("\"model\":\"m@1\""), "{body}");
+        // The state gauge reaches /metrics while active.
+        let (_, text) = call(&handler, "GET", "/metrics", "");
+        assert!(
+            text.contains("hamlet_rollout_state{model=\"m\"} 2"),
+            "{text}"
+        );
+        // Abort tears it down; a second abort is a clean 400.
+        let (status, body) = call(&handler, "POST", "/v1/rollout/abort", "");
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"active\":false"), "{body}");
+        let (status, _) = call(&handler, "POST", "/v1/rollout/abort", "");
+        assert_eq!(status, 400);
+    }
+
+    #[test]
+    fn rollout_start_requires_exactly_one_source() {
+        let handler = router(state());
+        let (status, body) = call(&handler, "POST", "/v1/rollout/start", "{}");
+        assert_eq!(status, 400, "{body}");
+        assert!(body.contains("exactly one"), "{body}");
+        let (status, _) = call(
+            &handler,
+            "POST",
+            "/v1/rollout/start",
+            "{\"candidate\":\"a@1\",\"refresh\":\"a\"}",
+        );
+        assert_eq!(status, 400);
+    }
+
+    #[test]
+    fn predict_panic_is_contained_to_a_500() {
+        let telemetry = Telemetry::in_memory();
+        let app = Arc::new(AppState {
+            registry: ModelRegistry::new(),
+            artifact_dir: std::env::temp_dir().join("hamlet-srv-panic"),
+            predict_threads: 2,
+            latency: LatencyTracker::new(),
+            coalescer: Coalescer::with_stats(CoalesceConfig::default(), telemetry.coalesce_stats()),
+            telemetry,
+            net: Arc::new(crate::http::NetStats::new()),
+            rollout: Arc::new(crate::rollout::RolloutPlane::in_memory(
+                GuardrailConfig::default(),
+            )),
+            faults: Faults {
+                predict_panic: Some("boom@1".into()),
+                flip_labels: None,
+            },
+            shard_budget: ShardBudget::new(2),
+            train_gate: std::sync::atomic::AtomicBool::new(false),
+        });
+        app.registry
+            .insert(crate::artifact::tests::toy_artifact("boom", 1));
+        app.registry
+            .insert(crate::artifact::tests::toy_artifact("fine", 1));
+        let handler = router(Arc::clone(&app));
+        let (status, body) = call(
+            &handler,
+            "POST",
+            "/v1/predict",
+            "{\"model\":\"boom\",\"rows\":[[0,0]]}",
+        );
+        assert_eq!(status, 500, "{body}");
+        assert!(body.contains("isolated"), "{body}");
+        // Panics are tagged distinctly from ordinary errors.
+        let snap = app.telemetry.endpoint(Endpoint::Predict).snapshot();
+        assert_eq!(snap.panics, 1);
+        assert_eq!(snap.errors, 1);
+        // The executor survives: a healthy model still answers.
+        let (status, _) = call(
+            &handler,
+            "POST",
+            "/v1/predict",
+            "{\"model\":\"fine\",\"rows\":[[0,0]]}",
+        );
+        assert_eq!(status, 200);
+        let (_, text) = call(&handler, "GET", "/metrics", "");
+        assert!(
+            text.contains("hamlet_request_panics_total{endpoint=\"predict\"} 1"),
+            "{text}"
+        );
     }
 }

@@ -49,10 +49,15 @@ pub enum EventKind {
     Promote,
     /// A resident version was demoted back to its lazy slot.
     Demote,
-    /// Reserved: observed-traffic drift against the training contract
-    /// (recorded by no producer yet; the roadmap's advisor-feedback item
-    /// will emit these).
+    /// Observed-traffic drift against the training contract: the advisor
+    /// re-ran the avoid-join decision rule over live rows and the no-join
+    /// artifact left its safety envelope (or a degraded candidate was
+    /// rolled back on live evidence).
     Drift,
+    /// A rollout state-machine transition (shadow/canary/promote/rollback);
+    /// the detail field carries the JSON action record that the rollout
+    /// journal replays on restart.
+    Rollout,
 }
 
 impl EventKind {
@@ -64,6 +69,7 @@ impl EventKind {
             EventKind::Promote => 2,
             EventKind::Demote => 3,
             EventKind::Drift => 4,
+            EventKind::Rollout => 5,
         }
     }
 
@@ -74,6 +80,7 @@ impl EventKind {
             2 => EventKind::Promote,
             3 => EventKind::Demote,
             4 => EventKind::Drift,
+            5 => EventKind::Rollout,
             other => return Err(ServeError::Json(format!("unknown event kind code {other}"))),
         })
     }
@@ -132,6 +139,45 @@ fn bad_payload(e: hamlet_ml::error::MlError) -> ServeError {
     ServeError::Json(format!("event payload: {e}"))
 }
 
+/// Appends `payload` to `buf` framed as `[u32 len][u32 crc32][payload]` —
+/// the exact wire format the event segments use. Public so other
+/// crash-safe buffers (the rollout plane's observe store) reuse this
+/// framing and its recovery semantics instead of inventing a second one.
+pub fn write_frame(buf: &mut Vec<u8>, payload: &[u8]) {
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&crc32(payload).to_le_bytes());
+    buf.extend_from_slice(payload);
+}
+
+/// Walks CRC frames from the front of `bytes`, calling `visit` on each
+/// intact payload until it returns `false` (decode failure — treated like
+/// corruption). Returns the byte length of the valid prefix: a torn or
+/// corrupt frame and everything after it are excluded, mirroring the
+/// event log's own recovery scan.
+pub fn scan_frames(bytes: &[u8], mut visit: impl FnMut(&[u8]) -> bool) -> usize {
+    let mut pos = 0usize;
+    while bytes.len() - pos >= FRAME_HEADER_BYTES {
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"));
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        if len > MAX_PAYLOAD_BYTES {
+            break;
+        }
+        let start = pos + FRAME_HEADER_BYTES;
+        let Some(end) = start.checked_add(len as usize) else {
+            break;
+        };
+        if end > bytes.len() {
+            break; // torn tail: header landed, payload did not
+        }
+        let payload = &bytes[start..end];
+        if crc32(payload) != crc || !visit(payload) {
+            break;
+        }
+        pos = end;
+    }
+    pos
+}
+
 /// Where one intact record lives: enough to serve range scans without
 /// re-reading segments until the payload itself is wanted.
 #[derive(Debug, Clone, Copy)]
@@ -172,34 +218,21 @@ fn segment_path(dir: &Path, seq: u64) -> PathBuf {
 /// the valid prefix (everything after it is torn or corrupt).
 fn scan_segment(path: &Path, seq: u64, index: &mut Vec<IndexEntry>) -> Result<u64> {
     let bytes = std::fs::read(path).map_err(|e| ServeError::io("read event segment", e))?;
-    let mut pos = 0usize;
-    while bytes.len() - pos >= FRAME_HEADER_BYTES {
-        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"));
-        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
-        if len > MAX_PAYLOAD_BYTES {
-            break;
-        }
-        let start = pos + FRAME_HEADER_BYTES;
-        let end = start + len as usize;
-        if end > bytes.len() {
-            break; // torn tail: header landed, payload did not
-        }
-        let payload = &bytes[start..end];
-        if crc32(payload) != crc {
-            break;
-        }
+    let mut offset = 0u64;
+    let valid = scan_frames(&bytes, |payload| {
         let Ok(event) = decode_payload(payload.to_vec()) else {
-            break;
+            return false;
         };
         index.push(IndexEntry {
             unix_ms: event.unix_ms,
             seq,
-            offset: pos as u64,
-            len,
+            offset,
+            len: payload.len() as u32,
         });
-        pos = end;
-    }
-    Ok(pos as u64)
+        offset += (FRAME_HEADER_BYTES + payload.len()) as u64;
+        true
+    });
+    Ok(valid as u64)
 }
 
 impl EventLog {
@@ -281,9 +314,7 @@ impl EventLog {
             inner.written = 0;
         }
         let mut frame = Vec::with_capacity(frame_len as usize);
-        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
-        frame.extend_from_slice(&payload);
+        write_frame(&mut frame, &payload);
         inner
             .file
             .write_all(&frame)

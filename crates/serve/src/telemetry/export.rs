@@ -10,6 +10,7 @@ use std::fmt::Write;
 
 use crate::api::{EndpointStatsRow, ModelStatsRow, StatsResponse};
 use crate::registry::ModelSummary;
+use crate::rollout::RolloutSnapshot;
 
 use super::stats::Telemetry;
 
@@ -48,6 +49,7 @@ pub fn prometheus(
     gauges: OpsGauges,
     registry_rows: &[ModelSummary],
     net: Option<&crate::http::NetStats>,
+    rollout: &RolloutSnapshot,
 ) -> String {
     let mut out = String::with_capacity(4096);
     let endpoints = t.endpoints_snapshot();
@@ -116,6 +118,18 @@ pub fn prometheus(
             "hamlet_request_errors_total{{endpoint=\"{}\"}} {}",
             e.name(),
             snap.errors
+        );
+    }
+    out.push_str(
+        "# HELP hamlet_request_panics_total Of the errors, handler panics isolated to a 500.\n",
+    );
+    out.push_str("# TYPE hamlet_request_panics_total counter\n");
+    for (e, snap) in &endpoints {
+        let _ = writeln!(
+            out,
+            "hamlet_request_panics_total{{endpoint=\"{}\"}} {}",
+            e.name(),
+            snap.panics
         );
     }
 
@@ -193,6 +207,100 @@ pub fn prometheus(
             snap.rows
         );
     }
+
+    // Shadow-scoring accounting: only candidates that have received
+    // mirrored traffic emit samples, mirroring the cascade convention.
+    let shadows: Vec<_> = models
+        .iter()
+        .filter(|(_, snap)| snap.shadow_rows > 0 || snap.shadow_skipped_rows > 0)
+        .collect();
+    if !shadows.is_empty() {
+        out.push_str(
+            "# HELP hamlet_shadow_rows_total Mirrored rows scored against the incumbent, by model.\n",
+        );
+        out.push_str("# TYPE hamlet_shadow_rows_total counter\n");
+        for (key, snap) in &shadows {
+            let _ = writeln!(
+                out,
+                "hamlet_shadow_rows_total{{model=\"{}\"}} {}",
+                escape_label(key),
+                snap.shadow_rows
+            );
+        }
+        out.push_str(
+            "# HELP hamlet_shadow_skipped_rows_total Mirrored rows dropped by a contained panic, by model.\n",
+        );
+        out.push_str("# TYPE hamlet_shadow_skipped_rows_total counter\n");
+        for (key, snap) in &shadows {
+            let _ = writeln!(
+                out,
+                "hamlet_shadow_skipped_rows_total{{model=\"{}\"}} {}",
+                escape_label(key),
+                snap.shadow_skipped_rows
+            );
+        }
+        out.push_str(
+            "# HELP hamlet_shadow_agreement Fraction of shadow rows agreeing with the incumbent.\n",
+        );
+        out.push_str("# TYPE hamlet_shadow_agreement gauge\n");
+        for (key, snap) in &shadows {
+            if let Some(agreement) = snap.shadow_agreement() {
+                let _ = writeln!(
+                    out,
+                    "hamlet_shadow_agreement{{model=\"{}\"}} {agreement}",
+                    escape_label(key)
+                );
+            }
+        }
+    }
+
+    // Rollout plane: the state gauge is always present (model="none" when
+    // idle) so dashboards and the CI smoke can assert on it without
+    // first forcing a rollout.
+    out.push_str(
+        "# HELP hamlet_rollout_state Rollout phase: 0 idle, 1 shadow, 2 canary, by bare name.\n",
+    );
+    out.push_str("# TYPE hamlet_rollout_state gauge\n");
+    let phase_value = match rollout.phase.as_deref() {
+        Some("shadow") => 1,
+        Some("canary") => 2,
+        _ => 0,
+    };
+    let _ = writeln!(
+        out,
+        "hamlet_rollout_state{{model=\"{}\"}} {phase_value}",
+        escape_label(rollout.model.as_deref().unwrap_or("none"))
+    );
+    out.push_str(
+        "# HELP hamlet_rollout_frozen Auto-promotion frozen by the drift advisor (0/1).\n",
+    );
+    out.push_str("# TYPE hamlet_rollout_frozen gauge\n");
+    let _ = writeln!(out, "hamlet_rollout_frozen {}", rollout.frozen as u8);
+    out.push_str("# TYPE hamlet_canary_requests gauge\n");
+    let _ = writeln!(out, "hamlet_canary_requests {}", rollout.canary_requests);
+    out.push_str("# TYPE hamlet_canary_errors gauge\n");
+    let _ = writeln!(out, "hamlet_canary_errors {}", rollout.canary_errors);
+    out.push_str("# HELP hamlet_rollout_total Rollout lifecycle counters since boot.\n");
+    out.push_str("# TYPE hamlet_rollout_total counter\n");
+    for (kind, value) in [
+        ("promotions", rollout.promotions),
+        ("rollbacks", rollout.rollbacks),
+    ] {
+        let _ = writeln!(out, "hamlet_rollout_total{{kind=\"{kind}\"}} {value}");
+    }
+    out.push_str(
+        "# HELP hamlet_drift_checks_total Drift-advisor passes over the observe buffer.\n",
+    );
+    out.push_str("# TYPE hamlet_drift_checks_total counter\n");
+    let _ = writeln!(out, "hamlet_drift_checks_total {}", rollout.drift_checks);
+    out.push_str(
+        "# HELP hamlet_drift_events_total Drift verdicts (live data left the avoid-join safety envelope).\n",
+    );
+    out.push_str("# TYPE hamlet_drift_events_total counter\n");
+    let _ = writeln!(out, "hamlet_drift_events_total {}", rollout.drift_events);
+    out.push_str("# HELP hamlet_observe_rows_total Labeled rows accepted by /v1/observe.\n");
+    out.push_str("# TYPE hamlet_observe_rows_total counter\n");
+    let _ = writeln!(out, "hamlet_observe_rows_total {}", rollout.observe_rows);
 
     // Cascade tier accounting: only models whose traffic ran through a
     // tiered artifact have nonzero slots; everything else stays silent so
@@ -284,6 +392,7 @@ pub fn stats_response(
     t: &Telemetry,
     gauges: OpsGauges,
     registry_rows: &[ModelSummary],
+    rollout: RolloutSnapshot,
 ) -> StatsResponse {
     let now_ms = t.now_ms();
     let endpoints = t
@@ -293,6 +402,7 @@ pub fn stats_response(
             endpoint: e.name().to_string(),
             requests: snap.requests,
             errors: snap.errors,
+            panics: snap.panics,
             p50_ms: snap.hist.percentile_ms(0.5),
             p99_ms: snap.hist.percentile_ms(0.99),
             p999_ms: snap.hist.percentile_ms(0.999),
@@ -304,7 +414,11 @@ pub fn stats_response(
         .map(|(key, snap)| {
             let deepest = snap.tier_rows.iter().rposition(|&n| n > 0);
             let tier_total: u64 = snap.tier_rows.iter().sum();
+            let shadowed = snap.shadow_rows > 0 || snap.shadow_skipped_rows > 0;
             ModelStatsRow {
+                shadow_rows: shadowed.then_some(snap.shadow_rows),
+                shadow_agreement: snap.shadow_agreement(),
+                shadow_skipped_rows: shadowed.then_some(snap.shadow_skipped_rows),
                 encoding: registry_rows
                     .iter()
                     .find(|r| r.key == key)
@@ -335,6 +449,7 @@ pub fn stats_response(
         models,
         coalesce: t.coalesce_stats().snapshot(),
         events: t.recent_events(),
+        rollout,
     }
 }
 
@@ -392,7 +507,13 @@ mod tests {
     fn every_sample_follows_its_type_line() {
         let t = seeded_telemetry();
         let net = crate::http::NetStats::new();
-        let text = prometheus(&t, seeded_gauges(), &seeded_rows(), Some(&net));
+        let text = prometheus(
+            &t,
+            seeded_gauges(),
+            &seeded_rows(),
+            Some(&net),
+            &RolloutSnapshot::default(),
+        );
         let mut declared: HashSet<&str> = HashSet::new();
         for line in text.lines() {
             if let Some(rest) = line.strip_prefix("# TYPE ") {
@@ -421,12 +542,20 @@ mod tests {
             text.contains("hamlet_model_info{model=\"alpha@1\",family=\"mlp\",encoding=\"i8\"} 1")
         );
         assert!(text.contains("hamlet_model_resident_bytes{model=\"alpha@1\"} 1024"));
+        assert!(text.contains("hamlet_rollout_state{model=\"none\"} 0"));
+        assert!(text.contains("hamlet_drift_checks_total 0"));
+        assert!(text.contains("hamlet_request_panics_total{endpoint=\"predict\"} 0"));
     }
 
     #[test]
     fn stats_response_reports_percentiles_and_events() {
         let t = seeded_telemetry();
-        let resp = stats_response(&t, seeded_gauges(), &seeded_rows());
+        let resp = stats_response(
+            &t,
+            seeded_gauges(),
+            &seeded_rows(),
+            RolloutSnapshot::default(),
+        );
         assert_eq!(resp.models_registered, 3);
         assert_eq!(resp.kernel_backend, "avx2");
         let predict = resp

@@ -38,6 +38,10 @@ pub enum Endpoint {
     Train,
     Models,
     Demote,
+    /// Streaming labeled-row ingest (`/v1/observe`).
+    Observe,
+    /// Rollout control surface (`/v1/rollout/*`).
+    Rollout,
     Healthz,
     Stats,
     Metrics,
@@ -46,7 +50,7 @@ pub enum Endpoint {
 }
 
 impl Endpoint {
-    pub const COUNT: usize = 10;
+    pub const COUNT: usize = 12;
     pub const ALL: [Endpoint; Endpoint::COUNT] = [
         Endpoint::Predict,
         Endpoint::Explain,
@@ -54,6 +58,8 @@ impl Endpoint {
         Endpoint::Train,
         Endpoint::Models,
         Endpoint::Demote,
+        Endpoint::Observe,
+        Endpoint::Rollout,
         Endpoint::Healthz,
         Endpoint::Stats,
         Endpoint::Metrics,
@@ -70,9 +76,11 @@ impl Endpoint {
             "/v1/train" => Endpoint::Train,
             "/v1/models" => Endpoint::Models,
             "/v1/models/demote" => Endpoint::Demote,
+            "/v1/observe" => Endpoint::Observe,
             "/healthz" => Endpoint::Healthz,
             "/v1/stats" => Endpoint::Stats,
             "/metrics" => Endpoint::Metrics,
+            p if p.starts_with("/v1/rollout") => Endpoint::Rollout,
             _ => Endpoint::Other,
         }
     }
@@ -85,6 +93,8 @@ impl Endpoint {
             Endpoint::Train => "train",
             Endpoint::Models => "models",
             Endpoint::Demote => "demote",
+            Endpoint::Observe => "observe",
+            Endpoint::Rollout => "rollout",
             Endpoint::Healthz => "healthz",
             Endpoint::Stats => "stats",
             Endpoint::Metrics => "metrics",
@@ -103,6 +113,10 @@ pub struct EndpointStats {
     hist: LatencyHistogram,
     requests: AtomicU64,
     errors: AtomicU64,
+    /// 500s caused by a handler panic (the dropped-`Responder` path), kept
+    /// distinct from ordinary errors: the rollout scorer must not count a
+    /// crashed execution as a disagreement — or an agreement.
+    panics: AtomicU64,
 }
 
 impl EndpointStats {
@@ -116,10 +130,20 @@ impl EndpointStats {
         self.hist.record(spent);
     }
 
+    /// Records one request whose handler panicked (delivered as a 500 by
+    /// the dropped `Responder`). Counts as a request *and* an error, plus
+    /// the distinct panic tag.
+    #[inline]
+    pub fn observe_panic(&self, spent: Duration) {
+        self.panics.fetch_add(1, Ordering::Relaxed);
+        self.observe(spent, true);
+    }
+
     pub fn snapshot(&self) -> EndpointSnapshot {
         EndpointSnapshot {
             requests: self.requests.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
             hist: self.hist.snapshot(),
         }
     }
@@ -130,6 +154,8 @@ impl EndpointStats {
 pub struct EndpointSnapshot {
     pub requests: u64,
     pub errors: u64,
+    /// Of `errors`, how many were handler panics.
+    pub panics: u64,
     pub hist: HistogramSnapshot,
 }
 
@@ -148,6 +174,14 @@ pub struct ModelStats {
     /// unconditional atomics, no allocation). All zero for single-model
     /// artifacts.
     tier_rows: [AtomicU64; MAX_TIERS],
+    /// Rows this version scored in shadow (mirrored traffic, responses
+    /// discarded).
+    shadow_rows: AtomicU64,
+    /// Of `shadow_rows`, how many agreed with the incumbent's label.
+    shadow_agree_rows: AtomicU64,
+    /// Shadow rows skipped because the mirrored execution panicked — kept
+    /// out of both `shadow_rows` and the agreement tally.
+    shadow_skipped_rows: AtomicU64,
 }
 
 impl Default for ModelStats {
@@ -159,6 +193,9 @@ impl Default for ModelStats {
             rows: AtomicU64::new(0),
             last_hit_ms: AtomicU64::new(NEVER),
             tier_rows: std::array::from_fn(|_| AtomicU64::new(0)),
+            shadow_rows: AtomicU64::new(0),
+            shadow_agree_rows: AtomicU64::new(0),
+            shadow_skipped_rows: AtomicU64::new(0),
         }
     }
 }
@@ -186,6 +223,21 @@ impl ModelStats {
         }
     }
 
+    /// Folds one shadow-scored batch in: `rows` mirrored rows of which
+    /// `agree` matched the incumbent's labels.
+    #[inline]
+    pub fn record_shadow(&self, rows: u64, agree: u64) {
+        self.shadow_rows.fetch_add(rows, Ordering::Relaxed);
+        self.shadow_agree_rows.fetch_add(agree, Ordering::Relaxed);
+    }
+
+    /// Records `rows` mirrored rows dropped from shadow scoring because
+    /// their execution panicked.
+    #[inline]
+    pub fn record_shadow_skipped(&self, rows: u64) {
+        self.shadow_skipped_rows.fetch_add(rows, Ordering::Relaxed);
+    }
+
     pub fn snapshot(&self) -> ModelSnapshot {
         let last = self.last_hit_ms.load(Ordering::Relaxed);
         ModelSnapshot {
@@ -194,6 +246,9 @@ impl ModelStats {
             rows: self.rows.load(Ordering::Relaxed),
             last_hit_ms: (last != NEVER).then_some(last),
             tier_rows: std::array::from_fn(|i| self.tier_rows[i].load(Ordering::Relaxed)),
+            shadow_rows: self.shadow_rows.load(Ordering::Relaxed),
+            shadow_agree_rows: self.shadow_agree_rows.load(Ordering::Relaxed),
+            shadow_skipped_rows: self.shadow_skipped_rows.load(Ordering::Relaxed),
             hist: self.hist.snapshot(),
         }
     }
@@ -208,7 +263,20 @@ pub struct ModelSnapshot {
     pub last_hit_ms: Option<u64>,
     /// Rows answered per cascade tier; all zero for single-model artifacts.
     pub tier_rows: [u64; MAX_TIERS],
+    /// Rows scored in shadow, and how many of them agreed with the
+    /// incumbent. Zero outside a rollout.
+    pub shadow_rows: u64,
+    pub shadow_agree_rows: u64,
+    /// Shadow rows dropped because the mirrored execution panicked.
+    pub shadow_skipped_rows: u64,
     pub hist: HistogramSnapshot,
+}
+
+impl ModelSnapshot {
+    /// Live shadow agreement ratio, when any shadow rows were scored.
+    pub fn shadow_agreement(&self) -> Option<f64> {
+        (self.shadow_rows > 0).then(|| self.shadow_agree_rows as f64 / self.shadow_rows as f64)
+    }
 }
 
 #[derive(Debug)]

@@ -9,10 +9,14 @@ use hamlet_datagen::emulate::EmulatorSpec;
 use hamlet_datagen::onexr::{self, OneXrParams};
 use hamlet_datagen::sim::GeneratedStar;
 
+use hamlet_ml::any::AnyClassifier;
+use hamlet_ml::dataset::CatDataset;
+
 use crate::api::{TrainRequest, TrainResponse};
 use crate::artifact::{ModelArtifact, TrainingMetadata, FORMAT_VERSION};
 use crate::error::{Result, ServeError};
 use crate::registry::ModelRegistry;
+use crate::rollout::ObservedRow;
 
 /// Datasets servable by name (the Table-1 emulators plus the OneXr
 /// scenario).
@@ -114,6 +118,115 @@ pub fn train_and_register(
     })
 }
 
+/// Warm-start incremental refresh: continues the SGD-family solve of the
+/// model `name` currently resolves to, on labeled rows observed in
+/// production (`/v1/observe`), and registers the result as a **held
+/// candidate** — the rollout plane's shadow/canary machinery decides
+/// whether it ever serves bare-name traffic. Only SGD-family models
+/// (logistic regression, the MLP) support this; batch learners (trees,
+/// SVMs, kNN) need a full retrain through [`train_and_register`].
+pub fn train_incremental(
+    registry: &ModelRegistry,
+    dir: &Path,
+    name: &str,
+    rows: &[ObservedRow],
+) -> Result<TrainResponse> {
+    let base = registry.get(name)?;
+    let d = base.contract.width();
+    if rows.is_empty() {
+        return Err(ServeError::BadRequest(format!(
+            "no observed rows buffered for `{name}`; stream some through /v1/observe first"
+        )));
+    }
+    let mut flat = Vec::with_capacity(rows.len() * d);
+    let mut labels = Vec::with_capacity(rows.len());
+    for (i, r) in rows.iter().enumerate() {
+        if r.codes.len() != d {
+            return Err(ServeError::BadRequest(format!(
+                "observed row {i} has {} codes but `{}` expects {d}",
+                r.codes.len(),
+                base.key()
+            )));
+        }
+        flat.extend_from_slice(&r.codes);
+        labels.push(r.label);
+    }
+    let ds = CatDataset::new(base.contract.features().to_vec(), flat, labels)
+        .map_err(|e| ServeError::Train(e.to_string()))?;
+    let refreshed: AnyClassifier = match &base.model {
+        AnyClassifier::LogReg(m) => m
+            .fit_incremental(&ds, hamlet_ml::logreg::LogRegParams::default())
+            .map_err(|e| ServeError::Train(e.to_string()))?
+            .into(),
+        AnyClassifier::Mlp(m) => {
+            // Short refresh: a few epochs from the current weights, batch
+            // hyper-parameters reused from the small preset.
+            let mut params = hamlet_ml::ann::AnnParams::small(1e-4, 0.01);
+            params.epochs = 5;
+            m.fit_incremental(&ds, params)
+                .map_err(|e| ServeError::Train(e.to_string()))?
+                .into()
+        }
+        other => {
+            return Err(ServeError::BadRequest(format!(
+                "model family `{}` does not support incremental refresh \
+                 (only logreg and mlp do); retrain via /v1/train instead",
+                other.family()
+            )))
+        }
+    };
+    // Fresh training accuracy on the observed rows is the only honest
+    // metric a refresh has; val/test carry over as unknown (-1).
+    let correct = {
+        let preds = refreshed.predict_batch(
+            &rows
+                .iter()
+                .flat_map(|r| r.codes.iter().copied())
+                .collect::<Vec<u32>>(),
+            d,
+        );
+        preds
+            .iter()
+            .zip(rows.iter())
+            .filter(|(p, r)| **p == r.label)
+            .count()
+    };
+    let mut metrics = base.metadata.metrics.clone();
+    metrics.train_accuracy = correct as f64 / rows.len() as f64;
+    metrics.val_accuracy = -1.0;
+    metrics.test_accuracy = -1.0;
+    metrics.winner = format!(
+        "warm-start refresh of {} on {} observed rows",
+        base.key(),
+        rows.len()
+    );
+
+    let artifact = ModelArtifact {
+        format_version: FORMAT_VERSION,
+        name: base.name.clone(),
+        version: 0, // assigned by register_candidate
+        model: refreshed,
+        feature_config: base.feature_config.clone(),
+        contract: base.contract.clone(),
+        schema_fingerprint: base.schema_fingerprint,
+        metadata: TrainingMetadata {
+            dataset: base.metadata.dataset.clone(),
+            spec: base.metadata.spec,
+            train_rows: rows.len(),
+            metrics: metrics.clone(),
+        },
+    };
+    let disk_floor = ModelArtifact::max_version_on_disk(dir, &base.name) + 1;
+    let (key, path) = registry.register_candidate(artifact, disk_floor, |a| a.save(dir))?;
+    registry.record_origin(&key, &path);
+    Ok(TrainResponse {
+        key,
+        path: path.display().to_string(),
+        metrics,
+        schema_fingerprint: base.schema_fingerprint,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,6 +286,60 @@ mod tests {
         let (reloaded, n) = ModelRegistry::warm_load(&dir).unwrap();
         assert_eq!(n, 2);
         assert_eq!(reloaded.get("movies-tree").unwrap().version, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn incremental_refresh_registers_a_held_candidate() {
+        let dir = std::env::temp_dir().join(format!("hamlet-train-incr-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let reg = ModelRegistry::new();
+        let req = TrainRequest {
+            name: "movies-lr".into(),
+            dataset: "movies".into(),
+            spec: ModelSpec::LogRegL1,
+            config: None,
+            scale: Some(400),
+            seed: Some(3),
+            full_budget: None,
+        };
+        let r1 = train_and_register(&reg, &dir, &req).unwrap();
+        assert_eq!(r1.key, "movies-lr@1");
+        let base = reg.get("movies-lr").unwrap();
+
+        // Fabricate observed rows from the contract (any in-domain codes).
+        let rows: Vec<ObservedRow> = (0..60)
+            .map(|i| ObservedRow {
+                codes: base
+                    .contract
+                    .features()
+                    .iter()
+                    .map(|f| (i as u32) % f.cardinality)
+                    .collect(),
+                label: i % 2 == 0,
+            })
+            .collect();
+        let r2 = train_incremental(&reg, &dir, "movies-lr", &rows).unwrap();
+        assert_eq!(r2.key, "movies-lr@2");
+        assert!(r2.metrics.winner.contains("warm-start"));
+        // Candidate is held: bare-name traffic still resolves to v1.
+        assert_eq!(reg.get("movies-lr").unwrap().version, 1);
+        assert_eq!(reg.get("movies-lr@2").unwrap().version, 2);
+        // A wrong-width row is rejected before any fitting happens.
+        let bad = vec![ObservedRow {
+            codes: vec![0],
+            label: true,
+        }];
+        assert!(train_incremental(&reg, &dir, "movies-lr", &bad).is_err());
+        // Batch learners refuse the refresh.
+        let tree_req = TrainRequest {
+            name: "movies-tr".into(),
+            spec: ModelSpec::TreeGini,
+            ..req
+        };
+        train_and_register(&reg, &dir, &tree_req).unwrap();
+        let err = train_incremental(&reg, &dir, "movies-tr", &rows).unwrap_err();
+        assert!(err.to_string().contains("incremental"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 }
